@@ -1,0 +1,187 @@
+//! # cpu-baseline — the paper's Intel Xeon comparison point
+//!
+//! Fig. 4.7(c) compares eBNN inference on the UPMEM system against a single
+//! Intel Xeon CPU, finding a linear speedup as DPUs are added. The exact
+//! Xeon model is not specified, so this crate provides two baselines:
+//!
+//! * [`MeasuredCpu`] — runs the *same* eBNN forward pass natively on the
+//!   build machine and measures wall-clock throughput (honest but
+//!   machine-dependent);
+//! * [`XeonModel`] — a deterministic single-core throughput model pinned to
+//!   a documented images/second figure, so reports and benches are
+//!   reproducible across machines.
+//!
+//! Either way only the *shape* of Fig. 4.7(c) depends on the baseline: a
+//! scalar CPU rate against embarrassingly parallel DPUs yields a straight
+//! line in DPU count.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use ebnn::EbnnModel;
+use std::time::Instant;
+
+/// Deterministic single-core CPU throughput model.
+///
+/// The default rate corresponds to a mid-2010s Xeon core running a
+/// bit-sliced eBNN conv-pool block at a few thousand 28×28 frames per
+/// second — the order of magnitude that makes the paper's full-system
+/// (2560-DPU) speedup land in the 10²–10³ range.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct XeonModel {
+    /// Sustained eBNN inferences per second on one core.
+    pub ebnn_images_per_sec: f64,
+    /// Sustained 8/16-bit fixed-point MACs per second on one core
+    /// (for GEMM workloads).
+    pub macs_per_sec: f64,
+}
+
+impl Default for XeonModel {
+    fn default() -> Self {
+        Self { ebnn_images_per_sec: 4000.0, macs_per_sec: 2.0e9 }
+    }
+}
+
+impl XeonModel {
+    /// Seconds to infer `n` eBNN images serially.
+    #[must_use]
+    pub fn ebnn_seconds(&self, n: usize) -> f64 {
+        n as f64 / self.ebnn_images_per_sec
+    }
+
+    /// Seconds to execute a GEMM of `macs` multiply-accumulates.
+    #[must_use]
+    pub fn gemm_seconds(&self, macs: u64) -> f64 {
+        macs as f64 / self.macs_per_sec
+    }
+}
+
+/// Wall-clock measurement of the native eBNN forward pass on this machine.
+#[derive(Debug, Clone)]
+pub struct MeasuredCpu {
+    /// The model under test.
+    pub model: EbnnModel,
+}
+
+impl MeasuredCpu {
+    /// Wrap a model.
+    #[must_use]
+    pub fn new(model: EbnnModel) -> Self {
+        Self { model }
+    }
+
+    /// Measure eBNN images/second over `iters` inferences of a synthetic
+    /// digit (includes binarization, conv-pool-BN and the classifier head —
+    /// the full per-image work the DPU+host pipeline shares).
+    ///
+    /// # Panics
+    /// When `iters` is zero.
+    #[must_use]
+    pub fn measure_ebnn_rate(&self, iters: usize) -> f64 {
+        assert!(iters > 0, "need at least one iteration");
+        let digit = ebnn::mnist::synth_digit(3, 0);
+        let img = self.model.binarize(&digit.pixels);
+        // Warm-up to fault in caches.
+        let _ = self.model.predict(&img);
+        let start = Instant::now();
+        let mut guard = 0usize;
+        for _ in 0..iters {
+            guard = guard.wrapping_add(self.model.predict(&img));
+        }
+        let elapsed = start.elapsed().as_secs_f64();
+        // Keep the loop from being optimized out.
+        assert!(guard < usize::MAX);
+        iters as f64 / elapsed
+    }
+
+    /// A [`XeonModel`] pinned to rates measured on this machine.
+    #[must_use]
+    pub fn calibrate(&self, iters: usize) -> XeonModel {
+        XeonModel {
+            ebnn_images_per_sec: self.measure_ebnn_rate(iters),
+            macs_per_sec: measure_gemm_rate(),
+        }
+    }
+}
+
+/// Measure native fixed-point GEMM MACs/second on this machine.
+#[must_use]
+pub fn measure_gemm_rate() -> f64 {
+    use yolo_pim::{gemm, GemmDims};
+    let dims = GemmDims { m: 32, n: 256, k: 128 };
+    let a: Vec<i16> = (0..dims.m * dims.k).map(|i| (i % 61) as i16 - 30).collect();
+    let b: Vec<i16> = (0..dims.k * dims.n).map(|i| (i % 53) as i16 - 26).collect();
+    let mut c = vec![0i16; dims.m * dims.n];
+    gemm(dims, 1, &a, &b, &mut c); // warm-up
+    let start = Instant::now();
+    let reps = 20;
+    for _ in 0..reps {
+        gemm(dims, 1, &a, &b, &mut c);
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    (dims.macs() * reps) as f64 / elapsed
+}
+
+/// The Fig. 4.7(c) series: speedup of a `dpus`-wide UPMEM system over one
+/// CPU core for a weak-scaled workload (each DPU carries a fixed image
+/// batch, so total images grow with the system).
+///
+/// `dpu_batch_seconds` is the measured/simulated time for one DPU to finish
+/// its batch of `images_per_dpu` images; all DPUs run concurrently.
+#[must_use]
+pub fn speedup_series(
+    cpu: &XeonModel,
+    dpu_batch_seconds: f64,
+    images_per_dpu: usize,
+    dpu_counts: &[usize],
+) -> Vec<(usize, f64)> {
+    dpu_counts
+        .iter()
+        .map(|&d| {
+            let total_images = d * images_per_dpu;
+            let cpu_time = cpu.ebnn_seconds(total_images);
+            (d, cpu_time / dpu_batch_seconds)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebnn::ModelConfig;
+
+    #[test]
+    fn xeon_model_is_linear() {
+        let x = XeonModel::default();
+        assert!((x.ebnn_seconds(4000) - 1.0).abs() < 1e-9);
+        assert_eq!(x.ebnn_seconds(0), 0.0);
+        assert!((x.gemm_seconds(2_000_000_000) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn measured_rate_is_positive_and_stable() {
+        let m = MeasuredCpu::new(EbnnModel::generate(ModelConfig {
+            filters: 4,
+            ..ModelConfig::default()
+        }));
+        let r = m.measure_ebnn_rate(5);
+        assert!(r > 1.0, "rate {r} images/s implausibly low");
+    }
+
+    #[test]
+    fn gemm_rate_is_plausible() {
+        let r = measure_gemm_rate();
+        assert!(r > 1e6, "GEMM rate {r} MAC/s implausibly low");
+    }
+
+    #[test]
+    fn speedup_series_is_linear_in_dpus() {
+        let cpu = XeonModel::default();
+        let series = speedup_series(&cpu, 0.01, 16, &[1, 2, 4, 8, 16]);
+        // Weak scaling: speedup at d DPUs is d x the single-DPU speedup.
+        let s1 = series[0].1;
+        for &(d, s) in &series {
+            assert!((s / (s1 * d as f64) - 1.0).abs() < 1e-9, "not linear at {d}");
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Bench for the §4.3.4 improvement ablations and §6.1 future-work
+//! studies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebnn::{EbnnModel, ModelConfig};
+use pim_core::ablations;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let model = EbnnModel::generate(ModelConfig::default());
+    println!("{}", pim_bench::render_improvements(&ablations::improvements(&model)));
+    println!(
+        "{}",
+        pim_bench::render_mapping_comparison(&ablations::mapping_comparison(&[1, 2, 4, 8]))
+    );
+    println!(
+        "{}",
+        pim_bench::render_size_sweep(&ablations::size_sweep(&[96, 160, 224, 320, 416]))
+    );
+    println!(
+        "{}",
+        pim_bench::render_image_limits(&ablations::ebnn_image_size_limits(&[
+            28, 32, 56, 64, 112, 224
+        ]))
+    );
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("improvements_sweep", |b| {
+        b.iter(|| black_box(ablations::improvements(&model).len()));
+    });
+    g.bench_function("size_sweep", |b| {
+        b.iter(|| black_box(ablations::size_sweep(&[96, 224, 416]).len()));
+    });
+    g.bench_function("frame_per_dpu_estimate", |b| {
+        let net = yolo_pim::darknet::darknet53_yolov3_scaled(2, 416);
+        let mapping = yolo_pim::GemmMapping::default();
+        b.iter(|| black_box(mapping.estimate_frame_per_dpu(&net).frame_cycles));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

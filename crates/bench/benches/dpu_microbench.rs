@@ -1,0 +1,56 @@
+//! Bench for Table 3.1 / Eq. 3.4: the ISA-level microbenchmark harness.
+//!
+//! Measures host-side simulation throughput of the Fig. 3.1 profiling
+//! programs and DMA transfers, and prints the reproduced Table 3.1 rows.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use dpu_sim::asm::{profile_harness, HarnessOp};
+use dpu_sim::{Machine, Mram, Wram};
+use std::hint::black_box;
+
+fn bench_table_3_1(c: &mut Criterion) {
+    // Print the reproduced table once.
+    println!(
+        "{}",
+        pim_bench::render_table_3_1(&pim_core::experiments::table_3_1())
+    );
+
+    let mut g = c.benchmark_group("table3_1_harness");
+    for op in [HarnessOp::Add, HarnessOp::Mul32, HarnessOp::FMul, HarnessOp::FDiv] {
+        let program = profile_harness(op);
+        g.bench_function(format!("{op:?}"), |b| {
+            b.iter_batched(
+                Machine::default,
+                |mut m| {
+                    let r = m.run(&program, 1).expect("harness runs");
+                    black_box(r.perf_reads[0])
+                },
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    g.finish();
+}
+
+fn bench_eq_3_4(c: &mut Criterion) {
+    println!(
+        "{}",
+        pim_bench::render_eq_3_4(&pim_core::experiments::eq_3_4(&[8, 256, 2048]))
+    );
+    let mut g = c.benchmark_group("eq3_4_dma");
+    for bytes in [8usize, 256, 2048] {
+        g.bench_function(format!("{bytes}B"), |b| {
+            let mram = Mram::new(4096);
+            let mut wram = Wram::new(4096);
+            let mut dma = dpu_sim::DmaEngine::default();
+            b.iter(|| {
+                let cycles = dma.read(&mram, &mut wram, 0, 0, bytes).expect("dma ok");
+                black_box(cycles)
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_table_3_1, bench_eq_3_4);
+criterion_main!(benches);

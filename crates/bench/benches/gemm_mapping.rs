@@ -1,0 +1,40 @@
+//! Bench for Fig. 4.6 / Fig. 4.7(b) and the §4.3.1 YOLOv3 latency: the
+//! row-per-DPU GEMM mapping.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use yolo_pim::{darknet53_yolov3, GemmDims, GemmMapping, YoloPipeline};
+
+fn bench_gemm_mapping(c: &mut Criterion) {
+    println!("{}", pim_bench::render_fig_4_7b(&pim_core::experiments::fig_4_7b()));
+    let report = YoloPipeline::new(darknet53_yolov3()).estimate();
+    println!(
+        "YOLOv3-416 frame estimate: total {:.1} s (paper 65), mean layer {:.2} s (paper ~0.9), max layer {:.2} s (paper ~6)\n",
+        report.total_seconds(),
+        report.mean_layer_seconds(),
+        report.max_layer_seconds()
+    );
+
+    let mut g = c.benchmark_group("gemm_mapping");
+    // Functional GEMM through simulated MRAM on a small layer.
+    let dims = GemmDims { m: 8, n: 26 * 26, k: 16 * 9 };
+    let a: Vec<i16> = (0..dims.m * dims.k).map(|i| (i % 61) as i16 - 30).collect();
+    let b_mat: Vec<i16> = (0..dims.k * dims.n).map(|i| (i % 53) as i16 - 26).collect();
+    g.sample_size(10);
+    g.bench_function("run_layer_functional", |bch| {
+        let m = GemmMapping::default();
+        bch.iter(|| {
+            let (c_out, _) = m.run_layer(dims, 1, &a, &b_mat).expect("layer runs");
+            black_box(c_out[0])
+        });
+    });
+    // Timing-only estimate over the full 75-layer table.
+    g.bench_function("estimate_full_network", |bch| {
+        let pipe = YoloPipeline::new(darknet53_yolov3());
+        bch.iter(|| black_box(pipe.estimate().total_seconds()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm_mapping);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Bench for Fig. 4.7(c): multi-DPU scaling against the CPU baseline,
+//! plus the host-thread-parallel Tier-1 launch path.
+
+use cpu_baseline::XeonModel;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpu_sim::asm::assemble;
+use ebnn::{EbnnModel, ModelConfig};
+use pim_host::DpuSet;
+use std::hint::black_box;
+
+fn bench_fig_4_7c(c: &mut Criterion) {
+    let model = EbnnModel::generate(ModelConfig::default());
+    let pts = pim_core::experiments::fig_4_7c(
+        &model,
+        &XeonModel::default(),
+        &[1, 16, 64, 256, 1024, 2560],
+    );
+    println!("{}", pim_bench::render_fig_4_7c(&pts));
+
+    // Tier-1 multi-DPU launch throughput: the same program on n DPUs.
+    let program = assemble(
+        "movi r1, 1000\n\
+         movi r2, 0\n\
+         loop: add r2, r2, r1\n\
+         addi r1, r1, -1\n\
+         bne r1, r0, loop\n\
+         sw r0, 0, r2\n\
+         halt\n",
+    )
+    .expect("program assembles");
+    let mut g = c.benchmark_group("multi_dpu_launch");
+    g.sample_size(10);
+    for n in [1usize, 16, 64] {
+        g.bench_function(format!("{n}_dpus"), |b| {
+            b.iter(|| {
+                let mut set = DpuSet::allocate(n).expect("alloc");
+                let res = set.launch(&program, 11).expect("launch");
+                black_box(res.makespan_cycles())
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig_4_7c);
+criterion_main!(benches);

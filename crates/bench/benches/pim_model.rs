@@ -1,0 +1,36 @@
+//! Bench for Chapter 5: Tables 5.1–5.4 and Figs. 5.4–5.6 from the
+//! analytical model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pim_model::ModelReport;
+use std::hint::black_box;
+
+fn bench_model(c: &mut Criterion) {
+    println!("{}", pim_bench::render_table_5_1());
+    println!("{}", pim_bench::render_table_5_2());
+    println!("{}", pim_bench::render_fig_5_4());
+    println!("{}", pim_bench::render_fig_5_6());
+    println!("{}", pim_bench::render_table_5_3());
+    println!(
+        "{}",
+        pim_bench::render_table_5_4(&ModelReport::table_5_4(None), "paper UPMEM row")
+    );
+
+    let mut g = c.benchmark_group("pim_model");
+    g.bench_function("table_5_4", |b| {
+        b.iter(|| black_box(ModelReport::table_5_4(None).len()));
+    });
+    g.bench_function("algorithm3_32bit", |b| {
+        b.iter(|| black_box(pim_model::ppim::cop_mult(32)));
+    });
+    g.bench_function("fig_5_5_sweeps", |b| {
+        let tops: Vec<f64> = (1..=1000).map(|i| i as f64 * 100.0).collect();
+        let pes: Vec<u64> = (1..=500).map(|i| i * 8).collect();
+        let dev = pim_model::arch::upmem_analytic();
+        b.iter(|| black_box(ModelReport::fig_5_5(&dev, &tops, &pes, 1e5).len()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_model);
+criterion_main!(benches);

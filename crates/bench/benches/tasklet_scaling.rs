@@ -1,0 +1,35 @@
+//! Bench for Fig. 4.7(a): tasklet-level speedup of both CNNs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ebnn::{EbnnModel, EbnnPipeline, ModelConfig};
+use std::hint::black_box;
+
+fn bench_fig_4_7a(c: &mut Criterion) {
+    let model = EbnnModel::generate(ModelConfig::default());
+    let pts =
+        pim_core::experiments::fig_4_7a(&model, &[1, 2, 4, 6, 8, 10, 11, 12, 14, 16, 20, 24]);
+    println!("{}", pim_bench::render_fig_4_7a(&pts));
+
+    let images: Vec<_> = (0..16)
+        .map(|i| ebnn::mnist::synth_digit(i % 10, i as u64))
+        .collect();
+    let mut g = c.benchmark_group("fig4_7a_tasklets");
+    g.sample_size(20);
+    for t in [1usize, 11, 16] {
+        g.bench_function(format!("ebnn_t{t}"), |b| {
+            let p = EbnnPipeline::new(model.clone()).with_tasklets(t);
+            b.iter(|| black_box(p.infer(&images).expect("run").makespan_cycles));
+        });
+    }
+    for t in [1usize, 11] {
+        g.bench_function(format!("yolo_t{t}"), |b| {
+            let m = yolo_pim::GemmMapping { tasklets: t, ..yolo_pim::GemmMapping::default() };
+            let dims = yolo_pim::GemmDims { m: 1, n: 52 * 52, k: 128 * 9 };
+            b.iter(|| black_box(m.estimate_layer(dims).kernel.cycles));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig_4_7a);
+criterion_main!(benches);

@@ -1,0 +1,222 @@
+//! Regenerate every table and figure of the paper.
+//!
+//! ```text
+//! report [--exp <id>] [--json]
+//! ```
+//!
+//! With no arguments all experiments run (the YOLO/CPU ones take a few
+//! seconds). Experiment ids: `eq3_4 table3_1 fig3_2 fig4_3 fig4_4 fig4_7a
+//! fig4_7b fig4_7c latencies table5_1 table5_2 fig5_4 fig5_6 table5_3
+//! table5_4 fig5_5 fig5_7 improvements mapping_comparison size_sweep image_limits depth_sweep tier_validation fig4_7a_tier1 alexnet_mapping
+//! table5_4_measured`.
+
+use cpu_baseline::XeonModel;
+use ebnn::{EbnnModel, ModelConfig};
+use pim_bench as render;
+use pim_core::experiments as exp;
+use pim_model::ModelReport;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut wanted: Option<String> = None;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--exp" => {
+                i += 1;
+                wanted = args.get(i).cloned();
+            }
+            "--json" => json = true,
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let all = wanted.is_none();
+    let want = |id: &str| all || wanted.as_deref() == Some(id);
+    let model = EbnnModel::generate(ModelConfig::default());
+
+    if want("eq3_4") {
+        let rows = exp::eq_3_4(&[8, 16, 64, 256, 1024, 2048]);
+        emit(json, "eq3_4", &rows, || render::render_eq_3_4(&rows));
+    }
+    if want("table3_1") {
+        let rows = exp::table_3_1();
+        emit(json, "table3_1", &rows, || render::render_table_3_1(&rows));
+    }
+    if want("fig3_2") {
+        let p = exp::fig_3_2();
+        let summary: exp::ProfilerSummary = (&p).into();
+        emit(json, "fig3_2", &summary, || {
+            render::render_profile("Fig. 3.2 — high-precision DPU program profile", &summary)
+        });
+    }
+    if want("fig4_3") {
+        let f = exp::fig_4_3(&model);
+        emit(json, "fig4_3", &f, || {
+            format!(
+                "{}\n{}",
+                render::render_profile("Fig. 4.3(a) — float BN in the DPU", &f.float_profile),
+                render::render_profile("Fig. 4.3(b) — LUT rewrite", &f.lut_profile)
+            )
+        });
+    }
+    if want("fig4_4") {
+        let f = exp::fig_4_4(&model);
+        emit(json, "fig4_4", &f, || render::render_fig_4_4(&f));
+    }
+    if want("fig4_7a") {
+        let pts = exp::fig_4_7a(&model, &[1, 2, 4, 6, 8, 10, 11, 12, 14, 16, 20, 24]);
+        emit(json, "fig4_7a", &pts, || render::render_fig_4_7a(&pts));
+    }
+    if want("fig4_7b") {
+        let rows = exp::fig_4_7b();
+        emit(json, "fig4_7b", &rows, || render::render_fig_4_7b(&rows));
+    }
+    if want("fig4_7c") {
+        let pts =
+            exp::fig_4_7c(&model, &XeonModel::default(), &[1, 16, 64, 256, 1024, 2560]);
+        emit(json, "fig4_7c", &pts, || render::render_fig_4_7c(&pts));
+    }
+    if want("latencies") {
+        let l = exp::measured_latencies(&model);
+        emit(json, "latencies", &l, || render::render_latencies(&l));
+    }
+    if want("table5_1") {
+        let t = ModelReport::table_5_1();
+        emit(json, "table5_1", &t, render::render_table_5_1);
+    }
+    if want("table5_2") {
+        let t = ModelReport::table_5_2();
+        emit(json, "table5_2", &t, render::render_table_5_2);
+    }
+    if want("fig5_4") {
+        let t = ModelReport::fig_5_4(&[8, 16, 32]);
+        emit(json, "fig5_4", &t, render::render_fig_5_4);
+    }
+    if want("fig5_5") {
+        let tops: Vec<f64> = (1..=100).map(|i| i as f64 * 1000.0).collect();
+        let pes: Vec<u64> = (1..=64).map(|i| i * 64).collect();
+        let mut out = String::from("Fig. 5.5 — Ccomp sweeps (multiplication)\n");
+        for (dev, fixed_tops) in [
+            (pim_model::arch::drisa_3t1c(), 10_000.0),
+            (pim_model::arch::ppim(), 100_000.0),
+            (pim_model::arch::upmem_analytic(), 100_000.0),
+        ] {
+            let data = ModelReport::fig_5_5(&dev, &tops, &pes, fixed_tops);
+            out.push_str(&format!("  {}:\n", dev.name));
+            for (bits, t_sweep, p_sweep) in &data {
+                out.push_str(&format!(
+                    "    {:>2}-bit: TOPs sweep {:.0}..{:.0} cycles ({} steps), PE sweep {:.0}..{:.0} cycles\n",
+                    bits.bits(),
+                    t_sweep.first().unwrap(),
+                    t_sweep.last().unwrap(),
+                    t_sweep.windows(2).filter(|w| w[1] > w[0]).count() + 1,
+                    p_sweep.first().unwrap(),
+                    p_sweep.last().unwrap(),
+                ));
+            }
+        }
+        let rows: Vec<(String, f64)> = Vec::new();
+        let _ = rows;
+        emit(json, "fig5_5", &"see text rendering", || out.clone());
+    }
+    if want("fig5_6") {
+        let t = ModelReport::fig_5_6();
+        emit(json, "fig5_6", &t, render::render_fig_5_6);
+    }
+    if want("table5_3") {
+        let t = ModelReport::table_5_3();
+        emit(json, "table5_3", &t, render::render_table_5_3);
+    }
+    if want("table5_4") {
+        let rows = ModelReport::table_5_4(None);
+        emit(json, "table5_4", &rows, || {
+            render::render_table_5_4(&rows, "UPMEM row: paper's measurements")
+        });
+    }
+    if want("fig5_7") {
+        let rows = ModelReport::table_5_4(None);
+        emit(json, "fig5_7", &rows, || render::render_fig_5_7(&rows));
+    }
+    if want("improvements") {
+        let rows = pim_core::ablations::improvements(&model);
+        emit(json, "improvements", &rows, || render::render_improvements(&rows));
+    }
+    if want("mapping_comparison") {
+        let rows = pim_core::ablations::mapping_comparison(&[1, 2, 4, 8]);
+        emit(json, "mapping_comparison", &rows, || render::render_mapping_comparison(&rows));
+    }
+    if want("size_sweep") {
+        let rows = pim_core::ablations::size_sweep(&[96, 160, 224, 320, 416]);
+        emit(json, "size_sweep", &rows, || render::render_size_sweep(&rows));
+    }
+    if want("image_limits") {
+        let rows = pim_core::ablations::ebnn_image_size_limits(&[28, 32, 56, 64, 112, 224]);
+        emit(json, "image_limits", &rows, || render::render_image_limits(&rows));
+    }
+    if want("fig4_7a_tier1") {
+        use ebnn::{EbnnModel as M, ModelConfig as C};
+        let small = M::generate(C { filters: 2, ..C::default() });
+        let pts = exp::fig_4_7a_tier1(&small, &[1, 2, 4, 8, 11, 12, 16, 24]);
+        emit(json, "fig4_7a_tier1", &pts, || {
+            let mut s = String::from(
+                "Fig. 4.7(a), instruction-level (generated Tier-1 eBNN program)\ntasklets  speedup\n",
+            );
+            for (t, sp) in &pts {
+                s.push_str(&format!("{t:>8} {sp:>8.2}x\n"));
+            }
+            s
+        });
+    }
+    if want("alexnet_mapping") {
+        let c = pim_core::ablations::alexnet_under_the_mapping();
+        emit(json, "alexnet_mapping", &c, || {
+            format!(
+                "AlexNet: Eq. 5.3 idealization vs the Fig. 4.6 mapping\n\
+                 \x20 modeled Tcomp (Table 5.1):   {:.3e} s\n\
+                 \x20 modeled Ttot  (§5.3.1):      {:.3e} s\n\
+                 \x20 mapped DPU compute:          {:.3e} s\n\
+                 \x20 mapped total (with host):    {:.3e} s\n\
+                 \x20 mapping overhead:            {:.0}x\n",
+                c.modeled_tcomp,
+                c.modeled_ttot,
+                c.mapped_dpu_seconds,
+                c.mapped_total_seconds,
+                c.mapping_overhead()
+            )
+        });
+    }
+    if want("tier_validation") {
+        let v = exp::tier_validation(&model);
+        emit(json, "tier_validation", &v, || render::render_tier_validation(&v));
+    }
+    if want("depth_sweep") {
+        let rows = pim_core::ablations::depth_sweep(&[
+            vec![8],
+            vec![8, 16],
+            vec![8, 16, 32],
+            vec![8, 16, 64, 64],
+        ]);
+        emit(json, "depth_sweep", &rows, || render::render_depth_sweep(&rows));
+    }
+    if want("table5_4_measured") {
+        let rows = exp::table_5_4_with_measured(&model);
+        emit(json, "table5_4_measured", &rows, || {
+            render::render_table_5_4(&rows, "UPMEM row: this repository's simulator")
+        });
+    }
+}
+
+fn emit<T: serde::Serialize>(json: bool, id: &str, value: &T, text: impl FnOnce() -> String) {
+    if json {
+        let payload = serde_json::json!({ "experiment": id, "data": value });
+        println!("{}", serde_json::to_string(&payload).expect("serializable"));
+    } else {
+        println!("{}", text());
+    }
+}

@@ -1,0 +1,463 @@
+//! Ablations and future-work studies.
+//!
+//! The paper closes with concrete improvement proposals (§4.3.4) and
+//! future-work directions (§6.1). The simulator lets us evaluate them
+//! quantitatively instead of speculating:
+//!
+//! * [`improvements`] — §4.3.4's three proposals (raise the DPU clock to
+//!   the announced 600 MHz, grow WRAM so CNN buffers fit, cut the MRAM DMA
+//!   penalty), each as a what-if device configuration re-running the
+//!   headline workloads;
+//! * [`mapping_comparison`] — §6.1's "squeeze as many YOLOv3 inferences
+//!   into a single DPU as possible ... compare to the current mapping":
+//!   the frame-per-DPU mapping vs the Fig. 4.6 row mapping across model
+//!   scales, exposing the MRAM-capacity wall that forced the paper's
+//!   choice;
+//! * [`size_sweep`] — §6.1's "parametrically show when UPMEM's system
+//!   starts losing performance and for what network size": frame latency
+//!   and the gap to the modelled pPIM across input resolutions;
+//! * [`ebnn_image_size_limits`] — §6.1's "going from small image sizes to
+//!   larger sizes can determine how large of an image is supported".
+
+use dpu_sim::cost::OpCounts;
+use dpu_sim::{DpuParams, Profiler};
+use ebnn::{DeepConfig, DeepEbnn, EbnnModel, EbnnPipeline};
+use pim_host::KernelRun;
+use pim_model::{OperandBits, Workload};
+use serde::{Deserialize, Serialize};
+use yolo_pim::darknet::darknet53_yolov3_scaled;
+use yolo_pim::{darknet53_yolov3, GemmMapping, YoloPipeline};
+
+/// One device-configuration ablation row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Configuration label.
+    pub name: String,
+    /// eBNN per-image seconds (16-tasklet batch).
+    pub ebnn_per_image: f64,
+    /// YOLOv3 frame seconds (total).
+    pub yolo_frame: f64,
+    /// YOLOv3 DPU-compute seconds (isolates on-chip effects from the host
+    /// link).
+    pub yolo_dpu_seconds: f64,
+}
+
+fn measure(name: &str, model: &EbnnModel, params: DpuParams) -> AblationRow {
+    let images: Vec<_> = (0..16).map(|i| ebnn::mnist::synth_digit(i % 10, i as u64)).collect();
+    let mut pipe = EbnnPipeline::new(model.clone());
+    pipe.params = params;
+    let batch = pipe.infer(&images).expect("ebnn runs");
+    let mapping = GemmMapping { params, ..GemmMapping::default() };
+    let yolo = YoloPipeline { network: darknet53_yolov3(), mapping, seed: 0 }.estimate();
+    AblationRow {
+        name: name.to_owned(),
+        ebnn_per_image: batch.dpu_seconds / images.len() as f64,
+        yolo_frame: yolo.total_seconds(),
+        yolo_dpu_seconds: yolo.dpu_seconds(),
+    }
+}
+
+/// §4.3.4's improvement proposals as what-if device configurations.
+#[must_use]
+pub fn improvements(model: &EbnnModel) -> Vec<AblationRow> {
+    let base = DpuParams::default();
+    vec![
+        measure("baseline (350 MHz, 64 KiB WRAM, DMA 25cy)", model, base),
+        measure("600 MHz clock (white-paper target)", model, DpuParams::announced()),
+        measure(
+            "4x WRAM (256 KiB)",
+            model,
+            DpuParams { wram_bytes: 256 * 1024, ..base },
+        ),
+        measure(
+            "DMA setup 25 -> 5 cycles",
+            model,
+            DpuParams { dma_setup_cycles: 5, ..base },
+        ),
+        measure(
+            "all three combined",
+            model,
+            DpuParams {
+                freq_hz: 600_000_000,
+                wram_bytes: 256 * 1024,
+                dma_setup_cycles: 5,
+                ..base
+            },
+        ),
+    ]
+}
+
+/// One row of the mapping comparison (§6.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct MappingRow {
+    /// Network label.
+    pub network: String,
+    /// Weight bytes the frame-per-DPU mapping must hold per DPU.
+    pub weights_bytes: u64,
+    /// Whether it fits the 64 MB MRAM.
+    pub fits_mram: bool,
+    /// Row mapping (Fig. 4.6): seconds per frame.
+    pub row_frame_seconds: f64,
+    /// Frame-per-DPU: seconds per frame on one DPU (when feasible).
+    pub fpd_frame_seconds: Option<f64>,
+    /// Row mapping: system frames/second (one frame at a time).
+    pub row_fps: f64,
+    /// Frame-per-DPU: steady-state system frames/second (when feasible).
+    pub fpd_fps: Option<f64>,
+}
+
+/// Compare the Fig. 4.6 row mapping against the future-work frame-per-DPU
+/// mapping across model widths.
+#[must_use]
+pub fn mapping_comparison(width_divs: &[usize]) -> Vec<MappingRow> {
+    let mapping = GemmMapping::default();
+    width_divs
+        .iter()
+        .map(|&div| {
+            let net = darknet53_yolov3_scaled(div, 416);
+            let row = YoloPipeline { network: net.clone(), mapping, seed: 0 }.estimate();
+            let fpd = mapping.estimate_frame_per_dpu(&net);
+            MappingRow {
+                network: net.name.clone(),
+                weights_bytes: fpd.weights_bytes,
+                fits_mram: fpd.fits_mram,
+                row_frame_seconds: row.total_seconds(),
+                fpd_frame_seconds: fpd.fits_mram.then_some(fpd.frame_seconds),
+                row_fps: 1.0 / row.total_seconds(),
+                fpd_fps: fpd.fits_mram.then_some(fpd.system_frames_per_second),
+            }
+        })
+        .collect()
+}
+
+/// One row of the network-size sweep (§6.1).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SizeSweepRow {
+    /// Input resolution (square).
+    pub input: usize,
+    /// Total MACs per frame.
+    pub macs: u64,
+    /// UPMEM frame seconds (row mapping, transfers included).
+    pub upmem_seconds: f64,
+    /// Modelled pPIM frame seconds on the same MAC count.
+    pub ppim_seconds: f64,
+    /// UPMEM/pPIM latency ratio — how far UPMEM trails at this size.
+    pub ratio: f64,
+}
+
+/// Sweep YOLO input resolution and compare UPMEM's mapped latency against
+/// the modelled pPIM on the same operation count.
+#[must_use]
+pub fn size_sweep(inputs: &[usize]) -> Vec<SizeSweepRow> {
+    let mapping = GemmMapping::default();
+    let ppim = pim_model::arch::ppim();
+    inputs
+        .iter()
+        .map(|&input| {
+            let net = darknet53_yolov3_scaled(1, input);
+            let macs = net.total_macs();
+            let upmem = YoloPipeline { network: net, mapping, seed: 0 }.estimate();
+            let w = Workload::custom("sweep", macs as f64);
+            let ppim_seconds = ppim.latency_nominal(&w, OperandBits::B8);
+            let upmem_seconds = upmem.total_seconds();
+            SizeSweepRow {
+                input,
+                macs,
+                upmem_seconds,
+                ppim_seconds,
+                ratio: upmem_seconds / ppim_seconds,
+            }
+        })
+        .collect()
+}
+
+/// One row of the eBNN image-size study (§6.1).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ImageSizeRow {
+    /// Square image edge in pixels.
+    pub dim: usize,
+    /// Bit-packed bytes per image (rows padded to whole words, slot
+    /// rounded to 8).
+    pub slot_bytes: usize,
+    /// Images per maximum 2048-byte DMA transfer.
+    pub images_per_transfer: usize,
+    /// Binary images that fit the per-tasklet WRAM stack at 16 tasklets.
+    pub images_in_wram: usize,
+    /// Whether the multi-image-per-DPU scheme still applies (≥2 images per
+    /// transfer *and* in WRAM) or the network must fall back to
+    /// multi-DPU-per-image.
+    pub multi_image_feasible: bool,
+    /// Measured single-tasklet seconds per image through the wide-image
+    /// conv-pool kernel (8 filters, LUT activation).
+    pub seconds_per_image: f64,
+}
+
+/// How large an input the eBNN multi-image scheme supports (§6.1), with
+/// the measured per-image kernel cost at each size (wide-image datapath).
+#[must_use]
+pub fn ebnn_image_size_limits(dims: &[usize]) -> Vec<ImageSizeRow> {
+    let params = DpuParams::default();
+    dims.iter()
+        .map(|&dim| {
+            // 28-px rows pack into u32 words (the paper's layout); wider
+            // rows use the u64-word wide datapath.
+            let slot_bytes = if dim <= 32 {
+                (dim * 4).div_ceil(8) * 8
+            } else {
+                ebnn::WideBinaryImage::from_gray(&vec![0u8; dim * dim], dim, dim, 128)
+                    .packed_bytes()
+            };
+            let images_per_transfer = dpu_sim::params::DMA_MAX_TRANSFER_BYTES / slot_bytes;
+            let images_in_wram = params.max_stack_bytes(16) / slot_bytes.max(1);
+
+            // Measured kernel cost at this size (8 filters, 1 tasklet).
+            let img = ebnn::WideBinaryImage::from_gray(
+                &vec![128u8; dim * dim],
+                dim,
+                dim,
+                128,
+            );
+            let mut run = KernelRun::new(params, pim_host::OptLevel::O0, 1);
+            ebnn::wide::wide_conv_pool_tally(&img, 8, run.tally(0));
+            run.charge_dma(0, slot_bytes.min(dpu_sim::params::DMA_MAX_TRANSFER_BYTES));
+
+            ImageSizeRow {
+                dim,
+                slot_bytes,
+                images_per_transfer,
+                images_in_wram,
+                multi_image_feasible: images_per_transfer.min(images_in_wram) >= 2,
+                seconds_per_image: run.seconds(),
+            }
+        })
+        .collect()
+}
+
+/// One row of the eBNN depth sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DepthSweepRow {
+    /// Filters per block.
+    pub filters: Vec<usize>,
+    /// Final feature count.
+    pub features: usize,
+    /// Working-set bytes of the widest block transition (feature maps +
+    /// LUT — all shared per DPU, unlike the per-tasklet stacks).
+    pub working_set_bytes: usize,
+    /// Whether the shared working set fits a quarter of WRAM (leaving the
+    /// rest for tasklet stacks and temporaries).
+    pub fits_wram: bool,
+    /// DPU seconds per image (single tasklet).
+    pub seconds_per_image: f64,
+    /// Classification accuracy (percent) on 30 jittered synthetic digits.
+    pub accuracy_pct: u32,
+}
+
+/// Sweep eBNN depth (stacked conv-pool blocks) — the "more CNNs" direction
+/// of §6.1, measuring where depth stops fitting the DPU and what it costs.
+#[must_use]
+pub fn depth_sweep(configs: &[Vec<usize>]) -> Vec<DepthSweepRow> {
+    let params = DpuParams::default();
+    configs
+        .iter()
+        .map(|filters| {
+            let model = DeepEbnn::generate(DeepConfig {
+                filters: filters.clone(),
+                ..DeepConfig::default()
+            });
+            // Cost of one image through all blocks (single tasklet).
+            let mut run = KernelRun::new(params, pim_host::OptLevel::O0, 1);
+            let mut profile = Profiler::new();
+            let px = ebnn::mnist::synth_digit(3, 0).pixels;
+            let mut tally = OpCounts::default();
+            let _ = model.features(&px, &mut tally, &mut profile);
+            *run.tally(0) = tally;
+            let seconds = run.seconds();
+            // Accuracy over 30 jittered digits.
+            let mut hits = 0u32;
+            for c in 0..10 {
+                for i in 0..3 {
+                    if model.predict(&ebnn::mnist::synth_digit(c, i).pixels) == c {
+                        hits += 1;
+                    }
+                }
+            }
+            let ws = model.working_set_bytes();
+            DepthSweepRow {
+                filters: filters.clone(),
+                features: model.feature_count(),
+                working_set_bytes: ws,
+                fits_wram: ws <= params.wram_bytes / 4,
+                seconds_per_image: seconds,
+                accuracy_pct: hits * 100 / 30,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebnn::ModelConfig;
+
+    fn small_model() -> EbnnModel {
+        EbnnModel::generate(ModelConfig { filters: 4, ..ModelConfig::default() })
+    }
+
+    #[test]
+    fn higher_clock_speeds_everything_up() {
+        let rows = improvements(&small_model());
+        let base = &rows[0];
+        let mhz600 = &rows[1];
+        let expect = 350.0 / 600.0;
+        assert!((mhz600.ebnn_per_image / base.ebnn_per_image - expect).abs() < 0.01);
+        assert!((mhz600.yolo_dpu_seconds / base.yolo_dpu_seconds - expect).abs() < 0.01);
+        // Host transfers don't speed up with the DPU clock.
+        assert!(mhz600.yolo_frame > base.yolo_frame * 0.75);
+    }
+
+    #[test]
+    fn bigger_wram_helps_yolo_not_ebnn() {
+        let rows = improvements(&small_model());
+        let base = &rows[0];
+        let wram = &rows[2];
+        // eBNN already fits: no change.
+        assert!((wram.ebnn_per_image / base.ebnn_per_image - 1.0).abs() < 0.01);
+        // YOLO's ctmp fits in more layers: DPU compute drops.
+        assert!(wram.yolo_dpu_seconds < base.yolo_dpu_seconds * 0.95);
+    }
+
+    #[test]
+    fn combined_improvements_are_best() {
+        let rows = improvements(&small_model());
+        let all = rows.last().unwrap();
+        for r in &rows[..rows.len() - 1] {
+            assert!(all.yolo_dpu_seconds <= r.yolo_dpu_seconds * 1.001, "vs {}", r.name);
+            assert!(all.ebnn_per_image <= r.ebnn_per_image * 1.001, "vs {}", r.name);
+        }
+    }
+
+    #[test]
+    fn mapping_comparison_shows_the_mram_wall() {
+        let rows = mapping_comparison(&[1, 2, 4]);
+        assert!(!rows[0].fits_mram, "full model must not fit");
+        assert!(rows[1].fits_mram && rows[2].fits_mram);
+        // Where feasible, frame-per-DPU wins on throughput but loses on
+        // single-frame latency.
+        let r = &rows[1];
+        assert!(r.fpd_fps.unwrap() > r.row_fps * 10.0);
+        assert!(r.fpd_frame_seconds.unwrap() > r.row_frame_seconds / 10.0);
+    }
+
+    #[test]
+    fn size_sweep_is_monotone_and_upmem_trails() {
+        let rows = size_sweep(&[128, 256, 416]);
+        for w in rows.windows(2) {
+            assert!(w[1].macs > w[0].macs);
+            assert!(w[1].upmem_seconds > w[0].upmem_seconds);
+        }
+        // UPMEM trails the modelled pPIM at every size (Table 5.4's story).
+        assert!(rows.iter().all(|r| r.ratio > 1.0));
+    }
+
+    #[test]
+    fn depth_sweep_costs_grow_with_depth() {
+        let rows = depth_sweep(&[vec![8], vec![8, 16], vec![8, 16, 32]]);
+        assert!(rows[1].seconds_per_image > rows[0].seconds_per_image);
+        assert!(rows[2].seconds_per_image > rows[1].seconds_per_image);
+        // These configs stay WRAM-feasible; feature counts shrink
+        // spatially even as channels grow.
+        assert!(rows.iter().all(|r| r.fits_wram), "{rows:?}");
+        assert_eq!(rows[0].features, 8 * 14 * 14);
+        assert_eq!(rows[2].features, 32 * 3 * 3);
+    }
+
+    #[test]
+    fn depth_sweep_finds_the_wram_wall() {
+        // Deep wide blocks blow up the LUT (rows scale with 18x fan-in):
+        // a 64-channel fourth block needs a >70 KB LUT and stops fitting.
+        let rows = depth_sweep(&[vec![8, 16], vec![8, 16, 64, 64]]);
+        assert!(rows[0].fits_wram);
+        assert!(!rows[1].fits_wram, "ws = {}", rows[1].working_set_bytes);
+    }
+
+    #[test]
+    fn image_size_limits_match_the_papers_28px_case() {
+        let rows = ebnn_image_size_limits(&[28, 56, 112, 224]);
+        assert_eq!(rows[0].slot_bytes, 112);
+        assert_eq!(rows[0].images_per_transfer, 18); // 16 used (slot-aligned)
+        assert!(rows[0].multi_image_feasible);
+        // Somewhere between 28 and 224 the scheme stops being feasible.
+        assert!(!rows.last().unwrap().multi_image_feasible);
+    }
+}
+
+/// AlexNet, two ways: the paper's Eq. 5.3 idealization (Table 5.1) versus
+/// the *actual* Fig. 4.6 row mapping — quantifying how much the analytic
+/// model flatters UPMEM by ignoring orchestration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct AlexNetComparison {
+    /// Eq. 5.2/5.3 compute time (paper Table 5.1: 2.54e-1 s).
+    pub modeled_tcomp: f64,
+    /// Eq. 5.1 total with the memory model (paper §5.3.1: 2.57e-1 s).
+    pub modeled_ttot: f64,
+    /// DPU compute under the row mapping (FC layers wider than the system
+    /// run in serial passes).
+    pub mapped_dpu_seconds: f64,
+    /// Row-mapping total including host transfers.
+    pub mapped_total_seconds: f64,
+}
+
+impl AlexNetComparison {
+    /// How much slower the real mapping is than the analytic model.
+    #[must_use]
+    pub fn mapping_overhead(&self) -> f64 {
+        self.mapped_total_seconds / self.modeled_ttot
+    }
+}
+
+/// Run the AlexNet model-vs-mapping comparison.
+#[must_use]
+pub fn alexnet_under_the_mapping() -> AlexNetComparison {
+    use pim_model::ModelReport;
+    let modeled = ModelReport::table_5_1();
+    let upmem = &modeled[2];
+    let modeled_ttot = pim_model::arch::upmem_analytic()
+        .latency(&Workload::alexnet(), OperandBits::B8);
+
+    let mapping = GemmMapping::default();
+    let net = yolo_pim::darknet::alexnet_config();
+    let mut dpu_seconds = 0.0;
+    let mut total = 0.0;
+    for (_, _, _, dims) in net.conv_layers() {
+        // Layers wider than the system split into serial passes of at most
+        // 2560 rows.
+        let passes = dims.m.div_ceil(dpu_sim::params::SYSTEM_DPUS);
+        let per_pass = yolo_pim::GemmDims { m: dims.m.div_ceil(passes), ..dims };
+        let report = mapping.estimate_layer(per_pass);
+        dpu_seconds += report.dpu_seconds * passes as f64;
+        total += report.total_seconds * passes as f64;
+    }
+    AlexNetComparison {
+        modeled_tcomp: upmem.tcomp_tops,
+        modeled_ttot,
+        mapped_dpu_seconds: dpu_seconds,
+        mapped_total_seconds: total,
+    }
+}
+
+#[cfg(test)]
+mod alexnet_mapping_tests {
+    use super::*;
+
+    #[test]
+    fn mapping_is_much_slower_than_the_idealization() {
+        let c = alexnet_under_the_mapping();
+        // Paper values reproduce on the model side.
+        assert!((c.modeled_tcomp - 2.54e-1).abs() / 2.54e-1 < 0.02);
+        assert!((c.modeled_ttot - 2.57e-1).abs() / 2.57e-1 < 0.02);
+        // The real mapping pays host transfers and per-element MRAM access:
+        // an order of magnitude or more over Eq. 5.3.
+        assert!(c.mapping_overhead() > 5.0, "overhead {}", c.mapping_overhead());
+        assert!(c.mapped_total_seconds > c.mapped_dpu_seconds);
+    }
+}

@@ -1,0 +1,316 @@
+//! The standardized CNN-on-UPMEM deployment framework.
+//!
+//! The paper distills its two case studies into a repeatable discipline
+//! (§1, §4):
+//!
+//! 1. **Profile** the application and separate the data-parallel portion
+//!    (convolutions) from the rest; only the former is compiled for the
+//!    DPUs, the host keeps quantization, softmax, routing and control.
+//! 2. **Choose a mapping scheme** by footprint: if a whole inference fits
+//!    comfortably in one DPU's memory, batch many inputs per DPU
+//!    ([`MappingScheme::MultiImagePerDpu`], the eBNN path); if a single
+//!    inference overflows a DPU, unroll the layer loop across DPUs
+//!    ([`MappingScheme::MultiDpuPerImage`], the YOLOv3 path).
+//! 3. **Orchestrate memory** under the 8-byte rule: pad buffers, send true
+//!    lengths separately, keep hot data in WRAM where it fits.
+//! 4. **Maximize throughput** with tasklet-level threading (≥11) and the
+//!    highest compiler optimization (§4.3.3's takeaways).
+//!
+//! [`Deployment`] applies the discipline mechanically: given a workload
+//! description it selects the scheme, configures tasklets/optimization, and
+//! runs the corresponding pipeline.
+
+use dpu_sim::DpuParams;
+use ebnn::mapping::BnPlacement;
+use pim_host::{HostError, OptLevel};
+use serde::{Deserialize, Serialize};
+
+/// How inferences map onto DPUs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MappingScheme {
+    /// Many inputs per DPU, one tasklet each (paper §4.1.3).
+    MultiImagePerDpu {
+        /// Inputs batched per DPU (16 for eBNN — the 2048-byte DMA cap).
+        images_per_dpu: usize,
+    },
+    /// One input spread over many DPUs, one GEMM row each (paper §4.2.3).
+    MultiDpuPerImage {
+        /// Peak DPUs a layer may occupy (= widest filter count).
+        max_dpus: usize,
+    },
+}
+
+/// Workload characteristics the scheme decision needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadProfile {
+    /// Bytes one complete inference needs resident in the DPU (inputs,
+    /// weights, temporaries).
+    pub working_set_bytes: usize,
+    /// Widest layer's filter count (candidate DPU fan-out).
+    pub max_filters: usize,
+}
+
+impl MappingScheme {
+    /// The paper's scheme-selection rule: batch images per DPU whenever the
+    /// per-inference working set fits a comfortable fraction of WRAM
+    /// (leaving stack room for 11+ tasklets); otherwise unroll across DPUs.
+    #[must_use]
+    pub fn select(profile: WorkloadProfile, params: &DpuParams) -> Self {
+        // Half of WRAM for data, the rest for stacks and temporaries.
+        let budget = params.wram_bytes / 2;
+        if profile.working_set_bytes <= budget / 2 {
+            let images = (budget / profile.working_set_bytes)
+                .min(dpu_sim::params::DMA_MAX_TRANSFER_BYTES / profile.working_set_bytes)
+                .clamp(1, 16);
+            MappingScheme::MultiImagePerDpu { images_per_dpu: images }
+        } else {
+            MappingScheme::MultiDpuPerImage { max_dpus: profile.max_filters }
+        }
+    }
+}
+
+/// A configured deployment front-end over both CNN pipelines.
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// Device parameters.
+    pub params: DpuParams,
+    /// Compiler optimization level (§4.3.3 recommends the highest).
+    pub opt: OptLevel,
+    /// Tasklets per DPU (§4.3.3 recommends ≥ pipeline depth).
+    pub tasklets: usize,
+}
+
+impl Default for Deployment {
+    fn default() -> Self {
+        Self { params: DpuParams::default(), opt: OptLevel::O3, tasklets: 16 }
+    }
+}
+
+/// Unified result of a deployment run.
+#[derive(Debug, Clone)]
+pub struct DeploymentReport {
+    /// The scheme that was applied.
+    pub scheme: MappingScheme,
+    /// Inferences completed.
+    pub inferences: usize,
+    /// DPUs occupied (peak).
+    pub dpus: usize,
+    /// DPU-side completion seconds.
+    pub dpu_seconds: f64,
+    /// Host-side seconds (classification / transfers modelled on the host
+    /// link where applicable).
+    pub host_seconds: f64,
+}
+
+impl DeploymentReport {
+    /// End-to-end seconds.
+    #[must_use]
+    pub fn total_seconds(&self) -> f64 {
+        self.dpu_seconds + self.host_seconds
+    }
+}
+
+impl Deployment {
+    /// Deploy an eBNN batch with the multi-image-per-DPU scheme (LUT
+    /// placement, per §4.1.4's recommendation).
+    ///
+    /// # Errors
+    /// Host-runtime failures.
+    pub fn run_ebnn(
+        &self,
+        model: ebnn::EbnnModel,
+        images: &[ebnn::mnist::GrayImage],
+    ) -> Result<DeploymentReport, HostError> {
+        let profile = WorkloadProfile {
+            working_set_bytes: ebnn::IMAGE_SLOT_BYTES,
+            max_filters: model.config.filters,
+        };
+        let scheme = MappingScheme::select(profile, &self.params);
+        let pipeline = ebnn::EbnnPipeline {
+            model,
+            params: self.params,
+            opt: self.opt,
+            tasklets: self.tasklets,
+            placement: BnPlacement::HostLut,
+        };
+        let rep = pipeline.infer(images)?;
+        Ok(DeploymentReport {
+            scheme,
+            inferences: rep.predictions.len(),
+            dpus: rep.dpus_used,
+            dpu_seconds: rep.dpu_seconds,
+            host_seconds: rep.host_seconds,
+        })
+    }
+
+    /// Deploy a YOLOv3-family network with the multi-DPU-per-image scheme
+    /// (timing estimate over the full layer table).
+    #[must_use]
+    pub fn estimate_yolo(&self, network: yolo_pim::NetworkConfig) -> DeploymentReport {
+        let max_filters =
+            network.conv_layers().iter().map(|(_, _, _, d)| d.m).max().unwrap_or(1);
+        let mapping = yolo_pim::GemmMapping {
+            params: self.params,
+            opt: self.opt,
+            tasklets: self.tasklets.min(11),
+            ..yolo_pim::GemmMapping::default()
+        };
+        let pipe = yolo_pim::YoloPipeline { network, mapping, seed: 0x01f };
+        let rep = pipe.estimate();
+        DeploymentReport {
+            scheme: MappingScheme::MultiDpuPerImage { max_dpus: max_filters },
+            inferences: 1,
+            dpus: max_filters,
+            dpu_seconds: rep.dpu_seconds(),
+            host_seconds: rep.host_transfer_seconds(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ebnn::{EbnnModel, ModelConfig};
+
+    #[test]
+    fn scheme_selection_follows_footprint() {
+        let params = DpuParams::default();
+        // eBNN-sized working set → multi-image.
+        let small = WorkloadProfile { working_set_bytes: 112, max_filters: 16 };
+        assert!(matches!(
+            MappingScheme::select(small, &params),
+            MappingScheme::MultiImagePerDpu { images_per_dpu: 16 }
+        ));
+        // YOLO-sized working set → multi-DPU.
+        let large = WorkloadProfile { working_set_bytes: 9_000_000, max_filters: 1024 };
+        assert!(matches!(
+            MappingScheme::select(large, &params),
+            MappingScheme::MultiDpuPerImage { max_dpus: 1024 }
+        ));
+    }
+
+    #[test]
+    fn ebnn_deployment_runs() {
+        let d = Deployment::default();
+        let model = EbnnModel::generate(ModelConfig { filters: 4, ..ModelConfig::default() });
+        let imgs: Vec<_> = (0..4).map(|i| ebnn::mnist::synth_digit(i, 0)).collect();
+        let rep = d.run_ebnn(model, &imgs).unwrap();
+        assert_eq!(rep.inferences, 4);
+        assert_eq!(rep.dpus, 1);
+        assert!(rep.dpu_seconds > 0.0);
+        assert!(matches!(rep.scheme, MappingScheme::MultiImagePerDpu { .. }));
+    }
+
+    #[test]
+    fn yolo_deployment_estimates() {
+        let d = Deployment::default();
+        let rep = d.estimate_yolo(yolo_pim::tiny_config());
+        assert!(matches!(rep.scheme, MappingScheme::MultiDpuPerImage { max_dpus: 18 }));
+        assert!(rep.total_seconds() > 0.0);
+    }
+}
+
+impl Deployment {
+    /// Deploy any Darknet `.cfg`-described network: parse, profile, select
+    /// the mapping scheme, and estimate — the "programming
+    /// standard/methodology or tool that takes care of the programming
+    /// side" the paper's future work calls for (§6.1).
+    ///
+    /// # Errors
+    /// [`CfgDeployError::Cfg`] on malformed configuration text;
+    /// [`CfgDeployError::Host`] on runtime failures.
+    pub fn deploy_cfg(&self, name: &str, cfg_text: &str) -> Result<DeploymentReport, CfgDeployError> {
+        let network = yolo_pim::parse_cfg(name, cfg_text).map_err(CfgDeployError::Cfg)?;
+        // Profile: the per-inference working set is the largest layer's
+        // input + output tensors at i16.
+        let shapes = network.shapes();
+        let mut prev = network.input;
+        let mut working_set = 0usize;
+        for s in &shapes {
+            working_set = working_set.max(2 * (prev.len() + s.len()));
+            prev = *s;
+        }
+        let max_filters = network
+            .conv_layers()
+            .iter()
+            .map(|(_, _, _, d)| d.m)
+            .max()
+            .unwrap_or(1);
+        let profile = WorkloadProfile { working_set_bytes: working_set, max_filters };
+        match MappingScheme::select(profile, &self.params) {
+            MappingScheme::MultiDpuPerImage { .. } => Ok(self.estimate_yolo(network)),
+            scheme @ MappingScheme::MultiImagePerDpu { .. } => {
+                // Small networks: per-image batching. Estimated via the
+                // same GEMM cost model on one DPU per image.
+                let mapping = yolo_pim::GemmMapping {
+                    params: self.params,
+                    opt: self.opt,
+                    tasklets: self.tasklets.min(11),
+                    ..yolo_pim::GemmMapping::default()
+                };
+                let fpd = mapping.estimate_frame_per_dpu(&network);
+                Ok(DeploymentReport {
+                    scheme,
+                    inferences: 1,
+                    dpus: 1,
+                    dpu_seconds: fpd.frame_seconds,
+                    host_seconds: fpd.input_bytes_per_frame as f64 / mapping.host_bw,
+                })
+            }
+        }
+    }
+}
+
+/// Errors from [`Deployment::deploy_cfg`].
+#[derive(Debug)]
+pub enum CfgDeployError {
+    /// The configuration text did not parse.
+    Cfg(yolo_pim::CfgError),
+    /// The runtime failed.
+    Host(HostError),
+}
+
+impl std::fmt::Display for CfgDeployError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CfgDeployError::Cfg(e) => write!(f, "configuration: {e}"),
+            CfgDeployError::Host(e) => write!(f, "runtime: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CfgDeployError {}
+
+#[cfg(test)]
+mod deploy_cfg_tests {
+    use super::*;
+
+    #[test]
+    fn large_cfg_selects_multi_dpu() {
+        let d = Deployment::default();
+        let text = yolo_pim::to_cfg(&yolo_pim::darknet53_yolov3());
+        let rep = d.deploy_cfg("yolov3", &text).unwrap();
+        assert!(matches!(rep.scheme, MappingScheme::MultiDpuPerImage { max_dpus: 1024 }));
+        assert!(rep.total_seconds() > 10.0);
+    }
+
+    #[test]
+    fn small_cfg_selects_multi_image() {
+        // A network whose tensors fit comfortably: one small conv on a
+        // 16x16 input (working set ~3.5 KB against the 16 KB threshold).
+        let text = "\
+            [net]\nwidth=16\nheight=16\nchannels=3\n\n\
+            [convolutional]\nfilters=4\nsize=3\nstride=1\npad=1\nactivation=leaky\n";
+        let d = Deployment::default();
+        let rep = d.deploy_cfg("small", text).unwrap();
+        assert!(matches!(rep.scheme, MappingScheme::MultiImagePerDpu { .. }));
+        assert!(rep.dpu_seconds > 0.0);
+    }
+
+    #[test]
+    fn malformed_cfg_is_reported() {
+        let d = Deployment::default();
+        let err = d.deploy_cfg("bad", "[net]\nwidth=32\nheight=32\n[bogus]\n").unwrap_err();
+        assert!(err.to_string().contains("configuration"));
+    }
+}

@@ -1,0 +1,32 @@
+//! # pim-core — CNN deployment on the (simulated) UPMEM PIM
+//!
+//! The paper's first contribution is "a verified methodology for supporting
+//! CNN acceleration on the UPMEM PIM solution". This crate packages that
+//! methodology as a library:
+//!
+//! * [`framework`] — the deployment discipline: pick a
+//!   [`framework::MappingScheme`] (multi-image-per-DPU for small nets,
+//!   multi-DPU-per-image for large ones), split the data-centric
+//!   convolution kernels from the host-resident layers, enforce the 8-byte
+//!   transfer rule, and synchronize host↔DPU phases. A single
+//!   [`framework::Deployment`] front-end drives both CNN families.
+//! * [`experiments`] — one driver per table/figure of the paper, each
+//!   returning structured data (rendered by the `pim-bench` report binary
+//!   and checked by the integration tests).
+//! * [`ablations`] — quantitative evaluations of the paper's §4.3.4
+//!   improvement proposals and §6.1 future-work studies (frame-per-DPU
+//!   mapping, network-size sweep, eBNN image-size limits).
+//!
+//! The underlying pieces live in their own crates: `dpu-sim` (the device),
+//! `pim-host` (the runtime), `ebnn` and `yolo-pim` (the two CNNs),
+//! `pim-model` (the Chapter-5 analytical model) and `cpu-baseline` (the
+//! Xeon comparison point).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod experiments;
+pub mod framework;
+
+pub use framework::{Deployment, DeploymentReport, MappingScheme};

@@ -1,0 +1,444 @@
+//! Tier-2 kernel cycle model.
+//!
+//! Full CNN workloads (YOLOv3 moves ~3×10¹⁰ MACs per frame) are too large to
+//! run through the instruction-level interpreter, so CNN kernels execute as
+//! native Rust over the simulated memories while tallying an [`OpCounts`]
+//! per tasklet. This module converts those tallies into cycles using the
+//! same two mechanisms the interpreter models exactly:
+//!
+//! 1. **issue slots** — every instruction occupies one slot; the pipeline
+//!    retires at most one slot per cycle, and a single tasklet at most one
+//!    slot per 11-cycle rotation;
+//! 2. **DMA stalls** — each MRAM transfer blocks its tasklet for
+//!    `25 + bytes/2` cycles without consuming issue slots.
+//!
+//! The closed form is validated against the interpreter in this module's
+//! tests and in `tests/` at the workspace root:
+//!
+//! ```text
+//! cycles ≈ max( Σ_t slots_t,  max_t (11·slots_t + dma_t) ) + 11
+//! ```
+//!
+//! The first argument is the *issue bound* (the pipeline is a shared
+//! single-issue resource), the second the *latency bound* of the slowest
+//! tasklet (rotation spacing plus its DMA stalls).
+//!
+//! ## Compiler optimization levels
+//!
+//! [`OptLevel`] models `dpu-clang -O0..-O3` the way the paper uses them
+//! (§3.1, §3.3, Fig. 4.7b): at `-O0` every C-level operation is surrounded
+//! by stack spill/reload traffic and 16-bit multiplies call `__mulsi3`; at
+//! `-O2/-O3` values live in registers and 16-bit multiplies collapse into
+//! the 4-instruction hardware `mul8` sequence (the paper notes the
+//! subroutine threshold n moving from 16 to 32 bits, §5.2.2).
+
+use crate::params::{DpuParams, PIPELINE_STAGES};
+use crate::subroutines::Subroutine;
+use serde::{Deserialize, Serialize};
+
+/// `dpu-clang` optimization setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum OptLevel {
+    /// No optimization: fastest compile, all values on the stack.
+    O0,
+    /// Basic optimization.
+    O1,
+    /// Aggressive optimization.
+    O2,
+    /// Maximum standard optimization (paper's recommended setting).
+    O3,
+}
+
+impl OptLevel {
+    /// Extra issue slots of stack spill/reload traffic around one
+    /// arithmetic operation at this level.
+    #[must_use]
+    pub fn per_op_overhead_slots(self) -> u64 {
+        match self {
+            OptLevel::O0 => 3,
+            OptLevel::O1 => 2,
+            OptLevel::O2 => 1,
+            OptLevel::O3 => 0,
+        }
+    }
+
+    /// Loop-control slots charged per loop iteration (increment, compare,
+    /// branch — `-O3` partially unrolls).
+    #[must_use]
+    pub fn loop_overhead_slots(self) -> u64 {
+        match self {
+            OptLevel::O0 => 3,
+            OptLevel::O1 => 3,
+            OptLevel::O2 => 2,
+            OptLevel::O3 => 1,
+        }
+    }
+
+    /// Whether a 16-bit multiply is lowered to the `__mulsi3` subroutine
+    /// (true below `-O2`) or to the 4-instruction `mul8` sequence.
+    #[must_use]
+    pub fn mul16_uses_subroutine(self) -> bool {
+        matches!(self, OptLevel::O0 | OptLevel::O1)
+    }
+}
+
+/// Per-tasklet tally of executed operations, produced by Tier-2 kernels.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounts {
+    /// Single-slot ALU operations (add, sub, logic, shift, compare, `mul8`
+    /// steps counted individually, popcount).
+    pub alu: u64,
+    /// 8-bit multiplications (lowered to a 4-instruction `mul8` sequence;
+    /// Table 5.2's 44-cycle entry = 4 slots × 11).
+    pub mul8: u64,
+    /// 16-bit multiplications.
+    pub mul16: u64,
+    /// 32-bit multiplications (`__mulsi3` at every level).
+    pub mul32: u64,
+    /// 32-bit divisions (`__divsi3`).
+    pub div32: u64,
+    /// `f32` additions (`__addsf3`).
+    pub fadd: u64,
+    /// `f32` subtractions (`__subsf3`).
+    pub fsub: u64,
+    /// `f32` multiplications (`__mulsf3`).
+    pub fmul: u64,
+    /// `f32` divisions (`__divsf3`).
+    pub fdiv: u64,
+    /// `f32` comparisons (`__ltsf2`/`__gtsf2`).
+    pub fcmp: u64,
+    /// `i32` → `f32` conversions (`__floatsisf`).
+    pub i2f: u64,
+    /// `f32` → `i32` conversions (`__fixsfsi`).
+    pub f2i: u64,
+    /// WRAM loads (single slot).
+    pub load: u64,
+    /// WRAM stores (single slot).
+    pub store: u64,
+    /// Loop iterations (charged [`OptLevel::loop_overhead_slots`]).
+    pub loops: u64,
+    /// MRAM DMA transfers issued by this tasklet.
+    pub mram_transfers: u64,
+    /// Total bytes moved over DMA by this tasklet.
+    pub mram_bytes: u64,
+}
+
+impl OpCounts {
+    /// Number of *arithmetic* operations (for overhead accounting).
+    #[must_use]
+    pub fn arith_ops(&self) -> u64 {
+        self.alu
+            + self.mul8
+            + self.mul16
+            + self.mul32
+            + self.div32
+            + self.fadd
+            + self.fsub
+            + self.fmul
+            + self.fdiv
+            + self.fcmp
+            + self.i2f
+            + self.f2i
+    }
+
+    /// Issue slots this tally occupies at the given optimization level.
+    #[must_use]
+    pub fn issue_slots(&self, opt: OptLevel) -> u64 {
+        let mul16_slots = if opt.mul16_uses_subroutine() {
+            Subroutine::Mulsi3Short.instruction_count()
+        } else {
+            4
+        };
+        self.alu
+            + self.mul8 * 4
+            + self.mul16 * mul16_slots
+            + self.mul32 * Subroutine::Mulsi3.instruction_count()
+            + self.div32 * Subroutine::Divsi3.instruction_count()
+            + self.fadd * Subroutine::Addsf3.instruction_count()
+            + self.fsub * Subroutine::Subsf3.instruction_count()
+            + self.fmul * Subroutine::Mulsf3.instruction_count()
+            + self.fdiv * Subroutine::Divsf3.instruction_count()
+            + self.fcmp * Subroutine::Ltsf2.instruction_count()
+            + self.i2f * Subroutine::Floatsisf.instruction_count()
+            + self.f2i * Subroutine::Fixsfsi.instruction_count()
+            + self.load
+            + self.store
+            + self.loops * opt.loop_overhead_slots()
+            + self.arith_ops() * opt.per_op_overhead_slots()
+            + self.mram_transfers // the DMA instruction itself
+    }
+
+    /// DMA stall cycles this tally causes (Eq. 3.4 per transfer).
+    #[must_use]
+    pub fn dma_cycles(&self, params: &DpuParams) -> u64 {
+        params.dma_setup_cycles * self.mram_transfers
+            + self.mram_bytes.div_ceil(params.dma_bytes_per_cycle)
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn merged(mut self, other: &OpCounts) -> OpCounts {
+        self.merge(other);
+        self
+    }
+
+    /// Accumulate another tally into this one.
+    pub fn merge(&mut self, other: &OpCounts) {
+        self.alu += other.alu;
+        self.mul8 += other.mul8;
+        self.mul16 += other.mul16;
+        self.mul32 += other.mul32;
+        self.div32 += other.div32;
+        self.fadd += other.fadd;
+        self.fsub += other.fsub;
+        self.fmul += other.fmul;
+        self.fdiv += other.fdiv;
+        self.fcmp += other.fcmp;
+        self.i2f += other.i2f;
+        self.f2i += other.f2i;
+        self.load += other.load;
+        self.store += other.store;
+        self.loops += other.loops;
+        self.mram_transfers += other.mram_transfers;
+        self.mram_bytes += other.mram_bytes;
+    }
+}
+
+/// Cycle estimate for one kernel launch, with the contributing bounds
+/// exposed for analysis (the paper's §4.3.3 WRAM-vs-MRAM discussion is a
+/// statement about which bound dominates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct KernelEstimate {
+    /// Final cycle estimate.
+    pub cycles: u64,
+    /// Pipeline issue bound: total slots across tasklets.
+    pub issue_bound: u64,
+    /// Latency bound of the slowest tasklet (rotation + DMA stalls).
+    pub latency_bound: u64,
+    /// Shared MRAM streaming-bandwidth bound: total DMA bytes over the
+    /// 2-bytes-per-cycle port (transfer setups overlap across tasklets,
+    /// the data stream does not).
+    pub bandwidth_bound: u64,
+    /// Total DMA stall cycles across tasklets.
+    pub dma_cycles: u64,
+    /// Total issue slots across tasklets.
+    pub total_slots: u64,
+}
+
+impl KernelEstimate {
+    /// Seconds at the device frequency.
+    #[must_use]
+    pub fn seconds(&self, params: &DpuParams) -> f64 {
+        params.cycles_to_seconds(self.cycles)
+    }
+
+    /// True when MRAM DMA (not compute) determines the runtime — the
+    /// situation §4.3.3 blames for YOLOv3's poor showing.
+    #[must_use]
+    pub fn is_memory_bound(&self) -> bool {
+        self.latency_bound.max(self.bandwidth_bound) > self.issue_bound
+    }
+}
+
+/// The Tier-2 cycle model for one DPU.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleModel {
+    /// Device parameters.
+    pub params: DpuParams,
+    /// Compiler optimization level in force.
+    pub opt: OptLevel,
+}
+
+impl Default for CycleModel {
+    fn default() -> Self {
+        Self { params: DpuParams::default(), opt: OptLevel::O3 }
+    }
+}
+
+impl CycleModel {
+    /// Model with explicit parameters.
+    #[must_use]
+    pub fn new(params: DpuParams, opt: OptLevel) -> Self {
+        Self { params, opt }
+    }
+
+    /// Estimate cycles for a kernel whose per-tasklet tallies are given.
+    ///
+    /// Tallies need not be balanced; the slowest tasklet sets the latency
+    /// bound.
+    #[must_use]
+    pub fn estimate(&self, per_tasklet: &[OpCounts]) -> KernelEstimate {
+        let stages = u64::from(self.params.pipeline_stages);
+        let mut total_slots = 0u64;
+        let mut latency_bound = 0u64;
+        let mut dma_total = 0u64;
+        let mut dma_bytes = 0u64;
+        for counts in per_tasklet {
+            let slots = counts.issue_slots(self.opt);
+            let dma = counts.dma_cycles(&self.params);
+            total_slots += slots;
+            dma_total += dma;
+            dma_bytes += counts.mram_bytes;
+            latency_bound = latency_bound.max(stages * slots + dma);
+        }
+        let bandwidth_bound = dma_bytes.div_ceil(self.params.dma_bytes_per_cycle);
+        let cycles = total_slots.max(latency_bound).max(bandwidth_bound) + stages;
+        KernelEstimate {
+            cycles,
+            issue_bound: total_slots,
+            latency_bound,
+            bandwidth_bound,
+            dma_cycles: dma_total,
+            total_slots,
+        }
+    }
+
+    /// Estimate cycles when `work` identical work-items are spread evenly
+    /// over `tasklets` threads (each item costing `per_item`): items are
+    /// distributed `ceil(work / tasklets)` to the busiest thread, which is
+    /// the granularity effect behind Fig. 4.7a's eBNN curve.
+    #[must_use]
+    pub fn estimate_items(&self, per_item: &OpCounts, work: u64, tasklets: usize) -> KernelEstimate {
+        assert!(tasklets > 0, "tasklet count must be positive");
+        let t = tasklets as u64;
+        let mut per_tasklet = Vec::with_capacity(tasklets);
+        for i in 0..t {
+            // First (work % t) tasklets take one extra item.
+            let items = work / t + u64::from(i < work % t);
+            let mut c = OpCounts::default();
+            for _ in 0..items {
+                c.merge(per_item);
+            }
+            per_tasklet.push(c);
+        }
+        self.estimate(&per_tasklet)
+    }
+}
+
+/// Convenience: the default pipeline law for `t` balanced tasklets of
+/// `slots` issue slots each, no DMA.
+#[must_use]
+pub fn balanced_kernel_cycles(tasklets: u64, slots: u64) -> u64 {
+    let stages = u64::from(PIPELINE_STAGES);
+    (tasklets * slots).max(stages * slots) + stages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_counts(alu: u64) -> OpCounts {
+        OpCounts { alu, ..OpCounts::default() }
+    }
+
+    #[test]
+    fn issue_slots_respects_opt_level() {
+        let c = OpCounts { mul16: 1, ..OpCounts::default() };
+        assert_eq!(c.issue_slots(OptLevel::O0), 31 + 3); // subroutine + O0 spill
+        assert_eq!(c.issue_slots(OptLevel::O3), 4); // hardware sequence
+        let c32 = OpCounts { mul32: 1, ..OpCounts::default() };
+        assert_eq!(c32.issue_slots(OptLevel::O3), 49); // still a subroutine
+    }
+
+    #[test]
+    fn float_ops_cost_table_3_1_slots() {
+        let c = OpCounts { fdiv: 1, ..OpCounts::default() };
+        assert_eq!(c.issue_slots(OptLevel::O3), 1073);
+    }
+
+    #[test]
+    fn dma_cycles_match_eq_3_4() {
+        let c = OpCounts { mram_transfers: 1, mram_bytes: 2048, ..OpCounts::default() };
+        assert_eq!(c.dma_cycles(&DpuParams::default()), 1049);
+        let c2 = OpCounts { mram_transfers: 3, mram_bytes: 24, ..OpCounts::default() };
+        assert_eq!(c2.dma_cycles(&DpuParams::default()), 75 + 12);
+    }
+
+    #[test]
+    fn single_tasklet_latency_bound_dominates() {
+        let model = CycleModel::default();
+        let est = model.estimate(&[simple_counts(100)]);
+        assert_eq!(est.issue_bound, 100);
+        assert_eq!(est.latency_bound, 1100);
+        assert_eq!(est.cycles, 1111);
+        assert!(est.is_memory_bound() || est.latency_bound > est.issue_bound);
+    }
+
+    #[test]
+    fn eleven_tasklets_reach_issue_bound() {
+        let model = CycleModel::default();
+        let per = vec![simple_counts(100); 11];
+        let est = model.estimate(&per);
+        assert_eq!(est.cycles, 1100 + 11);
+    }
+
+    #[test]
+    fn speedup_saturates_at_11_for_divisible_work() {
+        let model = CycleModel::default();
+        let total = 1100u64;
+        let base = model.estimate(&[simple_counts(total)]).cycles as f64;
+        let cyc = |t: usize| {
+            let per = vec![simple_counts(total / t as u64); t];
+            model.estimate(&per).cycles as f64
+        };
+        assert!((base / cyc(11) - 11.0).abs() < 0.3);
+        assert!(base / cyc(16) < 11.5);
+        assert!(base / cyc(22) < 11.5);
+    }
+
+    #[test]
+    fn sixteen_items_show_fig_4_7a_dip() {
+        // 16 images, per-image cost: speedup plateaus between 8 and 11
+        // tasklets (both need 2 waves) and jumps again at 16 (1 wave).
+        let model = CycleModel::default();
+        let per_image = simple_counts(1000);
+        let s = |t: usize| {
+            let base = model.estimate_items(&per_image, 16, 1).cycles as f64;
+            base / model.estimate_items(&per_image, 16, t).cycles as f64
+        };
+        let (s8, s11, s16) = (s(8), s(11), s(16));
+        assert!((s8 - s11).abs() / s8 < 0.02, "8 and 11 tasklets tie: {s8} vs {s11}");
+        assert!(s16 > s11 * 1.2, "16 tasklets beat 11: {s16} vs {s11}");
+    }
+
+    #[test]
+    fn dma_makes_kernel_memory_bound() {
+        let model = CycleModel::default();
+        let c = OpCounts {
+            alu: 10,
+            mram_transfers: 100,
+            mram_bytes: 100 * 2048,
+            ..OpCounts::default()
+        };
+        let est = model.estimate(&[c]);
+        assert!(est.is_memory_bound());
+        assert!(est.dma_cycles >= 100 * 1049);
+    }
+
+    #[test]
+    fn merge_is_componentwise() {
+        let a = OpCounts { alu: 1, load: 2, mram_bytes: 8, ..OpCounts::default() };
+        let b = OpCounts { alu: 3, store: 1, mram_bytes: 8, ..OpCounts::default() };
+        let m = a.merged(&b);
+        assert_eq!(m.alu, 4);
+        assert_eq!(m.load, 2);
+        assert_eq!(m.store, 1);
+        assert_eq!(m.mram_bytes, 16);
+    }
+
+    #[test]
+    fn estimate_items_distributes_remainder() {
+        let model = CycleModel::default();
+        // 5 items over 2 tasklets: 3 + 2.
+        let est = model.estimate_items(&simple_counts(10), 5, 2);
+        assert_eq!(est.total_slots, 50);
+        assert_eq!(est.latency_bound, 11 * 30);
+    }
+
+    #[test]
+    fn balanced_helper_matches_model() {
+        let model = CycleModel::default();
+        let per = vec![simple_counts(50); 4];
+        assert_eq!(model.estimate(&per).cycles, balanced_kernel_cycles(4, 50));
+    }
+}

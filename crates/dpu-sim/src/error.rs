@@ -1,0 +1,154 @@
+//! Error type shared by the simulator.
+
+use std::fmt;
+
+/// Convenient result alias for simulator operations.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors raised by the DPU simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A memory access fell outside the addressed memory.
+    ///
+    /// `kind` names the memory ("WRAM", "MRAM", "IRAM"), `addr`/`len` the
+    /// offending access, `size` the capacity.
+    OutOfBounds {
+        /// Which memory was addressed.
+        kind: &'static str,
+        /// Byte address of the access.
+        addr: usize,
+        /// Length of the access in bytes.
+        len: usize,
+        /// Capacity of the memory in bytes.
+        size: usize,
+    },
+    /// A host<->DPU transfer violated the 8-byte alignment/size rule.
+    Misaligned {
+        /// Byte address or length that broke the rule.
+        value: usize,
+        /// Required alignment.
+        align: usize,
+    },
+    /// A DMA transfer exceeded the per-transfer byte limit.
+    DmaTooLarge {
+        /// Requested transfer size.
+        requested: usize,
+        /// Hardware limit.
+        limit: usize,
+    },
+    /// The interpreter hit its cycle budget without reaching `halt`.
+    CycleBudgetExceeded {
+        /// Budget that was exhausted.
+        budget: u64,
+    },
+    /// The program counter left the program.
+    PcOutOfRange {
+        /// Offending program counter.
+        pc: usize,
+        /// Number of instructions in the program.
+        len: usize,
+    },
+    /// Division by zero inside the interpreter.
+    DivisionByZero {
+        /// Program counter of the dividing instruction.
+        pc: usize,
+    },
+    /// Requested tasklet count is outside 1..=24.
+    BadTaskletCount {
+        /// Requested count.
+        requested: usize,
+        /// Maximum supported.
+        max: usize,
+    },
+    /// The assembler rejected the source text.
+    Asm {
+        /// 1-based source line.
+        line: usize,
+        /// Human-readable description.
+        msg: String,
+    },
+    /// A program did not fit in IRAM.
+    ProgramTooLarge {
+        /// Program size in bytes (8 bytes per instruction slot).
+        bytes: usize,
+        /// IRAM capacity.
+        iram_bytes: usize,
+    },
+    /// A named symbol was not found in a program or DPU symbol table.
+    UnknownSymbol {
+        /// The symbol that was looked up.
+        name: String,
+    },
+    /// No tasklet can make progress: some are blocked on a barrier or
+    /// mutex that can never be satisfied.
+    Deadlock {
+        /// Tasklets blocked at a barrier.
+        at_barrier: usize,
+        /// Tasklets blocked on mutexes.
+        on_mutex: usize,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::OutOfBounds { kind, addr, len, size } => write!(
+                f,
+                "{kind} access out of bounds: addr={addr:#x} len={len} capacity={size:#x}"
+            ),
+            Error::Misaligned { value, align } => {
+                write!(f, "host transfer of {value} bytes violates {align}-byte alignment rule")
+            }
+            Error::DmaTooLarge { requested, limit } => {
+                write!(f, "DMA transfer of {requested} bytes exceeds the {limit}-byte limit")
+            }
+            Error::CycleBudgetExceeded { budget } => {
+                write!(f, "program did not halt within {budget} cycles")
+            }
+            Error::PcOutOfRange { pc, len } => {
+                write!(f, "program counter {pc} outside program of {len} instructions")
+            }
+            Error::DivisionByZero { pc } => write!(f, "division by zero at pc={pc}"),
+            Error::BadTaskletCount { requested, max } => {
+                write!(f, "tasklet count {requested} outside 1..={max}")
+            }
+            Error::Asm { line, msg } => write!(f, "assembly error at line {line}: {msg}"),
+            Error::ProgramTooLarge { bytes, iram_bytes } => {
+                write!(f, "program of {bytes} bytes does not fit in {iram_bytes}-byte IRAM")
+            }
+            Error::UnknownSymbol { name } => write!(f, "unknown symbol `{name}`"),
+            Error::Deadlock { at_barrier, on_mutex } => write!(
+                f,
+                "deadlock: {at_barrier} tasklet(s) at a barrier, {on_mutex} blocked on mutexes, none runnable"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::OutOfBounds { kind: "WRAM", addr: 0x10000, len: 4, size: 0x10000 };
+        let s = e.to_string();
+        assert!(s.contains("WRAM"));
+        assert!(s.contains("0x10000"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            Error::DivisionByZero { pc: 3 },
+            Error::DivisionByZero { pc: 3 }
+        );
+        assert_ne!(
+            Error::DivisionByZero { pc: 3 },
+            Error::DivisionByZero { pc: 4 }
+        );
+    }
+}

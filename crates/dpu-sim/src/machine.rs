@@ -1,0 +1,914 @@
+//! The DPU interpreter: executes [`Program`]s over the simulated memories
+//! with exact pipeline timing.
+//!
+//! All tasklets run the *same* program (the DPU's SIMT model, paper §3.1),
+//! distinguished only by [`crate::isa::Instr::TaskletId`]. The interpreter
+//! asks the [`Pipeline`] which tasklet issues next, executes one instruction
+//! for it, and reports total cycles, instruction count, DMA statistics, a
+//! subroutine profile and every performance-counter reading.
+//!
+//! ## The Fig. 3.1 microbenchmark harness
+//!
+//! [`crate::asm::profile_harness`] reproduces the paper's
+//! cycle-per-operation methodology: a program arms the perfcounter, executes
+//! `-O0`-style code for one operation (operand loads from stack slots, the
+//! operation, a store), reads the counter and halts. The harness carries 24
+//! overhead issue slots (perfcounter library calls, operand setup with
+//! `movi` pairs for 32-bit maxima, stack traffic) so that with the
+//! single-tasklet issue rate of one instruction per 11 cycles the measured
+//! totals reproduce Table 3.1 within ~1.5 % (see [`crate::subroutines`]).
+
+use crate::error::{Error, Result};
+use crate::isa::{Instr, Program, Reg, Width};
+use crate::memory::{DmaEngine, Mram, Wram};
+use crate::params::{DpuParams, REGS_PER_TASKLET};
+use crate::perfcounter::PerfCounter;
+use crate::pipeline::Pipeline;
+use crate::profiler::Profiler;
+
+/// Default cycle budget for [`Machine::run`]; generous enough for every
+/// kernel in the repository while still catching infinite loops.
+pub const DEFAULT_CYCLE_BUDGET: u64 = 50_000_000_000;
+
+/// Statistics of one program run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunResult {
+    /// Total elapsed cycles including final pipeline drain.
+    pub cycles: u64,
+    /// Instructions issued (subroutine bodies included).
+    pub instructions: u64,
+    /// Issue slots left idle (pipeline under-utilisation).
+    pub idle_cycles: u64,
+    /// Cycles spent in MRAM DMA transfers.
+    pub dma_cycles: u64,
+    /// Number of DMA transfers.
+    pub dma_transfers: u64,
+    /// Bytes moved over DMA.
+    pub dma_bytes: u64,
+    /// Every value read through `perfcounter_get`, in execution order.
+    pub perf_reads: Vec<u64>,
+    /// DPU log: `(tasklet, value)` pairs emitted by `trace`, in execution
+    /// order (the host-side `dpu_log_read` view).
+    pub trace: Vec<(usize, u32)>,
+    /// Executed-instruction histogram by mnemonic class (subroutine bodies
+    /// count as one `call` plus their issue slots in `instructions`).
+    pub op_histogram: std::collections::BTreeMap<&'static str, u64>,
+    /// Subroutine occurrence profile of the run.
+    pub profile: Profiler,
+}
+
+impl RunResult {
+    /// Wall-clock seconds at the device frequency in `params`.
+    #[must_use]
+    pub fn seconds(&self, params: &DpuParams) -> f64 {
+        params.cycles_to_seconds(self.cycles)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Tasklet {
+    pc: u32,
+    regs: [u32; REGS_PER_TASKLET],
+    /// Remaining pure-issue slots of an in-flight subroutine body.
+    burst: u64,
+}
+
+impl Tasklet {
+    fn new() -> Self {
+        Self { pc: 0, regs: [0; REGS_PER_TASKLET], burst: 0 }
+    }
+
+    fn get(&self, r: Reg) -> u32 {
+        self.regs[r.index()]
+    }
+
+    fn set(&mut self, r: Reg, v: u32) {
+        if r.index() != 0 {
+            self.regs[r.index()] = v;
+        }
+    }
+}
+
+/// One simulated DPU: memories, DMA engine and pipeline-accurate interpreter.
+#[derive(Debug, Clone)]
+pub struct Machine {
+    /// Device parameters in force.
+    pub params: DpuParams,
+    /// Working RAM (shared by all tasklets).
+    pub wram: Wram,
+    /// Main RAM (host-visible).
+    pub mram: Mram,
+    /// DMA engine between MRAM and WRAM.
+    pub dma: DmaEngine,
+    perf: PerfCounter,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Self::new(DpuParams::default())
+    }
+}
+
+impl Machine {
+    /// A machine with the given device parameters.
+    #[must_use]
+    pub fn new(params: DpuParams) -> Self {
+        Self {
+            params,
+            wram: Wram::new(params.wram_bytes),
+            mram: Mram::new(params.mram_bytes),
+            dma: DmaEngine::new(
+                params.dma_setup_cycles,
+                params.dma_bytes_per_cycle,
+                crate::params::DMA_MAX_TRANSFER_BYTES,
+            ),
+            perf: PerfCounter::new(),
+        }
+    }
+
+    /// Run `program` on `tasklets` hardware threads until all halt.
+    ///
+    /// # Errors
+    /// Any interpreter fault ([`Error::PcOutOfRange`], memory bounds,
+    /// [`Error::CycleBudgetExceeded`] after [`DEFAULT_CYCLE_BUDGET`] cycles,
+    /// …).
+    pub fn run(&mut self, program: &Program, tasklets: usize) -> Result<RunResult> {
+        self.run_with_budget(program, tasklets, DEFAULT_CYCLE_BUDGET)
+    }
+
+    /// Like [`Machine::run`] with an explicit cycle budget.
+    ///
+    /// # Errors
+    /// See [`Machine::run`].
+    pub fn run_with_budget(
+        &mut self,
+        program: &Program,
+        tasklets: usize,
+        budget: u64,
+    ) -> Result<RunResult> {
+        if tasklets == 0 || tasklets > self.params.max_tasklets {
+            return Err(Error::BadTaskletCount {
+                requested: tasklets,
+                max: self.params.max_tasklets,
+            });
+        }
+        if program.iram_bytes() > self.params.iram_bytes {
+            return Err(Error::ProgramTooLarge {
+                bytes: program.iram_bytes(),
+                iram_bytes: self.params.iram_bytes,
+            });
+        }
+
+        let mut pipeline = Pipeline::with_stages(tasklets, u64::from(self.params.pipeline_stages));
+        let mut threads: Vec<Tasklet> = (0..tasklets).map(|_| Tasklet::new()).collect();
+        // The DMA engine's streaming port (2 bytes/cycle) is a shared
+        // resource: concurrent transfers from different tasklets serialize
+        // their data movement, while the fixed setup latency overlaps.
+        let mut dma_stream_free: u64 = 0;
+        let mut runnable = vec![!program.is_empty(); tasklets];
+        let mut halted = vec![program.is_empty(); tasklets];
+        // Barrier bookkeeping: tasklets parked at a barrier are temporarily
+        // not runnable; when every live (non-halted) tasklet is parked, all
+        // release. Tasklets blocked on a mutex count as live, so a barrier
+        // cannot release past them (matching hardware semantics — and
+        // making a mutex held across a barrier a detectable deadlock).
+        let mut at_barrier = vec![false; tasklets];
+        // Hardware mutexes: owner per id plus FIFO wait queues.
+        let mut mutex_owner: std::collections::HashMap<u8, usize> =
+            std::collections::HashMap::new();
+        let mut mutex_waiters: std::collections::HashMap<u8, std::collections::VecDeque<usize>> =
+            std::collections::HashMap::new();
+        let mut result = RunResult::default();
+        let dma_cycles_before = self.dma.total_cycles;
+        let dma_transfers_before = self.dma.transfers;
+        let dma_bytes_before = self.dma.total_bytes;
+
+        loop {
+            // Release a full barrier: every live tasklet is parked.
+            let live = halted.iter().filter(|&&h| !h).count();
+            let parked = at_barrier.iter().filter(|&&b| b).count();
+            if parked > 0 && parked == live {
+                for (r, b) in runnable.iter_mut().zip(at_barrier.iter_mut()) {
+                    if *b {
+                        *b = false;
+                        *r = true;
+                    }
+                }
+            }
+            if !runnable.iter().any(|&r| r) {
+                if halted.iter().all(|&h| h) {
+                    break; // clean completion
+                }
+                let blocked = halted.iter().filter(|&&h| !h).count();
+                return Err(Error::Deadlock { at_barrier: parked, on_mutex: blocked - parked });
+            }
+            let Some(t) = pipeline.pick(&runnable) else { break };
+            if pipeline.elapsed() > budget {
+                return Err(Error::CycleBudgetExceeded { budget });
+            }
+            if threads[t].burst > 0 {
+                threads[t].burst -= 1;
+                continue;
+            }
+            let pc = threads[t].pc as usize;
+            let instr = *program
+                .instrs
+                .get(pc)
+                .ok_or(Error::PcOutOfRange { pc, len: program.len() })?;
+
+            *result.op_histogram.entry(instr.mnemonic()).or_insert(0) += 1;
+            let th = &mut threads[t];
+            let mut next_pc = th.pc.wrapping_add(1);
+            match instr {
+                Instr::Nop => {}
+                Instr::Halt => {
+                    runnable[t] = false;
+                    halted[t] = true;
+                }
+                Instr::Movi { rd, imm } => th.set(rd, imm as u32),
+                Instr::Mov { rd, ra } => {
+                    let v = th.get(ra);
+                    th.set(rd, v);
+                }
+                Instr::Add { rd, ra, rb } => {
+                    let v = th.get(ra).wrapping_add(th.get(rb));
+                    th.set(rd, v);
+                }
+                Instr::Addi { rd, ra, imm } => {
+                    let v = th.get(ra).wrapping_add(imm as u32);
+                    th.set(rd, v);
+                }
+                Instr::Sub { rd, ra, rb } => {
+                    let v = th.get(ra).wrapping_sub(th.get(rb));
+                    th.set(rd, v);
+                }
+                Instr::And { rd, ra, rb } => {
+                    let v = th.get(ra) & th.get(rb);
+                    th.set(rd, v);
+                }
+                Instr::Or { rd, ra, rb } => {
+                    let v = th.get(ra) | th.get(rb);
+                    th.set(rd, v);
+                }
+                Instr::Xor { rd, ra, rb } => {
+                    let v = th.get(ra) ^ th.get(rb);
+                    th.set(rd, v);
+                }
+                Instr::Lsl { rd, ra, rb } => {
+                    let v = th.get(ra) << (th.get(rb) & 31);
+                    th.set(rd, v);
+                }
+                Instr::Lsr { rd, ra, rb } => {
+                    let v = th.get(ra) >> (th.get(rb) & 31);
+                    th.set(rd, v);
+                }
+                Instr::Asr { rd, ra, rb } => {
+                    let v = ((th.get(ra) as i32) >> (th.get(rb) & 31)) as u32;
+                    th.set(rd, v);
+                }
+                Instr::Lsli { rd, ra, sh } => {
+                    let v = th.get(ra) << (sh & 31);
+                    th.set(rd, v);
+                }
+                Instr::Lsri { rd, ra, sh } => {
+                    let v = th.get(ra) >> (sh & 31);
+                    th.set(rd, v);
+                }
+                Instr::Asri { rd, ra, sh } => {
+                    let v = ((th.get(ra) as i32) >> (sh & 31)) as u32;
+                    th.set(rd, v);
+                }
+                Instr::Mul8 { rd, ra, rb } => {
+                    let v = (th.get(ra) & 0xff) * (th.get(rb) & 0xff);
+                    th.set(rd, v);
+                }
+                Instr::Popcount { rd, ra } => {
+                    let v = th.get(ra).count_ones();
+                    th.set(rd, v);
+                }
+                Instr::Load { width, rd, ra, off } => {
+                    let addr = th.get(ra).wrapping_add(off as u32) as usize;
+                    let v = match width {
+                        Width::B => self.wram.read_u8(addr)?,
+                        Width::H => self.wram.read_u16(addr)?,
+                        Width::W => self.wram.read_u32(addr)?,
+                    };
+                    th.set(rd, v);
+                }
+                Instr::Store { width, ra, off, rs } => {
+                    let addr = th.get(ra).wrapping_add(off as u32) as usize;
+                    let v = th.get(rs);
+                    match width {
+                        Width::B => self.wram.write_u8(addr, v)?,
+                        Width::H => self.wram.write_u16(addr, v)?,
+                        Width::W => self.wram.write_u32(addr, v)?,
+                    }
+                }
+                Instr::MramRead { wram, mram, len } | Instr::MramWrite { wram, mram, len } => {
+                    let w = th.get(wram) as usize;
+                    let m = th.get(mram) as usize;
+                    let l = th.get(len) as usize;
+                    let cycles = if matches!(instr, Instr::MramRead { .. }) {
+                        self.dma.read(&self.mram, &mut self.wram, m, w, l)?
+                    } else {
+                        self.dma.write(&mut self.mram, &self.wram, m, w, l)?
+                    };
+                    let setup = self.params.dma_setup_cycles;
+                    let stream = cycles.saturating_sub(setup);
+                    let issue = pipeline_issue_cycle(&pipeline);
+                    let start = issue.max(dma_stream_free);
+                    dma_stream_free = start + stream;
+                    // The issuing tasklet blocks for queueing + setup + its
+                    // own streaming time.
+                    pipeline.stall(t, (start - issue) + setup + stream);
+                }
+                Instr::Branch { cond, ra, rb, target } => {
+                    if cond.eval(th.get(ra), th.get(rb)) {
+                        next_pc = target;
+                    }
+                }
+                Instr::Jump { target } => next_pc = target,
+                Instr::Jal { rd, target } => {
+                    th.set(rd, th.pc.wrapping_add(1));
+                    next_pc = target;
+                }
+                Instr::Jr { ra } => next_pc = th.get(ra),
+                Instr::CallSub { sub, rd, ra, rb } => {
+                    let a = th.get(ra);
+                    let b = th.get(rb);
+                    if matches!(
+                        sub,
+                        crate::subroutines::Subroutine::Divsi3
+                            | crate::subroutines::Subroutine::Modsi3
+                    ) && b == 0
+                    {
+                        return Err(Error::DivisionByZero { pc });
+                    }
+                    th.set(rd, sub.eval(a, b));
+                    th.burst = sub.instruction_count().saturating_sub(1);
+                    result.profile.record(sub);
+                }
+                Instr::PerfConfig => {
+                    // `pipeline.pick` already advanced time past this issue;
+                    // the counter bases on the issue cycle itself.
+                    self.perf.config(pipeline_issue_cycle(&pipeline));
+                }
+                Instr::PerfRead { rd } => {
+                    let v = self.perf.read(pipeline_issue_cycle(&pipeline));
+                    th.set(rd, (v & 0xffff_ffff) as u32);
+                    result.perf_reads.push(v);
+                }
+                Instr::TaskletId { rd } => th.set(rd, t as u32),
+                Instr::Trace { ra } => result.trace.push((t, th.get(ra))),
+                Instr::Barrier => {
+                    at_barrier[t] = true;
+                    runnable[t] = false;
+                }
+                Instr::MutexLock { id } => {
+                    if let Some(&owner) = mutex_owner.get(&id) {
+                        if owner != t {
+                            // Block until released; re-execute the lock on
+                            // wake (pc stays on this instruction).
+                            mutex_waiters.entry(id).or_default().push_back(t);
+                            runnable[t] = false;
+                            next_pc = th.pc;
+                        }
+                        // Re-locking an owned mutex is a no-op (the real
+                        // hardware would deadlock; the simulator is lenient
+                        // so generated code can be defensive).
+                    } else {
+                        mutex_owner.insert(id, t);
+                    }
+                }
+                Instr::MutexUnlock { id } => {
+                    if mutex_owner.get(&id) == Some(&t) {
+                        mutex_owner.remove(&id);
+                        if let Some(queue) = mutex_waiters.get_mut(&id) {
+                            if let Some(next) = queue.pop_front() {
+                                runnable[next] = true;
+                            }
+                        }
+                    }
+                }
+            }
+            threads[t].pc = next_pc;
+        }
+
+        result.cycles = pipeline.elapsed();
+        result.instructions = pipeline.issued();
+        result.idle_cycles = pipeline.idle_cycles();
+        result.dma_cycles = self.dma.total_cycles - dma_cycles_before;
+        result.dma_transfers = self.dma.transfers - dma_transfers_before;
+        result.dma_bytes = self.dma.total_bytes - dma_bytes_before;
+        Ok(result)
+    }
+}
+
+/// The cycle at which the most recent instruction issued.
+fn pipeline_issue_cycle(p: &Pipeline) -> u64 {
+    // `elapsed` = last_issue + stages.
+    p.elapsed().saturating_sub(p.stages())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Cond, Instr as I, Reg};
+    use crate::subroutines::Subroutine;
+
+    fn r(i: u8) -> Reg {
+        Reg(i)
+    }
+
+    #[test]
+    fn arithmetic_loop_computes_sum() {
+        // sum 1..=10 into r2.
+        let p = Program::new(vec![
+            I::Movi { rd: r(1), imm: 10 },
+            I::Movi { rd: r(2), imm: 0 },
+            I::Add { rd: r(2), ra: r(2), rb: r(1) },
+            I::Addi { rd: r(1), ra: r(1), imm: -1 },
+            I::Branch { cond: Cond::Ne, ra: r(1), rb: r(0), target: 2 },
+            I::Store { width: Width::W, ra: r(0), off: 0, rs: r(2) },
+            I::Halt,
+        ]);
+        let mut m = Machine::default();
+        let res = m.run(&p, 1).unwrap();
+        assert_eq!(m.wram.read_u32(0).unwrap(), 55);
+        // 2 setup + 10×3 loop + store + halt = 34 issue slots.
+        assert_eq!(res.instructions, 34);
+        assert_eq!(res.cycles, 33 * 11 + 11);
+    }
+
+    #[test]
+    fn r0_is_hardwired_zero() {
+        let p = Program::new(vec![
+            I::Movi { rd: r(0), imm: 42 },
+            I::Store { width: Width::W, ra: r(0), off: 0, rs: r(0) },
+            I::Halt,
+        ]);
+        let mut m = Machine::default();
+        m.wram.write_u32(0, 7).unwrap();
+        m.run(&p, 1).unwrap();
+        assert_eq!(m.wram.read_u32(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn tasklets_write_disjoint_slots() {
+        // Each tasklet stores its id at wram[4*id].
+        let p = Program::new(vec![
+            I::TaskletId { rd: r(1) },
+            I::Lsli { rd: r(2), ra: r(1), sh: 2 },
+            I::Store { width: Width::W, ra: r(2), off: 0, rs: r(1) },
+            I::Halt,
+        ]);
+        let mut m = Machine::default();
+        m.run(&p, 8).unwrap();
+        for id in 0..8u32 {
+            assert_eq!(m.wram.read_u32(4 * id as usize).unwrap(), id);
+        }
+    }
+
+    #[test]
+    fn subroutine_burst_costs_issue_slots() {
+        let body = |with_sub: bool| {
+            let op = if with_sub {
+                I::CallSub { sub: Subroutine::Mulsf3, rd: r(3), ra: r(1), rb: r(2) }
+            } else {
+                I::Add { rd: r(3), ra: r(1), rb: r(2) }
+            };
+            Program::new(vec![
+                I::Movi { rd: r(1), imm: 1067450368 }, // 1.5f32 bits... any value
+                I::Movi { rd: r(2), imm: 1075838976 },
+                op,
+                I::Halt,
+            ])
+        };
+        let mut m1 = Machine::default();
+        let cheap = m1.run(&body(false), 1).unwrap();
+        let mut m2 = Machine::default();
+        let costly = m2.run(&body(true), 1).unwrap();
+        let extra = Subroutine::Mulsf3.instruction_count() - 1;
+        assert_eq!(costly.instructions, cheap.instructions + extra);
+        assert_eq!(costly.cycles, cheap.cycles + extra * 11);
+        assert_eq!(costly.profile.occurrences(Subroutine::Mulsf3), 1);
+    }
+
+    #[test]
+    fn mul8_is_hardware_and_correct() {
+        let p = Program::new(vec![
+            I::Movi { rd: r(1), imm: 0x1_02 }, // low byte 0x02
+            I::Movi { rd: r(2), imm: 0xff },
+            I::Mul8 { rd: r(3), ra: r(1), rb: r(2) },
+            I::Store { width: Width::W, ra: r(0), off: 0, rs: r(3) },
+            I::Halt,
+        ]);
+        let mut m = Machine::default();
+        m.run(&p, 1).unwrap();
+        assert_eq!(m.wram.read_u32(0).unwrap(), 2 * 255);
+    }
+
+    #[test]
+    fn dma_round_trip_and_stall_accounting() {
+        let p = Program::new(vec![
+            I::Movi { rd: r(1), imm: 0 },    // wram addr
+            I::Movi { rd: r(2), imm: 4096 }, // mram addr
+            I::Movi { rd: r(3), imm: 2048 }, // len
+            I::MramRead { wram: r(1), mram: r(2), len: r(3) },
+            I::Load { width: Width::W, rd: r(4), ra: r(1), off: 0 },
+            I::Addi { rd: r(4), ra: r(4), imm: 1 },
+            I::Store { width: Width::W, ra: r(1), off: 0, rs: r(4) },
+            I::MramWrite { wram: r(1), mram: r(2), len: r(3) },
+            I::Halt,
+        ]);
+        let mut m = Machine::default();
+        m.mram.write_u32(4096, 41).unwrap();
+        let res = m.run(&p, 1).unwrap();
+        assert_eq!(m.mram.read_u32(4096).unwrap(), 42);
+        assert_eq!(res.dma_transfers, 2);
+        assert_eq!(res.dma_bytes, 4096);
+        assert_eq!(res.dma_cycles, 2 * 1049);
+        // The two DMA stalls dominate: 9 instructions but > 2000 cycles.
+        assert!(res.cycles > 2 * 1049);
+    }
+
+    #[test]
+    fn perfcounter_measures_bracketed_region() {
+        let p = Program::new(vec![
+            I::PerfConfig,
+            I::Nop,
+            I::Nop,
+            I::Nop,
+            I::PerfRead { rd: r(5) },
+            I::Halt,
+        ]);
+        let mut m = Machine::default();
+        let res = m.run(&p, 1).unwrap();
+        assert_eq!(res.perf_reads, vec![44]); // 4 instructions × 11 cycles
+    }
+
+    #[test]
+    fn infinite_loop_hits_budget() {
+        let p = Program::new(vec![I::Jump { target: 0 }]);
+        let mut m = Machine::default();
+        let err = m.run_with_budget(&p, 1, 10_000).unwrap_err();
+        assert!(matches!(err, Error::CycleBudgetExceeded { budget: 10_000 }));
+    }
+
+    #[test]
+    fn division_by_zero_is_reported() {
+        let p = Program::new(vec![
+            I::Movi { rd: r(1), imm: 5 },
+            I::CallSub { sub: Subroutine::Divsi3, rd: r(2), ra: r(1), rb: r(0) },
+            I::Halt,
+        ]);
+        let mut m = Machine::default();
+        assert!(matches!(m.run(&p, 1), Err(Error::DivisionByZero { pc: 1 })));
+    }
+
+    #[test]
+    fn bad_tasklet_count_rejected() {
+        let p = Program::new(vec![I::Halt]);
+        let mut m = Machine::default();
+        assert!(matches!(m.run(&p, 0), Err(Error::BadTaskletCount { .. })));
+        assert!(matches!(m.run(&p, 25), Err(Error::BadTaskletCount { .. })));
+        assert!(m.run(&p, 24).is_ok());
+    }
+
+    #[test]
+    fn program_too_large_for_iram() {
+        let p = Program::new(vec![I::Nop; 24 * 1024 / 8 + 1]);
+        let mut m = Machine::default();
+        assert!(matches!(m.run(&p, 1), Err(Error::ProgramTooLarge { .. })));
+    }
+
+    #[test]
+    fn jal_jr_subroutine_linkage() {
+        // main: jal r31, func; store r9; halt. func: movi r9, 99; jr r31.
+        let p = Program::new(vec![
+            I::Jal { rd: r(31), target: 3 },
+            I::Store { width: Width::W, ra: r(0), off: 0, rs: r(9) },
+            I::Halt,
+            I::Movi { rd: r(9), imm: 99 },
+            I::Jr { ra: r(31) },
+        ]);
+        let mut m = Machine::default();
+        m.run(&p, 1).unwrap();
+        assert_eq!(m.wram.read_u32(0).unwrap(), 99);
+    }
+
+    #[test]
+    fn popcount_counts_bits() {
+        let p = Program::new(vec![
+            I::Movi { rd: r(1), imm: 0b1011_0110 },
+            I::Popcount { rd: r(2), ra: r(1) },
+            I::Store { width: Width::W, ra: r(0), off: 0, rs: r(2) },
+            I::Halt,
+        ]);
+        let mut m = Machine::default();
+        m.run(&p, 1).unwrap();
+        assert_eq!(m.wram.read_u32(0).unwrap(), 5);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn trace_records_values_in_execution_order() {
+        let p = assemble(
+            "movi r1, 10\n\
+             loop: trace r1\n\
+             addi r1, r1, -1\n\
+             bne r1, r0, loop\n\
+             halt\n",
+        )
+        .unwrap();
+        let mut m = Machine::default();
+        let res = m.run(&p, 1).unwrap();
+        let values: Vec<u32> = res.trace.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, (1..=10).rev().collect::<Vec<u32>>());
+        assert!(res.trace.iter().all(|&(t, _)| t == 0));
+    }
+
+    #[test]
+    fn trace_tags_the_emitting_tasklet() {
+        let p = assemble("me r1\ntrace r1\nhalt\n").unwrap();
+        let mut m = Machine::default();
+        let res = m.run(&p, 4).unwrap();
+        let mut pairs = res.trace.clone();
+        pairs.sort_unstable();
+        assert_eq!(pairs, vec![(0, 0), (1, 1), (2, 2), (3, 3)]);
+    }
+}
+
+#[cfg(test)]
+mod barrier_tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn barrier_orders_producer_before_consumers() {
+        // Tasklet 0 writes a value, everyone barriers, all read it.
+        // Without the barrier the consumers would race ahead (tasklet 0's
+        // store happens thousands of cycles into its long setup loop).
+        let p = assemble(
+            "me r1\n\
+             bne r1, r0, wait\n\
+             movi r2, 500        ; producer: long setup loop\n\
+             spin: addi r2, r2, -1\n\
+             bne r2, r0, spin\n\
+             movi r3, 77\n\
+             sw r0, 0x40, r3     ; publish\n\
+             wait: barrier\n\
+             lw r4, r0, 0x40     ; every tasklet reads after the barrier\n\
+             lsli r5, r1, 2\n\
+             addi r5, r5, 0x80\n\
+             sw r5, 0, r4\n\
+             halt\n",
+        )
+        .unwrap();
+        let mut m = Machine::default();
+        m.run(&p, 8).unwrap();
+        for t in 0..8 {
+            assert_eq!(m.wram.read_u32(0x80 + 4 * t).unwrap(), 77, "tasklet {t}");
+        }
+    }
+
+    #[test]
+    fn single_tasklet_barrier_is_a_noop() {
+        let p = assemble("movi r1, 5\nbarrier\naddi r1, r1, 1\nsw r0, 0, r1\nhalt\n").unwrap();
+        let mut m = Machine::default();
+        m.run(&p, 1).unwrap();
+        assert_eq!(m.wram.read_u32(0).unwrap(), 6);
+    }
+
+    #[test]
+    fn halted_tasklets_do_not_block_a_barrier() {
+        // Odd tasklets halt immediately; even ones barrier and proceed.
+        let p = assemble(
+            "me r1\n\
+             movi r2, 1\n\
+             and r3, r1, r2\n\
+             bne r3, r0, out\n\
+             barrier\n\
+             movi r4, 9\n\
+             lsli r5, r1, 2\n\
+             sw r5, 0x40, r4\n\
+             out: halt\n",
+        )
+        .unwrap();
+        let mut m = Machine::default();
+        m.run(&p, 4).unwrap();
+        assert_eq!(m.wram.read_u32(0x40).unwrap(), 9);
+        assert_eq!(m.wram.read_u32(0x48).unwrap(), 9);
+        assert_eq!(m.wram.read_u32(0x44).unwrap(), 0); // tasklet 1 halted
+    }
+
+    #[test]
+    fn consecutive_barriers_work() {
+        let p = assemble(
+            "me r1\n\
+             barrier\n\
+             barrier\n\
+             barrier\n\
+             lsli r2, r1, 2\n\
+             movi r3, 1\n\
+             sw r2, 0, r3\n\
+             halt\n",
+        )
+        .unwrap();
+        let mut m = Machine::default();
+        m.run(&p, 6).unwrap();
+        for t in 0..6 {
+            assert_eq!(m.wram.read_u32(4 * t).unwrap(), 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod histogram_tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn histogram_counts_executed_not_static_instructions() {
+        let p = assemble(
+            "movi r1, 5\n\
+             loop: addi r1, r1, -1\n\
+             bne r1, r0, loop\n\
+             halt\n",
+        )
+        .unwrap();
+        let mut m = Machine::default();
+        let res = m.run(&p, 1).unwrap();
+        assert_eq!(res.op_histogram["movi"], 1);
+        assert_eq!(res.op_histogram["add"], 5); // addi executes 5 times
+        assert_eq!(res.op_histogram["branch"], 5);
+        assert_eq!(res.op_histogram["halt"], 1);
+    }
+
+    #[test]
+    fn histogram_counts_subroutine_calls_once() {
+        let p = assemble("movi r1, 3\ncall __mulsf3 r2, r1, r1\nhalt\n").unwrap();
+        let mut m = Machine::default();
+        let res = m.run(&p, 1).unwrap();
+        assert_eq!(res.op_histogram["call"], 1);
+        // ...while the issue-slot count reflects the full body.
+        assert!(res.instructions > 200);
+    }
+}
+
+#[cfg(test)]
+mod mutex_tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    /// The classic race: N tasklets each add 1 to a shared counter 50
+    /// times with a load-add-store sequence. Without the mutex the
+    /// interleaved sequences lose updates; with it, the count is exact.
+    fn counter_program(locked: bool) -> Program {
+        let (lock, unlock) = if locked {
+            ("mutex.lock 3\n", "mutex.unlock 3\n")
+        } else {
+            ("", "")
+        };
+        assemble(&format!(
+            "movi r2, 50\n\
+             loop:\n\
+             {lock}\
+             lw r3, r0, 0x40\n\
+             addi r3, r3, 1\n\
+             sw r0, 0x40, r3\n\
+             {unlock}\
+             addi r2, r2, -1\n\
+             bne r2, r0, loop\n\
+             halt\n"
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn mutex_makes_shared_counter_exact() {
+        let mut m = Machine::default();
+        m.run(&counter_program(true), 8).unwrap();
+        assert_eq!(m.wram.read_u32(0x40).unwrap(), 8 * 50);
+    }
+
+    #[test]
+    fn without_mutex_updates_are_lost() {
+        let mut m = Machine::default();
+        m.run(&counter_program(false), 8).unwrap();
+        let got = m.wram.read_u32(0x40).unwrap();
+        assert!(got < 8 * 50, "race must lose updates, got {got}");
+        assert!(got >= 50, "at least one tasklet's worth survives");
+    }
+
+    #[test]
+    fn waiters_wake_fifo_and_all_finish() {
+        // Every tasklet takes the same mutex once; completion proves no
+        // lost wakeups.
+        let p = assemble(
+            "me r1\n\
+             mutex.lock 0\n\
+             lw r3, r0, 0x40\n\
+             addi r3, r3, 1\n\
+             sw r0, 0x40, r3\n\
+             mutex.unlock 0\n\
+             halt\n",
+        )
+        .unwrap();
+        let mut m = Machine::default();
+        m.run(&p, 24).unwrap();
+        assert_eq!(m.wram.read_u32(0x40).unwrap(), 24);
+    }
+
+    #[test]
+    fn relock_by_owner_is_lenient() {
+        let p = assemble(
+            "mutex.lock 1\nmutex.lock 1\nmutex.unlock 1\nmovi r1, 7\nsw r0, 0, r1\nhalt\n",
+        )
+        .unwrap();
+        let mut m = Machine::default();
+        m.run(&p, 1).unwrap();
+        assert_eq!(m.wram.read_u32(0).unwrap(), 7);
+    }
+
+    #[test]
+    fn unlock_of_unowned_mutex_is_ignored() {
+        let p = assemble("mutex.unlock 9\nmovi r1, 5\nsw r0, 0, r1\nhalt\n").unwrap();
+        let mut m = Machine::default();
+        m.run(&p, 2).unwrap();
+        assert_eq!(m.wram.read_u32(0).unwrap(), 5);
+    }
+}
+
+#[cfg(test)]
+mod barrier_mutex_interaction_tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn barrier_waits_for_mutex_blocked_tasklets() {
+        // Tasklet 0 grabs the mutex, spins, releases, then barriers.
+        // Tasklets 1.. must first take the mutex (blocking on t0), then
+        // barrier. If the barrier released while they were mutex-blocked,
+        // the final store would be unordered.
+        let p = assemble(
+            "me r1\n\
+             bne r1, r0, others\n\
+             mutex.lock 0\n\
+             movi r2, 300\n\
+             spin: addi r2, r2, -1\n\
+             bne r2, r0, spin\n\
+             movi r3, 1\n\
+             sw r0, 0x40, r3      ; publish inside the lock\n\
+             mutex.unlock 0\n\
+             jmp sync\n\
+             others:\n\
+             mutex.lock 0\n\
+             lw r4, r0, 0x40      ; must see t0's publish\n\
+             lsli r5, r1, 2\n\
+             sw r5, 0x80, r4\n\
+             mutex.unlock 0\n\
+             sync: barrier\n\
+             halt\n",
+        )
+        .unwrap();
+        let mut m = Machine::default();
+        m.run(&p, 6).unwrap();
+        for t in 1..6 {
+            assert_eq!(m.wram.read_u32(0x80 + 4 * t).unwrap(), 1, "tasklet {t}");
+        }
+    }
+
+    #[test]
+    fn mutex_held_across_barrier_deadlocks_detectably() {
+        // Tasklet 0 locks and goes to the barrier while holding the mutex;
+        // the others need the mutex before their barrier → deadlock, which
+        // must surface as a budget error rather than a hang or bogus
+        // release.
+        let p = assemble(
+            "me r1\n\
+             bne r1, r0, others\n\
+             mutex.lock 0\n\
+             barrier\n\
+             mutex.unlock 0\n\
+             halt\n\
+             others:\n\
+             mutex.lock 0\n\
+             mutex.unlock 0\n\
+             barrier\n\
+             halt\n",
+        )
+        .unwrap();
+        let mut m = Machine::default();
+        let err = m.run_with_budget(&p, 3, 50_000).unwrap_err();
+        assert!(
+            matches!(err, Error::Deadlock { at_barrier: 1, on_mutex: 2 }),
+            "got {err}"
+        );
+    }
+}

@@ -1,0 +1,377 @@
+//! The three DPU memories and the MRAM DMA engine.
+//!
+//! * **WRAM** — 64 KiB working RAM inside the core; loads and stores cost a
+//!   single cycle (one pipeline slot).
+//! * **IRAM** — 24 KiB instruction RAM; the simulator stores the decoded
+//!   [`crate::isa::Program`] and only checks the byte footprint.
+//! * **MRAM** — 64 MiB DRAM bank outside the core; reachable exclusively via
+//!   the DMA engine, which costs `25 + bytes/2` cycles per transfer
+//!   (Eq. 3.4 of the paper).
+
+use crate::error::{Error, Result};
+use crate::params;
+
+/// Byte-addressed little-endian memory with bounds checking.
+///
+/// Shared implementation behind [`Wram`] and [`Mram`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinearMemory {
+    kind: &'static str,
+    data: Vec<u8>,
+}
+
+impl LinearMemory {
+    /// Create a zeroed memory of `size` bytes labelled `kind` for error
+    /// messages.
+    #[must_use]
+    pub fn new(kind: &'static str, size: usize) -> Self {
+        Self { kind, data: vec![0; size] }
+    }
+
+    /// Capacity in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the capacity is zero.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    fn check(&self, addr: usize, len: usize) -> Result<()> {
+        if addr.checked_add(len).is_none_or(|end| end > self.data.len()) {
+            return Err(Error::OutOfBounds { kind: self.kind, addr, len, size: self.data.len() });
+        }
+        Ok(())
+    }
+
+    /// Read `buf.len()` bytes starting at `addr`.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when the range exceeds capacity.
+    pub fn read(&self, addr: usize, buf: &mut [u8]) -> Result<()> {
+        self.check(addr, buf.len())?;
+        buf.copy_from_slice(&self.data[addr..addr + buf.len()]);
+        Ok(())
+    }
+
+    /// Write `buf` starting at `addr`.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when the range exceeds capacity.
+    pub fn write(&mut self, addr: usize, buf: &[u8]) -> Result<()> {
+        self.check(addr, buf.len())?;
+        self.data[addr..addr + buf.len()].copy_from_slice(buf);
+        Ok(())
+    }
+
+    /// Read one byte, zero-extended.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when out of range.
+    pub fn read_u8(&self, addr: usize) -> Result<u32> {
+        self.check(addr, 1)?;
+        Ok(u32::from(self.data[addr]))
+    }
+
+    /// Read a little-endian halfword, zero-extended.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when out of range.
+    pub fn read_u16(&self, addr: usize) -> Result<u32> {
+        self.check(addr, 2)?;
+        Ok(u32::from(u16::from_le_bytes([self.data[addr], self.data[addr + 1]])))
+    }
+
+    /// Read a little-endian word.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when out of range.
+    pub fn read_u32(&self, addr: usize) -> Result<u32> {
+        self.check(addr, 4)?;
+        let mut b = [0u8; 4];
+        b.copy_from_slice(&self.data[addr..addr + 4]);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Write one byte (low 8 bits of `val`).
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when out of range.
+    pub fn write_u8(&mut self, addr: usize, val: u32) -> Result<()> {
+        self.check(addr, 1)?;
+        self.data[addr] = val as u8;
+        Ok(())
+    }
+
+    /// Write a little-endian halfword (low 16 bits of `val`).
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when out of range.
+    pub fn write_u16(&mut self, addr: usize, val: u32) -> Result<()> {
+        self.check(addr, 2)?;
+        self.data[addr..addr + 2].copy_from_slice(&(val as u16).to_le_bytes());
+        Ok(())
+    }
+
+    /// Write a little-endian word.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when out of range.
+    pub fn write_u32(&mut self, addr: usize, val: u32) -> Result<()> {
+        self.check(addr, 4)?;
+        self.data[addr..addr + 4].copy_from_slice(&val.to_le_bytes());
+        Ok(())
+    }
+
+    /// Borrow a byte range.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when the range exceeds capacity.
+    pub fn slice(&self, addr: usize, len: usize) -> Result<&[u8]> {
+        self.check(addr, len)?;
+        Ok(&self.data[addr..addr + len])
+    }
+
+    /// Zero the whole memory.
+    pub fn clear(&mut self) {
+        self.data.fill(0);
+    }
+}
+
+/// 64 KiB working RAM (single-cycle access from the pipeline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Wram(pub LinearMemory);
+
+impl Wram {
+    /// A WRAM of the default 64 KiB capacity.
+    #[must_use]
+    pub fn new(bytes: usize) -> Self {
+        Self(LinearMemory::new("WRAM", bytes))
+    }
+}
+
+impl Default for Wram {
+    fn default() -> Self {
+        Self::new(params::WRAM_BYTES)
+    }
+}
+
+impl std::ops::Deref for Wram {
+    type Target = LinearMemory;
+    fn deref(&self) -> &Self::Target {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for Wram {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.0
+    }
+}
+
+/// 64 MiB main RAM, reachable only via [`DmaEngine`] from the DPU side and
+/// via host transfers from the CPU side.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mram(pub LinearMemory);
+
+impl Mram {
+    /// An MRAM of the given capacity.
+    #[must_use]
+    pub fn new(bytes: usize) -> Self {
+        Self(LinearMemory::new("MRAM", bytes))
+    }
+}
+
+impl Default for Mram {
+    fn default() -> Self {
+        Self::new(params::MRAM_BYTES)
+    }
+}
+
+impl std::ops::Deref for Mram {
+    type Target = LinearMemory;
+    fn deref(&self) -> &Self::Target {
+        &self.0
+    }
+}
+
+impl std::ops::DerefMut for Mram {
+    fn deref_mut(&mut self) -> &mut Self::Target {
+        &mut self.0
+    }
+}
+
+/// The DMA engine connecting MRAM and WRAM.
+///
+/// Every transfer is charged `setup + ceil(bytes / bytes_per_cycle)` cycles
+/// (Eq. 3.4: 25 + bytes/2 with the default parameters) and is limited to
+/// [`params::DMA_MAX_TRANSFER_BYTES`] bytes, which is what caps the paper's
+/// eBNN batches at 16 images (§4.1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DmaEngine {
+    setup_cycles: u64,
+    bytes_per_cycle: u64,
+    max_transfer: usize,
+    /// Total cycles spent in DMA so far (statistics).
+    pub total_cycles: u64,
+    /// Total bytes moved so far (statistics).
+    pub total_bytes: u64,
+    /// Number of transfers issued (statistics).
+    pub transfers: u64,
+}
+
+impl DmaEngine {
+    /// Engine with the given setup cost and streaming rate.
+    #[must_use]
+    pub fn new(setup_cycles: u64, bytes_per_cycle: u64, max_transfer: usize) -> Self {
+        Self {
+            setup_cycles,
+            bytes_per_cycle,
+            max_transfer,
+            total_cycles: 0,
+            total_bytes: 0,
+            transfers: 0,
+        }
+    }
+
+    /// Cycle cost of a transfer of `bytes` bytes (Eq. 3.4).
+    #[must_use]
+    pub fn cycles_for(&self, bytes: usize) -> u64 {
+        self.setup_cycles + (bytes as u64).div_ceil(self.bytes_per_cycle)
+    }
+
+    /// Move `len` bytes MRAM→WRAM, returning the cycle cost.
+    ///
+    /// # Errors
+    /// [`Error::DmaTooLarge`] beyond the transfer limit, or
+    /// [`Error::OutOfBounds`] from either memory.
+    pub fn read(
+        &mut self,
+        mram: &Mram,
+        wram: &mut Wram,
+        mram_addr: usize,
+        wram_addr: usize,
+        len: usize,
+    ) -> Result<u64> {
+        self.check_len(len)?;
+        let src = mram.slice(mram_addr, len)?.to_vec();
+        wram.write(wram_addr, &src)?;
+        Ok(self.account(len))
+    }
+
+    /// Move `len` bytes WRAM→MRAM, returning the cycle cost.
+    ///
+    /// # Errors
+    /// [`Error::DmaTooLarge`] beyond the transfer limit, or
+    /// [`Error::OutOfBounds`] from either memory.
+    pub fn write(
+        &mut self,
+        mram: &mut Mram,
+        wram: &Wram,
+        mram_addr: usize,
+        wram_addr: usize,
+        len: usize,
+    ) -> Result<u64> {
+        self.check_len(len)?;
+        let src = wram.slice(wram_addr, len)?.to_vec();
+        mram.write(mram_addr, &src)?;
+        Ok(self.account(len))
+    }
+
+    fn check_len(&self, len: usize) -> Result<()> {
+        if len > self.max_transfer {
+            return Err(Error::DmaTooLarge { requested: len, limit: self.max_transfer });
+        }
+        Ok(())
+    }
+
+    fn account(&mut self, len: usize) -> u64 {
+        let cycles = self.cycles_for(len);
+        self.total_cycles += cycles;
+        self.total_bytes += len as u64;
+        self.transfers += 1;
+        cycles
+    }
+}
+
+impl Default for DmaEngine {
+    fn default() -> Self {
+        Self::new(
+            params::DMA_SETUP_CYCLES,
+            params::DMA_BYTES_PER_CYCLE,
+            params::DMA_MAX_TRANSFER_BYTES,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rw_round_trip_all_widths() {
+        let mut m = LinearMemory::new("WRAM", 64);
+        m.write_u32(0, 0xdead_beef).unwrap();
+        assert_eq!(m.read_u32(0).unwrap(), 0xdead_beef);
+        assert_eq!(m.read_u16(0).unwrap(), 0xbeef);
+        assert_eq!(m.read_u8(3).unwrap(), 0xde);
+        m.write_u16(8, 0x1234_5678).unwrap();
+        assert_eq!(m.read_u16(8).unwrap(), 0x5678);
+        m.write_u8(10, 0xAB).unwrap();
+        assert_eq!(m.read_u8(10).unwrap(), 0xAB);
+    }
+
+    #[test]
+    fn bounds_are_enforced() {
+        let m = LinearMemory::new("MRAM", 16);
+        assert!(matches!(m.read_u32(13), Err(Error::OutOfBounds { .. })));
+        assert!(matches!(m.read_u32(usize::MAX), Err(Error::OutOfBounds { .. })));
+        let mut m2 = LinearMemory::new("MRAM", 16);
+        assert!(m2.write(12, &[0; 8]).is_err());
+        assert!(m2.write(12, &[0; 4]).is_ok());
+    }
+
+    #[test]
+    fn dma_cost_and_stats() {
+        let mut dma = DmaEngine::default();
+        let mram = Mram::new(4096);
+        let mut wram = Wram::new(4096);
+        let cycles = dma.read(&mram, &mut wram, 0, 0, 2048).unwrap();
+        assert_eq!(cycles, 1049); // Eq. 3.4 worked example
+        assert_eq!(dma.total_bytes, 2048);
+        assert_eq!(dma.transfers, 1);
+    }
+
+    #[test]
+    fn dma_transfer_limit() {
+        let mut dma = DmaEngine::default();
+        let mram = Mram::new(8192);
+        let mut wram = Wram::new(8192);
+        let err = dma.read(&mram, &mut wram, 0, 0, 4096).unwrap_err();
+        assert!(matches!(err, Error::DmaTooLarge { requested: 4096, limit: 2048 }));
+    }
+
+    #[test]
+    fn dma_moves_data_both_ways() {
+        let mut dma = DmaEngine::default();
+        let mut mram = Mram::new(1024);
+        let mut wram = Wram::new(1024);
+        mram.write(100, b"hello dpu").unwrap();
+        dma.read(&mram, &mut wram, 100, 0, 9).unwrap();
+        assert_eq!(wram.slice(0, 9).unwrap(), b"hello dpu");
+        wram.write(16, b"back atcha").unwrap();
+        dma.write(&mut mram, &wram, 200, 16, 10).unwrap();
+        assert_eq!(mram.slice(200, 10).unwrap(), b"back atcha");
+    }
+
+    #[test]
+    fn clear_zeroes() {
+        let mut w = Wram::new(32);
+        w.write_u32(4, 77).unwrap();
+        w.clear();
+        assert_eq!(w.read_u32(4).unwrap(), 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Architectural parameters of the simulated UPMEM system.
+//!
+//! The default values mirror Table 2.1 of the paper ("UPMEM PIM Attributes").
+
+use serde::{Deserialize, Serialize};
+
+/// Number of pipeline stages in the DPU core.
+///
+/// The revolver dispatcher requires at least this many cycles between two
+/// instructions of the same tasklet, which is why per-DPU speedup saturates
+/// at 11 tasklets (paper §4.3.1).
+pub const PIPELINE_STAGES: u32 = 11;
+
+/// Maximum number of hardware threads (tasklets) per DPU.
+pub const MAX_TASKLETS: usize = 24;
+
+/// General-purpose registers per tasklet.
+pub const REGS_PER_TASKLET: usize = 32;
+
+/// WRAM capacity in bytes (64 KiB).
+pub const WRAM_BYTES: usize = 64 * 1024;
+
+/// IRAM capacity in bytes (24 KiB).
+pub const IRAM_BYTES: usize = 24 * 1024;
+
+/// MRAM capacity in bytes (64 MiB).
+pub const MRAM_BYTES: usize = 64 * 1024 * 1024;
+
+/// Fixed DMA setup penalty in cycles for any MRAM<->WRAM transfer (Eq. 3.4).
+pub const DMA_SETUP_CYCLES: u64 = 25;
+
+/// Bytes moved per DMA cycle after setup (Eq. 3.4: one cycle per 2 bytes).
+pub const DMA_BYTES_PER_CYCLE: u64 = 2;
+
+/// Maximum bytes per single DMA transfer; the paper's eBNN mapping is limited
+/// to 16 images per batch because image transfers are capped at 2048 bytes
+/// (§4.1.3).
+pub const DMA_MAX_TRANSFER_BYTES: usize = 2048;
+
+/// Host<->DPU transfers must be 8-byte aligned and sized (paper §3.2).
+pub const HOST_TRANSFER_ALIGN: usize = 8;
+
+/// DPU clock frequency in Hz as shipped (350 MHz; the white paper originally
+/// announced 600 MHz — see [`DpuParams::announced`]).
+pub const DPU_FREQ_HZ: u64 = 350_000_000;
+
+/// Number of DPUs in the full evaluated system (20 DIMMs).
+pub const SYSTEM_DPUS: usize = 2560;
+
+/// DPUs per DIMM.
+pub const DPUS_PER_DIMM: usize = 128;
+
+/// DPUs per DRAM chip.
+pub const DPUS_PER_CHIP: usize = 8;
+
+/// Ranks per DIMM in the simulated topology.
+pub const RANKS_PER_DIMM: usize = 2;
+
+/// Per-DPU silicon area in mm² (65 nm node; Table 2.1).
+pub const DPU_AREA_MM2: f64 = 3.75;
+
+/// Per-DPU power consumption in watts (Table 2.1).
+pub const DPU_POWER_W: f64 = 0.120;
+
+/// Tunable parameter set describing one DPU.
+///
+/// [`DpuParams::default`] reproduces the commercial device measured in the
+/// paper; [`DpuParams::announced`] models the originally announced 600 MHz
+/// part, used by the paper's "Improvements" discussion (§4.3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DpuParams {
+    /// Clock frequency in Hz.
+    pub freq_hz: u64,
+    /// Pipeline depth (issue distance of a single tasklet).
+    pub pipeline_stages: u32,
+    /// Maximum tasklets supported by the scheduler.
+    pub max_tasklets: usize,
+    /// WRAM size in bytes.
+    pub wram_bytes: usize,
+    /// IRAM size in bytes.
+    pub iram_bytes: usize,
+    /// MRAM size in bytes.
+    pub mram_bytes: usize,
+    /// DMA setup cost in cycles.
+    pub dma_setup_cycles: u64,
+    /// Bytes per DMA streaming cycle.
+    pub dma_bytes_per_cycle: u64,
+}
+
+impl Default for DpuParams {
+    fn default() -> Self {
+        Self {
+            freq_hz: DPU_FREQ_HZ,
+            pipeline_stages: PIPELINE_STAGES,
+            max_tasklets: MAX_TASKLETS,
+            wram_bytes: WRAM_BYTES,
+            iram_bytes: IRAM_BYTES,
+            mram_bytes: MRAM_BYTES,
+            dma_setup_cycles: DMA_SETUP_CYCLES,
+            dma_bytes_per_cycle: DMA_BYTES_PER_CYCLE,
+        }
+    }
+}
+
+impl DpuParams {
+    /// Parameters of the 600 MHz device announced in UPMEM's white paper.
+    #[must_use]
+    pub fn announced() -> Self {
+        Self {
+            freq_hz: 600_000_000,
+            ..Self::default()
+        }
+    }
+
+    /// Cycle cost of one MRAM<->WRAM DMA transfer of `bytes` bytes (Eq. 3.4).
+    ///
+    /// ```
+    /// use dpu_sim::DpuParams;
+    /// assert_eq!(DpuParams::default().dma_cycles(2048), 1049);
+    /// ```
+    #[must_use]
+    pub fn dma_cycles(&self, bytes: usize) -> u64 {
+        self.dma_setup_cycles + (bytes as u64).div_ceil(self.dma_bytes_per_cycle)
+    }
+
+    /// Convert a cycle count into seconds at this device's frequency.
+    #[must_use]
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.freq_hz as f64
+    }
+
+    /// Maximum per-tasklet stack size in bytes when running `tasklets`
+    /// threads, assuming the whole WRAM is split evenly (paper §4.3.4 quotes
+    /// 5.8 KiB for 11 tasklets).
+    #[must_use]
+    pub fn max_stack_bytes(&self, tasklets: usize) -> usize {
+        assert!(tasklets > 0, "tasklet count must be positive");
+        self.wram_bytes / tasklets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dma_cost_matches_eq_3_4() {
+        let p = DpuParams::default();
+        assert_eq!(p.dma_cycles(2048), 1049);
+        assert_eq!(p.dma_cycles(8), 29);
+        assert_eq!(p.dma_cycles(0), 25);
+        // Odd byte counts round the streaming portion up.
+        assert_eq!(p.dma_cycles(3), 27);
+    }
+
+    #[test]
+    fn announced_device_is_600mhz() {
+        assert_eq!(DpuParams::announced().freq_hz, 600_000_000);
+        assert_eq!(
+            DpuParams::announced().pipeline_stages,
+            DpuParams::default().pipeline_stages
+        );
+    }
+
+    #[test]
+    fn stack_budget_matches_paper() {
+        // 64 KiB / 11 tasklets = 5957 B ≈ the 5.8 KiB the paper quotes.
+        let bytes = DpuParams::default().max_stack_bytes(11);
+        assert!((5800..6100).contains(&bytes), "got {bytes}");
+    }
+
+    #[test]
+    fn cycles_to_seconds_uses_frequency() {
+        let p = DpuParams::default();
+        let t = p.cycles_to_seconds(350_000_000);
+        assert!((t - 1.0).abs() < 1e-12);
+    }
+}

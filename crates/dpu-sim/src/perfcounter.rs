@@ -1,0 +1,76 @@
+//! The DPU performance counter (`perfcounter_config` / `perfcounter_get`).
+//!
+//! The paper's Fig. 3.1 harness brackets an operation between
+//! `perfcounter_config()` and `perfcounter_get()` and reports the elapsed
+//! cycles; Table 3.1 is produced this way. The simulator exposes the same
+//! two primitives as instructions ([`crate::isa::Instr::PerfConfig`] and
+//! [`crate::isa::Instr::PerfRead`]).
+
+/// Per-DPU cycle counter armed by `perfcounter_config`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PerfCounter {
+    /// Cycle at which the counter was last armed, if armed.
+    armed_at: Option<u64>,
+    /// Last value read by `perfcounter_get`.
+    last_read: u64,
+}
+
+impl PerfCounter {
+    /// A disarmed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Arm (or re-arm) the counter at the given cycle.
+    pub fn config(&mut self, cycle: u64) {
+        self.armed_at = Some(cycle);
+    }
+
+    /// Read elapsed cycles since arming (0 when never armed).
+    pub fn read(&mut self, cycle: u64) -> u64 {
+        let v = self.armed_at.map_or(0, |a| cycle.saturating_sub(a));
+        self.last_read = v;
+        v
+    }
+
+    /// The most recent value returned by [`PerfCounter::read`].
+    #[must_use]
+    pub fn last(&self) -> u64 {
+        self.last_read
+    }
+
+    /// Whether the counter is currently armed.
+    #[must_use]
+    pub fn is_armed(&self) -> bool {
+        self.armed_at.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_elapsed_cycles() {
+        let mut pc = PerfCounter::new();
+        pc.config(100);
+        assert_eq!(pc.read(372), 272);
+        assert_eq!(pc.last(), 272);
+    }
+
+    #[test]
+    fn unarmed_reads_zero() {
+        let mut pc = PerfCounter::new();
+        assert_eq!(pc.read(500), 0);
+        assert!(!pc.is_armed());
+    }
+
+    #[test]
+    fn rearming_resets_the_base() {
+        let mut pc = PerfCounter::new();
+        pc.config(0);
+        pc.config(90);
+        assert_eq!(pc.read(100), 10);
+    }
+}

@@ -1,0 +1,327 @@
+//! The DPU's fine-grained multithreaded ("revolver") pipeline.
+//!
+//! The DPU core issues at most one instruction per cycle, drawn round-robin
+//! from the ready tasklets, and a tasklet may only have a single instruction
+//! in flight: after issuing, it cannot issue again for
+//! [`crate::params::PIPELINE_STAGES`] (= 11) cycles. Consequences the paper
+//! measures directly:
+//!
+//! * a single tasklet achieves 1/11 of peak issue rate, so single-thread
+//!   microbenchmarks cost ≈ 11 cycles per instruction (Table 3.1);
+//! * per-DPU speedup from multithreading saturates at 11 tasklets — the
+//!   pipeline is full (Fig. 4.7a).
+//!
+//! [`Pipeline`] is an exact event-driven model of this dispatcher. Tasklets
+//! blocked on a DMA transfer simply advertise a later ready time; they do not
+//! consume issue slots while stalled, so other tasklets keep the pipeline
+//! busy (this is what makes MRAM-heavy kernels scale worse than WRAM-heavy
+//! ones, §4.3.3).
+
+use crate::params::PIPELINE_STAGES;
+
+/// Event-driven model of the revolver dispatcher.
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    stages: u64,
+    /// Earliest cycle at which each tasklet may issue its next instruction.
+    next_ready: Vec<u64>,
+    /// Next free global issue slot.
+    cycle: u64,
+    /// Cycle of the most recent issue (for pipeline drain accounting).
+    last_issue: u64,
+    /// Total instructions issued.
+    issued: u64,
+    /// Issue slots left idle because no tasklet was ready.
+    idle_cycles: u64,
+    rr_cursor: usize,
+}
+
+impl Pipeline {
+    /// A pipeline for `tasklets` hardware threads with the default depth.
+    #[must_use]
+    pub fn new(tasklets: usize) -> Self {
+        Self::with_stages(tasklets, u64::from(PIPELINE_STAGES))
+    }
+
+    /// A pipeline with an explicit depth (used for what-if studies).
+    #[must_use]
+    pub fn with_stages(tasklets: usize, stages: u64) -> Self {
+        assert!(tasklets > 0, "pipeline needs at least one tasklet");
+        assert!(stages > 0, "pipeline needs at least one stage");
+        Self {
+            stages,
+            next_ready: vec![0; tasklets],
+            cycle: 0,
+            last_issue: 0,
+            issued: 0,
+            idle_cycles: 0,
+            rr_cursor: 0,
+        }
+    }
+
+    /// Number of tasklets the pipeline schedules.
+    #[must_use]
+    pub fn tasklets(&self) -> usize {
+        self.next_ready.len()
+    }
+
+    /// Pipeline depth in stages.
+    #[must_use]
+    pub fn stages(&self) -> u64 {
+        self.stages
+    }
+
+    /// Pick the tasklet that issues next among those with `runnable[t]`,
+    /// advancing simulated time. Returns `None` when no tasklet is runnable.
+    ///
+    /// The chosen tasklet is the runnable one whose ready time allows the
+    /// earliest issue; ties are broken round-robin starting after the last
+    /// issuer, as the hardware dispatcher does.
+    pub fn pick(&mut self, runnable: &[bool]) -> Option<usize> {
+        debug_assert_eq!(runnable.len(), self.next_ready.len());
+        let n = self.next_ready.len();
+        let mut best: Option<(u64, usize)> = None;
+        for i in 0..n {
+            let t = (self.rr_cursor + i) % n;
+            if !runnable[t] {
+                continue;
+            }
+            let issue_at = self.next_ready[t].max(self.cycle);
+            match best {
+                None => best = Some((issue_at, t)),
+                Some((b, _)) if issue_at < b => best = Some((issue_at, t)),
+                _ => {}
+            }
+        }
+        let (issue_at, t) = best?;
+        self.idle_cycles += issue_at - self.cycle;
+        self.last_issue = issue_at;
+        self.cycle = issue_at + 1;
+        self.next_ready[t] = issue_at + self.stages;
+        self.issued += 1;
+        self.rr_cursor = (t + 1) % n;
+        Some(t)
+    }
+
+    /// Delay tasklet `t`'s next issue until `stall` cycles after its current
+    /// ready time — used for DMA transfers, whose duration exceeds the
+    /// pipeline rotation. The stall replaces (not adds to) the normal
+    /// 11-cycle spacing when it is longer.
+    pub fn stall(&mut self, t: usize, stall: u64) {
+        // next_ready currently holds issue_cycle + stages; rebase the block
+        // on the issue cycle itself.
+        let issue_cycle = self.next_ready[t].saturating_sub(self.stages);
+        self.next_ready[t] = issue_cycle + stall.max(self.stages);
+    }
+
+    /// Cycles elapsed once every tasklet has halted, including the final
+    /// pipeline drain.
+    #[must_use]
+    pub fn elapsed(&self) -> u64 {
+        if self.issued == 0 {
+            0
+        } else {
+            self.last_issue + self.stages
+        }
+    }
+
+    /// Total instructions issued so far.
+    #[must_use]
+    pub fn issued(&self) -> u64 {
+        self.issued
+    }
+
+    /// Issue slots that went unused because no tasklet was ready.
+    #[must_use]
+    pub fn idle_cycles(&self) -> u64 {
+        self.idle_cycles
+    }
+}
+
+/// Closed-form cycle estimate for a *balanced* kernel: `tasklets` threads
+/// each issuing `slots_per_tasklet` instruction slots, with no memory stalls.
+///
+/// This is the law the event-driven model converges to and is used by the
+/// Tier-2 kernel cost model:
+/// `cycles ≈ max(total_slots, stages × slots_per_tasklet) + stages`.
+#[must_use]
+pub fn balanced_cycles(tasklets: u64, slots_per_tasklet: u64, stages: u64) -> u64 {
+    let total = tasklets * slots_per_tasklet;
+    total.max(stages * slots_per_tasklet) + stages
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a synthetic workload: each tasklet issues `per` instructions.
+    fn run(tasklets: usize, per: u64) -> u64 {
+        let mut p = Pipeline::new(tasklets);
+        let mut remaining = vec![per; tasklets];
+        let mut runnable = vec![true; tasklets];
+        loop {
+            if !runnable.iter().any(|&r| r) {
+                break;
+            }
+            let t = p.pick(&runnable).unwrap();
+            remaining[t] -= 1;
+            if remaining[t] == 0 {
+                runnable[t] = false;
+            }
+        }
+        p.elapsed()
+    }
+
+    #[test]
+    fn single_tasklet_pays_full_rotation() {
+        // n instructions, one per 11 cycles: elapsed = (n-1)*11 + 1 + 11.
+        let c = run(1, 10);
+        assert_eq!(c, 9 * 11 + 11);
+    }
+
+    #[test]
+    fn eleven_tasklets_fill_the_pipeline() {
+        // 11 tasklets × n instrs: one issue per cycle, no idle slots.
+        let n = 100;
+        let c = run(11, n);
+        // total slots = 1100; last issue at cycle 1099; drain 11.
+        assert_eq!(c, 11 * n + 10);
+    }
+
+    #[test]
+    fn throughput_saturates_at_pipeline_depth() {
+        // Weak scaling: each tasklet issues `per` instructions. Up to 11
+        // tasklets the elapsed time stays ~constant (latency bound), so
+        // throughput grows ~linearly; past 11 the issue bound takes over and
+        // throughput is flat at one instruction per cycle.
+        let per = 200u64;
+        let tput = |t: usize| (t as u64 * per) as f64 / run(t, per) as f64;
+        let mut prev = 0.0;
+        for t in 1..=11 {
+            let x = tput(t);
+            assert!(x > prev * 1.05, "throughput should grow up to 11 tasklets (t={t})");
+            prev = x;
+        }
+        assert!(tput(11) > 0.9, "11 tasklets ≈ one instruction per cycle");
+        assert!(tput(16) <= 1.0 + 1e-9);
+        assert!(tput(24) <= 1.0 + 1e-9);
+        assert!((tput(16) - tput(11)).abs() < 0.1, "flat past saturation");
+    }
+
+    #[test]
+    fn fixed_total_work_speedup_matches_min_t_11() {
+        // Split a fixed job of 1760 slots across t tasklets: speedup vs one
+        // tasklet should be ≈ min(t, 11).
+        let total = 1760u64;
+        let base = run(1, total) as f64;
+        for &t in &[2usize, 4, 8, 11] {
+            let c = run(t, total / t as u64) as f64;
+            let s = base / c;
+            let expect = t as f64;
+            assert!(
+                (s - expect).abs() / expect < 0.05,
+                "t={t}: speedup {s:.2} expected ≈ {expect}"
+            );
+        }
+        let c22 = run(22, total / 22) as f64;
+        assert!(base / c22 < 11.5, "speedup must saturate at ~11");
+    }
+
+    #[test]
+    fn stall_blocks_only_the_stalled_tasklet() {
+        let mut p = Pipeline::new(2);
+        let runnable = vec![true, true];
+        let t0 = p.pick(&runnable).unwrap();
+        p.stall(t0, 1000); // t0 does a long DMA
+        // The other tasklet should keep issuing immediately.
+        let t1 = p.pick(&runnable).unwrap();
+        assert_ne!(t0, t1);
+        let again = p.pick(&[t1 == 0, t1 == 1]).unwrap();
+        assert_eq!(again, t1);
+        assert!(p.elapsed() < 100);
+    }
+
+    #[test]
+    fn stall_shorter_than_rotation_is_absorbed() {
+        let mut p = Pipeline::new(1);
+        p.pick(&[true]).unwrap();
+        p.stall(0, 3); // shorter than 11 — rotation dominates
+        p.pick(&[true]).unwrap();
+        assert_eq!(p.elapsed(), 11 + 11);
+    }
+
+    #[test]
+    fn balanced_formula_tracks_simulation() {
+        for &(t, per) in &[(1u64, 50u64), (4, 50), (11, 50), (16, 30)] {
+            let sim = run(t as usize, per);
+            let est = balanced_cycles(t, per, 11);
+            let err = (sim as f64 - est as f64).abs() / sim as f64;
+            assert!(err < 0.05, "t={t} per={per}: sim={sim} est={est}");
+        }
+    }
+
+    #[test]
+    fn idle_cycles_counted_for_sparse_issue() {
+        let mut p = Pipeline::new(1);
+        for _ in 0..5 {
+            p.pick(&[true]).unwrap();
+        }
+        // 4 gaps × 10 idle slots each.
+        assert_eq!(p.idle_cycles(), 40);
+    }
+
+    #[test]
+    fn empty_pipeline_reports_zero() {
+        let p = Pipeline::new(4);
+        assert_eq!(p.elapsed(), 0);
+        assert_eq!(p.issued(), 0);
+    }
+}
+
+#[cfg(test)]
+mod fairness_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The round-robin dispatcher is fair: over N picks with all
+        /// tasklets always runnable, per-tasklet issue counts differ by at
+        /// most one.
+        #[test]
+        fn round_robin_is_fair(tasklets in 1usize..24, rounds in 1u64..50) {
+            let mut p = Pipeline::new(tasklets);
+            let runnable = vec![true; tasklets];
+            let mut counts = vec![0u64; tasklets];
+            for _ in 0..rounds * tasklets as u64 {
+                let t = p.pick(&runnable).unwrap();
+                counts[t] += 1;
+            }
+            let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+            prop_assert!(max - min <= 1, "counts {counts:?}");
+        }
+
+        /// Elapsed time is never less than either the issue bound or the
+        /// single-tasklet rotation bound.
+        #[test]
+        fn elapsed_respects_both_bounds(
+            tasklets in 1usize..24,
+            per in 1u64..200,
+        ) {
+            let mut p = Pipeline::new(tasklets);
+            let mut remaining = vec![per; tasklets];
+            let mut runnable = vec![true; tasklets];
+            while runnable.iter().any(|&r| r) {
+                let t = p.pick(&runnable).unwrap();
+                remaining[t] -= 1;
+                if remaining[t] == 0 {
+                    runnable[t] = false;
+                }
+            }
+            let total = per * tasklets as u64;
+            prop_assert!(p.elapsed() >= total);
+            prop_assert!(p.elapsed() >= per * 11);
+            // And it is tight: within one rotation of the max bound.
+            prop_assert!(p.elapsed() <= total.max(per * 11) + 11);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Subroutine occurrence profiler, modelled on `dpu-profiling`.
+//!
+//! The paper identifies costly floating-point subroutines by profiling DPU
+//! programs and counting how many times each runtime routine is entered
+//! (the `#occ` column of Fig. 3.2); Fig. 4.3 then shows the LUT rewrite
+//! shrinking the profile from 11+ routines to 2. [`Profiler`] reproduces
+//! that report: the interpreter records one occurrence per
+//! [`crate::isa::Instr::CallSub`] executed.
+
+use crate::subroutines::Subroutine;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Occurrence counts per runtime subroutine for one program run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profiler {
+    counts: BTreeMap<&'static str, u64>,
+    float_calls: u64,
+    total_calls: u64,
+}
+
+impl Profiler {
+    /// An empty profile.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one entry into `sub`.
+    pub fn record(&mut self, sub: Subroutine) {
+        *self.counts.entry(sub.symbol()).or_insert(0) += 1;
+        self.total_calls += 1;
+        if sub.is_float() {
+            self.float_calls += 1;
+        }
+    }
+
+    /// Occurrences of a given routine.
+    #[must_use]
+    pub fn occurrences(&self, sub: Subroutine) -> u64 {
+        self.counts.get(sub.symbol()).copied().unwrap_or(0)
+    }
+
+    /// Number of *distinct* routines observed — the quantity Fig. 4.3
+    /// compares (11+ without the LUT rewrite, 2 with it).
+    #[must_use]
+    pub fn distinct_subroutines(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of distinct *floating-point* routines observed.
+    #[must_use]
+    pub fn distinct_float_subroutines(&self) -> usize {
+        Subroutine::ALL
+            .iter()
+            .filter(|s| s.is_float() && self.occurrences(**s) > 0)
+            .map(|s| s.symbol())
+            .collect::<std::collections::BTreeSet<_>>()
+            .len()
+    }
+
+    /// Total subroutine entries.
+    #[must_use]
+    pub fn total_calls(&self) -> u64 {
+        self.total_calls
+    }
+
+    /// Total entries into floating-point routines.
+    #[must_use]
+    pub fn float_calls(&self) -> u64 {
+        self.float_calls
+    }
+
+    /// Iterate `(symbol, #occ)` pairs in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counts.iter().map(|(s, c)| (*s, *c))
+    }
+
+    /// Merge another profile into this one (used when aggregating tasklets
+    /// or DPUs).
+    pub fn merge(&mut self, other: &Profiler) {
+        for (s, c) in &other.counts {
+            *self.counts.entry(s).or_insert(0) += c;
+        }
+        self.total_calls += other.total_calls;
+        self.float_calls += other.float_calls;
+    }
+}
+
+impl fmt::Display for Profiler {
+    /// Renders a Fig. 3.2-style table: one routine per line with `#occ`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<14} #occ", "symbol")?;
+        for (sym, occ) in self.iter() {
+            writeln!(f, "{sym:<14} {occ}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_distinct() {
+        let mut p = Profiler::new();
+        p.record(Subroutine::Addsf3);
+        p.record(Subroutine::Addsf3);
+        p.record(Subroutine::Mulsi3);
+        assert_eq!(p.occurrences(Subroutine::Addsf3), 2);
+        assert_eq!(p.occurrences(Subroutine::Mulsi3), 1);
+        assert_eq!(p.occurrences(Subroutine::Divsf3), 0);
+        assert_eq!(p.distinct_subroutines(), 2);
+        assert_eq!(p.total_calls(), 3);
+        assert_eq!(p.float_calls(), 2);
+    }
+
+    #[test]
+    fn distinct_float_subroutines_excludes_integer_ones() {
+        let mut p = Profiler::new();
+        p.record(Subroutine::Mulsi3);
+        p.record(Subroutine::Divsi3);
+        p.record(Subroutine::Ltsf2);
+        assert_eq!(p.distinct_float_subroutines(), 1);
+    }
+
+    #[test]
+    fn mulsi3_variants_share_a_symbol() {
+        // Short and full paths are the same routine in a real profile.
+        let mut p = Profiler::new();
+        p.record(Subroutine::Mulsi3);
+        p.record(Subroutine::Mulsi3Short);
+        assert_eq!(p.occurrences(Subroutine::Mulsi3), 2);
+        assert_eq!(p.distinct_subroutines(), 1);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = Profiler::new();
+        a.record(Subroutine::Addsf3);
+        let mut b = Profiler::new();
+        b.record(Subroutine::Addsf3);
+        b.record(Subroutine::Divsf3);
+        a.merge(&b);
+        assert_eq!(a.occurrences(Subroutine::Addsf3), 2);
+        assert_eq!(a.occurrences(Subroutine::Divsf3), 1);
+        assert_eq!(a.total_calls(), 3);
+    }
+
+    #[test]
+    fn display_renders_occ_table() {
+        let mut p = Profiler::new();
+        p.record(Subroutine::Divsf3);
+        let s = p.to_string();
+        assert!(s.contains("__divsf3"));
+        assert!(s.contains("#occ"));
+    }
+}

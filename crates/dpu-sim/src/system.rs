@@ -1,0 +1,184 @@
+//! Topology of a full UPMEM PIM system: DPUs grouped into chips, ranks and
+//! DIMMs (Fig. 2.1 / Table 2.1 of the paper).
+//!
+//! The evaluated server carries 20 DIMMs × 128 DPUs = 2560 DPUs. The
+//! topology matters to the host runtime: broadcast transfers go to whole
+//! DPU sets, and the paper's multi-DPU speedup (Fig. 4.7c) scales with the
+//! number of allocated DPUs.
+
+use crate::machine::Machine;
+use crate::params::{self, DpuParams};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a DPU within a [`PimSystem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct DpuId(pub u32);
+
+impl DpuId {
+    /// DIMM index holding this DPU.
+    #[must_use]
+    pub fn dimm(self) -> u32 {
+        self.0 / params::DPUS_PER_DIMM as u32
+    }
+
+    /// Rank index within the system.
+    #[must_use]
+    pub fn rank(self) -> u32 {
+        self.0 / (params::DPUS_PER_DIMM as u32 / params::RANKS_PER_DIMM as u32)
+    }
+
+    /// DRAM chip index within the system.
+    #[must_use]
+    pub fn chip(self) -> u32 {
+        self.0 / params::DPUS_PER_CHIP as u32
+    }
+}
+
+impl std::fmt::Display for DpuId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dpu{}", self.0)
+    }
+}
+
+/// One rank of DPUs (the granularity UPMEM allocates at).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rank {
+    /// Rank index.
+    pub index: u32,
+    /// First DPU in the rank.
+    pub first_dpu: u32,
+    /// Number of DPUs in the rank.
+    pub dpus: u32,
+}
+
+/// A simulated multi-DPU system.
+///
+/// Instantiating all 2560 DPUs allocates 2560 MRAM images; for experiments
+/// the usual pattern is to allocate only the DPUs a workload needs
+/// ([`PimSystem::new`] with a small count) and scale analytically — the
+/// DPUs are fully independent, which is exactly the property the paper's
+/// linear multi-DPU scaling rests on.
+#[derive(Debug)]
+pub struct PimSystem {
+    /// Device parameters shared by all DPUs.
+    pub params: DpuParams,
+    dpus: Vec<Machine>,
+}
+
+impl PimSystem {
+    /// Allocate a system of `n` DPUs.
+    #[must_use]
+    pub fn new(n: usize, params: DpuParams) -> Self {
+        let dpus = (0..n).map(|_| Machine::new(params)).collect();
+        Self { params, dpus }
+    }
+
+    /// Number of simulated DPUs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.dpus.len()
+    }
+
+    /// True when the system holds no DPUs.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.dpus.is_empty()
+    }
+
+    /// Borrow one DPU.
+    ///
+    /// # Panics
+    /// When `id` is out of range.
+    #[must_use]
+    pub fn dpu(&self, id: DpuId) -> &Machine {
+        &self.dpus[id.0 as usize]
+    }
+
+    /// Mutably borrow one DPU.
+    ///
+    /// # Panics
+    /// When `id` is out of range.
+    pub fn dpu_mut(&mut self, id: DpuId) -> &mut Machine {
+        &mut self.dpus[id.0 as usize]
+    }
+
+    /// Iterate over all DPUs.
+    pub fn iter(&self) -> impl Iterator<Item = (DpuId, &Machine)> {
+        self.dpus.iter().enumerate().map(|(i, m)| (DpuId(i as u32), m))
+    }
+
+    /// Mutably iterate over all DPUs.
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = (DpuId, &mut Machine)> {
+        self.dpus.iter_mut().enumerate().map(|(i, m)| (DpuId(i as u32), m))
+    }
+
+    /// Rank table of the system.
+    #[must_use]
+    pub fn ranks(&self) -> Vec<Rank> {
+        let per_rank = (params::DPUS_PER_DIMM / params::RANKS_PER_DIMM) as u32;
+        let n = self.dpus.len() as u32;
+        (0..n.div_ceil(per_rank))
+            .map(|r| Rank {
+                index: r,
+                first_dpu: r * per_rank,
+                dpus: per_rank.min(n - r * per_rank),
+            })
+            .collect()
+    }
+
+    /// Aggregate power draw in watts (Table 2.1: 120 mW per DPU).
+    #[must_use]
+    pub fn power_watts(&self) -> f64 {
+        self.dpus.len() as f64 * params::DPU_POWER_W
+    }
+
+    /// Aggregate DPU silicon area in mm².
+    #[must_use]
+    pub fn area_mm2(&self) -> f64 {
+        self.dpus.len() as f64 * params::DPU_AREA_MM2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Instr, Program, Reg};
+
+    #[test]
+    fn topology_indices() {
+        let id = DpuId(300);
+        assert_eq!(id.dimm(), 2); // 300 / 128
+        assert_eq!(id.chip(), 37); // 300 / 8
+        assert_eq!(id.rank(), 4); // 300 / 64
+    }
+
+    #[test]
+    fn dpus_are_independent() {
+        let mut sys = PimSystem::new(4, DpuParams::default());
+        let p = Program::new(vec![
+            Instr::Movi { rd: Reg(1), imm: 7 },
+            Instr::Store { width: crate::isa::Width::W, ra: Reg(0), off: 0, rs: Reg(1) },
+            Instr::Halt,
+        ]);
+        sys.dpu_mut(DpuId(2)).run(&p, 1).unwrap();
+        assert_eq!(sys.dpu(DpuId(2)).wram.read_u32(0).unwrap(), 7);
+        assert_eq!(sys.dpu(DpuId(0)).wram.read_u32(0).unwrap(), 0);
+    }
+
+    #[test]
+    fn ranks_cover_all_dpus() {
+        let sys = PimSystem::new(100, DpuParams::default());
+        let ranks = sys.ranks();
+        let total: u32 = ranks.iter().map(|r| r.dpus).sum();
+        assert_eq!(total, 100);
+        assert_eq!(ranks[0].first_dpu, 0);
+        assert_eq!(ranks.last().unwrap().dpus, 100 - 64);
+    }
+
+    #[test]
+    fn power_and_area_scale_linearly() {
+        let sys = PimSystem::new(8, DpuParams::default());
+        assert!((sys.power_watts() - 0.96).abs() < 1e-9); // one chip: 0.96 W
+        assert!((sys.area_mm2() - 30.0).abs() < 1e-9); // Table 5.4's 30 mm²
+    }
+}

@@ -1,0 +1,335 @@
+//! Binary images, binary filters, and the bit-packed Convolution-Pool block.
+//!
+//! eBNN binarizes inputs, weights and temporaries so convolution reduces to
+//! XNOR + popcount (paper §4.1.1). Pixels and weights take values in
+//! {-1, +1}, stored as bits (1 ↔ +1, 0 ↔ -1); the dot product of two ±1
+//! vectors of length n with `m` matching bits is `2m − n`.
+//!
+//! Images are packed one row per `u32` (bit *c* of row word *r* is the
+//! pixel at column *c*). A 28×28 image is therefore 112 bytes, and 16
+//! images — 1792 bytes — fit inside a single ≤2048-byte DMA transfer,
+//! reproducing the paper's 16-images-per-DPU cap (§4.1.3).
+
+use crate::{IMAGE_DIM, POOLED_DIM};
+use serde::{Deserialize, Serialize};
+
+/// A bit-packed binary image: `height` rows of up to 32 binary pixels.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryImage {
+    /// Image width in pixels (≤ 32).
+    pub width: usize,
+    /// One packed row per image row; bit `c` is column `c`.
+    pub rows: Vec<u32>,
+}
+
+impl BinaryImage {
+    /// Binarize a grayscale image (`height × width`, row-major bytes) at
+    /// `threshold`: pixels `>= threshold` become +1 (bit 1).
+    ///
+    /// # Panics
+    /// When `width > 32` or `pixels.len()` is not `width × height`.
+    #[must_use]
+    pub fn from_gray(pixels: &[u8], width: usize, height: usize, threshold: u8) -> Self {
+        assert!(width <= 32, "packed rows hold at most 32 pixels");
+        assert_eq!(pixels.len(), width * height, "pixel buffer shape mismatch");
+        let rows = (0..height)
+            .map(|r| {
+                let mut w = 0u32;
+                for c in 0..width {
+                    if pixels[r * width + c] >= threshold {
+                        w |= 1 << c;
+                    }
+                }
+                w
+            })
+            .collect();
+        Self { width, rows }
+    }
+
+    /// Image height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Pixel at (`row`, `col`) as ±1.
+    ///
+    /// # Panics
+    /// When out of bounds.
+    #[must_use]
+    pub fn pixel(&self, row: usize, col: usize) -> i32 {
+        assert!(col < self.width, "column out of range");
+        if (self.rows[row] >> col) & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Serialize to the MRAM wire format: one little-endian `u32` per row.
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.rows.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+
+    /// Parse the MRAM wire format produced by [`BinaryImage::to_bytes`].
+    ///
+    /// # Panics
+    /// When `bytes` is not a multiple of 4.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8], width: usize) -> Self {
+        assert_eq!(bytes.len() % 4, 0, "wire format is whole u32 rows");
+        let rows = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Self { width, rows }
+    }
+
+    /// Bytes of the wire format for an image of the given height.
+    #[must_use]
+    pub fn wire_bytes(height: usize) -> usize {
+        height * 4
+    }
+}
+
+/// A 3×3 binary convolution filter (bit 1 ↔ weight +1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryFilter {
+    /// Three rows, low 3 bits each; bit `c` of row `r` is weight (r, c).
+    pub rows: [u8; 3],
+}
+
+impl BinaryFilter {
+    /// Filter side length.
+    pub const DIM: usize = 3;
+    /// Number of weights.
+    pub const AREA: i32 = 9;
+
+    /// Weight at (`row`, `col`) as ±1.
+    ///
+    /// # Panics
+    /// When out of bounds.
+    #[must_use]
+    pub fn weight(&self, row: usize, col: usize) -> i32 {
+        assert!(row < 3 && col < 3, "filter index out of range");
+        if (self.rows[row] >> col) & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// Pack into a 2-byte wire format (9 bits, little-endian u16).
+    #[must_use]
+    pub fn to_u16(&self) -> u16 {
+        u16::from(self.rows[0] & 7)
+            | (u16::from(self.rows[1] & 7) << 3)
+            | (u16::from(self.rows[2] & 7) << 6)
+    }
+
+    /// Unpack the [`BinaryFilter::to_u16`] wire format.
+    #[must_use]
+    pub fn from_u16(v: u16) -> Self {
+        Self { rows: [(v & 7) as u8, ((v >> 3) & 7) as u8, ((v >> 6) & 7) as u8] }
+    }
+}
+
+/// Pooled pre-activation feature map of one filter: `POOLED_DIM²` sums in
+/// `[-9, 9]`.
+pub type ConvPoolOutput = Vec<i8>;
+
+/// 3×3 binary convolution with SAME padding (pad value −1), evaluated at
+/// (`row`, `col`) of `img` against `filter`. Result in `[-9, 9]`.
+///
+/// This is the *reference* scalar path; the kernels in
+/// [`crate::dpu_kernel`] compute the same value with the packed-row
+/// shift/XNOR/popcount sequence a DPU executes.
+#[must_use]
+pub fn conv3x3_at(img: &BinaryImage, filter: &BinaryFilter, row: usize, col: usize) -> i8 {
+    let mut sum = 0i32;
+    for fr in 0..3 {
+        for fc in 0..3 {
+            let ir = row as isize + fr as isize - 1;
+            let ic = col as isize + fc as isize - 1;
+            let pix = if ir < 0
+                || ic < 0
+                || ir >= img.height() as isize
+                || ic >= img.width as isize
+            {
+                -1
+            } else {
+                img.pixel(ir as usize, ic as usize)
+            };
+            sum += pix * filter.weight(fr, fc);
+        }
+    }
+    sum as i8
+}
+
+/// Packed-window convolution of one output pixel: extracts the three 3-bit
+/// windows with shifts, XNORs them against the filter rows and popcounts —
+/// the exact operation sequence the DPU kernel is charged for.
+#[must_use]
+pub fn conv3x3_packed(img: &BinaryImage, filter: &BinaryFilter, row: usize, col: usize) -> i8 {
+    let mut matches = 0u32;
+    for fr in 0..3 {
+        let ir = row as isize + fr as isize - 1;
+        // Out-of-range rows contribute all-(-1) pixels: bits 0.
+        let packed = if ir < 0 || ir >= img.height() as isize {
+            0u32
+        } else {
+            img.rows[ir as usize]
+        };
+        // Window bits [col-1, col, col+1]; shifting a 33-bit view keeps the
+        // col = 0 left pad at 0. Columns beyond `width` must read as pad
+        // (bit 0), which holds because packed rows never set bits ≥ width.
+        let window = (((u64::from(packed)) << 1) >> col) as u32 & 0b111;
+        let xnor = !(window ^ u32::from(filter.rows[fr])) & 0b111;
+        matches += xnor.count_ones();
+    }
+    (2 * matches as i32 - BinaryFilter::AREA) as i8
+}
+
+/// Full conv + 2×2 max-pool for one filter: returns the pooled `14×14`
+/// pre-activation map (row-major).
+#[must_use]
+pub fn conv_pool(img: &BinaryImage, filter: &BinaryFilter) -> ConvPoolOutput {
+    assert_eq!(img.width, IMAGE_DIM, "eBNN block is built for 28x28 inputs");
+    assert_eq!(img.height(), IMAGE_DIM, "eBNN block is built for 28x28 inputs");
+    let mut pooled = vec![0i8; POOLED_DIM * POOLED_DIM];
+    for pr in 0..POOLED_DIM {
+        for pc in 0..POOLED_DIM {
+            let mut best = i8::MIN;
+            for dr in 0..2 {
+                for dc in 0..2 {
+                    let v = conv3x3_packed(img, filter, 2 * pr + dr, 2 * pc + dc);
+                    best = best.max(v);
+                }
+            }
+            pooled[pr * POOLED_DIM + pc] = best;
+        }
+    }
+    pooled
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn checker_image() -> BinaryImage {
+        let px: Vec<u8> = (0..IMAGE_DIM * IMAGE_DIM)
+            .map(|i| if (i / IMAGE_DIM + i % IMAGE_DIM).is_multiple_of(2) { 255 } else { 0 })
+            .collect();
+        BinaryImage::from_gray(&px, IMAGE_DIM, IMAGE_DIM, 128)
+    }
+
+    #[test]
+    fn binarize_and_pixel() {
+        let img = checker_image();
+        assert_eq!(img.pixel(0, 0), 1);
+        assert_eq!(img.pixel(0, 1), -1);
+        assert_eq!(img.pixel(1, 0), -1);
+        assert_eq!(img.pixel(1, 1), 1);
+    }
+
+    #[test]
+    fn wire_format_round_trip() {
+        let img = checker_image();
+        let bytes = img.to_bytes();
+        assert_eq!(bytes.len(), 112);
+        assert_eq!(BinaryImage::from_bytes(&bytes, IMAGE_DIM), img);
+    }
+
+    #[test]
+    fn filter_wire_round_trip() {
+        for v in 0..512u16 {
+            let f = BinaryFilter::from_u16(v);
+            assert_eq!(f.to_u16(), v);
+        }
+    }
+
+    #[test]
+    fn all_ones_filter_on_all_ones_image_gives_nine() {
+        let px = vec![255u8; IMAGE_DIM * IMAGE_DIM];
+        let img = BinaryImage::from_gray(&px, IMAGE_DIM, IMAGE_DIM, 128);
+        let f = BinaryFilter { rows: [7, 7, 7] };
+        // Interior pixel: all 9 products are +1·+1.
+        assert_eq!(conv3x3_at(&img, &f, 5, 5), 9);
+        // Corner: 5 pad pixels (−1) against +1 weights.
+        assert_eq!(conv3x3_at(&img, &f, 0, 0), 4 - 5);
+    }
+
+    #[test]
+    fn packed_matches_scalar_reference_on_checkerboard() {
+        let img = checker_image();
+        let f = BinaryFilter { rows: [0b101, 0b010, 0b101] };
+        for r in 0..IMAGE_DIM {
+            for c in 0..IMAGE_DIM {
+                assert_eq!(
+                    conv3x3_packed(&img, &f, r, c),
+                    conv3x3_at(&img, &f, r, c),
+                    "mismatch at ({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_map_has_expected_shape_and_range() {
+        let img = checker_image();
+        let f = BinaryFilter { rows: [0b111, 0b000, 0b111] };
+        let pooled = conv_pool(&img, &f);
+        assert_eq!(pooled.len(), POOLED_DIM * POOLED_DIM);
+        assert!(pooled.iter().all(|&v| (-9..=9).contains(&v)));
+    }
+
+    proptest! {
+        /// The packed shift/XNOR/popcount path equals the scalar ±1 dot
+        /// product everywhere, for arbitrary images and filters.
+        #[test]
+        fn packed_equals_scalar(
+            pixels in proptest::collection::vec(any::<u8>(), IMAGE_DIM * IMAGE_DIM),
+            fbits in 0u16..512,
+            r in 0usize..IMAGE_DIM,
+            c in 0usize..IMAGE_DIM,
+        ) {
+            let img = BinaryImage::from_gray(&pixels, IMAGE_DIM, IMAGE_DIM, 128);
+            let f = BinaryFilter::from_u16(fbits);
+            prop_assert_eq!(conv3x3_packed(&img, &f, r, c), conv3x3_at(&img, &f, r, c));
+        }
+
+        /// Pooled values never leave the [-9, 9] pre-activation range.
+        #[test]
+        fn pooled_range_invariant(
+            pixels in proptest::collection::vec(any::<u8>(), IMAGE_DIM * IMAGE_DIM),
+            fbits in 0u16..512,
+        ) {
+            let img = BinaryImage::from_gray(&pixels, IMAGE_DIM, IMAGE_DIM, 128);
+            let f = BinaryFilter::from_u16(fbits);
+            let pooled = conv_pool(&img, &f);
+            prop_assert!(pooled.iter().all(|&v| (-9..=9).contains(&v)));
+        }
+
+        /// Pooling dominates: every pooled value is >= each of its window's
+        /// conv values.
+        #[test]
+        fn pool_takes_window_max(
+            pixels in proptest::collection::vec(any::<u8>(), IMAGE_DIM * IMAGE_DIM),
+            fbits in 0u16..512,
+            pr in 0usize..POOLED_DIM,
+            pc in 0usize..POOLED_DIM,
+        ) {
+            let img = BinaryImage::from_gray(&pixels, IMAGE_DIM, IMAGE_DIM, 128);
+            let f = BinaryFilter::from_u16(fbits);
+            let pooled = conv_pool(&img, &f);
+            let got = pooled[pr * POOLED_DIM + pc];
+            for dr in 0..2 {
+                for dc in 0..2 {
+                    prop_assert!(got >= conv3x3_packed(&img, &f, 2 * pr + dr, 2 * pc + dc));
+                }
+            }
+        }
+    }
+}

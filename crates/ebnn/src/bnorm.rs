@@ -1,0 +1,140 @@
+//! BatchNorm + BinaryActivation — the floating-point block the LUT rewrite
+//! removes from the DPU.
+//!
+//! The paper's Algorithm 1 spells the per-filter BN computation out as five
+//! weight arrays `W0..W4` applied to a pooled pre-activation `i`:
+//!
+//! ```text
+//! tmp = ((((i + W0[j]) − W1[j]) / W2[j]) * W3[j]) + W4[j]
+//! out = if tmp >= 0 { 1 } else { 0 }              (BinaryActivation)
+//! ```
+//!
+//! (`W0` folds the conv bias, `W1` the running mean, `W2` the running
+//! standard deviation, `W3` the learned gamma, `W4` the learned beta.)
+
+use serde::{Deserialize, Serialize};
+
+/// Per-filter BatchNorm parameters (the paper's `W0..W4`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchNorm {
+    /// Conv bias folded into BN (`W0`).
+    pub w0: Vec<f32>,
+    /// Running mean (`W1`).
+    pub w1: Vec<f32>,
+    /// Running standard deviation (`W2`, strictly positive).
+    pub w2: Vec<f32>,
+    /// Learned scale gamma (`W3`).
+    pub w3: Vec<f32>,
+    /// Learned shift beta (`W4`).
+    pub w4: Vec<f32>,
+}
+
+impl BatchNorm {
+    /// Build from per-filter parameter rows.
+    ///
+    /// # Panics
+    /// When the arrays disagree in length or any `w2` is not positive.
+    #[must_use]
+    pub fn new(w0: Vec<f32>, w1: Vec<f32>, w2: Vec<f32>, w3: Vec<f32>, w4: Vec<f32>) -> Self {
+        let n = w0.len();
+        assert!(
+            w1.len() == n && w2.len() == n && w3.len() == n && w4.len() == n,
+            "BatchNorm parameter arrays must agree in length"
+        );
+        assert!(w2.iter().all(|&s| s > 0.0), "standard deviations must be positive");
+        Self { w0, w1, w2, w3, w4 }
+    }
+
+    /// Number of filters.
+    #[must_use]
+    pub fn filters(&self) -> usize {
+        self.w0.len()
+    }
+
+    /// The normalized (pre-activation) value for filter `j` — Algorithm 1
+    /// lines 9–13, evaluated exactly as written (no algebraic fusing, so the
+    /// LUT built from this function matches bit-for-bit).
+    ///
+    /// # Panics
+    /// When `j` is out of range.
+    #[must_use]
+    pub fn normalize(&self, x: i32, j: usize) -> f32 {
+        let mut tmp = x as f32;
+        tmp += self.w0[j];
+        tmp -= self.w1[j];
+        tmp /= self.w2[j];
+        tmp *= self.w3[j];
+        tmp += self.w4[j];
+        tmp
+    }
+
+    /// BatchNorm followed by BinaryActivation — Algorithm 1 lines 9–17.
+    ///
+    /// # Panics
+    /// When `j` is out of range.
+    #[must_use]
+    pub fn bn_binact(&self, x: i32, j: usize) -> u8 {
+        u8::from(self.normalize(x, j) >= 0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn simple() -> BatchNorm {
+        BatchNorm::new(
+            vec![0.5, -1.0],
+            vec![0.0, 2.0],
+            vec![1.0, 4.0],
+            vec![1.0, -1.0],
+            vec![0.0, 0.25],
+        )
+    }
+
+    #[test]
+    fn normalize_follows_algorithm_1_order() {
+        let bn = simple();
+        // filter 0: ((3 + 0.5 - 0) / 1) * 1 + 0 = 3.5
+        assert_eq!(bn.normalize(3, 0), 3.5);
+        // filter 1: ((3 - 1 - 2) / 4) * -1 + 0.25 = 0.25
+        assert_eq!(bn.normalize(3, 1), 0.25);
+    }
+
+    #[test]
+    fn binact_thresholds_at_zero() {
+        let bn = simple();
+        assert_eq!(bn.bn_binact(3, 0), 1);
+        assert_eq!(bn.bn_binact(-9, 0), 0);
+        // Exactly zero activates (>= 0).
+        let bn0 = BatchNorm::new(vec![0.0], vec![0.0], vec![1.0], vec![1.0], vec![0.0]);
+        assert_eq!(bn0.bn_binact(0, 0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_std_rejected() {
+        let _ = BatchNorm::new(vec![0.0], vec![0.0], vec![0.0], vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "agree in length")]
+    fn ragged_params_rejected() {
+        let _ = BatchNorm::new(vec![0.0, 1.0], vec![0.0], vec![1.0], vec![1.0], vec![0.0]);
+    }
+
+    proptest! {
+        /// BinAct is monotone in x when the effective slope (w3/w2) is
+        /// positive: larger pre-activations can only turn 0→1.
+        #[test]
+        fn monotone_for_positive_gain(
+            w0 in -4.0f32..4.0, w1 in -4.0f32..4.0,
+            w2 in 0.5f32..4.0, w3 in 0.1f32..4.0, w4 in -4.0f32..4.0,
+            x in -9i32..9,
+        ) {
+            let bn = BatchNorm::new(vec![w0], vec![w1], vec![w2], vec![w3], vec![w4]);
+            prop_assert!(bn.bn_binact(x + 1, 0) >= bn.bn_binact(x, 0));
+        }
+    }
+}

@@ -1,0 +1,552 @@
+//! Tier-1 code generation: emit the complete eBNN Convolution-Pool DPU
+//! program as assembly and run batches through it at instruction level.
+//!
+//! This is the repository's strongest fidelity path: the same inference the
+//! Tier-2 pipeline performs (multi-image-per-DPU, LUT-rewritten BN, §4.1)
+//! executes as an actual DPU program — per-tasklet image DMA, a shared
+//! filter/LUT load behind a barrier, the bit-packed convolution, LUT
+//! activation, and the feature write-back DMA. The integration tests
+//! compare its output bit-for-bit against [`crate::model::EbnnModel`] and
+//! its cycle counts against the Tier-2 estimates.
+//!
+//! ## WRAM layout (generated constants)
+//!
+//! ```text
+//! 0x0000  params        n_images (8 B)
+//! 0x0040  image slots   16 × 128 B (row r of image i at slot+4+4r;
+//!                       offsets 0..4 and 116..128 are zero guards, giving
+//!                       the conv its −1 padding for free)
+//! 0x0840  filters       F × 16 B (3 packed u32 rows + pad)
+//! ....    LUT           19 × F bytes
+//! ....    features      16 × F×196 bytes (one byte per feature bit)
+//! ```
+
+use crate::lut::BnLut;
+use crate::mnist::GrayImage;
+use crate::model::EbnnModel;
+use crate::{IMAGES_PER_DPU, IMAGE_DIM, IMAGE_SLOT_BYTES, POOLED_DIM};
+use dpu_sim::asm::assemble;
+use dpu_sim::{DpuId, Program};
+use pim_host::{DpuSet, HostError, LaunchResult};
+
+/// WRAM addresses used by the generated program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WramLayout {
+    /// `n_images` scalar.
+    pub params: u32,
+    /// First image slot.
+    pub images: u32,
+    /// First filter record (16 bytes each).
+    pub filters: u32,
+    /// LUT base.
+    pub lut: u32,
+    /// First feature byte.
+    pub features: u32,
+    /// Filter count the layout was built for.
+    pub n_filters: u32,
+}
+
+impl WramLayout {
+    /// Layout for `filters` conv filters.
+    ///
+    /// # Panics
+    /// When the layout would overflow the data half of WRAM.
+    #[must_use]
+    pub fn new(filters: usize) -> Self {
+        assert!(filters > 0 && filters <= 8, "codegen supports 1..=8 filters (the 16-slot\n             feature region for wider models would overflow WRAM)");
+        let params = 0u32;
+        let images = 0x40u32;
+        let filters_base = images + (IMAGES_PER_DPU * IMAGE_SLOT_BYTES) as u32;
+        let lut = filters_base + 16 * filters as u32;
+        let features = (lut + 19 * filters as u32 + 7) & !7;
+        let end = features + (IMAGES_PER_DPU * filters * POOLED_DIM * POOLED_DIM) as u32;
+        assert!(end <= 48 * 1024, "layout overflows the WRAM data region: {end:#x}");
+        Self { params, images, filters: filters_base, lut, features, n_filters: filters as u32 }
+    }
+
+    /// Feature bytes per image.
+    #[must_use]
+    pub fn features_per_image(&self) -> u32 {
+        self.n_filters * (POOLED_DIM * POOLED_DIM) as u32
+    }
+}
+
+/// Emit the conv-window evaluation for window copy `idx` (labels must be
+/// unique): computes the 3×3 XNOR-popcount value at (`row` in r16,
+/// `col` in r17) and folds it into the running max in r9.
+fn emit_window(idx: usize) -> String {
+    format!(
+        "\
+        lsli r24, r16, 2\n\
+        add r24, r24, r3\n\
+        addi r24, r24, -4\n\
+        movi r10, 0\n\
+        lw r25, r24, 0\n\
+        lsli r25, r25, 1\n\
+        lsr r25, r25, r17\n\
+        xor r25, r25, r20\n\
+        xor r25, r25, r23\n\
+        and r25, r25, r23\n\
+        popcount r26, r25\n\
+        add r10, r10, r26\n\
+        lw r25, r24, 4\n\
+        lsli r25, r25, 1\n\
+        lsr r25, r25, r17\n\
+        xor r25, r25, r21\n\
+        xor r25, r25, r23\n\
+        and r25, r25, r23\n\
+        popcount r26, r25\n\
+        add r10, r10, r26\n\
+        lw r25, r24, 8\n\
+        lsli r25, r25, 1\n\
+        lsr r25, r25, r17\n\
+        xor r25, r25, r22\n\
+        xor r25, r25, r23\n\
+        and r25, r25, r23\n\
+        popcount r26, r25\n\
+        add r10, r10, r26\n\
+        lsli r26, r10, 1\n\
+        addi r26, r26, -9\n\
+        blt r26, r9, wskip{idx}\n\
+        mov r9, r26\n\
+        wskip{idx}:\n"
+    )
+}
+
+/// Generate the complete eBNN conv-pool DPU program for `filters` filters.
+///
+/// Program phases: (1) every tasklet DMAs its own image slot; tasklet 0
+/// additionally DMAs params, filters and LUT; (2) barrier; (3) the
+/// conv-pool-LUT loops; (4) per-image feature write-back DMA.
+///
+/// # Panics
+/// When `filters` is outside `1..=16` or code generation produces invalid
+/// assembly (a bug, not an input condition).
+#[must_use]
+pub fn tier1_program(filters: usize) -> Program {
+    let l = WramLayout::new(filters);
+    let fpi = l.features_per_image();
+    let fpi_pad = (fpi as usize).div_ceil(8) * 8;
+    let mut s = String::new();
+
+    // ---- phase 1: shared loads (tasklet 0), then a barrier ----
+    s.push_str(&format!(
+        "\
+        me r1\n\
+        bne r1, r0, wait0\n\
+        movi r3, {par_w}\n\
+        movi r4, {par_m}\n\
+        movi r5, 8\n\
+        mram.read r3, r4, r5\n\
+        movi r3, {fil_w}\n\
+        movi r4, {fil_m}\n\
+        movi r5, {fil_len}\n\
+        mram.read r3, r4, r5\n\
+        movi r3, {lut_w}\n\
+        movi r4, {lut_m}\n\
+        movi r5, {lut_len}\n\
+        mram.read r3, r4, r5\n\
+        wait0: barrier\n\
+        lw r2, r0, {par_w}        ; n_images\n\
+        lw r18, r0, {par_w4}      ; n_tasklets (stride)\n\
+        movi r14, {nf}\n\
+        movi r15, {lut_w}\n\
+        movi r28, 14\n\
+        movi r30, 196\n\
+        mov r31, r1               ; my first image\n\
+        imgloop: bge r31, r2, done\n\
+        ; DMA image slot r31: MRAM images + idx*128 -> WRAM images + idx*128\n\
+        lsli r19, r31, 7\n\
+        movi r3, {img_w}\n\
+        add r3, r3, r19\n\
+        movi r4, {img_m}\n\
+        add r4, r4, r19\n\
+        movi r5, {slot}\n\
+        mram.read r3, r4, r5\n\
+        ; r3 = image rows base (+4 past guard), r4 = feature base\n\
+        addi r3, r3, 4\n\
+        movi r11, {fpi}\n\
+        call __mulsi3 r4, r31, r11\n\
+        addi r4, r4, {feat_w}\n\
+        movi r5, 0\n\
+        jloop:\n\
+        lsli r6, r5, 4\n\
+        addi r6, r6, {fil_w}\n\
+        lw r20, r6, 0\n\
+        lw r21, r6, 4\n\
+        lw r22, r6, 8\n\
+        movi r23, 7\n\
+        movi r7, 0\n\
+        prloop:\n\
+        movi r8, 0\n\
+        pcloop:\n\
+        movi r9, -128\n",
+        par_w = l.params,
+        par_w4 = l.params + 4,
+        par_m = mram::PARAMS,
+        fil_w = l.filters,
+        fil_m = mram::FILTERS,
+        fil_len = 16 * filters,
+        lut_w = l.lut,
+        lut_m = mram::LUT,
+        lut_len = (19 * filters).div_ceil(8) * 8,
+        nf = filters,
+        img_w = l.images,
+        img_m = mram::IMAGES,
+        slot = IMAGE_SLOT_BYTES,
+        fpi = fpi,
+        feat_w = l.features,
+    ));
+
+    // Four unrolled windows: (dr, dc) in {0,1}^2.
+    for (idx, (dr, dc)) in [(0u32, 0u32), (0, 1), (1, 0), (1, 1)].iter().enumerate() {
+        s.push_str(&format!(
+            "\
+            lsli r16, r7, 1\n\
+            addi r16, r16, {dr}\n\
+            lsli r17, r8, 1\n\
+            addi r17, r17, {dc}\n",
+        ));
+        s.push_str(&emit_window(idx));
+    }
+    s.push_str(
+        "\
+        ; LUT: idx = (best + 9) * F + j\n\
+        addi r9, r9, 9\n\
+        mul8 r24, r9, r14\n\
+        add r24, r24, r5\n\
+        add r24, r24, r15\n\
+        lb r25, r24, 0\n\
+        ; feature byte at out + j*196 + pr*14 + pc\n\
+        mul8 r26, r5, r30\n\
+        mul8 r27, r7, r28\n\
+        add r26, r26, r27\n\
+        add r26, r26, r8\n\
+        add r26, r26, r4\n\
+        sb r26, 0, r25\n\
+        addi r8, r8, 1\n\
+        bne r8, r28, pcloop\n\
+        addi r7, r7, 1\n\
+        bne r7, r28, prloop\n\
+        addi r5, r5, 1\n\
+        bne r5, r14, jloop\n",
+    );
+
+    // ---- write back this image's features, then stride to the next ----
+    s.push_str(&format!(
+        "\
+        movi r11, {fpi_pad}\n\
+        call __mulsi3 r12, r31, r11\n\
+        movi r13, {feat_m}\n\
+        add r13, r13, r12\n\
+        mram.write r4, r13, r11\n\
+        add r31, r31, r18\n\
+        jmp imgloop\n\
+        done: halt\n",
+        fpi_pad = fpi_pad,
+        feat_m = mram::FEATURES,
+    ));
+
+    let program = assemble(&s).expect("generated eBNN program assembles");
+    program.validate().expect("generated eBNN program has valid control flow");
+    program
+}
+
+/// MRAM symbol offsets used by [`run_tier1_batch`] (allocated with
+/// `define_at` so the generated program can hard-code them).
+pub mod mram {
+    /// `n_images` scalar.
+    pub const PARAMS: u32 = 0;
+    /// Image slots (16 × 128 B).
+    pub const IMAGES: u32 = 8;
+    /// Filter records (16 × 16 B capacity).
+    pub const FILTERS: u32 = IMAGES + 2048;
+    /// LUT (up to 19 × 16 bytes, padded).
+    pub const LUT: u32 = FILTERS + 256;
+    /// Feature output (16 × up to 3136 B).
+    pub const FEATURES: u32 = LUT + 312;
+}
+
+/// Run a batch (≤ 16 images) through the generated Tier-1 program on one
+/// simulated DPU, returning per-image feature vectors and the launch
+/// result (cycles, DMA stats, trace).
+///
+/// # Errors
+/// Host-runtime failures.
+///
+/// # Panics
+/// When `images` is empty or exceeds [`IMAGES_PER_DPU`], or the model has
+/// more than 16 filters.
+pub fn run_tier1_batch(
+    model: &EbnnModel,
+    images: &[GrayImage],
+) -> Result<(Vec<Vec<u8>>, LaunchResult), HostError> {
+    run_tier1_batch_with_tasklets(model, images, images.len().min(IMAGES_PER_DPU))
+}
+
+/// Like [`run_tier1_batch`] with an explicit tasklet count: tasklet `t`
+/// processes images `t, t+T, t+2T, …` — the configuration knob behind the
+/// instruction-level Fig. 4.7(a) measurement.
+///
+/// # Errors
+/// Host-runtime failures.
+///
+/// # Panics
+/// See [`run_tier1_batch`]; additionally when `tasklets` is outside
+/// `1..=24`.
+pub fn run_tier1_batch_with_tasklets(
+    model: &EbnnModel,
+    images: &[GrayImage],
+    tasklets: usize,
+) -> Result<(Vec<Vec<u8>>, LaunchResult), HostError> {
+    assert!(!images.is_empty() && images.len() <= IMAGES_PER_DPU, "1..=16 images per DPU");
+    assert!((1..=24).contains(&tasklets), "tasklets must be 1..=24");
+    let filters = model.config.filters;
+    let l = WramLayout::new(filters);
+    let fpi = l.features_per_image() as usize;
+    let fpi_pad = fpi.div_ceil(8) * 8;
+
+    let mut set = DpuSet::allocate(1)?;
+    // Sequential definitions land at the fixed offsets in [`mram`], which
+    // the generated program hard-codes.
+    set.define_symbol("params", 8)?;
+    set.define_symbol("images", 2048)?;
+    set.define_symbol("filters", 256)?;
+    set.define_symbol("lut", 312)?;
+    set.define_symbol("features", IMAGES_PER_DPU * fpi_pad)?;
+
+    // params: [n_images: u32][n_tasklets: u32].
+    let mut params = Vec::with_capacity(8);
+    params.extend_from_slice(&(images.len() as u32).to_le_bytes());
+    params.extend_from_slice(&(tasklets as u32).to_le_bytes());
+    set.copy_to("params", 0, &params)?;
+    for (i, g) in images.iter().enumerate() {
+        let img = model.binarize(&g.pixels);
+        // Slot layout: 4-byte zero guard, 112 bytes of rows, zero tail.
+        let mut slot = vec![0u8; IMAGE_SLOT_BYTES];
+        slot[4..4 + IMAGE_DIM * 4].copy_from_slice(&img.to_bytes());
+        set.copy_to_dpu(DpuId(0), "images", i * IMAGE_SLOT_BYTES, &slot)?;
+    }
+    let mut filter_wire = vec![0u8; 16 * filters];
+    for (j, f) in model.filters.iter().enumerate() {
+        for (r, &row) in f.rows.iter().enumerate() {
+            filter_wire[j * 16 + 4 * r..j * 16 + 4 * r + 4]
+                .copy_from_slice(&u32::from(row).to_le_bytes());
+        }
+    }
+    set.copy_to(
+        "filters",
+        0,
+        &pim_host::pad_to_8(&filter_wire),
+    )?;
+    let lut = BnLut::for_conv3x3(&model.bn);
+    set.copy_to("lut", 0, &pim_host::pad_to_8(&lut.to_bytes()))?;
+
+    let program = tier1_program(filters);
+    let result = set.launch(&program, tasklets)?;
+
+    let mut features = Vec::with_capacity(images.len());
+    for i in 0..images.len() {
+        let mut wire = vec![0u8; fpi_pad];
+        set.copy_from_dpu(DpuId(0), "features", i * fpi_pad, &mut wire)?;
+        features.push(wire[..fpi].to_vec());
+    }
+    Ok((features, result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ModelConfig;
+
+    fn model(filters: usize) -> EbnnModel {
+        EbnnModel::generate(ModelConfig { filters, ..ModelConfig::default() })
+    }
+
+    #[test]
+    fn layout_is_disjoint_and_bounded() {
+        for f in [1usize, 4, 8] {
+            let l = WramLayout::new(f);
+            assert!(l.params < l.images);
+            assert!(l.images + 2048 <= l.filters);
+            assert!(l.filters + 16 * f as u32 <= l.lut);
+            assert!(l.lut + 19 * f as u32 <= l.features);
+        }
+    }
+
+    #[test]
+    fn generated_program_fits_iram() {
+        for f in [1usize, 4, 8] {
+            let p = tier1_program(f);
+            assert!(
+                p.iram_bytes() <= dpu_sim::params::IRAM_BYTES,
+                "{f} filters: {} bytes",
+                p.iram_bytes()
+            );
+        }
+    }
+
+    #[test]
+    fn tier1_features_match_model_single_image() {
+        let m = model(4);
+        let imgs = vec![crate::mnist::synth_digit(7, 1)];
+        let (features, result) = run_tier1_batch(&m, &imgs).unwrap();
+        let expected = m.features(&m.binarize(&imgs[0].pixels));
+        assert_eq!(features[0], expected);
+        assert!(result.makespan_cycles() > 0);
+    }
+
+    #[test]
+    fn tier1_features_match_model_full_batch() {
+        let m = model(2);
+        let imgs: Vec<_> = (0..16).map(|i| crate::mnist::synth_digit(i % 10, i as u64)).collect();
+        let (features, _) = run_tier1_batch(&m, &imgs).unwrap();
+        for (i, img) in imgs.iter().enumerate() {
+            let expected = m.features(&m.binarize(&img.pixels));
+            assert_eq!(features[i], expected, "image {i}");
+        }
+    }
+
+    #[test]
+    fn partial_batches_leave_idle_tasklets_quiet() {
+        let m = model(2);
+        let imgs: Vec<_> = (0..3).map(|i| crate::mnist::synth_digit(i, 0)).collect();
+        let (features, _) = run_tier1_batch(&m, &imgs).unwrap();
+        assert_eq!(features.len(), 3);
+        for (i, img) in imgs.iter().enumerate() {
+            assert_eq!(features[i], m.features(&m.binarize(&img.pixels)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tasklet_scaling_tests {
+    use super::*;
+    use crate::model::ModelConfig;
+
+    #[test]
+    fn strided_assignment_is_correct_at_every_tasklet_count() {
+        let m = EbnnModel::generate(ModelConfig { filters: 2, ..ModelConfig::default() });
+        let imgs: Vec<_> = (0..7).map(|i| crate::mnist::synth_digit(i, 2)).collect();
+        let expected: Vec<Vec<u8>> =
+            imgs.iter().map(|g| m.features(&m.binarize(&g.pixels))).collect();
+        for t in [1usize, 2, 3, 7, 11] {
+            let (features, _) = run_tier1_batch_with_tasklets(&m, &imgs, t).unwrap();
+            assert_eq!(features, expected, "tasklets = {t}");
+        }
+    }
+
+    #[test]
+    fn tier1_tasklet_speedup_shows_fig_4_7a_shape() {
+        // Instruction-level Fig. 4.7(a): 16 images, varying tasklets.
+        let m = EbnnModel::generate(ModelConfig { filters: 1, ..ModelConfig::default() });
+        let imgs: Vec<_> = (0..16).map(|i| crate::mnist::synth_digit(i % 10, i as u64)).collect();
+        let cycles = |t: usize| {
+            run_tier1_batch_with_tasklets(&m, &imgs, t).unwrap().1.makespan_cycles()
+        };
+        let c1 = cycles(1) as f64;
+        let (s8, s11, s16) = (c1 / cycles(8) as f64, c1 / cycles(11) as f64, c1 / cycles(16) as f64);
+        // Plateau between 8 and 11 (both need two 8-image waves), jump at 16.
+        assert!(s8 > 6.0, "8-tasklet speedup {s8:.2}");
+        assert!((s8 - s11).abs() / s8 < 0.08, "plateau: {s8:.2} vs {s11:.2}");
+        assert!(s16 > s11 * 1.2, "16-tasklet jump: {s16:.2} vs {s11:.2}");
+    }
+}
+
+/// Run an arbitrarily large batch at Tier 1 across multiple DPUs: images
+/// are chunked 16 per DPU (every DPU has the same MRAM symbol layout and
+/// runs the same program — the SIMD-across-DPUs model of §3.1).
+///
+/// Returns per-image features in input order plus the launch result
+/// (the makespan is the slowest DPU).
+///
+/// # Errors
+/// Host-runtime failures.
+///
+/// # Panics
+/// When `images` is empty or the model has more than 8 filters.
+pub fn run_tier1_batch_multi_dpu(
+    model: &EbnnModel,
+    images: &[GrayImage],
+) -> Result<(Vec<Vec<u8>>, LaunchResult), HostError> {
+    assert!(!images.is_empty(), "empty batch");
+    let filters = model.config.filters;
+    let l = WramLayout::new(filters);
+    let fpi = l.features_per_image() as usize;
+    let fpi_pad = fpi.div_ceil(8) * 8;
+    let dpus = images.len().div_ceil(IMAGES_PER_DPU);
+
+    let mut set = DpuSet::allocate(dpus)?;
+    set.define_symbol("params", 8)?;
+    set.define_symbol("images", 2048)?;
+    set.define_symbol("filters", 256)?;
+    set.define_symbol("lut", 312)?;
+    set.define_symbol("features", IMAGES_PER_DPU * fpi_pad)?;
+
+    // Shared weights/LUT broadcast once.
+    let mut filter_wire = vec![0u8; 16 * filters];
+    for (j, f) in model.filters.iter().enumerate() {
+        for (r, &row) in f.rows.iter().enumerate() {
+            filter_wire[j * 16 + 4 * r..j * 16 + 4 * r + 4]
+                .copy_from_slice(&u32::from(row).to_le_bytes());
+        }
+    }
+    set.copy_to("filters", 0, &pim_host::pad_to_8(&filter_wire))?;
+    let lut = BnLut::for_conv3x3(&model.bn);
+    set.copy_to("lut", 0, &pim_host::pad_to_8(&lut.to_bytes()))?;
+
+    // Per-DPU image scatter + per-DPU image counts.
+    let chunks: Vec<&[GrayImage]> = images.chunks(IMAGES_PER_DPU).collect();
+    for (d, chunk) in chunks.iter().enumerate() {
+        let dpu = DpuId(d as u32);
+        let mut params = Vec::with_capacity(8);
+        params.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
+        params.extend_from_slice(&(chunk.len() as u32).to_le_bytes()); // stride = count
+        set.copy_to_dpu(dpu, "params", 0, &params)?;
+        for (i, g) in chunk.iter().enumerate() {
+            let img = model.binarize(&g.pixels);
+            let mut slot = vec![0u8; IMAGE_SLOT_BYTES];
+            slot[4..4 + IMAGE_DIM * 4].copy_from_slice(&img.to_bytes());
+            set.copy_to_dpu(dpu, "images", i * IMAGE_SLOT_BYTES, &slot)?;
+        }
+    }
+
+    set.load(&tier1_program(filters))?;
+    let tasklets = chunks.iter().map(|c| c.len()).max().unwrap_or(1);
+    let result = set.launch_loaded(tasklets)?;
+
+    let mut features = Vec::with_capacity(images.len());
+    for (d, chunk) in chunks.iter().enumerate() {
+        for i in 0..chunk.len() {
+            let mut wire = vec![0u8; fpi_pad];
+            set.copy_from_dpu(DpuId(d as u32), "features", i * fpi_pad, &mut wire)?;
+            features.push(wire[..fpi].to_vec());
+        }
+    }
+    Ok((features, result))
+}
+
+#[cfg(test)]
+mod multi_dpu_tests {
+    use super::*;
+    use crate::model::ModelConfig;
+
+    #[test]
+    fn forty_images_across_three_dpus() {
+        let m = EbnnModel::generate(ModelConfig { filters: 2, ..ModelConfig::default() });
+        let imgs: Vec<_> =
+            (0..40).map(|i| crate::mnist::synth_digit(i % 10, (i / 10) as u64)).collect();
+        let (features, result) = run_tier1_batch_multi_dpu(&m, &imgs).unwrap();
+        assert_eq!(result.per_dpu.len(), 3);
+        for (i, img) in imgs.iter().enumerate() {
+            assert_eq!(
+                features[i],
+                m.features(&m.binarize(&img.pixels)),
+                "image {i}"
+            );
+        }
+        // The partially-filled third DPU finishes no later than a full one.
+        let c: Vec<u64> = result.per_dpu.iter().map(|r| r.cycles).collect();
+        assert!(c[2] <= c[0]);
+    }
+}

@@ -1,0 +1,611 @@
+//! Deep (multi-block) eBNN — the depth extension the paper's future work
+//! calls for (§6.1: "CNNs from AlexNet to ResNet or choosing a CNN such as
+//! eBNN and going from small image sizes to larger sizes ... The more CNNs
+//! are tested in UPMEM's system the more conclusions could be made").
+//!
+//! The paper's implementation uses a single Convolution-Pool block; the
+//! original eBNN architecture stacks several. This module generalizes the
+//! binary pipeline to multi-channel feature maps so blocks compose:
+//!
+//! ```text
+//! 28×28×1 → [conv3×3 ×F₁, pool2, BN-BinAct] → 14×14×F₁
+//!         → [conv3×3 ×F₂, pool2, BN-BinAct] → 7×7×F₂ → … → classifier
+//! ```
+//!
+//! A C-channel binary convolution sums XNOR-popcounts over channels, so the
+//! pre-activation range is `[-9·C, 9·C]` and each block's LUT has
+//! `18·C + 1` rows — the LUT construction (Algorithm 1) scales with fan-in
+//! exactly as the paper describes ("the range of the input values are
+//! dependant on only the filter size").
+
+use crate::bconv::BinaryFilter;
+use crate::bnorm::BatchNorm;
+use crate::lut::BnLut;
+use crate::softmax::Classifier;
+use crate::{CLASSES, IMAGE_DIM};
+use dpu_sim::cost::OpCounts;
+use dpu_sim::{Profiler, Subroutine};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// A bit-packed multi-channel binary feature map (`dim ≤ 32`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BinaryFeatureMap {
+    /// Channels.
+    pub channels: usize,
+    /// Spatial edge length.
+    pub dim: usize,
+    /// `channels × dim` packed rows; bit `c` of `rows[ch*dim + r]` is
+    /// pixel `(r, c)` of channel `ch`.
+    pub rows: Vec<u32>,
+}
+
+impl BinaryFeatureMap {
+    /// An all-(-1) map.
+    #[must_use]
+    pub fn zeros(channels: usize, dim: usize) -> Self {
+        assert!(dim <= 32, "packed rows hold at most 32 pixels");
+        Self { channels, dim, rows: vec![0; channels * dim] }
+    }
+
+    /// Wrap a single-channel image.
+    #[must_use]
+    pub fn from_image(img: &crate::bconv::BinaryImage) -> Self {
+        assert!(img.width <= 32, "packed rows hold at most 32 pixels");
+        Self { channels: 1, dim: img.width, rows: img.rows.clone() }
+    }
+
+    /// Bit at `(channel, row, col)` as 0/1.
+    ///
+    /// # Panics
+    /// When out of bounds.
+    #[must_use]
+    pub fn bit(&self, channel: usize, row: usize, col: usize) -> u8 {
+        assert!(channel < self.channels && row < self.dim && col < self.dim);
+        ((self.rows[channel * self.dim + row] >> col) & 1) as u8
+    }
+
+    /// Set bit at `(channel, row, col)`.
+    ///
+    /// # Panics
+    /// When out of bounds.
+    pub fn set_bit(&mut self, channel: usize, row: usize, col: usize, v: u8) {
+        assert!(channel < self.channels && row < self.dim && col < self.dim);
+        let w = &mut self.rows[channel * self.dim + row];
+        if v != 0 {
+            *w |= 1 << col;
+        } else {
+            *w &= !(1 << col);
+        }
+    }
+
+    /// Flatten to 0/1 features, `[channel][row][col]` order.
+    #[must_use]
+    pub fn to_bits(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.channels * self.dim * self.dim);
+        for ch in 0..self.channels {
+            for r in 0..self.dim {
+                for c in 0..self.dim {
+                    out.push(self.bit(ch, r, c));
+                }
+            }
+        }
+        out
+    }
+
+    /// Bytes of the packed representation.
+    #[must_use]
+    pub fn packed_bytes(&self) -> usize {
+        self.rows.len() * 4
+    }
+}
+
+/// A multi-channel 3×3 binary filter: one [`BinaryFilter`] per input
+/// channel.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeepFilter {
+    /// Per-channel 3×3 kernels.
+    pub per_channel: Vec<BinaryFilter>,
+}
+
+impl DeepFilter {
+    /// Pre-activation range bound for `channels` inputs: `±9·channels`.
+    #[must_use]
+    pub fn range(channels: usize) -> i32 {
+        9 * channels as i32
+    }
+}
+
+/// One Convolution-Pool-BN-BinAct block.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeepBlock {
+    /// Input channels the block expects.
+    pub in_channels: usize,
+    /// Filters (output channels).
+    pub filters: Vec<DeepFilter>,
+    /// BatchNorm parameters (one set per filter).
+    pub bn: BatchNorm,
+    /// Host-built LUT over the block's pre-activation range.
+    pub lut: BnLut,
+}
+
+impl DeepBlock {
+    /// The conv sum at `(row, col)` for `filter`, packed-row path.
+    fn conv_at(&self, input: &BinaryFeatureMap, filter: usize, row: usize, col: usize) -> i32 {
+        let f = &self.filters[filter];
+        let mut sum = 0i32;
+        for ch in 0..self.in_channels {
+            let k = &f.per_channel[ch];
+            let mut matches = 0u32;
+            for fr in 0..3 {
+                let ir = row as isize + fr as isize - 1;
+                let packed = if ir < 0 || ir >= input.dim as isize {
+                    0u32
+                } else {
+                    input.rows[ch * input.dim + ir as usize]
+                };
+                let window = ((u64::from(packed) << 1) >> col) as u32 & 0b111;
+                let xnor = !(window ^ u32::from(k.rows[fr])) & 0b111;
+                matches += xnor.count_ones();
+            }
+            sum += 2 * matches as i32 - 9;
+        }
+        sum
+    }
+
+    /// Run the block: conv → 2×2 max-pool → LUT activation. Charges the
+    /// Tier-2 tally and profile exactly like the single-block kernel.
+    ///
+    /// # Panics
+    /// When the input shape mismatches the block.
+    #[must_use]
+    pub fn forward(
+        &self,
+        input: &BinaryFeatureMap,
+        tally: &mut OpCounts,
+        profile: &mut Profiler,
+    ) -> BinaryFeatureMap {
+        assert_eq!(input.channels, self.in_channels, "channel mismatch");
+        assert!(input.dim >= 2, "block needs at least a 2x2 input");
+        let out_dim = input.dim / 2;
+        let mut out = BinaryFeatureMap::zeros(self.filters.len(), out_dim);
+        for (j, _) in self.filters.iter().enumerate() {
+            tally.load += 3 * self.in_channels as u64; // filter rows
+            for pr in 0..out_dim {
+                for pc in 0..out_dim {
+                    tally.loops += 1;
+                    let mut best = i32::MIN;
+                    for dr in 0..2 {
+                        for dc in 0..2 {
+                            let v = self.conv_at(input, j, 2 * pr + dr, 2 * pc + dc);
+                            // Per window per channel: 3 row loads + shift/
+                            // mask/xnor/popcount + combine.
+                            tally.load += 3 * self.in_channels as u64;
+                            tally.alu += (4 * 3 + 4) * self.in_channels as u64;
+                            best = best.max(v);
+                            tally.alu += 1;
+                        }
+                    }
+                    // Output indexing multiply + LUT access.
+                    profile.record(Subroutine::Mulsi3);
+                    tally.mul32 += 1;
+                    tally.alu += 2;
+                    tally.load += 1;
+                    tally.store += 1;
+                    out.set_bit(j, pr, pc, self.lut.lookup(best, j));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Configuration of a deep eBNN.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeepConfig {
+    /// Filters per block (length = depth). 28×28 inputs support up to 4
+    /// blocks (28 → 14 → 7 → 3 → 1).
+    pub filters: Vec<usize>,
+    /// Weight seed.
+    pub seed: u64,
+    /// Binarization threshold.
+    pub threshold: u8,
+}
+
+impl Default for DeepConfig {
+    fn default() -> Self {
+        Self { filters: vec![8, 16], seed: 0xdeeb, threshold: 128 }
+    }
+}
+
+/// A deep eBNN: stacked blocks + prototype classifier.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeepEbnn {
+    /// Configuration.
+    pub config: DeepConfig,
+    /// The blocks, in order.
+    pub blocks: Vec<DeepBlock>,
+    /// Classifier over the final map's bits.
+    pub classifier: Classifier,
+}
+
+impl DeepEbnn {
+    /// Spatial edge after each block for a 28×28 input.
+    #[must_use]
+    pub fn dims(depth: usize) -> Vec<usize> {
+        let mut d = IMAGE_DIM;
+        (0..depth)
+            .map(|_| {
+                d /= 2;
+                d
+            })
+            .collect()
+    }
+
+    /// Generate a deep model from the config seed (prototype-fitted
+    /// classifier, like the single-block model).
+    ///
+    /// # Panics
+    /// When the depth would shrink the map below 1×1 or the config is
+    /// empty.
+    #[must_use]
+    pub fn generate(config: DeepConfig) -> Self {
+        assert!(!config.filters.is_empty(), "at least one block");
+        assert!(config.filters.len() <= 4, "28x28 inputs support at most 4 blocks");
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let mut blocks = Vec::with_capacity(config.filters.len());
+        let mut in_channels = 1usize;
+        for &f_count in &config.filters {
+            let filters: Vec<DeepFilter> = (0..f_count)
+                .map(|_| DeepFilter {
+                    per_channel: (0..in_channels)
+                        .map(|_| BinaryFilter::from_u16(rng.gen_range(0..512)))
+                        .collect(),
+                })
+                .collect();
+            let range = DeepFilter::range(in_channels);
+            // BN parameters scaled to the wider pre-activation range so
+            // activations stay balanced at any depth.
+            let spread = range as f32;
+            let bn = BatchNorm::new(
+                (0..f_count).map(|_| rng.gen_range(-spread / 8.0..spread / 8.0)).collect(),
+                (0..f_count).map(|_| rng.gen_range(-spread / 4.0..spread / 4.0)).collect(),
+                (0..f_count).map(|_| rng.gen_range(spread / 8.0..spread / 2.0)).collect(),
+                (0..f_count).map(|_| if rng.gen_bool(0.5) { 1.0 } else { -1.0 }).collect(),
+                (0..f_count).map(|_| rng.gen_range(-0.5..0.5)).collect(),
+            );
+            let lut = BnLut::build(&bn, -range, range);
+            blocks.push(DeepBlock { in_channels, filters, bn, lut });
+            in_channels = f_count;
+        }
+
+        // Prototype classifier over the final feature map.
+        let mut model = Self {
+            config: config.clone(),
+            blocks,
+            classifier: Classifier::new(1, vec![0; CLASSES]),
+        };
+        let mut protos: [Vec<u8>; CLASSES] = Default::default();
+        for (c, proto) in protos.iter_mut().enumerate() {
+            let t = crate::mnist::class_template(c);
+            *proto = model.features_untallied(&t.pixels);
+        }
+        model.classifier = Classifier::from_prototypes(&protos);
+        model
+    }
+
+    /// Forward pass to the final binary features, charging `tally` and
+    /// `profile`.
+    #[must_use]
+    pub fn features(
+        &self,
+        pixels: &[u8],
+        tally: &mut OpCounts,
+        profile: &mut Profiler,
+    ) -> Vec<u8> {
+        let img = crate::bconv::BinaryImage::from_gray(
+            pixels,
+            IMAGE_DIM,
+            IMAGE_DIM,
+            self.config.threshold,
+        );
+        let mut map = BinaryFeatureMap::from_image(&img);
+        for block in &self.blocks {
+            map = block.forward(&map, tally, profile);
+        }
+        map.to_bits()
+    }
+
+    /// Forward pass without cost accounting (host reference).
+    #[must_use]
+    pub fn features_untallied(&self, pixels: &[u8]) -> Vec<u8> {
+        let mut t = OpCounts::default();
+        let mut p = Profiler::new();
+        self.features(pixels, &mut t, &mut p)
+    }
+
+    /// Predict the class of a grayscale image.
+    #[must_use]
+    pub fn predict(&self, pixels: &[u8]) -> usize {
+        self.classifier.predict(&self.features_untallied(pixels))
+    }
+
+    /// Feature count of the final map.
+    #[must_use]
+    pub fn feature_count(&self) -> usize {
+        let dims = Self::dims(self.config.filters.len());
+        let last = *dims.last().expect("at least one block");
+        self.config.filters.last().unwrap() * last * last
+    }
+
+    /// Total WRAM bytes the model's working set needs (packed feature maps
+    /// of the widest layer transition + LUTs) — the §6.1 feasibility
+    /// criterion.
+    #[must_use]
+    pub fn working_set_bytes(&self) -> usize {
+        let mut max_transition = 0usize;
+        let mut dim = IMAGE_DIM;
+        let mut channels = 1usize;
+        for (block, &f) in self.blocks.iter().zip(&self.config.filters) {
+            let in_bytes = channels * dim * 4;
+            let out_bytes = f * (dim / 2) * 4;
+            max_transition = max_transition.max(in_bytes + out_bytes + block.lut.len());
+            dim /= 2;
+            channels = f;
+        }
+        max_transition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mnist::synth_digit;
+
+    #[test]
+    fn feature_map_bit_round_trip() {
+        let mut m = BinaryFeatureMap::zeros(2, 8);
+        m.set_bit(1, 3, 5, 1);
+        assert_eq!(m.bit(1, 3, 5), 1);
+        assert_eq!(m.bit(0, 3, 5), 0);
+        m.set_bit(1, 3, 5, 0);
+        assert_eq!(m.bit(1, 3, 5), 0);
+    }
+
+    #[test]
+    fn dims_shrink_by_half() {
+        assert_eq!(DeepEbnn::dims(4), vec![14, 7, 3, 1]);
+    }
+
+    #[test]
+    fn two_block_model_runs_and_shapes_match() {
+        let m = DeepEbnn::generate(DeepConfig::default());
+        let f = m.features_untallied(&synth_digit(3, 0).pixels);
+        assert_eq!(f.len(), 16 * 7 * 7);
+        assert_eq!(f.len(), m.feature_count());
+        assert!(f.iter().all(|&b| b <= 1));
+    }
+
+    #[test]
+    fn single_block_deep_model_matches_flat_model_structure() {
+        // A 1-block DeepEbnn has the same feature geometry as EbnnModel.
+        let m = DeepEbnn::generate(DeepConfig {
+            filters: vec![8],
+            ..DeepConfig::default()
+        });
+        assert_eq!(m.feature_count(), 8 * 14 * 14);
+    }
+
+    #[test]
+    fn deeper_models_cost_more_in_first_blocks_but_shrink() {
+        let shallow = DeepEbnn::generate(DeepConfig { filters: vec![8], ..DeepConfig::default() });
+        let deep = DeepEbnn::generate(DeepConfig {
+            filters: vec![8, 16, 32],
+            ..DeepConfig::default()
+        });
+        let px = synth_digit(1, 0).pixels;
+        let mut ts = OpCounts::default();
+        let mut ps = Profiler::new();
+        let _ = shallow.features(&px, &mut ts, &mut ps);
+        let mut td = OpCounts::default();
+        let mut pd = Profiler::new();
+        let _ = deep.features(&px, &mut td, &mut pd);
+        assert!(td.arith_ops() > ts.arith_ops(), "depth adds work");
+    }
+
+    #[test]
+    fn deep_classifier_beats_chance() {
+        let m = DeepEbnn::generate(DeepConfig::default());
+        let mut hits = 0;
+        for c in 0..CLASSES {
+            for i in 0..3 {
+                if m.predict(&synth_digit(c, i).pixels) == c {
+                    hits += 1;
+                }
+            }
+        }
+        assert!(hits >= 12, "deep model accuracy too low: {hits}/30");
+    }
+
+    #[test]
+    fn activations_stay_balanced_at_depth() {
+        let m = DeepEbnn::generate(DeepConfig {
+            filters: vec![8, 16, 16],
+            ..DeepConfig::default()
+        });
+        let f = m.features_untallied(&synth_digit(7, 2).pixels);
+        let ones = f.iter().filter(|&&b| b == 1).count();
+        assert!(ones > 0 && ones < f.len(), "degenerate deep activations: {ones}/{}", f.len());
+    }
+
+    #[test]
+    fn lut_ranges_scale_with_fanin() {
+        let m = DeepEbnn::generate(DeepConfig { filters: vec![4, 8], ..DeepConfig::default() });
+        assert_eq!(m.blocks[0].lut.min, -9);
+        assert_eq!(m.blocks[0].lut.max, 9);
+        assert_eq!(m.blocks[1].lut.min, -36); // 4 input channels
+        assert_eq!(m.blocks[1].lut.max, 36);
+    }
+
+    #[test]
+    fn working_set_reflects_widest_transition() {
+        let m = DeepEbnn::generate(DeepConfig { filters: vec![8, 16], ..DeepConfig::default() });
+        let ws = m.working_set_bytes();
+        // Block 2 transition: 8ch x 14 rows in + 16ch x 7 rows out + LUT.
+        assert!(ws >= 8 * 14 * 4 + 16 * 7 * 4);
+        assert!(ws < 64 * 1024, "fits WRAM");
+    }
+}
+
+/// End-to-end deep eBNN inference over a simulated DPU set, using the same
+/// multi-image-per-DPU orchestration as the single-block pipeline: image
+/// batches scattered to MRAM, per-tasklet block execution with cycle
+/// accounting, per-block LUT broadcast, feature transport back through
+/// MRAM, host-side classification.
+#[derive(Debug, Clone)]
+pub struct DeepPipeline {
+    /// The deep model.
+    pub model: DeepEbnn,
+    /// Device parameters.
+    pub params: dpu_sim::DpuParams,
+    /// Compiler optimization level for the DPU program.
+    pub opt: pim_host::OptLevel,
+    /// Tasklets per DPU.
+    pub tasklets: usize,
+}
+
+/// Result of one deep-pipeline batch.
+#[derive(Debug, Clone)]
+pub struct DeepReport {
+    /// Predicted class per image.
+    pub predictions: Vec<usize>,
+    /// DPUs used.
+    pub dpus_used: usize,
+    /// Cycles until the slowest DPU finished.
+    pub makespan_cycles: u64,
+    /// DPU completion seconds.
+    pub dpu_seconds: f64,
+}
+
+impl DeepPipeline {
+    /// A pipeline with the paper-style defaults (16 tasklets, `-O0`).
+    #[must_use]
+    pub fn new(model: DeepEbnn) -> Self {
+        Self {
+            model,
+            params: dpu_sim::DpuParams::default(),
+            opt: pim_host::OptLevel::O0,
+            tasklets: crate::IMAGES_PER_DPU,
+        }
+    }
+
+    /// Run inference over a batch of grayscale images.
+    ///
+    /// # Errors
+    /// Host-runtime failures.
+    ///
+    /// # Panics
+    /// When `images` is empty.
+    pub fn infer(
+        &self,
+        images: &[crate::mnist::GrayImage],
+    ) -> Result<DeepReport, pim_host::HostError> {
+        assert!(!images.is_empty(), "empty batch");
+        let batch_cap = crate::IMAGES_PER_DPU;
+        let dpus = images.len().div_ceil(batch_cap);
+        let features = self.model.feature_count();
+        let feat_pad = features.div_ceil(8) * 8;
+        let lut_bytes: usize = self.model.blocks.iter().map(|b| b.lut.len()).sum();
+
+        let mut set = pim_host::DpuSet::allocate_with(dpus, self.params)?;
+        set.define_symbol("images", batch_cap * crate::IMAGE_SLOT_BYTES)?;
+        set.define_symbol("luts", lut_bytes.div_ceil(8) * 8)?;
+        set.define_symbol("features", batch_cap * feat_pad)?;
+
+        let mut per_dpu = Vec::with_capacity(dpus);
+        let mut predictions = Vec::with_capacity(images.len());
+        for (d, chunk) in images.chunks(batch_cap).enumerate() {
+            let mut run = pim_host::KernelRun::new(self.params, self.opt, self.tasklets);
+            // Batch image DMA + per-block LUT DMA (tasklet 0).
+            run.charge_dma(0, chunk.len() * crate::IMAGE_SLOT_BYTES);
+            for b in &self.model.blocks {
+                run.charge_dma(0, b.lut.len().div_ceil(8) * 8);
+            }
+            for (i, g) in chunk.iter().enumerate() {
+                let t = i % self.tasklets;
+                let mut profile = Profiler::new();
+                let bits = self.model.features(&g.pixels, run.tally(t), &mut profile);
+                run.charge_dma(t, feat_pad);
+                // Transport through MRAM (one byte per feature bit).
+                let mut wire = bits.clone();
+                wire.resize(feat_pad, 0);
+                set.copy_to_dpu(
+                    dpu_sim::DpuId(d as u32),
+                    "features",
+                    i * feat_pad,
+                    &wire,
+                )?;
+            }
+            // Host gathers and classifies.
+            for i in 0..chunk.len() {
+                let mut wire = vec![0u8; feat_pad];
+                set.copy_from_dpu(dpu_sim::DpuId(d as u32), "features", i * feat_pad, &mut wire)?;
+                predictions.push(self.model.classifier.predict(&wire[..features]));
+            }
+            per_dpu.push(run.estimate());
+        }
+        let makespan_cycles = per_dpu.iter().map(|e| e.cycles).max().unwrap_or(0);
+        Ok(DeepReport {
+            predictions,
+            dpus_used: dpus,
+            makespan_cycles,
+            dpu_seconds: self.params.cycles_to_seconds(makespan_cycles),
+        })
+    }
+}
+
+#[cfg(test)]
+mod pipeline_tests {
+    use super::*;
+    use crate::mnist::synth_digit;
+
+    #[test]
+    fn deep_pipeline_matches_host_reference() {
+        let model = DeepEbnn::generate(DeepConfig { filters: vec![4, 8], ..DeepConfig::default() });
+        let imgs: Vec<_> = (0..5).map(|i| synth_digit(i, 1)).collect();
+        let report = DeepPipeline::new(model.clone()).infer(&imgs).unwrap();
+        for (img, &pred) in imgs.iter().zip(&report.predictions) {
+            assert_eq!(pred, model.predict(&img.pixels));
+        }
+        assert_eq!(report.dpus_used, 1);
+        assert!(report.dpu_seconds > 0.0);
+    }
+
+    #[test]
+    fn deeper_pipelines_cost_more() {
+        let imgs: Vec<_> = (0..4).map(|i| synth_digit(i, 0)).collect();
+        let shallow = DeepPipeline::new(DeepEbnn::generate(DeepConfig {
+            filters: vec![4],
+            ..DeepConfig::default()
+        }))
+        .infer(&imgs)
+        .unwrap();
+        let deep = DeepPipeline::new(DeepEbnn::generate(DeepConfig {
+            filters: vec![4, 8, 8],
+            ..DeepConfig::default()
+        }))
+        .infer(&imgs)
+        .unwrap();
+        assert!(deep.makespan_cycles > shallow.makespan_cycles);
+    }
+
+    #[test]
+    fn deep_batches_spill_over_dpus() {
+        let model = DeepEbnn::generate(DeepConfig { filters: vec![2], ..DeepConfig::default() });
+        let imgs: Vec<_> = (0..20).map(|i| synth_digit(i % 10, (i / 10) as u64)).collect();
+        let report = DeepPipeline::new(model).infer(&imgs).unwrap();
+        assert_eq!(report.dpus_used, 2);
+        assert_eq!(report.predictions.len(), 20);
+    }
+}

@@ -1,0 +1,173 @@
+//! Host-built look-up table replacing BatchNorm + BinaryActivation
+//! (Algorithm 1 of the paper, §4.1.4).
+//!
+//! The host enumerates every possible Convolution-Pool result — the range
+//! depends only on the filter size: `[-9, 9]` for 3×3 — runs each through
+//! the BN-BinAct block for every filter, and stores the binary outputs in a
+//! 2-D table indexed by `(value − min) * filters + filter`. Negative inputs
+//! are handled by the `− min` offset, exactly as the paper describes. The
+//! DPU then replaces two floating-point blocks with one WRAM load.
+//!
+//! Note: Algorithm 1's line 18 writes `LUT[(i−x)·z + y]`; the `y` is a typo
+//! for the filter index `j` (the loop variable of line 7) — with `y` the
+//! table would be written out of bounds and every filter would share one
+//! cell. This implementation uses `j`.
+
+use crate::bnorm::BatchNorm;
+use serde::{Deserialize, Serialize};
+
+/// The BN-BinAct look-up table (one byte per entry, values 0/1).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BnLut {
+    /// Smallest representable conv-pool result (the paper's `x`).
+    pub min: i32,
+    /// Largest representable conv-pool result (the paper's `y`).
+    pub max: i32,
+    /// Number of filters (the paper's `z`).
+    pub filters: usize,
+    table: Vec<u8>,
+}
+
+impl BnLut {
+    /// Build the LUT for pre-activation range `[min, max]` over all filters
+    /// of `bn` — Algorithm 1.
+    ///
+    /// # Panics
+    /// When `min > max` or `bn` has no filters.
+    #[must_use]
+    pub fn build(bn: &BatchNorm, min: i32, max: i32) -> Self {
+        assert!(min <= max, "empty pre-activation range");
+        let filters = bn.filters();
+        assert!(filters > 0, "LUT needs at least one filter");
+        let rows = (max - min + 1) as usize;
+        let mut table = vec![0u8; rows * filters];
+        for i in min..=max {
+            for j in 0..filters {
+                table[((i - min) as usize) * filters + j] = bn.bn_binact(i, j);
+            }
+        }
+        Self { min, max, filters, table }
+    }
+
+    /// LUT for the 3×3 conv-pool range `[-9, 9]`.
+    #[must_use]
+    pub fn for_conv3x3(bn: &BatchNorm) -> Self {
+        Self::build(bn, -crate::bconv::BinaryFilter::AREA, crate::bconv::BinaryFilter::AREA)
+    }
+
+    /// Look up the activation for pre-activation `x` under filter `j` —
+    /// the single WRAM access the DPU performs instead of the BN block.
+    ///
+    /// # Panics
+    /// When `x` is outside `[min, max]` or `j` out of range.
+    #[must_use]
+    pub fn lookup(&self, x: i32, j: usize) -> u8 {
+        assert!((self.min..=self.max).contains(&x), "pre-activation {x} outside LUT range");
+        assert!(j < self.filters, "filter index out of range");
+        self.table[((x - self.min) as usize) * self.filters + j]
+    }
+
+    /// Number of table entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True when the table is empty (never after construction).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Serialize to the MRAM wire format (row-major bytes, padded to 8 by
+    /// the transfer layer).
+    #[must_use]
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.table.clone()
+    }
+
+    /// Reconstruct from the wire format.
+    ///
+    /// # Panics
+    /// When `bytes` has the wrong length for the given shape.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8], min: i32, max: i32, filters: usize) -> Self {
+        let rows = (max - min + 1) as usize;
+        assert_eq!(bytes.len(), rows * filters, "LUT wire size mismatch");
+        Self { min, max, filters, table: bytes.to_vec() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn bn2() -> BatchNorm {
+        BatchNorm::new(
+            vec![0.5, -1.0],
+            vec![0.0, 2.0],
+            vec![1.0, 4.0],
+            vec![1.0, -1.0],
+            vec![0.0, 0.25],
+        )
+    }
+
+    #[test]
+    fn lut_matches_direct_bn_binact_everywhere() {
+        let bn = bn2();
+        let lut = BnLut::for_conv3x3(&bn);
+        for x in -9..=9 {
+            for j in 0..2 {
+                assert_eq!(lut.lookup(x, j), bn.bn_binact(x, j), "x={x} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn shape_is_range_times_filters() {
+        let lut = BnLut::for_conv3x3(&bn2());
+        assert_eq!(lut.len(), 19 * 2);
+        assert_eq!(lut.min, -9);
+        assert_eq!(lut.max, 9);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let lut = BnLut::for_conv3x3(&bn2());
+        let bytes = lut.to_bytes();
+        let back = BnLut::from_bytes(&bytes, lut.min, lut.max, lut.filters);
+        assert_eq!(back, lut);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside LUT range")]
+    fn out_of_range_lookup_panics() {
+        let lut = BnLut::for_conv3x3(&bn2());
+        let _ = lut.lookup(10, 0);
+    }
+
+    proptest! {
+        /// For arbitrary BN parameters the LUT and the float block agree on
+        /// the whole domain — the core correctness claim of §4.1.4 (the LUT
+        /// rewrite changes cost, not semantics).
+        #[test]
+        fn lut_equals_float_block(
+            w0 in proptest::collection::vec(-8.0f32..8.0, 1..6),
+            seed in 0u64..1000,
+        ) {
+            let n = w0.len();
+            let mk = |off: f32| -> Vec<f32> {
+                (0..n).map(|i| ((seed as f32) * 0.37 + i as f32 + off).sin() * 4.0).collect()
+            };
+            let w2: Vec<f32> = mk(1.0).iter().map(|v| v.abs() + 0.25).collect();
+            let bn = BatchNorm::new(w0, mk(0.5), w2, mk(2.0), mk(3.0));
+            let lut = BnLut::for_conv3x3(&bn);
+            for x in -9..=9 {
+                for j in 0..n {
+                    prop_assert_eq!(lut.lookup(x, j), bn.bn_binact(x, j));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,177 @@
+//! Deterministic synthetic MNIST-like digits.
+//!
+//! The paper evaluates eBNN on MNIST (Fig. 4.1). Real MNIST files are not
+//! available in this environment, and the evaluation measures
+//! latency/throughput of fixed-shape inference rather than accuracy on real
+//! digits, so the reproduction substitutes a seeded generator: each class is
+//! a stroke template rasterized at 28×28 with per-sample jitter and pixel
+//! noise. The substitution is recorded in `DESIGN.md`.
+
+use crate::{CLASSES, IMAGE_DIM};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One grayscale 28×28 image (row-major bytes, 0 or 255 after rasterizing).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GrayImage {
+    /// Row-major pixels.
+    pub pixels: Vec<u8>,
+    /// Ground-truth class.
+    pub label: usize,
+}
+
+/// A stroke segment: two `(x, y)` endpoints in 28×28 coordinates.
+type Segment = ((i32, i32), (i32, i32));
+
+/// Stroke segments per digit class.
+fn segments(class: usize) -> &'static [Segment] {
+    match class {
+        0 => &[((9, 5), (19, 5)), ((19, 5), (19, 23)), ((19, 23), (9, 23)), ((9, 23), (9, 5))],
+        1 => &[((14, 4), (14, 24)), ((10, 8), (14, 4))],
+        2 => &[((8, 5), (19, 5)), ((19, 5), (19, 13)), ((19, 13), (8, 23)), ((8, 23), (20, 23))],
+        3 => &[((8, 5), (19, 5)), ((11, 13), (19, 13)), ((8, 23), (19, 23)), ((19, 5), (19, 23))],
+        4 => &[((9, 4), (9, 14)), ((9, 14), (20, 14)), ((16, 4), (16, 24))],
+        5 => &[((20, 5), (9, 5)), ((9, 5), (9, 13)), ((9, 13), (19, 13)), ((19, 13), (19, 23)), ((19, 23), (8, 23))],
+        6 => &[((10, 5), (10, 23)), ((10, 23), (19, 23)), ((19, 23), (19, 14)), ((19, 14), (10, 14))],
+        7 => &[((8, 5), (20, 5)), ((20, 5), (11, 24))],
+        8 => &[((9, 5), (19, 5)), ((19, 5), (19, 23)), ((19, 23), (9, 23)), ((9, 23), (9, 5)), ((9, 14), (19, 14))],
+        9 => &[((9, 5), (19, 5)), ((19, 5), (19, 24)), ((9, 5), (9, 13)), ((9, 13), (19, 13))],
+        _ => panic!("digit class must be 0..=9"),
+    }
+}
+
+/// Rasterize a thick line segment into `px`.
+fn draw(px: &mut [u8], a: (i32, i32), b: (i32, i32)) {
+    let steps = (b.0 - a.0).abs().max((b.1 - a.1).abs()).max(1);
+    for s in 0..=steps {
+        let x = a.0 + (b.0 - a.0) * s / steps;
+        let y = a.1 + (b.1 - a.1) * s / steps;
+        for dx in 0..2 {
+            for dy in 0..2 {
+                let (px_x, px_y) = (x + dx, y + dy);
+                if (0..IMAGE_DIM as i32).contains(&px_x) && (0..IMAGE_DIM as i32).contains(&px_y) {
+                    px[(px_y as usize) * IMAGE_DIM + px_x as usize] = 255;
+                }
+            }
+        }
+    }
+}
+
+/// Synthesize digit `class` (0..=9), sample `index`, with deterministic
+/// jitter and ~2 % pixel noise.
+///
+/// The same `(class, index)` always yields the same image.
+///
+/// # Panics
+/// When `class >= 10`.
+#[must_use]
+pub fn synth_digit(class: usize, index: u64) -> GrayImage {
+    assert!(class < CLASSES, "digit class must be 0..=9");
+    let mut rng = StdRng::seed_from_u64(0x5eed_0000 + (class as u64) * 1_000_003 + index);
+    let (jx, jy) = (rng.gen_range(-2..=2), rng.gen_range(-2..=2));
+    let mut pixels = vec![0u8; IMAGE_DIM * IMAGE_DIM];
+    for &(a, b) in segments(class) {
+        draw(&mut pixels, (a.0 + jx, a.1 + jy), (b.0 + jx, b.1 + jy));
+    }
+    for p in pixels.iter_mut() {
+        if rng.gen_bool(0.02) {
+            *p = 255 - *p;
+        }
+    }
+    GrayImage { pixels, label: class }
+}
+
+/// The noise-free template of a class (used for prototype classifier
+/// weights).
+#[must_use]
+pub fn class_template(class: usize) -> GrayImage {
+    let mut pixels = vec![0u8; IMAGE_DIM * IMAGE_DIM];
+    for &(a, b) in segments(class) {
+        draw(&mut pixels, a, b);
+    }
+    GrayImage { pixels, label: class }
+}
+
+/// A deterministic synthetic dataset: `per_class` samples of each digit.
+#[derive(Debug, Clone)]
+pub struct SynthMnist {
+    /// All images, class-major order.
+    pub images: Vec<GrayImage>,
+}
+
+impl SynthMnist {
+    /// Generate `per_class` jittered samples per digit class.
+    #[must_use]
+    pub fn generate(per_class: usize) -> Self {
+        let images = (0..CLASSES)
+            .flat_map(|c| (0..per_class).map(move |i| synth_digit(c, i as u64)))
+            .collect();
+        Self { images }
+    }
+
+    /// Number of images.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.images.len()
+    }
+
+    /// True when empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.images.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_key() {
+        assert_eq!(synth_digit(3, 7), synth_digit(3, 7));
+        assert_ne!(synth_digit(3, 7), synth_digit(3, 8));
+        assert_ne!(synth_digit(3, 7), synth_digit(4, 7));
+    }
+
+    #[test]
+    fn every_class_draws_something() {
+        for c in 0..CLASSES {
+            let img = synth_digit(c, 0);
+            let lit = img.pixels.iter().filter(|&&p| p > 128).count();
+            assert!(lit > 20, "class {c} too sparse: {lit} pixels");
+            assert!(lit < IMAGE_DIM * IMAGE_DIM / 2, "class {c} too dense");
+            assert_eq!(img.label, c);
+        }
+    }
+
+    #[test]
+    fn templates_differ_between_classes() {
+        for a in 0..CLASSES {
+            for b in (a + 1)..CLASSES {
+                let ta = class_template(a);
+                let tb = class_template(b);
+                let diff = ta
+                    .pixels
+                    .iter()
+                    .zip(&tb.pixels)
+                    .filter(|(x, y)| x != y)
+                    .count();
+                assert!(diff > 10, "classes {a} and {b} almost identical");
+            }
+        }
+    }
+
+    #[test]
+    fn dataset_shape() {
+        let ds = SynthMnist::generate(3);
+        assert_eq!(ds.len(), 30);
+        assert_eq!(ds.images[0].label, 0);
+        assert_eq!(ds.images[29].label, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "0..=9")]
+    fn class_out_of_range_panics() {
+        let _ = synth_digit(10, 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Full-precision reference model for validating the binarized path.
+//!
+//! The binary kernel computes exact integer arithmetic; the only place
+//! precision can matter is the BN block. This module re-implements the
+//! whole forward pass in `f64` and provides agreement checks used by the
+//! test suite: binarized-vs-reference activations agree everywhere except
+//! within a small band around the activation threshold (where `f32`
+//! rounding may legitimately flip a bit).
+
+use crate::bconv::{BinaryFilter, BinaryImage};
+use crate::bnorm::BatchNorm;
+use crate::POOLED_DIM;
+
+/// `f64` conv-pool-BN forward pass producing pre-activation values (not
+/// thresholded), `[filter][row][col]`.
+#[must_use]
+pub fn normalized_f64(img: &BinaryImage, filters: &[BinaryFilter], bn: &BatchNorm) -> Vec<f64> {
+    let mut out = Vec::with_capacity(filters.len() * POOLED_DIM * POOLED_DIM);
+    for (j, f) in filters.iter().enumerate() {
+        for pr in 0..POOLED_DIM {
+            for pc in 0..POOLED_DIM {
+                let mut best = i32::MIN;
+                for dr in 0..2 {
+                    for dc in 0..2 {
+                        let mut sum = 0i32;
+                        for fr in 0..3 {
+                            for fc in 0..3 {
+                                let ir = (2 * pr + dr) as isize + fr as isize - 1;
+                                let ic = (2 * pc + dc) as isize + fc as isize - 1;
+                                let pix = if ir < 0
+                                    || ic < 0
+                                    || ir >= img.height() as isize
+                                    || ic >= img.width as isize
+                                {
+                                    -1
+                                } else {
+                                    img.pixel(ir as usize, ic as usize)
+                                };
+                                sum += pix * f.weight(fr as usize, fc as usize);
+                            }
+                        }
+                        best = best.max(sum);
+                    }
+                }
+                let mut tmp = f64::from(best);
+                tmp += f64::from(bn.w0[j]);
+                tmp -= f64::from(bn.w1[j]);
+                tmp /= f64::from(bn.w2[j]);
+                tmp *= f64::from(bn.w3[j]);
+                tmp += f64::from(bn.w4[j]);
+                out.push(tmp);
+            }
+        }
+    }
+    out
+}
+
+/// Compare binary features against the `f64` reference: returns the number
+/// of positions where they disagree *outside* the `tolerance` band around
+/// the threshold. Zero for a correct implementation.
+#[must_use]
+pub fn disagreements(features: &[u8], reference: &[f64], tolerance: f64) -> usize {
+    assert_eq!(features.len(), reference.len(), "shape mismatch");
+    features
+        .iter()
+        .zip(reference)
+        .filter(|(&b, &r)| r.abs() > tolerance && (b == 1) != (r >= 0.0))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mnist::synth_digit;
+    use crate::model::{EbnnModel, ModelConfig};
+
+    #[test]
+    fn binary_path_agrees_with_f64_reference() {
+        let m = EbnnModel::generate(ModelConfig::default());
+        for class in [0usize, 4, 9] {
+            let img = m.binarize(&synth_digit(class, 0).pixels);
+            let features = m.features(&img);
+            let reference = normalized_f64(&img, &m.filters, &m.bn);
+            assert_eq!(disagreements(&features, &reference, 1e-4), 0, "class {class}");
+        }
+    }
+
+    #[test]
+    fn disagreements_counts_flips() {
+        let features = vec![1u8, 0, 1];
+        let reference = vec![5.0f64, -5.0, -5.0];
+        assert_eq!(disagreements(&features, &reference, 1e-6), 1);
+        // Within tolerance the flip is forgiven.
+        let near = vec![1e-9f64, -5.0, 1e-9];
+        assert_eq!(disagreements(&[0, 0, 1], &near, 1e-6), 0);
+    }
+}

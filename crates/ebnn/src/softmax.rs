@@ -1,0 +1,230 @@
+//! Host-side classifier head: fully-connected layer + softmax.
+//!
+//! The paper keeps the softmax layer on the host: after all DPUs finish the
+//! Convolution-Pool block the host "serially sends a single image's
+//! processed result to the softmax layer for inference" (§4.1.3). The head
+//! here is a fixed-point fully-connected layer over the binary feature map
+//! followed by a float softmax — floats are fine on the host, which is the
+//! whole point of the split.
+
+use crate::CLASSES;
+use serde::{Deserialize, Serialize};
+
+/// Fully-connected + softmax classifier over binary features.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Classifier {
+    /// Number of binary input features.
+    pub features: usize,
+    /// Row-major `CLASSES × features` signed 8-bit weights.
+    pub weights: Vec<i8>,
+}
+
+impl Classifier {
+    /// A classifier with explicit weights.
+    ///
+    /// # Panics
+    /// When `weights.len() != CLASSES * features`.
+    #[must_use]
+    pub fn new(features: usize, weights: Vec<i8>) -> Self {
+        assert_eq!(weights.len(), CLASSES * features, "weight shape mismatch");
+        Self { features, weights }
+    }
+
+    /// Nearest-prototype weights: the weight of (class, feature) is +1 when
+    /// the class prototype has that feature set, −1 otherwise. The logit
+    /// then equals (matches − mismatches) against the prototype — Hamming
+    /// similarity in the binary feature space.
+    ///
+    /// # Panics
+    /// When any prototype has the wrong feature count.
+    #[must_use]
+    pub fn from_prototypes(prototypes: &[Vec<u8>; CLASSES]) -> Self {
+        let features = prototypes[0].len();
+        let mut weights = Vec::with_capacity(CLASSES * features);
+        for p in prototypes {
+            assert_eq!(p.len(), features, "prototype shape mismatch");
+            weights.extend(p.iter().map(|&b| if b != 0 { 1i8 } else { -1i8 }));
+        }
+        Self { features, weights }
+    }
+
+    /// Integer logits for a binary feature vector (features as 0/1, used as
+    /// ±1 in the dot product).
+    ///
+    /// # Panics
+    /// When `features.len()` mismatches.
+    #[must_use]
+    pub fn logits(&self, features: &[u8]) -> [i32; CLASSES] {
+        assert_eq!(features.len(), self.features, "feature vector shape mismatch");
+        let mut out = [0i32; CLASSES];
+        for (c, row) in self.weights.chunks_exact(self.features).enumerate() {
+            let mut acc = 0i32;
+            for (&w, &b) in row.iter().zip(features) {
+                let x = if b != 0 { 1 } else { -1 };
+                acc += i32::from(w) * x;
+            }
+            out[c] = acc;
+        }
+        out
+    }
+
+    /// Softmax probabilities over the logits (host float path).
+    #[must_use]
+    pub fn softmax(&self, features: &[u8]) -> [f32; CLASSES] {
+        let logits = self.logits(features);
+        let max = logits.iter().copied().max().unwrap_or(0) as f32;
+        let mut exps = [0f32; CLASSES];
+        let mut sum = 0f32;
+        // Scale down so synthetic logits (up to ±features) don't saturate.
+        let scale = 1.0 / (self.features as f32).sqrt();
+        for (e, &l) in exps.iter_mut().zip(&logits) {
+            *e = ((l as f32 - max) * scale).exp();
+            sum += *e;
+        }
+        for e in &mut exps {
+            *e /= sum;
+        }
+        exps
+    }
+
+    /// Predicted class (argmax of the logits; ties break to the lower
+    /// class index).
+    #[must_use]
+    pub fn predict(&self, features: &[u8]) -> usize {
+        let logits = self.logits(features);
+        let mut best = 0;
+        for c in 1..CLASSES {
+            if logits[c] > logits[best] {
+                best = c;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tiny() -> Classifier {
+        // 4 features; class c responds to feature c (classes 4..10 dead).
+        let mut w = vec![-1i8; CLASSES * 4];
+        for c in 0..4 {
+            w[c * 4 + c] = 8;
+        }
+        Classifier::new(4, w)
+    }
+
+    #[test]
+    fn predicts_matching_feature() {
+        let c = tiny();
+        assert_eq!(c.predict(&[1, 0, 0, 0]), 0);
+        assert_eq!(c.predict(&[0, 0, 1, 0]), 2);
+    }
+
+    #[test]
+    fn softmax_is_a_distribution() {
+        let c = tiny();
+        let p = c.softmax(&[1, 0, 1, 0]);
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-5);
+        assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn prototype_classifier_recovers_prototypes() {
+        let mut protos: [Vec<u8>; CLASSES] = Default::default();
+        for (c, p) in protos.iter_mut().enumerate() {
+            *p = (0..32).map(|i| u8::from(i % CLASSES == c)).collect();
+        }
+        let clf = Classifier::from_prototypes(&protos);
+        for (c, proto) in protos.iter().enumerate() {
+            assert_eq!(clf.predict(proto), c, "prototype {c} misclassified");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn wrong_feature_count_panics() {
+        let _ = tiny().logits(&[1, 0]);
+    }
+
+    proptest! {
+        /// Argmax of softmax equals argmax of logits (softmax is monotone).
+        #[test]
+        fn softmax_preserves_argmax(bits in proptest::collection::vec(0u8..2, 4)) {
+            let c = tiny();
+            let pred = c.predict(&bits);
+            let p = c.softmax(&bits);
+            let soft_arg = p
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            // Ties may differ; only check when the max is strict.
+            let logits = c.logits(&bits);
+            let strict = logits.iter().filter(|&&l| l == logits[pred]).count() == 1;
+            if strict {
+                prop_assert_eq!(pred, soft_arg);
+            }
+        }
+    }
+}
+
+impl Classifier {
+    /// Multi-prototype weights: average the ±1 feature votes of several
+    /// samples per class (scaled into `i8`), which tolerates input jitter
+    /// far better than a single noise-free template.
+    ///
+    /// # Panics
+    /// When any class has no samples or feature lengths disagree.
+    #[must_use]
+    pub fn from_prototype_sets(sets: &[Vec<Vec<u8>>]) -> Self {
+        assert_eq!(sets.len(), CLASSES, "one sample set per class");
+        let features = sets[0].first().expect("at least one sample per class").len();
+        let mut weights = Vec::with_capacity(CLASSES * features);
+        for samples in sets {
+            assert!(!samples.is_empty(), "at least one sample per class");
+            for f in 0..features {
+                let mut acc = 0i32;
+                for s in samples {
+                    assert_eq!(s.len(), features, "feature length mismatch");
+                    acc += if s[f] != 0 { 1 } else { -1 };
+                }
+                // Scale votes into i8: full agreement → ±8.
+                let w = (acc * 8) / samples.len() as i32;
+                weights.push(w.clamp(-127, 127) as i8);
+            }
+        }
+        Self { features, weights }
+    }
+}
+
+#[cfg(test)]
+mod prototype_set_tests {
+    use super::*;
+
+    #[test]
+    fn averaged_prototypes_downweight_noisy_features() {
+        // Class 0: feature 0 always set, feature 1 set half the time.
+        let mut sets: Vec<Vec<Vec<u8>>> = vec![vec![vec![0, 0]]; CLASSES];
+        sets[0] = vec![vec![1, 1], vec![1, 0], vec![1, 1], vec![1, 0]];
+        let clf = Classifier::from_prototype_sets(&sets);
+        let w0 = &clf.weights[0..2];
+        assert_eq!(w0[0], 8, "stable feature gets full weight");
+        assert_eq!(w0[1], 0, "coin-flip feature cancels out");
+    }
+
+    #[test]
+    fn single_sample_sets_match_plain_prototypes() {
+        let protos: Vec<Vec<u8>> =
+            (0..CLASSES).map(|c| (0..16).map(|i| u8::from(i % CLASSES == c)).collect()).collect();
+        let sets: Vec<Vec<Vec<u8>>> = protos.iter().map(|p| vec![p.clone()]).collect();
+        let clf = Classifier::from_prototype_sets(&sets);
+        for (c, p) in protos.iter().enumerate() {
+            assert_eq!(clf.predict(p), c);
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Binary images wider than 32 pixels — the datapath for §6.1's "going
+//! from small image sizes to larger sizes" study.
+//!
+//! [`crate::bconv::BinaryImage`] packs one row per `u32`, which caps inputs
+//! at 32 px (MNIST needs 28). [`WideBinaryImage`] packs rows into `u64`
+//! words, supporting arbitrary widths, and [`wide_conv_pool`] runs the same
+//! conv-pool block with windows that may straddle word boundaries. The
+//! per-window DPU cost gains two word-select operations, which
+//! [`wide_conv_pool_tally`] charges — so the image-size experiments can
+//! measure, not just bound, large-input latency.
+
+use crate::bconv::BinaryFilter;
+use dpu_sim::cost::OpCounts;
+use serde::{Deserialize, Serialize};
+
+/// A bit-packed binary image of arbitrary width.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WideBinaryImage {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    words_per_row: usize,
+    words: Vec<u64>,
+}
+
+impl WideBinaryImage {
+    /// Binarize a grayscale image at `threshold`.
+    ///
+    /// # Panics
+    /// When `pixels.len() != width * height` or either dimension is zero.
+    #[must_use]
+    pub fn from_gray(pixels: &[u8], width: usize, height: usize, threshold: u8) -> Self {
+        assert!(width > 0 && height > 0, "degenerate image");
+        assert_eq!(pixels.len(), width * height, "pixel buffer shape mismatch");
+        let words_per_row = width.div_ceil(64);
+        let mut words = vec![0u64; words_per_row * height];
+        for r in 0..height {
+            for c in 0..width {
+                if pixels[r * width + c] >= threshold {
+                    words[r * words_per_row + c / 64] |= 1 << (c % 64);
+                }
+            }
+        }
+        Self { width, height, words_per_row, words }
+    }
+
+    /// Pixel at (`row`, `col`) as ±1.
+    ///
+    /// # Panics
+    /// When out of bounds.
+    #[must_use]
+    pub fn pixel(&self, row: usize, col: usize) -> i32 {
+        assert!(row < self.height && col < self.width, "pixel out of range");
+        let w = self.words[row * self.words_per_row + col / 64];
+        if (w >> (col % 64)) & 1 == 1 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// The 3-bit window `[col-1, col, col+1]` of `row`, bit 0 = col−1;
+    /// out-of-image positions read 0 (pad = −1). Handles word straddles.
+    #[must_use]
+    fn window3(&self, row: isize, col: usize) -> u32 {
+        if row < 0 || row >= self.height as isize {
+            return 0;
+        }
+        let base = row as usize * self.words_per_row;
+        let mut out = 0u32;
+        for (i, c) in [(0i32, col as isize - 1), (1, col as isize), (2, col as isize + 1)] {
+            if c < 0 || c >= self.width as isize {
+                continue;
+            }
+            let c = c as usize;
+            if (self.words[base + c / 64] >> (c % 64)) & 1 == 1 {
+                out |= 1 << i;
+            }
+        }
+        out
+    }
+
+    /// Packed bytes per image (8 bytes per row word).
+    #[must_use]
+    pub fn packed_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// 3×3 binary convolution at one output pixel (SAME padding, pad −1).
+#[must_use]
+pub fn wide_conv3x3_at(img: &WideBinaryImage, filter: &BinaryFilter, row: usize, col: usize) -> i8 {
+    let mut matches = 0u32;
+    for fr in 0..3 {
+        let window = img.window3(row as isize + fr as isize - 1, col);
+        let xnor = !(window ^ u32::from(filter.rows[fr])) & 0b111;
+        matches += xnor.count_ones();
+    }
+    (2 * matches as i32 - BinaryFilter::AREA) as i8
+}
+
+/// Conv + 2×2 max-pool over a wide image (even dimensions), one filter.
+///
+/// # Panics
+/// When either dimension is odd.
+#[must_use]
+pub fn wide_conv_pool(img: &WideBinaryImage, filter: &BinaryFilter) -> Vec<i8> {
+    assert!(
+        img.width.is_multiple_of(2) && img.height.is_multiple_of(2),
+        "2x2 pooling needs even dimensions"
+    );
+    let (ph, pw) = (img.height / 2, img.width / 2);
+    let mut pooled = vec![0i8; ph * pw];
+    for pr in 0..ph {
+        for pc in 0..pw {
+            let mut best = i8::MIN;
+            for dr in 0..2 {
+                for dc in 0..2 {
+                    best = best.max(wide_conv3x3_at(img, filter, 2 * pr + dr, 2 * pc + dc));
+                }
+            }
+            pooled[pr * pw + pc] = best;
+        }
+    }
+    pooled
+}
+
+/// Charge the DPU cost of [`wide_conv_pool`] to `tally`: per window the
+/// narrow kernel's loads/ALU plus two word-select operations (the
+/// `col / 64` word index and cross-word bit splice).
+pub fn wide_conv_pool_tally(img: &WideBinaryImage, filters: usize, tally: &mut OpCounts) {
+    let windows = (img.width * img.height * filters) as u64;
+    let pooled = windows / 4;
+    tally.load += 3 * windows; // row words
+    tally.alu += (4 * 3 + 4 + 2) * windows; // narrow kernel + word select
+    tally.alu += pooled; // pool compares
+    tally.loops += pooled;
+    tally.load += pooled; // LUT access
+    tally.mul32 += pooled; // output indexing multiply
+    tally.store += pooled;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bconv::{conv3x3_packed, BinaryImage};
+    use proptest::prelude::*;
+
+    fn gradient(width: usize, height: usize) -> Vec<u8> {
+        (0..width * height).map(|i| ((i * 37) % 256) as u8).collect()
+    }
+
+    #[test]
+    fn agrees_with_narrow_image_on_28px() {
+        let px = gradient(28, 28);
+        let wide = WideBinaryImage::from_gray(&px, 28, 28, 128);
+        let narrow = BinaryImage::from_gray(&px, 28, 28, 128);
+        let f = BinaryFilter::from_u16(0b101_110_011);
+        for r in 0..28 {
+            for c in 0..28 {
+                assert_eq!(wide.pixel(r, c), narrow.pixel(r, c));
+                assert_eq!(
+                    wide_conv3x3_at(&wide, &f, r, c),
+                    conv3x3_packed(&narrow, &f, r, c),
+                    "({r},{c})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn word_straddle_at_column_64() {
+        // 128-px-wide image: columns 63/64/65 cross the word boundary.
+        let mut px = vec![0u8; 128 * 4];
+        for c in 62..=66 {
+            px[128 + c] = 255; // row 1 lit around the boundary
+        }
+        let img = WideBinaryImage::from_gray(&px, 128, 4, 128);
+        assert_eq!(img.pixel(1, 63), 1);
+        assert_eq!(img.pixel(1, 64), 1);
+        assert_eq!(img.pixel(0, 64), -1);
+        // An all-ones filter centred at (1, 64): row 1 contributes 3
+        // matches, rows 0 and 2 are dark (0 matches each).
+        let f = BinaryFilter { rows: [7, 7, 7] };
+        assert_eq!(wide_conv3x3_at(&img, &f, 1, 64), 2 * 3 - 9);
+    }
+
+    #[test]
+    fn pool_shapes_scale() {
+        let px = gradient(64, 64);
+        let img = WideBinaryImage::from_gray(&px, 64, 64, 128);
+        let f = BinaryFilter::from_u16(0b010_111_010);
+        let pooled = wide_conv_pool(&img, &f);
+        assert_eq!(pooled.len(), 32 * 32);
+        assert!(pooled.iter().all(|&v| (-9..=9).contains(&v)));
+    }
+
+    #[test]
+    fn tally_scales_quadratically_with_dim() {
+        let mk = |d: usize| {
+            let img = WideBinaryImage::from_gray(&gradient(d, d), d, d, 128);
+            let mut t = OpCounts::default();
+            wide_conv_pool_tally(&img, 8, &mut t);
+            t.issue_slots(dpu_sim::cost::OptLevel::O0)
+        };
+        let (s56, s112) = (mk(56), mk(112));
+        let ratio = s112 as f64 / s56 as f64;
+        assert!((ratio - 4.0).abs() < 0.1, "ratio {ratio}");
+    }
+
+    proptest! {
+        /// Wide and narrow paths agree for any image that fits both.
+        #[test]
+        fn wide_equals_narrow(
+            px in proptest::collection::vec(any::<u8>(), 28 * 28),
+            fbits in 0u16..512,
+            r in 0usize..28,
+            c in 0usize..28,
+        ) {
+            let wide = WideBinaryImage::from_gray(&px, 28, 28, 128);
+            let narrow = BinaryImage::from_gray(&px, 28, 28, 128);
+            let f = BinaryFilter::from_u16(fbits);
+            prop_assert_eq!(
+                wide_conv3x3_at(&wide, &f, r, c),
+                conv3x3_packed(&narrow, &f, r, c)
+            );
+        }
+
+        /// Packed size matches the analytic slot formula the §6.1 study uses.
+        #[test]
+        fn packed_bytes_formula(w in 1usize..200, h in 1usize..64) {
+            let img = WideBinaryImage::from_gray(&vec![0u8; w * h], w, h, 128);
+            prop_assert_eq!(img.packed_bytes(), w.div_ceil(64) * 8 * h);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! The 8-byte transfer rule and padding helpers.
+//!
+//! UPMEM requires every host↔MRAM buffer to be aligned on 8 bytes and its
+//! length divisible by 8 (paper §3.2). For data whose natural size is not a
+//! multiple of 8 — a 28×28 MNIST image is 784 bytes, fine, but a row of
+//! quantized GEMM output often is not — the paper's workaround is:
+//!
+//! 1. pad the buffer up to the next multiple of 8 before sending, and
+//! 2. tell the DPU the *unpadded* length through a separate scalar symbol so
+//!    padded bytes never enter the computation.
+//!
+//! [`PaddedBuf`] packages both pieces so the pattern can't be half-applied.
+
+use crate::error::{HostError, Result};
+
+/// Alignment unit for host transfers.
+pub const ALIGN: usize = dpu_sim::params::HOST_TRANSFER_ALIGN;
+
+/// Smallest multiple of 8 that is `>= len`.
+#[must_use]
+pub fn padded_len(len: usize) -> usize {
+    len.div_ceil(ALIGN) * ALIGN
+}
+
+/// Check that a length or offset obeys the 8-byte rule.
+///
+/// # Errors
+/// [`HostError::Alignment`] when it does not.
+pub fn check_aligned(what: &'static str, value: usize) -> Result<()> {
+    if !value.is_multiple_of(ALIGN) {
+        return Err(HostError::Alignment { what, value });
+    }
+    Ok(())
+}
+
+/// Pad `data` with zeros to the next multiple of 8 bytes.
+#[must_use]
+pub fn pad_to_8(data: &[u8]) -> Vec<u8> {
+    let mut v = data.to_vec();
+    v.resize(padded_len(data.len()), 0);
+    v
+}
+
+/// A transfer buffer carrying its true (unpadded) length.
+///
+/// This is the host-side representation of the paper's padding workaround:
+/// the padded bytes go over the bus, the `len` scalar goes to the DPU so it
+/// "does not mistakenly include these padded bytes in its computations".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PaddedBuf {
+    /// Padded payload (length is a multiple of 8).
+    pub data: Vec<u8>,
+    /// The meaningful prefix length.
+    pub len: usize,
+}
+
+impl PaddedBuf {
+    /// Wrap and pad a buffer.
+    #[must_use]
+    pub fn new(data: &[u8]) -> Self {
+        Self { data: pad_to_8(data), len: data.len() }
+    }
+
+    /// The meaningful bytes (drops the padding).
+    #[must_use]
+    pub fn unpadded(&self) -> &[u8] {
+        &self.data[..self.len]
+    }
+
+    /// Number of padding bytes appended.
+    #[must_use]
+    pub fn padding(&self) -> usize {
+        self.data.len() - self.len
+    }
+
+    /// The true length encoded as the 8-byte scalar UPMEM programs receive.
+    #[must_use]
+    pub fn len_symbol_bytes(&self) -> [u8; 8] {
+        (self.len as u64).to_le_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padded_len_rounds_up() {
+        assert_eq!(padded_len(0), 0);
+        assert_eq!(padded_len(1), 8);
+        assert_eq!(padded_len(8), 8);
+        assert_eq!(padded_len(9), 16);
+        assert_eq!(padded_len(784), 784); // a full MNIST image is aligned
+        assert_eq!(padded_len(785), 792);
+    }
+
+    #[test]
+    fn check_aligned_enforces_rule() {
+        assert!(check_aligned("length", 16).is_ok());
+        assert!(matches!(
+            check_aligned("length", 12),
+            Err(HostError::Alignment { what: "length", value: 12 })
+        ));
+    }
+
+    #[test]
+    fn padded_buf_round_trip() {
+        let src = [1u8, 2, 3, 4, 5];
+        let b = PaddedBuf::new(&src);
+        assert_eq!(b.data.len(), 8);
+        assert_eq!(b.padding(), 3);
+        assert_eq!(b.unpadded(), &src);
+        assert_eq!(u64::from_le_bytes(b.len_symbol_bytes()), 5);
+        assert_eq!(&b.data[5..], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn aligned_input_gets_no_padding() {
+        let b = PaddedBuf::new(&[7u8; 24]);
+        assert_eq!(b.padding(), 0);
+        assert_eq!(b.unpadded().len(), 24);
+    }
+}

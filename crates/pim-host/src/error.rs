@@ -1,0 +1,115 @@
+//! Host-side error type.
+
+use std::fmt;
+
+/// Result alias for host runtime operations.
+pub type Result<T> = std::result::Result<T, HostError>;
+
+/// Errors raised by the host runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HostError {
+    /// An error bubbled up from a simulated DPU.
+    Dpu(dpu_sim::Error),
+    /// A transfer violated the 8-byte alignment/size rule (paper §3.2).
+    Alignment {
+        /// What was misaligned ("length", "offset").
+        what: &'static str,
+        /// The offending value.
+        value: usize,
+    },
+    /// A named symbol was redefined or not found.
+    Symbol {
+        /// The symbol name.
+        name: String,
+        /// Description of the problem.
+        problem: &'static str,
+    },
+    /// A transfer did not fit in the symbol's capacity.
+    SymbolOverflow {
+        /// The symbol name.
+        name: String,
+        /// Requested end offset.
+        requested: usize,
+        /// Symbol capacity.
+        capacity: usize,
+    },
+    /// A scatter/gather batch was pushed with a buffer count different from
+    /// the DPU count.
+    XferArity {
+        /// Buffers prepared.
+        prepared: usize,
+        /// DPUs in the set.
+        dpus: usize,
+    },
+    /// An operation addressed a DPU outside the set.
+    NoSuchDpu {
+        /// The requested DPU index.
+        index: u32,
+        /// Number of DPUs in the set.
+        len: usize,
+    },
+    /// The requested allocation is empty or exceeds the system size.
+    BadAllocation {
+        /// Requested DPU count.
+        requested: usize,
+    },
+}
+
+impl fmt::Display for HostError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HostError::Dpu(e) => write!(f, "DPU fault: {e}"),
+            HostError::Alignment { what, value } => {
+                write!(f, "transfer {what} {value} violates the 8-byte rule")
+            }
+            HostError::Symbol { name, problem } => write!(f, "symbol `{name}`: {problem}"),
+            HostError::SymbolOverflow { name, requested, capacity } => write!(
+                f,
+                "transfer to `{name}` reaches offset {requested} but capacity is {capacity}"
+            ),
+            HostError::XferArity { prepared, dpus } => {
+                write!(f, "xfer batch has {prepared} buffers for {dpus} DPUs")
+            }
+            HostError::NoSuchDpu { index, len } => {
+                write!(f, "DPU {index} outside set of {len}")
+            }
+            HostError::BadAllocation { requested } => {
+                write!(f, "cannot allocate {requested} DPUs")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HostError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            HostError::Dpu(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<dpu_sim::Error> for HostError {
+    fn from(e: dpu_sim::Error) -> Self {
+        HostError::Dpu(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dpu_errors_convert() {
+        let e: HostError = dpu_sim::Error::DivisionByZero { pc: 9 }.into();
+        assert!(matches!(e, HostError::Dpu(_)));
+        assert!(e.to_string().contains("division by zero"));
+    }
+
+    #[test]
+    fn display_mentions_the_rule() {
+        let e = HostError::Alignment { what: "length", value: 13 };
+        assert!(e.to_string().contains("8-byte"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Tier-2 kernel accounting: run CNN kernels natively, charge DPU cycles.
+//!
+//! Full CNN layers are executed as ordinary Rust over the DPU's simulated
+//! MRAM while a [`KernelRun`] tallies, per tasklet, the operations the DPU
+//! program would have executed. The tally is converted into cycles by the
+//! calibrated pipeline law in [`dpu_sim::cost`]. The pattern a kernel
+//! follows:
+//!
+//! ```
+//! use pim_host::{KernelRun, OptLevel};
+//! use dpu_sim::DpuParams;
+//!
+//! let mut run = KernelRun::new(DpuParams::default(), OptLevel::O3, 11);
+//! // ... tasklet 3 performs an 8-bit MAC on WRAM-resident data:
+//! let t = run.tally(3);
+//! t.mul8 += 1;
+//! t.alu += 1;
+//! t.load += 2;
+//! let est = run.estimate();
+//! assert!(est.cycles > 0);
+//! ```
+//!
+//! The same structure aggregates across DPUs: each DPU gets its own
+//! `KernelRun`; the set-level makespan is the maximum estimate (all DPUs run
+//! concurrently).
+
+use dpu_sim::cost::{CycleModel, KernelEstimate, OpCounts, OptLevel};
+use dpu_sim::DpuParams;
+
+/// Per-tasklet operation tally for one kernel launch on one DPU.
+#[derive(Debug, Clone)]
+pub struct KernelRun {
+    model: CycleModel,
+    counts: Vec<OpCounts>,
+}
+
+impl KernelRun {
+    /// A run with `tasklets` threads under the given device parameters and
+    /// compiler optimization level.
+    ///
+    /// # Panics
+    /// When `tasklets` is zero or exceeds the hardware maximum.
+    #[must_use]
+    pub fn new(params: DpuParams, opt: OptLevel, tasklets: usize) -> Self {
+        assert!(
+            tasklets >= 1 && tasklets <= params.max_tasklets,
+            "tasklet count {tasklets} outside 1..={}",
+            params.max_tasklets
+        );
+        Self { model: CycleModel::new(params, opt), counts: vec![OpCounts::default(); tasklets] }
+    }
+
+    /// Number of tasklets.
+    #[must_use]
+    pub fn tasklets(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// The cycle model in force.
+    #[must_use]
+    pub fn model(&self) -> CycleModel {
+        self.model
+    }
+
+    /// Mutable tally of tasklet `t`.
+    ///
+    /// # Panics
+    /// When `t` is out of range.
+    pub fn tally(&mut self, t: usize) -> &mut OpCounts {
+        &mut self.counts[t]
+    }
+
+    /// Charge one MRAM→WRAM or WRAM→MRAM transfer of `bytes` bytes to
+    /// tasklet `t`.
+    ///
+    /// # Panics
+    /// When `t` is out of range.
+    pub fn charge_dma(&mut self, t: usize, bytes: usize) {
+        let c = &mut self.counts[t];
+        c.mram_transfers += 1;
+        c.mram_bytes += bytes as u64;
+    }
+
+    /// Per-tasklet tallies, in tasklet order.
+    #[must_use]
+    pub fn counts(&self) -> &[OpCounts] {
+        &self.counts
+    }
+
+    /// Aggregate tally across tasklets.
+    #[must_use]
+    pub fn total_counts(&self) -> OpCounts {
+        let mut total = OpCounts::default();
+        for c in &self.counts {
+            total.merge(c);
+        }
+        total
+    }
+
+    /// Cycle estimate for this launch.
+    #[must_use]
+    pub fn estimate(&self) -> KernelEstimate {
+        self.model.estimate(&self.counts)
+    }
+
+    /// Estimated seconds for this launch.
+    #[must_use]
+    pub fn seconds(&self) -> f64 {
+        self.estimate().seconds(&self.model.params)
+    }
+}
+
+/// Combine per-DPU estimates into the set's completion time: DPUs run
+/// concurrently, so the set finishes with its slowest member (§4.1.3).
+#[must_use]
+pub fn makespan(estimates: &[KernelEstimate]) -> u64 {
+    estimates.iter().map(|e| e.cycles).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tallies_are_per_tasklet() {
+        let mut run = KernelRun::new(DpuParams::default(), OptLevel::O3, 4);
+        run.tally(0).alu += 100;
+        run.tally(3).alu += 50;
+        assert_eq!(run.counts()[0].alu, 100);
+        assert_eq!(run.counts()[1].alu, 0);
+        assert_eq!(run.total_counts().alu, 150);
+    }
+
+    #[test]
+    fn estimate_reflects_imbalance() {
+        let params = DpuParams::default();
+        let mut balanced = KernelRun::new(params, OptLevel::O3, 2);
+        balanced.tally(0).alu = 100;
+        balanced.tally(1).alu = 100;
+        let mut skewed = KernelRun::new(params, OptLevel::O3, 2);
+        skewed.tally(0).alu = 190;
+        skewed.tally(1).alu = 10;
+        assert!(skewed.estimate().cycles > balanced.estimate().cycles);
+    }
+
+    #[test]
+    fn dma_charging_matches_eq_3_4() {
+        let mut run = KernelRun::new(DpuParams::default(), OptLevel::O3, 1);
+        run.charge_dma(0, 2048);
+        let est = run.estimate();
+        // 1 DMA instruction slot + 1049 stall + drain.
+        assert!(est.dma_cycles == 1049);
+        assert!(est.is_memory_bound());
+    }
+
+    #[test]
+    fn makespan_is_max() {
+        let params = DpuParams::default();
+        let mk = |alu: u64| {
+            let mut r = KernelRun::new(params, OptLevel::O3, 1);
+            r.tally(0).alu = alu;
+            r.estimate()
+        };
+        let ests = vec![mk(10), mk(1000), mk(100)];
+        assert_eq!(makespan(&ests), mk(1000).cycles);
+        assert_eq!(makespan(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "tasklet count")]
+    fn zero_tasklets_panics() {
+        let _ = KernelRun::new(DpuParams::default(), OptLevel::O3, 0);
+    }
+
+    #[test]
+    fn seconds_uses_device_frequency() {
+        let mut run = KernelRun::new(DpuParams::default(), OptLevel::O3, 1);
+        run.tally(0).alu = 350_000_000 / 11; // ~1s of rotations
+        let s = run.seconds();
+        assert!((s - 1.0).abs() < 0.01, "got {s}");
+    }
+}

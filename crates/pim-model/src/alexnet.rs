@@ -1,0 +1,110 @@
+//! AlexNet's layer table — grounding the `TOPs = 2.59e9` constant of
+//! Table 5.1.
+//!
+//! The paper states AlexNet performs 2.59e9 total operations but does not
+//! show the derivation. The canonical AlexNet (Krizhevsky et al. 2012,
+//! single-tower reading of the two-GPU model) computes ≈0.71 G *MACs* in
+//! its conv layers plus ≈0.059 G in the fully-connected layers. Counting a
+//! multiply-accumulate as **two** operations and including the
+//! grouped-convolution duplication conventions used by several accelerator
+//! papers lands in the 1.4–2.6 G range; `2 × ungrouped MACs ≈ 2.27e9`
+//! comes within 13 % of the paper's 2.59e9, with the residual plausibly
+//! covering pooling/LRN/activation operations. This module carries the
+//! layer table so the constant is auditable rather than folklore.
+
+use serde::{Deserialize, Serialize};
+
+/// One AlexNet layer's MAC-relevant parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AlexNetLayer {
+    /// Layer name.
+    pub name: &'static str,
+    /// Output spatial edge.
+    pub out: usize,
+    /// Output channels.
+    pub filters: usize,
+    /// Kernel edge (1 for FC layers, with `out = 1`).
+    pub kernel: usize,
+    /// Input channels per group.
+    pub in_channels: usize,
+    /// Convolution groups (AlexNet's two-GPU split).
+    pub groups: usize,
+}
+
+impl AlexNetLayer {
+    /// Multiply-accumulates of the layer (grouped convolution: each output
+    /// channel sees `in_channels` inputs of its group only).
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        (self.out * self.out * self.filters * self.kernel * self.kernel * self.in_channels)
+            as u64
+    }
+
+    /// MACs if the convolution were ungrouped (each output channel sees
+    /// every input channel) — the convention several accelerator papers
+    /// use when quoting AlexNet op counts.
+    #[must_use]
+    pub fn macs_ungrouped(&self) -> u64 {
+        self.macs() * self.groups as u64
+    }
+}
+
+/// The AlexNet layer table (227×227 input, Krizhevsky's dimensions).
+#[must_use]
+pub fn layers() -> Vec<AlexNetLayer> {
+    vec![
+        AlexNetLayer { name: "conv1", out: 55, filters: 96, kernel: 11, in_channels: 3, groups: 1 },
+        AlexNetLayer { name: "conv2", out: 27, filters: 256, kernel: 5, in_channels: 48, groups: 2 },
+        AlexNetLayer { name: "conv3", out: 13, filters: 384, kernel: 3, in_channels: 256, groups: 1 },
+        AlexNetLayer { name: "conv4", out: 13, filters: 384, kernel: 3, in_channels: 192, groups: 2 },
+        AlexNetLayer { name: "conv5", out: 13, filters: 256, kernel: 3, in_channels: 192, groups: 2 },
+        AlexNetLayer { name: "fc6", out: 1, filters: 4096, kernel: 1, in_channels: 9216, groups: 1 },
+        AlexNetLayer { name: "fc7", out: 1, filters: 4096, kernel: 1, in_channels: 4096, groups: 1 },
+        AlexNetLayer { name: "fc8", out: 1, filters: 1000, kernel: 1, in_channels: 4096, groups: 1 },
+    ]
+}
+
+/// Total MACs with the grouped (faithful) convolutions.
+#[must_use]
+pub fn total_macs() -> u64 {
+    layers().iter().map(AlexNetLayer::macs).sum()
+}
+
+/// Total MACs with ungrouped convolutions — the reading under which
+/// `2 × MACs` reproduces the paper's 2.59e9 constant.
+#[must_use]
+pub fn total_macs_ungrouped() -> u64 {
+    layers().iter().map(AlexNetLayer::macs_ungrouped).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+
+    #[test]
+    fn grouped_macs_match_the_literature() {
+        let m = total_macs() as f64;
+        // Canonical AlexNet: ≈0.72 GMACs (conv ≈ 0.66 G + FC ≈ 0.059 G).
+        assert!((6.5e8..8.0e8).contains(&m), "got {m}");
+    }
+
+    #[test]
+    fn per_layer_spot_checks() {
+        let l = layers();
+        assert_eq!(l[0].macs(), 55 * 55 * 96 * 11 * 11 * 3); // ≈105 M
+        assert_eq!(l[1].macs(), 27 * 27 * 256 * 5 * 5 * 48); // ≈224 M
+        assert_eq!(l[5].macs(), 4096 * 9216); // ≈37.7 M
+    }
+
+    #[test]
+    fn papers_constant_is_near_two_ops_per_ungrouped_mac() {
+        let ops = 2.0 * total_macs_ungrouped() as f64;
+        let paper = Workload::alexnet().ops;
+        let rel = (ops - paper).abs() / paper;
+        assert!(rel < 0.15, "2 x ungrouped MACs = {ops:.3e} vs paper {paper:.3e}");
+        // And the grouped reading is nowhere near — the constant is not
+        // plain MACs.
+        assert!(paper / total_macs() as f64 > 3.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! The computation model: Eqs. 5.2–5.6.
+//!
+//! `Ccomp = Cop · ceil(TOPs / PEs)` (Eq. 5.3) — all PEs work in lockstep on
+//! one operation each, so the workload executes in waves; the ceiling is
+//! the partial final wave (the step pattern of Fig. 5.5(a)–(c)).
+//! `Tcomp = Ccomp / Freq` (Eq. 5.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Operand width in bits for the fundamental MAC operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OperandBits {
+    /// 4-bit fixed point.
+    B4,
+    /// 8-bit fixed point (the precision of Tables 5.1/5.4).
+    B8,
+    /// 16-bit fixed point.
+    B16,
+    /// 32-bit fixed point.
+    B32,
+}
+
+impl OperandBits {
+    /// All widths, in Table 5.2 row order.
+    pub const ALL: [OperandBits; 4] =
+        [OperandBits::B4, OperandBits::B8, OperandBits::B16, OperandBits::B32];
+
+    /// The width as a number of bits.
+    #[must_use]
+    pub fn bits(self) -> u32 {
+        match self {
+            OperandBits::B4 => 4,
+            OperandBits::B8 => 8,
+            OperandBits::B16 => 16,
+            OperandBits::B32 => 32,
+        }
+    }
+}
+
+/// The per-architecture computation model: `Cop` for the fundamental
+/// operations plus the parallelization parameters of Eq. 5.3.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ComputeModel {
+    /// Cycles for one multiplication at 4/8/16/32 bits (Table 5.2 row).
+    pub cop_mult: [u64; 4],
+    /// Cycles for one accumulation at 4/8/16/32 bits.
+    pub cop_acc: [u64; 4],
+    /// Processing elements (Eq. 5.3's `PEs`).
+    pub pes: u64,
+    /// Clock frequency in Hz.
+    pub freq: f64,
+}
+
+impl ComputeModel {
+    /// `Cop` for one multiplication (Eq. 5.4 instantiated).
+    #[must_use]
+    pub fn cop_mult(&self, x: OperandBits) -> u64 {
+        self.cop_mult[Self::idx(x)]
+    }
+
+    /// `Cop` for one accumulation.
+    #[must_use]
+    pub fn cop_acc(&self, x: OperandBits) -> u64 {
+        self.cop_acc[Self::idx(x)]
+    }
+
+    /// `Cop` for one multiply-accumulate — the paper's fundamental
+    /// operation (§5.1).
+    #[must_use]
+    pub fn cop_mac(&self, x: OperandBits) -> u64 {
+        self.cop_mult(x) + self.cop_acc(x)
+    }
+
+    /// `Ccomp` (Eq. 5.3) for `tops` operations of cost `cop`.
+    #[must_use]
+    pub fn ccomp(&self, cop: u64, tops: f64) -> f64 {
+        cop as f64 * (tops / self.pes as f64).ceil()
+    }
+
+    /// `Tcomp` (Eq. 5.2) in seconds for `tops` MAC operations at width `x`.
+    #[must_use]
+    pub fn tcomp_mac(&self, x: OperandBits, tops: f64) -> f64 {
+        self.ccomp(self.cop_mac(x), tops) / self.freq
+    }
+
+    /// `Tcomp` without the final-wave ceiling — fractional waves, as the
+    /// paper's Table 5.4 latency rows use (they back-solve exactly only
+    /// without the ceiling; the difference matters when `TOPs < PEs`).
+    #[must_use]
+    pub fn tcomp_mac_nominal(&self, x: OperandBits, tops: f64) -> f64 {
+        self.cop_mac(x) as f64 * tops / self.pes as f64 / self.freq
+    }
+
+    /// `Tcomp` for a single MAC (the Table 5.1 row 11 quantity).
+    #[must_use]
+    pub fn tcomp_one_mac(&self, x: OperandBits) -> f64 {
+        self.cop_mac(x) as f64 / self.freq
+    }
+
+    /// The Fig. 5.5 left-column sweep: `Ccomp` of a multiplication as TOPs
+    /// grows with PEs fixed (step function from the ceiling).
+    #[must_use]
+    pub fn sweep_tops(&self, x: OperandBits, tops: &[f64]) -> Vec<f64> {
+        tops.iter().map(|&t| self.ccomp(self.cop_mult(x), t)).collect()
+    }
+
+    /// The Fig. 5.5 right-column sweep: `Ccomp` as PEs grows with TOPs
+    /// fixed (steep drop, then 1/x tail).
+    #[must_use]
+    pub fn sweep_pes(&self, x: OperandBits, tops: f64, pes: &[u64]) -> Vec<f64> {
+        pes.iter()
+            .map(|&p| self.cop_mult(x) as f64 * (tops / p as f64).ceil())
+            .collect()
+    }
+
+    fn idx(x: OperandBits) -> usize {
+        match x {
+            OperandBits::B4 => 0,
+            OperandBits::B8 => 1,
+            OperandBits::B16 => 2,
+            OperandBits::B32 => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn ppim_like() -> ComputeModel {
+        ComputeModel {
+            cop_mult: [1, 6, 124, 1016],
+            cop_acc: [2, 2, 3, 5],
+            pes: 256,
+            freq: 1.25e9,
+        }
+    }
+
+    #[test]
+    fn table_5_1_ppim_column() {
+        let m = ppim_like();
+        assert_eq!(m.cop_mac(OperandBits::B8), 8);
+        let ccomp = m.ccomp(m.cop_mac(OperandBits::B8), 2.59e9);
+        assert!((ccomp - 8.0938e7).abs() / 8.0938e7 < 1e-3, "got {ccomp}");
+        let tcomp = m.tcomp_mac(OperandBits::B8, 2.59e9);
+        assert!((tcomp - 6.48e-2).abs() / 6.48e-2 < 1e-2, "got {tcomp}");
+        assert!((m.tcomp_one_mac(OperandBits::B8) - 6.4e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ceiling_produces_steps() {
+        let m = ppim_like();
+        // 256 PEs: 1..=256 ops is one wave, 257 ops is two.
+        assert_eq!(m.ccomp(8, 256.0), 8.0);
+        assert_eq!(m.ccomp(8, 257.0), 16.0);
+        assert_eq!(m.ccomp(8, 512.0), 16.0);
+    }
+
+    #[test]
+    fn pe_sweep_is_monotone_nonincreasing() {
+        let m = ppim_like();
+        let pes: Vec<u64> = (1..=64).map(|i| i * 8).collect();
+        let c = m.sweep_pes(OperandBits::B8, 1e5, &pes);
+        for w in c.windows(2) {
+            assert!(w[1] <= w[0]);
+        }
+    }
+
+    proptest! {
+        /// Eq. 5.3's ceiling never undercounts: Ccomp ≥ Cop · TOPs / PEs.
+        #[test]
+        fn ceiling_bounds(tops in 1.0f64..1e7, pes in 1u64..10000) {
+            let m = ComputeModel { pes, ..ppim_like() };
+            let c = m.ccomp(8, tops);
+            prop_assert!(c + 1e-9 >= 8.0 * tops / pes as f64);
+            prop_assert!(c <= 8.0 * (tops / pes as f64 + 1.0));
+        }
+    }
+}

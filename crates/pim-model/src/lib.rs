@@ -1,0 +1,43 @@
+//! # pim-model — the paper's analytical PIM performance model (Chapter 5)
+//!
+//! PIM designs span a granularity spectrum (Fig. 5.1): **bitwise**
+//! accelerators computing with bitline Boolean logic (DRISA, SCOPE),
+//! **LUT-based** designs selecting pre-programmed results (pPIM, LACC), and
+//! **pipelined-CPU** designs (UPMEM). The paper unifies them under one
+//! model:
+//!
+//! ```text
+//! Ttot  = Tmem + Tcomp                         (Eq. 5.1)
+//! Tcomp = Ccomp / Freq                         (Eq. 5.2)
+//! Ccomp = Cop · ceil(TOPs / PEs)               (Eq. 5.3)
+//! Cop   = f(x) · C_BB · D_p                    (Eq. 5.4; piecewise 5.5,
+//!                                               multi-building-block 5.6)
+//! Tmem  = Ttransfer · ceil(TOPs / (PEs · sizebuf / (2·Lenop)))  (Eq. 5.10)
+//! ```
+//!
+//! where `x` is the operand width, `C_BB` the cycles of one building block,
+//! `D_p` the pipeline depth, and `f(x)` the architecture's dataflow scale
+//! function. [`ppim`] derives pPIM's `f(x)` from the worst-case
+//! block-by-block LUT multiplication (Fig. 5.3, Algorithm 3), [`drisa`]
+//! curve-fits DRISA's published points, and [`upmem`] counts soft-multiply
+//! instructions. [`arch`] instantiates the seven devices of Table 5.4 and
+//! [`report`] regenerates every Chapter-5 table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod alexnet;
+pub mod arch;
+pub mod compute;
+pub mod drisa;
+pub mod memory;
+pub mod ppim;
+pub mod report;
+pub mod upmem;
+pub mod workload;
+
+pub use arch::{ArchClass, ParamSource, PimArch};
+pub use compute::{ComputeModel, OperandBits};
+pub use memory::MemoryModel;
+pub use report::{BenchRow, ModelReport};
+pub use workload::Workload;

@@ -1,0 +1,94 @@
+//! The memory model: Eq. 5.10 and Table 5.3.
+//!
+//! ```text
+//! Tmem = Ttransfer · ceil( TOPs / (PEs · sizebuf / (2 · Lenop)) )
+//! ```
+//!
+//! Each PE owns one local buffer of `sizebuf` bits holding
+//! `sizebuf / (2·Lenop)` operations' worth of operands (two operands per
+//! operation); computation proceeds in rounds of `PEs × ops-per-buffer`
+//! locally-staged operations, each round costing one `Ttransfer` refill.
+
+use serde::{Deserialize, Serialize};
+
+/// Eq. 5.10's parameters for one architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemoryModel {
+    /// Time of one external→local transfer, seconds (`Ttransfer`).
+    pub t_transfer: f64,
+    /// Processing elements.
+    pub pes: u64,
+    /// Local buffer size per PE, bits (`sizebuf`).
+    pub sizebuf_bits: u64,
+}
+
+impl MemoryModel {
+    /// Operations stageable in one PE's buffer (`sizebuf / (2·Lenop)`).
+    #[must_use]
+    pub fn ops_per_pe(&self, lenop_bits: u64) -> u64 {
+        self.sizebuf_bits / (2 * lenop_bits)
+    }
+
+    /// Operations stageable across the whole device per round
+    /// ("Local Ops" of Table 5.3).
+    #[must_use]
+    pub fn local_ops(&self, lenop_bits: u64) -> u64 {
+        self.pes * self.ops_per_pe(lenop_bits)
+    }
+
+    /// `Tmem` (Eq. 5.10) in seconds for `tops` operations of `lenop_bits`
+    /// operands.
+    #[must_use]
+    pub fn tmem(&self, tops: f64, lenop_bits: u64) -> f64 {
+        let local = self.local_ops(lenop_bits) as f64;
+        self.t_transfer * (tops / local).ceil()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Table 5.3 parameter columns.
+    fn ppim() -> MemoryModel {
+        MemoryModel { t_transfer: 6.7e-9, pes: 256, sizebuf_bits: 256 }
+    }
+    fn drisa() -> MemoryModel {
+        MemoryModel { t_transfer: 9.0e-8, pes: 32768, sizebuf_bits: 1_048_576 }
+    }
+    fn upmem() -> MemoryModel {
+        MemoryModel { t_transfer: 9.6e-5, pes: 2560, sizebuf_bits: 512_000 }
+    }
+
+    #[test]
+    fn table_5_3_ops_per_pe() {
+        assert_eq!(ppim().ops_per_pe(8), 16);
+        assert_eq!(drisa().ops_per_pe(8), 65536);
+        assert_eq!(upmem().ops_per_pe(8), 32000);
+    }
+
+    #[test]
+    fn table_5_3_local_ops() {
+        assert_eq!(ppim().local_ops(8), 4096);
+        assert_eq!(drisa().local_ops(8), 2_147_483_648);
+        assert_eq!(upmem().local_ops(8), 81_920_000);
+    }
+
+    #[test]
+    fn table_5_3_tmem_alexnet() {
+        let tops = 2.59e9;
+        let t_ppim = ppim().tmem(tops, 8);
+        assert!((t_ppim - 4.24e-3).abs() / 4.24e-3 < 0.01, "pPIM {t_ppim}");
+        let t_drisa = drisa().tmem(tops, 8);
+        assert!((t_drisa - 1.8e-7).abs() / 1.8e-7 < 0.01, "DRISA {t_drisa}");
+        let t_upmem = upmem().tmem(tops, 8);
+        assert!((t_upmem - 3.07e-3).abs() / 3.07e-3 < 0.01, "UPMEM {t_upmem}");
+    }
+
+    #[test]
+    fn wider_operands_need_more_rounds() {
+        let m = ppim();
+        assert!(m.tmem(1e6, 16) >= m.tmem(1e6, 8));
+        assert_eq!(m.ops_per_pe(16), 8);
+    }
+}

@@ -1,0 +1,146 @@
+//! pPIM's worst-case LUT multiplication scale function (§5.2.3).
+//!
+//! pPIM cores are 8-bit-out/2×4-bit-in LUTs, so an `x`-bit multiplication
+//! decomposes into `(x/4)²` 4-bit partial products arranged in `2·(x/4)−1`
+//! columns (Fig. 5.3), plus a recursive carry-propagating accumulation.
+//! The paper's Algorithm 3 counts the additions: the per-column
+//! *adds-without-carry* follow the tent pattern of Fig. 5.4 (up by 2 to the
+//! middle column, down by 2 after), and each column's carries cascade into
+//! the next, so the running count accumulates recursively.
+//!
+//! Validation against Table 5.2: 16-bit → 124 cycles, 32-bit → 1016 cycles
+//! (both starred as estimates in the paper); 4-bit (1) and 8-bit (6) are
+//! exact literature values and bypass the estimate.
+
+/// Adds-without-carry for column `n` of a multiplication with `k = 2·(x/4)`
+/// half-columns — the Fig. 5.4 tent pattern (Algorithm 3 lines 5–8).
+#[must_use]
+pub fn adds_without_carry(n: u64, k: u64) -> u64 {
+    if n == 0 {
+        0
+    } else if n > k / 2 {
+        2 * k - 2 * n
+    } else {
+        2 * n - 2
+    }
+}
+
+/// Algorithm 3: total internal additions (with carries) for the worst-case
+/// block-by-block LUT multiplication, iterating `n = k−1 .. 1`.
+#[must_use]
+pub fn algorithm3_total_adds(k: u64) -> u64 {
+    let mut temp = 0u64;
+    let mut total = 0u64;
+    for n in (1..k).rev() {
+        temp += adds_without_carry(n, k);
+        total += temp;
+    }
+    total
+}
+
+/// Cycles for one `x`-bit multiplication on pPIM (each LUT access is one
+/// cycle): exact literature values for 4/8 bit, the Algorithm-3 estimate
+/// (partial products + additions) for wider operands.
+///
+/// # Panics
+/// When `x` is not a positive multiple of 4.
+#[must_use]
+pub fn cop_mult(x: u32) -> u64 {
+    assert!(x > 0 && x.is_multiple_of(4), "pPIM operands are whole 4-bit blocks");
+    match x {
+        4 => 1,
+        8 => 6,
+        _ => {
+            let b = u64::from(x / 4);
+            let partial_mults = b * b;
+            partial_mults + algorithm3_total_adds(2 * b)
+        }
+    }
+}
+
+/// Cycles for one accumulation (Table 5.1 row 4: 2 for 8-bit).
+#[must_use]
+pub fn cop_acc(x: u32) -> u64 {
+    // One LUT add per 8-bit block pair, plus carry.
+    u64::from(x.div_ceil(8)).max(1) + 1
+}
+
+/// The Fig. 5.4 series: adds-without-carry per column for an `x`-bit
+/// multiplication.
+///
+/// # Panics
+/// When `x` is not a positive multiple of 4.
+#[must_use]
+pub fn fig_5_4_pattern(x: u32) -> Vec<u64> {
+    assert!(x > 0 && x.is_multiple_of(4), "pPIM operands are whole 4-bit blocks");
+    let k = 2 * u64::from(x / 4);
+    (1..k).rev().map(|n| adds_without_carry(n, k)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn table_5_2_values() {
+        assert_eq!(cop_mult(4), 1);
+        assert_eq!(cop_mult(8), 6);
+        assert_eq!(cop_mult(16), 124); // 16 partials + 108 adds
+        assert_eq!(cop_mult(32), 1016); // 64 partials + 952 adds
+    }
+
+    #[test]
+    fn algorithm3_hand_checked() {
+        // 16-bit: k = 8, g = [2,4,6,6,4,2,0] from n=7..1,
+        // temps 2,6,12,18,22,24,24 → 108.
+        assert_eq!(algorithm3_total_adds(8), 108);
+        assert_eq!(algorithm3_total_adds(16), 952);
+    }
+
+    #[test]
+    fn pattern_is_a_tent() {
+        let p = fig_5_4_pattern(32); // k = 16 → columns n = 15..1
+        assert_eq!(p.len(), 15);
+        assert_eq!(p[0], 2); // n = 15
+        let max = *p.iter().max().unwrap();
+        assert_eq!(max, 14); // plateau at k - 2
+        assert_eq!(*p.last().unwrap(), 0); // n = 1
+        // Rises by 2 to the plateau, falls by 2 after.
+        let up: Vec<u64> = p.iter().take_while(|&&v| v < max).copied().collect();
+        for w in up.windows(2) {
+            assert_eq!(w[1], w[0] + 2);
+        }
+    }
+
+    #[test]
+    fn mac_cost_8bit_matches_table_5_1() {
+        // Table 5.1: pPIM Cop (1 MAC, 8-bit) = mult 6 + accum 2 = 8.
+        assert_eq!(cop_mult(8) + cop_acc(8), 8);
+    }
+
+    proptest! {
+        /// Cop grows superlinearly with operand width (LUT designs scale
+        /// worst — the paper's Fig. 5.6 conclusion).
+        #[test]
+        fn cop_monotone_in_width(b in 2u32..16) {
+            let x = 4 * b;
+            prop_assert!(cop_mult(x + 4) > cop_mult(x));
+        }
+
+        /// Total adds of Algorithm 3 are consistent with summing the tent
+        /// pattern's running prefix sums.
+        #[test]
+        fn algorithm3_equals_prefix_sum_of_pattern(b in 3u32..20) {
+            let k = 2 * u64::from(b);
+            let pattern = fig_5_4_pattern(4 * b);
+            let mut temp = 0u64;
+            let mut total = 0u64;
+            for g in pattern {
+                temp += g;
+                total += temp;
+            }
+            prop_assert_eq!(total, algorithm3_total_adds(k));
+        }
+    }
+}

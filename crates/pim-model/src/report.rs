@@ -1,0 +1,411 @@
+//! Regeneration of every Chapter-5 table and figure as structured data
+//! with text rendering.
+
+use crate::arch::{self, Evaluation, PimArch};
+use crate::compute::OperandBits;
+use crate::workload::Workload;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// eBNN on UPMEM keeps one frame per DPU in flight, so a chip of 8 DPUs
+/// sustains 8 concurrent frames — the convention behind Table 5.4's UPMEM
+/// throughput cells.
+pub const UPMEM_EBNN_FRAMES_PER_CHIP: f64 = 8.0;
+
+/// YOLOv3's Fig. 4.6 mapping peaks at 1024 DPUs (the widest layer); the
+/// paper's throughput-per-watt cell normalizes by this peak power draw.
+pub const UPMEM_YOLO_PEAK_DPUS: f64 = 1024.0;
+
+/// Mean DPUs occupied across YOLOv3's 75 conv layers (Σ filters / 75);
+/// the paper's throughput-per-area cell normalizes by this mean footprint.
+pub const UPMEM_YOLO_MEAN_DPUS: f64 = 361.0;
+
+/// One Table 5.4 row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchRow {
+    /// Device name.
+    pub name: String,
+    /// Power per chip (W).
+    pub power_w: f64,
+    /// Area per chip (mm²).
+    pub area_mm2: f64,
+    /// eBNN latency/frame (s).
+    pub ebnn_latency: f64,
+    /// eBNN frames/s·W.
+    pub ebnn_tp_power: f64,
+    /// eBNN frames/s·mm².
+    pub ebnn_tp_area: f64,
+    /// YOLOv3 latency/frame (s).
+    pub yolo_latency: f64,
+    /// YOLOv3 frames/s·W.
+    pub yolo_tp_power: f64,
+    /// YOLOv3 frames/s·mm².
+    pub yolo_tp_area: f64,
+}
+
+/// One Table 5.1 column (model walkthrough).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WalkthroughColumn {
+    /// Device name.
+    pub name: String,
+    /// Pipeline depth `D_p`.
+    pub dp: u64,
+    /// Accumulate `f(x)` at 8 bits.
+    pub acc_fx: u64,
+    /// Multiply `f(x)` at 8 bits.
+    pub mult_fx: u64,
+    /// `Cop` for one MAC.
+    pub cop: u64,
+    /// Processing elements.
+    pub pes: u64,
+    /// Frequency (Hz).
+    pub freq: f64,
+    /// `Ccomp` for one MAC.
+    pub ccomp_one: u64,
+    /// `Tcomp` for one MAC (s).
+    pub tcomp_one: f64,
+    /// `Ccomp` for the full workload.
+    pub ccomp_tops: f64,
+    /// `Tcomp` for the full workload (s).
+    pub tcomp_tops: f64,
+}
+
+/// The full Chapter-5 report generator.
+#[derive(Debug, Clone, Default)]
+pub struct ModelReport;
+
+impl ModelReport {
+    /// Table 5.1: the computational-model walkthrough for pPIM, DRISA and
+    /// UPMEM on 8-bit AlexNet.
+    #[must_use]
+    pub fn table_5_1() -> Vec<WalkthroughColumn> {
+        let w = Workload::alexnet();
+        let x = OperandBits::B8;
+        [
+            (arch::ppim(), 1u64),
+            (arch::drisa_3t1c(), 1),
+            (arch::upmem_analytic(), 11),
+        ]
+        .into_iter()
+        .map(|(a, dp)| {
+            let c = a.compute().expect("walkthrough devices are analytic");
+            let cop = c.cop_mac(x);
+            WalkthroughColumn {
+                name: a.name.clone(),
+                dp,
+                // UPMEM's f(x) are instruction counts (Cop / Dp); the
+                // others have Dp = CBB = 1 so f(x) = Cop.
+                acc_fx: c.cop_acc(x) / dp,
+                mult_fx: c.cop_mult(x) / dp,
+                cop,
+                pes: c.pes,
+                freq: c.freq,
+                ccomp_one: cop,
+                tcomp_one: cop as f64 / c.freq,
+                ccomp_tops: c.ccomp(cop, w.ops),
+                tcomp_tops: c.ccomp(cop, w.ops) / c.freq,
+            }
+        })
+        .collect()
+    }
+
+    /// Table 5.2: multiplication `Cop` per operand size per device.
+    /// Returns `(device, [Cop at 4/8/16/32 bits])`.
+    #[must_use]
+    pub fn table_5_2() -> Vec<(String, [u64; 4])> {
+        [arch::ppim(), arch::drisa_3t1c(), arch::upmem_analytic()]
+            .into_iter()
+            .map(|a| {
+                let c = a.compute().expect("analytic");
+                (
+                    a.name.clone(),
+                    [
+                        c.cop_mult(OperandBits::B4),
+                        c.cop_mult(OperandBits::B8),
+                        c.cop_mult(OperandBits::B16),
+                        c.cop_mult(OperandBits::B32),
+                    ],
+                )
+            })
+            .collect()
+    }
+
+    /// Fig. 5.4 data: adds-without-carry tent pattern per operand size.
+    #[must_use]
+    pub fn fig_5_4(widths: &[u32]) -> Vec<(u32, Vec<u64>)> {
+        widths.iter().map(|&x| (x, crate::ppim::fig_5_4_pattern(x))).collect()
+    }
+
+    /// Fig. 5.5 data for one device: `(tops_sweep, pes_sweep)` per operand
+    /// width, with the paper's fixed parameters (PEs fixed for the TOPs
+    /// sweep, TOPs fixed for the PE sweep).
+    #[must_use]
+    pub fn fig_5_5(
+        device: &PimArch,
+        tops_points: &[f64],
+        pes_points: &[u64],
+        fixed_tops: f64,
+    ) -> Vec<(OperandBits, Vec<f64>, Vec<f64>)> {
+        let c = device.compute().expect("Fig. 5.5 devices are analytic");
+        OperandBits::ALL
+            .iter()
+            .map(|&x| {
+                (x, c.sweep_tops(x, tops_points), c.sweep_pes(x, fixed_tops, pes_points))
+            })
+            .collect()
+    }
+
+    /// Fig. 5.6 data: multiplication `Ccomp` vs operand size for the three
+    /// modelled PIMs at PEs = 2560, TOPs = 100000.
+    #[must_use]
+    pub fn fig_5_6() -> Vec<(String, [f64; 4])> {
+        let tops = 100_000.0;
+        let pes = 2560u64;
+        [arch::ppim(), arch::drisa_3t1c(), arch::upmem_analytic()]
+            .into_iter()
+            .map(|a| {
+                let c = a.compute().expect("analytic");
+                let waves = (tops / pes as f64).ceil();
+                let row = [
+                    c.cop_mult(OperandBits::B4) as f64 * waves,
+                    c.cop_mult(OperandBits::B8) as f64 * waves,
+                    c.cop_mult(OperandBits::B16) as f64 * waves,
+                    c.cop_mult(OperandBits::B32) as f64 * waves,
+                ];
+                (a.name.clone(), row)
+            })
+            .collect()
+    }
+
+    /// Table 5.3: memory-model analysis (8-bit AlexNet).
+    /// Returns `(device, Ttransfer, ops/PE, local ops, Tmem)`.
+    #[must_use]
+    pub fn table_5_3() -> Vec<(String, f64, u64, u64, f64)> {
+        let w = Workload::alexnet();
+        [arch::ppim(), arch::drisa_3t1c(), arch::upmem_analytic()]
+            .into_iter()
+            .filter_map(|a| match &a.eval {
+                Evaluation::Analytic { memory: Some(m), .. } => Some((
+                    a.name.clone(),
+                    m.t_transfer,
+                    m.ops_per_pe(8),
+                    m.local_ops(8),
+                    m.tmem(w.ops, 8),
+                )),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// §5.3.1: `Ttot = Tmem + Tcomp` for 8-bit AlexNet.
+    #[must_use]
+    pub fn alexnet_totals() -> Vec<(String, f64)> {
+        let w = Workload::alexnet();
+        [arch::ppim(), arch::drisa_3t1c(), arch::upmem_analytic()]
+            .into_iter()
+            .map(|a| {
+                let t = a.latency(&w, OperandBits::B8);
+                (a.name.clone(), t)
+            })
+            .collect()
+    }
+
+    /// Table 5.4 / Fig. 5.7: the seven-device benchmark. Pass a custom
+    /// UPMEM row (e.g. latencies measured on this repository's simulator)
+    /// or `None` for the paper's measured values.
+    #[must_use]
+    pub fn table_5_4(upmem: Option<PimArch>) -> Vec<BenchRow> {
+        let ebnn = Workload::ebnn();
+        let yolo = Workload::yolov3();
+        let x = OperandBits::B8;
+        let mut lineup = arch::table_5_4_lineup();
+        if let Some(u) = upmem {
+            lineup[0] = u;
+        }
+        lineup
+            .into_iter()
+            .map(|a| {
+                let el = a.latency_nominal(&ebnn, x);
+                let yl = a.latency_nominal(&yolo, x);
+                let is_upmem = a.name == "UPMEM";
+                // UPMEM conventions (see the module constants); other
+                // devices run one frame per chip.
+                let (ebnn_fps, yolo_power, yolo_area) = if is_upmem {
+                    (
+                        UPMEM_EBNN_FRAMES_PER_CHIP / el,
+                        UPMEM_YOLO_PEAK_DPUS * dpu_sim_power(),
+                        UPMEM_YOLO_MEAN_DPUS * dpu_sim_area(),
+                    )
+                } else {
+                    (1.0 / el, a.power_w, a.area_mm2)
+                };
+                BenchRow {
+                    name: a.name.clone(),
+                    power_w: a.power_w,
+                    area_mm2: a.area_mm2,
+                    ebnn_latency: el,
+                    ebnn_tp_power: ebnn_fps / a.power_w,
+                    ebnn_tp_area: ebnn_fps / a.area_mm2,
+                    yolo_latency: yl,
+                    yolo_tp_power: (1.0 / yl) / yolo_power,
+                    yolo_tp_area: (1.0 / yl) / yolo_area,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Per-DPU power (W) — Table 2.1's 120 mW.
+fn dpu_sim_power() -> f64 {
+    0.120
+}
+
+/// Per-DPU area (mm²) — Table 2.1's 3.75 mm².
+fn dpu_sim_area() -> f64 {
+    3.75
+}
+
+impl fmt::Display for BenchRow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:<15} {:>8.2} {:>8.2} {:>10.3e} {:>10.3e} {:>10.3e} {:>10.3e} {:>10.3e} {:>10.3e}",
+            self.name,
+            self.power_w,
+            self.area_mm2,
+            self.ebnn_latency,
+            self.ebnn_tp_power,
+            self.ebnn_tp_area,
+            self.yolo_latency,
+            self.yolo_tp_power,
+            self.yolo_tp_area
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() / b.abs() < tol
+    }
+
+    #[test]
+    fn table_5_1_matches_paper() {
+        let t = ModelReport::table_5_1();
+        let ppim = &t[0];
+        assert_eq!(ppim.cop, 8);
+        assert!(close(ppim.ccomp_tops, 8.0938e7, 1e-3));
+        assert!(close(ppim.tcomp_tops, 6.48e-2, 1e-2));
+        let drisa = &t[1];
+        assert_eq!(drisa.cop, 211);
+        assert!(close(drisa.ccomp_tops, 1.6678e7, 1e-3));
+        assert!(close(drisa.tcomp_tops, 1.40e-1, 1e-2));
+        let upmem = &t[2];
+        assert_eq!(upmem.cop, 88);
+        assert_eq!((upmem.mult_fx, upmem.acc_fx), (4, 4));
+        assert!(close(upmem.ccomp_tops, 8.9031e7, 1e-3));
+        assert!(close(upmem.tcomp_tops, 2.54e-1, 1e-2));
+    }
+
+    #[test]
+    fn table_5_2_matches_paper() {
+        let t = ModelReport::table_5_2();
+        assert_eq!(t[0].1, [1, 6, 124, 1016]); // pPIM
+        assert_eq!(t[1].1, [110, 200, 380, 740]); // DRISA
+        assert_eq!(t[2].1, [44, 44, 374, 572]); // UPMEM (paper: 370*, 570*)
+    }
+
+    #[test]
+    fn fig_5_6_crossover() {
+        // Fig. 5.6's claim: pPIM wins at 8 and 16 bits, UPMEM wins at 32.
+        let rows = ModelReport::fig_5_6();
+        let find = |n: &str| rows.iter().find(|(name, _)| name == n).unwrap().1;
+        let (p, d, u) = (find("pPIM"), find("DRISA-3T1C"), find("UPMEM"));
+        assert!(p[1] < d[1] && p[1] < u[1], "pPIM wins 8-bit");
+        assert!(p[2] < d[2] && p[2] < u[2], "pPIM wins 16-bit");
+        assert!(u[3] < p[3] && u[3] < d[3], "UPMEM wins 32-bit");
+    }
+
+    #[test]
+    fn table_5_4_upmem_cells() {
+        let rows = ModelReport::table_5_4(None);
+        let u = &rows[0];
+        assert!(close(u.ebnn_tp_power, 5.63e3, 0.01));
+        assert!(close(u.ebnn_tp_area, 1.80e2, 0.01));
+        assert!(close(u.yolo_tp_power, 1.25e-4, 0.02));
+        assert!(close(u.yolo_tp_area, 1.10e-5, 0.05));
+    }
+
+    #[test]
+    fn table_5_4_analytic_cells() {
+        let rows = ModelReport::table_5_4(None);
+        let p = rows.iter().find(|r| r.name == "pPIM").unwrap();
+        assert!(close(p.ebnn_tp_power, 7.52e5, 0.02));
+        assert!(close(p.ebnn_tp_area, 1.02e5, 0.02));
+        assert!(close(p.yolo_tp_power, 4.20e-1, 0.02));
+        assert!(close(p.yolo_tp_area, 5.71e-2, 0.02));
+        let l = rows.iter().find(|r| r.name == "LACC").unwrap();
+        assert!(close(l.ebnn_tp_power, 8.82e5, 0.02));
+        assert!(close(l.yolo_tp_power, 4.91e-1, 0.02));
+        let s = rows.iter().find(|r| r.name == "SCOPE-Vanilla").unwrap();
+        assert!(close(s.ebnn_tp_area, 2.82e5, 0.02));
+        assert!(close(s.yolo_tp_area, 1.57e-1, 0.02));
+    }
+
+    #[test]
+    fn fig_5_7_winners_match_paper() {
+        // §5.4.1: pPIM and LAcc best in frames/power; SCOPE best in
+        // frames/area; DRISA poorest of the analytic models; UPMEM's
+        // measured row far below all.
+        let rows = ModelReport::table_5_4(None);
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap().clone();
+        let best_power = rows
+            .iter()
+            .filter(|r| r.name != "UPMEM")
+            .max_by(|a, b| a.ebnn_tp_power.partial_cmp(&b.ebnn_tp_power).unwrap())
+            .unwrap();
+        assert!(best_power.name == "LACC" || best_power.name == "pPIM");
+        let best_area = rows
+            .iter()
+            .max_by(|a, b| a.ebnn_tp_area.partial_cmp(&b.ebnn_tp_area).unwrap())
+            .unwrap();
+        assert!(best_area.name.starts_with("SCOPE"));
+        let drisa = get("DRISA-1T1C-NOR");
+        for r in rows.iter().filter(|r| r.name != "UPMEM" && !r.name.starts_with("DRISA")) {
+            assert!(drisa.ebnn_tp_power < r.ebnn_tp_power, "DRISA poorest vs {}", r.name);
+        }
+        let u = get("UPMEM");
+        assert!(u.yolo_tp_power < drisa.yolo_tp_power / 10.0);
+    }
+
+    #[test]
+    fn custom_upmem_row_is_injected() {
+        let rows = ModelReport::table_5_4(Some(crate::arch::upmem_measured(2.0e-3, 80.0)));
+        assert!((rows[0].ebnn_latency - 2.0e-3).abs() < 1e-12);
+        assert!((rows[0].yolo_latency - 80.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweeps_have_expected_shapes() {
+        let tops: Vec<f64> = (1..=100).map(|i| i as f64 * 1000.0).collect();
+        let pes: Vec<u64> = (1..=50).map(|i| i * 64).collect();
+        let data = ModelReport::fig_5_5(&crate::arch::upmem_analytic(), &tops, &pes, 1e5);
+        assert_eq!(data.len(), 4);
+        for (_, t_sweep, p_sweep) in &data {
+            // TOPs sweep: monotone nondecreasing steps.
+            for w in t_sweep.windows(2) {
+                assert!(w[1] >= w[0]);
+            }
+            // PE sweep: monotone nonincreasing.
+            for w in p_sweep.windows(2) {
+                assert!(w[1] <= w[0]);
+            }
+        }
+        // UPMEM's 8→16-bit gap is uneven (subroutine jump, §5.2.4).
+        let c8 = data[1].1[50];
+        let c16 = data[2].1[50];
+        assert!(c16 / c8 > 5.0);
+    }
+}

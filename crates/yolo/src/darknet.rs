@@ -1,0 +1,424 @@
+//! The Darknet-53 + YOLOv3-head network table (§4.2.1), plus scaled-down
+//! variants small enough to push real data through the simulated MRAM.
+
+use crate::gemm::GemmDims;
+use crate::layers::{ConvSpec, LayerSpec, Shape};
+use serde::{Deserialize, Serialize};
+
+/// A network: input shape plus ordered layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkConfig {
+    /// Network name for reports.
+    pub name: String,
+    /// Input tensor shape.
+    pub input: Shape,
+    /// Ordered layer specs.
+    pub layers: Vec<LayerSpec>,
+}
+
+impl NetworkConfig {
+    /// Output shape of every layer, in order.
+    ///
+    /// # Panics
+    /// When a route/shortcut is inconsistent.
+    #[must_use]
+    pub fn shapes(&self) -> Vec<Shape> {
+        let mut shapes: Vec<Shape> = Vec::with_capacity(self.layers.len());
+        let mut prev = self.input;
+        for layer in &self.layers {
+            let s = layer.out_shape(prev, &shapes);
+            shapes.push(s);
+            prev = s;
+        }
+        shapes
+    }
+
+    /// `(layer index, spec, input shape, GEMM dims)` for every conv layer —
+    /// the work list the DPU mapping consumes.
+    #[must_use]
+    pub fn conv_layers(&self) -> Vec<(usize, ConvSpec, Shape, GemmDims)> {
+        let shapes = self.shapes();
+        let mut out = Vec::new();
+        let mut prev = self.input;
+        for (i, layer) in self.layers.iter().enumerate() {
+            if let LayerSpec::Conv(c) = layer {
+                out.push((i, *c, prev, c.gemm_dims(prev)));
+            }
+            prev = shapes[i];
+        }
+        out
+    }
+
+    /// Total multiply-accumulates of one inference.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.conv_layers().iter().map(|(_, _, _, d)| d.macs()).sum()
+    }
+
+    /// Number of convolutional layers.
+    #[must_use]
+    pub fn conv_count(&self) -> usize {
+        self.conv_layers().len()
+    }
+}
+
+/// Push a Darknet residual block (`1×1` reduce, `3×3` expand, shortcut)
+/// `count` times.
+fn residual_blocks(layers: &mut Vec<LayerSpec>, reduce: usize, expand: usize, count: usize) {
+    for _ in 0..count {
+        layers.push(LayerSpec::conv(reduce, 1, 1));
+        layers.push(LayerSpec::conv(expand, 3, 1));
+        let here = layers.len();
+        layers.push(LayerSpec::Shortcut { from: here - 3 });
+    }
+}
+
+/// The full YOLOv3 network at 416×416 (Darknet-53 backbone, three-scale
+/// detection head, 255-channel output convs for 80 COCO classes).
+#[must_use]
+pub fn darknet53_yolov3() -> NetworkConfig {
+    darknet53_yolov3_scaled(1, 416)
+}
+
+/// YOLOv3 with every channel count divided by `width_div` (minimum 1 filter)
+/// and a custom square input — used to run the *same topology* at a scale
+/// where data flows through simulated MRAM end-to-end.
+///
+/// # Panics
+/// When `width_div` is 0 or `input` is not a positive multiple of 32.
+#[must_use]
+pub fn darknet53_yolov3_scaled(width_div: usize, input: usize) -> NetworkConfig {
+    assert!(width_div > 0, "width divisor must be positive");
+    assert!(input > 0 && input.is_multiple_of(32), "input must be a positive multiple of 32");
+    let w = |f: usize| (f / width_div).max(1);
+    let mut l: Vec<LayerSpec> = Vec::with_capacity(107);
+
+    // Backbone: Darknet-53.
+    l.push(LayerSpec::conv(w(32), 3, 1)); // 0
+    l.push(LayerSpec::conv(w(64), 3, 2)); // 1   /2
+    residual_blocks(&mut l, w(32), w(64), 1); // 2-4
+    l.push(LayerSpec::conv(w(128), 3, 2)); // 5   /4
+    residual_blocks(&mut l, w(64), w(128), 2); // 6-11
+    l.push(LayerSpec::conv(w(256), 3, 2)); // 12  /8
+    residual_blocks(&mut l, w(128), w(256), 8); // 13-36
+    l.push(LayerSpec::conv(w(512), 3, 2)); // 37  /16
+    residual_blocks(&mut l, w(256), w(512), 8); // 38-61
+    l.push(LayerSpec::conv(w(1024), 3, 2)); // 62  /32
+    residual_blocks(&mut l, w(512), w(1024), 4); // 63-74
+
+    // Head, scale 1 (13×13 at 416).
+    l.push(LayerSpec::conv(w(512), 1, 1)); // 75
+    l.push(LayerSpec::conv(w(1024), 3, 1)); // 76
+    l.push(LayerSpec::conv(w(512), 1, 1)); // 77
+    l.push(LayerSpec::conv(w(1024), 3, 1)); // 78
+    l.push(LayerSpec::conv(w(512), 1, 1)); // 79
+    l.push(LayerSpec::conv(w(1024), 3, 1)); // 80
+    l.push(LayerSpec::conv_linear(w(255), 1, 1)); // 81
+    l.push(LayerSpec::Yolo {
+        anchors: vec![(116.0, 90.0), (156.0, 198.0), (373.0, 326.0)],
+    }); // 82
+
+    // Head, scale 2 (26×26).
+    l.push(LayerSpec::Route { layers: vec![79] }); // 83
+    l.push(LayerSpec::conv(w(256), 1, 1)); // 84
+    l.push(LayerSpec::Upsample); // 85
+    l.push(LayerSpec::Route { layers: vec![85, 61] }); // 86
+    l.push(LayerSpec::conv(w(256), 1, 1)); // 87
+    l.push(LayerSpec::conv(w(512), 3, 1)); // 88
+    l.push(LayerSpec::conv(w(256), 1, 1)); // 89
+    l.push(LayerSpec::conv(w(512), 3, 1)); // 90
+    l.push(LayerSpec::conv(w(256), 1, 1)); // 91
+    l.push(LayerSpec::conv(w(512), 3, 1)); // 92
+    l.push(LayerSpec::conv_linear(w(255), 1, 1)); // 93
+    l.push(LayerSpec::Yolo {
+        anchors: vec![(30.0, 61.0), (62.0, 45.0), (59.0, 119.0)],
+    }); // 94
+
+    // Head, scale 3 (52×52).
+    l.push(LayerSpec::Route { layers: vec![91] }); // 95
+    l.push(LayerSpec::conv(w(128), 1, 1)); // 96
+    l.push(LayerSpec::Upsample); // 97
+    l.push(LayerSpec::Route { layers: vec![97, 36] }); // 98
+    l.push(LayerSpec::conv(w(128), 1, 1)); // 99
+    l.push(LayerSpec::conv(w(256), 3, 1)); // 100
+    l.push(LayerSpec::conv(w(128), 1, 1)); // 101
+    l.push(LayerSpec::conv(w(256), 3, 1)); // 102
+    l.push(LayerSpec::conv(w(128), 1, 1)); // 103
+    l.push(LayerSpec::conv(w(256), 3, 1)); // 104
+    l.push(LayerSpec::conv_linear(w(255), 1, 1)); // 105
+    l.push(LayerSpec::Yolo {
+        anchors: vec![(10.0, 13.0), (16.0, 30.0), (33.0, 23.0)],
+    }); // 106
+
+    let name = if width_div == 1 && input == 416 {
+        "yolov3-416".to_owned()
+    } else {
+        format!("yolov3-{input}-div{width_div}")
+    };
+    NetworkConfig { name, input: Shape { c: 3, h: input, w: input }, layers: l }
+}
+
+/// A small test network with every layer kind, runnable end-to-end through
+/// simulated MRAM in milliseconds.
+#[must_use]
+pub fn tiny_config() -> NetworkConfig {
+    let layers = vec![
+        LayerSpec::conv(4, 3, 1),                 // 0
+        LayerSpec::conv(8, 3, 2),                 // 1  /2
+        LayerSpec::conv(4, 1, 1),                 // 2
+        LayerSpec::conv(8, 3, 1),                 // 3
+        LayerSpec::Shortcut { from: 1 },          // 4
+        LayerSpec::conv(16, 3, 2),                // 5  /4
+        LayerSpec::conv_linear(18, 1, 1),         // 6  (3 anchors × 6)
+        LayerSpec::Yolo { anchors: vec![(8.0, 8.0), (16.0, 16.0), (24.0, 24.0)] }, // 7
+        LayerSpec::Route { layers: vec![5] },     // 8
+        LayerSpec::conv(8, 1, 1),                 // 9
+        LayerSpec::Upsample,                      // 10 /2
+        LayerSpec::Route { layers: vec![10, 4] }, // 11
+        LayerSpec::conv(8, 3, 1),                 // 12
+        LayerSpec::conv_linear(18, 1, 1),         // 13
+        LayerSpec::Yolo { anchors: vec![(4.0, 4.0), (8.0, 8.0), (12.0, 12.0)] }, // 14
+    ];
+    NetworkConfig {
+        name: "yolo-tiny-test".to_owned(),
+        input: Shape { c: 3, h: 32, w: 32 },
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_network_has_75_convs() {
+        let net = darknet53_yolov3();
+        // Darknet-53 contributes 52 convs here (the 53rd is the fc layer,
+        // absent in YOLOv3); the head adds 23 more.
+        assert_eq!(net.conv_count(), 75);
+        assert_eq!(net.layers.len(), 107);
+    }
+
+    #[test]
+    fn full_network_macs_match_literature() {
+        let net = darknet53_yolov3();
+        let macs = net.total_macs();
+        // YOLOv3-416 is ~32.8 GMACs (65.9 BFLOPs) in the literature; the
+        // paper's model back-solves to ≈2.7e10.
+        assert!(macs > 2.0e10 as u64 && macs < 4.0e10 as u64, "got {macs}");
+    }
+
+    #[test]
+    fn backbone_downsamples_to_13() {
+        let net = darknet53_yolov3();
+        let shapes = net.shapes();
+        assert_eq!(shapes[74], Shape { c: 1024, h: 13, w: 13 });
+        assert_eq!(shapes[81], Shape { c: 255, h: 13, w: 13 });
+        assert_eq!(shapes[93], Shape { c: 255, h: 26, w: 26 });
+        assert_eq!(shapes[105], Shape { c: 255, h: 52, w: 52 });
+    }
+
+    #[test]
+    fn route_86_concatenates_upsample_and_layer_61() {
+        let net = darknet53_yolov3();
+        let shapes = net.shapes();
+        assert_eq!(shapes[85], Shape { c: 256, h: 26, w: 26 });
+        assert_eq!(shapes[61], Shape { c: 512, h: 26, w: 26 });
+        assert_eq!(shapes[86], Shape { c: 768, h: 26, w: 26 });
+    }
+
+    #[test]
+    fn scaled_variant_shrinks_macs() {
+        let full = darknet53_yolov3();
+        let half = darknet53_yolov3_scaled(2, 416);
+        let small = darknet53_yolov3_scaled(2, 128);
+        assert!(half.total_macs() < full.total_macs() / 3);
+        assert!(small.total_macs() < half.total_macs());
+        // Same topology.
+        assert_eq!(half.layers.len(), full.layers.len());
+    }
+
+    #[test]
+    fn tiny_config_is_consistent() {
+        let net = tiny_config();
+        let shapes = net.shapes();
+        assert_eq!(shapes.len(), net.layers.len());
+        assert_eq!(shapes[6], Shape { c: 18, h: 8, w: 8 });
+        assert_eq!(shapes[11], Shape { c: 8 + 8, h: 16, w: 16 });
+        assert!(net.total_macs() < 10_000_000);
+    }
+
+    #[test]
+    fn max_filter_count_fits_the_system() {
+        // The Fig. 4.6 mapping needs M DPUs per layer; the largest M must
+        // fit in the 2560-DPU system.
+        let net = darknet53_yolov3();
+        let max_m = net.conv_layers().iter().map(|(_, _, _, d)| d.m).max().unwrap();
+        assert_eq!(max_m, 1024);
+        assert!(max_m <= dpu_sim::params::SYSTEM_DPUS);
+    }
+}
+
+/// AlexNet expressed in the layer language (227×227 input, ungrouped
+/// convolutions — the reading behind the paper's 2.59e9-op constant; see
+/// `pim_model::alexnet`). Enables running AlexNet under the *actual*
+/// Fig. 4.6 mapping and comparing against the paper's Eq. 5.3 idealization.
+#[must_use]
+pub fn alexnet_config() -> NetworkConfig {
+    let conv = |filters, size, stride, pad| {
+        LayerSpec::Conv(crate::layers::ConvSpec {
+            filters,
+            size,
+            stride,
+            pad,
+            activation: crate::layers::Activation::Leaky,
+        })
+    };
+    let pool = LayerSpec::MaxPool { size: 3, stride: 2, pad: 0 };
+    let layers = vec![
+        conv(96, 11, 4, 0),  // 227 -> 55
+        pool.clone(),        // 55 -> 27
+        conv(256, 5, 1, 2),  // 27
+        pool.clone(),        // 27 -> 13
+        conv(384, 3, 1, 1),  // 13
+        conv(384, 3, 1, 1),  // 13
+        conv(256, 3, 1, 1),  // 13
+        pool,                // 13 -> 6
+        // FC layers as 1x1 convolutions over the flattened activations
+        // modelled at 6x6 spatial collapse: fc6 = 4096 filters of 6x6x256.
+        LayerSpec::Conv(crate::layers::ConvSpec {
+            filters: 4096,
+            size: 6,
+            stride: 6,
+            pad: 0,
+            activation: crate::layers::Activation::Leaky,
+        }),
+        conv(4096, 1, 1, 0),
+        conv(1000, 1, 1, 0),
+    ];
+    NetworkConfig {
+        name: "alexnet-227".to_owned(),
+        input: Shape { c: 3, h: 227, w: 227 },
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod alexnet_tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_shapes_follow_the_canonical_table() {
+        let net = alexnet_config();
+        let shapes = net.shapes();
+        assert_eq!(shapes[0], Shape { c: 96, h: 55, w: 55 });
+        assert_eq!(shapes[1], Shape { c: 96, h: 27, w: 27 });
+        assert_eq!(shapes[3], Shape { c: 256, h: 13, w: 13 });
+        assert_eq!(shapes[7], Shape { c: 256, h: 6, w: 6 });
+        assert_eq!(shapes[8], Shape { c: 4096, h: 1, w: 1 });
+        assert_eq!(shapes[10], Shape { c: 1000, h: 1, w: 1 });
+    }
+
+    #[test]
+    fn alexnet_macs_match_the_model_crate() {
+        // The layer-language AlexNet must agree with pim-model's
+        // hand-tabulated ungrouped MAC count (both ≈1.14e9).
+        let macs = alexnet_config().total_macs();
+        assert!((1.0e9..1.3e9).contains(&(macs as f64)), "got {macs}");
+    }
+
+    #[test]
+    fn fc_as_conv_needs_more_dpus_than_the_system_has() {
+        // fc6's 4096 filters exceed the 2560-DPU system: under the strict
+        // one-row-per-DPU mapping AlexNet's FC layers must be split — a
+        // real limitation the Fig. 4.6 scheme hits beyond YOLOv3.
+        let max_m = alexnet_config()
+            .conv_layers()
+            .iter()
+            .map(|(_, _, _, d)| d.m)
+            .max()
+            .unwrap();
+        assert!(max_m > dpu_sim::params::SYSTEM_DPUS);
+    }
+}
+
+/// YOLOv3-tiny: the lightweight two-scale variant (convs + maxpools in
+/// place of the residual backbone). A natural intermediate point for the
+/// §6.1 network-size question — 1/12 the MACs of full YOLOv3.
+#[must_use]
+pub fn yolov3_tiny() -> NetworkConfig {
+    let pool2 = LayerSpec::MaxPool { size: 2, stride: 2, pad: 0 };
+    let layers = vec![
+        LayerSpec::conv(16, 3, 1),  // 0   416
+        pool2.clone(),              // 1   208
+        LayerSpec::conv(32, 3, 1),  // 2
+        pool2.clone(),              // 3   104
+        LayerSpec::conv(64, 3, 1),  // 4
+        pool2.clone(),              // 5   52
+        LayerSpec::conv(128, 3, 1), // 6
+        pool2.clone(),              // 7   26
+        LayerSpec::conv(256, 3, 1), // 8   (route target)
+        pool2.clone(),              // 9   13
+        LayerSpec::conv(512, 3, 1), // 10
+        LayerSpec::MaxPool { size: 2, stride: 1, pad: 1 }, // 11  stays 13
+        LayerSpec::conv(1024, 3, 1), // 12
+        LayerSpec::conv(256, 1, 1),  // 13  (route target)
+        LayerSpec::conv(512, 3, 1),  // 14
+        LayerSpec::conv_linear(255, 1, 1), // 15
+        LayerSpec::Yolo { anchors: vec![(81.0, 82.0), (135.0, 169.0), (344.0, 319.0)] }, // 16
+        LayerSpec::Route { layers: vec![13] }, // 17
+        LayerSpec::conv(128, 1, 1),  // 18
+        LayerSpec::Upsample,         // 19  26
+        LayerSpec::Route { layers: vec![19, 8] }, // 20
+        LayerSpec::conv(256, 3, 1),  // 21
+        LayerSpec::conv_linear(255, 1, 1), // 22
+        LayerSpec::Yolo { anchors: vec![(10.0, 14.0), (23.0, 27.0), (37.0, 58.0)] }, // 23
+    ];
+    NetworkConfig {
+        name: "yolov3-tiny-416".to_owned(),
+        input: Shape { c: 3, h: 416, w: 416 },
+        layers,
+    }
+}
+
+#[cfg(test)]
+mod tiny_yolo_tests {
+    use super::*;
+
+    #[test]
+    fn tiny_yolo_shapes_match_darknet() {
+        let net = yolov3_tiny();
+        let shapes = net.shapes();
+        assert_eq!(shapes[8], Shape { c: 256, h: 26, w: 26 });
+        assert_eq!(shapes[11], Shape { c: 512, h: 13, w: 13 });
+        assert_eq!(shapes[12], Shape { c: 1024, h: 13, w: 13 });
+        assert_eq!(shapes[15], Shape { c: 255, h: 13, w: 13 });
+        assert_eq!(shapes[20], Shape { c: 128 + 256, h: 26, w: 26 });
+        assert_eq!(shapes[22], Shape { c: 255, h: 26, w: 26 });
+    }
+
+    #[test]
+    fn tiny_yolo_macs_are_a_twelfth_of_full() {
+        let tiny = yolov3_tiny().total_macs() as f64;
+        let full = darknet53_yolov3().total_macs() as f64;
+        // Literature: ~2.8 GMACs vs ~32.8 GMACs.
+        assert!((2.0e9..4.0e9).contains(&tiny), "tiny {tiny}");
+        assert!((8.0..16.0).contains(&(full / tiny)), "ratio {}", full / tiny);
+    }
+
+    #[test]
+    fn tiny_yolo_round_trips_through_cfg() {
+        let net = yolov3_tiny();
+        let back = crate::cfg::parse_cfg(&net.name, &crate::cfg::to_cfg(&net)).unwrap();
+        assert_eq!(back.layers, net.layers);
+    }
+
+    #[test]
+    fn tiny_yolo_frame_estimate_sits_between_ebnn_and_full() {
+        use crate::mapping::{GemmMapping, YoloPipeline};
+        let rep = YoloPipeline { network: yolov3_tiny(), mapping: GemmMapping::default(), seed: 0 }
+            .estimate();
+        let t = rep.total_seconds();
+        assert!(t > 1.0 && t < 20.0, "tiny frame {t} s");
+    }
+}

@@ -1,0 +1,209 @@
+//! YOLO head decoding and non-maximum suppression (host side).
+//!
+//! Completes the network: raw head activations → sigmoid-decoded boxes →
+//! class scores → NMS. With synthetic weights the boxes carry no semantic
+//! meaning, but the full post-processing path is exercised so the pipeline
+//! is structurally complete (the paper's Fig. 4.5 classification boxes are
+//! "placed as a result of network completion").
+
+use crate::layers::Shape;
+use crate::mapping::YoloHeadOutput;
+use serde::{Deserialize, Serialize};
+
+/// One detection box in input-image coordinates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Box center x.
+    pub x: f32,
+    /// Box center y.
+    pub y: f32,
+    /// Box width.
+    pub w: f32,
+    /// Box height.
+    pub h: f32,
+    /// Objectness × best class probability.
+    pub confidence: f32,
+    /// Best class index.
+    pub class: usize,
+}
+
+impl Detection {
+    /// Intersection-over-union with another box.
+    #[must_use]
+    pub fn iou(&self, other: &Detection) -> f32 {
+        let half = |d: &Detection| (d.x - d.w / 2.0, d.y - d.h / 2.0, d.x + d.w / 2.0, d.y + d.h / 2.0);
+        let (ax0, ay0, ax1, ay1) = half(self);
+        let (bx0, by0, bx1, by1) = half(other);
+        let iw = (ax1.min(bx1) - ax0.max(bx0)).max(0.0);
+        let ih = (ay1.min(by1) - ay0.max(by0)).max(0.0);
+        let inter = iw * ih;
+        let union = self.w * self.h + other.w * other.h - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+/// Decode one head's activations into candidate detections.
+///
+/// The head layout is Darknet's: per anchor, channels
+/// `[tx, ty, tw, th, obj, class...]`, spatially `shape.h × shape.w`.
+#[must_use]
+pub fn decode_head(head: &YoloHeadOutput, input_dim: usize, conf_threshold: f32) -> Vec<Detection> {
+    let Shape { c, h, w } = head.shape;
+    let anchors = &head.anchors;
+    let per_anchor = c / anchors.len();
+    assert!(per_anchor >= 5, "head needs at least 5 channels per anchor");
+    let classes = per_anchor - 5;
+    let at = |ch: usize, y: usize, x: usize| head.data[(ch * h + y) * w + x];
+    let mut out = Vec::new();
+    for (a, &(aw, ah)) in anchors.iter().enumerate() {
+        let base = a * per_anchor;
+        for y in 0..h {
+            for x in 0..w {
+                let obj = sigmoid(at(base + 4, y, x));
+                if obj < conf_threshold {
+                    continue;
+                }
+                let (mut best_c, mut best_p) = (0usize, f32::MIN);
+                for k in 0..classes.max(1) {
+                    let p = if classes == 0 { 1.0 } else { sigmoid(at(base + 5 + k, y, x)) };
+                    if p > best_p {
+                        best_p = p;
+                        best_c = k;
+                    }
+                }
+                let conf = obj * best_p;
+                if conf < conf_threshold {
+                    continue;
+                }
+                let cell = input_dim as f32 / w as f32;
+                out.push(Detection {
+                    x: (x as f32 + sigmoid(at(base, y, x))) * cell,
+                    y: (y as f32 + sigmoid(at(base + 1, y, x))) * cell,
+                    w: aw * at(base + 2, y, x).clamp(-4.0, 4.0).exp(),
+                    h: ah * at(base + 3, y, x).clamp(-4.0, 4.0).exp(),
+                    confidence: conf,
+                    class: best_c,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Greedy per-class non-maximum suppression.
+#[must_use]
+pub fn nms(mut dets: Vec<Detection>, iou_threshold: f32) -> Vec<Detection> {
+    dets.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal));
+    let mut keep: Vec<Detection> = Vec::new();
+    for d in dets {
+        if keep
+            .iter()
+            .all(|k| k.class != d.class || k.iou(&d) < iou_threshold)
+        {
+            keep.push(d);
+        }
+    }
+    keep
+}
+
+/// Decode all heads and suppress duplicates — the full post-processing of
+/// one frame.
+#[must_use]
+pub fn decode_and_nms(
+    heads: &[YoloHeadOutput],
+    input_dim: usize,
+    conf_threshold: f32,
+    iou_threshold: f32,
+) -> Vec<Detection> {
+    let mut all = Vec::new();
+    for h in heads {
+        all.extend(decode_head(h, input_dim, conf_threshold));
+    }
+    nms(all, iou_threshold)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boxed(x: f32, y: f32, w: f32, h: f32, conf: f32, class: usize) -> Detection {
+        Detection { x, y, w, h, confidence: conf, class }
+    }
+
+    #[test]
+    fn iou_identity_and_disjoint() {
+        let a = boxed(10.0, 10.0, 4.0, 4.0, 1.0, 0);
+        assert!((a.iou(&a) - 1.0).abs() < 1e-6);
+        let b = boxed(100.0, 100.0, 4.0, 4.0, 1.0, 0);
+        assert_eq!(a.iou(&b), 0.0);
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        let a = boxed(0.0, 0.0, 4.0, 4.0, 1.0, 0);
+        let b = boxed(2.0, 0.0, 4.0, 4.0, 1.0, 0);
+        // Intersection 2x4=8, union 32-8=24.
+        assert!((a.iou(&b) - 8.0 / 24.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nms_keeps_best_per_cluster() {
+        let dets = vec![
+            boxed(10.0, 10.0, 8.0, 8.0, 0.9, 1),
+            boxed(11.0, 10.0, 8.0, 8.0, 0.7, 1), // overlaps the first
+            boxed(40.0, 40.0, 8.0, 8.0, 0.8, 1), // separate
+            boxed(10.0, 10.0, 8.0, 8.0, 0.6, 2), // other class, same spot
+        ];
+        let kept = nms(dets, 0.5);
+        assert_eq!(kept.len(), 3);
+        assert!((kept[0].confidence - 0.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn decode_head_finds_strong_cell() {
+        use crate::layers::Shape;
+        // 1 anchor, 5+1 channels, 2x2 grid; activate cell (1,0).
+        let shape = Shape { c: 6, h: 2, w: 2 };
+        let mut data = vec![-10.0f32; 6 * 4];
+        let set = |ch: usize, y: usize, x: usize, v: f32, data: &mut [f32]| {
+            data[(ch * 2 + y) * 2 + x] = v;
+        };
+        set(4, 1, 0, 10.0, &mut data); // objectness
+        set(5, 1, 0, 10.0, &mut data); // class 0
+        set(2, 1, 0, 0.0, &mut data); // tw → exp(0)=1
+        set(3, 1, 0, 0.0, &mut data);
+        let head = crate::mapping::YoloHeadOutput {
+            layer: 0,
+            shape,
+            data,
+            anchors: vec![(16.0, 16.0)],
+        };
+        let dets = decode_head(&head, 32, 0.5);
+        assert_eq!(dets.len(), 1);
+        let d = dets[0];
+        assert_eq!(d.class, 0);
+        assert!((d.w - 16.0).abs() < 1e-3);
+        // Cell (y=1,x=0) of a 2x2 grid on a 32px input → x in [0,16), y in [16,32).
+        assert!(d.x < 16.0 && d.y >= 16.0);
+    }
+
+    #[test]
+    fn low_confidence_is_dropped() {
+        use crate::layers::Shape;
+        let head = crate::mapping::YoloHeadOutput {
+            layer: 0,
+            shape: Shape { c: 6, h: 2, w: 2 },
+            data: vec![-10.0; 24],
+            anchors: vec![(8.0, 8.0)],
+        };
+        assert!(decode_head(&head, 32, 0.3).is_empty());
+    }
+}

@@ -1,0 +1,182 @@
+//! The fixed-point GEMM of the paper's Algorithm 2.
+//!
+//! ```text
+//! procedure GEMM(M, N, K, ALPHA, A, B, C)
+//!   ctmp <- array(4*N)                      // i32 accumulators
+//!   for i in 0..M:
+//!     for k in 0..K:
+//!       APART = ALPHA * A[i*K + k]
+//!       for j in 0..N:
+//!         ctmp[j] = APART * B[k*N + j] + ctmp[j]
+//!     for j in 0..N:
+//!       C[i*N + j] = absolutemax(ctmp[j] / 32, 32767)
+//!       ctmp[j] = 0
+//! ```
+//!
+//! `A` is `M×K` (one row per filter), `B` is `K×N` (im2col'd input), `C` is
+//! `M×N`. `absolutemax(x, 32767)` clamps to the `i16` range; the divide by
+//! 32 re-scales the product of two Q-formats back into range.
+
+use serde::{Deserialize, Serialize};
+
+/// Dimensions of one GEMM call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct GemmDims {
+    /// Rows of `A` and `C` — the layer's filter count.
+    pub m: usize,
+    /// Columns of `B` and `C` — output pixels of the layer.
+    pub n: usize,
+    /// Inner dimension — `in_channels × kernel × kernel`.
+    pub k: usize,
+}
+
+impl GemmDims {
+    /// Multiply-accumulate operations this GEMM performs.
+    #[must_use]
+    pub fn macs(&self) -> u64 {
+        self.m as u64 * self.n as u64 * self.k as u64
+    }
+
+    /// Bytes of the three matrices at `i16` precision.
+    #[must_use]
+    pub fn bytes(&self) -> (u64, u64, u64) {
+        (
+            (self.m * self.k * 2) as u64,
+            (self.k * self.n * 2) as u64,
+            (self.m * self.n * 2) as u64,
+        )
+    }
+}
+
+/// The accumulator re-scale of Algorithm 2 line 9:
+/// `absolutemax(x / 32, 32767)` — divide, then clamp symmetrically.
+#[must_use]
+pub fn absolutemax_rescale(acc: i64) -> i16 {
+    let scaled = acc / 32;
+    scaled.clamp(-32767, 32767) as i16
+}
+
+/// Algorithm 2, verbatim (host-reference single-threaded path).
+///
+/// # Panics
+/// When slice lengths don't match `dims`.
+pub fn gemm(dims: GemmDims, alpha: i32, a: &[i16], b: &[i16], c: &mut [i16]) {
+    let GemmDims { m, n, k } = dims;
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert_eq!(c.len(), m * n, "C shape mismatch");
+    let mut ctmp = vec![0i64; n];
+    for i in 0..m {
+        for kk in 0..k {
+            let apart = i64::from(alpha) * i64::from(a[i * k + kk]);
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (acc, &bv) in ctmp.iter_mut().zip(brow) {
+                *acc += apart * i64::from(bv);
+            }
+        }
+        for (j, acc) in ctmp.iter_mut().enumerate() {
+            c[i * n + j] = absolutemax_rescale(*acc);
+            *acc = 0;
+        }
+    }
+}
+
+/// One row of the GEMM — what a single DPU computes under the Fig. 4.6
+/// mapping: row `i` of `A` against all of `B`, producing row `i` of `C`.
+///
+/// # Panics
+/// When slice lengths don't match.
+pub fn gemm_row(dims: GemmDims, alpha: i32, a_row: &[i16], b: &[i16], c_row: &mut [i16]) {
+    let GemmDims { n, k, .. } = dims;
+    assert_eq!(a_row.len(), k, "A row shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert_eq!(c_row.len(), n, "C row shape mismatch");
+    let mut ctmp = vec![0i64; n];
+    for kk in 0..k {
+        let apart = i64::from(alpha) * i64::from(a_row[kk]);
+        let brow = &b[kk * n..(kk + 1) * n];
+        for (acc, &bv) in ctmp.iter_mut().zip(brow) {
+            *acc += apart * i64::from(bv);
+        }
+    }
+    for (out, acc) in c_row.iter_mut().zip(&ctmp) {
+        *out = absolutemax_rescale(*acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_times_vector() {
+        // A = 32*I so the /32 rescale cancels.
+        let dims = GemmDims { m: 3, n: 2, k: 3 };
+        let mut a = vec![0i16; 9];
+        for i in 0..3 {
+            a[i * 3 + i] = 32;
+        }
+        let b = vec![1i16, 2, 3, 4, 5, 6];
+        let mut c = vec![0i16; 6];
+        gemm(dims, 1, &a, &b, &mut c);
+        assert_eq!(c, b);
+    }
+
+    #[test]
+    fn rescale_clamps_symmetrically() {
+        assert_eq!(absolutemax_rescale(32 * 40000), 32767);
+        assert_eq!(absolutemax_rescale(-32 * 40000), -32767);
+        assert_eq!(absolutemax_rescale(64), 2);
+        assert_eq!(absolutemax_rescale(-64), -2);
+    }
+
+    #[test]
+    fn alpha_scales_output() {
+        let dims = GemmDims { m: 1, n: 1, k: 1 };
+        let mut c1 = vec![0i16; 1];
+        let mut c2 = vec![0i16; 1];
+        gemm(dims, 1, &[32], &[10], &mut c1);
+        gemm(dims, 3, &[32], &[10], &mut c2);
+        assert_eq!(c2[0], 3 * c1[0]);
+    }
+
+    #[test]
+    fn macs_and_bytes() {
+        let d = GemmDims { m: 64, n: 100, k: 27 };
+        assert_eq!(d.macs(), 64 * 100 * 27);
+        assert_eq!(d.bytes(), (64 * 27 * 2, 27 * 100 * 2, 64 * 100 * 2));
+    }
+
+    proptest! {
+        /// Row-per-DPU decomposition equals the monolithic GEMM — the
+        /// functional core of the Fig. 4.6 mapping.
+        #[test]
+        fn rows_compose_to_full_gemm(
+            m in 1usize..5, n in 1usize..8, k in 1usize..6,
+            seed in any::<u64>(),
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let dims = GemmDims { m, n, k };
+            let a: Vec<i16> = (0..m * k).map(|_| rng.gen_range(-100..100)).collect();
+            let b: Vec<i16> = (0..k * n).map(|_| rng.gen_range(-100..100)).collect();
+            let mut c_full = vec![0i16; m * n];
+            gemm(dims, 2, &a, &b, &mut c_full);
+            for i in 0..m {
+                let mut c_row = vec![0i16; n];
+                gemm_row(dims, 2, &a[i * k..(i + 1) * k], &b, &mut c_row);
+                prop_assert_eq!(&c_row[..], &c_full[i * n..(i + 1) * n]);
+            }
+        }
+
+        /// The i64 accumulator never wraps for i16 operands at YOLO scales.
+        #[test]
+        fn accumulator_headroom(k in 1usize..2000) {
+            // worst case |alpha*a*b| = 1 * 32767^2 ≈ 2^30; k of them stays
+            // far below i64::MAX.
+            let worst = (k as i64) * 32767 * 32767;
+            prop_assert!(worst < i64::MAX / 4);
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! `im2col`: unroll convolution input into the GEMM `B` matrix.
+//!
+//! For a convolution with `C` input channels, `k×k` kernels, stride `s` and
+//! padding `p` over an `H×W` input, `B` has `C·k·k` rows and
+//! `out_h·out_w` columns; column `(oy, ox)` stacks the receptive field of
+//! output pixel `(oy, ox)` channel-major. Out-of-image taps read 0.
+
+/// Shape bookkeeping for one im2col.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Im2colDims {
+    /// Input channels.
+    pub channels: usize,
+    /// Input height.
+    pub height: usize,
+    /// Input width.
+    pub width: usize,
+    /// Kernel edge.
+    pub kernel: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Zero padding.
+    pub pad: usize,
+}
+
+impl Im2colDims {
+    /// Output spatial height.
+    #[must_use]
+    pub fn out_h(&self) -> usize {
+        (self.height + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Output spatial width.
+    #[must_use]
+    pub fn out_w(&self) -> usize {
+        (self.width + 2 * self.pad - self.kernel) / self.stride + 1
+    }
+
+    /// Rows of `B` (`C·k·k`).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.channels * self.kernel * self.kernel
+    }
+
+    /// Columns of `B` (`out_h · out_w`).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.out_h() * self.out_w()
+    }
+}
+
+/// Unroll `input` (channel-major `C×H×W`) into the `B` matrix
+/// (row-major `rows() × cols()`).
+///
+/// # Panics
+/// When `input.len() != channels*height*width` or the kernel exceeds the
+/// padded input.
+#[must_use]
+pub fn im2col(input: &[i16], d: Im2colDims) -> Vec<i16> {
+    assert_eq!(input.len(), d.channels * d.height * d.width, "input shape mismatch");
+    assert!(d.kernel <= d.height + 2 * d.pad, "kernel taller than padded input");
+    assert!(d.kernel <= d.width + 2 * d.pad, "kernel wider than padded input");
+    assert!(d.stride > 0, "stride must be positive");
+    let (out_h, out_w) = (d.out_h(), d.out_w());
+    let cols = out_h * out_w;
+    let mut b = vec![0i16; d.rows() * cols];
+    for c in 0..d.channels {
+        for ky in 0..d.kernel {
+            for kx in 0..d.kernel {
+                let row = (c * d.kernel + ky) * d.kernel + kx;
+                for oy in 0..out_h {
+                    let iy = (oy * d.stride + ky) as isize - d.pad as isize;
+                    for ox in 0..out_w {
+                        let ix = (ox * d.stride + kx) as isize - d.pad as isize;
+                        let v = if iy < 0
+                            || ix < 0
+                            || iy >= d.height as isize
+                            || ix >= d.width as isize
+                        {
+                            0
+                        } else {
+                            input[(c * d.height + iy as usize) * d.width + ix as usize]
+                        };
+                        b[row * cols + oy * out_w + ox] = v;
+                    }
+                }
+            }
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn one_by_one_kernel_is_identity() {
+        let d = Im2colDims { channels: 2, height: 3, width: 3, kernel: 1, stride: 1, pad: 0 };
+        let input: Vec<i16> = (0..18).collect();
+        let b = im2col(&input, d);
+        assert_eq!(b, input);
+    }
+
+    #[test]
+    fn padding_reads_zero() {
+        let d = Im2colDims { channels: 1, height: 2, width: 2, kernel: 3, stride: 1, pad: 1 };
+        let input = vec![1i16, 2, 3, 4];
+        let b = im2col(&input, d);
+        assert_eq!(d.cols(), 4);
+        assert_eq!(d.rows(), 9);
+        // Column 0 = receptive field of output (0,0): top-left 3x3 window
+        // centred at (0,0) → rows (ky,kx): only (1,1),(1,2),(2,1),(2,2) hit.
+        let col0: Vec<i16> = (0..9).map(|r| b[r * 4]).collect();
+        assert_eq!(col0, vec![0, 0, 0, 0, 1, 2, 0, 3, 4]);
+    }
+
+    #[test]
+    fn stride_two_downsamples() {
+        let d = Im2colDims { channels: 1, height: 4, width: 4, kernel: 2, stride: 2, pad: 0 };
+        assert_eq!(d.out_h(), 2);
+        assert_eq!(d.out_w(), 2);
+        let input: Vec<i16> = (0..16).collect();
+        let b = im2col(&input, d);
+        // First row of B = top-left tap of each window: pixels 0,2,8,10.
+        assert_eq!(&b[0..4], &[0, 2, 8, 10]);
+    }
+
+    proptest! {
+        /// Convolution via im2col + dot products equals direct convolution.
+        #[test]
+        fn im2col_gemm_equals_direct_conv(
+            seed in any::<u64>(),
+            h in 3usize..7, w in 3usize..7,
+            ch in 1usize..3,
+            pad in 0usize..2,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let d = Im2colDims { channels: ch, height: h, width: w, kernel: 3, stride: 1, pad };
+            if d.kernel > h + 2 * pad || d.kernel > w + 2 * pad {
+                return Ok(());
+            }
+            let input: Vec<i16> = (0..ch * h * w).map(|_| rng.gen_range(-50..50)).collect();
+            let weights: Vec<i16> = (0..d.rows()).map(|_| rng.gen_range(-50..50)).collect();
+            let b = im2col(&input, d);
+            let cols = d.cols();
+            // GEMM row: weights · B
+            let by_gemm: Vec<i64> = (0..cols)
+                .map(|j| (0..d.rows()).map(|r| i64::from(weights[r]) * i64::from(b[r * cols + j])).sum())
+                .collect();
+            // Direct convolution
+            let (out_h, out_w) = (d.out_h(), d.out_w());
+            for oy in 0..out_h {
+                for ox in 0..out_w {
+                    let mut acc = 0i64;
+                    for c in 0..ch {
+                        for ky in 0..3 {
+                            for kx in 0..3 {
+                                let iy = (oy + ky) as isize - pad as isize;
+                                let ix = (ox + kx) as isize - pad as isize;
+                                if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < w {
+                                    let wv = weights[(c * 3 + ky) * 3 + kx];
+                                    let iv = input[(c * h + iy as usize) * w + ix as usize];
+                                    acc += i64::from(wv) * i64::from(iv);
+                                }
+                            }
+                        }
+                    }
+                    prop_assert_eq!(acc, by_gemm[oy * out_w + ox]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Fixed-point quantization — the host-side half of the paper's split.
+//!
+//! The DPU "only supports fixed-point operations", so the host quantizes
+//! float tensors to `i16` before dispatch and de-quantizes results after
+//! (§4.2.3: "Since quantization/de-quantization is not supported by the
+//! DPUs, the GEMM functions are only delegated to the DPUs"). Symmetric
+//! linear quantization with a power-of-two scale keeps the DPU-side
+//! arithmetic to shifts.
+
+use serde::{Deserialize, Serialize};
+
+/// Symmetric power-of-two quantization parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantParams {
+    /// Values are multiplied by `2^shift` when quantizing.
+    pub shift: u32,
+}
+
+impl QuantParams {
+    /// Parameters quantizing `[-range, range]` floats into the full `i16`
+    /// span with a power-of-two scale.
+    ///
+    /// # Panics
+    /// When `range` is not positive and finite.
+    #[must_use]
+    pub fn for_range(range: f32) -> Self {
+        assert!(range.is_finite() && range > 0.0, "range must be positive");
+        // Largest power-of-two scale keeping range within i16.
+        let mut shift = 0u32;
+        while (range * ((1u64 << (shift + 1)) as f32)) <= i16::MAX as f32 && shift < 14 {
+            shift += 1;
+        }
+        Self { shift }
+    }
+
+    /// The multiplicative scale `2^shift`.
+    #[must_use]
+    pub fn scale(&self) -> f32 {
+        (1u64 << self.shift) as f32
+    }
+}
+
+/// Quantize floats to `i16` with saturation.
+#[must_use]
+pub fn quantize(values: &[f32], q: QuantParams) -> Vec<i16> {
+    values
+        .iter()
+        .map(|&v| {
+            let scaled = (v * q.scale()).round();
+            scaled.clamp(f32::from(i16::MIN), f32::from(i16::MAX)) as i16
+        })
+        .collect()
+}
+
+/// De-quantize `i16` values back to floats.
+#[must_use]
+pub fn dequantize(values: &[i16], q: QuantParams) -> Vec<f32> {
+    values.iter().map(|&v| f32::from(v) / q.scale()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let q = QuantParams::for_range(4.0);
+        let vals = vec![0.0f32, 1.5, -3.99, 0.333, 2.718];
+        let back = dequantize(&quantize(&vals, q), q);
+        let step = 1.0 / q.scale();
+        for (a, b) in vals.iter().zip(&back) {
+            assert!((a - b).abs() <= step / 2.0 + 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn saturation_clamps() {
+        let q = QuantParams { shift: 14 };
+        let out = quantize(&[10.0, -10.0], q);
+        assert_eq!(out, vec![i16::MAX, i16::MIN]);
+    }
+
+    #[test]
+    fn range_fits_i16() {
+        for range in [0.5f32, 1.0, 4.0, 100.0] {
+            let q = QuantParams::for_range(range);
+            let v = quantize(&[range, -range], q);
+            assert!(v[0] > i16::MAX / 4, "range {range} underuses i16: {}", v[0]);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn quantize_is_monotone(a in -4.0f32..4.0, b in -4.0f32..4.0) {
+            let q = QuantParams::for_range(4.0);
+            let (qa, qb) = (quantize(&[a], q)[0], quantize(&[b], q)[0]);
+            if a <= b {
+                prop_assert!(qa <= qb);
+            }
+        }
+
+        #[test]
+        fn round_trip_bounded(v in -4.0f32..4.0) {
+            let q = QuantParams::for_range(4.0);
+            let back = dequantize(&quantize(&[v], q), q)[0];
+            prop_assert!((v - back).abs() <= 0.5 / q.scale() + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Explore the Chapter-5 analytical PIM model.
+//!
+//! ```sh
+//! cargo run --release --example pim_model_explorer [tops] [device.json]
+//! ```
+//!
+//! Prints the paper's model tables, then evaluates a custom workload
+//! (default: 1e8 MACs) across the architecture line-up — the "model usage"
+//! workflow of §5.4. Pass a JSON device description (the serde form of
+//! `pim_model::PimArch`) to score your own PIM against the line-up.
+
+use pim_model::{ModelReport, OperandBits, Workload};
+
+fn main() {
+    let tops: f64 = std::env::args().nth(1).map(|s| s.parse().expect("tops")).unwrap_or(1e8);
+    println!("{}", pim_bench_render::table_5_1());
+    println!("{}", pim_bench_render::table_5_2());
+    println!("{}", pim_bench_render::table_5_3());
+
+    // Custom workload across the line-up, all operand widths.
+    let w = Workload::custom("custom", tops);
+    println!("Custom workload: {} MACs", tops);
+    println!("{:<16} {:>10} {:>10} {:>10} {:>10}", "device", "4-bit", "8-bit", "16-bit", "32-bit");
+    for a in pim_model::arch::table_5_4_lineup() {
+        if a.compute().is_none() {
+            // Throughput/measured devices: single figure.
+            if a.name == "UPMEM" {
+                continue; // measured rows need eBNN/YOLO workloads
+            }
+            let t = a.latency_nominal(&w, OperandBits::B8);
+            println!("{:<16} {:>10} {:>9.3e}s {:>10} {:>10}", a.name, "-", t, "-", "-");
+            continue;
+        }
+        let row: Vec<String> = OperandBits::ALL
+            .iter()
+            .map(|&x| format!("{:.3e}s", a.latency_nominal(&w, x)))
+            .collect();
+        println!("{:<16} {:>10} {:>10} {:>10} {:>10}", a.name, row[0], row[1], row[2], row[3]);
+    }
+
+    println!("\n{}", pim_bench_render::fig_5_6());
+    println!("{}", pim_bench_render::table_5_4(&ModelReport::table_5_4(None)));
+
+    // Optional: score a user-described device from JSON.
+    if let Some(path) = std::env::args().nth(2) {
+        let json = std::fs::read_to_string(&path).expect("readable JSON file");
+        let dev = pim_model::arch::arch_from_json(&json).expect("valid PimArch JSON");
+        println!("Custom device `{}` ({}):", dev.name, path);
+        for wname in ["eBNN", "YOLOv3"] {
+            let wl = if wname == "eBNN" { Workload::ebnn() } else { Workload::yolov3() };
+            let t = dev.latency_nominal(&wl, OperandBits::B8);
+            println!(
+                "  {wname:<7} latency {t:.3e} s, {:.3e} frames/s-W, {:.3e} frames/s-mm2",
+                1.0 / t / dev.power_w,
+                1.0 / t / dev.area_mm2
+            );
+        }
+    }
+}
+
+/// Local renderers (the example is standalone; the `pim-bench` crate has
+/// richer ones).
+mod pim_bench_render {
+    use pim_model::report::BenchRow;
+    use pim_model::ModelReport;
+
+    pub fn table_5_1() -> String {
+        let mut s = String::from("Table 5.1 — model walkthrough (8-bit AlexNet)\n");
+        for c in ModelReport::table_5_1() {
+            s.push_str(&format!(
+                "  {:<12} Cop={:<4} PEs={:<6} Ccomp={:.4e} Tcomp={:.3e}s\n",
+                c.name, c.cop, c.pes, c.ccomp_tops, c.tcomp_tops
+            ));
+        }
+        s
+    }
+
+    pub fn table_5_2() -> String {
+        let mut s = String::from("Table 5.2 — multiplication Cop (4/8/16/32-bit)\n");
+        for (name, row) in ModelReport::table_5_2() {
+            s.push_str(&format!("  {:<12} {:?}\n", name, row));
+        }
+        s
+    }
+
+    pub fn table_5_3() -> String {
+        let mut s = String::from("Table 5.3 — memory model (8-bit AlexNet)\n");
+        for (name, tt, opp, local, tmem) in ModelReport::table_5_3() {
+            s.push_str(&format!(
+                "  {:<12} Ttransfer={:.2e}s ops/PE={} local={} Tmem={:.3e}s\n",
+                name, tt, opp, local, tmem
+            ));
+        }
+        s
+    }
+
+    pub fn fig_5_6() -> String {
+        let mut s = String::from("Fig. 5.6 — multiply cycles at PEs=2560, TOPs=1e5\n");
+        for (name, row) in ModelReport::fig_5_6() {
+            s.push_str(&format!("  {:<12} {:?}\n", name, row.map(|v| v as u64)));
+        }
+        s
+    }
+
+    pub fn table_5_4(rows: &[BenchRow]) -> String {
+        let mut s = String::from(
+            "Table 5.4 — benchmarking (8-bit)\n  device           eBNN lat    f/sW      f/smm     YOLO lat    f/sW      f/smm\n",
+        );
+        for r in rows {
+            s.push_str(&format!(
+                "  {:<16} {:>9.3e} {:>9.3e} {:>9.3e} {:>9.3e} {:>9.3e} {:>9.3e}\n",
+                r.name,
+                r.ebnn_latency,
+                r.ebnn_tp_power,
+                r.ebnn_tp_area,
+                r.yolo_latency,
+                r.yolo_tp_power,
+                r.yolo_tp_area
+            ));
+        }
+        s
+    }
+}

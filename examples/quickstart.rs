@@ -1,0 +1,44 @@
+//! Quickstart: classify handwritten digits on the simulated UPMEM PIM.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Generates an eBNN, synthesizes a few MNIST-like digits, deploys the
+//! Convolution-Pool block to simulated DPUs with the paper's
+//! multi-image-per-DPU mapping (LUT-rewritten BatchNorm), and prints
+//! predictions with the cycle-accounted latency.
+
+use ebnn::{EbnnModel, EbnnPipeline, ModelConfig};
+
+fn main() {
+    // 1. A model: one binary conv-pool block (16 filters) + classifier.
+    let model = EbnnModel::generate(ModelConfig::default());
+
+    // 2. A handful of synthetic digits (one per class).
+    let digits: Vec<_> = (0..10).map(|c| ebnn::mnist::synth_digit(c, 42)).collect();
+
+    // 3. Deploy: the pipeline binarizes and bit-packs on the host, scatters
+    //    images to DPU MRAM, runs one tasklet per image, and classifies the
+    //    returned feature maps on the host.
+    let pipeline = EbnnPipeline::new(model);
+    let report = pipeline.infer(&digits).expect("inference runs");
+
+    println!("eBNN on the simulated UPMEM PIM");
+    println!("-------------------------------");
+    for (digit, &pred) in digits.iter().zip(&report.predictions) {
+        let mark = if pred == digit.label { "ok " } else { "MISS" };
+        println!("  digit {} -> predicted {} [{}]", digit.label, pred, mark);
+    }
+    let correct = digits
+        .iter()
+        .zip(&report.predictions)
+        .filter(|(d, &p)| d.label == p)
+        .count();
+    println!("\naccuracy: {}/{}", correct, digits.len());
+    println!("DPUs used: {}", report.dpus_used);
+    println!("DPU completion: {:.3} ms ({} cycles @ 350 MHz)",
+        report.dpu_seconds * 1e3, report.makespan_cycles);
+    println!("host softmax:   {:.3} ms", report.host_seconds * 1e3);
+    println!("throughput:     {:.0} frames/s of DPU time", report.frames_per_second());
+}

@@ -1,0 +1,37 @@
+//! # pim-repro — reproduction of *"Implementation and Evaluation of Deep
+//! Neural Networks in Commercially Available Processing in Memory
+//! Hardware"* (Das, 2022)
+//!
+//! This umbrella crate re-exports the workspace members and hosts the
+//! runnable examples (`examples/`) and cross-crate integration tests
+//! (`tests/`). The library surface lives in the member crates:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`dpu_sim`] | UPMEM DPU simulator (ISA, pipeline, memories, DMA) |
+//! | [`pim_host`] | host runtime (DPU sets, symbols, transfers, launch) |
+//! | [`ebnn`] | binary CNN + LUT rewrite + multi-image-per-DPU mapping |
+//! | [`yolo_pim`] | quantized YOLOv3 + row-per-DPU GEMM mapping |
+//! | [`pim_model`] | Chapter-5 analytical PIM model |
+//! | [`cpu_baseline`] | Intel Xeon comparison point |
+//! | [`pim_core`] | deployment framework + experiment drivers |
+//!
+//! Start with `examples/quickstart.rs`, then `DESIGN.md` for the system
+//! inventory and `EXPERIMENTS.md` for paper-vs-measured numbers.
+
+#![forbid(unsafe_code)]
+// The README's code blocks compile and run as doctests of this crate.
+#![doc = include_str!("../README.md")]
+
+/// The guided tour (`docs/TUTORIAL.md`), included here so its code
+/// snippets compile and run as doctests.
+#[doc = include_str!("../docs/TUTORIAL.md")]
+pub mod tutorial {}
+
+pub use cpu_baseline;
+pub use dpu_sim;
+pub use ebnn;
+pub use pim_core;
+pub use pim_host;
+pub use pim_model;
+pub use yolo_pim;

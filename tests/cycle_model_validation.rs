@@ -1,0 +1,218 @@
+//! Validate the Tier-2 kernel cycle model against the Tier-1 interpreter.
+//!
+//! The CNN pipelines charge cycles through `dpu_sim::cost::CycleModel`
+//! (closed form); the interpreter executes instruction streams through the
+//! exact event-driven pipeline. These tests run *matched* workloads through
+//! both and require agreement, which is what licenses the Tier-2 numbers
+//! quoted in `EXPERIMENTS.md`.
+
+use dpu_sim::asm::assemble;
+use dpu_sim::cost::{CycleModel, OpCounts, OptLevel};
+use dpu_sim::{DpuParams, Machine};
+
+/// A pure-ALU loop: every tasklet runs `iters` iterations of
+/// 3 ALU ops + 1 branch.
+fn alu_loop_program(iters: u32) -> dpu_sim::Program {
+    assemble(&format!(
+        "movi r1, {iters}\n\
+         movi r2, 0\n\
+         loop: add r2, r2, r1\n\
+         xor r3, r2, r1\n\
+         addi r1, r1, -1\n\
+         bne r1, r0, loop\n\
+         halt\n"
+    ))
+    .expect("program assembles")
+}
+
+fn alu_loop_counts(iters: u64) -> OpCounts {
+    // Matching tally: 2 setup ALU + per-iteration (3 ALU + 1 branch as a
+    // loop slot... the branch is the loop overhead at O3 = 1 slot) + halt.
+    OpCounts {
+        alu: 2 + 3 * iters + 1, // setup + body + halt slot
+        loops: iters,
+        ..OpCounts::default()
+    }
+}
+
+#[test]
+fn tier2_matches_interpreter_single_tasklet() {
+    let iters = 500u32;
+    let mut m = Machine::default();
+    let sim = m.run(&alu_loop_program(iters), 1).expect("runs");
+
+    let model = CycleModel::new(DpuParams::default(), OptLevel::O3);
+    let est = model.estimate(&[alu_loop_counts(u64::from(iters))]);
+
+    let err = (sim.cycles as f64 - est.cycles as f64).abs() / sim.cycles as f64;
+    assert!(err < 0.01, "sim {} vs est {} ({:.2}% off)", sim.cycles, est.cycles, err * 100.0);
+}
+
+#[test]
+fn tier2_matches_interpreter_across_tasklet_counts() {
+    let iters = 300u32;
+    let model = CycleModel::new(DpuParams::default(), OptLevel::O3);
+    for tasklets in [1usize, 2, 4, 8, 11, 16, 24] {
+        let mut m = Machine::default();
+        let sim = m.run(&alu_loop_program(iters), tasklets).expect("runs");
+        let counts = vec![alu_loop_counts(u64::from(iters)); tasklets];
+        let est = model.estimate(&counts);
+        let err = (sim.cycles as f64 - est.cycles as f64).abs() / sim.cycles as f64;
+        assert!(
+            err < 0.02,
+            "tasklets={tasklets}: sim {} vs est {} ({:.2}% off)",
+            sim.cycles,
+            est.cycles,
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn tier2_matches_interpreter_with_subroutines() {
+    // A loop whose body calls __mulsi3: subroutine slots dominate.
+    let iters = 50u32;
+    let program = assemble(&format!(
+        "movi r1, {iters}\n\
+         movi r2, 3\n\
+         loop: call __mulsi3 r3, r2, r1\n\
+         addi r1, r1, -1\n\
+         bne r1, r0, loop\n\
+         halt\n"
+    ))
+    .expect("assembles");
+    let mut m = Machine::default();
+    let sim = m.run(&program, 4).expect("runs");
+
+    let per_tasklet = OpCounts {
+        alu: 2 + u64::from(iters) + 1, // setup + addi + halt
+        mul32: u64::from(iters),
+        loops: u64::from(iters), // the bne
+        ..OpCounts::default()
+    };
+    let model = CycleModel::new(DpuParams::default(), OptLevel::O3);
+    let est = model.estimate(&vec![per_tasklet; 4]);
+    let err = (sim.cycles as f64 - est.cycles as f64).abs() / sim.cycles as f64;
+    assert!(err < 0.03, "sim {} vs est {} ({:.2}%)", sim.cycles, est.cycles, err * 100.0);
+}
+
+#[test]
+fn tier2_matches_interpreter_with_interleaved_dma() {
+    // The CNN kernels' access pattern: per loop iteration a small DMA plus
+    // some compute. Streams from different tasklets interleave, which is
+    // the regime the closed form models tightly.
+    let program = assemble(
+        "me r1\n\
+         lsli r2, r1, 10     ; private mram region = id * 1024\n\
+         movi r3, 64         ; transfer size\n\
+         movi r4, 0          ; wram slot\n\
+         movi r5, 50         ; iterations\n\
+         loop:\n\
+         mram.read r4, r2, r3\n\
+         movi r6, 10\n\
+         inner: add r7, r7, r6\n\
+         addi r6, r6, -1\n\
+         bne r6, r0, inner\n\
+         addi r5, r5, -1\n\
+         bne r5, r0, loop\n\
+         halt\n",
+    )
+    .expect("assembles");
+    for tasklets in [1usize, 4, 11] {
+        let mut m = Machine::default();
+        let sim = m.run(&program, tasklets).expect("runs");
+        let per_tasklet = OpCounts {
+            alu: 5 + 50 * (1 + 2 * 10) + 1, // setup + per-iter movi/inner + halt
+            loops: 50 * 10 + 50,            // inner bne + outer addi/bne pair
+            mram_transfers: 50,
+            mram_bytes: 50 * 64,
+            ..OpCounts::default()
+        };
+        let model = CycleModel::new(DpuParams::default(), OptLevel::O3);
+        let est = model.estimate(&vec![per_tasklet; tasklets]);
+        let err = (sim.cycles as f64 - est.cycles as f64).abs() / sim.cycles as f64;
+        assert!(
+            err < 0.10,
+            "tasklets={tasklets}: sim {} vs est {} ({:.2}%)",
+            sim.cycles,
+            est.cycles,
+            err * 100.0
+        );
+    }
+}
+
+#[test]
+fn tier2_is_a_lower_bound_for_bulk_phase_workloads() {
+    // Bulk pattern: one big DMA, then a long compute phase. The serialized
+    // stream delays the last tasklet's compute phase, which a roofline
+    // cannot see — the estimate must stay a (reasonably tight) lower bound.
+    let program = assemble(
+        "me r1\n\
+         lsli r2, r1, 11\n\
+         movi r3, 2048\n\
+         movi r4, 0\n\
+         mram.read r4, r2, r3\n\
+         movi r5, 100\n\
+         loop: addi r5, r5, -1\n\
+         bne r5, r0, loop\n\
+         halt\n",
+    )
+    .expect("assembles");
+    let per_tasklet = OpCounts {
+        alu: 5 + 100 + 1,
+        loops: 100,
+        mram_transfers: 1,
+        mram_bytes: 2048,
+        ..OpCounts::default()
+    };
+    let model = CycleModel::new(DpuParams::default(), OptLevel::O3);
+    for tasklets in [1usize, 4, 11] {
+        let mut m = Machine::default();
+        let sim = m.run(&program, tasklets).expect("runs");
+        let est = model.estimate(&vec![per_tasklet; tasklets]);
+        assert!(
+            est.cycles <= sim.cycles + sim.cycles / 20,
+            "tasklets={tasklets}: roofline {} must not exceed sim {}",
+            est.cycles,
+            sim.cycles
+        );
+        // The gap is bounded by one serialized stream plus the trailing
+        // compute phase of the last tasklet.
+        let slack = est.cycles + 2048 / 2 * tasklets as u64 + 11 * per_tasklet.alu;
+        assert!(
+            sim.cycles <= slack,
+            "tasklets={tasklets}: sim {} beyond explained slack {slack}",
+            sim.cycles
+        );
+    }
+}
+
+#[test]
+fn imbalanced_tasklets_bound_by_slowest() {
+    // Tasklet 0 loops 10x longer than the rest; the interpreter and the
+    // model must both track the straggler.
+    let program = assemble(
+        "me r1\n\
+         movi r2, 100\n\
+         beq r1, r0, straggler\n\
+         jmp loop\n\
+         straggler: movi r2, 1000\n\
+         loop: addi r2, r2, -1\n\
+         bne r2, r0, loop\n\
+         halt\n",
+    )
+    .expect("assembles");
+    let mut m = Machine::default();
+    let sim = m.run(&program, 8).expect("runs");
+
+    let model = CycleModel::new(DpuParams::default(), OptLevel::O3);
+    let mut counts = vec![
+        OpCounts { alu: 4 + 100 + 1, loops: 100, ..OpCounts::default() };
+        8
+    ];
+    counts[0] = OpCounts { alu: 4 + 1000 + 1, loops: 1000, ..OpCounts::default() };
+    let est = model.estimate(&counts);
+    let err = (sim.cycles as f64 - est.cycles as f64).abs() / sim.cycles as f64;
+    assert!(err < 0.03, "sim {} vs est {} ({:.2}%)", sim.cycles, est.cycles, err * 100.0);
+    assert!(est.latency_bound > est.issue_bound, "straggler sets the bound");
+}

@@ -1,0 +1,244 @@
+//! The master reproduction test: one assertion block per table/figure of
+//! the paper, checking measured-vs-paper values at documented tolerances.
+//! `EXPERIMENTS.md` is the human-readable companion of this file.
+
+use cpu_baseline::XeonModel;
+use ebnn::{EbnnModel, ModelConfig};
+use pim_core::experiments as exp;
+use pim_model::{ModelReport, OperandBits, Workload};
+
+fn model() -> EbnnModel {
+    EbnnModel::generate(ModelConfig::default())
+}
+
+fn close(measured: f64, paper: f64, tol: f64) -> bool {
+    (measured - paper).abs() / paper.abs() < tol
+}
+
+#[test]
+fn eq_3_4_mram_access_cycles() {
+    // Paper worked example: 2048 bytes -> 1049 cycles.
+    let rows = exp::eq_3_4(&[2048]);
+    assert_eq!(rows[0].1, 1049);
+}
+
+#[test]
+fn table_3_1_all_rows_within_2_percent() {
+    for row in exp::table_3_1() {
+        assert!(
+            row.rel_error() < 0.02,
+            "{}: paper {} vs measured {}",
+            row.op,
+            row.paper_cycles,
+            row.measured_cycles
+        );
+    }
+}
+
+#[test]
+fn table_3_1_ratios_match_paper_statements() {
+    // §3.3.1's comparative statements.
+    let rows = exp::table_3_1();
+    let get = |label: &str| {
+        rows.iter().find(|r| r.op == label).unwrap().measured_cycles as f64
+    };
+    // "32-bit fixed multiplication is about x2.9 slower than addition".
+    assert!(close(get("32-bit mul") / get("fixed add"), 2.9, 0.05));
+    // "32-bit float addition is about x3.3 slower than fixed addition".
+    assert!(close(get("float add") / get("fixed add"), 3.3, 0.05));
+    // "float multiplication about x3.2 slower than fixed multiplication".
+    assert!(close(get("float mul") / get("32-bit mul"), 3.2, 0.05));
+    // "float mul about x2.3 slower than float add".
+    assert!(close(get("float mul") / get("float add"), 2.3, 0.25));
+    // Float division is the worst of everything.
+    assert!(rows.iter().all(|r| get("float div") >= r.measured_cycles as f64));
+}
+
+#[test]
+fn fig_4_3_subroutine_reduction() {
+    // "reduced from 11+ subroutines to 2 subroutines".
+    let f = exp::fig_4_3(&model());
+    assert!(f.float_profile.distinct >= 11);
+    assert_eq!(f.lut_profile.distinct, 2);
+    // "only the mulsi3 subroutine is left".
+    assert!(f.lut_profile.occ.iter().any(|(s, _)| s == "__mulsi3"));
+    assert!(f.lut_profile.occ.iter().all(|(s, _)| !s.contains("sf") && !s.contains("df")));
+}
+
+#[test]
+fn fig_4_4_lut_speedup() {
+    // Paper: 1.4x. Accept the 1.2-2.5 band (our conv kernel is more
+    // optimized than eBNN's generic bit-slice C, which shifts the ratio).
+    let f = exp::fig_4_4(&model());
+    let s = f.speedup();
+    assert!(s > 1.2 && s < 2.5, "LUT speedup {s:.2} (paper 1.4)");
+}
+
+#[test]
+fn fig_4_7a_tasklet_scaling_shapes() {
+    let pts = exp::fig_4_7a(&model(), &[1, 4, 8, 10, 11, 12, 16, 24]);
+    let by = |t: usize| pts.iter().find(|p| p.tasklets == t).unwrap();
+    // eBNN: monotone to 8, plateau 8..11 ("drop at 11"), jump at 16
+    // ("the number of threads match the number of images").
+    assert!(by(4).ebnn_speedup > 3.0);
+    assert!(close(by(11).ebnn_speedup, by(8).ebnn_speedup, 0.05));
+    assert!(by(16).ebnn_speedup > by(11).ebnn_speedup * 1.2);
+    // YOLO: "saturates at 11 tasklets because there are 11 stages".
+    assert!(by(11).yolo_speedup > 6.0);
+    assert!(by(16).yolo_speedup < by(11).yolo_speedup * 1.3);
+    assert!(by(24).yolo_speedup < by(11).yolo_speedup * 1.35);
+}
+
+#[test]
+fn fig_4_7b_optimization_grid() {
+    let rows = exp::fig_4_7b();
+    let get = |opt: &str, t: usize| {
+        rows.iter().find(|r| r.opt == opt && r.tasklets == t).unwrap().seconds
+    };
+    // "relatively poorest performance for O0 + no multi-threading"; best
+    // for O3 + threading; "the biggest jump is seen when multi-threading
+    // is used but using compiler optimization helps as well".
+    assert!(get("O0", 1) > get("O0", 11));
+    assert!(get("O0", 1) > get("O3", 1));
+    assert!(get("O3", 11) < get("O0", 11));
+    assert!(get("O3", 11) < get("O3", 1));
+    let threading_gain = get("O0", 1) / get("O0", 11);
+    let opt_gain = get("O0", 1) / get("O3", 1);
+    assert!(threading_gain > opt_gain);
+}
+
+#[test]
+fn fig_4_7c_linear_scaling() {
+    let pts = exp::fig_4_7c(&model(), &XeonModel::default(), &[1, 16, 256, 2560]);
+    let s1 = pts[0].1;
+    for &(d, s) in &pts {
+        assert!(close(s, s1 * d as f64, 1e-9), "nonlinear at {d} DPUs");
+    }
+    // "maximum speedup at the maximum number of DPUs".
+    assert_eq!(pts.last().unwrap().0, 2560);
+    assert!(pts.last().unwrap().1 > pts[0].1 * 2000.0);
+}
+
+#[test]
+fn section_4_3_1_headline_latencies() {
+    let l = exp::measured_latencies(&model());
+    // eBNN per image: paper 1.48 ms; the simulator lands within 20 %.
+    assert!(
+        close(l.ebnn_per_image, 1.48e-3, 0.2),
+        "eBNN per image {} s (paper 1.48e-3)",
+        l.ebnn_per_image
+    );
+    assert!(l.ebnn_single_image > l.ebnn_per_image, "1-image launch wastes tasklets");
+    assert!(close(l.yolo_frame, 65.0, 0.5), "YOLO frame {} s", l.yolo_frame);
+    assert!(close(l.yolo_mean_layer, 0.9, 0.5), "mean layer {} s", l.yolo_mean_layer);
+    assert!(l.yolo_max_layer > l.yolo_mean_layer * 2.0);
+    // The structural contrast: YOLO per frame is >1000x eBNN per frame.
+    assert!(l.yolo_frame / l.ebnn_single_image > 1000.0);
+}
+
+#[test]
+fn table_5_1_walkthrough() {
+    let t = ModelReport::table_5_1();
+    assert_eq!(t[0].cop, 8); // pPIM
+    assert_eq!(t[1].cop, 211); // DRISA
+    assert_eq!(t[2].cop, 88); // UPMEM
+    assert!(close(t[0].tcomp_tops, 6.48e-2, 0.01));
+    assert!(close(t[1].tcomp_tops, 1.40e-1, 0.01));
+    assert!(close(t[2].tcomp_tops, 2.54e-1, 0.01));
+}
+
+#[test]
+fn table_5_2_multiplication_costs() {
+    let t = ModelReport::table_5_2();
+    assert_eq!(t[0].1, [1, 6, 124, 1016]);
+    assert_eq!(t[1].1, [110, 200, 380, 740]);
+    // UPMEM: paper stars 370/570; ours derive from calibrated subroutines.
+    assert_eq!(t[2].1[0], 44);
+    assert_eq!(t[2].1[1], 44);
+    assert!(close(t[2].1[2] as f64, 370.0, 0.02));
+    assert!(close(t[2].1[3] as f64, 570.0, 0.01));
+}
+
+#[test]
+fn table_5_3_memory_model() {
+    let rows = ModelReport::table_5_3();
+    let get = |n: &str| rows.iter().find(|r| r.0 == n).unwrap();
+    let p = get("pPIM");
+    assert_eq!((p.2, p.3), (16, 4096));
+    assert!(close(p.4, 4.24e-3, 0.01));
+    let d = get("DRISA-3T1C");
+    assert_eq!((d.2, d.3), (65536, 2_147_483_648));
+    assert!(close(d.4, 1.8e-7, 0.01));
+    let u = get("UPMEM");
+    assert_eq!((u.2, u.3), (32000, 81_920_000));
+    assert!(close(u.4, 3.07e-3, 0.01));
+}
+
+#[test]
+fn section_5_3_1_totals() {
+    let totals = ModelReport::alexnet_totals();
+    let get = |n: &str| totals.iter().find(|r| r.0 == n).unwrap().1;
+    assert!(close(get("pPIM"), 6.90e-2, 0.01));
+    assert!(close(get("DRISA-3T1C"), 1.40e-1, 0.01));
+    assert!(close(get("UPMEM"), 2.57e-1, 0.01));
+}
+
+#[test]
+fn table_5_4_full_benchmark() {
+    let rows = ModelReport::table_5_4(None);
+    let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap();
+    // Latency row (paper values).
+    assert!(close(get("pPIM").ebnn_latency, 3.80e-7, 0.01));
+    assert!(close(get("DRISA-3T1C").yolo_latency, 1.47, 0.01));
+    assert!(close(get("SCOPE-H2d").ebnn_latency, 4.64e-8, 0.01));
+    // Throughput/power row.
+    assert!(close(get("UPMEM").ebnn_tp_power, 5.63e3, 0.01));
+    assert!(close(get("pPIM").ebnn_tp_power, 7.52e5, 0.02));
+    assert!(close(get("LACC").yolo_tp_power, 4.91e-1, 0.02));
+    // Throughput/area row.
+    assert!(close(get("UPMEM").ebnn_tp_area, 1.80e2, 0.01));
+    assert!(close(get("SCOPE-Vanilla").yolo_tp_area, 1.57e-1, 0.02));
+    assert!(close(get("UPMEM").yolo_tp_power, 1.25e-4, 0.02));
+    assert!(close(get("UPMEM").yolo_tp_area, 1.10e-5, 0.05));
+}
+
+#[test]
+fn fig_5_6_operand_width_crossover() {
+    // "as input precision increases ... bitwise and pipelined-CPU designs
+    // overtake LUT designs" (§6): pPIM best at 8/16 bits, UPMEM best at 32.
+    let rows = ModelReport::fig_5_6();
+    let get = |n: &str| rows.iter().find(|r| r.0 == n).unwrap().1;
+    let (p, d, u) = (get("pPIM"), get("DRISA-3T1C"), get("UPMEM"));
+    assert!(p[1] < d[1].min(u[1]));
+    assert!(p[2] < d[2].min(u[2]));
+    assert!(u[3] < p[3].min(d[3]));
+}
+
+#[test]
+fn measured_upmem_row_preserves_fig_5_7_conclusions() {
+    // Replace the UPMEM row with this repository's measured latencies: the
+    // paper's qualitative conclusions must survive (UPMEM is low-power but
+    // its throughput/power and /area are far below the analytic PIMs).
+    let rows = exp::table_5_4_with_measured(&model());
+    let u = rows.iter().find(|r| r.name == "UPMEM").unwrap();
+    for r in rows.iter().filter(|r| r.name != "UPMEM") {
+        assert!(u.power_w < r.power_w, "UPMEM is the lowest-power chip");
+        assert!(u.yolo_tp_power < r.yolo_tp_power, "vs {}", r.name);
+        assert!(u.yolo_tp_area < r.yolo_tp_area, "vs {}", r.name);
+    }
+}
+
+#[test]
+fn ebnn_workload_constant_is_consistent() {
+    // The back-solved eBNN op count must reproduce the uniform YOLO/eBNN
+    // latency ratio visible across every analytic Table 5.4 row.
+    let ratio = Workload::yolov3().ops / Workload::ebnn().ops;
+    for a in pim_model::arch::table_5_4_lineup() {
+        if a.name == "UPMEM" {
+            continue;
+        }
+        let r = a.latency_nominal(&Workload::yolov3(), OperandBits::B8)
+            / a.latency_nominal(&Workload::ebnn(), OperandBits::B8);
+        assert!(close(r, ratio, 0.02), "{}: ratio {r}", a.name);
+    }
+}

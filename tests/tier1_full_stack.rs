@@ -1,0 +1,156 @@
+//! Full-stack Tier-1 integration: the complete §4.1 flow at instruction
+//! level — host pads and transfers a binarized image into MRAM, the DPU
+//! program DMAs it to WRAM, runs the binary convolution, writes the result
+//! back to MRAM, and the host gathers and classifies. Every byte crosses
+//! every boundary the real system has.
+
+use dpu_sim::asm::assemble;
+use dpu_sim::{DpuId, Program};
+use ebnn::bconv::{conv3x3_packed, BinaryFilter, BinaryImage};
+use ebnn::IMAGE_DIM;
+use pim_host::DpuSet;
+
+/// MRAM symbol layout (defined through the host symbol table):
+///   image:  112 bytes of packed rows
+///   filter: 8 bytes (u32 per filter row, first 3 used... 3 u32 = 12 → 16)
+///   result: 784 bytes of conv outputs (i8)
+/// WRAM layout inside the program:
+///   0x100 image rows (with guard words), 0x200 filter, 0x300 results.
+fn full_stack_program() -> Program {
+    assemble(&format!(
+        "\
+        ; --- phase 1: DMA inputs MRAM -> WRAM ---\n\
+        movi r1, 0x100       ; wram image base\n\
+        movi r2, 0           ; mram offset of `image`\n\
+        movi r3, 112\n\
+        mram.read r1, r2, r3\n\
+        movi r1, 0x200       ; wram filter base\n\
+        movi r2, 112         ; mram offset of `filter` (16-byte aligned region)\n\
+        movi r3, 16\n\
+        mram.read r1, r2, r3\n\
+        ; --- phase 2: the convolution (same kernel as tier1_ebnn_kernel) ---\n\
+        movi r9, 0x200\n\
+        lw r20, r9, 0\n\
+        lw r21, r9, 4\n\
+        lw r22, r9, 8\n\
+        movi r23, 7\n\
+        movi r12, {dim}\n\
+        movi r1, 0\n\
+        rowloop:\n\
+        movi r2, 0\n\
+        colloop:\n\
+        movi r3, 0\n\
+        lsli r4, r1, 2\n\
+        addi r4, r4, 252\n\
+        lw r5, r4, 0\n\
+        lsli r5, r5, 1\n\
+        lsr r6, r5, r2\n\
+        xor r6, r6, r20\n\
+        xor r6, r6, r23\n\
+        and r6, r6, r23\n\
+        popcount r7, r6\n\
+        add r3, r3, r7\n\
+        lw r5, r4, 4\n\
+        lsli r5, r5, 1\n\
+        lsr r6, r5, r2\n\
+        xor r6, r6, r21\n\
+        xor r6, r6, r23\n\
+        and r6, r6, r23\n\
+        popcount r7, r6\n\
+        add r3, r3, r7\n\
+        lw r5, r4, 8\n\
+        lsli r5, r5, 1\n\
+        lsr r6, r5, r2\n\
+        xor r6, r6, r22\n\
+        xor r6, r6, r23\n\
+        and r6, r6, r23\n\
+        popcount r7, r6\n\
+        add r3, r3, r7\n\
+        lsli r3, r3, 1\n\
+        addi r3, r3, -9\n\
+        lsli r10, r1, 5\n\
+        lsli r11, r1, 2\n\
+        sub r10, r10, r11\n\
+        add r10, r10, r2\n\
+        sb r10, 0x300, r3\n\
+        addi r2, r2, 1\n\
+        bne r2, r12, colloop\n\
+        addi r1, r1, 1\n\
+        bne r1, r12, rowloop\n\
+        ; --- phase 3: DMA result WRAM -> MRAM ---\n\
+        movi r1, 0x300\n\
+        movi r2, 128         ; mram offset of `result`\n\
+        movi r3, 784\n\
+        mram.write r1, r2, r3\n\
+        trace r12            ; completion marker in the DPU log\n\
+        halt\n",
+        dim = IMAGE_DIM,
+    ))
+    .expect("full-stack program assembles")
+}
+
+#[test]
+fn full_stack_conv_through_host_runtime() {
+    // Two DPUs, different images: verifies per-DPU isolation end to end.
+    let mut set = DpuSet::allocate(2).expect("alloc");
+    set.define_symbol("image", 112).expect("image");
+    set.define_symbol("filter", 16).expect("filter");
+    set.define_symbol("result", 784).expect("result");
+
+    let filter = BinaryFilter::from_u16(0b110_001_011);
+    let mut filter_wire = Vec::new();
+    for &row in &filter.rows {
+        filter_wire.extend_from_slice(&u32::from(row).to_le_bytes());
+    }
+    filter_wire.resize(16, 0);
+    set.copy_to("filter", 0, &filter_wire).expect("filter xfer");
+
+    let images: Vec<BinaryImage> = (0..2u64)
+        .map(|d| {
+            let digit = ebnn::mnist::synth_digit((d as usize) * 3 + 1, d);
+            BinaryImage::from_gray(&digit.pixels, IMAGE_DIM, IMAGE_DIM, 128)
+        })
+        .collect();
+    for (d, img) in images.iter().enumerate() {
+        set.copy_to_dpu(DpuId(d as u32), "image", 0, &img.to_bytes())
+            .expect("image xfer");
+    }
+
+    let result = set.launch(&full_stack_program(), 1).expect("launch");
+    // The trace marker proves both DPUs reached phase 3.
+    for r in &result.per_dpu {
+        assert_eq!(r.trace, vec![(0, IMAGE_DIM as u32)]);
+        assert_eq!(r.dma_transfers, 3); // image in, filter in, result out
+    }
+
+    for (d, img) in images.iter().enumerate() {
+        let mut out = vec![0u8; 784];
+        set.copy_from_dpu(DpuId(d as u32), "result", 0, &mut out)
+            .expect("gather");
+        for row in 0..IMAGE_DIM {
+            for col in 0..IMAGE_DIM {
+                let got = out[row * IMAGE_DIM + col] as i8;
+                let want = conv3x3_packed(img, &filter, row, col);
+                assert_eq!(got, want, "dpu {d} pixel ({row},{col})");
+            }
+        }
+    }
+}
+
+#[test]
+fn full_stack_timing_is_dma_plus_compute() {
+    let mut set = DpuSet::allocate(1).expect("alloc");
+    set.define_symbol("image", 112).expect("image");
+    set.define_symbol("filter", 16).expect("filter");
+    set.define_symbol("result", 784).expect("result");
+    let img = BinaryImage::from_gray(&vec![200u8; 784], IMAGE_DIM, IMAGE_DIM, 128);
+    set.copy_to("image", 0, &img.to_bytes()).expect("xfer");
+    let result = set.launch(&full_stack_program(), 1).expect("launch");
+    let r = &result.per_dpu[0];
+    // DMA: 112 + 16 in, 784 out -> (25+56) + (25+8) + (25+392) = 531 cycles.
+    assert_eq!(r.dma_cycles, 531);
+    assert_eq!(r.dma_bytes, 912);
+    // Compute dominates: ~28k instructions at 11 cycles each.
+    assert!(r.instructions > 25_000);
+    assert!(r.cycles > r.instructions * 10);
+}

@@ -1,0 +1,143 @@
+//! Tier-1 validation of the YOLOv3 GEMM row kernel: Algorithm 2's inner
+//! loops written in DPU assembly, executed on the interpreter, must match
+//! `yolo_pim::gemm::gemm_row` exactly — including the sign handling of the
+//! `/32` rescale and the ±32767 clamp.
+
+use dpu_sim::asm::assemble;
+use dpu_sim::Machine;
+use yolo_pim::gemm::gemm_row;
+use yolo_pim::GemmDims;
+
+/// WRAM layout.
+const A_BASE: u32 = 0x100; // K i16 values (one weight row)
+const C_BASE: u32 = 0x400; // N i16 outputs
+/// MRAM layout.
+const B_BASE: u32 = 0x1000; // K×N i16 values (the whole input matrix)
+
+/// The row kernel: one tasklet computes every output column serially
+/// (the tasklet-strided variant differs only in loop bounds).
+fn gemm_row_program(k: usize, n: usize, alpha: i32) -> dpu_sim::Program {
+    assemble(&format!(
+        "\
+        movi r14, {alpha}\n\
+        movi r15, {k}\n\
+        movi r16, {n}\n\
+        movi r2, 0            ; j (column)\n\
+        jloop:\n\
+        movi r3, 0            ; acc\n\
+        movi r1, 0            ; kk\n\
+        kloop:\n\
+        ; A[kk] from WRAM, sign-extended i16\n\
+        lsli r4, r1, 1\n\
+        addi r4, r4, {a_base}\n\
+        lh r5, r4, 0\n\
+        lsli r5, r5, 16\n\
+        asri r5, r5, 16\n\
+        ; APART = ALPHA * A[kk]\n\
+        call __mulsi3 r5, r5, r14\n\
+        ; B[kk*N + j] via a 2-byte DMA from MRAM\n\
+        call __mulsi3 r6, r1, r16\n\
+        add r6, r6, r2\n\
+        lsli r6, r6, 1\n\
+        addi r6, r6, {b_base}\n\
+        movi r7, 0x800        ; wram staging slot\n\
+        movi r8, 2\n\
+        mram.read r7, r6, r8\n\
+        lh r9, r7, 0\n\
+        lsli r9, r9, 16\n\
+        asri r9, r9, 16\n\
+        ; acc += APART * B\n\
+        call __mulsi3 r9, r9, r5\n\
+        add r3, r3, r9\n\
+        addi r1, r1, 1\n\
+        bne r1, r15, kloop\n\
+        ; C[j] = absolutemax(acc / 32, 32767): truncating divide + clamp\n\
+        movi r10, 32\n\
+        call __divsi3 r3, r3, r10\n\
+        movi r11, 32767\n\
+        blt r3, r11, no_hi\n\
+        mov r3, r11\n\
+        no_hi:\n\
+        movi r12, -32767\n\
+        bge r3, r12, no_lo\n\
+        mov r3, r12\n\
+        no_lo:\n\
+        lsli r4, r2, 1\n\
+        addi r4, r4, {c_base}\n\
+        sh r4, 0, r3\n\
+        addi r2, r2, 1\n\
+        bne r2, r16, jloop\n\
+        halt\n",
+        a_base = A_BASE,
+        b_base = B_BASE,
+        c_base = C_BASE,
+    ))
+    .expect("gemm row kernel assembles")
+}
+
+fn run_kernel(dims: GemmDims, alpha: i32, a_row: &[i16], b: &[i16]) -> Vec<i16> {
+    let program = gemm_row_program(dims.k, dims.n, alpha);
+    let mut m = Machine::default();
+    for (i, &v) in a_row.iter().enumerate() {
+        m.wram.write_u16(A_BASE as usize + 2 * i, v as u16 as u32).expect("A");
+    }
+    for (i, &v) in b.iter().enumerate() {
+        m.mram.write_u16(B_BASE as usize + 2 * i, v as u16 as u32).expect("B");
+    }
+    m.run(&program, 1).expect("kernel runs");
+    (0..dims.n)
+        .map(|j| m.wram.read_u16(C_BASE as usize + 2 * j).expect("C") as u16 as i16)
+        .collect()
+}
+
+fn gemm_row_reference(dims: GemmDims, alpha: i32, a_row: &[i16], b: &[i16]) -> Vec<i16> {
+    let mut c = vec![0i16; dims.n];
+    gemm_row(dims, alpha, a_row, b, &mut c);
+    c
+}
+
+fn pseudo(seed: &mut u64) -> i16 {
+    *seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    ((*seed >> 33) % 2001) as i16 - 1000
+}
+
+#[test]
+fn assembly_gemm_row_matches_rust_kernel() {
+    let dims = GemmDims { m: 1, n: 12, k: 7 };
+    let mut s = 99u64;
+    let a_row: Vec<i16> = (0..dims.k).map(|_| pseudo(&mut s)).collect();
+    let b: Vec<i16> = (0..dims.k * dims.n).map(|_| pseudo(&mut s)).collect();
+    for alpha in [1i32, 2, -3] {
+        let got = run_kernel(dims, alpha, &a_row, &b);
+        let want = gemm_row_reference(dims, alpha, &a_row, &b);
+        assert_eq!(got, want, "alpha {alpha}");
+    }
+}
+
+#[test]
+fn assembly_gemm_row_clamps_like_algorithm_2() {
+    // Force saturation in both directions.
+    let dims = GemmDims { m: 1, n: 4, k: 2 };
+    let a_row = vec![30000i16, 30000];
+    let b = vec![
+        30000i16, -30000, 1, -1, // row k=0
+        30000, -30000, 1, -1, // row k=1
+    ];
+    let got = run_kernel(dims, 1, &a_row, &b);
+    let want = gemm_row_reference(dims, 1, &a_row, &b);
+    assert_eq!(got, want);
+    assert_eq!(got[0], 32767);
+    assert_eq!(got[1], -32767);
+}
+
+#[test]
+fn assembly_gemm_row_handles_negative_truncation() {
+    // acc = -33 must rescale to -1 (truncation toward zero), not -2
+    // (floor) — the subtle sign behaviour the `asr`-based shortcut gets
+    // wrong and `__divsi3` gets right.
+    let dims = GemmDims { m: 1, n: 1, k: 1 };
+    let got = run_kernel(dims, 1, &[-33], &[1]);
+    assert_eq!(got[0], -1);
+    let want = gemm_row_reference(dims, 1, &[-33], &[1]);
+    assert_eq!(got, want);
+}
