@@ -13,10 +13,7 @@ fn bench_ablations(c: &mut Criterion) {
         "{}",
         pim_bench::render_mapping_comparison(&ablations::mapping_comparison(&[1, 2, 4, 8]))
     );
-    println!(
-        "{}",
-        pim_bench::render_size_sweep(&ablations::size_sweep(&[96, 160, 224, 320, 416]))
-    );
+    println!("{}", pim_bench::render_size_sweep(&ablations::size_sweep(&[96, 160, 224, 320, 416])));
     println!(
         "{}",
         pim_bench::render_image_limits(&ablations::ebnn_image_size_limits(&[

@@ -10,10 +10,7 @@ use std::hint::black_box;
 
 fn bench_table_3_1(c: &mut Criterion) {
     // Print the reproduced table once.
-    println!(
-        "{}",
-        pim_bench::render_table_3_1(&pim_core::experiments::table_3_1())
-    );
+    println!("{}", pim_bench::render_table_3_1(&pim_core::experiments::table_3_1()));
 
     let mut g = c.benchmark_group("table3_1_harness");
     for op in [HarnessOp::Add, HarnessOp::Mul32, HarnessOp::FMul, HarnessOp::FDiv] {
@@ -33,10 +30,7 @@ fn bench_table_3_1(c: &mut Criterion) {
 }
 
 fn bench_eq_3_4(c: &mut Criterion) {
-    println!(
-        "{}",
-        pim_bench::render_eq_3_4(&pim_core::experiments::eq_3_4(&[8, 256, 2048]))
-    );
+    println!("{}", pim_bench::render_eq_3_4(&pim_core::experiments::eq_3_4(&[8, 256, 2048])));
     let mut g = c.benchmark_group("eq3_4_dma");
     for bytes in [8usize, 256, 2048] {
         g.bench_function(format!("{bytes}B"), |b| {

@@ -7,23 +7,12 @@ use std::hint::black_box;
 
 fn bench_fig_4_4(c: &mut Criterion) {
     let model = EbnnModel::generate(ModelConfig::default());
-    println!(
-        "{}",
-        pim_bench::render_fig_4_4(&pim_core::experiments::fig_4_4(&model))
-    );
+    println!("{}", pim_bench::render_fig_4_4(&pim_core::experiments::fig_4_4(&model)));
     let f43 = pim_core::experiments::fig_4_3(&model);
-    println!(
-        "{}",
-        pim_bench::render_profile("Fig. 4.3(a) float profile", &f43.float_profile)
-    );
-    println!(
-        "{}",
-        pim_bench::render_profile("Fig. 4.3(b) LUT profile", &f43.lut_profile)
-    );
+    println!("{}", pim_bench::render_profile("Fig. 4.3(a) float profile", &f43.float_profile));
+    println!("{}", pim_bench::render_profile("Fig. 4.3(b) LUT profile", &f43.lut_profile));
 
-    let images: Vec<_> = (0..16)
-        .map(|i| ebnn::mnist::synth_digit(i % 10, i as u64))
-        .collect();
+    let images: Vec<_> = (0..16).map(|i| ebnn::mnist::synth_digit(i % 10, i as u64)).collect();
     let mut g = c.benchmark_group("fig4_4_ebnn_16_images");
     g.sample_size(20);
     g.bench_function("lut", |b| {

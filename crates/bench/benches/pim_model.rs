@@ -11,10 +11,7 @@ fn bench_model(c: &mut Criterion) {
     println!("{}", pim_bench::render_fig_5_4());
     println!("{}", pim_bench::render_fig_5_6());
     println!("{}", pim_bench::render_table_5_3());
-    println!(
-        "{}",
-        pim_bench::render_table_5_4(&ModelReport::table_5_4(None), "paper UPMEM row")
-    );
+    println!("{}", pim_bench::render_table_5_4(&ModelReport::table_5_4(None), "paper UPMEM row"));
 
     let mut g = c.benchmark_group("pim_model");
     g.bench_function("table_5_4", |b| {

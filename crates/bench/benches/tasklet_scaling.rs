@@ -6,13 +6,10 @@ use std::hint::black_box;
 
 fn bench_fig_4_7a(c: &mut Criterion) {
     let model = EbnnModel::generate(ModelConfig::default());
-    let pts =
-        pim_core::experiments::fig_4_7a(&model, &[1, 2, 4, 6, 8, 10, 11, 12, 14, 16, 20, 24]);
+    let pts = pim_core::experiments::fig_4_7a(&model, &[1, 2, 4, 6, 8, 10, 11, 12, 14, 16, 20, 24]);
     println!("{}", pim_bench::render_fig_4_7a(&pts));
 
-    let images: Vec<_> = (0..16)
-        .map(|i| ebnn::mnist::synth_digit(i % 10, i as u64))
-        .collect();
+    let images: Vec<_> = (0..16).map(|i| ebnn::mnist::synth_digit(i % 10, i as u64)).collect();
     let mut g = c.benchmark_group("fig4_7a_tasklets");
     g.sample_size(20);
     for t in [1usize, 11, 16] {

@@ -8,7 +8,7 @@
 //! seconds). Experiment ids: `eq3_4 table3_1 fig3_2 fig4_3 fig4_4 fig4_7a
 //! fig4_7b fig4_7c latencies table5_1 table5_2 fig5_4 fig5_6 table5_3
 //! table5_4 fig5_5 fig5_7 improvements mapping_comparison size_sweep image_limits depth_sweep tier_validation fig4_7a_tier1 alexnet_mapping
-//! table5_4_measured`.
+//! table5_4_measured trace_metrics`.
 
 use cpu_baseline::XeonModel;
 use ebnn::{EbnnModel, ModelConfig};
@@ -78,8 +78,7 @@ fn main() {
         emit(json, "fig4_7b", &rows, || render::render_fig_4_7b(&rows));
     }
     if want("fig4_7c") {
-        let pts =
-            exp::fig_4_7c(&model, &XeonModel::default(), &[1, 16, 64, 256, 1024, 2560]);
+        let pts = exp::fig_4_7c(&model, &XeonModel::default(), &[1, 16, 64, 256, 1024, 2560]);
         emit(json, "fig4_7c", &pts, || render::render_fig_4_7c(&pts));
     }
     if want("latencies") {
@@ -208,6 +207,29 @@ fn main() {
         let rows = exp::table_5_4_with_measured(&model);
         emit(json, "table5_4_measured", &rows, || {
             render::render_table_5_4(&rows, "UPMEM row: this repository's simulator")
+        });
+    }
+    if want("trace_metrics") {
+        // A traced Tier-1 eBNN batch over two DPUs: the metrics-registry
+        // snapshot (JSON mode) or the per-phase cycle breakdown plus the
+        // Fig. 3.2-format merged subroutine profile (text mode).
+        use ebnn::{EbnnModel as M, ModelConfig as C};
+        let small = M::generate(C { filters: 2, ..C::default() });
+        let imgs: Vec<_> =
+            (0..24).map(|i| ebnn::mnist::synth_digit(i % 10, (i / 10) as u64)).collect();
+        let traced =
+            ebnn::codegen::run_tier1_batch_multi_dpu_traced(&small, &imgs).expect("traced run");
+        let mut metrics = traced.launch.metrics();
+        metrics.counter_add("host.transfer.events", traced.host_trace.len() as u64);
+        emit(json, "trace_metrics", &metrics.to_json(), || {
+            let profile: exp::ProfilerSummary = (&traced.launch.merged_profile()).into();
+            format!(
+                "Traced Tier-1 eBNN batch ({} images, {} DPUs)\n\n{}\n{}",
+                imgs.len(),
+                traced.launch.per_dpu.len(),
+                pim_trace::cycle_breakdown(&traced.dpu_traces),
+                render::render_profile("Merged subroutine profile (Fig. 3.2 format)", &profile)
+            )
         });
     }
 }

@@ -61,9 +61,8 @@ pub fn render_fig_4_4(f: &exp::Fig44) -> String {
 /// Render Fig. 4.7(a).
 #[must_use]
 pub fn render_fig_4_7a(pts: &[exp::TaskletPoint]) -> String {
-    let mut s = String::from(
-        "Fig. 4.7(a) — tasklet speedup vs 1 tasklet\ntasklets  eBNN     YOLOv3\n",
-    );
+    let mut s =
+        String::from("Fig. 4.7(a) — tasklet speedup vs 1 tasklet\ntasklets  eBNN     YOLOv3\n");
     for p in pts {
         s.push_str(&format!(
             "{:>8} {:>7.2}x {:>7.2}x\n",
@@ -88,8 +87,9 @@ pub fn render_fig_4_7b(rows: &[exp::Fig47bRow]) -> String {
 /// Render Fig. 4.7(c).
 #[must_use]
 pub fn render_fig_4_7c(pts: &[(usize, f64)]) -> String {
-    let mut s =
-        String::from("Fig. 4.7(c) — eBNN speedup vs one Xeon core (weak scaling)\n  DPUs   speedup\n");
+    let mut s = String::from(
+        "Fig. 4.7(c) — eBNN speedup vs one Xeon core (weak scaling)\n  DPUs   speedup\n",
+    );
     for (d, sp) in pts {
         s.push_str(&format!("{d:>6} {sp:>9.1}x\n"));
     }
@@ -328,11 +328,8 @@ pub fn render_log_bars(title: &str, unit: &str, rows: &[(String, f64)]) -> Strin
     let hi = positives.iter().copied().fold(0.0f64, f64::max).log10().ceil();
     let span = (hi - lo).max(1.0);
     for (label, v) in rows {
-        let width = if *v > 0.0 {
-            (((v.log10() - lo) / span) * 40.0).round().max(1.0) as usize
-        } else {
-            0
-        };
+        let width =
+            if *v > 0.0 { (((v.log10() - lo) / span) * 40.0).round().max(1.0) as usize } else { 0 };
         s.push_str(&format!("  {:<16} {:<40} {:.3e}\n", label, "#".repeat(width), v));
     }
     s

@@ -64,25 +64,12 @@ pub fn improvements(model: &EbnnModel) -> Vec<AblationRow> {
     vec![
         measure("baseline (350 MHz, 64 KiB WRAM, DMA 25cy)", model, base),
         measure("600 MHz clock (white-paper target)", model, DpuParams::announced()),
-        measure(
-            "4x WRAM (256 KiB)",
-            model,
-            DpuParams { wram_bytes: 256 * 1024, ..base },
-        ),
-        measure(
-            "DMA setup 25 -> 5 cycles",
-            model,
-            DpuParams { dma_setup_cycles: 5, ..base },
-        ),
+        measure("4x WRAM (256 KiB)", model, DpuParams { wram_bytes: 256 * 1024, ..base }),
+        measure("DMA setup 25 -> 5 cycles", model, DpuParams { dma_setup_cycles: 5, ..base }),
         measure(
             "all three combined",
             model,
-            DpuParams {
-                freq_hz: 600_000_000,
-                wram_bytes: 256 * 1024,
-                dma_setup_cycles: 5,
-                ..base
-            },
+            DpuParams { freq_hz: 600_000_000, wram_bytes: 256 * 1024, dma_setup_cycles: 5, ..base },
         ),
     ]
 }
@@ -211,12 +198,7 @@ pub fn ebnn_image_size_limits(dims: &[usize]) -> Vec<ImageSizeRow> {
             let images_in_wram = params.max_stack_bytes(16) / slot_bytes.max(1);
 
             // Measured kernel cost at this size (8 filters, 1 tasklet).
-            let img = ebnn::WideBinaryImage::from_gray(
-                &vec![128u8; dim * dim],
-                dim,
-                dim,
-                128,
-            );
+            let img = ebnn::WideBinaryImage::from_gray(&vec![128u8; dim * dim], dim, dim, 128);
             let mut run = KernelRun::new(params, pim_host::OptLevel::O0, 1);
             ebnn::wide::wide_conv_pool_tally(&img, 8, run.tally(0));
             run.charge_dma(0, slot_bytes.min(dpu_sim::params::DMA_MAX_TRANSFER_BYTES));
@@ -421,8 +403,8 @@ pub fn alexnet_under_the_mapping() -> AlexNetComparison {
     use pim_model::ModelReport;
     let modeled = ModelReport::table_5_1();
     let upmem = &modeled[2];
-    let modeled_ttot = pim_model::arch::upmem_analytic()
-        .latency(&Workload::alexnet(), OperandBits::B8);
+    let modeled_ttot =
+        pim_model::arch::upmem_analytic().latency(&Workload::alexnet(), OperandBits::B8);
 
     let mapping = GemmMapping::default();
     let net = yolo_pim::darknet::alexnet_config();

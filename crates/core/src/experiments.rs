@@ -33,8 +33,7 @@ impl Table31Row {
     /// Relative error against the paper.
     #[must_use]
     pub fn rel_error(&self) -> f64 {
-        (self.measured_cycles as f64 - self.paper_cycles as f64).abs()
-            / self.paper_cycles as f64
+        (self.measured_cycles as f64 - self.paper_cycles as f64).abs() / self.paper_cycles as f64
     }
 }
 
@@ -134,13 +133,8 @@ pub fn fig_4_3(model: &EbnnModel) -> Fig43 {
     );
     let mut t2 = OpCounts::default();
     let mut lut_p = Profiler::new();
-    let _ = ebnn::conv_pool_block(
-        &img,
-        &model.filters,
-        ebnn::BnMode::Lut(&lut),
-        &mut t2,
-        &mut lut_p,
-    );
+    let _ =
+        ebnn::conv_pool_block(&img, &model.filters, ebnn::BnMode::Lut(&lut), &mut t2, &mut lut_p);
     Fig43 { float_profile: (&float_p).into(), lut_profile: (&lut_p).into() }
 }
 
@@ -205,9 +199,7 @@ pub fn fig_4_7a(model: &EbnnModel, tasklet_counts: &[usize]) -> Vec<TaskletPoint
     // A mid-network YOLO layer: 52×52 spatial, K = 128·9.
     let dims = GemmDims { m: 1, n: 52 * 52, k: 128 * 9 };
     let yolo_time = |t: usize| {
-        GemmMapping { tasklets: t, ..GemmMapping::default() }
-            .estimate_layer(dims)
-            .dpu_seconds
+        GemmMapping { tasklets: t, ..GemmMapping::default() }.estimate_layer(dims).dpu_seconds
     };
     let (e1, y1) = (ebnn_time(1), yolo_time(1));
     tasklet_counts
@@ -344,10 +336,7 @@ mod tests {
     fn fig_3_2_lists_the_papers_routines() {
         let p = fig_3_2();
         for sym in ["__ltsf2", "__divsf3", "__floatsisf", "__addsf3", "__muldi3"] {
-            assert!(
-                p.iter().any(|(s, c)| s == sym && c > 0),
-                "missing {sym} in profile:\n{p}"
-            );
+            assert!(p.iter().any(|(s, c)| s == sym && c > 0), "missing {sym} in profile:\n{p}");
         }
     }
 
@@ -451,9 +440,10 @@ impl TierValidation {
 pub fn tier_validation(model: &EbnnModel) -> TierValidation {
     let images: Vec<_> = (0..16).map(|i| ebnn::mnist::synth_digit(i % 10, i as u64)).collect();
     let (features, tier1) = ebnn::codegen::run_tier1_batch(model, &images).expect("tier1 run");
-    let bit_exact = images.iter().zip(&features).all(|(img, f)| {
-        *f == model.features(&model.binarize(&img.pixels))
-    });
+    let bit_exact = images
+        .iter()
+        .zip(&features)
+        .all(|(img, f)| *f == model.features(&model.binarize(&img.pixels)));
     let o0 = EbnnPipeline::new(model.clone()).infer(&images).expect("o0").makespan_cycles;
     let o3 = EbnnPipeline::new(model.clone())
         .with_opt(OptLevel::O3)

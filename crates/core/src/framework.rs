@@ -147,8 +147,7 @@ impl Deployment {
     /// (timing estimate over the full layer table).
     #[must_use]
     pub fn estimate_yolo(&self, network: yolo_pim::NetworkConfig) -> DeploymentReport {
-        let max_filters =
-            network.conv_layers().iter().map(|(_, _, _, d)| d.m).max().unwrap_or(1);
+        let max_filters = network.conv_layers().iter().map(|(_, _, _, d)| d.m).max().unwrap_or(1);
         let mapping = yolo_pim::GemmMapping {
             params: self.params,
             opt: self.opt,
@@ -219,7 +218,11 @@ impl Deployment {
     /// # Errors
     /// [`CfgDeployError::Cfg`] on malformed configuration text;
     /// [`CfgDeployError::Host`] on runtime failures.
-    pub fn deploy_cfg(&self, name: &str, cfg_text: &str) -> Result<DeploymentReport, CfgDeployError> {
+    pub fn deploy_cfg(
+        &self,
+        name: &str,
+        cfg_text: &str,
+    ) -> Result<DeploymentReport, CfgDeployError> {
         let network = yolo_pim::parse_cfg(name, cfg_text).map_err(CfgDeployError::Cfg)?;
         // Profile: the per-inference working set is the largest layer's
         // input + output tensors at i16.
@@ -230,12 +233,7 @@ impl Deployment {
             working_set = working_set.max(2 * (prev.len() + s.len()));
             prev = *s;
         }
-        let max_filters = network
-            .conv_layers()
-            .iter()
-            .map(|(_, _, _, d)| d.m)
-            .max()
-            .unwrap_or(1);
+        let max_filters = network.conv_layers().iter().map(|(_, _, _, d)| d.m).max().unwrap_or(1);
         let profile = WorkloadProfile { working_set_bytes: working_set, max_filters };
         match MappingScheme::select(profile, &self.params) {
             MappingScheme::MultiDpuPerImage { .. } => Ok(self.estimate_yolo(network)),

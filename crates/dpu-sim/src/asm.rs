@@ -74,9 +74,7 @@ fn parse_reg(line: usize, tok: &str) -> Result<Reg> {
     let rest = tok
         .strip_prefix('r')
         .ok_or_else(|| err(line, format!("expected register, got `{tok}`")))?;
-    let n: u8 = rest
-        .parse()
-        .map_err(|_| err(line, format!("bad register `{tok}`")))?;
+    let n: u8 = rest.parse().map_err(|_| err(line, format!("bad register `{tok}`")))?;
     if usize::from(n) >= crate::params::REGS_PER_TASKLET {
         return Err(err(line, format!("register `{tok}` out of range")));
     }
@@ -111,10 +109,7 @@ fn parse_target(
     if let Ok(n) = tok.parse::<u32>() {
         return Ok(n);
     }
-    labels
-        .get(tok)
-        .copied()
-        .ok_or_else(|| err(line, format!("unknown label `{tok}`")))
+    labels.get(tok).copied().ok_or_else(|| err(line, format!("unknown label `{tok}`")))
 }
 
 fn parse_sub(line: usize, tok: &str) -> Result<Subroutine> {
@@ -140,11 +135,8 @@ fn parse_line(
         Some((m, r)) => (m, r.trim()),
         None => (text, ""),
     };
-    let ops: Vec<&str> = if rest.is_empty() {
-        Vec::new()
-    } else {
-        rest.split(',').map(str::trim).collect()
-    };
+    let ops: Vec<&str> =
+        if rest.is_empty() { Vec::new() } else { rest.split(',').map(str::trim).collect() };
     let want = |n: usize| -> Result<()> {
         if ops.len() == n {
             Ok(())
@@ -276,10 +268,7 @@ fn parse_line(
         }
         "jal" => {
             want(2)?;
-            Instr::Jal {
-                rd: parse_reg(line, ops[0])?,
-                target: parse_target(line, ops[1], labels)?,
-            }
+            Instr::Jal { rd: parse_reg(line, ops[0])?, target: parse_target(line, ops[1], labels)? }
         }
         "jr" => {
             want(1)?;
@@ -564,10 +553,8 @@ mod tests {
 
     #[test]
     fn call_syntax_profiles_subroutine() {
-        let p = assemble(
-            "movi r1, 6\nmovi r2, 7\ncall __mulsi3 r3, r1, r2\nsw r0, 0, r3\nhalt\n",
-        )
-        .unwrap();
+        let p = assemble("movi r1, 6\nmovi r2, 7\ncall __mulsi3 r3, r1, r2\nsw r0, 0, r3\nhalt\n")
+            .unwrap();
         let mut m = Machine::default();
         let res = m.run(&p, 1).unwrap();
         assert_eq!(m.wram.read_u32(0).unwrap(), 42);
@@ -604,10 +591,7 @@ mod tests {
             let measured = res.perf_reads[0];
             let paper = op.paper_cycles();
             let rel = (measured as f64 - paper as f64).abs() / paper as f64;
-            assert!(
-                rel < 0.02,
-                "{op:?}: measured {measured}, paper {paper}, rel err {rel:.3}"
-            );
+            assert!(rel < 0.02, "{op:?}: measured {measured}, paper {paper}, rel err {rel:.3}");
         }
     }
 
@@ -693,11 +677,8 @@ pub fn disassemble(program: &Program) -> String {
             Instr::Jal { rd, target } => format!("jal {rd}, {target}"),
             Instr::Jr { ra } => format!("jr {ra}"),
             Instr::CallSub { sub, rd, ra, rb } => {
-                let sym = if sub == Subroutine::Mulsi3Short {
-                    "__mulsi3.short"
-                } else {
-                    sub.symbol()
-                };
+                let sym =
+                    if sub == Subroutine::Mulsi3Short { "__mulsi3.short" } else { sub.symbol() };
                 format!("call {sym} {rd}, {ra}, {rb}")
             }
             Instr::PerfConfig => "perf.config".to_owned(),
@@ -735,13 +716,25 @@ mod disasm_tests {
             (r(), r(), 0u8..32).prop_map(|(rd, ra, sh)| Instr::Lsli { rd, ra, sh }),
             (r(), r(), r()).prop_map(|(rd, ra, rb)| Instr::Mul8 { rd, ra, rb }),
             (r(), r()).prop_map(|(rd, ra)| Instr::Popcount { rd, ra }),
-            (r(), r(), -1024i32..1024)
-                .prop_map(|(rd, ra, off)| Instr::Load { width: Width::W, rd, ra, off }),
-            (r(), -1024i32..1024, r())
-                .prop_map(|(ra, off, rs)| Instr::Store { width: Width::B, ra, off, rs }),
+            (r(), r(), -1024i32..1024).prop_map(|(rd, ra, off)| Instr::Load {
+                width: Width::W,
+                rd,
+                ra,
+                off
+            }),
+            (r(), -1024i32..1024, r()).prop_map(|(ra, off, rs)| Instr::Store {
+                width: Width::B,
+                ra,
+                off,
+                rs
+            }),
             (r(), r(), r()).prop_map(|(wram, mram, len)| Instr::MramRead { wram, mram, len }),
-            (r(), r(), 0u32..64)
-                .prop_map(|(ra, rb, target)| Instr::Branch { cond: Cond::Ne, ra, rb, target }),
+            (r(), r(), 0u32..64).prop_map(|(ra, rb, target)| Instr::Branch {
+                cond: Cond::Ne,
+                ra,
+                rb,
+                target
+            }),
             (0u32..64).prop_map(|target| Instr::Jump { target }),
             (r(), 0u32..64).prop_map(|(rd, target)| Instr::Jal { rd, target }),
             r().prop_map(|ra| Instr::Jr { ra }),

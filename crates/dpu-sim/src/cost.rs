@@ -298,7 +298,12 @@ impl CycleModel {
     /// distributed `ceil(work / tasklets)` to the busiest thread, which is
     /// the granularity effect behind Fig. 4.7a's eBNN curve.
     #[must_use]
-    pub fn estimate_items(&self, per_item: &OpCounts, work: u64, tasklets: usize) -> KernelEstimate {
+    pub fn estimate_items(
+        &self,
+        per_item: &OpCounts,
+        work: u64,
+        tasklets: usize,
+    ) -> KernelEstimate {
         assert!(tasklets > 0, "tasklet count must be positive");
         let t = tasklets as u64;
         let mut per_tasklet = Vec::with_capacity(tasklets);

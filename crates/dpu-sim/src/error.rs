@@ -142,13 +142,7 @@ mod tests {
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(
-            Error::DivisionByZero { pc: 3 },
-            Error::DivisionByZero { pc: 3 }
-        );
-        assert_ne!(
-            Error::DivisionByZero { pc: 3 },
-            Error::DivisionByZero { pc: 4 }
-        );
+        assert_eq!(Error::DivisionByZero { pc: 3 }, Error::DivisionByZero { pc: 3 });
+        assert_ne!(Error::DivisionByZero { pc: 3 }, Error::DivisionByZero { pc: 4 });
     }
 }

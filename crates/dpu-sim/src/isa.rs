@@ -399,12 +399,7 @@ mod tests {
     fn issue_slots_for_plain_and_subroutine() {
         let plain = Instr::Add { rd: Reg(1), ra: Reg(2), rb: Reg(3) };
         assert_eq!(plain.issue_slots(), 1);
-        let call = Instr::CallSub {
-            sub: Subroutine::Mulsf3,
-            rd: Reg(1),
-            ra: Reg(2),
-            rb: Reg(3),
-        };
+        let call = Instr::CallSub { sub: Subroutine::Mulsf3, rd: Reg(1), ra: Reg(2), rb: Reg(3) };
         assert_eq!(call.issue_slots(), Subroutine::Mulsf3.instruction_count());
         assert!(call.issue_slots() > 100);
     }
@@ -440,9 +435,9 @@ impl Program {
         let len = self.instrs.len();
         for instr in &self.instrs {
             let target = match *instr {
-                Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Jal { target, .. } => {
-                    Some(target)
-                }
+                Instr::Branch { target, .. }
+                | Instr::Jump { target }
+                | Instr::Jal { target, .. } => Some(target),
                 _ => None,
             };
             if let Some(t) = target {
@@ -477,10 +472,7 @@ mod validate_tests {
             Instr::Jal { rd: Reg(1), target: 3 },
         ] {
             let p = Program::new(vec![bad, Instr::Halt]);
-            assert!(
-                matches!(p.validate(), Err(crate::Error::PcOutOfRange { .. })),
-                "{bad:?}"
-            );
+            assert!(matches!(p.validate(), Err(crate::Error::PcOutOfRange { .. })), "{bad:?}");
         }
     }
 }

@@ -25,6 +25,7 @@ use crate::params::{DpuParams, REGS_PER_TASKLET};
 use crate::perfcounter::PerfCounter;
 use crate::pipeline::Pipeline;
 use crate::profiler::Profiler;
+use pim_trace::{DmaDirection, NullSink, TraceEvent, TraceSink};
 
 /// Default cycle budget for [`Machine::run`]; generous enough for every
 /// kernel in the repository while still catching infinite loops.
@@ -55,6 +56,9 @@ pub struct RunResult {
     pub op_histogram: std::collections::BTreeMap<&'static str, u64>,
     /// Subroutine occurrence profile of the run.
     pub profile: Profiler,
+    /// Instructions issued by each tasklet (index = tasklet id); the basis
+    /// of the tasklet-occupancy metric.
+    pub issue_per_tasklet: Vec<u64>,
 }
 
 impl RunResult {
@@ -146,6 +150,38 @@ impl Machine {
         tasklets: usize,
         budget: u64,
     ) -> Result<RunResult> {
+        self.run_traced_with_budget(program, tasklets, budget, &mut NullSink)
+    }
+
+    /// Like [`Machine::run`], recording cycle-stamped [`TraceEvent`]s into
+    /// `sink` as the kernel executes.
+    ///
+    /// Tracing is purely observational: with any sink (including the
+    /// recording ones) the returned cycle counts are bit-identical to an
+    /// untraced run.
+    ///
+    /// # Errors
+    /// See [`Machine::run`].
+    pub fn run_traced(
+        &mut self,
+        program: &Program,
+        tasklets: usize,
+        sink: &mut dyn TraceSink,
+    ) -> Result<RunResult> {
+        self.run_traced_with_budget(program, tasklets, DEFAULT_CYCLE_BUDGET, sink)
+    }
+
+    /// Like [`Machine::run_traced`] with an explicit cycle budget.
+    ///
+    /// # Errors
+    /// See [`Machine::run`].
+    pub fn run_traced_with_budget(
+        &mut self,
+        program: &Program,
+        tasklets: usize,
+        budget: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<RunResult> {
         if tasklets == 0 || tasklets > self.params.max_tasklets {
             return Err(Error::BadTaskletCount {
                 requested: tasklets,
@@ -182,6 +218,9 @@ impl Machine {
         let dma_cycles_before = self.dma.total_cycles;
         let dma_transfers_before = self.dma.transfers;
         let dma_bytes_before = self.dma.total_bytes;
+        if sink.is_enabled() {
+            sink.record(TraceEvent::KernelLaunch { tasklets: tasklets as u8, cycle: 0 });
+        }
 
         loop {
             // Release a full barrier: every live tasklet is parked.
@@ -211,10 +250,8 @@ impl Machine {
                 continue;
             }
             let pc = threads[t].pc as usize;
-            let instr = *program
-                .instrs
-                .get(pc)
-                .ok_or(Error::PcOutOfRange { pc, len: program.len() })?;
+            let instr =
+                *program.instrs.get(pc).ok_or(Error::PcOutOfRange { pc, len: program.len() })?;
 
             *result.op_histogram.entry(instr.mnemonic()).or_insert(0) += 1;
             let th = &mut threads[t];
@@ -321,6 +358,19 @@ impl Machine {
                     // The issuing tasklet blocks for queueing + setup + its
                     // own streaming time.
                     pipeline.stall(t, (start - issue) + setup + stream);
+                    if sink.is_enabled() {
+                        sink.record(TraceEvent::DmaTransfer {
+                            tasklet: t as u8,
+                            direction: if matches!(instr, Instr::MramRead { .. }) {
+                                DmaDirection::MramToWram
+                            } else {
+                                DmaDirection::WramToMram
+                            },
+                            bytes: l as u32,
+                            start_cycle: start,
+                            cycles: setup + stream,
+                        });
+                    }
                 }
                 Instr::Branch { cond, ra, rb, target } => {
                     if cond.eval(th.get(ra), th.get(rb)) {
@@ -347,6 +397,14 @@ impl Machine {
                     th.set(rd, sub.eval(a, b));
                     th.burst = sub.instruction_count().saturating_sub(1);
                     result.profile.record(sub);
+                    if sink.is_enabled() {
+                        sink.record(TraceEvent::SubroutineEnter {
+                            tasklet: t as u8,
+                            symbol: sub.symbol(),
+                            cycle: pipeline_issue_cycle(&pipeline),
+                            instructions: sub.instruction_count() as u32,
+                        });
+                    }
                 }
                 Instr::PerfConfig => {
                     // `pipeline.pick` already advanced time past this issue;
@@ -363,6 +421,15 @@ impl Machine {
                 Instr::Barrier => {
                     at_barrier[t] = true;
                     runnable[t] = false;
+                    if sink.is_enabled() {
+                        let live = halted.iter().filter(|&&h| !h).count();
+                        let parked = at_barrier.iter().filter(|&&b| b).count();
+                        sink.record(TraceEvent::TaskletBarrier {
+                            tasklet: t as u8,
+                            cycle: pipeline_issue_cycle(&pipeline),
+                            released: parked == live,
+                        });
+                    }
                 }
                 Instr::MutexLock { id } => {
                     if let Some(&owner) = mutex_owner.get(&id) {
@@ -400,6 +467,13 @@ impl Machine {
         result.dma_cycles = self.dma.total_cycles - dma_cycles_before;
         result.dma_transfers = self.dma.transfers - dma_transfers_before;
         result.dma_bytes = self.dma.total_bytes - dma_bytes_before;
+        result.issue_per_tasklet = pipeline.issued_per_tasklet().to_vec();
+        if sink.is_enabled() {
+            sink.record(TraceEvent::KernelComplete {
+                cycle: result.cycles,
+                instructions: result.instructions,
+            });
+        }
         Ok(result)
     }
 }
@@ -645,6 +719,91 @@ mod trace_tests {
 }
 
 #[cfg(test)]
+mod trace_sink_tests {
+    use super::*;
+    use crate::asm::assemble;
+    use pim_trace::TraceBuffer;
+
+    fn dma_heavy_program() -> Program {
+        assemble(
+            "me r1\n\
+             lsli r2, r1, 8\n\
+             movi r3, 64\n\
+             mram.read r2, r2, r3\n\
+             call __mulsi3 r4, r3, r3\n\
+             barrier\n\
+             mram.write r2, r2, r3\n\
+             halt\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn traced_run_records_all_event_kinds() {
+        let p = dma_heavy_program();
+        let mut m = Machine::default();
+        let mut buf = TraceBuffer::new();
+        let res = m.run_traced(&p, 4, &mut buf).unwrap();
+        let launches = buf.count_matching(|e| matches!(e, TraceEvent::KernelLaunch { .. }));
+        let completes = buf.count_matching(|e| matches!(e, TraceEvent::KernelComplete { .. }));
+        let dmas = buf.count_matching(|e| matches!(e, TraceEvent::DmaTransfer { .. }));
+        let subs = buf.count_matching(|e| matches!(e, TraceEvent::SubroutineEnter { .. }));
+        let barriers = buf.count_matching(|e| matches!(e, TraceEvent::TaskletBarrier { .. }));
+        assert_eq!(launches, 1);
+        assert_eq!(completes, 1);
+        assert_eq!(dmas, 8, "4 tasklets × (read + write)");
+        assert_eq!(subs, 4);
+        assert_eq!(barriers, 4);
+        assert_eq!(buf.dma_bytes(), res.dma_bytes);
+        assert_eq!(buf.dma_cycles(), res.dma_cycles);
+    }
+
+    #[test]
+    fn null_sink_run_is_bit_identical_to_untraced() {
+        let p = dma_heavy_program();
+        let mut m1 = Machine::default();
+        let untraced = m1.run(&p, 4).unwrap();
+        let mut m2 = Machine::default();
+        let nulled = m2.run_traced(&p, 4, &mut NullSink).unwrap();
+        let mut m3 = Machine::default();
+        let mut buf = TraceBuffer::new();
+        let recorded = m3.run_traced(&p, 4, &mut buf).unwrap();
+        assert_eq!(untraced, nulled);
+        assert_eq!(untraced, recorded, "recording must not perturb timing");
+    }
+
+    #[test]
+    fn trace_max_end_cycle_equals_run_cycles() {
+        let p = dma_heavy_program();
+        let mut m = Machine::default();
+        let mut buf = TraceBuffer::new();
+        let res = m.run_traced(&p, 3, &mut buf).unwrap();
+        assert_eq!(buf.max_end_cycle(), res.cycles);
+    }
+
+    #[test]
+    fn exactly_one_barrier_arrival_releases() {
+        let p = dma_heavy_program();
+        let mut m = Machine::default();
+        let mut buf = TraceBuffer::new();
+        m.run_traced(&p, 4, &mut buf).unwrap();
+        let released =
+            buf.count_matching(|e| matches!(e, TraceEvent::TaskletBarrier { released: true, .. }));
+        assert_eq!(released, 1);
+    }
+
+    #[test]
+    fn per_tasklet_issue_counts_cover_all_instructions() {
+        let p = dma_heavy_program();
+        let mut m = Machine::default();
+        let res = m.run(&p, 4).unwrap();
+        assert_eq!(res.issue_per_tasklet.len(), 4);
+        assert_eq!(res.issue_per_tasklet.iter().sum::<u64>(), res.instructions);
+        assert!(res.issue_per_tasklet.iter().all(|&n| n > 0));
+    }
+}
+
+#[cfg(test)]
 mod barrier_tests {
     use super::*;
     use crate::asm::assemble;
@@ -770,11 +929,7 @@ mod mutex_tests {
     /// times with a load-add-store sequence. Without the mutex the
     /// interleaved sequences lose updates; with it, the count is exact.
     fn counter_program(locked: bool) -> Program {
-        let (lock, unlock) = if locked {
-            ("mutex.lock 3\n", "mutex.unlock 3\n")
-        } else {
-            ("", "")
-        };
+        let (lock, unlock) = if locked { ("mutex.lock 3\n", "mutex.unlock 3\n") } else { ("", "") };
         assemble(&format!(
             "movi r2, 50\n\
              loop:\n\
@@ -906,9 +1061,6 @@ mod barrier_mutex_interaction_tests {
         .unwrap();
         let mut m = Machine::default();
         let err = m.run_with_budget(&p, 3, 50_000).unwrap_err();
-        assert!(
-            matches!(err, Error::Deadlock { at_barrier: 1, on_mutex: 2 }),
-            "got {err}"
-        );
+        assert!(matches!(err, Error::Deadlock { at_barrier: 1, on_mutex: 2 }), "got {err}");
     }
 }

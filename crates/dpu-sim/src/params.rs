@@ -106,10 +106,7 @@ impl DpuParams {
     /// Parameters of the 600 MHz device announced in UPMEM's white paper.
     #[must_use]
     pub fn announced() -> Self {
-        Self {
-            freq_hz: 600_000_000,
-            ..Self::default()
-        }
+        Self { freq_hz: 600_000_000, ..Self::default() }
     }
 
     /// Cycle cost of one MRAM<->WRAM DMA transfer of `bytes` bytes (Eq. 3.4).
@@ -156,10 +153,7 @@ mod tests {
     #[test]
     fn announced_device_is_600mhz() {
         assert_eq!(DpuParams::announced().freq_hz, 600_000_000);
-        assert_eq!(
-            DpuParams::announced().pipeline_stages,
-            DpuParams::default().pipeline_stages
-        );
+        assert_eq!(DpuParams::announced().pipeline_stages, DpuParams::default().pipeline_stages);
     }
 
     #[test]

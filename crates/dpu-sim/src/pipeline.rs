@@ -31,6 +31,8 @@ pub struct Pipeline {
     last_issue: u64,
     /// Total instructions issued.
     issued: u64,
+    /// Instructions issued per tasklet (occupancy accounting).
+    issued_per_tasklet: Vec<u64>,
     /// Issue slots left idle because no tasklet was ready.
     idle_cycles: u64,
     rr_cursor: usize,
@@ -54,6 +56,7 @@ impl Pipeline {
             cycle: 0,
             last_issue: 0,
             issued: 0,
+            issued_per_tasklet: vec![0; tasklets],
             idle_cycles: 0,
             rr_cursor: 0,
         }
@@ -99,6 +102,7 @@ impl Pipeline {
         self.cycle = issue_at + 1;
         self.next_ready[t] = issue_at + self.stages;
         self.issued += 1;
+        self.issued_per_tasklet[t] += 1;
         self.rr_cursor = (t + 1) % n;
         Some(t)
     }
@@ -129,6 +133,12 @@ impl Pipeline {
     #[must_use]
     pub fn issued(&self) -> u64 {
         self.issued
+    }
+
+    /// Instructions issued by each tasklet so far (index = tasklet id).
+    #[must_use]
+    pub fn issued_per_tasklet(&self) -> &[u64] {
+        &self.issued_per_tasklet
     }
 
     /// Issue slots that went unused because no tasklet was ready.
@@ -233,7 +243,7 @@ mod tests {
         let runnable = vec![true, true];
         let t0 = p.pick(&runnable).unwrap();
         p.stall(t0, 1000); // t0 does a long DMA
-        // The other tasklet should keep issuing immediately.
+                           // The other tasklet should keep issuing immediately.
         let t1 = p.pick(&runnable).unwrap();
         assert_ne!(t0, t1);
         let again = p.pick(&[t1 == 0, t1 == 1]).unwrap();
@@ -275,6 +285,25 @@ mod tests {
         let p = Pipeline::new(4);
         assert_eq!(p.elapsed(), 0);
         assert_eq!(p.issued(), 0);
+        assert_eq!(p.issued_per_tasklet(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn per_tasklet_issue_counts_sum_to_total() {
+        let mut p = Pipeline::new(3);
+        let mut runnable = vec![true; 3];
+        for _ in 0..7 {
+            p.pick(&runnable).unwrap();
+        }
+        runnable[1] = false;
+        for _ in 0..4 {
+            p.pick(&runnable).unwrap();
+        }
+        let per = p.issued_per_tasklet();
+        assert_eq!(per.iter().sum::<u64>(), p.issued());
+        // Round-robin over [0,1,2] for 7 picks gives t1 two issues; it is
+        // then disabled and must not advance further.
+        assert_eq!(per[1], 2);
     }
 }
 

@@ -214,11 +214,19 @@ impl Subroutine {
             Subroutine::Muldi3 => (a as u64).wrapping_mul(b as u64) as u32,
             Subroutine::Divsi3 => {
                 let (ia, ib) = (a as i32, b as i32);
-                if ib == 0 { 0 } else { ia.wrapping_div(ib) as u32 }
+                if ib == 0 {
+                    0
+                } else {
+                    ia.wrapping_div(ib) as u32
+                }
             }
             Subroutine::Modsi3 => {
                 let (ia, ib) = (a as i32, b as i32);
-                if ib == 0 { 0 } else { ia.wrapping_rem(ib) as u32 }
+                if ib == 0 {
+                    0
+                } else {
+                    ia.wrapping_rem(ib) as u32
+                }
             }
             Subroutine::Addsf3 => (fa + fb).to_bits(),
             Subroutine::Subsf3 => (fa - fb).to_bits(),

@@ -79,10 +79,8 @@ impl BinaryImage {
     #[must_use]
     pub fn from_bytes(bytes: &[u8], width: usize) -> Self {
         assert_eq!(bytes.len() % 4, 0, "wire format is whole u32 rows");
-        let rows = bytes
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
+        let rows =
+            bytes.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
         Self { width, rows }
     }
 
@@ -152,10 +150,7 @@ pub fn conv3x3_at(img: &BinaryImage, filter: &BinaryFilter, row: usize, col: usi
         for fc in 0..3 {
             let ir = row as isize + fr as isize - 1;
             let ic = col as isize + fc as isize - 1;
-            let pix = if ir < 0
-                || ic < 0
-                || ir >= img.height() as isize
-                || ic >= img.width as isize
+            let pix = if ir < 0 || ic < 0 || ir >= img.height() as isize || ic >= img.width as isize
             {
                 -1
             } else {
@@ -176,11 +171,8 @@ pub fn conv3x3_packed(img: &BinaryImage, filter: &BinaryFilter, row: usize, col:
     for fr in 0..3 {
         let ir = row as isize + fr as isize - 1;
         // Out-of-range rows contribute all-(-1) pixels: bits 0.
-        let packed = if ir < 0 || ir >= img.height() as isize {
-            0u32
-        } else {
-            img.rows[ir as usize]
-        };
+        let packed =
+            if ir < 0 || ir >= img.height() as isize { 0u32 } else { img.rows[ir as usize] };
         // Window bits [col-1, col, col+1]; shifting a 33-bit view keeps the
         // col = 0 left pad at 0. Columns beyond `width` must read as pad
         // (bit 0), which holds because packed rows never set bits ≥ width.

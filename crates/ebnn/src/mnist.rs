@@ -31,10 +31,24 @@ fn segments(class: usize) -> &'static [Segment] {
         2 => &[((8, 5), (19, 5)), ((19, 5), (19, 13)), ((19, 13), (8, 23)), ((8, 23), (20, 23))],
         3 => &[((8, 5), (19, 5)), ((11, 13), (19, 13)), ((8, 23), (19, 23)), ((19, 5), (19, 23))],
         4 => &[((9, 4), (9, 14)), ((9, 14), (20, 14)), ((16, 4), (16, 24))],
-        5 => &[((20, 5), (9, 5)), ((9, 5), (9, 13)), ((9, 13), (19, 13)), ((19, 13), (19, 23)), ((19, 23), (8, 23))],
-        6 => &[((10, 5), (10, 23)), ((10, 23), (19, 23)), ((19, 23), (19, 14)), ((19, 14), (10, 14))],
+        5 => &[
+            ((20, 5), (9, 5)),
+            ((9, 5), (9, 13)),
+            ((9, 13), (19, 13)),
+            ((19, 13), (19, 23)),
+            ((19, 23), (8, 23)),
+        ],
+        6 => {
+            &[((10, 5), (10, 23)), ((10, 23), (19, 23)), ((19, 23), (19, 14)), ((19, 14), (10, 14))]
+        }
         7 => &[((8, 5), (20, 5)), ((20, 5), (11, 24))],
-        8 => &[((9, 5), (19, 5)), ((19, 5), (19, 23)), ((19, 23), (9, 23)), ((9, 23), (9, 5)), ((9, 14), (19, 14))],
+        8 => &[
+            ((9, 5), (19, 5)),
+            ((19, 5), (19, 23)),
+            ((19, 23), (9, 23)),
+            ((9, 23), (9, 5)),
+            ((9, 14), (19, 14)),
+        ],
         9 => &[((9, 5), (19, 5)), ((19, 5), (19, 24)), ((9, 5), (9, 13)), ((9, 13), (19, 13))],
         _ => panic!("digit class must be 0..=9"),
     }
@@ -150,12 +164,7 @@ mod tests {
             for b in (a + 1)..CLASSES {
                 let ta = class_template(a);
                 let tb = class_template(b);
-                let diff = ta
-                    .pixels
-                    .iter()
-                    .zip(&tb.pixels)
-                    .filter(|(x, y)| x != y)
-                    .count();
+                let diff = ta.pixels.iter().zip(&tb.pixels).filter(|(x, y)| x != y).count();
                 assert!(diff > 10, "classes {a} and {b} almost identical");
             }
         }

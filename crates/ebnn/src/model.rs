@@ -65,9 +65,8 @@ impl EbnnModel {
     pub fn generate(config: ModelConfig) -> Self {
         assert!(config.filters > 0, "model needs at least one filter");
         let mut rng = StdRng::seed_from_u64(config.seed);
-        let filters: Vec<BinaryFilter> = (0..config.filters)
-            .map(|_| BinaryFilter::from_u16(rng.gen_range(0..512)))
-            .collect();
+        let filters: Vec<BinaryFilter> =
+            (0..config.filters).map(|_| BinaryFilter::from_u16(rng.gen_range(0..512))).collect();
         let n = config.filters;
         let bn = BatchNorm::new(
             (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect(),

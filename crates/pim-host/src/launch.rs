@@ -11,6 +11,7 @@
 use crate::error::Result;
 use crate::set::DpuSet;
 use dpu_sim::{Profiler, Program, RunResult};
+use pim_trace::{MetricsRegistry, TraceBuffer};
 
 /// Results of one launch across a DPU set.
 #[derive(Debug, Clone, PartialEq)]
@@ -50,6 +51,42 @@ impl LaunchResult {
         }
         p
     }
+
+    /// Snapshot this launch into a [`MetricsRegistry`]: set-level counters
+    /// (instructions, DMA traffic), gauges (makespan, IPC, shape) and
+    /// per-DPU/per-tasklet distributions (cycles, instructions, tasklet
+    /// occupancy — the load-balance picture behind Fig. 4.7(a)).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("launch.instructions", self.total_instructions());
+        m.counter_add("launch.dma.bytes", self.per_dpu.iter().map(|r| r.dma_bytes).sum());
+        m.counter_add("launch.dma.transfers", self.per_dpu.iter().map(|r| r.dma_transfers).sum());
+        m.counter_add("launch.dma.cycles", self.per_dpu.iter().map(|r| r.dma_cycles).sum());
+        m.gauge_set("launch.dpus", self.per_dpu.len() as f64);
+        m.gauge_set("launch.tasklets", self.tasklets as f64);
+        let makespan = self.makespan_cycles();
+        m.gauge_set("launch.makespan_cycles", makespan as f64);
+        if makespan > 0 {
+            m.gauge_set("launch.ipc", self.total_instructions() as f64 / makespan as f64);
+        }
+        for r in &self.per_dpu {
+            m.observe("dpu.cycles", r.cycles as f64);
+            m.observe("dpu.instructions", r.instructions as f64);
+            if r.cycles > 0 {
+                m.observe("dpu.ipc", r.instructions as f64 / r.cycles as f64);
+            }
+            // Occupancy: each tasklet's share of the DPU's issue slots.
+            // Perfect balance over T tasklets reads as a flat 1/T.
+            if r.instructions > 0 {
+                for &issued in &r.issue_per_tasklet {
+                    m.observe("tasklet.occupancy", issued as f64 / r.instructions as f64);
+                }
+            }
+        }
+        m
+    }
 }
 
 impl DpuSet {
@@ -62,29 +99,76 @@ impl DpuSet {
     /// # Errors
     /// The first DPU fault encountered (in DPU order).
     pub fn launch(&mut self, program: &Program, tasklets: usize) -> Result<LaunchResult> {
+        self.launch_impl(program, tasklets, false).map(|(res, _)| res)
+    }
+
+    /// Like [`DpuSet::launch`], but additionally collects one
+    /// [`TraceBuffer`] of cycle-stamped simulator events per DPU (buffer
+    /// `i` belongs to DPU `i`): kernel launch/complete, every MRAM DMA,
+    /// subroutine entries and barrier arrivals. Tracing is observational —
+    /// the returned [`LaunchResult`] is identical to an untraced launch.
+    ///
+    /// # Errors
+    /// The first DPU fault encountered (in DPU order).
+    pub fn launch_traced(
+        &mut self,
+        program: &Program,
+        tasklets: usize,
+    ) -> Result<(LaunchResult, Vec<TraceBuffer>)> {
+        self.launch_impl(program, tasklets, true)
+    }
+
+    fn launch_impl(
+        &mut self,
+        program: &Program,
+        tasklets: usize,
+        trace: bool,
+    ) -> Result<(LaunchResult, Vec<TraceBuffer>)> {
         const PARALLEL_THRESHOLD: usize = 4;
+        fn run_one(
+            dpu: &mut dpu_sim::Machine,
+            program: &Program,
+            tasklets: usize,
+            trace: bool,
+            buf: &mut TraceBuffer,
+        ) -> dpu_sim::Result<RunResult> {
+            if trace {
+                dpu.run_traced(program, tasklets, buf)
+            } else {
+                dpu.run(program, tasklets)
+            }
+        }
+
         program.validate()?;
         let system = self.system_mut();
         let n = system.len();
+        let mut buffers: Vec<TraceBuffer> = vec![TraceBuffer::new(); n];
         let mut results: Vec<Option<dpu_sim::Result<RunResult>>> = Vec::with_capacity(n);
         if n < PARALLEL_THRESHOLD {
-            for (_, dpu) in system.iter_mut() {
-                results.push(Some(dpu.run(program, tasklets)));
+            for ((_, dpu), buf) in system.iter_mut().zip(buffers.iter_mut()) {
+                results.push(Some(run_one(dpu, program, tasklets, trace, buf)));
             }
         } else {
             let mut slots: Vec<Option<dpu_sim::Result<RunResult>>> = (0..n).map(|_| None).collect();
             let threads = std::thread::available_parallelism().map_or(4, usize::from).min(n);
-            let mut dpus: Vec<&mut dpu_sim::Machine> =
-                system.iter_mut().map(|(_, m)| m).collect();
+            let mut dpus: Vec<&mut dpu_sim::Machine> = system.iter_mut().map(|(_, m)| m).collect();
             // Chunk DPUs across host threads with crossbeam's scoped spawn.
+            // Trace buffers are chunked alongside, so buffer order stays
+            // DPU order regardless of thread interleaving.
             let chunk = n.div_ceil(threads);
             crossbeam::thread::scope(|s| {
-                for (dpu_chunk, slot_chunk) in
-                    dpus.chunks_mut(chunk).zip(slots.chunks_mut(chunk))
+                for ((dpu_chunk, slot_chunk), buf_chunk) in dpus
+                    .chunks_mut(chunk)
+                    .zip(slots.chunks_mut(chunk))
+                    .zip(buffers.chunks_mut(chunk))
                 {
                     s.spawn(move |_| {
-                        for (dpu, slot) in dpu_chunk.iter_mut().zip(slot_chunk.iter_mut()) {
-                            *slot = Some(dpu.run(program, tasklets));
+                        for ((dpu, slot), buf) in dpu_chunk
+                            .iter_mut()
+                            .zip(slot_chunk.iter_mut())
+                            .zip(buf_chunk.iter_mut())
+                        {
+                            *slot = Some(run_one(dpu, program, tasklets, trace, buf));
                         }
                     });
                 }
@@ -97,7 +181,7 @@ impl DpuSet {
         for r in results {
             per_dpu.push(r.expect("every DPU slot filled")?);
         }
-        Ok(LaunchResult { per_dpu, tasklets })
+        Ok((LaunchResult { per_dpu, tasklets }, buffers))
     }
 }
 
@@ -109,14 +193,28 @@ impl DpuSet {
     /// [`crate::HostError::Symbol`] when nothing is loaded; otherwise as
     /// [`DpuSet::launch`].
     pub fn launch_loaded(&mut self, tasklets: usize) -> Result<LaunchResult> {
-        let program = self
-            .loaded_program()
-            .cloned()
-            .ok_or(crate::HostError::Symbol {
-                name: "<program>".to_owned(),
-                problem: "no program loaded; call DpuSet::load first",
-            })?;
+        let program = self.loaded_program().cloned().ok_or(crate::HostError::Symbol {
+            name: "<program>".to_owned(),
+            problem: "no program loaded; call DpuSet::load first",
+        })?;
         self.launch(&program, tasklets)
+    }
+
+    /// [`DpuSet::launch_loaded`] with per-DPU tracing, as
+    /// [`DpuSet::launch_traced`].
+    ///
+    /// # Errors
+    /// [`crate::HostError::Symbol`] when nothing is loaded; otherwise as
+    /// [`DpuSet::launch`].
+    pub fn launch_loaded_traced(
+        &mut self,
+        tasklets: usize,
+    ) -> Result<(LaunchResult, Vec<TraceBuffer>)> {
+        let program = self.loaded_program().cloned().ok_or(crate::HostError::Symbol {
+            name: "<program>".to_owned(),
+            problem: "no program loaded; call DpuSet::load first",
+        })?;
+        self.launch_traced(&program, tasklets)
     }
 }
 
@@ -148,16 +246,12 @@ mod tests {
         let mut set = DpuSet::allocate(8).unwrap();
         set.define_symbol("x", 8).unwrap();
         for i in 0..8u32 {
-            set.copy_to_dpu(DpuId(i), "x", 0, &u64::from(i + 1).to_le_bytes())
-                .unwrap();
+            set.copy_to_dpu(DpuId(i), "x", 0, &u64::from(i + 1).to_le_bytes()).unwrap();
         }
         let res = set.launch(&double_program(), 1).unwrap();
         assert_eq!(res.per_dpu.len(), 8);
         for i in 0..8u32 {
-            assert_eq!(
-                set.copy_scalar_from(DpuId(i), "x").unwrap(),
-                u64::from(i + 1) * 2
-            );
+            assert_eq!(set.copy_scalar_from(DpuId(i), "x").unwrap(), u64::from(i + 1) * 2);
         }
         assert!(res.makespan_cycles() > 0);
         assert_eq!(res.makespan_cycles(), res.per_dpu[0].cycles); // identical work
@@ -215,5 +309,99 @@ mod tests {
         let res = set.launch(&p, 1).unwrap();
         let prof = res.merged_profile();
         assert_eq!(prof.occurrences(dpu_sim::Subroutine::Mulsi3), 4);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use dpu_sim::asm::assemble;
+    use pim_trace::TraceEvent;
+
+    /// DMA in, a multiply subroutine, a barrier, DMA out — every simulator
+    /// event kind fires.
+    fn traced_program() -> Program {
+        assemble(
+            "me r1\n\
+             lsli r2, r1, 8\n\
+             movi r3, 64\n\
+             mram.read r2, r2, r3\n\
+             call __mulsi3 r4, r3, r3\n\
+             barrier\n\
+             mram.write r2, r2, r3\n\
+             halt\n",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn traced_launch_matches_untraced_launch_exactly() {
+        // Both the serial (<4 DPUs) and parallel (>=4 DPUs) paths.
+        for dpus in [2usize, 6] {
+            let mut plain_set = DpuSet::allocate(dpus).unwrap();
+            let plain = plain_set.launch(&traced_program(), 3).unwrap();
+            let mut traced_set = DpuSet::allocate(dpus).unwrap();
+            let (traced, bufs) = traced_set.launch_traced(&traced_program(), 3).unwrap();
+            assert_eq!(plain, traced, "{dpus} DPUs");
+            assert_eq!(bufs.len(), dpus);
+            assert!(bufs.iter().all(|b| !b.is_empty()));
+        }
+    }
+
+    #[test]
+    fn untraced_launch_collects_no_events() {
+        let mut set = DpuSet::allocate(2).unwrap();
+        let (res, bufs) = set.launch_impl(&traced_program(), 2, false).unwrap();
+        assert_eq!(res.per_dpu.len(), 2);
+        assert!(bufs.iter().all(pim_trace::TraceBuffer::is_empty));
+    }
+
+    #[test]
+    fn per_dpu_buffers_cover_all_dpus_in_order() {
+        let mut set = DpuSet::allocate(5).unwrap();
+        let (res, bufs) = set.launch_traced(&traced_program(), 2).unwrap();
+        assert_eq!(bufs.len(), res.per_dpu.len());
+        for (r, b) in res.per_dpu.iter().zip(&bufs) {
+            // Identical work on every DPU: each buffer's end stamp is its
+            // own DPU's cycle count.
+            assert_eq!(b.max_end_cycle(), r.cycles);
+            assert_eq!(b.dma_bytes(), r.dma_bytes);
+            assert_eq!(b.count_matching(|e| matches!(e, TraceEvent::KernelLaunch { .. })), 1);
+        }
+    }
+
+    #[test]
+    fn metrics_snapshot_reflects_launch() {
+        let mut set = DpuSet::allocate(4).unwrap();
+        let res = set.launch(&traced_program(), 2).unwrap();
+        let m = res.metrics();
+        assert_eq!(m.counter("launch.instructions"), res.total_instructions());
+        assert_eq!(
+            m.counter("launch.dma.bytes"),
+            res.per_dpu.iter().map(|r| r.dma_bytes).sum::<u64>()
+        );
+        assert_eq!(m.gauge("launch.dpus"), Some(4.0));
+        assert_eq!(m.gauge("launch.makespan_cycles"), Some(res.makespan_cycles() as f64));
+        let occ = m.histogram("tasklet.occupancy").expect("observed");
+        assert_eq!(occ.count(), 4 * 2); // 4 DPUs x 2 tasklets
+                                        // Shares within one DPU sum to 1; the mean over all is 1/tasklets.
+        assert!((occ.mean().unwrap() - 0.5).abs() < 1e-9);
+        let ipc = m.gauge("launch.ipc").expect("set");
+        assert!(ipc > 0.0);
+    }
+
+    proptest::proptest! {
+        /// The satellite invariant: the set's makespan equals the largest
+        /// end stamp over every per-DPU trace span, at any set shape.
+        #[test]
+        fn makespan_equals_max_trace_end_cycle(
+            dpus in 1usize..7,
+            tasklets in 1usize..5,
+        ) {
+            let mut set = DpuSet::allocate(dpus).unwrap();
+            let (res, bufs) = set.launch_traced(&traced_program(), tasklets).unwrap();
+            let max_end = bufs.iter().map(pim_trace::TraceBuffer::max_end_cycle).max().unwrap();
+            proptest::prop_assert_eq!(res.makespan_cycles(), max_end);
+        }
     }
 }

@@ -10,6 +10,7 @@
 use crate::error::{HostError, Result};
 use crate::symbol::{Symbol, SymbolTable};
 use dpu_sim::{DpuId, DpuParams, PimSystem};
+use pim_trace::{HostDirection, TraceBuffer, TraceEvent, TraceSink};
 
 /// A host-allocated set of DPUs with a shared symbol table.
 #[derive(Debug)]
@@ -18,6 +19,16 @@ pub struct DpuSet {
     symbols: SymbolTable,
     loaded: Option<dpu_sim::Program>,
     xfer_stats: std::collections::BTreeMap<String, TransferStats>,
+    // `RefCell` because gather paths (`copy_from_dpu`) take `&self`; host
+    // transfers are strictly host-thread-sequential, so no contention.
+    host_trace: Option<std::cell::RefCell<HostTrace>>,
+}
+
+/// Recording state for host↔MRAM transfer events.
+#[derive(Debug, Default)]
+struct HostTrace {
+    buffer: TraceBuffer,
+    seq: u64,
 }
 
 /// Host-link traffic accumulated for one symbol.
@@ -54,7 +65,47 @@ impl DpuSet {
             symbols: SymbolTable::new(),
             loaded: None,
             xfer_stats: std::collections::BTreeMap::new(),
+            host_trace: None,
         })
+    }
+
+    /// Start recording every host↔MRAM transfer as a
+    /// [`TraceEvent::HostTransfer`]. Events carry a monotonic sequence
+    /// number (host transfers have no DPU cycle stamp) and the symbol,
+    /// byte count, direction and target DPU (`None` for broadcasts).
+    pub fn enable_host_tracing(&mut self) {
+        if self.host_trace.is_none() {
+            self.host_trace = Some(std::cell::RefCell::new(HostTrace::default()));
+        }
+    }
+
+    /// Stop recording host transfers and hand back everything recorded
+    /// since [`DpuSet::enable_host_tracing`], or `None` when tracing was
+    /// never enabled.
+    pub fn take_host_trace(&mut self) -> Option<TraceBuffer> {
+        self.host_trace.take().map(|cell| cell.into_inner().buffer)
+    }
+
+    /// Snapshot of the host transfers recorded so far (empty buffer when
+    /// tracing is disabled). Recording continues.
+    #[must_use]
+    pub fn host_trace_snapshot(&self) -> TraceBuffer {
+        self.host_trace.as_ref().map_or_else(TraceBuffer::new, |cell| cell.borrow().buffer.clone())
+    }
+
+    fn record_host(&self, direction: HostDirection, symbol: &str, bytes: u64, dpu: Option<u32>) {
+        if let Some(cell) = &self.host_trace {
+            let mut t = cell.borrow_mut();
+            let seq = t.seq;
+            t.seq += 1;
+            t.buffer.record(TraceEvent::HostTransfer {
+                direction,
+                symbol: symbol.to_owned(),
+                bytes,
+                dpu,
+                seq,
+            });
+        }
     }
 
     /// Number of DPUs in the set.
@@ -148,6 +199,13 @@ impl DpuSet {
         let stats = self.xfer_stats.entry(symbol.to_owned()).or_default();
         stats.to_dpu_bytes += (src.len() * self.system.len()) as u64;
         stats.operations += self.system.len() as u64;
+        // A broadcast is one host-link operation reaching every DPU.
+        self.record_host(
+            HostDirection::HostToMram,
+            symbol,
+            (src.len() * self.system.len()) as u64,
+            None,
+        );
         Ok(())
     }
 
@@ -168,6 +226,7 @@ impl DpuSet {
         let stats = self.xfer_stats.entry(symbol.to_owned()).or_default();
         stats.to_dpu_bytes += src.len() as u64;
         stats.operations += 1;
+        self.record_host(HostDirection::HostToMram, symbol, src.len() as u64, Some(dpu.0));
         Ok(())
     }
 
@@ -186,11 +245,10 @@ impl DpuSet {
         self.check_dpu(dpu)?;
         let addr = self.symbols.resolve(symbol, symbol_offset, dst.len())?;
         self.system.dpu(dpu).mram.read(addr, dst)?;
-        // Gather accounting requires interior mutability we don't need —
-        // reads are tracked via `note_read` below on the mutable paths; the
-        // immutable `copy_from_dpu` remains read-only and callers use
-        // [`DpuSet::transfer_stats`] for the host→DPU direction, which is
-        // the one that dominates every workload in this repository.
+        // `xfer_stats` counts only the host→DPU direction (it dominates
+        // every workload here, and this method is `&self`); the trace log,
+        // behind a `RefCell`, records gathers too.
+        self.record_host(HostDirection::MramToHost, symbol, dst.len() as u64, Some(dpu.0));
         Ok(())
     }
 
@@ -281,10 +339,7 @@ mod tests {
     fn misaligned_broadcast_rejected() {
         let mut set = DpuSet::allocate(1).unwrap();
         set.define_symbol("buf", 16).unwrap();
-        assert!(matches!(
-            set.copy_to("buf", 0, &[0u8; 5]),
-            Err(HostError::Alignment { .. })
-        ));
+        assert!(matches!(set.copy_to("buf", 0, &[0u8; 5]), Err(HostError::Alignment { .. })));
     }
 
     #[test]
@@ -323,5 +378,72 @@ mod transfer_stats_tests {
         assert_eq!(set.total_bytes_to_dpus(), 32);
         // 32 bytes at 1 GB/s.
         assert!((set.transfer_seconds(1e9) - 3.2e-8).abs() < 1e-12);
+    }
+}
+
+#[cfg(test)]
+mod host_trace_tests {
+    use super::*;
+    use pim_trace::TraceEvent;
+
+    #[test]
+    fn disabled_by_default() {
+        let mut set = DpuSet::allocate(2).unwrap();
+        set.define_symbol("x", 8).unwrap();
+        set.copy_scalar_to("x", 1).unwrap();
+        assert!(set.host_trace_snapshot().is_empty());
+        assert!(set.take_host_trace().is_none());
+    }
+
+    #[test]
+    fn records_all_directions_with_monotonic_seq() {
+        let mut set = DpuSet::allocate(2).unwrap();
+        set.define_symbol("x", 16).unwrap();
+        set.enable_host_tracing();
+        set.copy_to("x", 0, &[0u8; 8]).unwrap(); // broadcast: 8 B x 2 DPUs
+        set.copy_to_dpu(DpuId(1), "x", 8, &[0u8; 8]).unwrap();
+        let mut out = [0u8; 8];
+        set.copy_from_dpu(DpuId(0), "x", 0, &mut out).unwrap();
+        let trace = set.take_host_trace().expect("enabled");
+        let events = trace.events();
+        assert_eq!(events.len(), 3);
+        match &events[0] {
+            TraceEvent::HostTransfer { direction, bytes, dpu, seq, symbol } => {
+                assert_eq!(*direction, HostDirection::HostToMram);
+                assert_eq!(*bytes, 16); // 8 bytes to each of 2 DPUs
+                assert_eq!(*dpu, None);
+                assert_eq!(*seq, 0);
+                assert_eq!(symbol, "x");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match &events[2] {
+            TraceEvent::HostTransfer { direction, dpu, seq, .. } => {
+                assert_eq!(*direction, HostDirection::MramToHost);
+                assert_eq!(*dpu, Some(0));
+                assert_eq!(*seq, 2);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn xfer_batches_are_traced_through_the_copy_paths() {
+        let mut set = DpuSet::allocate(2).unwrap();
+        set.define_symbol("row", 8).unwrap();
+        set.enable_host_tracing();
+        let mut b = crate::XferBatch::new();
+        b.prepare(vec![1u8; 8]);
+        b.prepare(vec![2u8; 8]);
+        b.push(&mut set, "row", 0, 8).unwrap();
+        let _ = crate::XferBatch::gather(&set, "row", 0, 8).unwrap();
+        let trace = set.take_host_trace().expect("enabled");
+        let to = trace.count_matching(|e| {
+            matches!(e, TraceEvent::HostTransfer { direction: HostDirection::HostToMram, .. })
+        });
+        let from = trace.count_matching(|e| {
+            matches!(e, TraceEvent::HostTransfer { direction: HostDirection::MramToHost, .. })
+        });
+        assert_eq!((to, from), (2, 2));
     }
 }

@@ -91,13 +91,11 @@ impl SymbolTable {
         let sym = self.get(name)?;
         crate::align::check_aligned("offset", sym_offset)?;
         crate::align::check_aligned("length", len)?;
-        let end = sym_offset
-            .checked_add(len)
-            .ok_or(HostError::SymbolOverflow {
-                name: name.to_owned(),
-                requested: usize::MAX,
-                capacity: sym.capacity,
-            })?;
+        let end = sym_offset.checked_add(len).ok_or(HostError::SymbolOverflow {
+            name: name.to_owned(),
+            requested: usize::MAX,
+            capacity: sym.capacity,
+        })?;
         if end > sym.capacity {
             return Err(HostError::SymbolOverflow {
                 name: name.to_owned(),

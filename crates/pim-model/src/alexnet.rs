@@ -36,8 +36,7 @@ impl AlexNetLayer {
     /// channel sees `in_channels` inputs of its group only).
     #[must_use]
     pub fn macs(&self) -> u64 {
-        (self.out * self.out * self.filters * self.kernel * self.kernel * self.in_channels)
-            as u64
+        (self.out * self.out * self.filters * self.kernel * self.kernel * self.in_channels) as u64
     }
 
     /// MACs if the convolution were ungrouped (each output channel sees
@@ -54,13 +53,62 @@ impl AlexNetLayer {
 pub fn layers() -> Vec<AlexNetLayer> {
     vec![
         AlexNetLayer { name: "conv1", out: 55, filters: 96, kernel: 11, in_channels: 3, groups: 1 },
-        AlexNetLayer { name: "conv2", out: 27, filters: 256, kernel: 5, in_channels: 48, groups: 2 },
-        AlexNetLayer { name: "conv3", out: 13, filters: 384, kernel: 3, in_channels: 256, groups: 1 },
-        AlexNetLayer { name: "conv4", out: 13, filters: 384, kernel: 3, in_channels: 192, groups: 2 },
-        AlexNetLayer { name: "conv5", out: 13, filters: 256, kernel: 3, in_channels: 192, groups: 2 },
-        AlexNetLayer { name: "fc6", out: 1, filters: 4096, kernel: 1, in_channels: 9216, groups: 1 },
-        AlexNetLayer { name: "fc7", out: 1, filters: 4096, kernel: 1, in_channels: 4096, groups: 1 },
-        AlexNetLayer { name: "fc8", out: 1, filters: 1000, kernel: 1, in_channels: 4096, groups: 1 },
+        AlexNetLayer {
+            name: "conv2",
+            out: 27,
+            filters: 256,
+            kernel: 5,
+            in_channels: 48,
+            groups: 2,
+        },
+        AlexNetLayer {
+            name: "conv3",
+            out: 13,
+            filters: 384,
+            kernel: 3,
+            in_channels: 256,
+            groups: 1,
+        },
+        AlexNetLayer {
+            name: "conv4",
+            out: 13,
+            filters: 384,
+            kernel: 3,
+            in_channels: 192,
+            groups: 2,
+        },
+        AlexNetLayer {
+            name: "conv5",
+            out: 13,
+            filters: 256,
+            kernel: 3,
+            in_channels: 192,
+            groups: 2,
+        },
+        AlexNetLayer {
+            name: "fc6",
+            out: 1,
+            filters: 4096,
+            kernel: 1,
+            in_channels: 9216,
+            groups: 1,
+        },
+        AlexNetLayer {
+            name: "fc7",
+            out: 1,
+            filters: 4096,
+            kernel: 1,
+            in_channels: 4096,
+            groups: 1,
+        },
+        AlexNetLayer {
+            name: "fc8",
+            out: 1,
+            filters: 1000,
+            kernel: 1,
+            in_channels: 4096,
+            groups: 1,
+        },
     ]
 }
 

@@ -181,11 +181,7 @@ pub fn drisa_3t1c() -> PimArch {
                 pes: 32768,
                 freq: 1.19e8,
             },
-            memory: Some(MemoryModel {
-                t_transfer: 9.0e-8,
-                pes: 32768,
-                sizebuf_bits: 1_048_576,
-            }),
+            memory: Some(MemoryModel { t_transfer: 9.0e-8, pes: 32768, sizebuf_bits: 1_048_576 }),
         },
         source: ParamSource::Literature,
     }
@@ -273,11 +269,7 @@ pub fn upmem_analytic() -> PimArch {
                 pes: 2560,
                 freq: 3.5e8,
             },
-            memory: Some(MemoryModel {
-                t_transfer: 9.6e-5,
-                pes: 2560,
-                sizebuf_bits: 512_000,
-            }),
+            memory: Some(MemoryModel { t_transfer: 9.6e-5, pes: 2560, sizebuf_bits: 512_000 }),
         },
         source: ParamSource::Literature,
     }

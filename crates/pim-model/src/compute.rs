@@ -108,9 +108,7 @@ impl ComputeModel {
     /// fixed (steep drop, then 1/x tail).
     #[must_use]
     pub fn sweep_pes(&self, x: OperandBits, tops: f64, pes: &[u64]) -> Vec<f64> {
-        pes.iter()
-            .map(|&p| self.cop_mult(x) as f64 * (tops / p as f64).ceil())
-            .collect()
+        pes.iter().map(|&p| self.cop_mult(x) as f64 * (tops / p as f64).ceil()).collect()
     }
 
     fn idx(x: OperandBits) -> usize {
@@ -129,12 +127,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn ppim_like() -> ComputeModel {
-        ComputeModel {
-            cop_mult: [1, 6, 124, 1016],
-            cop_acc: [2, 2, 3, 5],
-            pes: 256,
-            freq: 1.25e9,
-        }
+        ComputeModel { cop_mult: [1, 6, 124, 1016], cop_acc: [2, 2, 3, 5], pes: 256, freq: 1.25e9 }
     }
 
     #[test]

@@ -106,7 +106,7 @@ mod tests {
         let max = *p.iter().max().unwrap();
         assert_eq!(max, 14); // plateau at k - 2
         assert_eq!(*p.last().unwrap(), 0); // n = 1
-        // Rises by 2 to the plateau, falls by 2 after.
+                                           // Rises by 2 to the plateau, falls by 2 after.
         let up: Vec<u64> = p.iter().take_while(|&&v| v < max).copied().collect();
         for w in up.windows(2) {
             assert_eq!(w[1], w[0] + 2);

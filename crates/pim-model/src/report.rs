@@ -81,32 +81,28 @@ impl ModelReport {
     pub fn table_5_1() -> Vec<WalkthroughColumn> {
         let w = Workload::alexnet();
         let x = OperandBits::B8;
-        [
-            (arch::ppim(), 1u64),
-            (arch::drisa_3t1c(), 1),
-            (arch::upmem_analytic(), 11),
-        ]
-        .into_iter()
-        .map(|(a, dp)| {
-            let c = a.compute().expect("walkthrough devices are analytic");
-            let cop = c.cop_mac(x);
-            WalkthroughColumn {
-                name: a.name.clone(),
-                dp,
-                // UPMEM's f(x) are instruction counts (Cop / Dp); the
-                // others have Dp = CBB = 1 so f(x) = Cop.
-                acc_fx: c.cop_acc(x) / dp,
-                mult_fx: c.cop_mult(x) / dp,
-                cop,
-                pes: c.pes,
-                freq: c.freq,
-                ccomp_one: cop,
-                tcomp_one: cop as f64 / c.freq,
-                ccomp_tops: c.ccomp(cop, w.ops),
-                tcomp_tops: c.ccomp(cop, w.ops) / c.freq,
-            }
-        })
-        .collect()
+        [(arch::ppim(), 1u64), (arch::drisa_3t1c(), 1), (arch::upmem_analytic(), 11)]
+            .into_iter()
+            .map(|(a, dp)| {
+                let c = a.compute().expect("walkthrough devices are analytic");
+                let cop = c.cop_mac(x);
+                WalkthroughColumn {
+                    name: a.name.clone(),
+                    dp,
+                    // UPMEM's f(x) are instruction counts (Cop / Dp); the
+                    // others have Dp = CBB = 1 so f(x) = Cop.
+                    acc_fx: c.cop_acc(x) / dp,
+                    mult_fx: c.cop_mult(x) / dp,
+                    cop,
+                    pes: c.pes,
+                    freq: c.freq,
+                    ccomp_one: cop,
+                    tcomp_one: cop as f64 / c.freq,
+                    ccomp_tops: c.ccomp(cop, w.ops),
+                    tcomp_tops: c.ccomp(cop, w.ops) / c.freq,
+                }
+            })
+            .collect()
     }
 
     /// Table 5.2: multiplication `Cop` per operand size per device.
@@ -149,9 +145,7 @@ impl ModelReport {
         let c = device.compute().expect("Fig. 5.5 devices are analytic");
         OperandBits::ALL
             .iter()
-            .map(|&x| {
-                (x, c.sweep_tops(x, tops_points), c.sweep_pes(x, fixed_tops, pes_points))
-            })
+            .map(|&x| (x, c.sweep_tops(x, tops_points), c.sweep_pes(x, fixed_tops, pes_points)))
             .collect()
     }
 

@@ -1,0 +1,255 @@
+//! Chrome trace-event JSON export.
+//!
+//! Produces the `{"traceEvents": [...]}` object format understood by
+//! Perfetto and `chrome://tracing`. Timestamps are DPU cycles reported in
+//! the `ts`/`dur` microsecond fields — the absolute unit is wrong but the
+//! relative timeline is exact, which is what the viewers visualize.
+//!
+//! Track layout: one process (`pid`) per DPU, thread (`tid`) 0 is the
+//! kernel span, thread `t + 1` is tasklet `t`. Host transfers land in one
+//! extra process after the DPUs, ordered by their sequence number.
+
+use crate::event::TraceEvent;
+use crate::sink::TraceBuffer;
+use serde_json::{json, Value};
+
+/// Thread id used for the whole-kernel span on each DPU track.
+const KERNEL_TID: u64 = 0;
+
+/// Build the Chrome trace-event JSON for a set of per-DPU buffers
+/// (`buffers[d]` holds DPU `d`'s events) plus optional host-side events.
+#[must_use]
+pub fn chrome_trace(buffers: &[TraceBuffer], host: Option<&TraceBuffer>) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+    for (dpu, buffer) in buffers.iter().enumerate() {
+        let pid = dpu as u64;
+        events.push(metadata(pid, None, "process_name", &format!("DPU {dpu}")));
+        events.push(metadata(pid, Some(KERNEL_TID), "thread_name", "kernel"));
+        let mut named_tasklets = std::collections::BTreeSet::new();
+        for event in buffer.events() {
+            if let Some(t) = event.tasklet() {
+                if named_tasklets.insert(t) {
+                    events.push(metadata(
+                        pid,
+                        Some(tasklet_tid(t)),
+                        "thread_name",
+                        &format!("tasklet {t}"),
+                    ));
+                }
+            }
+            push_dpu_event(&mut events, pid, event);
+        }
+    }
+    if let Some(host_buffer) = host {
+        let pid = buffers.len() as u64;
+        if !host_buffer.is_empty() {
+            events.push(metadata(pid, None, "process_name", "host"));
+            events.push(metadata(pid, Some(0), "thread_name", "transfers"));
+        }
+        for event in host_buffer.events() {
+            push_host_event(&mut events, pid, event);
+        }
+    }
+    json!({
+        "traceEvents": Value::Array(events),
+        "displayTimeUnit": "ns",
+        "otherData": {"clock": "dpu-cycles"},
+    })
+}
+
+/// Serialize [`chrome_trace`]'s output as a compact JSON string.
+#[must_use]
+pub fn chrome_trace_string(buffers: &[TraceBuffer], host: Option<&TraceBuffer>) -> String {
+    serde_json::to_string(&chrome_trace(buffers, host)).expect("trace JSON")
+}
+
+fn tasklet_tid(tasklet: u8) -> u64 {
+    u64::from(tasklet) + 1
+}
+
+fn metadata(pid: u64, tid: Option<u64>, kind: &str, name: &str) -> Value {
+    json!({
+        "ph": "M",
+        "pid": pid,
+        "tid": tid.unwrap_or(0),
+        "name": kind,
+        "args": {"name": name},
+    })
+}
+
+fn span(pid: u64, tid: u64, name: &str, ts: u64, dur: u64, args: Value) -> Value {
+    json!({
+        "ph": "X",
+        "pid": pid,
+        "tid": tid,
+        "name": name,
+        "ts": ts,
+        "dur": dur,
+        "args": args,
+    })
+}
+
+fn push_dpu_event(out: &mut Vec<Value>, pid: u64, event: &TraceEvent) {
+    match event {
+        TraceEvent::KernelLaunch { tasklets, cycle } => {
+            out.push(json!({
+                "ph": "B",
+                "pid": pid,
+                "tid": KERNEL_TID,
+                "name": "KernelLaunch",
+                "ts": *cycle,
+                "args": {"tasklets": *tasklets},
+            }));
+        }
+        TraceEvent::KernelComplete { cycle, instructions } => {
+            out.push(json!({
+                "ph": "E",
+                "pid": pid,
+                "tid": KERNEL_TID,
+                "name": "KernelLaunch",
+                "ts": *cycle,
+                "args": {"instructions": *instructions},
+            }));
+        }
+        TraceEvent::DmaTransfer { tasklet, direction, bytes, start_cycle, cycles } => {
+            out.push(span(
+                pid,
+                tasklet_tid(*tasklet),
+                &format!("DmaTransfer {} {bytes}B", direction.arrow()),
+                *start_cycle,
+                *cycles,
+                json!({"bytes": *bytes, "direction": direction.arrow()}),
+            ));
+        }
+        TraceEvent::SubroutineEnter { tasklet, symbol, cycle, instructions } => {
+            out.push(span(
+                pid,
+                tasklet_tid(*tasklet),
+                symbol,
+                *cycle,
+                u64::from(*instructions),
+                json!({"instructions": *instructions}),
+            ));
+        }
+        TraceEvent::TaskletBarrier { tasklet, cycle, released } => {
+            out.push(json!({
+                "ph": "i",
+                "pid": pid,
+                "tid": tasklet_tid(*tasklet),
+                "name": if *released { "barrier (release)" } else { "barrier" },
+                "ts": *cycle,
+                "s": "t",
+            }));
+        }
+        TraceEvent::HostTransfer { .. } => {
+            // Host events belong on the host track; ignore if one leaked
+            // into a DPU buffer.
+        }
+    }
+}
+
+fn push_host_event(out: &mut Vec<Value>, pid: u64, event: &TraceEvent) {
+    if let TraceEvent::HostTransfer { direction, symbol, bytes, dpu, seq } = event {
+        let target = match dpu {
+            Some(d) => format!("dpu {d}"),
+            None => "broadcast".to_string(),
+        };
+        out.push(span(
+            pid,
+            0,
+            &format!("HostTransfer {} {symbol}", direction.arrow()),
+            *seq,
+            1,
+            json!({
+                "bytes": *bytes,
+                "symbol": symbol.as_str(),
+                "target": target.as_str(),
+            }),
+        ));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{DmaDirection, HostDirection};
+    use crate::sink::TraceSink;
+
+    fn sample_buffer() -> TraceBuffer {
+        let mut b = TraceBuffer::new();
+        b.record(TraceEvent::KernelLaunch { tasklets: 2, cycle: 0 });
+        b.record(TraceEvent::DmaTransfer {
+            tasklet: 0,
+            direction: DmaDirection::MramToWram,
+            bytes: 64,
+            start_cycle: 10,
+            cycles: 57,
+        });
+        b.record(TraceEvent::TaskletBarrier { tasklet: 1, cycle: 80, released: true });
+        b.record(TraceEvent::KernelComplete { cycle: 120, instructions: 90 });
+        b
+    }
+
+    #[test]
+    fn trace_has_per_dpu_tracks_and_round_trips_as_json() {
+        let buffers = vec![sample_buffer(), sample_buffer()];
+        let text = chrome_trace_string(&buffers, None);
+        let parsed: Value = serde_json::from_str(&text).expect("valid JSON");
+        let events =
+            parsed.get("traceEvents").and_then(Value::as_array).expect("traceEvents array");
+        // Two DPU tracks: process_name metadata for pid 0 and pid 1.
+        for pid in 0..2u64 {
+            assert!(
+                events.iter().any(|e| {
+                    e.get("ph").and_then(Value::as_str) == Some("M")
+                        && e.get("pid").and_then(Value::as_u64) == Some(pid)
+                }),
+                "missing metadata for pid {pid}"
+            );
+            assert!(
+                events.iter().any(|e| {
+                    e.get("pid").and_then(Value::as_u64) == Some(pid)
+                        && e.get("name")
+                            .and_then(Value::as_str)
+                            .is_some_and(|n| n.starts_with("DmaTransfer"))
+                }),
+                "missing DmaTransfer span for pid {pid}"
+            );
+        }
+    }
+
+    #[test]
+    fn dma_span_keeps_cycle_timestamps() {
+        let buffers = vec![sample_buffer()];
+        let trace = chrome_trace(&buffers, None);
+        let events = trace.get("traceEvents").and_then(Value::as_array).expect("array");
+        let dma = events
+            .iter()
+            .find(|e| {
+                e.get("name").and_then(Value::as_str).is_some_and(|n| n.starts_with("DmaTransfer"))
+            })
+            .expect("dma span");
+        assert_eq!(dma.get("ts").and_then(Value::as_u64), Some(10));
+        assert_eq!(dma.get("dur").and_then(Value::as_u64), Some(57));
+        assert_eq!(dma.get("tid").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn host_track_appended_after_dpus() {
+        let mut host = TraceBuffer::new();
+        host.record(TraceEvent::HostTransfer {
+            direction: HostDirection::HostToMram,
+            symbol: "weights".to_string(),
+            bytes: 4096,
+            dpu: None,
+            seq: 0,
+        });
+        let buffers = vec![sample_buffer()];
+        let trace = chrome_trace(&buffers, Some(&host));
+        let events = trace.get("traceEvents").and_then(Value::as_array).expect("array");
+        assert!(events.iter().any(|e| {
+            e.get("pid").and_then(Value::as_u64) == Some(1)
+                && e.get("name").and_then(Value::as_str).is_some_and(|n| n.contains("weights"))
+        }));
+    }
+}

@@ -1,0 +1,144 @@
+//! Structured trace events emitted by the simulator and host runtime.
+//!
+//! Every simulator-side event is stamped with the DPU-clock cycle at which
+//! it occurred. Events do not carry a DPU id — the host collects one
+//! buffer per DPU, and the buffer's position identifies the DPU.
+
+use serde::Serialize;
+
+/// Direction of an intra-DPU DMA transfer over the MRAM↔WRAM port
+/// (costed by Eq. 3.4: `25 + bytes/2` cycles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum DmaDirection {
+    /// MRAM → WRAM load (`mram_read`).
+    MramToWram,
+    /// WRAM → MRAM store (`mram_write`).
+    WramToMram,
+}
+
+impl DmaDirection {
+    /// Short human-readable arrow form for labels.
+    #[must_use]
+    pub fn arrow(self) -> &'static str {
+        match self {
+            DmaDirection::MramToWram => "mram\u{2192}wram",
+            DmaDirection::WramToMram => "wram\u{2192}mram",
+        }
+    }
+}
+
+/// Direction of a host↔MRAM bulk transfer (`dpu_copy_to`/`dpu_copy_from`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum HostDirection {
+    /// Host buffer → DPU MRAM.
+    HostToMram,
+    /// DPU MRAM → host buffer.
+    MramToHost,
+}
+
+impl HostDirection {
+    /// Short human-readable arrow form for labels.
+    #[must_use]
+    pub fn arrow(self) -> &'static str {
+        match self {
+            HostDirection::HostToMram => "host\u{2192}mram",
+            HostDirection::MramToHost => "mram\u{2192}host",
+        }
+    }
+}
+
+/// One cycle-stamped observation from the simulator or host runtime.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum TraceEvent {
+    /// A kernel began executing on a DPU.
+    KernelLaunch {
+        /// Number of tasklets the kernel was launched with.
+        tasklets: u8,
+        /// Cycle at which execution began (0 for a fresh machine).
+        cycle: u64,
+    },
+    /// The kernel on a DPU ran to completion.
+    KernelComplete {
+        /// Final pipeline-drained cycle count (the kernel's makespan).
+        cycle: u64,
+        /// Instructions issued over the whole run.
+        instructions: u64,
+    },
+    /// One MRAM↔WRAM DMA transfer.
+    DmaTransfer {
+        /// Issuing tasklet.
+        tasklet: u8,
+        /// Transfer direction.
+        direction: DmaDirection,
+        /// Payload size in bytes.
+        bytes: u32,
+        /// Cycle at which the transfer started streaming (after any wait
+        /// for the shared DMA port).
+        start_cycle: u64,
+        /// Cycles the transfer occupied the port (setup + streaming).
+        cycles: u64,
+    },
+    /// A software-subroutine call (e.g. `__mulsi3`) began.
+    SubroutineEnter {
+        /// Calling tasklet.
+        tasklet: u8,
+        /// Subroutine symbol name.
+        symbol: &'static str,
+        /// Cycle at which the call issued.
+        cycle: u64,
+        /// Instructions the subroutine body executes.
+        instructions: u32,
+    },
+    /// A tasklet arrived at a barrier.
+    TaskletBarrier {
+        /// Arriving tasklet.
+        tasklet: u8,
+        /// Cycle of arrival.
+        cycle: u64,
+        /// Whether this arrival released the barrier (last tasklet in).
+        released: bool,
+    },
+    /// A host↔MRAM bulk transfer (not cycle-stamped: host-side time is
+    /// wall clock, not DPU cycles; `seq` preserves ordering).
+    HostTransfer {
+        /// Transfer direction.
+        direction: HostDirection,
+        /// Destination/source MRAM symbol name.
+        symbol: String,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Target DPU, or `None` for a broadcast to every DPU.
+        dpu: Option<u32>,
+        /// Host-side sequence number (monotonic per run).
+        seq: u64,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle at which this event *ends* (for spans, start + duration),
+    /// or `None` for events without a DPU-clock stamp.
+    #[must_use]
+    pub fn end_cycle(&self) -> Option<u64> {
+        match self {
+            TraceEvent::KernelLaunch { cycle, .. }
+            | TraceEvent::KernelComplete { cycle, .. }
+            | TraceEvent::TaskletBarrier { cycle, .. } => Some(*cycle),
+            TraceEvent::DmaTransfer { start_cycle, cycles, .. } => Some(start_cycle + cycles),
+            TraceEvent::SubroutineEnter { cycle, instructions, .. } => {
+                Some(cycle + u64::from(*instructions))
+            }
+            TraceEvent::HostTransfer { .. } => None,
+        }
+    }
+
+    /// The tasklet this event belongs to, if any.
+    #[must_use]
+    pub fn tasklet(&self) -> Option<u8> {
+        match self {
+            TraceEvent::DmaTransfer { tasklet, .. }
+            | TraceEvent::SubroutineEnter { tasklet, .. }
+            | TraceEvent::TaskletBarrier { tasklet, .. } => Some(*tasklet),
+            _ => None,
+        }
+    }
+}

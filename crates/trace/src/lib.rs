@@ -1,0 +1,37 @@
+//! Cycle-stamped tracing and metrics for the PIM simulator stack.
+//!
+//! The simulator (`dpu-sim`) and host runtime (`pim-host`) emit structured
+//! [`TraceEvent`]s into a [`TraceSink`] as they execute. Two sinks ship:
+//!
+//! * [`NullSink`] — the default; discards every event and reports itself
+//!   disabled so instrumentation sites can skip building event payloads.
+//!   A run through `NullSink` is cycle-for-cycle identical to an
+//!   uninstrumented run: tracing only *observes* the machine.
+//! * [`TraceBuffer`] — records events in order. The host collects one
+//!   buffer per DPU (buffer index = DPU id).
+//!
+//! Recorded buffers feed two exporters:
+//!
+//! * [`chrome`] — Chrome trace-event JSON (loadable in Perfetto or
+//!   `chrome://tracing`), one process track per DPU, one thread row per
+//!   tasklet plus a `kernel` row.
+//! * [`text`] — a plain-text per-phase cycle breakdown table.
+//!
+//! Scalar observations (instruction counts, IPC, DMA bytes, tasklet
+//! occupancy, makespan) aggregate in a [`MetricsRegistry`], which
+//! snapshots to machine-readable JSON for `report --json`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+mod event;
+mod metrics;
+mod sink;
+pub mod text;
+
+pub use chrome::{chrome_trace, chrome_trace_string};
+pub use event::{DmaDirection, HostDirection, TraceEvent};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use sink::{NullSink, TraceBuffer, TraceSink};
+pub use text::{cycle_breakdown, PhaseBreakdown};

@@ -1,0 +1,229 @@
+//! A small metrics registry: named counters, gauges, and histograms.
+//!
+//! Populated by the host runtime after launches (instructions, IPC, DMA
+//! traffic, tasklet occupancy, makespan, …) and snapshotted to JSON for
+//! `report --json`. Keys are sorted (`BTreeMap`), so snapshots are
+//! deterministic and diffable.
+
+use std::collections::BTreeMap;
+
+use serde_json::{json, Value};
+
+/// Running summary of an observed distribution (no buckets: the
+/// consumers here want count/sum/min/max/mean, not quantiles).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Histogram {
+    fn new() -> Self {
+        Histogram { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Smallest observation (`None` before the first record).
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest observation (`None` before the first record).
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean (`None` before the first record).
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        #[allow(clippy::cast_precision_loss)]
+        (self.count > 0).then(|| self.sum / self.count as f64)
+    }
+
+    fn to_json(&self) -> Value {
+        json!({
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min().unwrap_or(0.0),
+            "max": self.max().unwrap_or(0.0),
+            "mean": self.mean().unwrap_or(0.0),
+        })
+    }
+}
+
+/// Named counters, gauges, and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// New empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `by` to the named monotonic counter (created at 0).
+    pub fn counter_add(&mut self, name: &str, by: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += by;
+    }
+
+    /// Set the named gauge to `value` (last write wins).
+    pub fn gauge_set(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Record one observation into the named histogram.
+    pub fn observe(&mut self, name: &str, value: f64) {
+        self.histograms.entry(name.to_string()).or_insert_with(Histogram::new).record(value);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge, if set.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// The named histogram, if any observation was recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merge another registry into this one: counters add, gauges take the
+    /// other's value, histograms concatenate.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            let mine = self.histograms.entry(k.clone()).or_insert_with(Histogram::new);
+            mine.count += h.count;
+            mine.sum += h.sum;
+            mine.min = mine.min.min(h.min);
+            mine.max = mine.max.max(h.max);
+        }
+    }
+
+    /// Machine-readable snapshot: `{"counters": {...}, "gauges": {...},
+    /// "histograms": {name: {count, sum, min, max, mean}}}`.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let counters =
+            Value::Object(self.counters.iter().map(|(k, v)| (k.clone(), json!(*v))).collect());
+        let gauges =
+            Value::Object(self.gauges.iter().map(|(k, v)| (k.clone(), json!(*v))).collect());
+        let histograms =
+            Value::Object(self.histograms.iter().map(|(k, h)| (k.clone(), h.to_json())).collect());
+        json!({
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": histograms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_default_to_zero() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("dma.bytes", 64);
+        m.counter_add("dma.bytes", 36);
+        assert_eq!(m.counter("dma.bytes"), 100);
+        assert_eq!(m.counter("untouched"), 0);
+    }
+
+    #[test]
+    fn histogram_summary_statistics() {
+        let mut m = MetricsRegistry::new();
+        for v in [2.0, 4.0, 6.0] {
+            m.observe("ipc", v);
+        }
+        let h = m.histogram("ipc").expect("recorded");
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Some(2.0));
+        assert_eq!(h.max(), Some(6.0));
+        assert_eq!(h.mean(), Some(4.0));
+        assert!(m.histogram("missing").is_none());
+    }
+
+    #[test]
+    fn merge_combines_all_kinds() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add("c", 1);
+        a.gauge_set("g", 1.0);
+        a.observe("h", 1.0);
+        let mut b = MetricsRegistry::new();
+        b.counter_add("c", 2);
+        b.gauge_set("g", 9.0);
+        b.observe("h", 3.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 3);
+        assert_eq!(a.gauge("g"), Some(9.0));
+        let h = a.histogram("h").expect("merged");
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.mean(), Some(2.0));
+    }
+
+    #[test]
+    fn json_snapshot_is_sorted_and_complete() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("z.last", 1);
+        m.counter_add("a.first", 2);
+        m.gauge_set("makespan", 123.0);
+        m.observe("occ", 0.5);
+        let v = m.to_json();
+        let counters = v.get("counters").and_then(Value::as_object).expect("counters");
+        assert_eq!(counters[0].0, "a.first");
+        assert_eq!(counters[1].0, "z.last");
+        assert_eq!(
+            v.get("gauges").and_then(|g| g.get("makespan")).and_then(Value::as_f64),
+            Some(123.0)
+        );
+        let occ = v.get("histograms").and_then(|h| h.get("occ")).expect("occ");
+        assert_eq!(occ.get("count").and_then(Value::as_u64), Some(1));
+    }
+}

@@ -1,0 +1,115 @@
+//! Trace sinks: where instrumentation sites send their events.
+
+use crate::event::TraceEvent;
+
+/// Receiver for [`TraceEvent`]s.
+///
+/// Instrumentation sites call [`TraceSink::is_enabled`] before building
+/// event payloads that allocate (e.g. symbol strings), so the disabled
+/// path costs one virtual call and no allocation.
+pub trait TraceSink {
+    /// Record one event.
+    fn record(&mut self, event: TraceEvent);
+
+    /// Whether this sink keeps events. Sites may (but need not) skip
+    /// `record` entirely when this is `false`.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+}
+
+/// The default sink: discards everything.
+///
+/// Running a kernel with a `NullSink` produces bit-identical cycle counts
+/// to an uninstrumented run — tracing never feeds back into simulation.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn record(&mut self, _event: TraceEvent) {}
+
+    fn is_enabled(&self) -> bool {
+        false
+    }
+}
+
+/// A sink that records events in arrival order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceBuffer {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceBuffer {
+    /// New empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All recorded events, in order.
+    #[must_use]
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drop all recorded events, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Largest end-cycle over every cycle-stamped event, or 0 when none.
+    ///
+    /// For a buffer recorded from one kernel run this equals the kernel's
+    /// makespan: the `KernelComplete` stamp dominates every span.
+    #[must_use]
+    pub fn max_end_cycle(&self) -> u64 {
+        self.events.iter().filter_map(TraceEvent::end_cycle).max().unwrap_or(0)
+    }
+
+    /// Count of events matching `pred`.
+    pub fn count_matching(&self, pred: impl Fn(&TraceEvent) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(e)).count()
+    }
+
+    /// Total bytes moved by `DmaTransfer` events.
+    #[must_use]
+    pub fn dma_bytes(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::DmaTransfer { bytes, .. } => u64::from(*bytes),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Total cycles the DMA port was occupied.
+    #[must_use]
+    pub fn dma_cycles(&self) -> u64 {
+        self.events
+            .iter()
+            .map(|e| match e {
+                TraceEvent::DmaTransfer { cycles, .. } => *cycles,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+impl TraceSink for TraceBuffer {
+    fn record(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+}

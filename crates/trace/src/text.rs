@@ -1,0 +1,136 @@
+//! Plain-text per-phase cycle breakdown of recorded traces.
+
+use crate::event::TraceEvent;
+use crate::sink::TraceBuffer;
+use std::fmt::Write as _;
+
+/// Per-DPU cycle totals derived from one trace buffer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseBreakdown {
+    /// Kernel makespan (cycle stamp of `KernelComplete`).
+    pub total_cycles: u64,
+    /// Cycles spent issuing instructions (one per instruction).
+    pub issue_cycles: u64,
+    /// Cycles the MRAM↔WRAM DMA port was occupied.
+    pub dma_cycles: u64,
+    /// Remaining cycles: pipeline latency, stalls, barrier waits.
+    pub other_cycles: u64,
+    /// DMA payload bytes moved.
+    pub dma_bytes: u64,
+    /// Number of DMA transfers.
+    pub dma_transfers: u64,
+    /// Number of software-subroutine calls.
+    pub subroutine_calls: u64,
+    /// Number of barrier arrivals.
+    pub barrier_arrivals: u64,
+}
+
+impl PhaseBreakdown {
+    /// Derive the breakdown from one DPU's recorded events.
+    #[must_use]
+    pub fn from_buffer(buffer: &TraceBuffer) -> Self {
+        let mut b = PhaseBreakdown::default();
+        for event in buffer.events() {
+            match event {
+                TraceEvent::KernelComplete { cycle, instructions } => {
+                    b.total_cycles = b.total_cycles.max(*cycle);
+                    b.issue_cycles += instructions;
+                }
+                TraceEvent::DmaTransfer { bytes, cycles, .. } => {
+                    b.dma_cycles += cycles;
+                    b.dma_bytes += u64::from(*bytes);
+                    b.dma_transfers += 1;
+                }
+                TraceEvent::SubroutineEnter { .. } => b.subroutine_calls += 1,
+                TraceEvent::TaskletBarrier { .. } => b.barrier_arrivals += 1,
+                _ => {}
+            }
+        }
+        b.other_cycles = b.total_cycles.saturating_sub(b.issue_cycles).saturating_sub(b.dma_cycles);
+        b
+    }
+}
+
+/// Render a per-DPU, per-phase cycle table plus a totals row.
+///
+/// Columns: total cycles, then how they split across instruction issue,
+/// DMA port occupancy, and everything else (pipeline latency, stalls,
+/// barrier waits), plus DMA traffic and event counts.
+#[must_use]
+pub fn cycle_breakdown(buffers: &[TraceBuffer]) -> String {
+    let rows: Vec<PhaseBreakdown> = buffers.iter().map(PhaseBreakdown::from_buffer).collect();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>5} {:>12} {:>12} {:>12} {:>12} {:>12} {:>6} {:>6} {:>6}",
+        "dpu", "cycles", "issue", "dma", "other", "dma_bytes", "xfers", "subs", "barr"
+    );
+    for (dpu, b) in rows.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{dpu:>5} {:>12} {:>12} {:>12} {:>12} {:>12} {:>6} {:>6} {:>6}",
+            b.total_cycles,
+            b.issue_cycles,
+            b.dma_cycles,
+            b.other_cycles,
+            b.dma_bytes,
+            b.dma_transfers,
+            b.subroutine_calls,
+            b.barrier_arrivals,
+        );
+    }
+    if rows.len() > 1 {
+        let makespan = rows.iter().map(|b| b.total_cycles).max().unwrap_or(0);
+        let _ = writeln!(
+            out,
+            "{:>5} {makespan:>12} {:>12} {:>12} {:>12} {:>12} {:>6} {:>6} {:>6}",
+            "all",
+            rows.iter().map(|b| b.issue_cycles).sum::<u64>(),
+            rows.iter().map(|b| b.dma_cycles).sum::<u64>(),
+            rows.iter().map(|b| b.other_cycles).sum::<u64>(),
+            rows.iter().map(|b| b.dma_bytes).sum::<u64>(),
+            rows.iter().map(|b| b.dma_transfers).sum::<u64>(),
+            rows.iter().map(|b| b.subroutine_calls).sum::<u64>(),
+            rows.iter().map(|b| b.barrier_arrivals).sum::<u64>(),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::DmaDirection;
+    use crate::sink::TraceSink;
+
+    #[test]
+    fn breakdown_partitions_total_cycles() {
+        let mut buf = TraceBuffer::new();
+        buf.record(TraceEvent::KernelLaunch { tasklets: 1, cycle: 0 });
+        buf.record(TraceEvent::DmaTransfer {
+            tasklet: 0,
+            direction: DmaDirection::MramToWram,
+            bytes: 100,
+            start_cycle: 5,
+            cycles: 75,
+        });
+        buf.record(TraceEvent::KernelComplete { cycle: 200, instructions: 40 });
+        let b = PhaseBreakdown::from_buffer(&buf);
+        assert_eq!(b.total_cycles, 200);
+        assert_eq!(b.issue_cycles, 40);
+        assert_eq!(b.dma_cycles, 75);
+        assert_eq!(b.other_cycles, 200 - 40 - 75);
+        assert_eq!(b.issue_cycles + b.dma_cycles + b.other_cycles, b.total_cycles);
+    }
+
+    #[test]
+    fn table_has_header_and_one_row_per_dpu() {
+        let mut buf = TraceBuffer::new();
+        buf.record(TraceEvent::KernelComplete { cycle: 10, instructions: 5 });
+        let text = cycle_breakdown(&[buf.clone(), buf]);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4, "header + 2 DPUs + totals:\n{text}");
+        assert!(lines[0].contains("cycles"));
+        assert!(lines[3].trim_start().starts_with("all"));
+    }
+}

@@ -1,0 +1,91 @@
+//! Golden-file stability test for the Chrome trace exporter.
+//!
+//! The export is consumed by external tools (Perfetto, `chrome://tracing`)
+//! and diffed in CI, so its exact byte form is part of the contract:
+//! field order, number formatting and track layout must not drift
+//! silently. If an intentional exporter change lands, regenerate with
+//! `BLESS_GOLDEN=1 cargo test -p pim-trace --test golden`.
+
+use pim_trace::{
+    chrome_trace_string, DmaDirection, HostDirection, TraceBuffer, TraceEvent, TraceSink,
+};
+
+/// A small deterministic two-DPU trace exercising every event kind.
+fn fixture() -> (Vec<TraceBuffer>, TraceBuffer) {
+    let mut dpu0 = TraceBuffer::new();
+    dpu0.record(TraceEvent::KernelLaunch { tasklets: 2, cycle: 0 });
+    dpu0.record(TraceEvent::DmaTransfer {
+        tasklet: 0,
+        direction: DmaDirection::MramToWram,
+        bytes: 64,
+        start_cycle: 11,
+        cycles: 57,
+    });
+    dpu0.record(TraceEvent::SubroutineEnter {
+        tasklet: 1,
+        symbol: "__mulsi3",
+        cycle: 30,
+        instructions: 28,
+    });
+    dpu0.record(TraceEvent::TaskletBarrier { tasklet: 0, cycle: 80, released: false });
+    dpu0.record(TraceEvent::TaskletBarrier { tasklet: 1, cycle: 91, released: true });
+    dpu0.record(TraceEvent::DmaTransfer {
+        tasklet: 1,
+        direction: DmaDirection::WramToMram,
+        bytes: 32,
+        start_cycle: 100,
+        cycles: 41,
+    });
+    dpu0.record(TraceEvent::KernelComplete { cycle: 160, instructions: 45 });
+
+    let mut dpu1 = TraceBuffer::new();
+    dpu1.record(TraceEvent::KernelLaunch { tasklets: 1, cycle: 0 });
+    dpu1.record(TraceEvent::KernelComplete { cycle: 120, instructions: 12 });
+
+    let mut host = TraceBuffer::new();
+    host.record(TraceEvent::HostTransfer {
+        direction: HostDirection::HostToMram,
+        symbol: "images".to_owned(),
+        bytes: 256,
+        dpu: None,
+        seq: 0,
+    });
+    host.record(TraceEvent::HostTransfer {
+        direction: HostDirection::MramToHost,
+        symbol: "features".to_owned(),
+        bytes: 64,
+        dpu: Some(1),
+        seq: 1,
+    });
+
+    (vec![dpu0, dpu1], host)
+}
+
+#[test]
+fn chrome_export_is_byte_stable() {
+    let (bufs, host) = fixture();
+    let got = chrome_trace_string(&bufs, Some(&host));
+    let golden_path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_chrome.json");
+    if std::env::var_os("BLESS_GOLDEN").is_some() {
+        std::fs::write(golden_path, &got).expect("bless golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(golden_path)
+        .expect("golden file missing — run `BLESS_GOLDEN=1 cargo test -p pim-trace --test golden`");
+    assert_eq!(got, want, "Chrome trace export drifted from the golden file");
+}
+
+#[test]
+fn golden_file_is_valid_json_with_expected_tracks() {
+    let (bufs, host) = fixture();
+    let got = chrome_trace_string(&bufs, Some(&host));
+    let v: serde_json::Value = serde_json::from_str(&got).expect("exporter emits valid JSON");
+    let events =
+        v.get("traceEvents").and_then(serde_json::Value::as_array).expect("traceEvents array");
+    // 2 DPU tracks + 1 host track.
+    let mut pids: Vec<u64> =
+        events.iter().filter_map(|e| e.get("pid").and_then(serde_json::Value::as_u64)).collect();
+    pids.sort_unstable();
+    pids.dedup();
+    assert_eq!(pids, vec![0, 1, 2]);
+}

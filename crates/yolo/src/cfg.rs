@@ -123,11 +123,8 @@ pub fn parse_cfg(name: &str, text: &str) -> Result<NetworkConfig, CfgError> {
                 let size = s.get_usize("size", 1)?;
                 let stride = s.get_usize("stride", 1)?;
                 // Darknet: pad=1 means "use size/2 padding".
-                let pad = if s.get_usize("pad", 0)? == 1 {
-                    size / 2
-                } else {
-                    s.get_usize("padding", 0)?
-                };
+                let pad =
+                    if s.get_usize("pad", 0)? == 1 { size / 2 } else { s.get_usize("padding", 0)? };
                 let activation = match s.get("activation").unwrap_or("linear") {
                     "leaky" => Activation::Leaky,
                     "linear" => Activation::Linear,
@@ -183,8 +180,7 @@ pub fn parse_cfg(name: &str, text: &str) -> Result<NetworkConfig, CfgError> {
                     .map(|t| t.trim().parse::<f32>())
                     .collect::<Result<_, _>>()
                     .map_err(|_| CfgError { line: s.line, msg: "bad anchors".into() })?;
-                let all: Vec<(f32, f32)> =
-                    nums.chunks_exact(2).map(|c| (c[0], c[1])).collect();
+                let all: Vec<(f32, f32)> = nums.chunks_exact(2).map(|c| (c[0], c[1])).collect();
                 let anchors = match s.get("mask") {
                     None => all,
                     Some(mask) => mask
@@ -211,7 +207,11 @@ pub fn parse_cfg(name: &str, text: &str) -> Result<NetworkConfig, CfgError> {
             }
         }
     }
-    Ok(NetworkConfig { name: name.to_owned(), input: Shape { c: channels, h: height, w: width }, layers })
+    Ok(NetworkConfig {
+        name: name.to_owned(),
+        input: Shape { c: channels, h: height, w: width },
+        layers,
+    })
 }
 
 /// Emit a [`NetworkConfig`] as Darknet `.cfg` text (relative indices for
@@ -250,10 +250,7 @@ pub fn to_cfg(net: &NetworkConfig) -> String {
                 let _ = writeln!(s, "[route]\nlayers={}\n", list.join(","));
             }
             LayerSpec::MaxPool { size, stride, pad } => {
-                let _ = writeln!(
-                    s,
-                    "[maxpool]\nsize={size}\nstride={stride}\npadding={pad}\n"
-                );
+                let _ = writeln!(s, "[maxpool]\nsize={size}\nstride={stride}\npadding={pad}\n");
             }
             LayerSpec::Upsample => {
                 let _ = writeln!(s, "[upsample]\nstride=2\n");
@@ -348,11 +345,7 @@ mod tests {
         assert!(parse_cfg("x", "filters=3\n").unwrap_err().msg.contains("before any"));
         let e = parse_cfg("x", "[net]\nwidth=416\nheight=416\n[bogus]\n").unwrap_err();
         assert_eq!(e.line, 4);
-        let e2 = parse_cfg(
-            "x",
-            "[net]\nwidth=32\nheight=32\n[shortcut]\nfrom=-5\n",
-        )
-        .unwrap_err();
+        let e2 = parse_cfg("x", "[net]\nwidth=32\nheight=32\n[shortcut]\nfrom=-5\n").unwrap_err();
         assert!(e2.msg.contains("resolves outside"));
         let e3 = parse_cfg("x", "[net]\nwidth=32\nheight=64\n").unwrap_err();
         assert!(e3.msg.contains("square"));

@@ -20,6 +20,7 @@ use crate::gemm::GemmDims;
 use dpu_sim::asm::assemble;
 use dpu_sim::{DpuId, Program};
 use pim_host::{DpuSet, HostError, LaunchResult};
+use pim_trace::TraceBuffer;
 
 /// MRAM symbol offsets (sequential `define_symbol` order).
 pub mod mram {
@@ -210,6 +211,48 @@ pub fn run_tier1_layer(
     b: &[i16],
     tasklets: usize,
 ) -> Result<(Vec<i16>, LaunchResult), HostError> {
+    tier1_layer_impl(dims, alpha, a, b, tasklets, false).map(|t| (t.c, t.launch))
+}
+
+/// A Tier-1 GEMM layer run with full tracing enabled.
+#[derive(Debug)]
+pub struct TracedLayer {
+    /// The `M×N` output matrix, row-major.
+    pub c: Vec<i16>,
+    /// The launch result (identical to an untraced run).
+    pub launch: LaunchResult,
+    /// One cycle-stamped simulator trace per DPU (= per `A` row).
+    pub dpu_traces: Vec<TraceBuffer>,
+    /// Host↔MRAM transfers: `B` broadcast, `A`-row scatter, `C`-row gather.
+    pub host_trace: TraceBuffer,
+}
+
+/// [`run_tier1_layer`] with tracing: per-DPU simulator traces plus the
+/// host-transfer log of the Fig. 4.6 orchestration.
+///
+/// # Errors
+/// Host-runtime failures.
+///
+/// # Panics
+/// See [`run_tier1_layer`].
+pub fn run_tier1_layer_traced(
+    dims: GemmDims,
+    alpha: i32,
+    a: &[i16],
+    b: &[i16],
+    tasklets: usize,
+) -> Result<TracedLayer, HostError> {
+    tier1_layer_impl(dims, alpha, a, b, tasklets, true)
+}
+
+fn tier1_layer_impl(
+    dims: GemmDims,
+    alpha: i32,
+    a: &[i16],
+    b: &[i16],
+    tasklets: usize,
+    trace: bool,
+) -> Result<TracedLayer, HostError> {
     assert_eq!(a.len(), dims.m * dims.k, "A shape mismatch");
     assert_eq!(b.len(), dims.k * dims.n, "B shape mismatch");
     assert!((1..=24).contains(&tasklets), "tasklets must be 1..=24");
@@ -218,6 +261,9 @@ pub fn run_tier1_layer(
     let c_cap = (dims.n * 2).div_ceil(8) * 8;
 
     let mut set = DpuSet::allocate(dims.m)?;
+    if trace {
+        set.enable_host_tracing();
+    }
     set.define_symbol("params", 16)?;
     set.define_symbol("a_row", a_cap)?;
     set.define_symbol("b", b_cap)?;
@@ -236,14 +282,19 @@ pub fn run_tier1_layer(
     batch.push(&mut set, "a_row", 0, a_cap)?;
 
     set.load(&gemm_row_program(dims))?;
-    let result = set.launch_loaded(tasklets)?;
+    let (launch, dpu_traces) = if trace {
+        set.launch_loaded_traced(tasklets)?
+    } else {
+        (set.launch_loaded(tasklets)?, Vec::new())
+    };
 
     let mut c = vec![0i16; dims.m * dims.n];
     for i in 0..dims.m {
         let row: Vec<i16> = set.copy_values_from_dpu(DpuId(i as u32), "c_row", 0, dims.n)?;
         c[i * dims.n..(i + 1) * dims.n].copy_from_slice(&row);
     }
-    Ok((c, result))
+    let host_trace = set.take_host_trace().unwrap_or_default();
+    Ok(TracedLayer { c, launch, dpu_traces, host_trace })
 }
 
 #[cfg(test)]
@@ -300,5 +351,31 @@ mod tests {
         // The head layers (13x13) are the ones small enough for Tier-1 runs.
         let p = gemm_row_program(GemmDims { m: 1, n: 169, k: 1024 });
         assert!(p.iram_bytes() <= dpu_sim::params::IRAM_BYTES);
+    }
+}
+
+#[cfg(test)]
+mod traced_tests {
+    use super::*;
+    use pim_trace::TraceEvent;
+
+    #[test]
+    fn traced_layer_is_identical_and_records_per_dpu_traces() {
+        let dims = GemmDims { m: 2, k: 4, n: 3 };
+        let a: Vec<i16> = (0..8).map(|v| v - 3).collect();
+        let b: Vec<i16> = (0..12).map(|v| 2 - v).collect();
+        let (c, launch) = run_tier1_layer(dims, 1, &a, &b, 2).unwrap();
+        let traced = run_tier1_layer_traced(dims, 1, &a, &b, 2).unwrap();
+        assert_eq!(traced.c, c);
+        assert_eq!(traced.launch, launch);
+        assert_eq!(traced.dpu_traces.len(), dims.m);
+        for (d, buf) in traced.dpu_traces.iter().enumerate() {
+            assert_eq!(buf.max_end_cycle(), launch.per_dpu[d].cycles, "DPU {d}");
+            assert!(
+                buf.count_matching(|e| matches!(e, TraceEvent::DmaTransfer { .. })) > 0,
+                "DPU {d}"
+            );
+        }
+        assert!(!traced.host_trace.is_empty());
     }
 }

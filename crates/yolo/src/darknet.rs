@@ -114,9 +114,7 @@ pub fn darknet53_yolov3_scaled(width_div: usize, input: usize) -> NetworkConfig 
     l.push(LayerSpec::conv(w(512), 1, 1)); // 79
     l.push(LayerSpec::conv(w(1024), 3, 1)); // 80
     l.push(LayerSpec::conv_linear(w(255), 1, 1)); // 81
-    l.push(LayerSpec::Yolo {
-        anchors: vec![(116.0, 90.0), (156.0, 198.0), (373.0, 326.0)],
-    }); // 82
+    l.push(LayerSpec::Yolo { anchors: vec![(116.0, 90.0), (156.0, 198.0), (373.0, 326.0)] }); // 82
 
     // Head, scale 2 (26×26).
     l.push(LayerSpec::Route { layers: vec![79] }); // 83
@@ -130,9 +128,7 @@ pub fn darknet53_yolov3_scaled(width_div: usize, input: usize) -> NetworkConfig 
     l.push(LayerSpec::conv(w(256), 1, 1)); // 91
     l.push(LayerSpec::conv(w(512), 3, 1)); // 92
     l.push(LayerSpec::conv_linear(w(255), 1, 1)); // 93
-    l.push(LayerSpec::Yolo {
-        anchors: vec![(30.0, 61.0), (62.0, 45.0), (59.0, 119.0)],
-    }); // 94
+    l.push(LayerSpec::Yolo { anchors: vec![(30.0, 61.0), (62.0, 45.0), (59.0, 119.0)] }); // 94
 
     // Head, scale 3 (52×52).
     l.push(LayerSpec::Route { layers: vec![91] }); // 95
@@ -146,9 +142,7 @@ pub fn darknet53_yolov3_scaled(width_div: usize, input: usize) -> NetworkConfig 
     l.push(LayerSpec::conv(w(128), 1, 1)); // 103
     l.push(LayerSpec::conv(w(256), 3, 1)); // 104
     l.push(LayerSpec::conv_linear(w(255), 1, 1)); // 105
-    l.push(LayerSpec::Yolo {
-        anchors: vec![(10.0, 13.0), (16.0, 30.0), (33.0, 23.0)],
-    }); // 106
+    l.push(LayerSpec::Yolo { anchors: vec![(10.0, 13.0), (16.0, 30.0), (33.0, 23.0)] }); // 106
 
     let name = if width_div == 1 && input == 416 {
         "yolov3-416".to_owned()
@@ -163,27 +157,23 @@ pub fn darknet53_yolov3_scaled(width_div: usize, input: usize) -> NetworkConfig 
 #[must_use]
 pub fn tiny_config() -> NetworkConfig {
     let layers = vec![
-        LayerSpec::conv(4, 3, 1),                 // 0
-        LayerSpec::conv(8, 3, 2),                 // 1  /2
-        LayerSpec::conv(4, 1, 1),                 // 2
-        LayerSpec::conv(8, 3, 1),                 // 3
-        LayerSpec::Shortcut { from: 1 },          // 4
-        LayerSpec::conv(16, 3, 2),                // 5  /4
-        LayerSpec::conv_linear(18, 1, 1),         // 6  (3 anchors × 6)
+        LayerSpec::conv(4, 3, 1),         // 0
+        LayerSpec::conv(8, 3, 2),         // 1  /2
+        LayerSpec::conv(4, 1, 1),         // 2
+        LayerSpec::conv(8, 3, 1),         // 3
+        LayerSpec::Shortcut { from: 1 },  // 4
+        LayerSpec::conv(16, 3, 2),        // 5  /4
+        LayerSpec::conv_linear(18, 1, 1), // 6  (3 anchors × 6)
         LayerSpec::Yolo { anchors: vec![(8.0, 8.0), (16.0, 16.0), (24.0, 24.0)] }, // 7
-        LayerSpec::Route { layers: vec![5] },     // 8
-        LayerSpec::conv(8, 1, 1),                 // 9
-        LayerSpec::Upsample,                      // 10 /2
+        LayerSpec::Route { layers: vec![5] }, // 8
+        LayerSpec::conv(8, 1, 1),         // 9
+        LayerSpec::Upsample,              // 10 /2
         LayerSpec::Route { layers: vec![10, 4] }, // 11
-        LayerSpec::conv(8, 3, 1),                 // 12
-        LayerSpec::conv_linear(18, 1, 1),         // 13
+        LayerSpec::conv(8, 3, 1),         // 12
+        LayerSpec::conv_linear(18, 1, 1), // 13
         LayerSpec::Yolo { anchors: vec![(4.0, 4.0), (8.0, 8.0), (12.0, 12.0)] }, // 14
     ];
-    NetworkConfig {
-        name: "yolo-tiny-test".to_owned(),
-        input: Shape { c: 3, h: 32, w: 32 },
-        layers,
-    }
+    NetworkConfig { name: "yolo-tiny-test".to_owned(), input: Shape { c: 3, h: 32, w: 32 }, layers }
 }
 
 #[cfg(test)]
@@ -276,14 +266,14 @@ pub fn alexnet_config() -> NetworkConfig {
     };
     let pool = LayerSpec::MaxPool { size: 3, stride: 2, pad: 0 };
     let layers = vec![
-        conv(96, 11, 4, 0),  // 227 -> 55
-        pool.clone(),        // 55 -> 27
-        conv(256, 5, 1, 2),  // 27
-        pool.clone(),        // 27 -> 13
-        conv(384, 3, 1, 1),  // 13
-        conv(384, 3, 1, 1),  // 13
-        conv(256, 3, 1, 1),  // 13
-        pool,                // 13 -> 6
+        conv(96, 11, 4, 0), // 227 -> 55
+        pool.clone(),       // 55 -> 27
+        conv(256, 5, 1, 2), // 27
+        pool.clone(),       // 27 -> 13
+        conv(384, 3, 1, 1), // 13
+        conv(384, 3, 1, 1), // 13
+        conv(256, 3, 1, 1), // 13
+        pool,               // 13 -> 6
         // FC layers as 1x1 convolutions over the flattened activations
         // modelled at 6x6 spatial collapse: fc6 = 4096 filters of 6x6x256.
         LayerSpec::Conv(crate::layers::ConvSpec {
@@ -296,11 +286,7 @@ pub fn alexnet_config() -> NetworkConfig {
         conv(4096, 1, 1, 0),
         conv(1000, 1, 1, 0),
     ];
-    NetworkConfig {
-        name: "alexnet-227".to_owned(),
-        input: Shape { c: 3, h: 227, w: 227 },
-        layers,
-    }
+    NetworkConfig { name: "alexnet-227".to_owned(), input: Shape { c: 3, h: 227, w: 227 }, layers }
 }
 
 #[cfg(test)]
@@ -332,12 +318,7 @@ mod alexnet_tests {
         // fc6's 4096 filters exceed the 2560-DPU system: under the strict
         // one-row-per-DPU mapping AlexNet's FC layers must be split — a
         // real limitation the Fig. 4.6 scheme hits beyond YOLOv3.
-        let max_m = alexnet_config()
-            .conv_layers()
-            .iter()
-            .map(|(_, _, _, d)| d.m)
-            .max()
-            .unwrap();
+        let max_m = alexnet_config().conv_layers().iter().map(|(_, _, _, d)| d.m).max().unwrap();
         assert!(max_m > dpu_sim::params::SYSTEM_DPUS);
     }
 }
@@ -349,29 +330,29 @@ mod alexnet_tests {
 pub fn yolov3_tiny() -> NetworkConfig {
     let pool2 = LayerSpec::MaxPool { size: 2, stride: 2, pad: 0 };
     let layers = vec![
-        LayerSpec::conv(16, 3, 1),  // 0   416
-        pool2.clone(),              // 1   208
-        LayerSpec::conv(32, 3, 1),  // 2
-        pool2.clone(),              // 3   104
-        LayerSpec::conv(64, 3, 1),  // 4
-        pool2.clone(),              // 5   52
-        LayerSpec::conv(128, 3, 1), // 6
-        pool2.clone(),              // 7   26
-        LayerSpec::conv(256, 3, 1), // 8   (route target)
-        pool2.clone(),              // 9   13
-        LayerSpec::conv(512, 3, 1), // 10
+        LayerSpec::conv(16, 3, 1),                         // 0   416
+        pool2.clone(),                                     // 1   208
+        LayerSpec::conv(32, 3, 1),                         // 2
+        pool2.clone(),                                     // 3   104
+        LayerSpec::conv(64, 3, 1),                         // 4
+        pool2.clone(),                                     // 5   52
+        LayerSpec::conv(128, 3, 1),                        // 6
+        pool2.clone(),                                     // 7   26
+        LayerSpec::conv(256, 3, 1),                        // 8   (route target)
+        pool2.clone(),                                     // 9   13
+        LayerSpec::conv(512, 3, 1),                        // 10
         LayerSpec::MaxPool { size: 2, stride: 1, pad: 1 }, // 11  stays 13
-        LayerSpec::conv(1024, 3, 1), // 12
-        LayerSpec::conv(256, 1, 1),  // 13  (route target)
-        LayerSpec::conv(512, 3, 1),  // 14
-        LayerSpec::conv_linear(255, 1, 1), // 15
+        LayerSpec::conv(1024, 3, 1),                       // 12
+        LayerSpec::conv(256, 1, 1),                        // 13  (route target)
+        LayerSpec::conv(512, 3, 1),                        // 14
+        LayerSpec::conv_linear(255, 1, 1),                 // 15
         LayerSpec::Yolo { anchors: vec![(81.0, 82.0), (135.0, 169.0), (344.0, 319.0)] }, // 16
-        LayerSpec::Route { layers: vec![13] }, // 17
-        LayerSpec::conv(128, 1, 1),  // 18
-        LayerSpec::Upsample,         // 19  26
-        LayerSpec::Route { layers: vec![19, 8] }, // 20
-        LayerSpec::conv(256, 3, 1),  // 21
-        LayerSpec::conv_linear(255, 1, 1), // 22
+        LayerSpec::Route { layers: vec![13] },             // 17
+        LayerSpec::conv(128, 1, 1),                        // 18
+        LayerSpec::Upsample,                               // 19  26
+        LayerSpec::Route { layers: vec![19, 8] },          // 20
+        LayerSpec::conv(256, 3, 1),                        // 21
+        LayerSpec::conv_linear(255, 1, 1),                 // 22
         LayerSpec::Yolo { anchors: vec![(10.0, 14.0), (23.0, 27.0), (37.0, 58.0)] }, // 23
     ];
     NetworkConfig {

@@ -31,7 +31,8 @@ impl Detection {
     /// Intersection-over-union with another box.
     #[must_use]
     pub fn iou(&self, other: &Detection) -> f32 {
-        let half = |d: &Detection| (d.x - d.w / 2.0, d.y - d.h / 2.0, d.x + d.w / 2.0, d.y + d.h / 2.0);
+        let half =
+            |d: &Detection| (d.x - d.w / 2.0, d.y - d.h / 2.0, d.x + d.w / 2.0, d.y + d.h / 2.0);
         let (ax0, ay0, ax1, ay1) = half(self);
         let (bx0, by0, bx1, by1) = half(other);
         let iw = (ax1.min(bx1) - ax0.max(bx0)).max(0.0);
@@ -101,13 +102,12 @@ pub fn decode_head(head: &YoloHeadOutput, input_dim: usize, conf_threshold: f32)
 /// Greedy per-class non-maximum suppression.
 #[must_use]
 pub fn nms(mut dets: Vec<Detection>, iou_threshold: f32) -> Vec<Detection> {
-    dets.sort_by(|a, b| b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal));
+    dets.sort_by(|a, b| {
+        b.confidence.partial_cmp(&a.confidence).unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut keep: Vec<Detection> = Vec::new();
     for d in dets {
-        if keep
-            .iter()
-            .all(|k| k.class != d.class || k.iou(&d) < iou_threshold)
-        {
+        if keep.iter().all(|k| k.class != d.class || k.iou(&d) < iou_threshold) {
             keep.push(d);
         }
     }
@@ -180,12 +180,8 @@ mod tests {
         set(5, 1, 0, 10.0, &mut data); // class 0
         set(2, 1, 0, 0.0, &mut data); // tw → exp(0)=1
         set(3, 1, 0, 0.0, &mut data);
-        let head = crate::mapping::YoloHeadOutput {
-            layer: 0,
-            shape,
-            data,
-            anchors: vec![(16.0, 16.0)],
-        };
+        let head =
+            crate::mapping::YoloHeadOutput { layer: 0, shape, data, anchors: vec![(16.0, 16.0)] };
         let dets = decode_head(&head, 32, 0.5);
         assert_eq!(dets.len(), 1);
         let d = dets[0];

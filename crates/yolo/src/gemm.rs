@@ -40,11 +40,7 @@ impl GemmDims {
     /// Bytes of the three matrices at `i16` precision.
     #[must_use]
     pub fn bytes(&self) -> (u64, u64, u64) {
-        (
-            (self.m * self.k * 2) as u64,
-            (self.k * self.n * 2) as u64,
-            (self.m * self.n * 2) as u64,
-        )
+        ((self.m * self.k * 2) as u64, (self.k * self.n * 2) as u64, (self.m * self.n * 2) as u64)
     }
 }
 

@@ -216,7 +216,8 @@ mod tests {
         let input = Shape { c: 3, h: 416, w: 416 };
         let c = ConvSpec { filters: 32, size: 3, stride: 1, pad: 1, activation: Activation::Leaky };
         assert_eq!(c.out_shape(input), Shape { c: 32, h: 416, w: 416 });
-        let down = ConvSpec { filters: 64, size: 3, stride: 2, pad: 1, activation: Activation::Leaky };
+        let down =
+            ConvSpec { filters: 64, size: 3, stride: 2, pad: 1, activation: Activation::Leaky };
         assert_eq!(down.out_shape(c.out_shape(input)), Shape { c: 64, h: 208, w: 208 });
     }
 
@@ -240,10 +241,7 @@ mod tests {
 
     #[test]
     fn route_concatenates_channels() {
-        let shapes = vec![
-            Shape { c: 8, h: 13, w: 13 },
-            Shape { c: 16, h: 13, w: 13 },
-        ];
+        let shapes = vec![Shape { c: 8, h: 13, w: 13 }, Shape { c: 16, h: 13, w: 13 }];
         let r = LayerSpec::Route { layers: vec![0, 1] };
         let out = r.out_shape(shapes[1], &shapes);
         assert_eq!(out, Shape { c: 24, h: 13, w: 13 });
@@ -253,14 +251,8 @@ mod tests {
     fn maxpool_shapes() {
         // AlexNet's 3x3 stride-2 pools: 55 -> 27 -> ... 13 -> 6.
         let p = LayerSpec::MaxPool { size: 3, stride: 2, pad: 0 };
-        assert_eq!(
-            p.out_shape(Shape { c: 96, h: 55, w: 55 }, &[]),
-            Shape { c: 96, h: 27, w: 27 }
-        );
-        assert_eq!(
-            p.out_shape(Shape { c: 256, h: 13, w: 13 }, &[]),
-            Shape { c: 256, h: 6, w: 6 }
-        );
+        assert_eq!(p.out_shape(Shape { c: 96, h: 55, w: 55 }, &[]), Shape { c: 96, h: 27, w: 27 });
+        assert_eq!(p.out_shape(Shape { c: 256, h: 13, w: 13 }, &[]), Shape { c: 256, h: 6, w: 6 });
         // tiny-YOLO's stride-1 pool keeps 13x13 via pad=1 (Darknet rule).
         let p1 = LayerSpec::MaxPool { size: 2, stride: 1, pad: 1 };
         assert_eq!(

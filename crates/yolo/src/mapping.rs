@@ -218,7 +218,10 @@ impl GemmMapping {
     /// ships only its input over the host link, instead of `M × |B|` per
     /// layer.
     #[must_use]
-    pub fn estimate_frame_per_dpu(&self, network: &crate::darknet::NetworkConfig) -> FramePerDpuReport {
+    pub fn estimate_frame_per_dpu(
+        &self,
+        network: &crate::darknet::NetworkConfig,
+    ) -> FramePerDpuReport {
         let layers = network.conv_layers();
         let weights_bytes: u64 = layers.iter().map(|(_, _, _, d)| d.bytes().0).sum();
         // Activations double-buffer: the two largest consecutive tensors.

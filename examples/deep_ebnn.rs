@@ -14,14 +14,16 @@ use ebnn::SynthMnist;
 
 fn main() {
     let dataset = SynthMnist::generate(2); // 20 images
-    let configs: Vec<Vec<usize>> =
-        vec![vec![8], vec![8, 16], vec![8, 16, 32], vec![8, 16, 64, 64]];
+    let configs: Vec<Vec<usize>> = vec![vec![8], vec![8, 16], vec![8, 16, 32], vec![8, 16, 64, 64]];
 
     println!("Deep eBNN depth study (20 images, 16 tasklets/DPU)");
-    println!("{:<20} {:>9} {:>12} {:>10} {:>10} {:>9}",
-        "blocks", "features", "working set", "LUT rows", "DPU ms", "accuracy");
+    println!(
+        "{:<20} {:>9} {:>12} {:>10} {:>10} {:>9}",
+        "blocks", "features", "working set", "LUT rows", "DPU ms", "accuracy"
+    );
     for filters in configs {
-        let model = DeepEbnn::generate(DeepConfig { filters: filters.clone(), ..DeepConfig::default() });
+        let model =
+            DeepEbnn::generate(DeepConfig { filters: filters.clone(), ..DeepConfig::default() });
         let ws = model.working_set_bytes();
         let lut_rows: usize = model.blocks.iter().map(|b| b.lut.len()).sum();
         let report = DeepPipeline::new(model.clone()).infer(&dataset.images).expect("runs");

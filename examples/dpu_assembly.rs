@@ -46,16 +46,21 @@ fn main() {
     for d in 0..2u32 {
         for t in 0..tasklets {
             let v = (100 * (d as usize + 1) + t) as u64;
-            set.copy_to_dpu(DpuId(d), "input", t * 8, &v.to_le_bytes())
-                .expect("seed input");
+            set.copy_to_dpu(DpuId(d), "input", t * 8, &v.to_le_bytes()).expect("seed input");
         }
     }
 
     let result = set.launch(&program, tasklets).expect("launch");
-    println!("Launched {} instructions across 2 DPUs x {} tasklets", result.total_instructions(), tasklets);
-    println!("makespan: {} cycles = {:.2} us @ 350 MHz",
+    println!(
+        "Launched {} instructions across 2 DPUs x {} tasklets",
+        result.total_instructions(),
+        tasklets
+    );
+    println!(
+        "makespan: {} cycles = {:.2} us @ 350 MHz",
         result.makespan_cycles(),
-        result.makespan_seconds(&set.params()) * 1e6);
+        result.makespan_seconds(&set.params()) * 1e6
+    );
 
     for d in 0..2u32 {
         print!("DPU {d} results:");

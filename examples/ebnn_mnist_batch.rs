@@ -24,7 +24,10 @@ fn main() {
 
     // --- Fig. 4.3: subroutine profiles ---
     let f43 = pim_core::experiments::fig_4_3(&model);
-    println!("Fig. 4.3(a) — float BN in the DPU: {} distinct subroutines", f43.float_profile.distinct);
+    println!(
+        "Fig. 4.3(a) — float BN in the DPU: {} distinct subroutines",
+        f43.float_profile.distinct
+    );
     for (sym, occ) in &f43.float_profile.occ {
         println!("    {sym:<14} #occ {occ}");
     }
@@ -47,11 +50,7 @@ fn main() {
 
     // --- Multi-DPU batch ---
     let report = EbnnPipeline::new(model.clone()).infer(images).expect("batch run");
-    let correct = images
-        .iter()
-        .zip(&report.predictions)
-        .filter(|(img, &p)| img.label == p)
-        .count();
+    let correct = images.iter().zip(&report.predictions).filter(|(img, &p)| img.label == p).count();
     println!("\nBatch of {} images over {} DPUs:", images.len(), report.dpus_used);
     println!("    accuracy:       {}/{}", correct, images.len());
     println!("    DPU completion: {:.3} ms", report.dpu_seconds * 1e3);
@@ -65,9 +64,12 @@ fn main() {
         .zip(&t1_features)
         .all(|(img, f)| *f == model.features(&model.binarize(&img.pixels)));
     println!("\nTier-1 generated DPU program (16 images, {} tasklets):", batch16.len());
-    println!("    {} instructions, {} cycles = {:.3} ms",
-        t1.total_instructions(), t1.makespan_cycles(),
-        t1.makespan_seconds(&dpu_sim::DpuParams::default()) * 1e3);
+    println!(
+        "    {} instructions, {} cycles = {:.3} ms",
+        t1.total_instructions(),
+        t1.makespan_cycles(),
+        t1.makespan_seconds(&dpu_sim::DpuParams::default()) * 1e3
+    );
     println!("    features bit-exact vs host reference: {exact}");
 
     // --- CPU comparison (measured on this machine + deterministic model) ---

@@ -16,15 +16,9 @@ fn main() {
     let model = EbnnModel::generate(ModelConfig::default());
 
     println!("{}", pim_bench_render(&ablations::improvements(&model)));
-    println!(
-        "{}",
-        render_mapping(&ablations::mapping_comparison(&[1, 2, 4, 8]))
-    );
+    println!("{}", render_mapping(&ablations::mapping_comparison(&[1, 2, 4, 8])));
     println!("{}", render_sweep(&ablations::size_sweep(&[96, 160, 224, 320, 416])));
-    println!(
-        "{}",
-        render_limits(&ablations::ebnn_image_size_limits(&[28, 32, 56, 64, 112, 224]))
-    );
+    println!("{}", render_limits(&ablations::ebnn_image_size_limits(&[28, 32, 56, 64, 112, 224])));
     println!("Reading the tables:");
     println!("- the 600 MHz clock helps compute but not the host link, so YOLO's");
     println!("  frame time barely moves: the mapping, not the silicon, is the wall;");

@@ -30,15 +30,14 @@ fn main() {
         let mark = if pred == digit.label { "ok " } else { "MISS" };
         println!("  digit {} -> predicted {} [{}]", digit.label, pred, mark);
     }
-    let correct = digits
-        .iter()
-        .zip(&report.predictions)
-        .filter(|(d, &p)| d.label == p)
-        .count();
+    let correct = digits.iter().zip(&report.predictions).filter(|(d, &p)| d.label == p).count();
     println!("\naccuracy: {}/{}", correct, digits.len());
     println!("DPUs used: {}", report.dpus_used);
-    println!("DPU completion: {:.3} ms ({} cycles @ 350 MHz)",
-        report.dpu_seconds * 1e3, report.makespan_cycles);
+    println!(
+        "DPU completion: {:.3} ms ({} cycles @ 350 MHz)",
+        report.dpu_seconds * 1e3,
+        report.makespan_cycles
+    );
     println!("host softmax:   {:.3} ms", report.host_seconds * 1e3);
     println!("throughput:     {:.0} frames/s of DPU time", report.frames_per_second());
 }

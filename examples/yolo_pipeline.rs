@@ -12,17 +12,14 @@
 //! and NMS-filters the heads, then prints the latency estimate for the full
 //! 416×416 network against the paper's 65 s/frame.
 
-use yolo_pim::{
-    darknet53_yolov3, decode_and_nms, tiny_config, LayerSpec, YoloPipeline,
-};
+use yolo_pim::{darknet53_yolov3, decode_and_nms, tiny_config, LayerSpec, YoloPipeline};
 
 fn main() {
     // --- Functional run: tiny topology, real data through MRAM ---
     let net = tiny_config();
     let input_dim = net.input.h;
-    let input: Vec<f32> = (0..net.input.len())
-        .map(|i| (((i * 2654435761) % 255) as f32 / 127.5) - 1.0)
-        .collect();
+    let input: Vec<f32> =
+        (0..net.input.len()).map(|i| (((i * 2654435761) % 255) as f32 / 127.5) - 1.0).collect();
     let pipe = YoloPipeline::new(net);
     let (heads, report) = pipe.run(&input).expect("pipeline runs");
 
@@ -61,23 +58,33 @@ fn main() {
     let dims = GemmDims { m: 4, n: 64, k: 36 };
     let a: Vec<i16> = (0..dims.m * dims.k).map(|i| ((i * 13) % 41) as i16 - 20).collect();
     let b: Vec<i16> = (0..dims.k * dims.n).map(|i| ((i * 7) % 61) as i16 - 30).collect();
-    let (c_t1, launch) = yolo_pim::codegen::run_tier1_layer(dims, 1, &a, &b, 11)
-        .expect("tier-1 layer");
+    let (c_t1, launch) =
+        yolo_pim::codegen::run_tier1_layer(dims, 1, &a, &b, 11).expect("tier-1 layer");
     let mut c_host = vec![0i16; dims.m * dims.n];
     yolo_pim::gemm(dims, 1, &a, &b, &mut c_host);
     println!("\nTier-1 GEMM layer (M={} DPUs, 11 tasklets):", dims.m);
-    println!("    {} instructions, makespan {} cycles", launch.total_instructions(), launch.makespan_cycles());
+    println!(
+        "    {} instructions, makespan {} cycles",
+        launch.total_instructions(),
+        launch.makespan_cycles()
+    );
     println!("    C matches host GEMM: {}", c_t1 == c_host);
-    println!("    B-element DMAs per DPU: {} (the §4.3.3 MRAM-bound pattern)",
-        launch.per_dpu[0].dma_transfers);
+    println!(
+        "    B-element DMAs per DPU: {} (the §4.3.3 MRAM-bound pattern)",
+        launch.per_dpu[0].dma_transfers
+    );
 
     // --- Full-size estimate: the paper's 416×416 frame (or a user .cfg) ---
     let network = match std::env::args().nth(1) {
         Some(path) => {
             let text = std::fs::read_to_string(&path).expect("readable cfg file");
             let net = yolo_pim::parse_cfg(&path, &text).expect("valid Darknet cfg");
-            println!("\nLoaded {}: {} layers, {:.2e} MACs", path, net.layers.len(),
-                net.total_macs() as f64);
+            println!(
+                "\nLoaded {}: {} layers, {:.2e} MACs",
+                path,
+                net.layers.len(),
+                net.total_macs() as f64
+            );
             net
         }
         None => darknet53_yolov3(),
@@ -88,7 +95,10 @@ fn main() {
     println!("    mean layer:     {:.2} s   (paper: ~0.9 s)", full.mean_layer_seconds());
     println!("    max layer:      {:.2} s   (paper: ~6 s)", full.max_layer_seconds());
     println!("    DPU compute:    {:.1} s", full.dpu_seconds());
-    println!("    host transfers: {:.1} s  <- every DPU receives the whole B matrix", full.host_transfer_seconds());
+    println!(
+        "    host transfers: {:.1} s  <- every DPU receives the whole B matrix",
+        full.host_transfer_seconds()
+    );
     let bound = full.layers.iter().filter(|l| l.memory_bound).count();
     println!("    MRAM-bound layers: {}/{} (the §4.3.3 takeaway)", bound, full.layers.len());
 }

@@ -206,10 +206,7 @@ fn imbalanced_tasklets_bound_by_slowest() {
     let sim = m.run(&program, 8).expect("runs");
 
     let model = CycleModel::new(DpuParams::default(), OptLevel::O3);
-    let mut counts = vec![
-        OpCounts { alu: 4 + 100 + 1, loops: 100, ..OpCounts::default() };
-        8
-    ];
+    let mut counts = vec![OpCounts { alu: 4 + 100 + 1, loops: 100, ..OpCounts::default() }; 8];
     counts[0] = OpCounts { alu: 4 + 1000 + 1, loops: 1000, ..OpCounts::default() };
     let est = model.estimate(&counts);
     let err = (sim.cycles as f64 - est.cycles as f64).abs() / sim.cycles as f64;

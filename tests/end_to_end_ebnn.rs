@@ -42,12 +42,8 @@ fn accuracy_beats_chance_comfortably() {
     let m = model();
     let ds = SynthMnist::generate(10); // 100 jittered digits
     let report = EbnnPipeline::new(m).infer(&ds.images).expect("inference");
-    let correct = ds
-        .images
-        .iter()
-        .zip(&report.predictions)
-        .filter(|(img, &p)| img.label == p)
-        .count();
+    let correct =
+        ds.images.iter().zip(&report.predictions).filter(|(img, &p)| img.label == p).count();
     assert!(
         correct * 100 / ds.len() >= 50,
         "prototype classifier should beat 50%: {correct}/{}",

@@ -39,9 +39,7 @@ fn table_3_1_all_rows_within_2_percent() {
 fn table_3_1_ratios_match_paper_statements() {
     // §3.3.1's comparative statements.
     let rows = exp::table_3_1();
-    let get = |label: &str| {
-        rows.iter().find(|r| r.op == label).unwrap().measured_cycles as f64
-    };
+    let get = |label: &str| rows.iter().find(|r| r.op == label).unwrap().measured_cycles as f64;
     // "32-bit fixed multiplication is about x2.9 slower than addition".
     assert!(close(get("32-bit mul") / get("fixed add"), 2.9, 0.05));
     // "32-bit float addition is about x3.3 slower than fixed addition".

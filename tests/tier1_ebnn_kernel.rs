@@ -80,9 +80,7 @@ fn load_inputs(m: &mut Machine, img: &BinaryImage, filter: &BinaryFilter) {
         m.wram.write_u32(IMG_BASE as usize + 4 * r, word).expect("image row");
     }
     for (r, &row) in filter.rows.iter().enumerate() {
-        m.wram
-            .write_u32(FILTER_BASE as usize + 4 * r, u32::from(row))
-            .expect("filter row");
+        m.wram.write_u32(FILTER_BASE as usize + 4 * r, u32::from(row)).expect("filter row");
     }
 }
 
@@ -107,8 +105,7 @@ fn assembly_conv_matches_rust_kernel_bitwise() {
         m.run(&program, 1).expect("kernel runs");
         for row in 0..IMAGE_DIM {
             for col in 0..IMAGE_DIM {
-                let got =
-                    m.wram.read_u8(OUT_BASE as usize + row * IMAGE_DIM + col).unwrap() as i8;
+                let got = m.wram.read_u8(OUT_BASE as usize + row * IMAGE_DIM + col).unwrap() as i8;
                 let want = conv3x3_packed(&img, &filter, row, col);
                 assert_eq!(got, want, "seed {seed} pixel ({row},{col})");
             }
@@ -184,11 +181,7 @@ fn generated_full_program_matches_model_and_tier2_costs() {
 
     let (features, tier1) = ebnn::codegen::run_tier1_batch(&model, &imgs).unwrap();
     for (i, img) in imgs.iter().enumerate() {
-        assert_eq!(
-            features[i],
-            model.features(&model.binarize(&img.pixels)),
-            "image {i}"
-        );
+        assert_eq!(features[i], model.features(&model.binarize(&img.pixels)), "image {i}");
     }
 
     let t1 = tier1.makespan_cycles();

@@ -112,8 +112,7 @@ fn full_stack_conv_through_host_runtime() {
         })
         .collect();
     for (d, img) in images.iter().enumerate() {
-        set.copy_to_dpu(DpuId(d as u32), "image", 0, &img.to_bytes())
-            .expect("image xfer");
+        set.copy_to_dpu(DpuId(d as u32), "image", 0, &img.to_bytes()).expect("image xfer");
     }
 
     let result = set.launch(&full_stack_program(), 1).expect("launch");
@@ -125,8 +124,7 @@ fn full_stack_conv_through_host_runtime() {
 
     for (d, img) in images.iter().enumerate() {
         let mut out = vec![0u8; 784];
-        set.copy_from_dpu(DpuId(d as u32), "result", 0, &mut out)
-            .expect("gather");
+        set.copy_from_dpu(DpuId(d as u32), "result", 0, &mut out).expect("gather");
         for row in 0..IMAGE_DIM {
             for col in 0..IMAGE_DIM {
                 let got = out[row * IMAGE_DIM + col] as i8;

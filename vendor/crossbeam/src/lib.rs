@@ -1,0 +1,61 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only `crossbeam::thread::scope` is used in this workspace; since Rust
+//! 1.63 the standard library's `std::thread::scope` provides the same
+//! borrow-friendly scoped spawning, so this shim simply adapts the
+//! crossbeam calling convention (spawn closures receive the scope, and
+//! `scope` returns a `Result`) onto std.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads (`crossbeam::thread`).
+pub mod thread {
+    /// Handle passed to `scope` closures; `spawn` mirrors crossbeam's
+    /// signature where the spawned closure receives the scope again.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread. The result is intentionally discarded:
+        /// panics propagate when the scope joins, as with crossbeam.
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            });
+        }
+    }
+
+    /// Run `f` with a thread scope; all spawned threads join before this
+    /// returns. Errors never occur in this shim (panics propagate instead),
+    /// so the `Result` exists purely for crossbeam signature compatibility.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_spawn_borrows_and_joins() {
+        let mut slots = vec![0u32; 8];
+        super::thread::scope(|s| {
+            for (i, slot) in slots.iter_mut().enumerate() {
+                s.spawn(move |_| {
+                    *slot = i as u32 + 1;
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(slots, (1..=8).collect::<Vec<u32>>());
+    }
+}

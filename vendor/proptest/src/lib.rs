@@ -1,0 +1,168 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Runs each property over `ProptestConfig::cases` deterministic random
+//! inputs (seeded from the test's name, so failures reproduce across runs)
+//! and panics on the first counterexample. Shrinking is intentionally
+//! omitted — the workspace's properties are cheap enough to debug from the
+//! raw failing case, and shrinking is the bulk of real proptest's
+//! complexity. Supported surface: range/tuple/`Just`/`any` strategies,
+//! `prop_map`, `prop_oneof!`, `collection::vec`, `proptest!` with an
+//! optional `proptest_config`, and `prop_assert!`/`prop_assert_eq!`.
+
+#![forbid(unsafe_code)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Everything a property test module needs, mirroring
+/// `proptest::prelude::*`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+
+    /// Alias module mirroring `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Define property tests.
+///
+/// ```text
+/// use proptest::prelude::*;
+/// proptest! {
+///     #[test]
+///     fn add_commutes(a in 0u32..1000, b in 0u32..1000) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut __rng =
+                    $crate::test_runner::deterministic_rng(stringify!($name));
+                for __case in 0..__config.cases {
+                    $(
+                        let $arg = $crate::strategy::Strategy::generate(
+                            &($strat), &mut __rng);
+                    )+
+                    // The body runs in a Result-returning closure so
+                    // `return Ok(())` works for early case discards, as
+                    // in real proptest.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __outcome: ::std::result::Result<(), ::std::string::String> =
+                        (|| {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        })();
+                    if let Err(__msg) = __outcome {
+                        panic!("proptest case failed: {__msg}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert within a property body (maps to `assert!`; real proptest's
+/// early-return-error form is unnecessary without shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assert within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Uniformly choose among several strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $( ::std::boxed::Box::new($arm)
+               as ::std::boxed::Box<dyn $crate::strategy::Strategy<Value = _>> ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 5u64..50, y in -4i32..=4, f in 0.5f32..2.0) {
+            prop_assert!((5..50).contains(&x));
+            prop_assert!((-4..=4).contains(&y));
+            prop_assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(17))]
+        #[test]
+        fn vec_respects_size_range(v in crate::collection::vec(any::<u8>(), 3..9)) {
+            prop_assert!((3..9).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![Just(0u32), (1u32..10).prop_map(|x| x * 100),];
+        let mut rng = crate::test_runner::deterministic_rng("oneof");
+        let mut saw_just = false;
+        let mut saw_mapped = false;
+        for _ in 0..100 {
+            let v: u32 = Strategy::generate(&strat, &mut rng);
+            if v == 0 {
+                saw_just = true;
+            } else {
+                assert_eq!(v % 100, 0);
+                saw_mapped = true;
+            }
+        }
+        assert!(saw_just && saw_mapped);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::test_runner::deterministic_rng("same-name");
+        let mut b = crate::test_runner::deterministic_rng("same-name");
+        let s = 0u64..1_000_000;
+        for _ in 0..50 {
+            assert_eq!(Strategy::generate(&s, &mut a), Strategy::generate(&s, &mut b));
+        }
+    }
+}

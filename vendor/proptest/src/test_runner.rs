@@ -1,0 +1,42 @@
+//! Test-execution configuration and deterministic seeding.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The generator threaded through strategies.
+pub type TestRng = StdRng;
+
+/// How a `proptest!` block runs (only the case count is configurable).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` random cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest's default; properties in this workspace that need
+        // fewer cases override via `ProptestConfig::with_cases`.
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// RNG seeded from the test's name (FNV-1a), so every run of a given
+/// property sees the same case sequence and failures reproduce exactly.
+#[must_use]
+pub fn deterministic_rng(test_name: &str) -> TestRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}

@@ -1,0 +1,396 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no crates.io access, so the real serde cannot
+//! be fetched. This shim keeps the workspace's `#[derive(Serialize,
+//! Deserialize)]` / `serde_json` surface working with a much simpler
+//! architecture: instead of serde's visitor machinery, both traits convert
+//! through an owned JSON-like [`Value`] tree. The derive macros (from the
+//! sibling `serde_derive` stub) generate externally-tagged representations
+//! compatible with what `serde_json` would emit for the same types.
+
+#![forbid(unsafe_code)]
+
+mod value;
+
+pub use serde_derive::{Deserialize, Serialize};
+pub use value::{DeError, Number, Value};
+
+/// Types convertible into a [`Value`] tree (the stand-in for
+/// `serde::Serialize`).
+pub trait Serialize {
+    /// The value-tree form of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from a [`Value`] tree (the stand-in for
+/// `serde::Deserialize`).
+pub trait Deserialize: Sized {
+    /// Rebuild `Self` from a value tree.
+    ///
+    /// # Errors
+    /// [`DeError`] describing the first mismatch encountered.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// `serde::ser` compatibility alias module.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// `serde::de` compatibility alias module.
+pub mod de {
+    pub use crate::{DeError, Deserialize};
+}
+
+// ---------------------------------------------------------------------------
+// Serialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Number(Number::U64(*self as u64)) }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            // Non-negative signed values normalize to the unsigned form,
+            // like real serde_json, so Number equality is structural.
+            fn to_value(&self) -> Value {
+                let v = *self as i64;
+                Value::Number(if v >= 0 {
+                    Number::U64(v as u64)
+                } else {
+                    Number::I64(v)
+                })
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(f64::from(*self)))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Number(Number::F64(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(v) => v.to_value(),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+ser_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Map keys must render as strings in the JSON model.
+pub trait SerializeKey {
+    /// String form of the key.
+    fn key_string(&self) -> String;
+}
+
+impl SerializeKey for String {
+    fn key_string(&self) -> String {
+        self.clone()
+    }
+}
+
+impl SerializeKey for str {
+    fn key_string(&self) -> String {
+        self.to_owned()
+    }
+}
+
+impl<K: SerializeKey + ?Sized> SerializeKey for &K {
+    fn key_string(&self) -> String {
+        (**self).key_string()
+    }
+}
+
+macro_rules! key_via_display {
+    ($($t:ty),*) => {$(
+        impl SerializeKey for $t {
+            fn key_string(&self) -> String { self.to_string() }
+        }
+    )*};
+}
+key_via_display!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, char);
+
+impl<K: SerializeKey, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(self.iter().map(|(k, v)| (k.key_string(), v.to_value())).collect())
+    }
+}
+
+impl<K: SerializeKey, V: Serialize> Serialize for std::collections::HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            self.iter().map(|(k, v)| (k.key_string(), v.to_value())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls
+// ---------------------------------------------------------------------------
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let n = v.as_number().ok_or_else(|| DeError::expected("number", v))?;
+                let wide = n.as_i128();
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::new(format!("{wide} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+de_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_number().map(Number::as_f64).ok_or_else(|| DeError::expected("number", v))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::expected("array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(DeError::expected(
+                        concat!("array of length ", $len), other)),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1; 0 A)
+    (2; 0 A, 1 B)
+    (3; 0 A, 1 B, 2 C)
+    (4; 0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => {
+                entries.iter().map(|(k, val)| Ok((k.clone(), V::from_value(val)?))).collect()
+            }
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+// Real serde borrows `&str` from the deserializer input; this stub's
+// `Value` tree owns its strings, so `&'static str` fields (used in the
+// workspace's constant layer tables) are satisfied by leaking. These
+// tables are tiny and deserialized at most a handful of times per
+// process, so the leak is bounded and acceptable.
+impl Deserialize for &'static str {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::String(s) => Ok(Box::leak(s.clone().into_boxed_str())),
+            other => Err(DeError::expected("string", other)),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let vec: Vec<T> = Deserialize::from_value(v)?;
+        let len = vec.len();
+        vec.try_into()
+            .map_err(|_| DeError::new(format!("expected array of {N} elements, got {len}")))
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => {
+                entries.iter().map(|(k, val)| Ok((k.clone(), V::from_value(val)?))).collect()
+            }
+            other => Err(DeError::expected("object", other)),
+        }
+    }
+}
+
+/// Helpers used by the generated derive code; not public API.
+#[doc(hidden)]
+pub mod __private {
+    use super::{DeError, Deserialize, Value};
+
+    /// Fetch and deserialize a required struct field.
+    ///
+    /// # Errors
+    /// Missing field or inner mismatch.
+    pub fn field<T: Deserialize>(v: &Value, strukt: &str, name: &str) -> Result<T, DeError> {
+        match v.get(name) {
+            Some(inner) => {
+                T::from_value(inner).map_err(|e| DeError::new(format!("{strukt}.{name}: {e}")))
+            }
+            None => {
+                // Tolerate absent Option fields (serde's `default` would).
+                T::from_value(&Value::Null)
+                    .map_err(|_| DeError::new(format!("{strukt}: missing field `{name}`")))
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The JSON-like value tree both stub traits convert through.
+
+use std::fmt;
+
+/// A JSON number preserving integer fidelity (cycle counts are `u64` and
+/// exceed `f64`'s 53-bit integer range in long simulations).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative (or any signed) integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+}
+
+impl Number {
+    /// Widest signed integer view (lossy for `F64`: truncates).
+    #[must_use]
+    pub fn as_i128(self) -> i128 {
+        match self {
+            Number::U64(u) => i128::from(u),
+            Number::I64(i) => i128::from(i),
+            Number::F64(f) => f as i128,
+        }
+    }
+
+    /// Float view.
+    #[must_use]
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Number::U64(u) => u as f64,
+            Number::I64(i) => i as f64,
+            Number::F64(f) => f,
+        }
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Number::U64(u) => write!(f, "{u}"),
+            Number::I64(i) => write!(f, "{i}"),
+            Number::F64(x) => {
+                if x.is_finite() {
+                    // Emit a decimal point for round floats so the value
+                    // re-parses as a float (serde_json does the same).
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        write!(f, "{x:.1}")
+                    } else {
+                        write!(f, "{x}")
+                    }
+                } else {
+                    // JSON has no NaN/inf; null is serde_json's behavior.
+                    write!(f, "null")
+                }
+            }
+        }
+    }
+}
+
+/// An owned JSON value. Objects preserve insertion order (readability of
+/// exported traces beats key sorting).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, insertion-ordered.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` elsewhere.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Number view.
+    #[must_use]
+    pub fn as_number(&self) -> Option<Number> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `u64` view of a number.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.as_number() {
+            Some(Number::U64(u)) => Some(u),
+            Some(Number::I64(i)) => u64::try_from(i).ok(),
+            Some(Number::F64(f)) if f >= 0.0 && f.fract() == 0.0 => Some(f as u64),
+            _ => None,
+        }
+    }
+
+    /// `i64` view of a number.
+    #[must_use]
+    pub fn as_i64(&self) -> Option<i64> {
+        self.as_number().and_then(|n| i64::try_from(n.as_i128()).ok())
+    }
+
+    /// `f64` view of a number.
+    #[must_use]
+    pub fn as_f64(&self) -> Option<f64> {
+        self.as_number().map(Number::as_f64)
+    }
+
+    /// Array view.
+    #[must_use]
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Object view (slice of insertion-ordered entries).
+    #[must_use]
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// One-word description of the variant, for error messages.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error (stand-in for `serde::de::Error` implementors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// An error with the given message.
+    #[must_use]
+    pub fn new(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// "expected X, found Y" error.
+    #[must_use]
+    pub fn expected(what: &str, found: &Value) -> Self {
+        DeError(format!("expected {what}, found {}", found.kind()))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}

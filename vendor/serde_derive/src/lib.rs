@@ -1,0 +1,434 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` without
+//! `syn`/`quote` (neither is available offline) by walking the raw
+//! `proc_macro::TokenStream`. Supported shapes — which cover every derived
+//! type in this workspace — are non-generic structs (named, tuple, unit)
+//! and enums whose variants are unit, newtype, tuple, or struct-like.
+//! The generated representation is externally tagged, matching what real
+//! serde + serde_json produce for the same types.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derive the value-tree `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derive the value-tree `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(ts: TokenStream) -> Self {
+        Cursor { tokens: ts.into_iter().collect(), pos: 0 }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// Skip any number of `#[...]` attributes.
+    fn skip_attrs(&mut self) {
+        while let Some(TokenTree::Punct(p)) = self.peek() {
+            if p.as_char() != '#' {
+                break;
+            }
+            self.pos += 1; // '#'
+            match self.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    self.pos += 1;
+                }
+                other => panic!("expected [...] after # in attribute, got {other:?}"),
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(...)`, `crate`.
+    fn skip_vis(&mut self) {
+        if let Some(TokenTree::Ident(i)) = self.peek() {
+            if i.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self) -> String {
+        match self.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            other => panic!("expected identifier, got {other:?}"),
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut c = Cursor::new(input);
+    c.skip_attrs();
+    c.skip_vis();
+    let kw = c.expect_ident();
+    let name = c.expect_ident();
+    if matches!(c.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stub derive: generic type `{name}` is not supported");
+    }
+    match kw.as_str() {
+        "struct" => {
+            let fields = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => panic!("unexpected struct body {other:?}"),
+            };
+            Item::Struct { name, fields }
+        }
+        "enum" => {
+            let body = match c.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("unexpected enum body {other:?}"),
+            };
+            Item::Enum { name, variants: parse_variants(body) }
+        }
+        other => panic!("serde stub derive supports struct/enum only, got `{other}`"),
+    }
+}
+
+/// Field names of a `{ ... }` field list.
+fn parse_named_fields(ts: TokenStream) -> Vec<String> {
+    let mut c = Cursor::new(ts);
+    let mut names = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_vis();
+        names.push(c.expect_ident());
+        match c.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field name, got {other:?}"),
+        }
+        skip_type_until_comma(&mut c);
+    }
+    names
+}
+
+/// Number of fields in a `( ... )` tuple field list.
+fn count_tuple_fields(ts: TokenStream) -> usize {
+    let mut c = Cursor::new(ts);
+    let mut count = 0;
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        c.skip_vis();
+        count += 1;
+        skip_type_until_comma(&mut c);
+    }
+    count
+}
+
+fn parse_variants(ts: TokenStream) -> Vec<Variant> {
+    let mut c = Cursor::new(ts);
+    let mut variants = Vec::new();
+    loop {
+        c.skip_attrs();
+        if c.peek().is_none() {
+            break;
+        }
+        let name = c.expect_ident();
+        let fields = match c.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let f = Fields::Named(parse_named_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                c.pos += 1;
+                f
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        skip_type_until_comma(&mut c);
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+/// Consume tokens up to and including the next comma that sits outside any
+/// `<...>` nesting (groups are single trees, so only angle brackets need
+/// explicit depth tracking).
+fn skip_type_until_comma(c: &mut Cursor) {
+    let mut angle: i32 = 0;
+    while let Some(t) = c.peek() {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle += 1,
+                '>' if angle > 0 => angle -= 1,
+                ',' if angle == 0 => {
+                    c.pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        c.pos += 1;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, ser_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, ser_enum_body(name, variants)),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn ser_struct_body(_name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => "::serde::Value::Null".to_owned(),
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_value(&self.{i})")).collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Fields::Named(names) => {
+            let entries: Vec<String> = names
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", entries.join(", "))
+        }
+    }
+}
+
+fn ser_enum_body(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Unit => {
+                    format!("{name}::{vn} => ::serde::Value::String(\"{vn}\".to_string())")
+                }
+                Fields::Tuple(1) => format!(
+                    "{name}::{vn}(__f0) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                     ::serde::Serialize::to_value(__f0))])"
+                ),
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!(
+                        "{name}::{vn}({}) => ::serde::Value::Object(vec![(\"{vn}\".to_string(), \
+                         ::serde::Value::Array(vec![{}]))])",
+                        binds.join(", "),
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fs) => {
+                    let binds = fs.join(", ");
+                    let entries: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!("(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))")
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {binds} }} => ::serde::Value::Object(vec![\
+                         (\"{vn}\".to_string(), ::serde::Value::Object(vec![{}]))])",
+                        entries.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!("match self {{ {} }}", arms.join(",\n"))
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (name, body) = match item {
+        Item::Struct { name, fields } => (name, de_struct_body(name, fields)),
+        Item::Enum { name, variants } => (name, de_enum_body(name, variants)),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn de_struct_body(name: &str, fields: &Fields) -> String {
+    match fields {
+        Fields::Unit => format!("{{ let _ = __v; Ok({name}) }}"),
+        Fields::Tuple(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Array(__items) if __items.len() == {n} => \
+                 Ok({name}({})),\n\
+                 __other => Err(::serde::DeError::expected(\
+                 \"array of length {n} for {name}\", __other)),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        Fields::Named(fs) => {
+            let inits: Vec<String> = fs
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__v, \"{name}\", \"{f}\")?"))
+                .collect();
+            format!(
+                "match __v {{\n\
+                 ::serde::Value::Object(_) => Ok({name} {{ {} }}),\n\
+                 __other => Err(::serde::DeError::expected(\
+                 \"object for struct {name}\", __other)),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+    }
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| format!("\"{0}\" => Ok({name}::{0})", v.name))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Unit => unreachable!(),
+                Fields::Tuple(1) => format!(
+                    "\"{vn}\" => Ok({name}::{vn}(::serde::Deserialize::from_value(__inner)?))"
+                ),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    format!(
+                        "\"{vn}\" => match __inner {{\n\
+                         ::serde::Value::Array(__items) if __items.len() == {n} => \
+                         Ok({name}::{vn}({})),\n\
+                         __other => Err(::serde::DeError::expected(\
+                         \"array of length {n} for {name}::{vn}\", __other)),\n\
+                         }}",
+                        items.join(", ")
+                    )
+                }
+                Fields::Named(fs) => {
+                    let inits: Vec<String> = fs
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::__private::field(__inner, \"{name}::{vn}\", \"{f}\")?"
+                            )
+                        })
+                        .collect();
+                    format!("\"{vn}\" => Ok({name}::{vn} {{ {} }})", inits.join(", "))
+                }
+            }
+        })
+        .collect();
+
+    format!(
+        "match __v {{\n\
+         ::serde::Value::String(__s) => match __s.as_str() {{\n\
+         {units}\n\
+         __other => Err(::serde::DeError::new(format!(\
+         \"unknown {name} variant `{{__other}}`\"))),\n\
+         }},\n\
+         ::serde::Value::Object(__entries) if __entries.len() == 1 => {{\n\
+         let (__tag, __inner) = &__entries[0];\n\
+         match __tag.as_str() {{\n\
+         {tagged}\n\
+         __other => Err(::serde::DeError::new(format!(\
+         \"unknown {name} variant `{{__other}}`\"))),\n\
+         }}\n\
+         }},\n\
+         __other => Err(::serde::DeError::expected(\"{name} variant\", __other)),\n\
+         }}",
+        units = if unit_arms.is_empty() {
+            String::new()
+        } else {
+            format!("{},", unit_arms.join(",\n"))
+        },
+        tagged = if tagged_arms.is_empty() {
+            String::new()
+        } else {
+            format!("{},", tagged_arms.join(",\n"))
+        },
+    )
+}

@@ -1,0 +1,180 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Provides JSON text output (`to_string`, `to_string_pretty`), parsing
+//! (`from_str`), value construction (`json!`, [`to_value`]) over the stub
+//! `serde` crate's [`Value`] tree. The emitted text is real JSON — the
+//! Chrome trace files written through this shim load in Perfetto and
+//! `chrome://tracing` unchanged.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde::{Number, Value};
+
+mod parse;
+mod write;
+
+/// Any serde_json error (parse or data-shape mismatch).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(pub(crate) String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialize `value` to compact JSON text.
+///
+/// # Errors
+/// Never fails in this shim (the signature matches serde_json).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::compact(&value.to_value()))
+}
+
+/// Serialize `value` to human-indented JSON text.
+///
+/// # Errors
+/// Never fails in this shim.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(write::pretty(&value.to_value()))
+}
+
+/// Convert any serializable value into a [`Value`] tree.
+#[must_use]
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Parse JSON text into any deserializable type.
+///
+/// # Errors
+/// Parse errors (with byte offsets) or shape mismatches.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let v = parse::parse(s)?;
+    T::from_value(&v).map_err(|e| Error(e.to_string()))
+}
+
+/// Build a [`Value`] in place.
+///
+/// Supports `null`, array literals, object literals with string-literal
+/// keys, and arbitrary serializable expressions in value position. Nested
+/// arrays/objects recurse through the macro; element/value splitting is
+/// done by token-tree munching so multi-token expressions work.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => { $crate::__json_array!(@elems [] $($tt)*) };
+    ({ $($tt:tt)* }) => { $crate::__json_object!(@entries [] $($tt)*) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Array-literal muncher for [`json!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_array {
+    (@elems [$($done:expr),*]) => {
+        $crate::Value::Array(vec![$($done),*])
+    };
+    (@elems [$($done:expr),*] null $(, $($rest:tt)*)?) => {
+        $crate::__json_array!(@elems [$($done,)* $crate::Value::Null] $($($rest)*)?)
+    };
+    (@elems [$($done:expr),*] {$($obj:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::__json_array!(
+            @elems [$($done,)* $crate::json!({$($obj)*})] $($($rest)*)?)
+    };
+    (@elems [$($done:expr),*] [$($arr:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::__json_array!(
+            @elems [$($done,)* $crate::json!([$($arr)*])] $($($rest)*)?)
+    };
+    (@elems [$($done:expr),*] $e:expr $(, $($rest:tt)*)?) => {
+        $crate::__json_array!(
+            @elems [$($done,)* $crate::to_value(&$e)] $($($rest)*)?)
+    };
+}
+
+/// Object-literal muncher for [`json!`]; not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __json_object {
+    (@entries [$($done:expr),*]) => {
+        $crate::Value::Object(vec![$($done),*])
+    };
+    (@entries [$($done:expr),*] $key:literal : null $(, $($rest:tt)*)?) => {
+        $crate::__json_object!(
+            @entries [$($done,)* ($key.to_string(), $crate::Value::Null)]
+            $($($rest)*)?)
+    };
+    (@entries [$($done:expr),*] $key:literal : {$($obj:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::__json_object!(
+            @entries [$($done,)* ($key.to_string(), $crate::json!({$($obj)*}))]
+            $($($rest)*)?)
+    };
+    (@entries [$($done:expr),*] $key:literal : [$($arr:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::__json_object!(
+            @entries [$($done,)* ($key.to_string(), $crate::json!([$($arr)*]))]
+            $($($rest)*)?)
+    };
+    (@entries [$($done:expr),*] $key:literal : $val:expr $(, $($rest:tt)*)?) => {
+        $crate::__json_object!(
+            @entries [$($done,)* ($key.to_string(), $crate::to_value(&$val))]
+            $($($rest)*)?)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_round_trip() {
+        let v = json!({
+            "name": "dpu",
+            "cycles": 18446744073709551615u64,
+            "ratio": 0.5,
+            "tags": [1, 2, 3],
+            "nested": {"ok": true, "nothing": null},
+        });
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        assert_eq!(back.get("cycles").unwrap().as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn pretty_output_is_indented_json() {
+        let v = json!({"a": [1, 2], "b": "x"});
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\n  \"a\": ["));
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn string_escapes_round_trip() {
+        let v = json!({"s": "line\nquote\"backslash\\tab\tunicode\u{1F600}"});
+        let back: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(from_str::<Value>("{unquoted: 1}").is_err());
+        assert!(from_str::<Value>("[1, 2,]").is_err());
+        assert!(from_str::<Value>("").is_err());
+        assert!(from_str::<Value>("{} trailing").is_err());
+    }
+
+    #[test]
+    fn negative_and_exponent_numbers() {
+        let v: Value = from_str("[-3, -2.5, 1e3, 2.5e-2]").unwrap();
+        let a = v.as_array().unwrap();
+        assert_eq!(a[0].as_i64(), Some(-3));
+        assert!((a[1].as_f64().unwrap() + 2.5).abs() < 1e-12);
+        assert!((a[2].as_f64().unwrap() - 1000.0).abs() < 1e-9);
+        assert!((a[3].as_f64().unwrap() - 0.025).abs() < 1e-12);
+    }
+}
