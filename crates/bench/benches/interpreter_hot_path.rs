@@ -1,0 +1,72 @@
+//! Criterion bench for the interpreter's issue-slot hot path.
+//!
+//! Three workloads bracket the overhauled costs: a pure ALU countdown at 1
+//! tasklet (single-tasklet fast path + opcode-array histogram), the same
+//! loop at 11 tasklets (incremental barrier/live accounting replacing the
+//! per-slot scans), and a mutex+barrier ping at 16 tasklets (the sync
+//! machinery itself). Throughput is reported in instructions per second —
+//! the figure BENCH_2.json tracks across PRs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dpu_sim::asm::assemble;
+use dpu_sim::{ExecProgram, Machine, Program};
+use std::hint::black_box;
+
+fn alu_loop(count: u32) -> Program {
+    assemble(&format!(
+        "movi r1, {count}\n\
+         movi r2, 0\n\
+         loop: add r2, r2, r1\n\
+         addi r1, r1, -1\n\
+         bne r1, r0, loop\n\
+         halt\n"
+    ))
+    .expect("program assembles")
+}
+
+fn sync_heavy(iters: u32) -> Program {
+    assemble(&format!(
+        "movi r2, {iters}\n\
+         loop: mutex.lock 0\n\
+         lw r3, r0, 0x40\n\
+         addi r3, r3, 1\n\
+         sw r0, 0x40, r3\n\
+         mutex.unlock 0\n\
+         barrier\n\
+         addi r2, r2, -1\n\
+         bne r2, r0, loop\n\
+         halt\n"
+    ))
+    .expect("program assembles")
+}
+
+fn bench_interpreter_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interpreter_hot_path");
+    g.sample_size(10);
+
+    for (name, program, tasklets) in [
+        ("alu_loop/1_tasklet", alu_loop(20_000), 1usize),
+        ("alu_loop/11_tasklets", alu_loop(20_000), 11),
+        ("sync_heavy/16_tasklets", sync_heavy(200), 16),
+    ] {
+        let instructions = Machine::default().run(&program, tasklets).expect("runs").instructions;
+        println!("{name}: {instructions} instructions per run");
+        g.bench_function(name, |b| {
+            let mut m = Machine::default();
+            b.iter(|| black_box(m.run(&program, tasklets).expect("runs").cycles));
+        });
+    }
+
+    // The load-once/launch-many path: decoding amortized away entirely.
+    let program = alu_loop(20_000);
+    let exec = ExecProgram::compile(&program).expect("valid program");
+    g.bench_function("alu_loop_predecoded/1_tasklet", |b| {
+        let mut m = Machine::default();
+        b.iter(|| black_box(m.run_exec(&exec, 1).expect("runs").cycles));
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_interpreter_hot_path);
+criterion_main!(benches);

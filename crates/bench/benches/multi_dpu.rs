@@ -42,5 +42,37 @@ fn bench_fig_4_7c(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fig_4_7c);
+/// A heavily skewed 32-DPU launch: DPU 0 runs 20× the work of the rest
+/// (the YOLO one-DPU-per-output-row shape, Fig. 4.6). Static chunking
+/// strands the expensive DPU on one thread while its chunk-mates wait;
+/// work-stealing keeps every host thread busy until the tail.
+fn bench_skewed_launch(c: &mut Criterion) {
+    let program = assemble(
+        "movi r1, 0\n\
+         movi r2, 0\n\
+         movi r3, 8\n\
+         mram.read r1, r2, r3\n\
+         lw r4, r1, 0\n\
+         loop: addi r4, r4, -1\n\
+         bne r4, r0, loop\n\
+         halt\n",
+    )
+    .expect("program assembles");
+    let dpus = 32usize;
+    let mut set = DpuSet::allocate(dpus).expect("alloc");
+    set.define_symbol("count", 8).expect("symbol");
+    for i in 0..dpus {
+        let work: u64 = if i == 0 { 40_000 } else { 2_000 };
+        set.copy_to_dpu(dpu_sim::DpuId(i as u32), "count", 0, &work.to_le_bytes()).expect("copy");
+    }
+    set.load(&program).expect("load");
+    let mut g = c.benchmark_group("multi_dpu_launch");
+    g.sample_size(10);
+    g.bench_function("skewed_32_dpus", |b| {
+        b.iter(|| black_box(set.launch_loaded(11).expect("launch").makespan_cycles()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fig_4_7c, bench_skewed_launch);
 criterion_main!(benches);

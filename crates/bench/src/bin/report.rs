@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! report [--exp <id>] [--json]
+//! report --bench-json <path> [--samples <n>]
 //! ```
 //!
 //! With no arguments all experiments run (the YOLO/CPU ones take a few
@@ -9,6 +10,11 @@
 //! fig4_7b fig4_7c latencies table5_1 table5_2 fig5_4 fig5_6 table5_3
 //! table5_4 fig5_5 fig5_7 improvements mapping_comparison size_sweep image_limits depth_sweep tier_validation fig4_7a_tier1 alexnet_mapping
 //! table5_4_measured trace_metrics`.
+//!
+//! `--bench-json` instead runs the simulator hot-path scenarios with a
+//! wall-clock harness and writes a machine-readable perf snapshot
+//! (per-bench median ns and simulated instructions per host second) so
+//! successive PRs have a throughput trajectory to compare against.
 
 use cpu_baseline::XeonModel;
 use ebnn::{EbnnModel, ModelConfig};
@@ -20,6 +26,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut wanted: Option<String> = None;
     let mut json = false;
+    let mut bench_json: Option<String> = None;
+    let mut samples = 7usize;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -28,12 +36,32 @@ fn main() {
                 wanted = args.get(i).cloned();
             }
             "--json" => json = true,
+            "--bench-json" => {
+                i += 1;
+                bench_json = args.get(i).cloned();
+                if bench_json.is_none() {
+                    eprintln!("--bench-json needs a path");
+                    std::process::exit(2);
+                }
+            }
+            "--samples" => {
+                i += 1;
+                samples = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--samples needs a positive integer");
+                    std::process::exit(2);
+                });
+            }
             other => {
                 eprintln!("unknown argument `{other}`");
                 std::process::exit(2);
             }
         }
         i += 1;
+    }
+
+    if let Some(path) = bench_json {
+        perf_snapshot::run(&path, samples.max(1));
+        return;
     }
 
     let all = wanted.is_none();
@@ -240,5 +268,149 @@ fn emit<T: serde::Serialize>(json: bool, id: &str, value: &T, text: impl FnOnce(
         println!("{}", serde_json::to_string(&payload).expect("serializable"));
     } else {
         println!("{}", text());
+    }
+}
+
+/// Wall-clock hot-path scenarios behind `--bench-json`: the interpreter
+/// issue loop (1 / 11 tasklets and a synchronization-heavy shape) and a
+/// skewed multi-DPU launch. Each scenario reports the median wall time of
+/// N samples plus simulated instructions per host second — the simulator
+/// throughput figure that bounds how far the Fig. 4.7 sweeps can go.
+mod perf_snapshot {
+    use dpu_sim::asm::assemble;
+    use dpu_sim::Machine;
+    use pim_host::DpuSet;
+    use std::time::Instant;
+
+    /// Tight countdown loop: ~3 instructions per iteration, no memory.
+    fn alu_loop_program() -> dpu_sim::Program {
+        assemble(
+            "movi r1, 200000\n\
+             movi r2, 0\n\
+             loop: add r2, r2, r1\n\
+             addi r1, r1, -1\n\
+             bne r1, r0, loop\n\
+             sw r0, 0, r2\n\
+             halt\n",
+        )
+        .expect("alu loop assembles")
+    }
+
+    /// Mutex-protected shared counter plus barriers: stresses the
+    /// scheduler bookkeeping rather than the ALU arms.
+    fn sync_heavy_program() -> dpu_sim::Program {
+        assemble(
+            "movi r2, 2000\n\
+             loop:\n\
+             mutex.lock 1\n\
+             lw r3, r0, 0x40\n\
+             addi r3, r3, 1\n\
+             sw r0, 0x40, r3\n\
+             mutex.unlock 1\n\
+             addi r2, r2, -1\n\
+             bne r2, r0, loop\n\
+             barrier\n\
+             halt\n",
+        )
+        .expect("sync program assembles")
+    }
+
+    /// Per-DPU loop with the count read from MRAM — the host skews the
+    /// counts so per-DPU cost is unbalanced (the YOLO one-DPU-per-row
+    /// shape of Fig. 4.6).
+    fn skewed_program() -> dpu_sim::Program {
+        assemble(
+            "movi r1, 0\n\
+             movi r2, 0\n\
+             movi r3, 8\n\
+             mram.read r1, r2, r3\n\
+             lw r4, r1, 0\n\
+             movi r5, 0\n\
+             loop: add r5, r5, r4\n\
+             addi r4, r4, -1\n\
+             bne r4, r0, loop\n\
+             sw r1, 0, r5\n\
+             halt\n",
+        )
+        .expect("skewed program assembles")
+    }
+
+    struct Sample {
+        wall_ns: u128,
+        instructions: u64,
+    }
+
+    fn median(samples: &mut [Sample]) -> (u128, u64) {
+        samples.sort_by_key(|s| s.wall_ns);
+        let mid = &samples[samples.len() / 2];
+        (mid.wall_ns, mid.instructions)
+    }
+
+    fn bench_interpreter(program: &dpu_sim::Program, tasklets: usize, n: usize) -> (u128, u64) {
+        let mut samples: Vec<Sample> = (0..n)
+            .map(|_| {
+                let mut m = Machine::default();
+                let start = Instant::now();
+                let res = m.run(program, tasklets).expect("bench program runs");
+                Sample { wall_ns: start.elapsed().as_nanos(), instructions: res.instructions }
+            })
+            .collect();
+        median(&mut samples)
+    }
+
+    fn bench_skewed_launch(dpus: usize, n: usize) -> (u128, u64) {
+        let program = skewed_program();
+        let mut samples: Vec<Sample> = (0..n)
+            .map(|_| {
+                let mut set = DpuSet::allocate(dpus).expect("alloc");
+                set.define_symbol("n", 8).expect("symbol");
+                for d in 0..dpus {
+                    // Heavy head, light tail: DPU 0 does ~32x the work of
+                    // the rest, the worst case for static chunking.
+                    let count: u64 = if d == 0 { 64_000 } else { 2_000 };
+                    set.copy_to_dpu(dpu_sim::DpuId(d as u32), "n", 0, &count.to_le_bytes())
+                        .expect("scatter");
+                }
+                let start = Instant::now();
+                let res = set.launch(&program, 1).expect("launch");
+                Sample {
+                    wall_ns: start.elapsed().as_nanos(),
+                    instructions: res.total_instructions(),
+                }
+            })
+            .collect();
+        median(&mut samples)
+    }
+
+    #[allow(clippy::cast_precision_loss)]
+    pub fn run(path: &str, samples: usize) {
+        let alu = alu_loop_program();
+        let scenarios: Vec<(&str, (u128, u64))> = vec![
+            ("interpreter/alu_loop_1t", bench_interpreter(&alu, 1, samples)),
+            ("interpreter/alu_loop_11t", bench_interpreter(&alu, 11, samples)),
+            ("interpreter/sync_heavy_16t", bench_interpreter(&sync_heavy_program(), 16, samples)),
+            ("multi_dpu/skewed_32", bench_skewed_launch(32, samples)),
+        ];
+        let mut benches: Vec<(String, serde_json::Value)> = Vec::new();
+        for (name, (ns, instructions)) in &scenarios {
+            let ips = *instructions as f64 / (*ns as f64 / 1e9);
+            eprintln!("{name}: {instructions} instrs, median {ns} ns, {ips:.3e} instr/s");
+            benches.push((
+                (*name).to_owned(),
+                serde_json::json!({
+                    "median_ns": *ns as u64,
+                    "instructions": *instructions,
+                    "instructions_per_sec": ips,
+                }),
+            ));
+        }
+        let doc = serde_json::json!({
+            "schema": "pim-bench-snapshot-v1",
+            "samples": samples as u64,
+            "benches": serde_json::Value::Object(benches),
+        });
+        let text = serde_json::to_string_pretty(&doc).expect("serializable");
+        std::fs::write(path, text + "\n").expect("write bench snapshot");
+        eprintln!("wrote {path}");
     }
 }

@@ -1,0 +1,274 @@
+//! Pre-decoded execution form of a [`Program`].
+//!
+//! The interpreter's hot loop used to pay two avoidable costs on every
+//! issued instruction: a `BTreeMap<&str, u64>` update for the op histogram
+//! (a string-keyed tree walk) and, through [`Program`], no way to attach
+//! per-instruction metadata computed once. [`ExecProgram`] fixes both: it
+//! pairs every instruction with a compact opcode-class id assigned at
+//! decode time, so the interpreter counts ops in a fixed-size array
+//! indexed by id and folds the array into the public `BTreeMap` only when
+//! the run completes.
+//!
+//! Decoding is cheap (one linear pass) but still worth caching:
+//! [`ExecProgram::compile`] also validates control flow, so the
+//! load-once/launch-many host path (`DpuSet::load` +
+//! `DpuSet::launch_loaded`) validates and decodes exactly once instead of
+//! per launch.
+
+use crate::isa::{Instr, Program};
+
+/// Number of distinct mnemonic classes (see [`Instr::mnemonic`]).
+pub const OP_COUNT: usize = 26;
+
+/// Mnemonic of each opcode-class id; `OP_MNEMONICS[op_id(i)]` equals
+/// `i.mnemonic()` for every instruction `i` (enforced by tests).
+pub const OP_MNEMONICS: [&str; OP_COUNT] = [
+    "nop",
+    "halt",
+    "movi",
+    "mov",
+    "add",
+    "sub",
+    "and",
+    "or",
+    "xor",
+    "lsl",
+    "lsr",
+    "asr",
+    "mul8",
+    "popcount",
+    "load",
+    "store",
+    "mram.read",
+    "mram.write",
+    "branch",
+    "jump",
+    "call",
+    "perf",
+    "me",
+    "trace",
+    "barrier",
+    "mutex",
+];
+
+/// Compact opcode-class id of an instruction (index into
+/// [`OP_MNEMONICS`]).
+#[must_use]
+pub fn op_id(instr: &Instr) -> u8 {
+    match instr {
+        Instr::Nop => 0,
+        Instr::Halt => 1,
+        Instr::Movi { .. } => 2,
+        Instr::Mov { .. } => 3,
+        Instr::Add { .. } | Instr::Addi { .. } => 4,
+        Instr::Sub { .. } => 5,
+        Instr::And { .. } => 6,
+        Instr::Or { .. } => 7,
+        Instr::Xor { .. } => 8,
+        Instr::Lsl { .. } | Instr::Lsli { .. } => 9,
+        Instr::Lsr { .. } | Instr::Lsri { .. } => 10,
+        Instr::Asr { .. } | Instr::Asri { .. } => 11,
+        Instr::Mul8 { .. } => 12,
+        Instr::Popcount { .. } => 13,
+        Instr::Load { .. } => 14,
+        Instr::Store { .. } => 15,
+        Instr::MramRead { .. } => 16,
+        Instr::MramWrite { .. } => 17,
+        Instr::Branch { .. } => 18,
+        Instr::Jump { .. } | Instr::Jal { .. } | Instr::Jr { .. } => 19,
+        Instr::CallSub { .. } => 20,
+        Instr::PerfConfig | Instr::PerfRead { .. } => 21,
+        Instr::TaskletId { .. } => 22,
+        Instr::Trace { .. } => 23,
+        Instr::Barrier => 24,
+        Instr::MutexLock { .. } | Instr::MutexUnlock { .. } => 25,
+    }
+}
+
+/// One pre-decoded instruction slot: the instruction plus its opcode id,
+/// kept adjacent so the interpreter touches one cache line per fetch.
+#[derive(Debug, Clone, Copy)]
+pub struct ExecInstr {
+    /// The instruction itself.
+    pub instr: Instr,
+    /// Opcode-class id, an index into [`OP_MNEMONICS`].
+    pub op: u8,
+}
+
+/// A [`Program`] decoded into its dense execution form.
+///
+/// Holds the source program (for labels, display and host symbol lookups)
+/// alongside the decoded instruction stream the interpreter executes.
+#[derive(Debug, Clone)]
+pub struct ExecProgram {
+    source: Program,
+    code: Vec<ExecInstr>,
+}
+
+impl ExecProgram {
+    /// Validate `program` (as [`Program::validate`]) and decode it.
+    ///
+    /// This is the entry point for cached execution: compile once, launch
+    /// many times without re-validating.
+    ///
+    /// # Errors
+    /// [`crate::Error::PcOutOfRange`] naming the first bad branch target.
+    pub fn compile(program: &Program) -> crate::Result<Self> {
+        program.validate()?;
+        Ok(Self::decode(program))
+    }
+
+    /// Decode without validating control flow. Branch targets stay
+    /// runtime-checked (the interpreter bounds-checks every fetch), which
+    /// preserves the semantics of [`crate::Machine::run`] on programs
+    /// whose invalid targets are never executed.
+    #[must_use]
+    pub fn decode(program: &Program) -> Self {
+        let code =
+            program.instrs.iter().map(|&instr| ExecInstr { instr, op: op_id(&instr) }).collect();
+        Self { source: program.clone(), code }
+    }
+
+    /// The source program this execution form was decoded from.
+    #[must_use]
+    pub fn source(&self) -> &Program {
+        &self.source
+    }
+
+    /// The decoded instruction stream.
+    #[must_use]
+    pub fn code(&self) -> &[ExecInstr] {
+        &self.code
+    }
+
+    /// Number of instructions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.code.len()
+    }
+
+    /// True when the program contains no instructions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.code.is_empty()
+    }
+
+    /// IRAM footprint in bytes.
+    #[must_use]
+    pub fn iram_bytes(&self) -> usize {
+        self.source.iram_bytes()
+    }
+}
+
+/// Fold a fixed-size opcode-count array into the public histogram form.
+/// Only classes that executed appear, matching the lazily-inserted map the
+/// interpreter used to build per instruction.
+#[must_use]
+pub fn fold_histogram(counts: &[u64; OP_COUNT]) -> std::collections::BTreeMap<&'static str, u64> {
+    let mut map = std::collections::BTreeMap::new();
+    for (i, &c) in counts.iter().enumerate() {
+        if c > 0 {
+            map.insert(OP_MNEMONICS[i], c);
+        }
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::{Cond, Reg, Width};
+    use crate::subroutines::Subroutine;
+
+    /// One instance of every instruction variant.
+    fn all_variants() -> Vec<Instr> {
+        let r = Reg(1);
+        vec![
+            Instr::Nop,
+            Instr::Halt,
+            Instr::Movi { rd: r, imm: 1 },
+            Instr::Mov { rd: r, ra: r },
+            Instr::Add { rd: r, ra: r, rb: r },
+            Instr::Addi { rd: r, ra: r, imm: 1 },
+            Instr::Sub { rd: r, ra: r, rb: r },
+            Instr::And { rd: r, ra: r, rb: r },
+            Instr::Or { rd: r, ra: r, rb: r },
+            Instr::Xor { rd: r, ra: r, rb: r },
+            Instr::Lsl { rd: r, ra: r, rb: r },
+            Instr::Lsr { rd: r, ra: r, rb: r },
+            Instr::Asr { rd: r, ra: r, rb: r },
+            Instr::Lsli { rd: r, ra: r, sh: 1 },
+            Instr::Lsri { rd: r, ra: r, sh: 1 },
+            Instr::Asri { rd: r, ra: r, sh: 1 },
+            Instr::Mul8 { rd: r, ra: r, rb: r },
+            Instr::Popcount { rd: r, ra: r },
+            Instr::Load { width: Width::W, rd: r, ra: r, off: 0 },
+            Instr::Store { width: Width::W, ra: r, off: 0, rs: r },
+            Instr::MramRead { wram: r, mram: r, len: r },
+            Instr::MramWrite { wram: r, mram: r, len: r },
+            Instr::Branch { cond: Cond::Ne, ra: r, rb: r, target: 0 },
+            Instr::Jump { target: 0 },
+            Instr::Jal { rd: r, target: 0 },
+            Instr::Jr { ra: r },
+            Instr::CallSub { sub: Subroutine::Mulsi3, rd: r, ra: r, rb: r },
+            Instr::PerfConfig,
+            Instr::PerfRead { rd: r },
+            Instr::TaskletId { rd: r },
+            Instr::Trace { ra: r },
+            Instr::Barrier,
+            Instr::MutexLock { id: 0 },
+            Instr::MutexUnlock { id: 0 },
+        ]
+    }
+
+    #[test]
+    fn op_ids_agree_with_mnemonics_for_every_variant() {
+        for i in all_variants() {
+            let id = op_id(&i) as usize;
+            assert!(id < OP_COUNT, "{i:?}");
+            assert_eq!(OP_MNEMONICS[id], i.mnemonic(), "{i:?}");
+        }
+    }
+
+    #[test]
+    fn every_op_id_is_reachable() {
+        let mut seen = [false; OP_COUNT];
+        for i in all_variants() {
+            seen[op_id(&i) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "unused opcode id: {seen:?}");
+    }
+
+    #[test]
+    fn compile_validates_and_decode_does_not() {
+        let bad = Program::new(vec![Instr::Jump { target: 7 }]);
+        assert!(ExecProgram::compile(&bad).is_err());
+        let exec = ExecProgram::decode(&bad);
+        assert_eq!(exec.len(), 1);
+        assert_eq!(exec.iram_bytes(), 8);
+    }
+
+    #[test]
+    fn decoded_stream_mirrors_source() {
+        let p = Program::new(all_variants());
+        let exec = ExecProgram::compile(&p).unwrap();
+        assert_eq!(exec.len(), p.len());
+        assert!(!exec.is_empty());
+        assert_eq!(exec.source(), &p);
+        for (ei, i) in exec.code().iter().zip(&p.instrs) {
+            assert_eq!(ei.instr, *i);
+            assert_eq!(ei.op, op_id(i));
+        }
+    }
+
+    #[test]
+    fn fold_histogram_skips_untouched_classes() {
+        let mut counts = [0u64; OP_COUNT];
+        counts[op_id(&Instr::Nop) as usize] = 3;
+        counts[op_id(&Instr::Barrier) as usize] = 1;
+        let map = fold_histogram(&counts);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["nop"], 3);
+        assert_eq!(map["barrier"], 1);
+    }
+}

@@ -43,6 +43,7 @@
 pub mod asm;
 pub mod cost;
 pub mod error;
+pub mod exec;
 pub mod isa;
 pub mod machine;
 pub mod memory;
@@ -54,6 +55,7 @@ pub mod subroutines;
 pub mod system;
 
 pub use error::{Error, Result};
+pub use exec::ExecProgram;
 pub use isa::{Instr, Program, Reg};
 pub use machine::{Machine, RunResult};
 pub use memory::{DmaEngine, Mram, Wram};

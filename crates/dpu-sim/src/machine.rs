@@ -19,6 +19,7 @@
 //! totals reproduce Table 3.1 within ~1.5 % (see [`crate::subroutines`]).
 
 use crate::error::{Error, Result};
+use crate::exec::{self, ExecInstr, ExecProgram, OP_COUNT};
 use crate::isa::{Instr, Program, Reg, Width};
 use crate::memory::{DmaEngine, Mram, Wram};
 use crate::params::{DpuParams, REGS_PER_TASKLET};
@@ -173,11 +174,93 @@ impl Machine {
 
     /// Like [`Machine::run_traced`] with an explicit cycle budget.
     ///
+    /// Decodes `program` into its [`ExecProgram`] form on every call; hot
+    /// launch-many callers should pre-decode once and use
+    /// [`Machine::run_exec_traced_with_budget`] instead.
+    ///
     /// # Errors
     /// See [`Machine::run`].
     pub fn run_traced_with_budget(
         &mut self,
         program: &Program,
+        tasklets: usize,
+        budget: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<RunResult> {
+        // Decode without validating: `Machine::run*` has always left branch
+        // targets runtime-checked (`PcOutOfRange` only if executed).
+        let code: Vec<ExecInstr> = program
+            .instrs
+            .iter()
+            .map(|&instr| ExecInstr { instr, op: exec::op_id(&instr) })
+            .collect();
+        self.run_code(&code, tasklets, budget, sink)
+    }
+
+    /// Run a pre-decoded program on `tasklets` hardware threads until all
+    /// halt. Semantically identical to [`Machine::run`] on
+    /// [`ExecProgram::source`], without the per-launch decode.
+    ///
+    /// # Errors
+    /// See [`Machine::run`].
+    pub fn run_exec(&mut self, exec: &ExecProgram, tasklets: usize) -> Result<RunResult> {
+        self.run_exec_with_budget(exec, tasklets, DEFAULT_CYCLE_BUDGET)
+    }
+
+    /// Like [`Machine::run_exec`] with an explicit cycle budget.
+    ///
+    /// # Errors
+    /// See [`Machine::run`].
+    pub fn run_exec_with_budget(
+        &mut self,
+        exec: &ExecProgram,
+        tasklets: usize,
+        budget: u64,
+    ) -> Result<RunResult> {
+        self.run_code(exec.code(), tasklets, budget, &mut NullSink)
+    }
+
+    /// Like [`Machine::run_exec`], recording cycle-stamped [`TraceEvent`]s
+    /// into `sink` as the kernel executes.
+    ///
+    /// # Errors
+    /// See [`Machine::run`].
+    pub fn run_exec_traced(
+        &mut self,
+        exec: &ExecProgram,
+        tasklets: usize,
+        sink: &mut dyn TraceSink,
+    ) -> Result<RunResult> {
+        self.run_exec_traced_with_budget(exec, tasklets, DEFAULT_CYCLE_BUDGET, sink)
+    }
+
+    /// Like [`Machine::run_exec_traced`] with an explicit cycle budget.
+    ///
+    /// # Errors
+    /// See [`Machine::run`].
+    pub fn run_exec_traced_with_budget(
+        &mut self,
+        exec: &ExecProgram,
+        tasklets: usize,
+        budget: u64,
+        sink: &mut dyn TraceSink,
+    ) -> Result<RunResult> {
+        self.run_code(exec.code(), tasklets, budget, sink)
+    }
+
+    /// The interpreter core over a decoded instruction stream.
+    ///
+    /// Scheduling state is tracked incrementally — `live` (non-halted),
+    /// `parked` (at a barrier) and `runnable_count` are counters updated at
+    /// state transitions rather than flag vectors rescanned every issue
+    /// slot — and the op histogram is a fixed-size array indexed by opcode
+    /// id, folded into the public `BTreeMap` once at run end. With a single
+    /// tasklet the mutex/barrier machinery is bypassed entirely: a barrier
+    /// releases immediately and a lock can never block, so neither needs
+    /// bookkeeping.
+    fn run_code(
+        &mut self,
+        code: &[ExecInstr],
         tasklets: usize,
         budget: u64,
         sink: &mut dyn TraceSink,
@@ -188,9 +271,10 @@ impl Machine {
                 max: self.params.max_tasklets,
             });
         }
-        if program.iram_bytes() > self.params.iram_bytes {
+        let iram_bytes = code.len() * crate::isa::INSTR_BYTES;
+        if iram_bytes > self.params.iram_bytes {
             return Err(Error::ProgramTooLarge {
-                bytes: program.iram_bytes(),
+                bytes: iram_bytes,
                 iram_bytes: self.params.iram_bytes,
             });
         }
@@ -201,14 +285,25 @@ impl Machine {
         // resource: concurrent transfers from different tasklets serialize
         // their data movement, while the fixed setup latency overlaps.
         let mut dma_stream_free: u64 = 0;
-        let mut runnable = vec![!program.is_empty(); tasklets];
-        let mut halted = vec![program.is_empty(); tasklets];
+        let single = tasklets == 1;
+        let mut runnable = vec![!code.is_empty(); tasklets];
+        // Incremental scheduling counters, updated at state transitions:
+        // `live` = non-halted tasklets, `parked` = tasklets waiting at a
+        // barrier, `runnable_count` = tasklets the dispatcher may pick.
+        // Every live, non-runnable tasklet is either parked or blocked on a
+        // mutex, so `live - parked` is the mutex-blocked population.
+        let mut live = if code.is_empty() { 0 } else { tasklets };
+        let mut runnable_count = live;
+        let mut parked = 0usize;
         // Barrier bookkeeping: tasklets parked at a barrier are temporarily
         // not runnable; when every live (non-halted) tasklet is parked, all
         // release. Tasklets blocked on a mutex count as live, so a barrier
         // cannot release past them (matching hardware semantics — and
         // making a mutex held across a barrier a detectable deadlock).
         let mut at_barrier = vec![false; tasklets];
+        // Per-opcode-id issue counts; folded into the public histogram map
+        // only once the run completes.
+        let mut op_counts = [0u64; OP_COUNT];
         // Hardware mutexes: owner per id plus FIFO wait queues.
         let mut mutex_owner: std::collections::HashMap<u8, usize> =
             std::collections::HashMap::new();
@@ -223,44 +318,45 @@ impl Machine {
         }
 
         loop {
-            // Release a full barrier: every live tasklet is parked.
-            let live = halted.iter().filter(|&&h| !h).count();
-            let parked = at_barrier.iter().filter(|&&b| b).count();
-            if parked > 0 && parked == live {
+            // Release a full barrier: every live tasklet is parked. (A lone
+            // tasklet never parks — its barriers release at the issue slot.)
+            if !single && parked > 0 && parked == live {
                 for (r, b) in runnable.iter_mut().zip(at_barrier.iter_mut()) {
                     if *b {
                         *b = false;
                         *r = true;
                     }
                 }
+                runnable_count += parked;
+                parked = 0;
             }
-            if !runnable.iter().any(|&r| r) {
-                if halted.iter().all(|&h| h) {
+            if runnable_count == 0 {
+                if live == 0 {
                     break; // clean completion
                 }
-                let blocked = halted.iter().filter(|&&h| !h).count();
-                return Err(Error::Deadlock { at_barrier: parked, on_mutex: blocked - parked });
+                return Err(Error::Deadlock { at_barrier: parked, on_mutex: live - parked });
             }
             let Some(t) = pipeline.pick(&runnable) else { break };
             if pipeline.elapsed() > budget {
                 return Err(Error::CycleBudgetExceeded { budget });
             }
-            if threads[t].burst > 0 {
-                threads[t].burst -= 1;
+            let th = &mut threads[t];
+            if th.burst > 0 {
+                th.burst -= 1;
                 continue;
             }
-            let pc = threads[t].pc as usize;
-            let instr =
-                *program.instrs.get(pc).ok_or(Error::PcOutOfRange { pc, len: program.len() })?;
+            let pc = th.pc as usize;
+            let &ExecInstr { instr, op } =
+                code.get(pc).ok_or(Error::PcOutOfRange { pc, len: code.len() })?;
 
-            *result.op_histogram.entry(instr.mnemonic()).or_insert(0) += 1;
-            let th = &mut threads[t];
+            op_counts[op as usize] += 1;
             let mut next_pc = th.pc.wrapping_add(1);
             match instr {
                 Instr::Nop => {}
                 Instr::Halt => {
                     runnable[t] = false;
-                    halted[t] = true;
+                    runnable_count -= 1;
+                    live -= 1;
                 }
                 Instr::Movi { rd, imm } => th.set(rd, imm as u32),
                 Instr::Mov { rd, ra } => {
@@ -419,48 +515,67 @@ impl Machine {
                 Instr::TaskletId { rd } => th.set(rd, t as u32),
                 Instr::Trace { ra } => result.trace.push((t, th.get(ra))),
                 Instr::Barrier => {
-                    at_barrier[t] = true;
-                    runnable[t] = false;
-                    if sink.is_enabled() {
-                        let live = halted.iter().filter(|&&h| !h).count();
-                        let parked = at_barrier.iter().filter(|&&b| b).count();
-                        sink.record(TraceEvent::TaskletBarrier {
-                            tasklet: t as u8,
-                            cycle: pipeline_issue_cycle(&pipeline),
-                            released: parked == live,
-                        });
+                    if single {
+                        // A lone live tasklet satisfies the barrier at its
+                        // own arrival: no park, immediate release.
+                        if sink.is_enabled() {
+                            sink.record(TraceEvent::TaskletBarrier {
+                                tasklet: t as u8,
+                                cycle: pipeline_issue_cycle(&pipeline),
+                                released: true,
+                            });
+                        }
+                    } else {
+                        at_barrier[t] = true;
+                        runnable[t] = false;
+                        runnable_count -= 1;
+                        parked += 1;
+                        if sink.is_enabled() {
+                            sink.record(TraceEvent::TaskletBarrier {
+                                tasklet: t as u8,
+                                cycle: pipeline_issue_cycle(&pipeline),
+                                released: parked == live,
+                            });
+                        }
                     }
                 }
                 Instr::MutexLock { id } => {
-                    if let Some(&owner) = mutex_owner.get(&id) {
-                        if owner != t {
-                            // Block until released; re-execute the lock on
-                            // wake (pc stays on this instruction).
-                            mutex_waiters.entry(id).or_default().push_back(t);
-                            runnable[t] = false;
-                            next_pc = th.pc;
+                    // A lone tasklet always acquires immediately; no state
+                    // to track since no other tasklet can observe the lock.
+                    if !single {
+                        if let Some(&owner) = mutex_owner.get(&id) {
+                            if owner != t {
+                                // Block until released; re-execute the lock on
+                                // wake (pc stays on this instruction).
+                                mutex_waiters.entry(id).or_default().push_back(t);
+                                runnable[t] = false;
+                                runnable_count -= 1;
+                                next_pc = th.pc;
+                            }
+                            // Re-locking an owned mutex is a no-op (the real
+                            // hardware would deadlock; the simulator is lenient
+                            // so generated code can be defensive).
+                        } else {
+                            mutex_owner.insert(id, t);
                         }
-                        // Re-locking an owned mutex is a no-op (the real
-                        // hardware would deadlock; the simulator is lenient
-                        // so generated code can be defensive).
-                    } else {
-                        mutex_owner.insert(id, t);
                     }
                 }
                 Instr::MutexUnlock { id } => {
-                    if mutex_owner.get(&id) == Some(&t) {
+                    if !single && mutex_owner.get(&id) == Some(&t) {
                         mutex_owner.remove(&id);
                         if let Some(queue) = mutex_waiters.get_mut(&id) {
                             if let Some(next) = queue.pop_front() {
                                 runnable[next] = true;
+                                runnable_count += 1;
                             }
                         }
                     }
                 }
             }
-            threads[t].pc = next_pc;
+            th.pc = next_pc;
         }
 
+        result.op_histogram = exec::fold_histogram(&op_counts);
         result.cycles = pipeline.elapsed();
         result.instructions = pipeline.issued();
         result.idle_cycles = pipeline.idle_cycles();
@@ -1062,5 +1177,94 @@ mod barrier_mutex_interaction_tests {
         let mut m = Machine::default();
         let err = m.run_with_budget(&p, 3, 50_000).unwrap_err();
         assert!(matches!(err, Error::Deadlock { at_barrier: 1, on_mutex: 2 }), "got {err}");
+    }
+}
+
+#[cfg(test)]
+mod deadlock_accounting_tests {
+    //! Regression tests that the `Error::Deadlock` populations derived from
+    //! the incremental live/parked counters stay exact.
+
+    use super::*;
+    use crate::asm::assemble;
+
+    #[test]
+    fn cross_mutex_deadlock_counts_only_mutex_blockers() {
+        // Tasklet 0: lock 0, spin, lock 1. Tasklet 1: lock 1, spin, lock 0.
+        // Both spins overlap, so each tasklet holds its first mutex when it
+        // requests the other's → pure mutex deadlock, nobody at a barrier.
+        let p = assemble(
+            "me r1\n\
+             bne r1, r0, second\n\
+             mutex.lock 0\n\
+             movi r2, 20\n\
+             s0: addi r2, r2, -1\n\
+             bne r2, r0, s0\n\
+             mutex.lock 1\n\
+             halt\n\
+             second:\n\
+             mutex.lock 1\n\
+             movi r2, 20\n\
+             s1: addi r2, r2, -1\n\
+             bne r2, r0, s1\n\
+             mutex.lock 0\n\
+             halt\n",
+        )
+        .unwrap();
+        let mut m = Machine::default();
+        let err = m.run_with_budget(&p, 2, 100_000).unwrap_err();
+        assert!(matches!(err, Error::Deadlock { at_barrier: 0, on_mutex: 2 }), "got {err}");
+    }
+
+    #[test]
+    fn mixed_barrier_and_mutex_deadlock_splits_populations() {
+        // Tasklet 0 parks at the barrier holding mutex 0; tasklets 1 and 2
+        // block on that mutex; tasklet 3 parks at the barrier. The barrier
+        // can never fill (two live tasklets are mutex-blocked) → deadlock
+        // with two parked and two blocked.
+        let p = assemble(
+            "me r1\n\
+             movi r2, 3\n\
+             bne r1, r2, not3\n\
+             barrier\n\
+             halt\n\
+             not3:\n\
+             bne r1, r0, waiters\n\
+             mutex.lock 0\n\
+             barrier\n\
+             halt\n\
+             waiters:\n\
+             mutex.lock 0\n\
+             halt\n",
+        )
+        .unwrap();
+        let mut m = Machine::default();
+        let err = m.run_with_budget(&p, 4, 100_000).unwrap_err();
+        assert!(matches!(err, Error::Deadlock { at_barrier: 2, on_mutex: 2 }), "got {err}");
+    }
+
+    #[test]
+    fn deadlock_counts_ignore_halted_tasklets() {
+        // Of four tasklets, two halt immediately. Tasklet 0 parks at the
+        // barrier holding mutex 0 and tasklet 1 blocks on that mutex: the
+        // deadlock populations must count only the two live tasklets.
+        let p = assemble(
+            "me r1\n\
+             movi r2, 2\n\
+             blt r1, r2, low\n\
+             halt\n\
+             low:\n\
+             bne r1, r0, waiter\n\
+             mutex.lock 0\n\
+             barrier\n\
+             halt\n\
+             waiter:\n\
+             mutex.lock 0\n\
+             halt\n",
+        )
+        .unwrap();
+        let mut m = Machine::default();
+        let err = m.run_with_budget(&p, 4, 100_000).unwrap_err();
+        assert!(matches!(err, Error::Deadlock { at_barrier: 1, on_mutex: 1 }), "got {err}");
     }
 }

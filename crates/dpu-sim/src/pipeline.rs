@@ -83,13 +83,29 @@ impl Pipeline {
     pub fn pick(&mut self, runnable: &[bool]) -> Option<usize> {
         debug_assert_eq!(runnable.len(), self.next_ready.len());
         let n = self.next_ready.len();
+        if n == 1 {
+            // Single-tasklet fast path: no scan, no round-robin state.
+            if !runnable[0] {
+                return None;
+            }
+            let issue_at = self.next_ready[0].max(self.cycle);
+            return Some(self.commit(issue_at, 0, 1));
+        }
         let mut best: Option<(u64, usize)> = None;
-        for i in 0..n {
-            let t = (self.rr_cursor + i) % n;
+        // Probe in round-robin order as two wrap-free halves. The first
+        // candidate at the current cycle is unbeatable (`issue_at` can
+        // never be earlier, and ties go to the first in RR order), so the
+        // scan stops there — on a saturated pipeline that is almost always
+        // the first probe.
+        'scan: for t in (self.rr_cursor..n).chain(0..self.rr_cursor) {
             if !runnable[t] {
                 continue;
             }
             let issue_at = self.next_ready[t].max(self.cycle);
+            if issue_at == self.cycle {
+                best = Some((issue_at, t));
+                break 'scan;
+            }
             match best {
                 None => best = Some((issue_at, t)),
                 Some((b, _)) if issue_at < b => best = Some((issue_at, t)),
@@ -97,14 +113,19 @@ impl Pipeline {
             }
         }
         let (issue_at, t) = best?;
+        Some(self.commit(issue_at, t, n))
+    }
+
+    /// Book one issue at `issue_at` for tasklet `t` and advance time.
+    fn commit(&mut self, issue_at: u64, t: usize, n: usize) -> usize {
         self.idle_cycles += issue_at - self.cycle;
         self.last_issue = issue_at;
         self.cycle = issue_at + 1;
         self.next_ready[t] = issue_at + self.stages;
         self.issued += 1;
         self.issued_per_tasklet[t] += 1;
-        self.rr_cursor = (t + 1) % n;
-        Some(t)
+        self.rr_cursor = if t + 1 == n { 0 } else { t + 1 };
+        t
     }
 
     /// Delay tasklet `t`'s next issue until `stall` cycles after its current

@@ -54,6 +54,11 @@ pub enum HostError {
         /// Requested DPU count.
         requested: usize,
     },
+    /// A host simulation worker thread panicked while running a DPU.
+    WorkerPanic {
+        /// The panic payload, when it carried a message.
+        detail: String,
+    },
 }
 
 impl fmt::Display for HostError {
@@ -76,6 +81,9 @@ impl fmt::Display for HostError {
             }
             HostError::BadAllocation { requested } => {
                 write!(f, "cannot allocate {requested} DPUs")
+            }
+            HostError::WorkerPanic { detail } => {
+                write!(f, "simulation worker thread panicked: {detail}")
             }
         }
     }

@@ -8,10 +8,12 @@
 //! *makespan* (slowest DPU — the batch completes "at the max time for one
 //! DPU", §4.1.3) and a merged subroutine profile.
 
-use crate::error::Result;
+use crate::error::{HostError, Result};
 use crate::set::DpuSet;
-use dpu_sim::{Profiler, Program, RunResult};
+use dpu_sim::{ExecProgram, PimSystem, Profiler, Program, RunResult};
 use pim_trace::{MetricsRegistry, TraceBuffer};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// Results of one launch across a DPU set.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,80 +126,26 @@ impl DpuSet {
         tasklets: usize,
         trace: bool,
     ) -> Result<(LaunchResult, Vec<TraceBuffer>)> {
-        const PARALLEL_THRESHOLD: usize = 4;
-        fn run_one(
-            dpu: &mut dpu_sim::Machine,
-            program: &Program,
-            tasklets: usize,
-            trace: bool,
-            buf: &mut TraceBuffer,
-        ) -> dpu_sim::Result<RunResult> {
-            if trace {
-                dpu.run_traced(program, tasklets, buf)
-            } else {
-                dpu.run(program, tasklets)
-            }
-        }
-
-        program.validate()?;
-        let system = self.system_mut();
-        let n = system.len();
-        let mut buffers: Vec<TraceBuffer> = vec![TraceBuffer::new(); n];
-        let mut results: Vec<Option<dpu_sim::Result<RunResult>>> = Vec::with_capacity(n);
-        if n < PARALLEL_THRESHOLD {
-            for ((_, dpu), buf) in system.iter_mut().zip(buffers.iter_mut()) {
-                results.push(Some(run_one(dpu, program, tasklets, trace, buf)));
-            }
-        } else {
-            let mut slots: Vec<Option<dpu_sim::Result<RunResult>>> = (0..n).map(|_| None).collect();
-            let threads = std::thread::available_parallelism().map_or(4, usize::from).min(n);
-            let mut dpus: Vec<&mut dpu_sim::Machine> = system.iter_mut().map(|(_, m)| m).collect();
-            // Chunk DPUs across host threads with crossbeam's scoped spawn.
-            // Trace buffers are chunked alongside, so buffer order stays
-            // DPU order regardless of thread interleaving.
-            let chunk = n.div_ceil(threads);
-            crossbeam::thread::scope(|s| {
-                for ((dpu_chunk, slot_chunk), buf_chunk) in dpus
-                    .chunks_mut(chunk)
-                    .zip(slots.chunks_mut(chunk))
-                    .zip(buffers.chunks_mut(chunk))
-                {
-                    s.spawn(move |_| {
-                        for ((dpu, slot), buf) in dpu_chunk
-                            .iter_mut()
-                            .zip(slot_chunk.iter_mut())
-                            .zip(buf_chunk.iter_mut())
-                        {
-                            *slot = Some(run_one(dpu, program, tasklets, trace, buf));
-                        }
-                    });
-                }
-            })
-            .expect("simulation worker thread panicked");
-            results = slots;
-        }
-
-        let mut per_dpu = Vec::with_capacity(n);
-        for r in results {
-            per_dpu.push(r.expect("every DPU slot filled")?);
-        }
-        Ok((LaunchResult { per_dpu, tasklets }, buffers))
+        let exec = ExecProgram::compile(program)?;
+        launch_on(self.system_mut(), &exec, tasklets, trace)
     }
 }
 
 impl DpuSet {
     /// Launch the program previously installed with [`DpuSet::load`] —
-    /// the second half of the SDK's load-once/launch-many pattern.
+    /// the second half of the SDK's load-once/launch-many pattern. Runs
+    /// the stored execution form directly: no re-validation, no clone.
     ///
     /// # Errors
     /// [`crate::HostError::Symbol`] when nothing is loaded; otherwise as
     /// [`DpuSet::launch`].
     pub fn launch_loaded(&mut self, tasklets: usize) -> Result<LaunchResult> {
-        let program = self.loaded_program().cloned().ok_or(crate::HostError::Symbol {
+        let (system, loaded) = self.system_and_loaded();
+        let exec = loaded.ok_or(HostError::Symbol {
             name: "<program>".to_owned(),
             problem: "no program loaded; call DpuSet::load first",
         })?;
-        self.launch(&program, tasklets)
+        launch_on(system, exec, tasklets, false).map(|(res, _)| res)
     }
 
     /// [`DpuSet::launch_loaded`] with per-DPU tracing, as
@@ -210,12 +158,162 @@ impl DpuSet {
         &mut self,
         tasklets: usize,
     ) -> Result<(LaunchResult, Vec<TraceBuffer>)> {
-        let program = self.loaded_program().cloned().ok_or(crate::HostError::Symbol {
+        let (system, loaded) = self.system_and_loaded();
+        let exec = loaded.ok_or(HostError::Symbol {
             name: "<program>".to_owned(),
             problem: "no program loaded; call DpuSet::load first",
         })?;
-        self.launch_traced(&program, tasklets)
+        launch_on(system, exec, tasklets, true)
     }
+}
+
+/// Below the threshold a launch runs on the calling thread: the scoped
+/// spawn costs more than it saves on tiny sets.
+const PARALLEL_THRESHOLD: usize = 4;
+
+/// What happened to one DPU's simulation.
+enum DpuOutcome {
+    /// The interpreter ran to a verdict (completion or a DPU fault).
+    Done(dpu_sim::Result<RunResult>),
+    /// The worker thread panicked while simulating this DPU.
+    Panicked(String),
+}
+
+/// Run the decoded program on every DPU of `system` and collect per-DPU
+/// results plus trace buffers, both in DPU order.
+fn launch_on(
+    system: &mut PimSystem,
+    exec: &ExecProgram,
+    tasklets: usize,
+    trace: bool,
+) -> Result<(LaunchResult, Vec<TraceBuffer>)> {
+    let n = system.len();
+    let mut buffers: Vec<TraceBuffer> = vec![TraceBuffer::new(); n];
+    let outcomes = if n < PARALLEL_THRESHOLD {
+        run_sequential(system, exec, tasklets, trace, &mut buffers)
+    } else {
+        run_stealing(system, exec, tasklets, trace, &mut buffers)
+    };
+    let mut per_dpu = Vec::with_capacity(n);
+    for outcome in outcomes {
+        match outcome {
+            DpuOutcome::Done(r) => per_dpu.push(r?),
+            DpuOutcome::Panicked(detail) => return Err(HostError::WorkerPanic { detail }),
+        }
+    }
+    Ok((LaunchResult { per_dpu, tasklets }, buffers))
+}
+
+fn run_one(
+    dpu: &mut dpu_sim::Machine,
+    exec: &ExecProgram,
+    tasklets: usize,
+    trace: bool,
+    buf: &mut TraceBuffer,
+) -> dpu_sim::Result<RunResult> {
+    if trace {
+        dpu.run_exec_traced(exec, tasklets, buf)
+    } else {
+        dpu.run_exec(exec, tasklets)
+    }
+}
+
+/// Calling-thread launch: DPUs run one after another, panics unwind
+/// straight to the caller.
+fn run_sequential(
+    system: &mut PimSystem,
+    exec: &ExecProgram,
+    tasklets: usize,
+    trace: bool,
+    buffers: &mut [TraceBuffer],
+) -> Vec<DpuOutcome> {
+    system
+        .iter_mut()
+        .zip(buffers.iter_mut())
+        .map(|((_, dpu), buf)| DpuOutcome::Done(run_one(dpu, exec, tasklets, trace, buf)))
+        .collect()
+}
+
+/// Work-stealing launch: host threads claim DPUs one at a time off a
+/// shared atomic counter, so a few expensive DPUs at the front of the set
+/// cannot idle the other threads the way static chunking did.
+fn run_stealing(
+    system: &mut PimSystem,
+    exec: &ExecProgram,
+    tasklets: usize,
+    trace: bool,
+    buffers: &mut [TraceBuffer],
+) -> Vec<DpuOutcome> {
+    run_stealing_with(system, buffers, |_, dpu, buf| run_one(dpu, exec, tasklets, trace, buf))
+}
+
+/// The scheduler core, generic over the per-DPU job so tests can inject
+/// faulting or panicking work. `job` receives the DPU index; results and
+/// buffers come back in DPU order regardless of which thread ran what.
+fn run_stealing_with<F>(
+    system: &mut PimSystem,
+    buffers: &mut [TraceBuffer],
+    job: F,
+) -> Vec<DpuOutcome>
+where
+    F: Fn(usize, &mut dpu_sim::Machine, &mut TraceBuffer) -> dpu_sim::Result<RunResult> + Sync,
+{
+    struct Slot<'a> {
+        dpu: &'a mut dpu_sim::Machine,
+        buf: &'a mut TraceBuffer,
+        outcome: Option<DpuOutcome>,
+    }
+
+    let n = system.len();
+    let slots: Vec<Mutex<Slot>> = system
+        .iter_mut()
+        .zip(buffers.iter_mut())
+        .map(|((_, dpu), buf)| Mutex::new(Slot { dpu, buf, outcome: None }))
+        .collect();
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism().map_or(4, usize::from).min(n);
+    crossbeam::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(slot) = slots.get(i) else { break };
+                // Each index is claimed exactly once, so the lock is always
+                // uncontended; it exists to hand the `&mut` state to
+                // whichever thread drew the index.
+                let mut slot = slot.lock().expect("job mutex poisoned");
+                let Slot { dpu, buf, outcome } = &mut *slot;
+                // Catch panics per DPU (while not holding any shared state)
+                // so one faulty simulation surfaces as a `HostError` instead
+                // of tearing down the whole scope.
+                *outcome = Some(
+                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        job(i, dpu, buf)
+                    })) {
+                        Ok(res) => DpuOutcome::Done(res),
+                        Err(payload) => DpuOutcome::Panicked(panic_detail(payload.as_ref())),
+                    },
+                );
+            });
+        }
+    })
+    .expect("scoped thread join failed");
+    slots
+        .into_iter()
+        .map(|m| {
+            let slot = m.into_inner().expect("job mutex poisoned");
+            slot.outcome.expect("every DPU index was claimed by a worker")
+        })
+        .collect()
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    payload.downcast_ref::<&str>().map(|s| (*s).to_owned()).unwrap_or_else(|| {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "panic payload was not a string".to_owned())
+    })
 }
 
 #[cfg(test)]
@@ -403,5 +501,123 @@ mod trace_tests {
             let max_end = bufs.iter().map(pim_trace::TraceBuffer::max_end_cycle).max().unwrap();
             proptest::prop_assert_eq!(res.makespan_cycles(), max_end);
         }
+    }
+}
+
+#[cfg(test)]
+mod scheduler_equivalence_tests {
+    use super::*;
+    use dpu_sim::isa::{Cond, Width};
+    use dpu_sim::{Instr as I, Reg};
+    use proptest::prelude::*;
+
+    /// A program with a random ALU/trace prefix followed by a countdown
+    /// loop whose trip count comes from MRAM — so per-DPU cost is as skewed
+    /// as the seeded counts, the worst case for scheduling order bugs.
+    fn build_program(ops: &[(u8, i32)], barrier: bool) -> Program {
+        let mut v = vec![
+            I::Movi { rd: Reg(1), imm: 0 },
+            I::Movi { rd: Reg(2), imm: 0 },
+            I::Movi { rd: Reg(3), imm: 8 },
+            I::MramRead { wram: Reg(1), mram: Reg(2), len: Reg(3) },
+            I::Load { width: Width::W, rd: Reg(4), ra: Reg(1), off: 0 },
+        ];
+        for &(sel, imm) in ops {
+            v.push(match sel % 5 {
+                0 => I::Addi { rd: Reg(6), ra: Reg(6), imm },
+                1 => I::Xor { rd: Reg(6), ra: Reg(6), rb: Reg(4) },
+                2 => I::Lsli { rd: Reg(6), ra: Reg(6), sh: (imm as u8) & 7 },
+                3 => I::Trace { ra: Reg(6) },
+                _ => I::Mul8 { rd: Reg(6), ra: Reg(6), rb: Reg(4) },
+            });
+        }
+        let loop_top = v.len() as u32;
+        v.push(I::Addi { rd: Reg(4), ra: Reg(4), imm: -1 });
+        v.push(I::Branch { cond: Cond::Ne, ra: Reg(4), rb: Reg(0), target: loop_top });
+        if barrier {
+            v.push(I::Barrier);
+        }
+        v.push(I::Trace { ra: Reg(6) });
+        v.push(I::Halt);
+        Program::new(v)
+    }
+
+    /// A set whose DPU `i` holds `counts[i]` at MRAM offset 0.
+    fn skewed_set(dpus: usize, counts: &[u32]) -> DpuSet {
+        let mut set = DpuSet::allocate(dpus).unwrap();
+        for (i, (_, dpu)) in set.system_mut().iter_mut().enumerate() {
+            dpu.mram.write(0, &u64::from(counts[i]).to_le_bytes()).unwrap();
+        }
+        set
+    }
+
+    fn unwrap_all(outcomes: Vec<DpuOutcome>) -> Vec<RunResult> {
+        outcomes
+            .into_iter()
+            .map(|o| match o {
+                DpuOutcome::Done(r) => r.expect("program halts"),
+                DpuOutcome::Panicked(d) => panic!("worker panicked: {d}"),
+            })
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// The satellite invariant: the work-stealing scheduler is
+        /// observationally identical to the sequential path — per-DPU
+        /// results and trace buffers, in DPU order — for random programs,
+        /// skews and set sizes on both sides of the parallel threshold.
+        #[test]
+        fn work_stealing_matches_sequential_exactly(
+            dpus in 1usize..9,
+            tasklets in 1usize..4,
+            ops in proptest::collection::vec((0u8..5, 1i32..64), 0..8),
+            counts in proptest::collection::vec(1u32..60, 9),
+            barrier_sel in 0u8..2,
+        ) {
+            let program = build_program(&ops, barrier_sel == 1);
+            let exec = ExecProgram::compile(&program).unwrap();
+
+            let mut seq_set = skewed_set(dpus, &counts);
+            let mut seq_bufs = vec![TraceBuffer::new(); dpus];
+            let seq =
+                run_sequential(seq_set.system_mut(), &exec, tasklets, true, &mut seq_bufs);
+
+            let mut steal_set = skewed_set(dpus, &counts);
+            let mut steal_bufs = vec![TraceBuffer::new(); dpus];
+            let steal =
+                run_stealing(steal_set.system_mut(), &exec, tasklets, true, &mut steal_bufs);
+
+            prop_assert_eq!(seq_bufs, steal_bufs);
+            prop_assert_eq!(unwrap_all(seq), unwrap_all(steal));
+        }
+    }
+
+    #[test]
+    fn worker_panic_is_captured_per_dpu_with_its_message() {
+        let mut set = DpuSet::allocate(6).unwrap();
+        let mut bufs = vec![TraceBuffer::new(); 6];
+        let exec = ExecProgram::compile(&Program::new(vec![I::Halt])).unwrap();
+        let outcomes = run_stealing_with(set.system_mut(), &mut bufs, |i, dpu, buf| {
+            if i == 3 {
+                panic!("injected failure on DPU 3");
+            }
+            run_one(dpu, &exec, 1, false, buf)
+        });
+        assert_eq!(outcomes.len(), 6);
+        for (i, o) in outcomes.iter().enumerate() {
+            match o {
+                DpuOutcome::Done(r) => {
+                    assert_ne!(i, 3);
+                    assert!(r.is_ok());
+                }
+                DpuOutcome::Panicked(detail) => {
+                    assert_eq!(i, 3);
+                    assert!(detail.contains("injected failure"), "got {detail}");
+                }
+            }
+        }
+        let err = HostError::WorkerPanic { detail: "injected failure on DPU 3".to_owned() };
+        assert!(err.to_string().contains("panicked"));
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::error::{HostError, Result};
 use crate::symbol::{Symbol, SymbolTable};
-use dpu_sim::{DpuId, DpuParams, PimSystem};
+use dpu_sim::{DpuId, DpuParams, ExecProgram, PimSystem};
 use pim_trace::{HostDirection, TraceBuffer, TraceEvent, TraceSink};
 
 /// A host-allocated set of DPUs with a shared symbol table.
@@ -17,7 +17,7 @@ use pim_trace::{HostDirection, TraceBuffer, TraceEvent, TraceSink};
 pub struct DpuSet {
     system: PimSystem,
     symbols: SymbolTable,
-    loaded: Option<dpu_sim::Program>,
+    loaded: Option<ExecProgram>,
     xfer_stats: std::collections::BTreeMap<String, TransferStats>,
     // `RefCell` because gather paths (`copy_from_dpu`) take `&self`; host
     // transfers are strictly host-thread-sequential, so no contention.
@@ -152,29 +152,37 @@ impl DpuSet {
         &mut self.system
     }
 
+    /// Split-borrow the system together with the loaded execution form, so
+    /// the launch path can run the stored program without cloning it.
+    pub(crate) fn system_and_loaded(&mut self) -> (&mut PimSystem, Option<&ExecProgram>) {
+        (&mut self.system, self.loaded.as_ref())
+    }
+
     /// Load a program onto every DPU of the set (`dpu_load`): validates
-    /// control flow and the IRAM footprint once, then keeps the program for
-    /// [`DpuSet::launch_loaded`]. The SDK's load-once/launch-many pattern.
+    /// control flow and the IRAM footprint once and decodes the program
+    /// into its [`ExecProgram`] execution form, kept for
+    /// [`DpuSet::launch_loaded`]. The SDK's load-once/launch-many pattern —
+    /// launches of the loaded program skip validation and decoding.
     ///
     /// # Errors
     /// [`HostError::Dpu`] when the program is malformed or exceeds IRAM.
     pub fn load(&mut self, program: &dpu_sim::Program) -> Result<()> {
-        program.validate()?;
+        let exec = ExecProgram::compile(program)?;
         let iram = self.system.params.iram_bytes;
-        if program.iram_bytes() > iram {
+        if exec.iram_bytes() > iram {
             return Err(HostError::Dpu(dpu_sim::Error::ProgramTooLarge {
-                bytes: program.iram_bytes(),
+                bytes: exec.iram_bytes(),
                 iram_bytes: iram,
             }));
         }
-        self.loaded = Some(program.clone());
+        self.loaded = Some(exec);
         Ok(())
     }
 
     /// The currently loaded program, if any.
     #[must_use]
     pub fn loaded_program(&self) -> Option<&dpu_sim::Program> {
-        self.loaded.as_ref()
+        self.loaded.as_ref().map(ExecProgram::source)
     }
 
     fn check_dpu(&self, dpu: DpuId) -> Result<()> {

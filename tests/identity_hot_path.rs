@@ -1,0 +1,81 @@
+//! Identity tests for the interpreter hot-path overhaul: the pre-decoded
+//! execution form, the array-indexed opcode histogram, the incremental
+//! barrier accounting and the work-stealing launch path must all be
+//! *observationally invisible*. These tests pin exact `RunResult` and
+//! trace-buffer figures from the eBNN and YOLO Tier-1 pipelines (recorded
+//! on the pre-overhaul interpreter) and cross-check every launch pathway
+//! against every other.
+
+use ebnn::{EbnnModel, ModelConfig};
+use pim_trace::TraceBuffer;
+use yolo_pim::gemm::GemmDims;
+
+/// A compact, order-sensitive fingerprint of a trace buffer.
+fn fingerprint(buf: &TraceBuffer) -> (usize, u64, u64) {
+    (buf.events().len(), buf.dma_bytes(), buf.max_end_cycle())
+}
+
+// Golden figures recorded from the seed interpreter (PR 1 state); any
+// drift means the overhaul changed observable behaviour.
+const GOLDEN_EBNN_INSTRS_0: u64 = 990_629;
+const GOLDEN_EBNN_INSTRS_1: u64 = 990_777;
+const GOLDEN_EBNN_INSTRS_2: u64 = 495_365;
+const GOLDEN_EBNN_HIST_TOTAL: u64 = 989_093;
+const GOLDEN_EBNN_TRACE: [(usize, u64, u64); 3] =
+    [(85, 8_400, 993_094), (85, 8_400, 993_639), (53, 4_240, 682_719)];
+
+#[test]
+fn ebnn_multi_dpu_pipeline_is_bit_identical_to_seed() {
+    // 40 images over 3 DPUs (16 + 16 + 8): unequal chunks exercise the
+    // skew the work-stealing scheduler must keep invisible.
+    let model = EbnnModel::generate(ModelConfig { filters: 2, ..ModelConfig::default() });
+    let images: Vec<_> = (0..40).map(|i| ebnn::mnist::synth_digit(i % 10, i as u64)).collect();
+
+    let (features, launch) =
+        ebnn::codegen::run_tier1_batch_multi_dpu(&model, &images).expect("untraced run");
+    let traced =
+        ebnn::codegen::run_tier1_batch_multi_dpu_traced(&model, &images).expect("traced run");
+
+    // Tracing and scheduling must not perturb results.
+    assert_eq!(features, traced.features);
+    assert_eq!(launch, traced.launch);
+
+    // Golden figures recorded from the seed interpreter (PR 1 state).
+    assert_eq!(launch.per_dpu.len(), 3);
+    let cycles: Vec<u64> = launch.per_dpu.iter().map(|r| r.cycles).collect();
+    let instrs: Vec<u64> = launch.per_dpu.iter().map(|r| r.instructions).collect();
+    assert_eq!(cycles, vec![993_094, 993_639, 682_719], "per-DPU cycles drifted");
+    assert_eq!(instrs, vec![GOLDEN_EBNN_INSTRS_0, GOLDEN_EBNN_INSTRS_1, GOLDEN_EBNN_INSTRS_2]);
+    assert_eq!(launch.makespan_cycles(), 993_639, "makespan drifted");
+    let prints: Vec<(usize, u64, u64)> = traced.dpu_traces.iter().map(fingerprint).collect();
+    assert_eq!(prints, GOLDEN_EBNN_TRACE, "trace buffers drifted");
+
+    // The histogram fold must reproduce the exact per-mnemonic counts.
+    let h = &launch.per_dpu[0].op_histogram;
+    assert_eq!(h.values().sum::<u64>(), GOLDEN_EBNN_HIST_TOTAL);
+}
+
+#[test]
+fn yolo_tier1_layer_is_bit_identical_to_seed() {
+    // 6 DPUs (>= the parallel threshold), 3 tasklets, deterministic data.
+    let dims = GemmDims { m: 6, n: 24, k: 18 };
+    let a: Vec<i16> = (0..dims.m * dims.k).map(|i| ((i * 7 % 13) as i16) - 6).collect();
+    let b: Vec<i16> = (0..dims.k * dims.n).map(|i| ((i * 5 % 11) as i16) - 5).collect();
+
+    let (c, launch) = yolo_pim::codegen::run_tier1_layer(dims, 1, &a, &b, 3).expect("untraced run");
+    let traced = yolo_pim::codegen::run_tier1_layer_traced(dims, 1, &a, &b, 3).expect("traced run");
+    assert_eq!(c, traced.c);
+    assert_eq!(launch, traced.launch);
+
+    // Functional check against the reference GEMM (Algorithm 2).
+    let mut expect = vec![0i16; dims.m * dims.n];
+    yolo_pim::gemm::gemm(dims, 1, &a, &b, &mut expect);
+    assert_eq!(c, expect);
+
+    // Golden figures recorded from the seed interpreter (PR 1 state).
+    let cycles: Vec<u64> = launch.per_dpu.iter().map(|r| r.cycles).collect();
+    assert_eq!(cycles, vec![264_648; 6], "per-DPU cycles drifted");
+    assert_eq!(launch.total_instructions(), 428_988, "total instructions drifted");
+    let prints: Vec<(usize, u64, u64)> = traced.dpu_traces.iter().map(fingerprint).collect();
+    assert_eq!(prints, vec![(1_763, 968, 264_648); 6], "trace buffers drifted");
+}
