@@ -382,6 +382,21 @@ mod perf_snapshot {
         median(&mut samples)
     }
 
+    /// The commit the snapshot was recorded at, so BENCH_*.json files are
+    /// self-describing in the perf trajectory ("unknown" outside a git
+    /// checkout).
+    fn git_sha() -> String {
+        std::process::Command::new("git")
+            .args(["rev-parse", "HEAD"])
+            .output()
+            .ok()
+            .filter(|out| out.status.success())
+            .and_then(|out| String::from_utf8(out.stdout).ok())
+            .map(|s| s.trim().to_owned())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_owned())
+    }
+
     #[allow(clippy::cast_precision_loss)]
     pub fn run(path: &str, samples: usize) {
         let alu = alu_loop_program();
@@ -405,9 +420,11 @@ mod perf_snapshot {
             ));
         }
         let doc = serde_json::json!({
-            "schema": "pim-bench-snapshot-v1",
+            "schema": "pim-bench-snapshot-v2",
             "samples": samples as u64,
-            "benches": serde_json::Value::Object(benches),
+            "git_sha": git_sha(),
+            "build_profile": if cfg!(debug_assertions) { "debug" } else { "release" },
+            "benches": serde_json::Value::Object(benches.into_iter().collect()),
         });
         let text = serde_json::to_string_pretty(&doc).expect("serializable");
         std::fs::write(path, text + "\n").expect("write bench snapshot");

@@ -95,6 +95,204 @@ pub struct ExecInstr {
     pub op: u8,
 }
 
+/// True when `instr` touches only the executing tasklet's private register
+/// file: no shared memory, no control flow, no synchronization, and no
+/// timing-visible side effect (DMA, perfcounter, DPU log). These are the
+/// ops a superblock may contain — reordering them *across tasklets* is
+/// unobservable, which is what lets the interpreter fast-forward a whole
+/// block in one dispatch (see [`Superblocks`]).
+#[must_use]
+pub fn is_superblock_op(instr: &Instr) -> bool {
+    matches!(
+        instr,
+        Instr::Nop
+            | Instr::Movi { .. }
+            | Instr::Mov { .. }
+            | Instr::Add { .. }
+            | Instr::Addi { .. }
+            | Instr::Sub { .. }
+            | Instr::And { .. }
+            | Instr::Or { .. }
+            | Instr::Xor { .. }
+            | Instr::Lsl { .. }
+            | Instr::Lsli { .. }
+            | Instr::Lsr { .. }
+            | Instr::Lsri { .. }
+            | Instr::Asr { .. }
+            | Instr::Asri { .. }
+            | Instr::Mul8 { .. }
+            | Instr::Popcount { .. }
+            | Instr::TaskletId { .. }
+    )
+}
+
+/// Sentinel in the pc → head index map: this pc does not start a block.
+const NO_HEAD: u32 = u32::MAX;
+
+/// Memoized facts about one superblock, computed once at decode time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BlockMeta {
+    /// First instruction of the block.
+    pub start: u32,
+    /// Number of instructions (every superblock op is a single issue slot,
+    /// so this is also the block's issue-slot count).
+    pub len: u32,
+    /// Sparse opcode-id histogram of the block: `(op_id, count)` pairs,
+    /// folded into the run's fixed-size op array in one pass instead of
+    /// one increment per executed instruction.
+    pub op_counts: Vec<(u8, u32)>,
+}
+
+impl BlockMeta {
+    /// Cycles a lone tasklet spends issuing this block under a pipeline of
+    /// the given depth: one issue per rotation.
+    #[must_use]
+    pub fn cycle_delta(&self, stages: u64) -> u64 {
+        u64::from(self.len) * stages
+    }
+}
+
+/// Superblock decomposition of a decoded instruction stream.
+///
+/// A *superblock* is a maximal straight-line run of [`is_superblock_op`]
+/// instructions containing no branch, synchronization (barrier/mutex), DMA
+/// or perfcounter op, split additionally at every static branch/jump
+/// target (side entries start their own block). The interpreter uses the
+/// decomposition to replay a whole block in one dispatch with a memoized
+/// cycle delta — see `Machine::run_exec` — which is observationally
+/// invisible because block ops touch only the executing tasklet's private
+/// registers.
+///
+/// Two views are kept:
+///
+/// * `len_at(pc)` — how many block instructions start at `pc` (a suffix
+///   length, so entering a block mid-way through a computed jump still
+///   fast-forwards the remainder);
+/// * `head_meta(pc)` — the memoized [`BlockMeta`] when `pc` is a block
+///   head (program start, post-block fall-through, or branch target).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Superblocks {
+    /// Per-pc: number of consecutive superblock ops executable from this
+    /// pc before the next block boundary (0 when `code[pc]` is not a
+    /// superblock op).
+    exec_len: Vec<u32>,
+    /// Per-pc: index into `heads`, or [`NO_HEAD`].
+    head_idx: Vec<u32>,
+    /// Memoized metadata of every block head.
+    heads: Vec<BlockMeta>,
+}
+
+impl Superblocks {
+    /// Decompose `code` into superblocks. One linear pass over the stream
+    /// plus one pass over the blocks to memoize their op counts.
+    #[must_use]
+    pub fn analyze(code: &[ExecInstr]) -> Self {
+        let n = code.len();
+        // Raw suffix run lengths of superblock ops.
+        let mut run = vec![0u32; n];
+        for i in (0..n).rev() {
+            if is_superblock_op(&code[i].instr) {
+                run[i] = 1 + if i + 1 < n { run[i + 1] } else { 0 };
+            }
+        }
+        // Entry points: program start, fall-through after a non-block op,
+        // and every static control-flow target (side entries split blocks
+        // so entering at a head always covers a whole memoized block).
+        let mut is_entry = vec![false; n];
+        if n > 0 {
+            is_entry[0] = true;
+        }
+        for (i, slot) in code.iter().enumerate() {
+            match slot.instr {
+                Instr::Branch { target, .. }
+                | Instr::Jump { target }
+                | Instr::Jal { target, .. }
+                    if (target as usize) < n =>
+                {
+                    is_entry[target as usize] = true;
+                }
+                _ => {}
+            }
+            if !is_superblock_op(&slot.instr) && i + 1 < n {
+                is_entry[i + 1] = true;
+            }
+        }
+        // Executable length from each pc: the suffix run truncated at the
+        // next entry point.
+        let mut exec_len = vec![0u32; n];
+        for i in (0..n).rev() {
+            if run[i] == 0 {
+                continue;
+            }
+            exec_len[i] = if i + 1 < n && run[i + 1] > 0 && !is_entry[i + 1] {
+                exec_len[i + 1] + 1
+            } else {
+                1
+            };
+        }
+        // Memoize per-head op counts.
+        let mut head_idx = vec![NO_HEAD; n];
+        let mut heads = Vec::new();
+        for pc in 0..n {
+            if exec_len[pc] == 0 || !is_entry[pc] {
+                continue;
+            }
+            let len = exec_len[pc];
+            let mut counts: Vec<(u8, u32)> = Vec::new();
+            for slot in &code[pc..pc + len as usize] {
+                match counts.iter_mut().find(|(op, _)| *op == slot.op) {
+                    Some((_, c)) => *c += 1,
+                    None => counts.push((slot.op, 1)),
+                }
+            }
+            head_idx[pc] = heads.len() as u32;
+            heads.push(BlockMeta { start: pc as u32, len, op_counts: counts });
+        }
+        Self { exec_len, head_idx, heads }
+    }
+
+    /// Number of consecutive superblock instructions executable from `pc`
+    /// before the next block boundary; 0 when `pc` is out of range or the
+    /// instruction there is not a superblock op.
+    #[must_use]
+    pub fn len_at(&self, pc: usize) -> u32 {
+        self.exec_len.get(pc).copied().unwrap_or(0)
+    }
+
+    /// Memoized metadata when `pc` is a block head.
+    #[must_use]
+    pub fn head_meta(&self, pc: usize) -> Option<&BlockMeta> {
+        let idx = *self.head_idx.get(pc)?;
+        if idx == NO_HEAD {
+            None
+        } else {
+            Some(&self.heads[idx as usize])
+        }
+    }
+
+    /// Every block head, in program order.
+    #[must_use]
+    pub fn blocks(&self) -> &[BlockMeta] {
+        &self.heads
+    }
+
+    /// The canonical partition of the instruction stream: superblocks and
+    /// singleton units for every non-block instruction, as `(start, len)`
+    /// pairs. Concatenated in order, the pieces reproduce `0..len` exactly
+    /// (pinned by a proptest).
+    #[must_use]
+    pub fn partition(&self) -> Vec<(u32, u32)> {
+        let mut parts = Vec::new();
+        let mut pc = 0usize;
+        while pc < self.exec_len.len() {
+            let len = self.exec_len[pc].max(1);
+            parts.push((pc as u32, len));
+            pc += len as usize;
+        }
+        parts
+    }
+}
+
 /// A [`Program`] decoded into its dense execution form.
 ///
 /// Holds the source program (for labels, display and host symbol lookups)
@@ -103,6 +301,7 @@ pub struct ExecInstr {
 pub struct ExecProgram {
     source: Program,
     code: Vec<ExecInstr>,
+    superblocks: Superblocks,
 }
 
 impl ExecProgram {
@@ -124,9 +323,10 @@ impl ExecProgram {
     /// whose invalid targets are never executed.
     #[must_use]
     pub fn decode(program: &Program) -> Self {
-        let code =
+        let code: Vec<ExecInstr> =
             program.instrs.iter().map(|&instr| ExecInstr { instr, op: op_id(&instr) }).collect();
-        Self { source: program.clone(), code }
+        let superblocks = Superblocks::analyze(&code);
+        Self { source: program.clone(), code, superblocks }
     }
 
     /// The source program this execution form was decoded from.
@@ -139,6 +339,12 @@ impl ExecProgram {
     #[must_use]
     pub fn code(&self) -> &[ExecInstr] {
         &self.code
+    }
+
+    /// The superblock decomposition computed at decode time.
+    #[must_use]
+    pub fn superblocks(&self) -> &Superblocks {
+        &self.superblocks
     }
 
     /// Number of instructions.
@@ -270,5 +476,106 @@ mod tests {
         assert_eq!(map.len(), 2);
         assert_eq!(map["nop"], 3);
         assert_eq!(map["barrier"], 1);
+    }
+
+    fn decode_instrs(instrs: Vec<Instr>) -> Vec<ExecInstr> {
+        instrs.into_iter().map(|instr| ExecInstr { op: op_id(&instr), instr }).collect()
+    }
+
+    #[test]
+    fn superblock_classification_matches_variant_census() {
+        // Exactly the register-private, single-slot ops qualify.
+        for instr in all_variants() {
+            let pure = is_superblock_op(&instr);
+            let expect = !matches!(
+                instr,
+                Instr::Load { .. }
+                    | Instr::Store { .. }
+                    | Instr::MramRead { .. }
+                    | Instr::MramWrite { .. }
+                    | Instr::Branch { .. }
+                    | Instr::Jump { .. }
+                    | Instr::Jal { .. }
+                    | Instr::Jr { .. }
+                    | Instr::CallSub { .. }
+                    | Instr::PerfConfig
+                    | Instr::PerfRead { .. }
+                    | Instr::Trace { .. }
+                    | Instr::Barrier
+                    | Instr::MutexLock { .. }
+                    | Instr::MutexUnlock { .. }
+                    | Instr::Halt
+            );
+            assert_eq!(pure, expect, "{instr:?}");
+        }
+    }
+
+    #[test]
+    fn superblocks_split_at_branch_targets_and_impure_ops() {
+        let r = Reg(1);
+        // 0: movi  ┐ block A truncated at 1 (branch target)
+        // 1: addi  ┐ block B (len 2: side entry starts its own block)
+        // 2: add   ┘
+        // 3: bne -> 1
+        // 4: movi  ─ block C (len 1)
+        // 5: halt
+        let code = decode_instrs(vec![
+            Instr::Movi { rd: r, imm: 7 },
+            Instr::Addi { rd: r, ra: r, imm: 1 },
+            Instr::Add { rd: r, ra: r, rb: r },
+            Instr::Branch { cond: Cond::Ne, ra: r, rb: Reg(0), target: 1 },
+            Instr::Movi { rd: r, imm: 0 },
+            Instr::Halt,
+        ]);
+        let sb = Superblocks::analyze(&code);
+
+        assert_eq!(sb.len_at(0), 1, "block A truncated at the side entry");
+        assert_eq!(sb.len_at(1), 2);
+        assert_eq!(sb.len_at(2), 1, "suffix of block B");
+        assert_eq!(sb.len_at(3), 0, "branch is not a block op");
+        assert_eq!(sb.len_at(4), 1);
+        assert_eq!(sb.len_at(5), 0, "halt is not a block op");
+        assert_eq!(sb.len_at(6), 0, "out of range");
+
+        // Heads: 0 (program start), 1 (branch target), 4 (fall-through
+        // after the branch). pc 2 is a mid-block suffix, not a head.
+        assert_eq!(sb.head_meta(0).map(|m| (m.start, m.len)), Some((0, 1)));
+        assert_eq!(sb.head_meta(1).map(|m| (m.start, m.len)), Some((1, 2)));
+        assert!(sb.head_meta(2).is_none());
+        assert_eq!(sb.head_meta(4).map(|m| (m.start, m.len)), Some((4, 1)));
+
+        // Memoized op counts for block B: addi and add share the "add"
+        // opcode class, so one entry with count 2.
+        let meta = sb.head_meta(1).unwrap();
+        let add = op_id(&Instr::Add { rd: r, ra: r, rb: r });
+        assert_eq!(meta.op_counts, vec![(add, 2)]);
+        assert_eq!(meta.cycle_delta(11), 22);
+    }
+
+    #[test]
+    fn superblock_partition_covers_stream_exactly() {
+        let r = Reg(2);
+        let code = decode_instrs(vec![
+            Instr::Movi { rd: r, imm: 3 },
+            Instr::Add { rd: r, ra: r, rb: r },
+            Instr::Barrier,
+            Instr::Sub { rd: r, ra: r, rb: r },
+            Instr::Jump { target: 0 },
+        ]);
+        let sb = Superblocks::analyze(&code);
+        assert_eq!(sb.partition(), vec![(0, 2), (2, 1), (3, 1), (4, 1)]);
+        // Every head is the start of a partition piece with the same length.
+        for meta in sb.blocks() {
+            assert!(sb.partition().contains(&(meta.start, meta.len)), "{meta:?}");
+        }
+    }
+
+    #[test]
+    fn superblocks_of_empty_program_are_empty() {
+        let sb = Superblocks::analyze(&[]);
+        assert_eq!(sb.len_at(0), 0);
+        assert!(sb.head_meta(0).is_none());
+        assert!(sb.blocks().is_empty());
+        assert!(sb.partition().is_empty());
     }
 }

@@ -19,7 +19,7 @@
 //! totals reproduce Table 3.1 within ~1.5 % (see [`crate::subroutines`]).
 
 use crate::error::{Error, Result};
-use crate::exec::{self, ExecInstr, ExecProgram, OP_COUNT};
+use crate::exec::{self, ExecInstr, ExecProgram, Superblocks, OP_COUNT};
 use crate::isa::{Instr, Program, Reg, Width};
 use crate::memory::{DmaEngine, Mram, Wram};
 use crate::params::{DpuParams, REGS_PER_TASKLET};
@@ -194,7 +194,8 @@ impl Machine {
             .iter()
             .map(|&instr| ExecInstr { instr, op: exec::op_id(&instr) })
             .collect();
-        self.run_code(&code, tasklets, budget, sink)
+        let sb = Superblocks::analyze(&code);
+        self.run_code(&code, &sb, tasklets, budget, sink, false)
     }
 
     /// Run a pre-decoded program on `tasklets` hardware threads until all
@@ -217,7 +218,27 @@ impl Machine {
         tasklets: usize,
         budget: u64,
     ) -> Result<RunResult> {
-        self.run_code(exec.code(), tasklets, budget, &mut NullSink)
+        self.run_code(exec.code(), exec.superblocks(), tasklets, budget, &mut NullSink, false)
+    }
+
+    /// Like [`Machine::run_exec_with_budget`] but forcing the
+    /// per-instruction reference loop, with superblock fast-forwarding and
+    /// event-driven skipping disabled.
+    ///
+    /// Exists so equivalence tests and benchmarks can compare the
+    /// optimized engine against the reference semantics on the same
+    /// decoded program; not useful otherwise.
+    ///
+    /// # Errors
+    /// See [`Machine::run`].
+    #[doc(hidden)]
+    pub fn run_exec_reference_with_budget(
+        &mut self,
+        exec: &ExecProgram,
+        tasklets: usize,
+        budget: u64,
+    ) -> Result<RunResult> {
+        self.run_code(exec.code(), exec.superblocks(), tasklets, budget, &mut NullSink, true)
     }
 
     /// Like [`Machine::run_exec`], recording cycle-stamped [`TraceEvent`]s
@@ -245,25 +266,32 @@ impl Machine {
         budget: u64,
         sink: &mut dyn TraceSink,
     ) -> Result<RunResult> {
-        self.run_code(exec.code(), tasklets, budget, sink)
+        self.run_code(exec.code(), exec.superblocks(), tasklets, budget, sink, false)
     }
 
     /// The interpreter core over a decoded instruction stream.
     ///
-    /// Scheduling state is tracked incrementally — `live` (non-halted),
-    /// `parked` (at a barrier) and `runnable_count` are counters updated at
-    /// state transitions rather than flag vectors rescanned every issue
-    /// slot — and the op histogram is a fixed-size array indexed by opcode
-    /// id, folded into the public `BTreeMap` once at run end. With a single
-    /// tasklet the mutex/barrier machinery is bypassed entirely: a barrier
-    /// releases immediately and a lock can never block, so neither needs
-    /// bookkeeping.
+    /// Sets up an [`Interp`] and runs one of two engines over it:
+    ///
+    /// * the **reference loop** ([`Interp::run_reference`]) — one
+    ///   `Pipeline::pick` per issue slot, exactly the semantics every
+    ///   observable figure is defined by. Traced runs always take it
+    ///   (`reference` is also forced by
+    ///   [`Machine::run_exec_reference_with_budget`]), so the existing
+    ///   traced-vs-untraced equality tests double as fast-vs-reference
+    ///   identity checks;
+    /// * the **superblock engine** ([`Interp::run_fast`]) — fast-forwards
+    ///   whole straight-line blocks and saturated round-robin rotations in
+    ///   one dispatch, observationally invisible by construction (see the
+    ///   per-method proofs and `docs/PERFORMANCE.md`).
     fn run_code(
         &mut self,
         code: &[ExecInstr],
+        sb: &Superblocks,
         tasklets: usize,
         budget: u64,
         sink: &mut dyn TraceSink,
+        reference: bool,
     ) -> Result<RunResult> {
         if tasklets == 0 || tasklets > self.params.max_tasklets {
             return Err(Error::BadTaskletCount {
@@ -279,310 +307,57 @@ impl Machine {
             });
         }
 
-        let mut pipeline = Pipeline::with_stages(tasklets, u64::from(self.params.pipeline_stages));
-        let mut threads: Vec<Tasklet> = (0..tasklets).map(|_| Tasklet::new()).collect();
-        // The DMA engine's streaming port (2 bytes/cycle) is a shared
-        // resource: concurrent transfers from different tasklets serialize
-        // their data movement, while the fixed setup latency overlaps.
-        let mut dma_stream_free: u64 = 0;
-        let single = tasklets == 1;
-        let mut runnable = vec![!code.is_empty(); tasklets];
-        // Incremental scheduling counters, updated at state transitions:
-        // `live` = non-halted tasklets, `parked` = tasklets waiting at a
-        // barrier, `runnable_count` = tasklets the dispatcher may pick.
-        // Every live, non-runnable tasklet is either parked or blocked on a
-        // mutex, so `live - parked` is the mutex-blocked population.
-        let mut live = if code.is_empty() { 0 } else { tasklets };
-        let mut runnable_count = live;
-        let mut parked = 0usize;
-        // Barrier bookkeeping: tasklets parked at a barrier are temporarily
-        // not runnable; when every live (non-halted) tasklet is parked, all
-        // release. Tasklets blocked on a mutex count as live, so a barrier
-        // cannot release past them (matching hardware semantics — and
-        // making a mutex held across a barrier a detectable deadlock).
-        let mut at_barrier = vec![false; tasklets];
-        // Per-opcode-id issue counts; folded into the public histogram map
-        // only once the run completes.
-        let mut op_counts = [0u64; OP_COUNT];
-        // Hardware mutexes: owner per id plus FIFO wait queues.
-        let mut mutex_owner: std::collections::HashMap<u8, usize> =
-            std::collections::HashMap::new();
-        let mut mutex_waiters: std::collections::HashMap<u8, std::collections::VecDeque<usize>> =
-            std::collections::HashMap::new();
-        let mut result = RunResult::default();
+        let pipeline = Pipeline::with_stages(tasklets, u64::from(self.params.pipeline_stages));
+        let live = if code.is_empty() { 0 } else { tasklets };
         let dma_cycles_before = self.dma.total_cycles;
         let dma_transfers_before = self.dma.transfers;
         let dma_bytes_before = self.dma.total_bytes;
-        if sink.is_enabled() {
-            sink.record(TraceEvent::KernelLaunch { tasklets: tasklets as u8, cycle: 0 });
+
+        let mut interp = Interp {
+            pipeline,
+            threads: (0..tasklets).map(|_| Tasklet::new()).collect(),
+            dma_stream_free: 0,
+            single: tasklets == 1,
+            runnable: vec![!code.is_empty(); tasklets],
+            live,
+            runnable_count: live,
+            parked: 0,
+            at_barrier: vec![false; tasklets],
+            op_counts: [0; OP_COUNT],
+            mutex_owner: vec![None; MUTEX_IDS],
+            mutex_waiters: vec![std::collections::VecDeque::new(); MUTEX_IDS],
+            result: RunResult::default(),
+            order_scratch: Vec::new(),
+            active: if code.is_empty() { Vec::new() } else { (0..tasklets).collect() },
+            sched_changed: false,
+            code,
+            sb,
+            budget,
+            machine: self,
+            sink,
+        };
+        if interp.sink.is_enabled() {
+            interp.sink.record(TraceEvent::KernelLaunch { tasklets: tasklets as u8, cycle: 0 });
         }
 
-        loop {
-            // Release a full barrier: every live tasklet is parked. (A lone
-            // tasklet never parks — its barriers release at the issue slot.)
-            if !single && parked > 0 && parked == live {
-                for (r, b) in runnable.iter_mut().zip(at_barrier.iter_mut()) {
-                    if *b {
-                        *b = false;
-                        *r = true;
-                    }
-                }
-                runnable_count += parked;
-                parked = 0;
-            }
-            if runnable_count == 0 {
-                if live == 0 {
-                    break; // clean completion
-                }
-                return Err(Error::Deadlock { at_barrier: parked, on_mutex: live - parked });
-            }
-            let Some(t) = pipeline.pick(&runnable) else { break };
-            if pipeline.elapsed() > budget {
-                return Err(Error::CycleBudgetExceeded { budget });
-            }
-            let th = &mut threads[t];
-            if th.burst > 0 {
-                th.burst -= 1;
-                continue;
-            }
-            let pc = th.pc as usize;
-            let &ExecInstr { instr, op } =
-                code.get(pc).ok_or(Error::PcOutOfRange { pc, len: code.len() })?;
-
-            op_counts[op as usize] += 1;
-            let mut next_pc = th.pc.wrapping_add(1);
-            match instr {
-                Instr::Nop => {}
-                Instr::Halt => {
-                    runnable[t] = false;
-                    runnable_count -= 1;
-                    live -= 1;
-                }
-                Instr::Movi { rd, imm } => th.set(rd, imm as u32),
-                Instr::Mov { rd, ra } => {
-                    let v = th.get(ra);
-                    th.set(rd, v);
-                }
-                Instr::Add { rd, ra, rb } => {
-                    let v = th.get(ra).wrapping_add(th.get(rb));
-                    th.set(rd, v);
-                }
-                Instr::Addi { rd, ra, imm } => {
-                    let v = th.get(ra).wrapping_add(imm as u32);
-                    th.set(rd, v);
-                }
-                Instr::Sub { rd, ra, rb } => {
-                    let v = th.get(ra).wrapping_sub(th.get(rb));
-                    th.set(rd, v);
-                }
-                Instr::And { rd, ra, rb } => {
-                    let v = th.get(ra) & th.get(rb);
-                    th.set(rd, v);
-                }
-                Instr::Or { rd, ra, rb } => {
-                    let v = th.get(ra) | th.get(rb);
-                    th.set(rd, v);
-                }
-                Instr::Xor { rd, ra, rb } => {
-                    let v = th.get(ra) ^ th.get(rb);
-                    th.set(rd, v);
-                }
-                Instr::Lsl { rd, ra, rb } => {
-                    let v = th.get(ra) << (th.get(rb) & 31);
-                    th.set(rd, v);
-                }
-                Instr::Lsr { rd, ra, rb } => {
-                    let v = th.get(ra) >> (th.get(rb) & 31);
-                    th.set(rd, v);
-                }
-                Instr::Asr { rd, ra, rb } => {
-                    let v = ((th.get(ra) as i32) >> (th.get(rb) & 31)) as u32;
-                    th.set(rd, v);
-                }
-                Instr::Lsli { rd, ra, sh } => {
-                    let v = th.get(ra) << (sh & 31);
-                    th.set(rd, v);
-                }
-                Instr::Lsri { rd, ra, sh } => {
-                    let v = th.get(ra) >> (sh & 31);
-                    th.set(rd, v);
-                }
-                Instr::Asri { rd, ra, sh } => {
-                    let v = ((th.get(ra) as i32) >> (sh & 31)) as u32;
-                    th.set(rd, v);
-                }
-                Instr::Mul8 { rd, ra, rb } => {
-                    let v = (th.get(ra) & 0xff) * (th.get(rb) & 0xff);
-                    th.set(rd, v);
-                }
-                Instr::Popcount { rd, ra } => {
-                    let v = th.get(ra).count_ones();
-                    th.set(rd, v);
-                }
-                Instr::Load { width, rd, ra, off } => {
-                    let addr = th.get(ra).wrapping_add(off as u32) as usize;
-                    let v = match width {
-                        Width::B => self.wram.read_u8(addr)?,
-                        Width::H => self.wram.read_u16(addr)?,
-                        Width::W => self.wram.read_u32(addr)?,
-                    };
-                    th.set(rd, v);
-                }
-                Instr::Store { width, ra, off, rs } => {
-                    let addr = th.get(ra).wrapping_add(off as u32) as usize;
-                    let v = th.get(rs);
-                    match width {
-                        Width::B => self.wram.write_u8(addr, v)?,
-                        Width::H => self.wram.write_u16(addr, v)?,
-                        Width::W => self.wram.write_u32(addr, v)?,
-                    }
-                }
-                Instr::MramRead { wram, mram, len } | Instr::MramWrite { wram, mram, len } => {
-                    let w = th.get(wram) as usize;
-                    let m = th.get(mram) as usize;
-                    let l = th.get(len) as usize;
-                    let cycles = if matches!(instr, Instr::MramRead { .. }) {
-                        self.dma.read(&self.mram, &mut self.wram, m, w, l)?
-                    } else {
-                        self.dma.write(&mut self.mram, &self.wram, m, w, l)?
-                    };
-                    let setup = self.params.dma_setup_cycles;
-                    let stream = cycles.saturating_sub(setup);
-                    let issue = pipeline_issue_cycle(&pipeline);
-                    let start = issue.max(dma_stream_free);
-                    dma_stream_free = start + stream;
-                    // The issuing tasklet blocks for queueing + setup + its
-                    // own streaming time.
-                    pipeline.stall(t, (start - issue) + setup + stream);
-                    if sink.is_enabled() {
-                        sink.record(TraceEvent::DmaTransfer {
-                            tasklet: t as u8,
-                            direction: if matches!(instr, Instr::MramRead { .. }) {
-                                DmaDirection::MramToWram
-                            } else {
-                                DmaDirection::WramToMram
-                            },
-                            bytes: l as u32,
-                            start_cycle: start,
-                            cycles: setup + stream,
-                        });
-                    }
-                }
-                Instr::Branch { cond, ra, rb, target } => {
-                    if cond.eval(th.get(ra), th.get(rb)) {
-                        next_pc = target;
-                    }
-                }
-                Instr::Jump { target } => next_pc = target,
-                Instr::Jal { rd, target } => {
-                    th.set(rd, th.pc.wrapping_add(1));
-                    next_pc = target;
-                }
-                Instr::Jr { ra } => next_pc = th.get(ra),
-                Instr::CallSub { sub, rd, ra, rb } => {
-                    let a = th.get(ra);
-                    let b = th.get(rb);
-                    if matches!(
-                        sub,
-                        crate::subroutines::Subroutine::Divsi3
-                            | crate::subroutines::Subroutine::Modsi3
-                    ) && b == 0
-                    {
-                        return Err(Error::DivisionByZero { pc });
-                    }
-                    th.set(rd, sub.eval(a, b));
-                    th.burst = sub.instruction_count().saturating_sub(1);
-                    result.profile.record(sub);
-                    if sink.is_enabled() {
-                        sink.record(TraceEvent::SubroutineEnter {
-                            tasklet: t as u8,
-                            symbol: sub.symbol(),
-                            cycle: pipeline_issue_cycle(&pipeline),
-                            instructions: sub.instruction_count() as u32,
-                        });
-                    }
-                }
-                Instr::PerfConfig => {
-                    // `pipeline.pick` already advanced time past this issue;
-                    // the counter bases on the issue cycle itself.
-                    self.perf.config(pipeline_issue_cycle(&pipeline));
-                }
-                Instr::PerfRead { rd } => {
-                    let v = self.perf.read(pipeline_issue_cycle(&pipeline));
-                    th.set(rd, (v & 0xffff_ffff) as u32);
-                    result.perf_reads.push(v);
-                }
-                Instr::TaskletId { rd } => th.set(rd, t as u32),
-                Instr::Trace { ra } => result.trace.push((t, th.get(ra))),
-                Instr::Barrier => {
-                    if single {
-                        // A lone live tasklet satisfies the barrier at its
-                        // own arrival: no park, immediate release.
-                        if sink.is_enabled() {
-                            sink.record(TraceEvent::TaskletBarrier {
-                                tasklet: t as u8,
-                                cycle: pipeline_issue_cycle(&pipeline),
-                                released: true,
-                            });
-                        }
-                    } else {
-                        at_barrier[t] = true;
-                        runnable[t] = false;
-                        runnable_count -= 1;
-                        parked += 1;
-                        if sink.is_enabled() {
-                            sink.record(TraceEvent::TaskletBarrier {
-                                tasklet: t as u8,
-                                cycle: pipeline_issue_cycle(&pipeline),
-                                released: parked == live,
-                            });
-                        }
-                    }
-                }
-                Instr::MutexLock { id } => {
-                    // A lone tasklet always acquires immediately; no state
-                    // to track since no other tasklet can observe the lock.
-                    if !single {
-                        if let Some(&owner) = mutex_owner.get(&id) {
-                            if owner != t {
-                                // Block until released; re-execute the lock on
-                                // wake (pc stays on this instruction).
-                                mutex_waiters.entry(id).or_default().push_back(t);
-                                runnable[t] = false;
-                                runnable_count -= 1;
-                                next_pc = th.pc;
-                            }
-                            // Re-locking an owned mutex is a no-op (the real
-                            // hardware would deadlock; the simulator is lenient
-                            // so generated code can be defensive).
-                        } else {
-                            mutex_owner.insert(id, t);
-                        }
-                    }
-                }
-                Instr::MutexUnlock { id } => {
-                    if !single && mutex_owner.get(&id) == Some(&t) {
-                        mutex_owner.remove(&id);
-                        if let Some(queue) = mutex_waiters.get_mut(&id) {
-                            if let Some(next) = queue.pop_front() {
-                                runnable[next] = true;
-                                runnable_count += 1;
-                            }
-                        }
-                    }
-                }
-            }
-            th.pc = next_pc;
+        // Traced runs take the reference path: per-instruction stepping
+        // trivially emits identical events, and the traced-vs-untraced
+        // identity tests then pin the fast engine against the reference.
+        if reference || interp.sink.is_enabled() {
+            interp.run_reference()?;
+        } else {
+            interp.run_fast()?;
         }
 
-        result.op_histogram = exec::fold_histogram(&op_counts);
-        result.cycles = pipeline.elapsed();
-        result.instructions = pipeline.issued();
-        result.idle_cycles = pipeline.idle_cycles();
+        let mut result = interp.result;
+        result.op_histogram = exec::fold_histogram(&interp.op_counts);
+        result.cycles = interp.pipeline.elapsed();
+        result.instructions = interp.pipeline.issued();
+        result.idle_cycles = interp.pipeline.idle_cycles();
+        result.issue_per_tasklet = interp.pipeline.issued_per_tasklet().to_vec();
         result.dma_cycles = self.dma.total_cycles - dma_cycles_before;
         result.dma_transfers = self.dma.transfers - dma_transfers_before;
         result.dma_bytes = self.dma.total_bytes - dma_bytes_before;
-        result.issue_per_tasklet = pipeline.issued_per_tasklet().to_vec();
         if sink.is_enabled() {
             sink.record(TraceEvent::KernelComplete {
                 cycle: result.cycles,
@@ -590,6 +365,983 @@ impl Machine {
             });
         }
         Ok(result)
+    }
+}
+
+/// In-flight state of one kernel run.
+///
+/// Scheduling state is tracked incrementally — `live` (non-halted),
+/// `parked` (at a barrier) and `runnable_count` are counters updated at
+/// state transitions rather than flag vectors rescanned every issue slot —
+/// and the op histogram is a fixed-size array indexed by opcode id, folded
+/// into the public `BTreeMap` once at run end. With a single tasklet the
+/// mutex/barrier machinery is bypassed entirely: a barrier releases
+/// immediately and a lock can never block, so neither needs bookkeeping.
+struct Interp<'a> {
+    machine: &'a mut Machine,
+    sink: &'a mut dyn TraceSink,
+    code: &'a [ExecInstr],
+    sb: &'a Superblocks,
+    budget: u64,
+    pipeline: Pipeline,
+    threads: Vec<Tasklet>,
+    /// First cycle at which the DMA engine's shared streaming port
+    /// (2 bytes/cycle) is free: concurrent transfers from different
+    /// tasklets serialize their data movement, while the fixed setup
+    /// latency overlaps.
+    dma_stream_free: u64,
+    single: bool,
+    runnable: Vec<bool>,
+    /// Non-halted tasklets. Every live, non-runnable tasklet is either
+    /// parked at a barrier or blocked on a mutex, so `live - parked` is
+    /// the mutex-blocked population.
+    live: usize,
+    runnable_count: usize,
+    /// Tasklets waiting at a barrier. Parked tasklets are temporarily not
+    /// runnable; when every live tasklet is parked, all release. Tasklets
+    /// blocked on a mutex count as live, so a barrier cannot release past
+    /// them (matching hardware semantics — and making a mutex held across
+    /// a barrier a detectable deadlock).
+    parked: usize,
+    at_barrier: Vec<bool>,
+    op_counts: [u64; OP_COUNT],
+    /// Hardware mutexes: owner per id plus FIFO wait queues, flat arrays
+    /// indexed by the 8-bit mutex id — lock/unlock sit on the scheduler
+    /// hot path, where hashing would dominate the critical section.
+    mutex_owner: Vec<Option<usize>>,
+    mutex_waiters: Vec<std::collections::VecDeque<usize>>,
+    result: RunResult,
+    /// Reused allocation for the rotation fast-path probe order.
+    order_scratch: Vec<usize>,
+    /// Ascending list of exactly the runnable tasklet indices, maintained
+    /// incrementally at every transition so `Pipeline::pick_from` probes
+    /// only live candidates instead of scanning every tasklet's flag.
+    active: Vec<usize>,
+    /// Set whenever the runnable set changes (halt, barrier park/release,
+    /// mutex block/wake); cleared at the top of the fast engine's mode
+    /// loop so the per-slot path knows when to re-evaluate its mode.
+    sched_changed: bool,
+}
+
+/// Issue-slot classification used by the batched fast paths.
+enum SlotKind {
+    /// An inline (schedule-neutral) instruction was dispatched; its pick
+    /// is accounted to the current batch.
+    Advanced,
+    /// The instruction needs scheduler or timing machinery (it can change
+    /// the runnable set, stall, burst, or read the clock); nothing was
+    /// executed and no pick was consumed.
+    Boundary,
+}
+
+/// Number of addressable hardware mutexes (the id is a byte).
+const MUTEX_IDS: usize = 256;
+
+/// Opcode classes the batched fast paths may dispatch with a *deferred*
+/// pipeline update: ops that always occupy exactly one issue slot and
+/// cannot change the runnable set, stall, start a burst, or observe the
+/// clock. Indexed by [`exec::op_id`]; kept in sync with the dispatch in
+/// [`Interp::dispatch_slot_inline`] (enforced by a unit test).
+const INLINE_OP: [bool; OP_COUNT] = [
+    true,  // nop
+    false, // halt — ends the tasklet, changes the runnable set
+    true,  // movi
+    true,  // mov
+    true,  // add (+ addi)
+    true,  // sub
+    true,  // and
+    true,  // or
+    true,  // xor
+    true,  // lsl (+ lsli)
+    true,  // lsr (+ lsri)
+    true,  // asr (+ asri)
+    true,  // mul8
+    true,  // popcount
+    true,  // load — may fault, but faults flush the batch first
+    true,  // store
+    false, // mram.read — stalls the tasklet on the DMA engine
+    false, // mram.write
+    true,  // branch — control flow is data, not scheduling
+    true,  // jump (+ jal, jr)
+    false, // call — starts a subroutine burst
+    false, // perf — reads the pipeline clock at its own issue slot
+    true,  // me (tasklet id)
+    true,  // trace
+    false, // barrier — parks the tasklet
+    false, // mutex — may block or wake tasklets
+];
+
+impl Interp<'_> {
+    /// Release a full barrier when every live tasklet is parked. (A lone
+    /// tasklet never parks — its barriers release at the issue slot.)
+    fn release_full_barrier(&mut self) {
+        for (r, b) in self.runnable.iter_mut().zip(self.at_barrier.iter_mut()) {
+            if *b {
+                *b = false;
+                *r = true;
+            }
+        }
+        self.runnable_count += self.parked;
+        self.parked = 0;
+        self.active.clear();
+        self.active.extend((0..self.runnable.len()).filter(|&t| self.runnable[t]));
+        self.sched_changed = true;
+    }
+
+    /// Remove tasklet `t` from the compact runnable list (it halted,
+    /// parked, or blocked).
+    fn active_remove(&mut self, t: usize) {
+        if let Ok(i) = self.active.binary_search(&t) {
+            self.active.remove(i);
+        }
+        self.sched_changed = true;
+    }
+
+    /// Insert tasklet `t` into the compact runnable list (it woke).
+    fn active_insert(&mut self, t: usize) {
+        if let Err(i) = self.active.binary_search(&t) {
+            self.active.insert(i, t);
+        }
+        self.sched_changed = true;
+    }
+
+    /// The per-instruction reference loop: one `Pipeline::pick`, one
+    /// budget check, one fetch-dispatch per issue slot. Every observable
+    /// figure (cycles, traces, histograms, Deadlock accounting) is defined
+    /// by this loop; [`Interp::run_fast`] must match it bit-for-bit.
+    fn run_reference(&mut self) -> Result<()> {
+        loop {
+            if !self.single && self.parked > 0 && self.parked == self.live {
+                self.release_full_barrier();
+            }
+            if self.runnable_count == 0 {
+                if self.live == 0 {
+                    return Ok(()); // clean completion
+                }
+                return Err(Error::Deadlock {
+                    at_barrier: self.parked,
+                    on_mutex: self.live - self.parked,
+                });
+            }
+            let Some(t) = self.pipeline.pick(&self.runnable) else { return Ok(()) };
+            if self.pipeline.elapsed() > self.budget {
+                return Err(Error::CycleBudgetExceeded { budget: self.budget });
+            }
+            let th = &mut self.threads[t];
+            if th.burst > 0 {
+                th.burst -= 1;
+                continue;
+            }
+            self.step(t)?;
+        }
+    }
+
+    /// The superblock engine. Same observable semantics as
+    /// [`Interp::run_reference`], reached through three accelerated paths:
+    ///
+    /// * **sole mode** — exactly one runnable tasklet (the other tasklets
+    ///   halted, parked, or blocked; DMA-stalled tasklets stay runnable,
+    ///   so one runnable truly means one issuer): inline instructions and
+    ///   memoized superblocks dispatch in a batch whose picks flush as one
+    ///   `fast_forward_sole`, and the `pick` probe is skipped entirely;
+    /// * **rotation mode** — at issue saturation (every runnable tasklet
+    ///   ready at its round-robin slot, at least `stages` of them), the
+    ///   dispatcher provably issues them cyclically with zero idle, so
+    ///   inline instructions and burst slots dispatch in a batch whose
+    ///   picks flush as one `advance_rotation`;
+    /// * otherwise one reference-identical slot executes via
+    ///   `pick_from` over the compact runnable list, and the loop
+    ///   re-evaluates.
+    ///
+    /// Event-driven cycle skipping needs no extra code here:
+    /// `Pipeline::pick` commits the minimum ready cycle directly, so the
+    /// clock already jumps over windows where every runnable tasklet is
+    /// DMA-stalled; the fast paths above remove the *per-instruction
+    /// re-picking* that remained.
+    fn run_fast(&mut self) -> Result<()> {
+        loop {
+            if !self.single && self.parked > 0 && self.parked == self.live {
+                self.release_full_barrier();
+            }
+            if self.runnable_count == 0 {
+                if self.live == 0 {
+                    return Ok(());
+                }
+                return Err(Error::Deadlock {
+                    at_barrier: self.parked,
+                    on_mutex: self.live - self.parked,
+                });
+            }
+            self.sched_changed = false;
+            if self.runnable_count == 1 {
+                let t = self.active[0];
+                self.run_sole(t)?;
+                continue;
+            }
+            let stages = self.pipeline.stages();
+            if self.runnable_count as u64 >= stages && self.try_rotation()? {
+                continue;
+            }
+            // Fall back to reference-identical slots. The scheduling
+            // predicates above (barrier release, deadlock, mode choice)
+            // are functions of the runnable set alone, so slots repeat
+            // without re-evaluating them until a dispatch changes it —
+            // except at saturation, where a rotation retry may pay off as
+            // soon as a boundary instruction has been stepped over.
+            loop {
+                let Some(t) = self.pipeline.pick_from(&self.active) else { return Ok(()) };
+                if self.pipeline.elapsed() > self.budget {
+                    return Err(Error::CycleBudgetExceeded { budget: self.budget });
+                }
+                let th = &mut self.threads[t];
+                if th.burst > 0 {
+                    th.burst -= 1;
+                    continue;
+                }
+                self.step(t)?;
+                if self.sched_changed || self.runnable_count as u64 >= stages {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Sole-runnable mode: tasklet `t` is the only one the dispatcher can
+    /// pick, so every issue lands exactly `stages` after the previous one
+    /// and the pipeline update for a run of inline instructions is a
+    /// closed form. The batch loop dispatches inline instructions (whole
+    /// memoized superblocks at a time where possible) with the pipeline
+    /// untouched, then flushes the accumulated `k` picks as one
+    /// `fast_forward_sole`; boundary instructions flush first and take a
+    /// reference-identical slot. Inline ops cannot change the runnable
+    /// set, so the mode only needs re-checking after a boundary dispatch.
+    ///
+    /// Budget semantics match the reference exactly: after `k` issues the
+    /// reference's post-pick check sees `elapsed = first + k*stages`, so
+    /// the batch is capped so `first + k*stages` never leaves the budget,
+    /// and once fewer than `stages` cycles of headroom remain the
+    /// overrunning pick is issued singly so the error surfaces with
+    /// identical partial state.
+    fn run_sole(&mut self, t: usize) -> Result<()> {
+        while self.runnable_count == 1 && self.runnable[t] {
+            let stages = self.pipeline.stages();
+            let first = self.pipeline.next_issue_at(t);
+            let burst = self.threads[t].burst;
+            if burst > 0 {
+                if first.saturating_add(burst * stages) <= self.budget {
+                    self.pipeline.fast_forward_sole(t, burst);
+                    self.threads[t].burst = 0;
+                } else {
+                    self.pipeline.pick_sole(t);
+                    if self.pipeline.elapsed() > self.budget {
+                        return Err(Error::CycleBudgetExceeded { budget: self.budget });
+                    }
+                    self.threads[t].burst -= 1;
+                }
+                continue;
+            }
+            let headroom = self.budget.saturating_sub(first);
+            if headroom < stages {
+                // The next pick overruns the budget no matter what the
+                // instruction is; issue it singly and surface the error.
+                self.pipeline.pick_sole(t);
+                return Err(Error::CycleBudgetExceeded { budget: self.budget });
+            }
+            // Largest batch whose final pick keeps `first + k*stages`
+            // inside the budget. Far from the budget the division is
+            // replaced by a safe underestimate (the batch just flushes
+            // and re-enters); the exact quotient only matters close to
+            // exhaustion.
+            let k_cap = if headroom >= (1 << 32) && stages <= 64 {
+                headroom >> 6
+            } else {
+                headroom / stages
+            };
+            let mut k: u64 = 0;
+            loop {
+                if k >= k_cap {
+                    if k > 0 {
+                        self.pipeline.fast_forward_sole(t, k);
+                    }
+                    break;
+                }
+                let pc = self.threads[t].pc as usize;
+                let len = u64::from(self.sb.len_at(pc));
+                if len >= 2 && k + len <= k_cap {
+                    self.apply_block(t, pc, len as usize);
+                    k += len;
+                    continue;
+                }
+                match self.dispatch_slot_inline(t) {
+                    Ok(SlotKind::Advanced) => k += 1,
+                    Ok(SlotKind::Boundary) => {
+                        if k > 0 {
+                            self.pipeline.fast_forward_sole(t, k);
+                        }
+                        self.pipeline.pick_sole(t);
+                        if self.pipeline.elapsed() > self.budget {
+                            return Err(Error::CycleBudgetExceeded { budget: self.budget });
+                        }
+                        self.step(t)?;
+                        break;
+                    }
+                    Err(e) => {
+                        // The faulting instruction consumed its pick before
+                        // the dispatch failed, exactly as in the reference.
+                        self.pipeline.fast_forward_sole(t, k + 1);
+                        return Err(e);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Attempt a batched rotation at issue saturation. Returns true if
+    /// time advanced.
+    ///
+    /// Entry preconditions, matching `Pipeline::advance_rotation`: at
+    /// least `stages` runnable tasklets, each ready at its round-robin
+    /// issue slot. Under those the dispatcher provably issues them
+    /// cyclically with zero idle slots for as long as every dispatched
+    /// instruction is inline (or a burst slot, which consumes a pick
+    /// without a fetch), so the batch loop runs with the pipeline frozen
+    /// and flushes the accumulated `m` slots as one `advance_rotation`.
+    /// The first boundary instruction ends the batch *before* its slot;
+    /// re-entry then fails fast at that tasklet and the outer loop takes
+    /// one reference-identical slot for it. Mid-rotation exits are safe:
+    /// the flushed ready times still satisfy the entry precondition for
+    /// the rotated order on the next attempt.
+    fn try_rotation(&mut self) -> Result<bool> {
+        let stages = self.pipeline.stages();
+        let base = self.pipeline.current_cycle();
+        // Slot m (0-based) issues at base + m with elapsed
+        // base + m + stages; the budget allows m_allowed slots.
+        let m_allowed = self.budget.saturating_sub(base.saturating_add(stages - 1));
+        if m_allowed == 0 {
+            return Ok(false);
+        }
+        let cursor = self.pipeline.rr_cursor();
+        let mut order = std::mem::take(&mut self.order_scratch);
+        order.clear();
+        let split = self.active.partition_point(|&t| t < cursor);
+        order.extend_from_slice(&self.active[split..]);
+        order.extend_from_slice(&self.active[..split]);
+        let mut saturated = true;
+        for (p, &t) in order.iter().enumerate() {
+            if self.pipeline.next_ready_of(t) > base + p as u64 {
+                saturated = false;
+                break;
+            }
+        }
+        if !saturated {
+            self.order_scratch = order;
+            return Ok(false);
+        }
+        let r = order.len();
+        let mut m: u64 = 0;
+        let mut pos: usize = 0;
+        let outcome = loop {
+            if m >= m_allowed {
+                break Ok(());
+            }
+            // At a round boundary with every tasklet in lockstep (same pc,
+            // no bursts) — the common SIMT shape — whole rounds dispatch
+            // from a single fetch: a memoized superblock replays for each
+            // tasklet in one go, and any other schedule-neutral
+            // instruction executes once per tasklet without per-slot
+            // fetch/classify overhead. Reordering slots within the bulk
+            // block (all instructions per tasklet vs. all tasklets per
+            // instruction) is unobservable because superblock effects are
+            // tasklet-private and the histogram commutes.
+            if pos == 0 {
+                let pc0 = self.threads[order[0]].pc;
+                if order.iter().all(|&t| self.threads[t].pc == pc0 && self.threads[t].burst == 0) {
+                    let len = u64::from(self.sb.len_at(pc0 as usize));
+                    if len >= 2 && m + len * r as u64 <= m_allowed {
+                        self.apply_block_all(&order, pc0 as usize, len as usize);
+                        m += len * r as u64;
+                        continue;
+                    }
+                    if m + r as u64 <= m_allowed && self.dispatch_round_uniform(&order, pc0) {
+                        m += r as u64;
+                        continue;
+                    }
+                }
+            }
+            let t = order[pos];
+            if self.threads[t].burst > 0 {
+                self.threads[t].burst -= 1;
+                m += 1;
+            } else {
+                match self.dispatch_slot_inline(t) {
+                    Ok(SlotKind::Advanced) => m += 1,
+                    Ok(SlotKind::Boundary) => break Ok(()),
+                    Err(e) => {
+                        // Count the faulting instruction's pick, as above.
+                        m += 1;
+                        break Err(e);
+                    }
+                }
+            }
+            pos += 1;
+            if pos == r {
+                pos = 0;
+            }
+        };
+        if m > 0 {
+            self.pipeline.advance_rotation(&order, m);
+        }
+        self.order_scratch = order;
+        outcome.map(|()| m > 0)
+    }
+
+    /// Replay `len` superblock instructions at `pc` for every tasklet in
+    /// `order` (the lockstep bulk path), hoisting the memoized-head lookup
+    /// and the histogram fold out of the per-tasklet loop.
+    fn apply_block_all(&mut self, order: &[usize], pc: usize, len: usize) {
+        let code = self.code;
+        let slice = &code[pc..pc + len];
+        let replicas = order.len() as u64;
+        let memoized = match self.sb.head_meta(pc) {
+            Some(meta) if meta.len as usize == len => {
+                for &(op, c) in &meta.op_counts {
+                    self.op_counts[op as usize] += u64::from(c) * replicas;
+                }
+                true
+            }
+            _ => false,
+        };
+        if !memoized {
+            for slot in slice {
+                self.op_counts[slot.op as usize] += replicas;
+            }
+        }
+        for &t in order {
+            let th = &mut self.threads[t];
+            for slot in slice {
+                apply_pure(th, t, &slot.instr);
+            }
+            th.pc = (pc + len) as u32;
+        }
+    }
+
+    /// Dispatch the instruction at `pc0` once for every tasklet in `order`
+    /// — all of them sit at that pc — from a single fetch and classify.
+    /// Returns false (no state touched) for instructions that can fault or
+    /// leave the inline class; the caller falls back to per-slot dispatch.
+    fn dispatch_round_uniform(&mut self, order: &[usize], pc0: u32) -> bool {
+        let Some(&ExecInstr { instr, op }) = self.code.get(pc0 as usize) else {
+            return false;
+        };
+        let next = pc0.wrapping_add(1);
+        if exec::is_superblock_op(&instr) {
+            for &t in order {
+                let th = &mut self.threads[t];
+                apply_pure(th, t, &instr);
+                th.pc = next;
+            }
+        } else {
+            match instr {
+                Instr::Branch { cond, ra, rb, target } => {
+                    for &t in order {
+                        let th = &mut self.threads[t];
+                        th.pc = if cond.eval(th.get(ra), th.get(rb)) { target } else { next };
+                    }
+                }
+                Instr::Jump { target } => {
+                    for &t in order {
+                        self.threads[t].pc = target;
+                    }
+                }
+                Instr::Jal { rd, target } => {
+                    for &t in order {
+                        let th = &mut self.threads[t];
+                        th.set(rd, next);
+                        th.pc = target;
+                    }
+                }
+                Instr::Jr { ra } => {
+                    for &t in order {
+                        let th = &mut self.threads[t];
+                        th.pc = th.get(ra);
+                    }
+                }
+                Instr::Trace { ra } => {
+                    for &t in order {
+                        let th = &mut self.threads[t];
+                        let v = th.get(ra);
+                        th.pc = next;
+                        self.result.trace.push((t, v));
+                    }
+                }
+                _ => return false,
+            }
+        }
+        self.op_counts[op as usize] += order.len() as u64;
+        true
+    }
+
+    /// Dispatch one instruction for tasklet `t` *without touching the
+    /// pipeline*, for the batched fast paths: the caller has reserved the
+    /// issue slot and will flush the pipeline update for the whole batch.
+    /// Only [`INLINE_OP`] classes execute; anything else returns
+    /// [`SlotKind::Boundary`] untouched. A fault (bad load/store address)
+    /// leaves pc on the faulting instruction with its op counted, exactly
+    /// like [`Interp::step`].
+    fn dispatch_slot_inline(&mut self, t: usize) -> Result<SlotKind> {
+        let pc = self.threads[t].pc as usize;
+        let &ExecInstr { instr, op } =
+            self.code.get(pc).ok_or(Error::PcOutOfRange { pc, len: self.code.len() })?;
+        if !INLINE_OP[op as usize] {
+            return Ok(SlotKind::Boundary);
+        }
+        self.op_counts[op as usize] += 1;
+        let th = &mut self.threads[t];
+        let mut next_pc = th.pc.wrapping_add(1);
+        match instr {
+            Instr::Nop => {}
+            Instr::Movi { rd, imm } => th.set(rd, imm as u32),
+            Instr::Mov { rd, ra } => {
+                let v = th.get(ra);
+                th.set(rd, v);
+            }
+            Instr::Add { rd, ra, rb } => {
+                let v = th.get(ra).wrapping_add(th.get(rb));
+                th.set(rd, v);
+            }
+            Instr::Addi { rd, ra, imm } => {
+                let v = th.get(ra).wrapping_add(imm as u32);
+                th.set(rd, v);
+            }
+            Instr::Sub { rd, ra, rb } => {
+                let v = th.get(ra).wrapping_sub(th.get(rb));
+                th.set(rd, v);
+            }
+            Instr::And { rd, ra, rb } => {
+                let v = th.get(ra) & th.get(rb);
+                th.set(rd, v);
+            }
+            Instr::Or { rd, ra, rb } => {
+                let v = th.get(ra) | th.get(rb);
+                th.set(rd, v);
+            }
+            Instr::Xor { rd, ra, rb } => {
+                let v = th.get(ra) ^ th.get(rb);
+                th.set(rd, v);
+            }
+            Instr::Lsl { rd, ra, rb } => {
+                let v = th.get(ra) << (th.get(rb) & 31);
+                th.set(rd, v);
+            }
+            Instr::Lsr { rd, ra, rb } => {
+                let v = th.get(ra) >> (th.get(rb) & 31);
+                th.set(rd, v);
+            }
+            Instr::Asr { rd, ra, rb } => {
+                let v = ((th.get(ra) as i32) >> (th.get(rb) & 31)) as u32;
+                th.set(rd, v);
+            }
+            Instr::Lsli { rd, ra, sh } => {
+                let v = th.get(ra) << (sh & 31);
+                th.set(rd, v);
+            }
+            Instr::Lsri { rd, ra, sh } => {
+                let v = th.get(ra) >> (sh & 31);
+                th.set(rd, v);
+            }
+            Instr::Asri { rd, ra, sh } => {
+                let v = ((th.get(ra) as i32) >> (sh & 31)) as u32;
+                th.set(rd, v);
+            }
+            Instr::Mul8 { rd, ra, rb } => {
+                let v = (th.get(ra) & 0xff) * (th.get(rb) & 0xff);
+                th.set(rd, v);
+            }
+            Instr::Popcount { rd, ra } => {
+                let v = th.get(ra).count_ones();
+                th.set(rd, v);
+            }
+            Instr::TaskletId { rd } => th.set(rd, t as u32),
+            Instr::Load { width, rd, ra, off } => {
+                let addr = th.get(ra).wrapping_add(off as u32) as usize;
+                let v = match width {
+                    Width::B => self.machine.wram.read_u8(addr)?,
+                    Width::H => self.machine.wram.read_u16(addr)?,
+                    Width::W => self.machine.wram.read_u32(addr)?,
+                };
+                self.threads[t].set(rd, v);
+            }
+            Instr::Store { width, ra, off, rs } => {
+                let addr = th.get(ra).wrapping_add(off as u32) as usize;
+                let v = th.get(rs);
+                match width {
+                    Width::B => self.machine.wram.write_u8(addr, v)?,
+                    Width::H => self.machine.wram.write_u16(addr, v)?,
+                    Width::W => self.machine.wram.write_u32(addr, v)?,
+                }
+            }
+            Instr::Branch { cond, ra, rb, target } => {
+                if cond.eval(th.get(ra), th.get(rb)) {
+                    next_pc = target;
+                }
+            }
+            Instr::Jump { target } => next_pc = target,
+            Instr::Jal { rd, target } => {
+                th.set(rd, th.pc.wrapping_add(1));
+                next_pc = target;
+            }
+            Instr::Jr { ra } => next_pc = th.get(ra),
+            Instr::Trace { ra } => {
+                let v = self.threads[t].get(ra);
+                self.result.trace.push((t, v));
+            }
+            _ => unreachable!("INLINE_OP out of sync with dispatch_slot_inline"),
+        }
+        self.threads[t].pc = next_pc;
+        Ok(SlotKind::Advanced)
+    }
+
+    /// Execute `count` superblock instructions for tasklet `t` starting at
+    /// `pc`, using the memoized head histogram when the span is exactly a
+    /// memoized block.
+    fn apply_block(&mut self, t: usize, pc: usize, count: usize) {
+        if let Some(meta) = self.sb.head_meta(pc) {
+            if meta.len as usize == count {
+                for &(op, c) in &meta.op_counts {
+                    self.op_counts[op as usize] += u64::from(c);
+                }
+                let th = &mut self.threads[t];
+                for slot in &self.code[pc..pc + count] {
+                    apply_pure(th, t, &slot.instr);
+                }
+                th.pc = (pc + count) as u32;
+                return;
+            }
+        }
+        self.apply_seq(t, pc, count);
+    }
+
+    /// Execute `count` superblock instructions for tasklet `t` starting at
+    /// `pc`, folding op counts inline (mid-block entry or partial span).
+    fn apply_seq(&mut self, t: usize, pc: usize, count: usize) {
+        let th = &mut self.threads[t];
+        for slot in &self.code[pc..pc + count] {
+            self.op_counts[slot.op as usize] += 1;
+            apply_pure(th, t, &slot.instr);
+        }
+        th.pc = (pc + count) as u32;
+    }
+
+    /// Fetch and dispatch one instruction for tasklet `t`. The caller has
+    /// already picked the issue slot and checked the budget.
+    fn step(&mut self, t: usize) -> Result<()> {
+        let pc = self.threads[t].pc as usize;
+        let &ExecInstr { instr, op } =
+            self.code.get(pc).ok_or(Error::PcOutOfRange { pc, len: self.code.len() })?;
+
+        self.op_counts[op as usize] += 1;
+        let th = &mut self.threads[t];
+        let mut next_pc = th.pc.wrapping_add(1);
+        match instr {
+            Instr::Nop => {}
+            Instr::Halt => {
+                self.runnable[t] = false;
+                self.runnable_count -= 1;
+                self.live -= 1;
+                self.active_remove(t);
+            }
+            Instr::Movi { rd, imm } => th.set(rd, imm as u32),
+            Instr::Mov { rd, ra } => {
+                let v = th.get(ra);
+                th.set(rd, v);
+            }
+            Instr::Add { rd, ra, rb } => {
+                let v = th.get(ra).wrapping_add(th.get(rb));
+                th.set(rd, v);
+            }
+            Instr::Addi { rd, ra, imm } => {
+                let v = th.get(ra).wrapping_add(imm as u32);
+                th.set(rd, v);
+            }
+            Instr::Sub { rd, ra, rb } => {
+                let v = th.get(ra).wrapping_sub(th.get(rb));
+                th.set(rd, v);
+            }
+            Instr::And { rd, ra, rb } => {
+                let v = th.get(ra) & th.get(rb);
+                th.set(rd, v);
+            }
+            Instr::Or { rd, ra, rb } => {
+                let v = th.get(ra) | th.get(rb);
+                th.set(rd, v);
+            }
+            Instr::Xor { rd, ra, rb } => {
+                let v = th.get(ra) ^ th.get(rb);
+                th.set(rd, v);
+            }
+            Instr::Lsl { rd, ra, rb } => {
+                let v = th.get(ra) << (th.get(rb) & 31);
+                th.set(rd, v);
+            }
+            Instr::Lsr { rd, ra, rb } => {
+                let v = th.get(ra) >> (th.get(rb) & 31);
+                th.set(rd, v);
+            }
+            Instr::Asr { rd, ra, rb } => {
+                let v = ((th.get(ra) as i32) >> (th.get(rb) & 31)) as u32;
+                th.set(rd, v);
+            }
+            Instr::Lsli { rd, ra, sh } => {
+                let v = th.get(ra) << (sh & 31);
+                th.set(rd, v);
+            }
+            Instr::Lsri { rd, ra, sh } => {
+                let v = th.get(ra) >> (sh & 31);
+                th.set(rd, v);
+            }
+            Instr::Asri { rd, ra, sh } => {
+                let v = ((th.get(ra) as i32) >> (sh & 31)) as u32;
+                th.set(rd, v);
+            }
+            Instr::Mul8 { rd, ra, rb } => {
+                let v = (th.get(ra) & 0xff) * (th.get(rb) & 0xff);
+                th.set(rd, v);
+            }
+            Instr::Popcount { rd, ra } => {
+                let v = th.get(ra).count_ones();
+                th.set(rd, v);
+            }
+            Instr::Load { width, rd, ra, off } => {
+                let addr = th.get(ra).wrapping_add(off as u32) as usize;
+                let v = match width {
+                    Width::B => self.machine.wram.read_u8(addr)?,
+                    Width::H => self.machine.wram.read_u16(addr)?,
+                    Width::W => self.machine.wram.read_u32(addr)?,
+                };
+                self.threads[t].set(rd, v);
+            }
+            Instr::Store { width, ra, off, rs } => {
+                let addr = th.get(ra).wrapping_add(off as u32) as usize;
+                let v = th.get(rs);
+                match width {
+                    Width::B => self.machine.wram.write_u8(addr, v)?,
+                    Width::H => self.machine.wram.write_u16(addr, v)?,
+                    Width::W => self.machine.wram.write_u32(addr, v)?,
+                }
+            }
+            Instr::MramRead { wram, mram, len } | Instr::MramWrite { wram, mram, len } => {
+                let w = th.get(wram) as usize;
+                let m = th.get(mram) as usize;
+                let l = th.get(len) as usize;
+                let cycles = if matches!(instr, Instr::MramRead { .. }) {
+                    self.machine.dma.read(&self.machine.mram, &mut self.machine.wram, m, w, l)?
+                } else {
+                    self.machine.dma.write(&mut self.machine.mram, &self.machine.wram, m, w, l)?
+                };
+                let setup = self.machine.params.dma_setup_cycles;
+                let stream = cycles.saturating_sub(setup);
+                let issue = pipeline_issue_cycle(&self.pipeline);
+                let start = issue.max(self.dma_stream_free);
+                self.dma_stream_free = start + stream;
+                // The issuing tasklet blocks for queueing + setup + its
+                // own streaming time.
+                self.pipeline.stall(t, (start - issue) + setup + stream);
+                if self.sink.is_enabled() {
+                    self.sink.record(TraceEvent::DmaTransfer {
+                        tasklet: t as u8,
+                        direction: if matches!(instr, Instr::MramRead { .. }) {
+                            DmaDirection::MramToWram
+                        } else {
+                            DmaDirection::WramToMram
+                        },
+                        bytes: l as u32,
+                        start_cycle: start,
+                        cycles: setup + stream,
+                    });
+                }
+            }
+            Instr::Branch { cond, ra, rb, target } => {
+                if cond.eval(th.get(ra), th.get(rb)) {
+                    next_pc = target;
+                }
+            }
+            Instr::Jump { target } => next_pc = target,
+            Instr::Jal { rd, target } => {
+                th.set(rd, th.pc.wrapping_add(1));
+                next_pc = target;
+            }
+            Instr::Jr { ra } => next_pc = th.get(ra),
+            Instr::CallSub { sub, rd, ra, rb } => {
+                let a = th.get(ra);
+                let b = th.get(rb);
+                if matches!(
+                    sub,
+                    crate::subroutines::Subroutine::Divsi3 | crate::subroutines::Subroutine::Modsi3
+                ) && b == 0
+                {
+                    return Err(Error::DivisionByZero { pc });
+                }
+                th.set(rd, sub.eval(a, b));
+                th.burst = sub.instruction_count().saturating_sub(1);
+                self.result.profile.record(sub);
+                if self.sink.is_enabled() {
+                    self.sink.record(TraceEvent::SubroutineEnter {
+                        tasklet: t as u8,
+                        symbol: sub.symbol(),
+                        cycle: pipeline_issue_cycle(&self.pipeline),
+                        instructions: sub.instruction_count() as u32,
+                    });
+                }
+            }
+            Instr::PerfConfig => {
+                // `pipeline.pick` already advanced time past this issue;
+                // the counter bases on the issue cycle itself.
+                self.machine.perf.config(pipeline_issue_cycle(&self.pipeline));
+            }
+            Instr::PerfRead { rd } => {
+                let v = self.machine.perf.read(pipeline_issue_cycle(&self.pipeline));
+                self.threads[t].set(rd, (v & 0xffff_ffff) as u32);
+                self.result.perf_reads.push(v);
+            }
+            Instr::TaskletId { rd } => th.set(rd, t as u32),
+            Instr::Trace { ra } => {
+                let v = self.threads[t].get(ra);
+                self.result.trace.push((t, v));
+            }
+            Instr::Barrier => {
+                if self.single {
+                    // A lone live tasklet satisfies the barrier at its
+                    // own arrival: no park, immediate release.
+                    if self.sink.is_enabled() {
+                        self.sink.record(TraceEvent::TaskletBarrier {
+                            tasklet: t as u8,
+                            cycle: pipeline_issue_cycle(&self.pipeline),
+                            released: true,
+                        });
+                    }
+                } else {
+                    self.at_barrier[t] = true;
+                    self.runnable[t] = false;
+                    self.runnable_count -= 1;
+                    self.parked += 1;
+                    self.active_remove(t);
+                    if self.sink.is_enabled() {
+                        self.sink.record(TraceEvent::TaskletBarrier {
+                            tasklet: t as u8,
+                            cycle: pipeline_issue_cycle(&self.pipeline),
+                            released: self.parked == self.live,
+                        });
+                    }
+                }
+            }
+            Instr::MutexLock { id } => {
+                // A lone tasklet always acquires immediately; no state
+                // to track since no other tasklet can observe the lock.
+                if !self.single {
+                    if let Some(owner) = self.mutex_owner[id as usize] {
+                        if owner != t {
+                            // Block until released; re-execute the lock on
+                            // wake (pc stays on this instruction).
+                            self.mutex_waiters[id as usize].push_back(t);
+                            self.runnable[t] = false;
+                            self.runnable_count -= 1;
+                            self.active_remove(t);
+                            next_pc = self.threads[t].pc;
+                        }
+                        // Re-locking an owned mutex is a no-op (the real
+                        // hardware would deadlock; the simulator is lenient
+                        // so generated code can be defensive).
+                    } else {
+                        self.mutex_owner[id as usize] = Some(t);
+                    }
+                }
+            }
+            Instr::MutexUnlock { id } => {
+                if !self.single && self.mutex_owner[id as usize] == Some(t) {
+                    self.mutex_owner[id as usize] = None;
+                    if let Some(next) = self.mutex_waiters[id as usize].pop_front() {
+                        self.runnable[next] = true;
+                        self.runnable_count += 1;
+                        self.active_insert(next);
+                    }
+                }
+            }
+        }
+        self.threads[t].pc = next_pc;
+        Ok(())
+    }
+}
+
+/// Apply one superblock instruction to tasklet `th` (= tasklet index `t`).
+/// Exactly the register-file arms of [`Interp::step`]; the superblock
+/// classifier guarantees no other variant reaches here.
+fn apply_pure(th: &mut Tasklet, t: usize, instr: &Instr) {
+    match *instr {
+        Instr::Nop => {}
+        Instr::Movi { rd, imm } => th.set(rd, imm as u32),
+        Instr::Mov { rd, ra } => {
+            let v = th.get(ra);
+            th.set(rd, v);
+        }
+        Instr::Add { rd, ra, rb } => {
+            let v = th.get(ra).wrapping_add(th.get(rb));
+            th.set(rd, v);
+        }
+        Instr::Addi { rd, ra, imm } => {
+            let v = th.get(ra).wrapping_add(imm as u32);
+            th.set(rd, v);
+        }
+        Instr::Sub { rd, ra, rb } => {
+            let v = th.get(ra).wrapping_sub(th.get(rb));
+            th.set(rd, v);
+        }
+        Instr::And { rd, ra, rb } => {
+            let v = th.get(ra) & th.get(rb);
+            th.set(rd, v);
+        }
+        Instr::Or { rd, ra, rb } => {
+            let v = th.get(ra) | th.get(rb);
+            th.set(rd, v);
+        }
+        Instr::Xor { rd, ra, rb } => {
+            let v = th.get(ra) ^ th.get(rb);
+            th.set(rd, v);
+        }
+        Instr::Lsl { rd, ra, rb } => {
+            let v = th.get(ra) << (th.get(rb) & 31);
+            th.set(rd, v);
+        }
+        Instr::Lsr { rd, ra, rb } => {
+            let v = th.get(ra) >> (th.get(rb) & 31);
+            th.set(rd, v);
+        }
+        Instr::Asr { rd, ra, rb } => {
+            let v = ((th.get(ra) as i32) >> (th.get(rb) & 31)) as u32;
+            th.set(rd, v);
+        }
+        Instr::Lsli { rd, ra, sh } => {
+            let v = th.get(ra) << (sh & 31);
+            th.set(rd, v);
+        }
+        Instr::Lsri { rd, ra, sh } => {
+            let v = th.get(ra) >> (sh & 31);
+            th.set(rd, v);
+        }
+        Instr::Asri { rd, ra, sh } => {
+            let v = ((th.get(ra) as i32) >> (sh & 31)) as u32;
+            th.set(rd, v);
+        }
+        Instr::Mul8 { rd, ra, rb } => {
+            let v = (th.get(ra) & 0xff) * (th.get(rb) & 0xff);
+            th.set(rd, v);
+        }
+        Instr::Popcount { rd, ra } => {
+            let v = th.get(ra).count_ones();
+            th.set(rd, v);
+        }
+        Instr::TaskletId { rd } => th.set(rd, t as u32),
+        _ => debug_assert!(false, "non-superblock op {instr:?} in a superblock"),
     }
 }
 
@@ -607,6 +1359,66 @@ mod tests {
 
     fn r(i: u8) -> Reg {
         Reg(i)
+    }
+
+    #[test]
+    fn inline_op_table_matches_classification() {
+        use crate::isa::Width;
+        // One instance of every instruction variant.
+        let variants = [
+            I::Nop,
+            I::Halt,
+            I::Movi { rd: r(1), imm: 0 },
+            I::Mov { rd: r(1), ra: r(2) },
+            I::Add { rd: r(1), ra: r(2), rb: r(3) },
+            I::Addi { rd: r(1), ra: r(2), imm: 1 },
+            I::Sub { rd: r(1), ra: r(2), rb: r(3) },
+            I::And { rd: r(1), ra: r(2), rb: r(3) },
+            I::Or { rd: r(1), ra: r(2), rb: r(3) },
+            I::Xor { rd: r(1), ra: r(2), rb: r(3) },
+            I::Lsl { rd: r(1), ra: r(2), rb: r(3) },
+            I::Lsr { rd: r(1), ra: r(2), rb: r(3) },
+            I::Asr { rd: r(1), ra: r(2), rb: r(3) },
+            I::Lsli { rd: r(1), ra: r(2), sh: 1 },
+            I::Lsri { rd: r(1), ra: r(2), sh: 1 },
+            I::Asri { rd: r(1), ra: r(2), sh: 1 },
+            I::Mul8 { rd: r(1), ra: r(2), rb: r(3) },
+            I::Popcount { rd: r(1), ra: r(2) },
+            I::Load { width: Width::W, rd: r(1), ra: r(2), off: 0 },
+            I::Store { width: Width::W, ra: r(1), off: 0, rs: r(2) },
+            I::MramRead { wram: r(1), mram: r(2), len: r(3) },
+            I::MramWrite { wram: r(1), mram: r(2), len: r(3) },
+            I::Branch { cond: Cond::Eq, ra: r(1), rb: r(2), target: 0 },
+            I::Jump { target: 0 },
+            I::Jal { rd: r(1), target: 0 },
+            I::Jr { ra: r(1) },
+            I::CallSub { sub: Subroutine::Mulsi3, rd: r(1), ra: r(2), rb: r(3) },
+            I::PerfConfig,
+            I::PerfRead { rd: r(1) },
+            I::TaskletId { rd: r(1) },
+            I::Trace { ra: r(1) },
+            I::Barrier,
+            I::MutexLock { id: 0 },
+            I::MutexUnlock { id: 0 },
+        ];
+        for instr in &variants {
+            let inline = exec::is_superblock_op(instr)
+                || matches!(
+                    instr,
+                    I::Load { .. }
+                        | I::Store { .. }
+                        | I::Branch { .. }
+                        | I::Jump { .. }
+                        | I::Jal { .. }
+                        | I::Jr { .. }
+                        | I::Trace { .. }
+                );
+            assert_eq!(
+                INLINE_OP[exec::op_id(instr) as usize],
+                inline,
+                "INLINE_OP disagrees with classification for {instr:?}"
+            );
+        }
     }
 
     #[test]

@@ -20,7 +20,12 @@
 use crate::params::PIPELINE_STAGES;
 
 /// Event-driven model of the revolver dispatcher.
-#[derive(Debug, Clone)]
+///
+/// `PartialEq`/`Eq` compare the complete scheduling state; the superblock
+/// fast-forward tests use this to prove a batched advance leaves the
+/// pipeline in exactly the state that the equivalent per-instruction
+/// `pick` sequence would.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pipeline {
     stages: u64,
     /// Earliest cycle at which each tasklet may issue its next instruction.
@@ -167,6 +172,156 @@ impl Pipeline {
     pub fn idle_cycles(&self) -> u64 {
         self.idle_cycles
     }
+
+    /// The next free global issue slot.
+    #[must_use]
+    pub fn current_cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Earliest cycle at which tasklet `t` may issue its next instruction
+    /// (its raw ready time, which may lie in the past).
+    #[must_use]
+    pub fn next_ready_of(&self, t: usize) -> u64 {
+        self.next_ready[t]
+    }
+
+    /// Cycle at which tasklet `t` would actually issue if picked now:
+    /// its ready time clamped to the current cycle.
+    #[must_use]
+    pub fn next_issue_at(&self, t: usize) -> u64 {
+        self.next_ready[t].max(self.cycle)
+    }
+
+    /// Round-robin cursor: the tasklet probed first on the next `pick`.
+    #[must_use]
+    pub(crate) fn rr_cursor(&self) -> usize {
+        self.rr_cursor
+    }
+
+    /// Issue one instruction for tasklet `t`, known by the caller to be the
+    /// *sole* runnable tasklet.
+    ///
+    /// Equivalent to `pick(&runnable)` when `runnable[t]` is the only set
+    /// flag: the round-robin scan would find `t` (wherever the cursor is),
+    /// no other candidate exists, and the issue cycle is
+    /// `next_ready[t].max(cycle)` either way. Skips the O(tasklets) probe.
+    pub fn pick_sole(&mut self, t: usize) -> usize {
+        let issue_at = self.next_ready[t].max(self.cycle);
+        self.commit(issue_at, t, self.next_ready.len())
+    }
+
+    /// Issue `k >= 1` consecutive instructions for tasklet `t`, known by
+    /// the caller to be the sole runnable tasklet, in one step.
+    ///
+    /// Exactly equivalent to `k` successive [`Pipeline::pick_sole`] calls:
+    /// the first issue lands at `next_ready[t].max(cycle)` and each later
+    /// one exactly `stages` cycles after its predecessor (the clamp is a
+    /// no-op once `next_ready > cycle`), leaving `stages - 1` idle slots
+    /// between consecutive issues.
+    pub fn fast_forward_sole(&mut self, t: usize, k: u64) {
+        debug_assert!(k >= 1);
+        let first = self.next_ready[t].max(self.cycle);
+        let last = first + (k - 1) * self.stages;
+        self.idle_cycles += (first - self.cycle) + (k - 1) * (self.stages - 1);
+        self.last_issue = last;
+        self.cycle = last + 1;
+        self.next_ready[t] = last + self.stages;
+        self.issued += k;
+        self.issued_per_tasklet[t] += k;
+        let n = self.next_ready.len();
+        self.rr_cursor = if t + 1 == n { 0 } else { t + 1 };
+    }
+
+    /// Issue `rounds >= 1` full rotations over `order` — the runnable
+    /// tasklets in round-robin probe order starting at the current cursor —
+    /// in one step. See [`Pipeline::advance_rotation`] for the general
+    /// (mid-rotation) form and its preconditions.
+    pub fn advance_rounds(&mut self, order: &[usize], rounds: u64) {
+        debug_assert!(rounds >= 1);
+        self.advance_rotation(order, rounds * order.len() as u64);
+    }
+
+    /// Issue `slots >= 1` consecutive picks over `order` — the runnable
+    /// tasklets in round-robin probe order starting at the current cursor —
+    /// in one step, possibly stopping mid-rotation.
+    ///
+    /// Exactly equivalent to `slots` successive `pick`s *provided* the
+    /// caller has verified the saturation precondition: `order.len() >=
+    /// stages` and `next_ready[order[p]] <= cycle + p` for every position
+    /// `p`. Then pick number `m` (0-based) issues `order[m % len]` at
+    /// `cycle + m` with zero idle slots — each tasklet issues once per
+    /// rotation of `order.len()` cycles (>= `stages`, so its own spacing
+    /// never binds), the first-fit probe always lands on the next tasklet
+    /// in cyclic order, and the round-robin cursor ends after the last
+    /// issuer.
+    pub fn advance_rotation(&mut self, order: &[usize], slots: u64) {
+        let r = order.len() as u64;
+        debug_assert!(slots >= 1);
+        debug_assert!(r >= self.stages, "rotation must cover the pipeline depth");
+        let base = self.cycle;
+        let full_rounds = slots / r;
+        let rem = (slots % r) as usize;
+        for (p, &t) in order.iter().enumerate() {
+            debug_assert!(
+                self.next_ready[t] <= base + p as u64,
+                "tasklet {t} not ready at its slot"
+            );
+            let issues = full_rounds + u64::from(p < rem);
+            if issues > 0 {
+                self.next_ready[t] = base + (issues - 1) * r + p as u64 + self.stages;
+                self.issued_per_tasklet[t] += issues;
+            }
+        }
+        self.issued += slots;
+        self.last_issue = base + slots - 1;
+        self.cycle = self.last_issue + 1;
+        let n = self.next_ready.len();
+        let last = order[((slots - 1) % r) as usize];
+        self.rr_cursor = if last + 1 == n { 0 } else { last + 1 };
+    }
+
+    /// [`Pipeline::pick`] restricted to a caller-maintained ascending list
+    /// of exactly the runnable tasklet indices.
+    ///
+    /// Equivalent to `pick(&runnable)` whenever `active` holds precisely
+    /// the indices with `runnable[t]`: the probe visits the same
+    /// candidates in the same round-robin order with the same
+    /// first-fit/minimum tie-break, without scanning the non-runnable
+    /// majority — the win when a few tasklets of many are unblocked.
+    pub fn pick_from(&mut self, active: &[usize]) -> Option<usize> {
+        let n = self.next_ready.len();
+        if let &[a, b] = active {
+            // Two candidates — the common shape of a lock convoy. Probe
+            // order from the cursor is [b, a] iff the cursor sits in
+            // (a, b]; first-fit at the current cycle, else earliest wins
+            // with the probe-order tie-break, exactly as below.
+            let (x, y) = if self.rr_cursor > a && self.rr_cursor <= b { (b, a) } else { (a, b) };
+            let ix = self.next_ready[x].max(self.cycle);
+            if ix == self.cycle {
+                return Some(self.commit(ix, x, n));
+            }
+            let iy = self.next_ready[y].max(self.cycle);
+            let (i, t) = if iy < ix { (iy, y) } else { (ix, x) };
+            return Some(self.commit(i, t, n));
+        }
+        let split = active.partition_point(|&t| t < self.rr_cursor);
+        let mut best: Option<(u64, usize)> = None;
+        'scan: for &t in active[split..].iter().chain(&active[..split]) {
+            let issue_at = self.next_ready[t].max(self.cycle);
+            if issue_at == self.cycle {
+                best = Some((issue_at, t));
+                break 'scan;
+            }
+            match best {
+                None => best = Some((issue_at, t)),
+                Some((b, _)) if issue_at < b => best = Some((issue_at, t)),
+                _ => {}
+            }
+        }
+        let (issue_at, t) = best?;
+        Some(self.commit(issue_at, t, n))
+    }
 }
 
 /// Closed-form cycle estimate for a *balanced* kernel: `tasklets` threads
@@ -307,6 +462,95 @@ mod tests {
         assert_eq!(p.elapsed(), 0);
         assert_eq!(p.issued(), 0);
         assert_eq!(p.issued_per_tasklet(), &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn pick_sole_matches_pick_with_one_runnable() {
+        for tasklets in [1usize, 2, 5, 16] {
+            for sole in 0..tasklets {
+                let mut a = Pipeline::new(tasklets);
+                let mut b = Pipeline::new(tasklets);
+                // Desynchronize ready times first: issue one instruction
+                // from every tasklet on both sides.
+                let all = vec![true; tasklets];
+                for _ in 0..tasklets {
+                    let t = a.pick(&all).unwrap();
+                    let u = b.pick(&all).unwrap();
+                    assert_eq!(t, u);
+                }
+                let mut runnable = vec![false; tasklets];
+                runnable[sole] = true;
+                for _ in 0..20 {
+                    assert_eq!(a.pick(&runnable), Some(sole));
+                    assert_eq!(b.pick_sole(sole), sole);
+                    assert_eq!(a, b, "tasklets={tasklets} sole={sole}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_forward_sole_matches_repeated_picks() {
+        for tasklets in [1usize, 3, 11] {
+            for k in [1u64, 2, 7, 40] {
+                let mut a = Pipeline::new(tasklets);
+                let mut b = Pipeline::new(tasklets);
+                // Skew the sole tasklet's ready time via a stall.
+                let mut runnable = vec![false; tasklets];
+                runnable[tasklets - 1] = true;
+                a.pick(&runnable).unwrap();
+                a.stall(tasklets - 1, 137);
+                b.pick(&runnable).unwrap();
+                b.stall(tasklets - 1, 137);
+                for _ in 0..k {
+                    a.pick(&runnable).unwrap();
+                }
+                b.fast_forward_sole(tasklets - 1, k);
+                assert_eq!(a, b, "tasklets={tasklets} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn advance_rounds_matches_repeated_picks_at_saturation() {
+        // 13 runnable of 16 tasklets (>= 11 stages) with two disabled in
+        // the middle; warm up one rotation so ready times are staggered,
+        // then compare r rounds of picks against one advance_rounds.
+        let tasklets = 16usize;
+        let mut runnable = vec![true; tasklets];
+        runnable[4] = false;
+        runnable[9] = false;
+        runnable[15] = false;
+        let mut a = Pipeline::new(tasklets);
+        let mut b = Pipeline::new(tasklets);
+        let live: Vec<usize> = (0..tasklets).filter(|&t| runnable[t]).collect();
+        for _ in 0..live.len() {
+            a.pick(&runnable).unwrap();
+            b.pick(&runnable).unwrap();
+        }
+        assert_eq!(a, b);
+        // Build probe order from the current cursor.
+        let cursor = b.rr_cursor();
+        let order: Vec<usize> =
+            (cursor..tasklets).chain(0..cursor).filter(|&t| runnable[t]).collect();
+        for rounds in [1u64, 2, 9] {
+            for _ in 0..rounds * order.len() as u64 {
+                a.pick(&runnable).unwrap();
+            }
+            b.advance_rounds(&order, rounds);
+            assert_eq!(a, b, "rounds={rounds}");
+        }
+    }
+
+    #[test]
+    fn next_issue_at_clamps_to_current_cycle() {
+        let mut p = Pipeline::new(2);
+        assert_eq!(p.next_issue_at(0), 0);
+        p.pick(&[true, true]).unwrap(); // t0 issues at 0
+        assert_eq!(p.next_ready_of(0), 11);
+        assert_eq!(p.current_cycle(), 1);
+        assert_eq!(p.next_issue_at(0), 11);
+        assert_eq!(p.next_issue_at(1), 1, "ready in the past clamps to now");
     }
 
     #[test]

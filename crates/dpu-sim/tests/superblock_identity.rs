@@ -1,0 +1,268 @@
+//! Identity tests for the superblock engine: `Machine::run_exec` (which
+//! fast-forwards superblocks, subroutine bursts and saturated round-robin
+//! rotations) must match the per-instruction reference loop
+//! (`Machine::run_exec_reference_with_budget`) bit-for-bit — same
+//! `RunResult`, same error at the same point, same final memory image —
+//! on random programs, on DMA-stall-heavy kernels, and on the
+//! mutex/barrier-heavy shape the `sync_heavy_16t` bench measures.
+
+use dpu_sim::exec::{is_superblock_op, ExecProgram};
+use dpu_sim::isa::{Cond, Instr, Program, Reg, Width};
+use dpu_sim::{Machine, RunResult};
+use proptest::prelude::*;
+
+/// Budget small enough to terminate the infinite loops random control flow
+/// produces, large enough that most random programs complete.
+const TEST_BUDGET: u64 = 300_000;
+
+/// Run `program` on both engines from identical fresh machines and assert
+/// complete observable equality.
+fn assert_engines_agree(
+    program: &Program,
+    tasklets: usize,
+    budget: u64,
+) -> Result<RunResult, dpu_sim::Error> {
+    let exec = ExecProgram::decode(program);
+    let mut fast_machine = Machine::default();
+    let mut ref_machine = Machine::default();
+    // Deterministic non-zero memory so loads observe real data.
+    for (i, b) in (0..4096u32).enumerate() {
+        fast_machine.mram.write_u8(i, b.wrapping_mul(37) & 0xff).unwrap();
+        ref_machine.mram.write_u8(i, b.wrapping_mul(37) & 0xff).unwrap();
+    }
+    let fast = fast_machine.run_exec_with_budget(&exec, tasklets, budget);
+    let reference = ref_machine.run_exec_reference_with_budget(&exec, tasklets, budget);
+    assert_eq!(fast, reference, "engines diverged on {program:?}");
+    let wram_len = fast_machine.params.wram_bytes;
+    assert_eq!(
+        fast_machine.wram.slice(0, wram_len).unwrap(),
+        ref_machine.wram.slice(0, wram_len).unwrap(),
+        "WRAM images diverged"
+    );
+    let mram_len = fast_machine.params.mram_bytes;
+    assert_eq!(
+        fast_machine.mram.slice(0, mram_len).unwrap(),
+        ref_machine.mram.slice(0, mram_len).unwrap(),
+        "MRAM images diverged"
+    );
+    fast
+}
+
+/// A strategy over instructions, weighted toward superblock ALU runs with
+/// enough control flow, memory traffic, sync and DMA mixed in to exercise
+/// every fast-path bailout. Branch targets land in `0..len` (valid) so
+/// random programs loop and re-enter blocks mid-way.
+fn instr_strategy(len: u32) -> impl Strategy<Value = Instr> {
+    let reg = || (0u8..8).prop_map(Reg);
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Halt),
+        (0u8..8, -100i32..100).prop_map(|(r, imm)| Instr::Movi { rd: Reg(r), imm }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instr::Add { rd, ra, rb }),
+        (reg(), reg(), -50i32..50).prop_map(|(rd, ra, imm)| Instr::Addi { rd, ra, imm }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instr::Sub { rd, ra, rb }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instr::Xor { rd, ra, rb }),
+        (reg(), reg(), 0u8..31).prop_map(|(rd, ra, sh)| Instr::Lsri { rd, ra, sh }),
+        (reg(), reg(), reg()).prop_map(|(rd, ra, rb)| Instr::Mul8 { rd, ra, rb }),
+        (reg(), reg()).prop_map(|(rd, ra)| Instr::Popcount { rd, ra }),
+        reg().prop_map(|rd| Instr::TaskletId { rd }),
+        (reg(), reg(), 0i32..256).prop_map(|(rd, ra, off)| Instr::Load {
+            width: Width::W,
+            rd,
+            ra,
+            off: off * 4,
+        }),
+        (reg(), 0i32..256, reg()).prop_map(|(ra, off, rs)| Instr::Store {
+            width: Width::W,
+            ra,
+            off: off * 4,
+            rs,
+        }),
+        (reg(), reg(), reg(), 0u32..len).prop_map(|(ra, rb, _rd, target)| Instr::Branch {
+            cond: Cond::Ne,
+            ra,
+            rb,
+            target,
+        }),
+        (0u32..len).prop_map(|target| Instr::Jump { target }),
+        (reg(), 0u32..len).prop_map(|(rd, target)| Instr::Jal { rd, target }),
+        reg().prop_map(|ra| Instr::Trace { ra }),
+        Just(Instr::Barrier),
+        (0u8..2).prop_map(|id| Instr::MutexLock { id }),
+        (0u8..2).prop_map(|id| Instr::MutexUnlock { id }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole identity: superblock execution matches per-instruction
+    /// `run_exec` bit-for-bit on random programs — results, errors,
+    /// partial memory state at an error, everything.
+    #[test]
+    fn fast_engine_matches_reference_on_random_programs(
+        instrs in prop::collection::vec(instr_strategy(40), 1..40),
+        tasklets in 1usize..17,
+    ) {
+        let program = Program::new(instrs);
+        let _outcome = assert_engines_agree(&program, tasklets, TEST_BUDGET);
+    }
+
+    /// Superblock partitioning round-trips: the partition pieces are
+    /// contiguous, cover the instruction stream exactly, pure pieces
+    /// contain only superblock ops, and every memoized head matches its
+    /// piece.
+    #[test]
+    fn superblock_partition_round_trips(
+        instrs in prop::collection::vec(instr_strategy(40), 1..60),
+    ) {
+        let program = Program::new(instrs.clone());
+        let exec = ExecProgram::decode(&program);
+        let sb = exec.superblocks();
+        let parts = sb.partition();
+        let mut next = 0u32;
+        for &(start, len) in &parts {
+            prop_assert_eq!(start, next, "pieces must be contiguous");
+            prop_assert!(len >= 1);
+            let all_pure =
+                instrs[start as usize..(start + len) as usize].iter().all(is_superblock_op);
+            if len > 1 {
+                prop_assert!(all_pure, "multi-instruction pieces are superblocks");
+            }
+            prop_assert_eq!(all_pure, sb.len_at(start as usize) > 0);
+            next = start + len;
+        }
+        prop_assert_eq!(next as usize, instrs.len(), "pieces must cover the stream");
+        for meta in sb.blocks() {
+            let total: u32 = meta.op_counts.iter().map(|&(_, c)| c).sum();
+            prop_assert_eq!(total, meta.len, "memoized histogram covers the block");
+        }
+    }
+}
+
+/// DMA-stall-heavy kernel: every tasklet streams 1 KiB MRAM chunks
+/// back-to-back, serializing on the shared streaming port, with an ALU
+/// block between transfers. Cycle skipping must preserve exact
+/// `idle_cycles` and DMA statistics.
+#[test]
+fn cycle_skipping_preserves_idle_cycles_and_dma_stats() {
+    let chunk: i32 = 1024;
+    let iters: i32 = 20;
+    let mut instrs = vec![
+        // r1 = wram base (tasklet id * chunk), r2 = mram addr, r3 = len.
+        Instr::TaskletId { rd: Reg(1) },
+        Instr::Lsli { rd: Reg(1), ra: Reg(1), sh: 10 },
+        Instr::Movi { rd: Reg(2), imm: 0 },
+        Instr::Movi { rd: Reg(3), imm: chunk },
+        Instr::Movi { rd: Reg(5), imm: iters },
+    ];
+    let loop_head = instrs.len() as u32;
+    instrs.extend([
+        Instr::MramRead { wram: Reg(1), mram: Reg(2), len: Reg(3) },
+        // A small superblock between transfers.
+        Instr::Addi { rd: Reg(2), ra: Reg(2), imm: chunk },
+        Instr::Addi { rd: Reg(5), ra: Reg(5), imm: -1 },
+        Instr::Xor { rd: Reg(6), ra: Reg(6), rb: Reg(5) },
+        Instr::Branch { cond: Cond::Ne, ra: Reg(5), rb: Reg(0), target: loop_head },
+        Instr::MramWrite { wram: Reg(1), mram: Reg(2), len: Reg(3) },
+        Instr::Halt,
+    ]);
+    let program = Program::new(instrs);
+
+    for tasklets in [1usize, 2, 4, 8] {
+        let result = assert_engines_agree(&program, tasklets, u64::MAX).expect("run completes");
+        // Sanity: the run is genuinely DMA-heavy and leaves the pipeline
+        // idle waiting on the streaming port.
+        let transfers = tasklets as u64 * (iters as u64 + 1);
+        assert_eq!(result.dma_transfers, transfers);
+        assert_eq!(result.dma_bytes, transfers * chunk as u64);
+        assert!(result.dma_cycles > result.instructions, "DMA dominates");
+        assert!(result.idle_cycles > 0, "stalls must leave idle issue slots");
+    }
+}
+
+/// The `sync_heavy_16t` bench shape: a mutex-guarded WRAM counter bumped
+/// in a loop by 16 tasklets, then a barrier. Sole-runnable fast-forwarding
+/// (most of this kernel's life has exactly one unblocked tasklet) must be
+/// invisible.
+#[test]
+fn sync_heavy_16_tasklets_matches_reference() {
+    let iters: i32 = 200;
+    let mut instrs = vec![Instr::Movi { rd: Reg(5), imm: iters }];
+    let loop_head = instrs.len() as u32;
+    instrs.extend([
+        Instr::MutexLock { id: 1 },
+        Instr::Load { width: Width::W, rd: Reg(2), ra: Reg(0), off: 64 },
+        Instr::Addi { rd: Reg(2), ra: Reg(2), imm: 1 },
+        Instr::Store { width: Width::W, ra: Reg(0), off: 64, rs: Reg(2) },
+        Instr::MutexUnlock { id: 1 },
+        Instr::Addi { rd: Reg(5), ra: Reg(5), imm: -1 },
+        Instr::Branch { cond: Cond::Ne, ra: Reg(5), rb: Reg(0), target: loop_head },
+        Instr::Barrier,
+        Instr::Halt,
+    ]);
+    let program = Program::new(instrs);
+    let tasklets = 16;
+    let result = assert_engines_agree(&program, tasklets, u64::MAX).expect("run completes");
+    assert_eq!(result.trace, vec![]);
+    // The counter saw every increment exactly once.
+    let mut machine = Machine::default();
+    let exec = ExecProgram::decode(&program);
+    machine.run_exec(&exec, tasklets).unwrap();
+    assert_eq!(
+        machine.wram.read_u32(64).unwrap(),
+        (iters as u32) * tasklets as u32,
+        "mutex must serialize the read-modify-write"
+    );
+}
+
+/// Subroutine bursts fast-forward in sole mode; budget exhaustion inside
+/// a burst must surface at the identical pick on both engines.
+#[test]
+fn subroutine_bursts_and_budget_exhaustion_match_reference() {
+    use dpu_sim::subroutines::Subroutine;
+    let program = Program::new(vec![
+        Instr::Movi { rd: Reg(1), imm: 1000 },
+        Instr::Movi { rd: Reg(2), imm: 37 },
+        Instr::CallSub { sub: Subroutine::Divsi3, rd: Reg(3), ra: Reg(1), rb: Reg(2) },
+        Instr::CallSub { sub: Subroutine::Mulsi3, rd: Reg(4), ra: Reg(3), rb: Reg(2) },
+        Instr::Trace { ra: Reg(4) },
+        Instr::Halt,
+    ]);
+    // Exercise every budget from "fails at the first pick" to "completes":
+    // the two engines must agree at each cutoff.
+    let full = assert_engines_agree(&program, 1, u64::MAX).expect("run completes");
+    for budget in (0..full.cycles + 12).step_by(7) {
+        let _outcome = assert_engines_agree(&program, 1, budget);
+    }
+    assert_eq!(full.trace, vec![(0, (1000 / 37) * 37)]);
+}
+
+/// Deadlock accounting (at_barrier / on_mutex populations) is identical
+/// when the fast engine detects the deadlock after fast-forwarded work.
+#[test]
+fn deadlock_accounting_matches_reference() {
+    // Tasklet 0 takes the mutex and parks at a barrier still holding it;
+    // the others run an ALU block then try to lock: classic deadlock.
+    let program = Program::new(vec![
+        Instr::TaskletId { rd: Reg(1) },
+        Instr::Branch { cond: Cond::Ne, ra: Reg(1), rb: Reg(0), target: 4 },
+        Instr::MutexLock { id: 0 },
+        Instr::Barrier,
+        // others: a superblock, then block on the mutex.
+        Instr::Addi { rd: Reg(2), ra: Reg(2), imm: 5 },
+        Instr::Xor { rd: Reg(3), ra: Reg(3), rb: Reg(2) },
+        Instr::MutexLock { id: 0 },
+        Instr::Barrier,
+        Instr::Halt,
+    ]);
+    for tasklets in [2usize, 5, 12] {
+        let err = assert_engines_agree(&program, tasklets, u64::MAX)
+            .expect_err("mutex held across barrier deadlocks");
+        assert_eq!(
+            err,
+            dpu_sim::Error::Deadlock { at_barrier: 1, on_mutex: tasklets - 1 },
+            "tasklets={tasklets}"
+        );
+    }
+}

@@ -134,7 +134,9 @@ impl DpuSet {
 impl DpuSet {
     /// Launch the program previously installed with [`DpuSet::load`] —
     /// the second half of the SDK's load-once/launch-many pattern. Runs
-    /// the stored execution form directly: no re-validation, no clone.
+    /// the stored execution form (decoded stream plus its memoized
+    /// superblock decomposition) directly: no re-validation, no clone,
+    /// no re-analysis.
     ///
     /// # Errors
     /// [`crate::HostError::Symbol`] when nothing is loaded; otherwise as

@@ -160,9 +160,11 @@ impl DpuSet {
 
     /// Load a program onto every DPU of the set (`dpu_load`): validates
     /// control flow and the IRAM footprint once and decodes the program
-    /// into its [`ExecProgram`] execution form, kept for
+    /// into its [`ExecProgram`] execution form — including the superblock
+    /// decomposition the interpreter's fast path dispatches from — kept for
     /// [`DpuSet::launch_loaded`]. The SDK's load-once/launch-many pattern —
-    /// launches of the loaded program skip validation and decoding.
+    /// launches of the loaded program skip validation, decoding, and
+    /// superblock analysis.
     ///
     /// # Errors
     /// [`HostError::Dpu`] when the program is malformed or exceeds IRAM.
