@@ -1,0 +1,144 @@
+//! Fault-tolerance cost: zero-fault resilient launch vs the plain launch
+//! path, plus a seeded campaign for context.
+//!
+//! The key contract here is the **zero-fault tax guard**: with no fault
+//! plan the resilient path takes no MRAM snapshots, arms nothing, and runs
+//! the same interpreter under the same default budget — so its wall-clock
+//! must stay within 2% (plus scheduling noise) of `launch_loaded`. The
+//! guard is asserted at the end of the run, making `cargo bench
+//! --bench resilient_launch` a pass/fail gate, not just a report.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpu_sim::faults::{FaultConfig, FaultPlan};
+use dpu_sim::DpuId;
+use pim_host::{DpuSet, ResilientLaunchPolicy};
+use std::time::{Duration, Instant};
+
+const DPUS: usize = 8;
+const TASKLETS: usize = 4;
+
+/// An eBNN-scale per-DPU kernel: DMA in, ~100k-cycle compute loop per
+/// tasklet, DMA out. Heavy enough that per-launch fixed costs are honest
+/// noise, light enough to iterate.
+fn staged_set() -> DpuSet {
+    let program = dpu_sim::asm::assemble(
+        "movi r1, 0\n\
+         movi r2, 0\n\
+         movi r3, 8\n\
+         mram.read r1, r2, r3\n\
+         lw r4, r1, 0\n\
+         top:\n\
+         addi r4, r4, -1\n\
+         bne r4, r0, top\n\
+         barrier\n\
+         mram.write r1, r2, r3\n\
+         halt\n",
+    )
+    .unwrap();
+    let mut set = DpuSet::allocate(DPUS).unwrap();
+    set.define_symbol("n", 8).unwrap();
+    for i in 0..DPUS {
+        set.copy_to_dpu(DpuId(i as u32), "n", 0, &(100_000 + i as u64 * 1_000).to_le_bytes())
+            .unwrap();
+    }
+    set.load(&program).unwrap();
+    set
+}
+
+/// Minimum wall-clock of two alternately-run workloads. Interleaving the
+/// pairs (and swapping which goes first each round) means slow drift in
+/// machine load hits both mins equally instead of biasing whichever loop
+/// happened to run during the noisy stretch.
+fn paired_min_time(n: usize, mut a: impl FnMut(), mut b: impl FnMut()) -> (Duration, Duration) {
+    let time = |f: &mut dyn FnMut()| {
+        let start = Instant::now();
+        f();
+        start.elapsed()
+    };
+    a(); // warm-up
+    b();
+    let (mut min_a, mut min_b) = (Duration::MAX, Duration::MAX);
+    for round in 0..n {
+        if round % 2 == 0 {
+            min_a = min_a.min(time(&mut a));
+            min_b = min_b.min(time(&mut b));
+        } else {
+            min_b = min_b.min(time(&mut b));
+            min_a = min_a.min(time(&mut a));
+        }
+    }
+    (min_a, min_b)
+}
+
+fn bench_resilient_launch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("resilient_launch");
+    g.sample_size(10);
+
+    g.bench_function("plain_launch_loaded", |b| {
+        let mut set = staged_set();
+        b.iter(|| black_box(set.launch_loaded(TASKLETS).unwrap().makespan_cycles()));
+    });
+    g.bench_function("zero_fault_resilient", |b| {
+        let mut set = staged_set();
+        let policy = ResilientLaunchPolicy::default();
+        b.iter(|| {
+            black_box(set.launch_loaded_resilient(TASKLETS, &policy).unwrap().makespan_cycles())
+        });
+    });
+    g.bench_function("campaign_dma_fail_10pct", |b| {
+        let mut set = staged_set();
+        let policy = ResilientLaunchPolicy::with_faults(FaultPlan::new(FaultConfig {
+            seed: 42,
+            dma_fail_prob: 0.10,
+            ..FaultConfig::default()
+        }));
+        b.iter(|| {
+            black_box(set.launch_loaded_resilient(TASKLETS, &policy).unwrap().makespan_cycles())
+        });
+    });
+    g.bench_function("campaign_one_dpu_offline", |b| {
+        let mut set = staged_set();
+        let policy = ResilientLaunchPolicy {
+            max_retries: 0,
+            ..ResilientLaunchPolicy::with_faults(FaultPlan::new(FaultConfig {
+                forced_offline: vec![3],
+                ..FaultConfig::default()
+            }))
+        };
+        b.iter(|| {
+            black_box(set.launch_loaded_resilient(TASKLETS, &policy).unwrap().makespan_cycles())
+        });
+    });
+    g.finish();
+
+    // --- The zero-fault tax guard -------------------------------------
+    // Paired, interleaved min-of-N; 2% relative budget plus a small
+    // absolute epsilon so scheduler jitter can't flake the gate.
+    const RUNS: usize = 12;
+    let mut plain_set = staged_set();
+    let mut res_set = staged_set();
+    let policy = ResilientLaunchPolicy::default();
+    let (min_plain, min_resilient) = paired_min_time(
+        RUNS,
+        || {
+            black_box(plain_set.launch_loaded(TASKLETS).unwrap().makespan_cycles());
+        },
+        || {
+            black_box(
+                res_set.launch_loaded_resilient(TASKLETS, &policy).unwrap().makespan_cycles(),
+            );
+        },
+    );
+    let budget = min_plain.mul_f64(1.02) + Duration::from_micros(500);
+    println!(
+        "zero-fault tax: plain min {min_plain:?}, resilient min {min_resilient:?}, budget {budget:?}"
+    );
+    assert!(
+        min_resilient <= budget,
+        "zero-fault resilient launch exceeded the 2% overhead budget: \
+         plain {min_plain:?} vs resilient {min_resilient:?}"
+    );
+}
+
+criterion_group!(benches, bench_resilient_launch);
+criterion_main!(benches);

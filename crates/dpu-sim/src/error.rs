@@ -88,6 +88,16 @@ pub enum Error {
         /// Tasklets blocked on mutexes.
         on_mutex: usize,
     },
+    /// The DPU refused to launch: an injected whole-DPU fault (the
+    /// simulated analogue of a masked-out rank).
+    DpuOffline,
+    /// A DMA transfer aborted mid-kernel: an injected transfer fault.
+    DmaFault {
+        /// Program counter of the DMA instruction.
+        pc: usize,
+        /// Requested transfer size in bytes.
+        bytes: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -122,6 +132,10 @@ impl fmt::Display for Error {
                 f,
                 "deadlock: {at_barrier} tasklet(s) at a barrier, {on_mutex} blocked on mutexes, none runnable"
             ),
+            Error::DpuOffline => write!(f, "DPU offline (injected rank fault)"),
+            Error::DmaFault { pc, bytes } => {
+                write!(f, "injected DMA fault at pc={pc} ({bytes}-byte transfer)")
+            }
         }
     }
 }
@@ -144,5 +158,13 @@ mod tests {
     fn errors_are_comparable() {
         assert_eq!(Error::DivisionByZero { pc: 3 }, Error::DivisionByZero { pc: 3 });
         assert_ne!(Error::DivisionByZero { pc: 3 }, Error::DivisionByZero { pc: 4 });
+    }
+
+    #[test]
+    fn injected_fault_variants_display_their_site() {
+        assert!(Error::DpuOffline.to_string().contains("offline"));
+        let e = Error::DmaFault { pc: 17, bytes: 128 };
+        let s = e.to_string();
+        assert!(s.contains("pc=17") && s.contains("128"), "{s}");
     }
 }

@@ -44,6 +44,7 @@ pub mod asm;
 pub mod cost;
 pub mod error;
 pub mod exec;
+pub mod faults;
 pub mod isa;
 pub mod machine;
 pub mod memory;
@@ -56,6 +57,7 @@ pub mod system;
 
 pub use error::{Error, Result};
 pub use exec::ExecProgram;
+pub use faults::{AttemptFaults, FaultConfig, FaultKind, FaultPlan, InjectedFault};
 pub use isa::{Instr, Program, Reg};
 pub use machine::{Machine, RunResult};
 pub use memory::{DmaEngine, Mram, Wram};

@@ -20,6 +20,7 @@
 
 use crate::error::{Error, Result};
 use crate::exec::{self, ExecInstr, ExecProgram, Superblocks, OP_COUNT};
+use crate::faults::{AttemptFaults, DmaFault, FaultKind};
 use crate::isa::{Instr, Program, Reg, Width};
 use crate::memory::{DmaEngine, Mram, Wram};
 use crate::params::{DpuParams, REGS_PER_TASKLET};
@@ -106,6 +107,8 @@ pub struct Machine {
     /// DMA engine between MRAM and WRAM.
     pub dma: DmaEngine,
     perf: PerfCounter,
+    /// Faults armed for the next run attempt, if any (see [`crate::faults`]).
+    faults: Option<AttemptFaults>,
 }
 
 impl Default for Machine {
@@ -128,7 +131,21 @@ impl Machine {
                 crate::params::DMA_MAX_TRANSFER_BYTES,
             ),
             perf: PerfCounter::new(),
+            faults: None,
         }
+    }
+
+    /// Arm a set of injected faults for the next run. The machine consults
+    /// them at launch (offline / hang clamp) and at every DMA transfer;
+    /// everything that fires is logged inside the armed [`AttemptFaults`].
+    pub fn arm_faults(&mut self, faults: AttemptFaults) {
+        self.faults = Some(faults);
+    }
+
+    /// Disarm fault injection, returning the armed state with its log of
+    /// what fired (if anything was armed).
+    pub fn disarm_faults(&mut self) -> Option<AttemptFaults> {
+        self.faults.take()
     }
 
     /// Run `program` on `tasklets` hardware threads until all halt.
@@ -307,6 +324,25 @@ impl Machine {
             });
         }
 
+        // A launch resets the perf counter: state armed by a previous run
+        // on this machine — including one that faulted or whose host
+        // worker panicked mid-kernel — must not leak into this run's
+        // `perfcounter_get` reads.
+        self.perf = PerfCounter::new();
+
+        let mut budget = budget;
+        if let Some(f) = self.faults.as_mut() {
+            if f.offline() {
+                f.log(FaultKind::DpuOffline, 0);
+                return Err(Error::DpuOffline);
+            }
+            if let Some(hang) = f.hang_after() {
+                // An injected hang is a run that never halts; the clamped
+                // budget is the watchdog cutting it off.
+                budget = budget.min(hang);
+            }
+        }
+
         let pipeline = Pipeline::with_stages(tasklets, u64::from(self.params.pipeline_stages));
         let live = if code.is_empty() { 0 } else { tasklets };
         let dma_cycles_before = self.dma.total_cycles;
@@ -343,10 +379,20 @@ impl Machine {
         // Traced runs take the reference path: per-instruction stepping
         // trivially emits identical events, and the traced-vs-untraced
         // identity tests then pin the fast engine against the reference.
-        if reference || interp.sink.is_enabled() {
-            interp.run_reference()?;
+        let engine = if reference || interp.sink.is_enabled() {
+            interp.run_reference()
         } else {
-            interp.run_fast()?;
+            interp.run_fast()
+        };
+        if let Err(e) = engine {
+            if let Error::CycleBudgetExceeded { budget: hit } = e {
+                if let Some(f) = interp.machine.faults.as_mut() {
+                    if f.hang_after() == Some(hit) {
+                        f.log(FaultKind::TaskletHang { budget: hit }, hit);
+                    }
+                }
+            }
+            return Err(e);
         }
 
         let mut result = interp.result;
@@ -1134,7 +1180,19 @@ impl Interp<'_> {
                 let w = th.get(wram) as usize;
                 let m = th.get(mram) as usize;
                 let l = th.get(len) as usize;
-                let cycles = if matches!(instr, Instr::MramRead { .. }) {
+                let is_read = matches!(instr, Instr::MramRead { .. });
+                // Both interpreter engines route every DMA through this
+                // site (the op is a scheduling boundary), so one injection
+                // hook covers all execution modes.
+                let fault = self.machine.faults.as_mut().and_then(|f| f.on_dma(l));
+                if fault == Some(DmaFault::Fail) {
+                    let cycle = pipeline_issue_cycle(&self.pipeline);
+                    if let Some(f) = self.machine.faults.as_mut() {
+                        f.log(FaultKind::DmaFail, cycle);
+                    }
+                    return Err(Error::DmaFault { pc, bytes: l });
+                }
+                let cycles = if is_read {
                     self.machine.dma.read(&self.machine.mram, &mut self.machine.wram, m, w, l)?
                 } else {
                     self.machine.dma.write(&mut self.machine.mram, &self.machine.wram, m, w, l)?
@@ -1147,6 +1205,25 @@ impl Interp<'_> {
                 // The issuing tasklet blocks for queueing + setup + its
                 // own streaming time.
                 self.pipeline.stall(t, (start - issue) + setup + stream);
+                if let Some(DmaFault::FlipBit { byte, bit }) = fault {
+                    // The flip lands in the transfer's destination as the
+                    // data arrives: WRAM for reads, MRAM for writes.
+                    let done = start + setup + stream;
+                    let kind = if is_read {
+                        let addr = w + byte;
+                        let v = self.machine.wram.read_u8(addr)?;
+                        self.machine.wram.write_u8(addr, v ^ (1 << bit))?;
+                        FaultKind::WramBitFlip { addr: addr as u32, bit }
+                    } else {
+                        let addr = m + byte;
+                        let v = self.machine.mram.read_u8(addr)?;
+                        self.machine.mram.write_u8(addr, v ^ (1 << bit))?;
+                        FaultKind::MramBitFlip { addr: addr as u32, bit }
+                    };
+                    if let Some(f) = self.machine.faults.as_mut() {
+                        f.log(kind, done);
+                    }
+                }
                 if self.sink.is_enabled() {
                     self.sink.record(TraceEvent::DmaTransfer {
                         tasklet: t as u8,
@@ -2078,5 +2155,161 @@ mod deadlock_accounting_tests {
         let mut m = Machine::default();
         let err = m.run_with_budget(&p, 4, 100_000).unwrap_err();
         assert!(matches!(err, Error::Deadlock { at_barrier: 1, on_mutex: 1 }), "got {err}");
+    }
+}
+
+#[cfg(test)]
+mod fault_injection_tests {
+    use super::*;
+    use crate::asm::assemble;
+    use crate::faults::{FaultConfig, FaultPlan};
+
+    /// DMA a word in, double it, DMA it back out.
+    fn dma_program() -> Program {
+        assemble(
+            "movi r1, 0\n\
+             movi r2, 0\n\
+             movi r3, 8\n\
+             mram.read r1, r2, r3\n\
+             lw r4, r1, 0\n\
+             add r4, r4, r4\n\
+             sw r1, 0, r4\n\
+             mram.write r1, r2, r3\n\
+             halt\n",
+        )
+        .unwrap()
+    }
+
+    fn plan(config: FaultConfig) -> FaultPlan {
+        FaultPlan::new(config)
+    }
+
+    #[test]
+    fn offline_fault_fails_the_launch_and_logs() {
+        let mut m = Machine::default();
+        m.arm_faults(
+            plan(FaultConfig { forced_offline: vec![0], ..Default::default() }).attempt(0, 0),
+        );
+        let err = m.run(&dma_program(), 1).unwrap_err();
+        assert_eq!(err, Error::DpuOffline);
+        let log = m.disarm_faults().unwrap();
+        assert_eq!(log.injected().len(), 1);
+        assert_eq!(log.injected()[0].kind.label(), "dpu_offline");
+    }
+
+    #[test]
+    fn dma_fail_aborts_with_site_and_logs() {
+        let mut m = Machine::default();
+        m.arm_faults(
+            plan(FaultConfig { seed: 1, dma_fail_prob: 1.0, ..Default::default() }).attempt(0, 0),
+        );
+        let err = m.run(&dma_program(), 1).unwrap_err();
+        assert!(matches!(err, Error::DmaFault { bytes: 8, .. }), "got {err}");
+        let log = m.disarm_faults().unwrap();
+        assert_eq!(log.injected()[0].kind.label(), "dma_fail");
+    }
+
+    #[test]
+    fn bit_flip_corrupts_the_result_and_logs_the_site() {
+        // Clean run: 21 doubles to 42.
+        let mut clean = Machine::default();
+        clean.mram.write(0, &21u64.to_le_bytes()).unwrap();
+        clean.run(&dma_program(), 1).unwrap();
+        let mut out = [0u8; 8];
+        clean.mram.read(0, &mut out).unwrap();
+        assert_eq!(u64::from_le_bytes(out), 42);
+
+        // Same run with every DMA flipping one destination bit.
+        let mut faulty = Machine::default();
+        faulty.mram.write(0, &21u64.to_le_bytes()).unwrap();
+        faulty.arm_faults(
+            plan(FaultConfig { seed: 9, bit_flip_prob: 1.0, ..Default::default() }).attempt(0, 0),
+        );
+        faulty.run(&dma_program(), 1).unwrap();
+        let log = faulty.disarm_faults().unwrap();
+        assert_eq!(log.injected().len(), 2, "one flip per DMA transfer");
+        let labels: Vec<&str> = log.injected().iter().map(|f| f.kind.label()).collect();
+        assert_eq!(labels, vec!["wram_bit_flip", "mram_bit_flip"]);
+        assert!(log.injected()[0].cycle > 0, "flip is stamped at DMA completion");
+        faulty.mram.read(0, &mut out).unwrap();
+        assert_ne!(u64::from_le_bytes(out), 42, "corruption must be observable");
+    }
+
+    #[test]
+    fn injected_hang_surfaces_as_clamped_budget_exhaustion() {
+        // An endless loop would normally run to the caller's budget; with a
+        // hang injected the run is cut off at the drawn cycle instead.
+        let p = assemble("top:\njmp top\n").unwrap();
+        let mut m = Machine::default();
+        let armed =
+            plan(FaultConfig { seed: 3, hang_prob: 1.0, ..Default::default() }).attempt(0, 0);
+        let hang_at = armed.hang_after().unwrap();
+        m.arm_faults(armed);
+        let err = m.run_with_budget(&p, 1, 10_000_000).unwrap_err();
+        assert_eq!(err, Error::CycleBudgetExceeded { budget: hang_at });
+        let log = m.disarm_faults().unwrap();
+        assert_eq!(log.injected()[0].kind.label(), "tasklet_hang");
+    }
+
+    #[test]
+    fn hang_does_not_fire_when_the_kernel_finishes_first() {
+        let mut m = Machine::default();
+        let armed =
+            plan(FaultConfig { seed: 5, hang_prob: 1.0, ..Default::default() }).attempt(0, 0);
+        m.arm_faults(armed);
+        // The DMA program halts within a few hundred cycles, below any
+        // drawn hang cutoff >= 500.
+        let r = m.run(&dma_program(), 1);
+        if let Ok(res) = &r {
+            assert!(res.cycles < 500);
+            assert!(m.disarm_faults().unwrap().injected().is_empty());
+        } else {
+            // A cutoff below the kernel's runtime would hang it instead —
+            // not possible here, but keep the assertion honest.
+            panic!("kernel should finish before the minimum hang cutoff: {r:?}");
+        }
+    }
+
+    #[test]
+    fn zero_plan_armed_is_bit_identical_to_unarmed() {
+        let run = |arm: bool| {
+            let mut m = Machine::default();
+            m.mram.write(0, &7u64.to_le_bytes()).unwrap();
+            if arm {
+                m.arm_faults(FaultPlan::none().attempt(0, 0));
+            }
+            let r = m.run(&dma_program(), 1).unwrap();
+            match m.disarm_faults() {
+                Some(log) => {
+                    assert!(arm);
+                    assert!(log.injected().is_empty());
+                }
+                None => assert!(!arm),
+            }
+            r
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn perf_counter_does_not_leak_across_runs() {
+        // Run 1 arms the perf counter early and never reads it.
+        let arm = assemble("perf.config\nhalt\n").unwrap();
+        // Run 2 burns cycles, then reads the counter without arming it:
+        // a fresh launch must read 0, not the elapsed time since run 1's
+        // stale arming.
+        let read_late = assemble(
+            "movi r1, 200\n\
+             top:\n\
+             addi r1, r1, -1\n\
+             bne r1, r0, top\n\
+             perf.read r4\n\
+             halt\n",
+        )
+        .unwrap();
+        let mut m = Machine::default();
+        m.run(&arm, 1).unwrap();
+        let r = m.run(&read_late, 1).unwrap();
+        assert_eq!(r.perf_reads, vec![0], "perf state leaked across launches");
     }
 }

@@ -534,11 +534,24 @@ pub fn run_tier1_batch_multi_dpu_traced(
     tier1_multi_impl(model, images, true)
 }
 
-fn tier1_multi_impl(
+/// A multi-DPU set fully staged for a Tier-1 batch launch: program loaded,
+/// weights broadcast, images scattered — everything but the launch itself,
+/// shared between the plain and the fault-tolerant paths.
+struct StagedBatch {
+    set: DpuSet,
+    /// Images per DPU chunk (all [`IMAGES_PER_DPU`] except possibly the
+    /// last).
+    chunk_lens: Vec<usize>,
+    tasklets: usize,
+    fpi: usize,
+    fpi_pad: usize,
+}
+
+fn tier1_multi_stage(
     model: &EbnnModel,
     images: &[GrayImage],
     trace: bool,
-) -> Result<TracedBatch, HostError> {
+) -> Result<StagedBatch, HostError> {
     assert!(!images.is_empty(), "empty batch");
     let filters = model.config.filters;
     let l = WramLayout::new(filters);
@@ -586,22 +599,94 @@ fn tier1_multi_impl(
 
     set.load(&tier1_program(filters))?;
     let tasklets = chunks.iter().map(|c| c.len()).max().unwrap_or(1);
-    let (launch, dpu_traces) = if trace {
-        set.launch_loaded_traced(tasklets)?
-    } else {
-        (set.launch_loaded(tasklets)?, Vec::new())
-    };
+    let chunk_lens = chunks.iter().map(|c| c.len()).collect();
+    Ok(StagedBatch { set, chunk_lens, tasklets, fpi, fpi_pad })
+}
 
-    let mut features = Vec::with_capacity(images.len());
-    for (d, chunk) in chunks.iter().enumerate() {
-        for i in 0..chunk.len() {
-            let mut wire = vec![0u8; fpi_pad];
-            set.copy_from_dpu(DpuId(d as u32), "features", i * fpi_pad, &mut wire)?;
-            features.push(wire[..fpi].to_vec());
+/// Gather per-image features (in input order) after a launch.
+fn gather_features(staged: &StagedBatch) -> Result<Vec<Vec<u8>>, HostError> {
+    let mut features = Vec::with_capacity(staged.chunk_lens.iter().sum());
+    for (d, &len) in staged.chunk_lens.iter().enumerate() {
+        for i in 0..len {
+            let mut wire = vec![0u8; staged.fpi_pad];
+            staged.set.copy_from_dpu(DpuId(d as u32), "features", i * staged.fpi_pad, &mut wire)?;
+            features.push(wire[..staged.fpi].to_vec());
         }
     }
-    let host_trace = set.take_host_trace().unwrap_or_default();
+    Ok(features)
+}
+
+fn tier1_multi_impl(
+    model: &EbnnModel,
+    images: &[GrayImage],
+    trace: bool,
+) -> Result<TracedBatch, HostError> {
+    let mut staged = tier1_multi_stage(model, images, trace)?;
+    let (launch, dpu_traces) = if trace {
+        staged.set.launch_loaded_traced(staged.tasklets)?
+    } else {
+        (staged.set.launch_loaded(staged.tasklets)?, Vec::new())
+    };
+    let features = gather_features(&staged)?;
+    let host_trace = staged.set.take_host_trace().unwrap_or_default();
     Ok(TracedBatch { features, launch, dpu_traces, host_trace })
+}
+
+/// Outcome of a fault-tolerant multi-DPU batch (see
+/// [`run_tier1_batch_multi_dpu_resilient`]).
+#[derive(Debug, Clone)]
+pub struct ResilientBatch {
+    /// Per-image features in input order — identical to what
+    /// [`run_tier1_batch_multi_dpu`] returns, even when some images were
+    /// computed on a stand-in DPU.
+    pub features: Vec<Vec<u8>>,
+    /// The full fault-tolerance record: per-DPU attempts, injected
+    /// faults, quarantines and re-dispatches.
+    pub report: pim_host::LaunchReport,
+    /// Input-order indices of images whose home DPU was quarantined and
+    /// whose features therefore came from a surviving DPU.
+    pub redispatched_images: Vec<usize>,
+}
+
+/// Fault-tolerant variant of [`run_tier1_batch_multi_dpu`]: runs the same
+/// staged batch under a [`pim_host::ResilientLaunchPolicy`]. A DPU that
+/// keeps faulting is quarantined and its 16-image chunk is recomputed on a
+/// surviving DPU, so the returned features are complete and correct as
+/// long as at least one DPU survives.
+///
+/// # Errors
+/// Host-runtime staging failures, or — when even re-dispatch could not
+/// serve some chunk — the last per-DPU error from the report.
+///
+/// # Panics
+/// When `images` is empty or the model has more than 8 filters.
+pub fn run_tier1_batch_multi_dpu_resilient(
+    model: &EbnnModel,
+    images: &[GrayImage],
+    policy: &pim_host::ResilientLaunchPolicy,
+) -> Result<ResilientBatch, HostError> {
+    let mut staged = tier1_multi_stage(model, images, false)?;
+    let report = staged.set.launch_loaded_resilient(staged.tasklets, policy)?;
+    if !report.fully_served() {
+        return Err(report
+            .per_dpu
+            .iter()
+            .find_map(|r| if r.result.is_none() { r.last_error.clone() } else { None })
+            .unwrap_or(HostError::WorkerPanic {
+                detail: "unserved DPU carried no error".to_owned(),
+            }));
+    }
+    let features = gather_features(&staged)?;
+    let redispatched_images = report
+        .degraded
+        .iter()
+        .flat_map(|d| {
+            let q = d.from.0 as usize;
+            let start = q * IMAGES_PER_DPU;
+            start..start + staged.chunk_lens[q]
+        })
+        .collect();
+    Ok(ResilientBatch { features, report, redispatched_images })
 }
 
 #[cfg(test)]

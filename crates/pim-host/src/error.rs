@@ -120,4 +120,59 @@ mod tests {
         let e = HostError::Alignment { what: "length", value: 13 };
         assert!(e.to_string().contains("8-byte"));
     }
+
+    /// Every variant's Display output names the variant's own diagnostic
+    /// payload, so a logged error is always actionable. One case per
+    /// variant — this test is the checklist to extend when adding one
+    /// (the enum is `#[non_exhaustive]` toward downstream crates, but
+    /// in-crate matches stay exhaustive).
+    #[test]
+    fn every_variant_displays_its_payload() {
+        let cases: Vec<(HostError, &[&str])> = vec![
+            (
+                HostError::Dpu(dpu_sim::Error::DivisionByZero { pc: 7 }),
+                &["DPU fault", "division by zero", "pc=7"],
+            ),
+            (HostError::Alignment { what: "offset", value: 13 }, &["offset", "13", "8-byte"]),
+            (
+                HostError::Symbol { name: "weights".to_owned(), problem: "not defined" },
+                &["weights", "not defined"],
+            ),
+            (
+                HostError::SymbolOverflow {
+                    name: "features".to_owned(),
+                    requested: 640,
+                    capacity: 512,
+                },
+                &["features", "640", "512"],
+            ),
+            (HostError::XferArity { prepared: 3, dpus: 8 }, &["3", "8", "buffers"]),
+            (HostError::NoSuchDpu { index: 9, len: 4 }, &["DPU 9", "4"]),
+            (HostError::BadAllocation { requested: 0 }, &["allocate", "0"]),
+            (
+                HostError::WorkerPanic { detail: "index out of bounds".to_owned() },
+                &["panicked", "index out of bounds"],
+            ),
+        ];
+        for (err, needles) in cases {
+            let shown = err.to_string();
+            for needle in needles {
+                assert!(
+                    shown.contains(needle),
+                    "{err:?} displayed as {shown:?}; wanted {needle:?}"
+                );
+            }
+            // Error-trait plumbing: only the Dpu wrapper has a source.
+            use std::error::Error as _;
+            assert_eq!(err.source().is_some(), matches!(err, HostError::Dpu(_)), "{err:?}");
+        }
+    }
+
+    #[test]
+    fn host_error_is_non_exhaustive_but_clone_eq() {
+        // Compile-time spot check that the derives downstream code relies
+        // on are in place.
+        let e = HostError::BadAllocation { requested: 3 };
+        assert_eq!(e.clone(), e);
+    }
 }

@@ -171,7 +171,7 @@ impl DpuSet {
 
 /// Below the threshold a launch runs on the calling thread: the scoped
 /// spawn costs more than it saves on tiny sets.
-const PARALLEL_THRESHOLD: usize = 4;
+pub(crate) const PARALLEL_THRESHOLD: usize = 4;
 
 /// What happened to one DPU's simulation.
 enum DpuOutcome {
@@ -260,14 +260,37 @@ fn run_stealing_with<F>(
 where
     F: Fn(usize, &mut dpu_sim::Machine, &mut TraceBuffer) -> dpu_sim::Result<RunResult> + Sync,
 {
-    struct Slot<'a> {
+    // Catch panics per DPU (while not holding any shared state) so one
+    // faulty simulation surfaces as a `HostError` instead of tearing down
+    // the whole scope.
+    steal_jobs(system, buffers, |i, dpu, buf| {
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(i, dpu, buf))) {
+            Ok(res) => DpuOutcome::Done(res),
+            Err(payload) => DpuOutcome::Panicked(panic_detail(payload.as_ref())),
+        }
+    })
+}
+
+/// The work-stealing loop itself, generic over the per-DPU outcome type so
+/// the resilient launch path can reuse it with richer per-DPU reports.
+/// Jobs must not unwind (wrap them in `catch_unwind` when they might).
+pub(crate) fn steal_jobs<R, F>(
+    system: &mut PimSystem,
+    buffers: &mut [TraceBuffer],
+    job: F,
+) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize, &mut dpu_sim::Machine, &mut TraceBuffer) -> R + Sync,
+{
+    struct Slot<'a, R> {
         dpu: &'a mut dpu_sim::Machine,
         buf: &'a mut TraceBuffer,
-        outcome: Option<DpuOutcome>,
+        outcome: Option<R>,
     }
 
     let n = system.len();
-    let slots: Vec<Mutex<Slot>> = system
+    let slots: Vec<Mutex<Slot<R>>> = system
         .iter_mut()
         .zip(buffers.iter_mut())
         .map(|((_, dpu), buf)| Mutex::new(Slot { dpu, buf, outcome: None }))
@@ -284,17 +307,7 @@ where
                 // whichever thread drew the index.
                 let mut slot = slot.lock().expect("job mutex poisoned");
                 let Slot { dpu, buf, outcome } = &mut *slot;
-                // Catch panics per DPU (while not holding any shared state)
-                // so one faulty simulation surfaces as a `HostError` instead
-                // of tearing down the whole scope.
-                *outcome = Some(
-                    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                        job(i, dpu, buf)
-                    })) {
-                        Ok(res) => DpuOutcome::Done(res),
-                        Err(payload) => DpuOutcome::Panicked(panic_detail(payload.as_ref())),
-                    },
-                );
+                *outcome = Some(job(i, dpu, buf));
             });
         }
     })
@@ -309,7 +322,7 @@ where
 }
 
 /// Best-effort extraction of a panic payload's message.
-fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
     payload.downcast_ref::<&str>().map(|s| (*s).to_owned()).unwrap_or_else(|| {
         payload
             .downcast_ref::<String>()
@@ -621,5 +634,47 @@ mod scheduler_equivalence_tests {
         }
         let err = HostError::WorkerPanic { detail: "injected failure on DPU 3".to_owned() };
         assert!(err.to_string().contains("panicked"));
+    }
+
+    /// Regression: a worker panic mid-launch must not poison per-machine
+    /// state for subsequent launches. The panicked wave here leaves every
+    /// machine with an *armed* perf counter; before `run_code` reset the
+    /// counter at run start, the next launch's `perf.read` would observe
+    /// the stale armed epoch instead of its own.
+    #[test]
+    fn relaunch_after_worker_panic_reads_clean_state() {
+        let mut set = DpuSet::allocate(6).unwrap();
+        let arming =
+            ExecProgram::compile(&dpu_sim::asm::assemble("perf.config\nhalt\n").unwrap()).unwrap();
+        let mut bufs = vec![TraceBuffer::new(); 6];
+        let outcomes = run_stealing_with(set.system_mut(), &mut bufs, |i, dpu, buf| {
+            let r = run_one(dpu, &arming, 1, false, buf);
+            if i == 2 {
+                panic!("injected mid-launch failure");
+            }
+            r
+        });
+        assert!(outcomes
+            .iter()
+            .enumerate()
+            .any(|(i, o)| i == 2 && matches!(o, DpuOutcome::Panicked(_))));
+
+        // Relaunch on the same (partly poisoned) set: every DPU's perf
+        // read must start from zero, including the one whose worker died.
+        let reader = dpu_sim::asm::assemble(
+            "movi r1, 200\n\
+             loop:\n\
+             addi r1, r1, -1\n\
+             bne r1, r0, loop\n\
+             perf.read r4\n\
+             halt\n",
+        )
+        .unwrap();
+        set.load(&reader).unwrap();
+        let res = set.launch_loaded(1).unwrap();
+        assert_eq!(res.per_dpu.len(), 6);
+        for (i, r) in res.per_dpu.iter().enumerate() {
+            assert_eq!(r.perf_reads, vec![0], "DPU {i} leaked perf state across launches");
+        }
     }
 }

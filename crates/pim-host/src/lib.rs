@@ -28,6 +28,7 @@ pub mod align;
 pub mod error;
 pub mod exec;
 pub mod launch;
+pub mod resilient;
 pub mod set;
 pub mod symbol;
 pub mod typed;
@@ -38,6 +39,7 @@ pub use dpu_sim::cost::{CycleModel, KernelEstimate, OpCounts, OptLevel};
 pub use error::{HostError, Result};
 pub use exec::KernelRun;
 pub use launch::LaunchResult;
+pub use resilient::{DpuServeReport, LaunchReport, Redispatch, ResilientLaunchPolicy};
 pub use set::{DpuSet, TransferStats};
 pub use symbol::{Symbol, SymbolTable};
 pub use typed::{from_wire, to_wire, Wire};

@@ -141,6 +141,17 @@ fn push_dpu_event(out: &mut Vec<Value>, pid: u64, event: &TraceEvent) {
                 "s": "t",
             }));
         }
+        TraceEvent::FaultInjected { kind, addr, cycle, attempt } => {
+            out.push(json!({
+                "ph": "i",
+                "pid": pid,
+                "tid": KERNEL_TID,
+                "name": format!("fault {kind}"),
+                "ts": *cycle,
+                "s": "p",
+                "args": {"kind": *kind, "addr": *addr, "attempt": *attempt},
+            }));
+        }
         TraceEvent::HostTransfer { .. } => {
             // Host events belong on the host track; ignore if one leaked
             // into a DPU buffer.

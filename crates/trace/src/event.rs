@@ -98,6 +98,21 @@ pub enum TraceEvent {
         /// Whether this arrival released the barrier (last tasklet in).
         released: bool,
     },
+    /// An injected fault fired on this DPU (see `dpu_sim::faults`).
+    /// Recorded by the host's resilient launch path after each run
+    /// attempt, so fault campaigns are visible in exported traces.
+    FaultInjected {
+        /// Machine-readable fault class ("dma_fail", "wram_bit_flip",
+        /// "mram_bit_flip", "tasklet_hang", "dpu_offline").
+        kind: &'static str,
+        /// Affected byte address for bit flips, 0 otherwise.
+        addr: u64,
+        /// DPU cycle at which the fault took effect (0 for launch-time
+        /// offline faults).
+        cycle: u64,
+        /// Retry attempt during which it fired (0 = first try).
+        attempt: u32,
+    },
     /// A host↔MRAM bulk transfer (not cycle-stamped: host-side time is
     /// wall clock, not DPU cycles; `seq` preserves ordering).
     HostTransfer {
@@ -122,7 +137,8 @@ impl TraceEvent {
         match self {
             TraceEvent::KernelLaunch { cycle, .. }
             | TraceEvent::KernelComplete { cycle, .. }
-            | TraceEvent::TaskletBarrier { cycle, .. } => Some(*cycle),
+            | TraceEvent::TaskletBarrier { cycle, .. }
+            | TraceEvent::FaultInjected { cycle, .. } => Some(*cycle),
             TraceEvent::DmaTransfer { start_cycle, cycles, .. } => Some(start_cycle + cycles),
             TraceEvent::SubroutineEnter { cycle, instructions, .. } => {
                 Some(cycle + u64::from(*instructions))

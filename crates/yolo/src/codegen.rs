@@ -245,14 +245,14 @@ pub fn run_tier1_layer_traced(
     tier1_layer_impl(dims, alpha, a, b, tasklets, true)
 }
 
-fn tier1_layer_impl(
+fn tier1_layer_stage(
     dims: GemmDims,
     alpha: i32,
     a: &[i16],
     b: &[i16],
     tasklets: usize,
     trace: bool,
-) -> Result<TracedLayer, HostError> {
+) -> Result<DpuSet, HostError> {
     assert_eq!(a.len(), dims.m * dims.k, "A shape mismatch");
     assert_eq!(b.len(), dims.k * dims.n, "B shape mismatch");
     assert!((1..=24).contains(&tasklets), "tasklets must be 1..=24");
@@ -282,19 +282,86 @@ fn tier1_layer_impl(
     batch.push(&mut set, "a_row", 0, a_cap)?;
 
     set.load(&gemm_row_program(dims))?;
-    let (launch, dpu_traces) = if trace {
-        set.launch_loaded_traced(tasklets)?
-    } else {
-        (set.launch_loaded(tasklets)?, Vec::new())
-    };
+    Ok(set)
+}
 
+/// Gather the `M×N` output matrix after a launch (row `i` from DPU `i`).
+fn gather_c(set: &DpuSet, dims: GemmDims) -> Result<Vec<i16>, HostError> {
     let mut c = vec![0i16; dims.m * dims.n];
     for i in 0..dims.m {
         let row: Vec<i16> = set.copy_values_from_dpu(DpuId(i as u32), "c_row", 0, dims.n)?;
         c[i * dims.n..(i + 1) * dims.n].copy_from_slice(&row);
     }
+    Ok(c)
+}
+
+fn tier1_layer_impl(
+    dims: GemmDims,
+    alpha: i32,
+    a: &[i16],
+    b: &[i16],
+    tasklets: usize,
+    trace: bool,
+) -> Result<TracedLayer, HostError> {
+    let mut set = tier1_layer_stage(dims, alpha, a, b, tasklets, trace)?;
+    let (launch, dpu_traces) = if trace {
+        set.launch_loaded_traced(tasklets)?
+    } else {
+        (set.launch_loaded(tasklets)?, Vec::new())
+    };
+    let c = gather_c(&set, dims)?;
     let host_trace = set.take_host_trace().unwrap_or_default();
     Ok(TracedLayer { c, launch, dpu_traces, host_trace })
+}
+
+/// Outcome of a fault-tolerant Tier-1 GEMM layer (see
+/// [`run_tier1_layer_resilient`]).
+#[derive(Debug, Clone)]
+pub struct ResilientLayer {
+    /// The `M×N` output matrix, row-major — identical to what
+    /// [`run_tier1_layer`] returns, even when some rows were computed on
+    /// a stand-in DPU.
+    pub c: Vec<i16>,
+    /// The full fault-tolerance record for the launch.
+    pub report: pim_host::LaunchReport,
+    /// Output rows whose home DPU was quarantined and whose values
+    /// therefore came from a surviving DPU.
+    pub redispatched_rows: Vec<usize>,
+}
+
+/// Fault-tolerant variant of [`run_tier1_layer`]: one DPU per `A` row, run
+/// under a [`pim_host::ResilientLaunchPolicy`]. A quarantined DPU's row is
+/// recomputed on a survivor, so `c` is complete and correct as long as at
+/// least one DPU survives.
+///
+/// # Errors
+/// Host-runtime staging failures, or — when even re-dispatch could not
+/// serve some row — the last per-DPU error from the report.
+///
+/// # Panics
+/// See [`run_tier1_layer`].
+pub fn run_tier1_layer_resilient(
+    dims: GemmDims,
+    alpha: i32,
+    a: &[i16],
+    b: &[i16],
+    tasklets: usize,
+    policy: &pim_host::ResilientLaunchPolicy,
+) -> Result<ResilientLayer, HostError> {
+    let mut set = tier1_layer_stage(dims, alpha, a, b, tasklets, false)?;
+    let report = set.launch_loaded_resilient(tasklets, policy)?;
+    if !report.fully_served() {
+        return Err(report
+            .per_dpu
+            .iter()
+            .find_map(|r| if r.result.is_none() { r.last_error.clone() } else { None })
+            .unwrap_or(HostError::WorkerPanic {
+                detail: "unserved DPU carried no error".to_owned(),
+            }));
+    }
+    let c = gather_c(&set, dims)?;
+    let redispatched_rows = report.degraded.iter().map(|d| d.from.0 as usize).collect();
+    Ok(ResilientLayer { c, report, redispatched_rows })
 }
 
 #[cfg(test)]

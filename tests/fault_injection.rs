@@ -2,8 +2,8 @@
 //! a typed error — never a panic, never silent corruption.
 
 use dpu_sim::asm::assemble;
-use dpu_sim::{DpuId, Error as DpuError, Machine};
-use pim_host::{DpuSet, HostError};
+use dpu_sim::{DpuId, Error as DpuError, FaultConfig, FaultPlan, Machine};
+use pim_host::{DpuSet, HostError, ResilientLaunchPolicy};
 use proptest::prelude::*;
 
 #[test]
@@ -112,6 +112,79 @@ fn errors_carry_displayable_context_end_to_end() {
     assert!(msg.contains("8-byte"), "{msg}");
     let e2 = set.copy_to("nope", 0, &[0u8; 8]).unwrap_err();
     assert!(e2.to_string().contains("nope"));
+}
+
+/// The ISSUE acceptance scenario: a seeded plan knocks a whole DPU offline
+/// in a multi-image eBNN run; the launch must complete with correct
+/// features for *every* image (the dead DPU's 16-image chunk recomputed on
+/// a survivor) and report the quarantined DPU.
+#[test]
+fn ebnn_batch_survives_a_whole_dpu_fault_via_redispatch() {
+    let m =
+        ebnn::EbnnModel::generate(ebnn::ModelConfig { filters: 2, ..ebnn::ModelConfig::default() });
+    let imgs: Vec<_> = (0..40).map(|i| ebnn::synth_digit(i % 10, (i / 10) as u64)).collect();
+    let plan = FaultPlan::new(FaultConfig { forced_offline: vec![1], ..FaultConfig::default() });
+    let policy =
+        ResilientLaunchPolicy { max_retries: 1, ..ResilientLaunchPolicy::with_faults(plan) };
+    let batch = ebnn::run_tier1_batch_multi_dpu_resilient(&m, &imgs, &policy).unwrap();
+
+    assert_eq!(batch.report.quarantined, vec![DpuId(1)]);
+    assert!(batch.report.fully_served());
+    assert_eq!(batch.report.degraded.len(), 1);
+    assert_eq!(batch.redispatched_images, (16..32).collect::<Vec<_>>());
+    // Every image classifies from the correct features — including the 16
+    // that lived on the dead DPU.
+    for (i, img) in imgs.iter().enumerate() {
+        assert_eq!(batch.features[i], m.features(&m.binarize(&img.pixels)), "image {i}");
+    }
+    let metrics = batch.report.metrics();
+    assert_eq!(metrics.counter("resilient.quarantined"), 1);
+    assert_eq!(metrics.counter("faults.dpu_offline"), 2); // both attempts
+}
+
+/// Zero-fault resilient eBNN batch is observationally identical to the
+/// plain multi-DPU path.
+#[test]
+fn ebnn_resilient_batch_with_no_faults_matches_plain_batch() {
+    let m =
+        ebnn::EbnnModel::generate(ebnn::ModelConfig { filters: 2, ..ebnn::ModelConfig::default() });
+    let imgs: Vec<_> = (0..24).map(|i| ebnn::synth_digit(i % 10, (i / 10) as u64)).collect();
+    let (plain_features, plain_launch) =
+        ebnn::codegen::run_tier1_batch_multi_dpu(&m, &imgs).unwrap();
+    let batch =
+        ebnn::run_tier1_batch_multi_dpu_resilient(&m, &imgs, &ResilientLaunchPolicy::default())
+            .unwrap();
+    assert_eq!(batch.features, plain_features);
+    assert_eq!(batch.report.to_launch_result().unwrap(), plain_launch);
+    assert!(batch.redispatched_images.is_empty());
+}
+
+/// YOLO row-per-DPU GEMM survives multiple simultaneous whole-DPU faults.
+#[test]
+fn yolo_layer_survives_dpu_faults_with_redispatch() {
+    let dims = yolo_pim::GemmDims { m: 6, n: 10, k: 8 };
+    let mut seed = 11u64;
+    let mut pseudo = move || {
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((seed >> 33) % 401) as i16 - 200
+    };
+    let a: Vec<i16> = (0..dims.m * dims.k).map(|_| pseudo()).collect();
+    let b: Vec<i16> = (0..dims.k * dims.n).map(|_| pseudo()).collect();
+    let mut want = vec![0i16; dims.m * dims.n];
+    yolo_pim::gemm(dims, 2, &a, &b, &mut want);
+
+    let plan = FaultPlan::new(FaultConfig { forced_offline: vec![0, 3], ..FaultConfig::default() });
+    let policy =
+        ResilientLaunchPolicy { max_retries: 0, ..ResilientLaunchPolicy::with_faults(plan) };
+    let layer = yolo_pim::run_tier1_layer_resilient(dims, 2, &a, &b, 3, &policy).unwrap();
+    assert_eq!(layer.c, want, "every output row correct despite two dead DPUs");
+    assert_eq!(layer.redispatched_rows, vec![0, 3]);
+    assert_eq!(
+        layer.report.quarantined,
+        vec![DpuId(0), DpuId(3)],
+        "{:?}",
+        layer.report.quarantined
+    );
 }
 
 proptest! {

@@ -79,3 +79,42 @@ fn yolo_tier1_layer_is_bit_identical_to_seed() {
     let prints: Vec<(usize, u64, u64)> = traced.dpu_traces.iter().map(fingerprint).collect();
     assert_eq!(prints, vec![(1_763, 968, 264_648); 6], "trace buffers drifted");
 }
+
+/// The fault-tolerant launch path with faults disabled must reproduce the
+/// same golden figures as the plain path: the retry/quarantine machinery
+/// (snapshots, arming, watchdog) must be completely inert on the zero-fault
+/// fast path.
+#[test]
+fn zero_fault_resilient_pipelines_reproduce_the_golden_figures() {
+    use pim_host::ResilientLaunchPolicy;
+
+    // eBNN: 40 images over 3 DPUs, default (fault-free) policy.
+    let model = EbnnModel::generate(ModelConfig { filters: 2, ..ModelConfig::default() });
+    let images: Vec<_> = (0..40).map(|i| ebnn::mnist::synth_digit(i % 10, i as u64)).collect();
+    let batch = ebnn::run_tier1_batch_multi_dpu_resilient(
+        &model,
+        &images,
+        &ResilientLaunchPolicy::default(),
+    )
+    .expect("resilient run");
+    let launch = batch.report.to_launch_result().expect("fully served");
+    let cycles: Vec<u64> = launch.per_dpu.iter().map(|r| r.cycles).collect();
+    assert_eq!(cycles, vec![993_094, 993_639, 682_719], "resilient eBNN cycles drifted");
+    assert_eq!(launch.makespan_cycles(), 993_639);
+    assert_eq!(batch.report.makespan_cycles(), 993_639);
+    assert!(batch.report.quarantined.is_empty() && batch.redispatched_images.is_empty());
+
+    // YOLO: 6 DPUs, 3 tasklets, same deterministic data as above.
+    let dims = GemmDims { m: 6, n: 24, k: 18 };
+    let a: Vec<i16> = (0..dims.m * dims.k).map(|i| ((i * 7 % 13) as i16) - 6).collect();
+    let b: Vec<i16> = (0..dims.k * dims.n).map(|i| ((i * 5 % 11) as i16) - 5).collect();
+    let (c_plain, _) = yolo_pim::codegen::run_tier1_layer(dims, 1, &a, &b, 3).expect("plain run");
+    let layer =
+        yolo_pim::run_tier1_layer_resilient(dims, 1, &a, &b, 3, &ResilientLaunchPolicy::default())
+            .expect("resilient run");
+    assert_eq!(layer.c, c_plain);
+    let yl = layer.report.to_launch_result().expect("fully served");
+    let ycycles: Vec<u64> = yl.per_dpu.iter().map(|r| r.cycles).collect();
+    assert_eq!(ycycles, vec![264_648; 6], "resilient YOLO cycles drifted");
+    assert_eq!(yl.total_instructions(), 428_988);
+}
