@@ -3,18 +3,26 @@
 //! ```text
 //! report [--exp <id>] [--json]
 //! report --bench-json <path> [--samples <n>]
+//! report --obs-snapshot <path>
+//! report --folded <path>
 //! ```
 //!
 //! With no arguments all experiments run (the YOLO/CPU ones take a few
 //! seconds). Experiment ids: `eq3_4 table3_1 fig3_2 fig4_3 fig4_4 fig4_7a
 //! fig4_7b fig4_7c latencies table5_1 table5_2 fig5_4 fig5_6 table5_3
 //! table5_4 fig5_5 fig5_7 improvements mapping_comparison size_sweep image_limits depth_sweep tier_validation fig4_7a_tier1 alexnet_mapping
-//! table5_4_measured trace_metrics`.
+//! table5_4_measured trace_metrics launch_quantiles hot_blocks`.
 //!
 //! `--bench-json` instead runs the simulator hot-path scenarios with a
 //! wall-clock harness and writes a machine-readable perf snapshot
 //! (per-bench median ns and simulated instructions per host second) so
 //! successive PRs have a throughput trajectory to compare against.
+//!
+//! `--obs-snapshot` writes the deterministic observability snapshot the
+//! `perfgate` binary diffs against its committed baseline; `--folded`
+//! writes flamegraph-folded cycle-attribution stacks
+//! (`inferno-flamegraph`/`flamegraph.pl` input) for the profiled ALU
+//! loop. See `docs/OBSERVABILITY.md`.
 
 use cpu_baseline::XeonModel;
 use ebnn::{EbnnModel, ModelConfig};
@@ -27,6 +35,8 @@ fn main() {
     let mut wanted: Option<String> = None;
     let mut json = false;
     let mut bench_json: Option<String> = None;
+    let mut obs_snapshot: Option<String> = None;
+    let mut folded: Option<String> = None;
     let mut samples = 7usize;
     let mut i = 0;
     while i < args.len() {
@@ -41,6 +51,22 @@ fn main() {
                 bench_json = args.get(i).cloned();
                 if bench_json.is_none() {
                     eprintln!("--bench-json needs a path");
+                    std::process::exit(2);
+                }
+            }
+            "--obs-snapshot" => {
+                i += 1;
+                obs_snapshot = args.get(i).cloned();
+                if obs_snapshot.is_none() {
+                    eprintln!("--obs-snapshot needs a path");
+                    std::process::exit(2);
+                }
+            }
+            "--folded" => {
+                i += 1;
+                folded = args.get(i).cloned();
+                if folded.is_none() {
+                    eprintln!("--folded needs a path");
                     std::process::exit(2);
                 }
             }
@@ -61,6 +87,18 @@ fn main() {
 
     if let Some(path) = bench_json {
         perf_snapshot::run(&path, samples.max(1));
+        return;
+    }
+    if let Some(path) = obs_snapshot {
+        let text =
+            serde_json::to_string_pretty(&render::snapshot::snapshot()).expect("serializable");
+        std::fs::write(&path, text + "\n").expect("write observability snapshot");
+        eprintln!("wrote {path}");
+        return;
+    }
+    if let Some(path) = folded {
+        std::fs::write(&path, render::snapshot::folded()).expect("write folded stacks");
+        eprintln!("wrote {path}");
         return;
     }
 
@@ -237,29 +275,83 @@ fn main() {
             render::render_table_5_4(&rows, "UPMEM row: this repository's simulator")
         });
     }
-    if want("trace_metrics") {
-        // A traced Tier-1 eBNN batch over two DPUs: the metrics-registry
-        // snapshot (JSON mode) or the per-phase cycle breakdown plus the
-        // Fig. 3.2-format merged subroutine profile (text mode).
-        use ebnn::{EbnnModel as M, ModelConfig as C};
-        let small = M::generate(C { filters: 2, ..C::default() });
-        let imgs: Vec<_> =
-            (0..24).map(|i| ebnn::mnist::synth_digit(i % 10, (i / 10) as u64)).collect();
-        let traced =
-            ebnn::codegen::run_tier1_batch_multi_dpu_traced(&small, &imgs).expect("traced run");
-        let mut metrics = traced.launch.metrics();
-        metrics.counter_add("host.transfer.events", traced.host_trace.len() as u64);
-        emit(json, "trace_metrics", &metrics.to_json(), || {
-            let profile: exp::ProfilerSummary = (&traced.launch.merged_profile()).into();
-            format!(
-                "Traced Tier-1 eBNN batch ({} images, {} DPUs)\n\n{}\n{}",
-                imgs.len(),
-                traced.launch.per_dpu.len(),
-                pim_trace::cycle_breakdown(&traced.dpu_traces),
-                render::render_profile("Merged subroutine profile (Fig. 3.2 format)", &profile)
-            )
+    if want("launch_quantiles") {
+        // The fixed observability workload: makespan/per-DPU quantiles
+        // (p50/p90/p99/p999) over several launches, as `obs.*` metrics.
+        let obs = render::snapshot::observation();
+        emit(json, "launch_quantiles", &obs.to_json(), || {
+            let mut s = String::from("Launch quantiles over the fixed observability workload\n");
+            for (name, h) in obs.metrics().histograms() {
+                s.push_str(&format!(
+                    "  {name:<28} n={:<4} p50={:<12.1} p99={:<12.1} p999={:<12.1}\n",
+                    h.count(),
+                    h.p50().unwrap_or(f64::NAN),
+                    h.p99().unwrap_or(f64::NAN),
+                    h.p999().unwrap_or(f64::NAN),
+                ));
+            }
+            s.push_str("\nPrometheus exposition:\n");
+            s.push_str(&obs.prometheus());
+            s
         });
     }
+    if want("hot_blocks") {
+        // Per-superblock cycle attribution of the profiled ALU loop:
+        // the top-10 hot blocks and the folded flamegraph stacks.
+        let (attr, cycles) = render::snapshot::attribution();
+        let blocks: Vec<serde_json::Value> = attr
+            .top_blocks(10)
+            .into_iter()
+            .map(|b| {
+                serde_json::json!({
+                    "start": b.start, "len": b.len, "entries": b.entries,
+                    "slots": b.slots, "cycles": b.cycles,
+                })
+            })
+            .collect();
+        let payload = serde_json::json!({
+            "total_cycles": cycles,
+            "top_blocks": serde_json::Value::Array(blocks),
+        });
+        emit(json, "hot_blocks", &payload, || {
+            let mut s = format!("Hot superblocks (profiled ALU loop, {cycles} cycles)\n  start  len  entries      slots     cycles\n");
+            for b in attr.top_blocks(10) {
+                s.push_str(&format!(
+                    "{:>7} {:>4} {:>8} {:>10} {:>10}\n",
+                    b.start, b.len, b.entries, b.slots, b.cycles
+                ));
+            }
+            s.push_str("\nFolded stacks (flamegraph input):\n");
+            s.push_str(&attr.folded("alu_loop_11t"));
+            s
+        });
+    }
+    if want("trace_metrics") {
+        emit_trace_metrics(json);
+    }
+}
+
+fn emit_trace_metrics(json: bool) {
+    // A traced Tier-1 eBNN batch over two DPUs: the metrics-registry
+    // snapshot (JSON mode) or the per-phase cycle breakdown plus the
+    // Fig. 3.2-format merged subroutine profile (text mode).
+    use ebnn::{EbnnModel as M, ModelConfig as C};
+    let small = M::generate(C { filters: 2, ..C::default() });
+    let imgs: Vec<_> = (0..24).map(|i| ebnn::mnist::synth_digit(i % 10, (i / 10) as u64)).collect();
+    let traced =
+        ebnn::codegen::run_tier1_batch_multi_dpu_traced(&small, &imgs).expect("traced run");
+    let mut metrics = traced.launch.metrics();
+    metrics.counter_add("host.transfer.events", traced.host_trace.len() as u64);
+    emit(json, "trace_metrics", &metrics.to_json(), || {
+        let profile: exp::ProfilerSummary = (&traced.launch.merged_profile()).into();
+        format!(
+            "Traced Tier-1 eBNN batch ({} images, {} DPUs)\n\n{}\n{}",
+            imgs.len(),
+            traced.launch.per_dpu.len(),
+            pim_trace::cycle_breakdown(&traced.dpu_traces),
+            render::render_profile("Merged subroutine profile (Fig. 3.2 format)", &profile)
+        )
+    });
 }
 
 fn emit<T: serde::Serialize>(json: bool, id: &str, value: &T, text: impl FnOnce() -> String) {

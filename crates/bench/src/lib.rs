@@ -8,6 +8,8 @@ use pim_core::experiments as exp;
 use pim_model::report::BenchRow;
 use pim_model::ModelReport;
 
+pub mod snapshot;
+
 /// Render Table 3.1 (cycles per operation) with relative errors.
 #[must_use]
 pub fn render_table_3_1(rows: &[exp::Table31Row]) -> String {

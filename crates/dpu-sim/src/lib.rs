@@ -63,6 +63,6 @@ pub use machine::{Machine, RunResult};
 pub use memory::{DmaEngine, Mram, Wram};
 pub use params::DpuParams;
 pub use pipeline::Pipeline;
-pub use profiler::Profiler;
+pub use profiler::{BlockCycles, CycleAttribution, Profiler, SubroutineCycles};
 pub use subroutines::Subroutine;
 pub use system::{DpuId, PimSystem, Rank};

@@ -26,7 +26,7 @@ use crate::memory::{DmaEngine, Mram, Wram};
 use crate::params::{DpuParams, REGS_PER_TASKLET};
 use crate::perfcounter::PerfCounter;
 use crate::pipeline::Pipeline;
-use crate::profiler::Profiler;
+use crate::profiler::{CycleAttribution, Profiler};
 use pim_trace::{DmaDirection, NullSink, TraceEvent, TraceSink};
 
 /// Default cycle budget for [`Machine::run`]; generous enough for every
@@ -212,7 +212,7 @@ impl Machine {
             .map(|&instr| ExecInstr { instr, op: exec::op_id(&instr) })
             .collect();
         let sb = Superblocks::analyze(&code);
-        self.run_code(&code, &sb, tasklets, budget, sink, false)
+        self.run_code(&code, &sb, tasklets, budget, sink, false, None)
     }
 
     /// Run a pre-decoded program on `tasklets` hardware threads until all
@@ -235,7 +235,7 @@ impl Machine {
         tasklets: usize,
         budget: u64,
     ) -> Result<RunResult> {
-        self.run_code(exec.code(), exec.superblocks(), tasklets, budget, &mut NullSink, false)
+        self.run_code(exec.code(), exec.superblocks(), tasklets, budget, &mut NullSink, false, None)
     }
 
     /// Like [`Machine::run_exec_with_budget`] but forcing the
@@ -255,7 +255,54 @@ impl Machine {
         tasklets: usize,
         budget: u64,
     ) -> Result<RunResult> {
-        self.run_code(exec.code(), exec.superblocks(), tasklets, budget, &mut NullSink, true)
+        self.run_code(exec.code(), exec.superblocks(), tasklets, budget, &mut NullSink, true, None)
+    }
+
+    /// Like [`Machine::run_exec`], additionally attributing every elapsed
+    /// cycle to its superblock-partition piece (and, for burst slots, the
+    /// in-flight subroutine) in `attr`.
+    ///
+    /// Profiling is pay-for-what-you-use: it is purely observational — the
+    /// returned [`RunResult`] (cycles, instructions, histograms, traces)
+    /// is bit-identical to an unprofiled run, which the identity tests
+    /// pin — and unprofiled runs share none of its bookkeeping. Profiled
+    /// runs take the per-instruction reference loop, so they trade the
+    /// superblock engine's speed for attribution.
+    ///
+    /// `attr` may accumulate multiple runs of the same program (it is
+    /// prepared on first use and re-used across launches).
+    ///
+    /// # Errors
+    /// See [`Machine::run`].
+    pub fn run_exec_profiled(
+        &mut self,
+        exec: &ExecProgram,
+        tasklets: usize,
+        attr: &mut CycleAttribution,
+    ) -> Result<RunResult> {
+        self.run_exec_profiled_with_budget(exec, tasklets, DEFAULT_CYCLE_BUDGET, attr)
+    }
+
+    /// Like [`Machine::run_exec_profiled`] with an explicit cycle budget.
+    ///
+    /// # Errors
+    /// See [`Machine::run`].
+    pub fn run_exec_profiled_with_budget(
+        &mut self,
+        exec: &ExecProgram,
+        tasklets: usize,
+        budget: u64,
+        attr: &mut CycleAttribution,
+    ) -> Result<RunResult> {
+        self.run_code(
+            exec.code(),
+            exec.superblocks(),
+            tasklets,
+            budget,
+            &mut NullSink,
+            true,
+            Some(attr),
+        )
     }
 
     /// Like [`Machine::run_exec`], recording cycle-stamped [`TraceEvent`]s
@@ -283,7 +330,7 @@ impl Machine {
         budget: u64,
         sink: &mut dyn TraceSink,
     ) -> Result<RunResult> {
-        self.run_code(exec.code(), exec.superblocks(), tasklets, budget, sink, false)
+        self.run_code(exec.code(), exec.superblocks(), tasklets, budget, sink, false, None)
     }
 
     /// The interpreter core over a decoded instruction stream.
@@ -301,6 +348,7 @@ impl Machine {
     ///   whole straight-line blocks and saturated round-robin rotations in
     ///   one dispatch, observationally invisible by construction (see the
     ///   per-method proofs and `docs/PERFORMANCE.md`).
+    #[allow(clippy::too_many_arguments)]
     fn run_code(
         &mut self,
         code: &[ExecInstr],
@@ -309,6 +357,7 @@ impl Machine {
         budget: u64,
         sink: &mut dyn TraceSink,
         reference: bool,
+        profile: Option<&mut CycleAttribution>,
     ) -> Result<RunResult> {
         if tasklets == 0 || tasklets > self.params.max_tasklets {
             return Err(Error::BadTaskletCount {
@@ -376,10 +425,14 @@ impl Machine {
             interp.sink.record(TraceEvent::KernelLaunch { tasklets: tasklets as u8, cycle: 0 });
         }
 
-        // Traced runs take the reference path: per-instruction stepping
-        // trivially emits identical events, and the traced-vs-untraced
-        // identity tests then pin the fast engine against the reference.
-        let engine = if reference || interp.sink.is_enabled() {
+        // Traced and profiled runs take the reference path:
+        // per-instruction stepping trivially emits identical events and
+        // per-slot attribution, and the traced-vs-untraced identity tests
+        // then pin the fast engine against the reference.
+        let engine = if let Some(attr) = profile {
+            attr.prepare(sb, tasklets);
+            interp.run_reference_profiled(attr)
+        } else if reference || interp.sink.is_enabled() {
             interp.run_reference()
         } else {
             interp.run_fast()
@@ -577,6 +630,69 @@ impl Interp<'_> {
             if th.burst > 0 {
                 th.burst -= 1;
                 continue;
+            }
+            self.step(t)?;
+        }
+    }
+
+    /// [`Interp::run_reference`] with per-slot cycle attribution.
+    ///
+    /// Identical control flow — one `pick`, one budget check, one
+    /// fetch-dispatch per issue slot — plus, per slot, the makespan delta
+    /// it advanced the pipeline by (`elapsed` is monotone across picks,
+    /// so the deltas telescope exactly to the final cycle count). The
+    /// delta lands on the issued instruction's partition piece, or on the
+    /// in-flight subroutine for burst slots; idle and stall gaps are
+    /// charged to the instruction that waited behind them. Attribution
+    /// only *observes* the run: results stay bit-identical to
+    /// [`Interp::run_reference`].
+    fn run_reference_profiled(&mut self, attr: &mut CycleAttribution) -> Result<()> {
+        // Hoist the per-slot call-site probe out of the loop: one table
+        // lookup per slot instead of loading and matching the decoded
+        // instruction (which `step` will load again anyway).
+        let callsub: Vec<Option<&'static str>> = self
+            .code
+            .iter()
+            .map(|c| match c.instr {
+                Instr::CallSub { sub, .. } => Some(sub.symbol()),
+                _ => None,
+            })
+            .collect();
+        let mut last = self.pipeline.elapsed();
+        loop {
+            if !self.single && self.parked > 0 && self.parked == self.live {
+                self.release_full_barrier();
+            }
+            if self.runnable_count == 0 {
+                if self.live == 0 {
+                    return Ok(());
+                }
+                return Err(Error::Deadlock {
+                    at_barrier: self.parked,
+                    on_mutex: self.live - self.parked,
+                });
+            }
+            let Some(t) = self.pipeline.pick(&self.runnable) else { return Ok(()) };
+            let now = self.pipeline.elapsed();
+            if now > self.budget {
+                return Err(Error::CycleBudgetExceeded { budget: self.budget });
+            }
+            let delta = now - last;
+            last = now;
+            let th = &mut self.threads[t];
+            if th.burst > 0 {
+                th.burst -= 1;
+                attr.record_burst(t, delta);
+                continue;
+            }
+            let pc = th.pc as usize;
+            // An out-of-range pc is about to fault in `step`; leave its
+            // slot unattributed rather than index past the partition.
+            if pc < self.code.len() {
+                attr.record_slot(t, pc, delta);
+                if let Some(symbol) = callsub[pc] {
+                    attr.begin_burst(t, pc, symbol);
+                }
             }
             self.step(t)?;
         }

@@ -12,7 +12,7 @@ use crate::error::{HostError, Result};
 use crate::set::DpuSet;
 use dpu_sim::{ExecProgram, PimSystem, Profiler, Program, RunResult};
 use pim_trace::{MetricsRegistry, TraceBuffer};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Results of one launch across a DPU set.
@@ -127,7 +127,7 @@ impl DpuSet {
         trace: bool,
     ) -> Result<(LaunchResult, Vec<TraceBuffer>)> {
         let exec = ExecProgram::compile(program)?;
-        launch_on(self.system_mut(), &exec, tasklets, trace)
+        launch_on(self.system_mut(), &exec, tasklets, trace).map(|(res, bufs, _)| (res, bufs))
     }
 }
 
@@ -147,7 +147,7 @@ impl DpuSet {
             name: "<program>".to_owned(),
             problem: "no program loaded; call DpuSet::load first",
         })?;
-        launch_on(system, exec, tasklets, false).map(|(res, _)| res)
+        launch_on(system, exec, tasklets, false).map(|(res, _, _)| res)
     }
 
     /// [`DpuSet::launch_loaded`] with per-DPU tracing, as
@@ -165,13 +165,41 @@ impl DpuSet {
             name: "<program>".to_owned(),
             problem: "no program loaded; call DpuSet::load first",
         })?;
-        launch_on(system, exec, tasklets, true)
+        launch_on(system, exec, tasklets, true).map(|(res, bufs, _)| (res, bufs))
     }
 }
 
 /// Below the threshold a launch runs on the calling thread: the scoped
 /// spawn costs more than it saves on tiny sets.
 pub(crate) const PARALLEL_THRESHOLD: usize = 4;
+
+/// How the work-stealing scheduler distributed one launch's DPU jobs
+/// over its worker threads.
+///
+/// Purely observational scheduling telemetry: which worker simulated
+/// which DPU depends on host thread timing, so these numbers vary from
+/// run to run (unlike every simulated figure) and are excluded from the
+/// deterministic launch results. [`crate::LaunchObservation`] aggregates
+/// them under `obs.steal.*`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StealStats {
+    /// Jobs claimed by each worker thread (index = worker).
+    pub claims: Vec<u64>,
+}
+
+impl StealStats {
+    /// Worker threads the scheduler spawned.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.claims.len()
+    }
+
+    /// Total jobs claimed (= DPUs simulated).
+    #[must_use]
+    pub fn total_claims(&self) -> u64 {
+        self.claims.iter().sum()
+    }
+}
 
 /// What happened to one DPU's simulation.
 enum DpuOutcome {
@@ -183,18 +211,19 @@ enum DpuOutcome {
 
 /// Run the decoded program on every DPU of `system` and collect per-DPU
 /// results plus trace buffers, both in DPU order.
-fn launch_on(
+pub(crate) fn launch_on(
     system: &mut PimSystem,
     exec: &ExecProgram,
     tasklets: usize,
     trace: bool,
-) -> Result<(LaunchResult, Vec<TraceBuffer>)> {
+) -> Result<(LaunchResult, Vec<TraceBuffer>, Option<StealStats>)> {
     let n = system.len();
     let mut buffers: Vec<TraceBuffer> = vec![TraceBuffer::new(); n];
-    let outcomes = if n < PARALLEL_THRESHOLD {
-        run_sequential(system, exec, tasklets, trace, &mut buffers)
+    let (outcomes, steal) = if n < PARALLEL_THRESHOLD {
+        (run_sequential(system, exec, tasklets, trace, &mut buffers), None)
     } else {
-        run_stealing(system, exec, tasklets, trace, &mut buffers)
+        let (outcomes, stats) = run_stealing(system, exec, tasklets, trace, &mut buffers);
+        (outcomes, Some(stats))
     };
     let mut per_dpu = Vec::with_capacity(n);
     for outcome in outcomes {
@@ -203,7 +232,7 @@ fn launch_on(
             DpuOutcome::Panicked(detail) => return Err(HostError::WorkerPanic { detail }),
         }
     }
-    Ok((LaunchResult { per_dpu, tasklets }, buffers))
+    Ok((LaunchResult { per_dpu, tasklets }, buffers, steal))
 }
 
 fn run_one(
@@ -245,7 +274,7 @@ fn run_stealing(
     tasklets: usize,
     trace: bool,
     buffers: &mut [TraceBuffer],
-) -> Vec<DpuOutcome> {
+) -> (Vec<DpuOutcome>, StealStats) {
     run_stealing_with(system, buffers, |_, dpu, buf| run_one(dpu, exec, tasklets, trace, buf))
 }
 
@@ -256,7 +285,7 @@ fn run_stealing_with<F>(
     system: &mut PimSystem,
     buffers: &mut [TraceBuffer],
     job: F,
-) -> Vec<DpuOutcome>
+) -> (Vec<DpuOutcome>, StealStats)
 where
     F: Fn(usize, &mut dpu_sim::Machine, &mut TraceBuffer) -> dpu_sim::Result<RunResult> + Sync,
 {
@@ -274,11 +303,13 @@ where
 /// The work-stealing loop itself, generic over the per-DPU outcome type so
 /// the resilient launch path can reuse it with richer per-DPU reports.
 /// Jobs must not unwind (wrap them in `catch_unwind` when they might).
+/// Alongside the per-DPU outcomes it reports how the jobs distributed
+/// over the worker threads.
 pub(crate) fn steal_jobs<R, F>(
     system: &mut PimSystem,
     buffers: &mut [TraceBuffer],
     job: F,
-) -> Vec<R>
+) -> (Vec<R>, StealStats)
 where
     R: Send,
     F: Fn(usize, &mut dpu_sim::Machine, &mut TraceBuffer) -> R + Sync,
@@ -297,11 +328,17 @@ where
         .collect();
     let next = AtomicUsize::new(0);
     let workers = std::thread::available_parallelism().map_or(4, usize::from).min(n);
+    let claims: Vec<std::sync::atomic::AtomicU64> =
+        (0..workers).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
     crossbeam::thread::scope(|s| {
-        for _ in 0..workers {
-            s.spawn(|_| loop {
+        let slots = &slots;
+        let next = &next;
+        let job = &job;
+        for claimed in &claims {
+            s.spawn(move |_| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(slot) = slots.get(i) else { break };
+                claimed.fetch_add(1, Ordering::Relaxed);
                 // Each index is claimed exactly once, so the lock is always
                 // uncontended; it exists to hand the `&mut` state to
                 // whichever thread drew the index.
@@ -312,13 +349,15 @@ where
         }
     })
     .expect("scoped thread join failed");
-    slots
+    let outcomes = slots
         .into_iter()
         .map(|m| {
             let slot = m.into_inner().expect("job mutex poisoned");
             slot.outcome.expect("every DPU index was claimed by a worker")
         })
-        .collect()
+        .collect();
+    let stats = StealStats { claims: claims.into_iter().map(AtomicU64::into_inner).collect() };
+    (outcomes, stats)
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -600,11 +639,12 @@ mod scheduler_equivalence_tests {
 
             let mut steal_set = skewed_set(dpus, &counts);
             let mut steal_bufs = vec![TraceBuffer::new(); dpus];
-            let steal =
+            let (steal, stats) =
                 run_stealing(steal_set.system_mut(), &exec, tasklets, true, &mut steal_bufs);
 
             prop_assert_eq!(seq_bufs, steal_bufs);
             prop_assert_eq!(unwrap_all(seq), unwrap_all(steal));
+            prop_assert_eq!(stats.total_claims(), dpus as u64);
         }
     }
 
@@ -613,13 +653,15 @@ mod scheduler_equivalence_tests {
         let mut set = DpuSet::allocate(6).unwrap();
         let mut bufs = vec![TraceBuffer::new(); 6];
         let exec = ExecProgram::compile(&Program::new(vec![I::Halt])).unwrap();
-        let outcomes = run_stealing_with(set.system_mut(), &mut bufs, |i, dpu, buf| {
+        let (outcomes, stats) = run_stealing_with(set.system_mut(), &mut bufs, |i, dpu, buf| {
             if i == 3 {
                 panic!("injected failure on DPU 3");
             }
             run_one(dpu, &exec, 1, false, buf)
         });
         assert_eq!(outcomes.len(), 6);
+        assert_eq!(stats.total_claims(), 6);
+        assert!(stats.workers() >= 1);
         for (i, o) in outcomes.iter().enumerate() {
             match o {
                 DpuOutcome::Done(r) => {
@@ -647,7 +689,7 @@ mod scheduler_equivalence_tests {
         let arming =
             ExecProgram::compile(&dpu_sim::asm::assemble("perf.config\nhalt\n").unwrap()).unwrap();
         let mut bufs = vec![TraceBuffer::new(); 6];
-        let outcomes = run_stealing_with(set.system_mut(), &mut bufs, |i, dpu, buf| {
+        let (outcomes, _) = run_stealing_with(set.system_mut(), &mut bufs, |i, dpu, buf| {
             let r = run_one(dpu, &arming, 1, false, buf);
             if i == 2 {
                 panic!("injected mid-launch failure");

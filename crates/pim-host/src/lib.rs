@@ -28,6 +28,7 @@ pub mod align;
 pub mod error;
 pub mod exec;
 pub mod launch;
+pub mod observe;
 pub mod resilient;
 pub mod set;
 pub mod symbol;
@@ -38,7 +39,8 @@ pub use align::{pad_to_8, padded_len, PaddedBuf};
 pub use dpu_sim::cost::{CycleModel, KernelEstimate, OpCounts, OptLevel};
 pub use error::{HostError, Result};
 pub use exec::KernelRun;
-pub use launch::LaunchResult;
+pub use launch::{LaunchResult, StealStats};
+pub use observe::LaunchObservation;
 pub use resilient::{DpuServeReport, LaunchReport, Redispatch, ResilientLaunchPolicy};
 pub use set::{DpuSet, TransferStats};
 pub use symbol::{Symbol, SymbolTable};

@@ -352,7 +352,7 @@ fn launch_resilient_on(
             .map(|(i, ((_, dpu), buf))| job(i, dpu, buf))
             .collect()
     } else {
-        steal_jobs(system, &mut buffers, job)
+        steal_jobs(system, &mut buffers, job).0
     };
 
     let quarantined: Vec<DpuId> = serves

@@ -24,7 +24,9 @@ pub fn chrome_trace(buffers: &[TraceBuffer], host: Option<&TraceBuffer>) -> Valu
     for (dpu, buffer) in buffers.iter().enumerate() {
         let pid = dpu as u64;
         events.push(metadata(pid, None, "process_name", &format!("DPU {dpu}")));
+        events.push(sort_index(pid, None, "process_sort_index", pid));
         events.push(metadata(pid, Some(KERNEL_TID), "thread_name", "kernel"));
+        events.push(sort_index(pid, Some(KERNEL_TID), "thread_sort_index", KERNEL_TID));
         let mut named_tasklets = std::collections::BTreeSet::new();
         for event in buffer.events() {
             if let Some(t) = event.tasklet() {
@@ -35,6 +37,12 @@ pub fn chrome_trace(buffers: &[TraceBuffer], host: Option<&TraceBuffer>) -> Valu
                         "thread_name",
                         &format!("tasklet {t}"),
                     ));
+                    events.push(sort_index(
+                        pid,
+                        Some(tasklet_tid(t)),
+                        "thread_sort_index",
+                        tasklet_tid(t),
+                    ));
                 }
             }
             push_dpu_event(&mut events, pid, event);
@@ -44,6 +52,7 @@ pub fn chrome_trace(buffers: &[TraceBuffer], host: Option<&TraceBuffer>) -> Valu
         let pid = buffers.len() as u64;
         if !host_buffer.is_empty() {
             events.push(metadata(pid, None, "process_name", "host"));
+            events.push(sort_index(pid, None, "process_sort_index", pid));
             events.push(metadata(pid, Some(0), "thread_name", "transfers"));
         }
         for event in host_buffer.events() {
@@ -74,6 +83,34 @@ fn metadata(pid: u64, tid: Option<u64>, kind: &str, name: &str) -> Value {
         "tid": tid.unwrap_or(0),
         "name": kind,
         "args": {"name": name},
+    })
+}
+
+fn sort_index(pid: u64, tid: Option<u64>, kind: &str, index: u64) -> Value {
+    json!({
+        "ph": "M",
+        "pid": pid,
+        "tid": tid.unwrap_or(0),
+        "name": kind,
+        "args": {"sort_index": index},
+    })
+}
+
+/// Build a Chrome counter event (`ph: "C"`): a stacked series sampled at
+/// cycle `ts`. Viewers draw one area chart per counter `name`, stacking
+/// the `series` values. Used by the cycle-attribution profiler to plot
+/// per-superblock cycle budgets next to the span tracks.
+#[must_use]
+pub fn counter_event(pid: u64, name: &str, ts: u64, series: &[(&str, f64)]) -> Value {
+    let args =
+        Value::Object(series.iter().map(|(label, v)| ((*label).to_string(), json!(*v))).collect());
+    json!({
+        "ph": "C",
+        "pid": pid,
+        "tid": KERNEL_TID,
+        "name": name,
+        "ts": ts,
+        "args": args,
     })
 }
 
@@ -243,6 +280,44 @@ mod tests {
         assert_eq!(dma.get("ts").and_then(Value::as_u64), Some(10));
         assert_eq!(dma.get("dur").and_then(Value::as_u64), Some(57));
         assert_eq!(dma.get("tid").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn tracks_carry_names_and_sort_indexes() {
+        let buffers = vec![sample_buffer()];
+        let trace = chrome_trace(&buffers, None);
+        let events = trace.get("traceEvents").and_then(Value::as_array).expect("array");
+        let meta = |kind: &str, tid: u64| {
+            events.iter().find(|e| {
+                e.get("ph").and_then(Value::as_str) == Some("M")
+                    && e.get("name").and_then(Value::as_str) == Some(kind)
+                    && e.get("tid").and_then(Value::as_u64) == Some(tid)
+            })
+        };
+        assert!(meta("process_sort_index", 0).is_some());
+        let kernel = meta("thread_sort_index", KERNEL_TID).expect("kernel sort index");
+        assert_eq!(
+            kernel.get("args").and_then(|a| a.get("sort_index")).and_then(Value::as_u64),
+            Some(KERNEL_TID)
+        );
+        // Tasklet 0 emitted events, so its row is named and ordered.
+        let t0 = meta("thread_name", tasklet_tid(0)).expect("tasklet name");
+        assert_eq!(
+            t0.get("args").and_then(|a| a.get("name")).and_then(Value::as_str),
+            Some("tasklet 0")
+        );
+        assert!(meta("thread_sort_index", tasklet_tid(0)).is_some());
+    }
+
+    #[test]
+    fn counter_event_stacks_series() {
+        let e = counter_event(3, "superblock cycles", 40, &[("block_0_8", 120.0), ("other", 7.5)]);
+        assert_eq!(e.get("ph").and_then(Value::as_str), Some("C"));
+        assert_eq!(e.get("pid").and_then(Value::as_u64), Some(3));
+        assert_eq!(e.get("ts").and_then(Value::as_u64), Some(40));
+        let args = e.get("args").expect("args");
+        assert_eq!(args.get("block_0_8").and_then(Value::as_f64), Some(120.0));
+        assert_eq!(args.get("other").and_then(Value::as_f64), Some(7.5));
     }
 
     #[test]

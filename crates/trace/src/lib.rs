@@ -19,7 +19,11 @@
 //!
 //! Scalar observations (instruction counts, IPC, DMA bytes, tasklet
 //! occupancy, makespan) aggregate in a [`MetricsRegistry`], which
-//! snapshots to machine-readable JSON for `report --json`.
+//! snapshots to machine-readable JSON for `report --json`. Histograms
+//! are log-bucketed (HDR-style), so snapshots carry p50/p90/p99/p999
+//! estimates and merge exactly across DPUs and launches. The same
+//! registry also renders to the Prometheus text exposition format via
+//! [`prom::prometheus_text`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -27,11 +31,14 @@
 pub mod chrome;
 mod event;
 mod metrics;
+pub mod prom;
 mod sink;
 pub mod text;
 
-pub use chrome::{chrome_trace, chrome_trace_string};
+pub use chrome::{chrome_trace, chrome_trace_string, counter_event};
 pub use event::{DmaDirection, HostDirection, TraceEvent};
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{Histogram, MetricsRegistry, SUB_BUCKETS};
+pub use prom::{prometheus_name, prometheus_text};
+pub use serde_json::Value;
 pub use sink::{NullSink, TraceBuffer, TraceSink};
 pub use text::{cycle_breakdown, PhaseBreakdown};

@@ -4,31 +4,101 @@
 //! traffic, tasklet occupancy, makespan, …) and snapshotted to JSON for
 //! `report --json`. Keys are sorted (`BTreeMap`), so snapshots are
 //! deterministic and diffable.
+//!
+//! Histograms are log-bucketed (HDR-style): alongside exact
+//! count/sum/min/max they keep a sparse map of geometric buckets with
+//! [`SUB_BUCKETS`] subdivisions per octave, giving quantile estimates
+//! (p50/p90/p99/p999) with ≤ ~1.1% relative error at any scale. Buckets
+//! are integer-keyed, so histograms merge exactly across DPUs and
+//! launches without losing counts.
 
 use std::collections::BTreeMap;
 
 use serde_json::{json, Value};
 
-/// Running summary of an observed distribution (no buckets: the
-/// consumers here want count/sum/min/max/mean, not quantiles).
+/// Log-bucket subdivisions per octave (power of two). 32 sub-buckets
+/// give a bucket width of `2^(1/32) ≈ 2.2%`, so the geometric-midpoint
+/// quantile estimate is within ~1.1% of the true value.
+pub const SUB_BUCKETS: i64 = 32;
+
+/// Bucket key reserved for non-positive observations (zero and negative
+/// values have no logarithm; they sort before every real bucket).
+const NON_POSITIVE_BUCKET: i64 = i64::MIN;
+
+/// Log-bucketed summary of an observed distribution: exact
+/// count/sum/min/max plus sparse geometric buckets for quantiles.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Histogram {
     count: u64,
     sum: f64,
     min: f64,
     max: f64,
+    buckets: BTreeMap<i64, u64>,
+}
+
+/// Bucket index for a positive, finite value.
+#[allow(clippy::cast_possible_truncation, clippy::cast_precision_loss)]
+fn bucket_of(v: f64) -> i64 {
+    if v <= 0.0 {
+        return NON_POSITIVE_BUCKET;
+    }
+    (v.log2() * SUB_BUCKETS as f64).floor() as i64
+}
+
+/// Geometric midpoint of a bucket: `2^((i + 0.5) / SUB_BUCKETS)`.
+#[allow(clippy::cast_precision_loss)]
+fn bucket_mid(i: i64) -> f64 {
+    if i == NON_POSITIVE_BUCKET {
+        return 0.0;
+    }
+    ((i as f64 + 0.5) / SUB_BUCKETS as f64).exp2()
+}
+
+impl Default for Histogram {
+    /// Same as [`Histogram::new`]: the empty min/max sentinels are
+    /// `±inf`, not the zeros a derived `Default` would produce.
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Histogram {
-    fn new() -> Self {
-        Histogram { count: 0, sum: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    /// New empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: BTreeMap::new(),
+        }
     }
 
-    fn record(&mut self, v: f64) {
+    /// Record one observation. Non-finite values (NaN, ±∞) are ignored:
+    /// they would poison min/max/mean forever and have no meaningful
+    /// bucket.
+    pub fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
         self.count += 1;
         self.sum += v;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
+        *self.buckets.entry(bucket_of(v)).or_insert(0) += 1;
+    }
+
+    /// Merge another histogram into this one without losing counts:
+    /// buckets are integer-keyed, so per-DPU histograms combine exactly.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (k, n) in &other.buckets {
+            *self.buckets.entry(*k).or_insert(0) += n;
+        }
     }
 
     /// Number of recorded observations.
@@ -62,6 +132,69 @@ impl Histogram {
         (self.count > 0).then(|| self.sum / self.count as f64)
     }
 
+    /// Estimated `q`-quantile (`q` in `[0, 1]`), or `None` before the
+    /// first record. Walks the cumulative bucket counts to the target
+    /// rank and returns the bucket's geometric midpoint, clamped to the
+    /// exact observed `[min, max]` — so `quantile(0.0) == min` and
+    /// `quantile(1.0) == max` exactly.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        // The extreme order statistics are tracked exactly; this also
+        // makes `quantile(0.0) == min` and `quantile(1.0) == max`.
+        if rank == 1 {
+            return Some(self.min);
+        }
+        if rank == self.count {
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for (i, n) in &self.buckets {
+            seen += n;
+            if seen >= rank {
+                // The non-positive bucket has no geometric midpoint;
+                // answer with the exact observed minimum.
+                if *i == NON_POSITIVE_BUCKET {
+                    return Some(self.min);
+                }
+                return Some(bucket_mid(*i).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median estimate (see [`Histogram::quantile`]).
+    #[must_use]
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    #[must_use]
+    pub fn p90(&self) -> Option<f64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    #[must_use]
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th-percentile estimate.
+    #[must_use]
+    pub fn p999(&self) -> Option<f64> {
+        self.quantile(0.999)
+    }
+
     fn to_json(&self) -> Value {
         json!({
             "count": self.count,
@@ -69,6 +202,10 @@ impl Histogram {
             "min": self.min().unwrap_or(0.0),
             "max": self.max().unwrap_or(0.0),
             "mean": self.mean().unwrap_or(0.0),
+            "p50": self.p50().unwrap_or(0.0),
+            "p90": self.p90().unwrap_or(0.0),
+            "p99": self.p99().unwrap_or(0.0),
+            "p999": self.p999().unwrap_or(0.0),
         })
     }
 }
@@ -100,7 +237,7 @@ impl MetricsRegistry {
 
     /// Record one observation into the named histogram.
     pub fn observe(&mut self, name: &str, value: f64) {
-        self.histograms.entry(name.to_string()).or_insert_with(Histogram::new).record(value);
+        self.histograms.entry(name.to_string()).or_default().record(value);
     }
 
     /// Current value of a counter (0 if never touched).
@@ -121,6 +258,21 @@ impl MetricsRegistry {
         self.histograms.get(name)
     }
 
+    /// All counters in sorted key order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All gauges in sorted key order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// All histograms in sorted key order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
     /// Whether nothing has been recorded.
     #[must_use]
     pub fn is_empty(&self) -> bool {
@@ -128,7 +280,7 @@ impl MetricsRegistry {
     }
 
     /// Merge another registry into this one: counters add, gauges take the
-    /// other's value, histograms concatenate.
+    /// other's value, histograms merge bucket-exactly.
     pub fn merge(&mut self, other: &MetricsRegistry) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
@@ -137,16 +289,13 @@ impl MetricsRegistry {
             self.gauges.insert(k.clone(), *v);
         }
         for (k, h) in &other.histograms {
-            let mine = self.histograms.entry(k.clone()).or_insert_with(Histogram::new);
-            mine.count += h.count;
-            mine.sum += h.sum;
-            mine.min = mine.min.min(h.min);
-            mine.max = mine.max.max(h.max);
+            self.histograms.entry(k.clone()).or_default().merge(h);
         }
     }
 
     /// Machine-readable snapshot: `{"counters": {...}, "gauges": {...},
-    /// "histograms": {name: {count, sum, min, max, mean}}}`.
+    /// "histograms": {name: {count, sum, min, max, mean, p50, p90, p99,
+    /// p999}}}`.
     #[must_use]
     pub fn to_json(&self) -> Value {
         let counters =
@@ -191,6 +340,77 @@ mod tests {
     }
 
     #[test]
+    fn record_ignores_non_finite_observations() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        h.record(f64::NEG_INFINITY);
+        assert_eq!(h.count(), 0);
+        assert!(h.min().is_none());
+        h.record(5.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.mean(), Some(5.0));
+    }
+
+    #[test]
+    fn quantiles_are_within_bucket_error() {
+        let mut h = Histogram::new();
+        for v in 1..=1000 {
+            h.record(f64::from(v));
+        }
+        assert_eq!(h.quantile(0.0), Some(1.0));
+        assert_eq!(h.quantile(1.0), Some(1000.0));
+        let p50 = h.p50().expect("recorded");
+        assert!((p50 - 500.0).abs() / 500.0 < 0.03, "p50 {p50}");
+        let p99 = h.p99().expect("recorded");
+        assert!((p99 - 990.0).abs() / 990.0 < 0.03, "p99 {p99}");
+        let p999 = h.p999().expect("recorded");
+        assert!((p999 - 999.0).abs() / 999.0 < 0.03, "p999 {p999}");
+    }
+
+    #[test]
+    fn quantiles_handle_zero_and_negative_values() {
+        let mut h = Histogram::new();
+        h.record(-3.0);
+        h.record(0.0);
+        h.record(10.0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), Some(-3.0));
+        // Non-positive bucket sorts first, clamped to exact min.
+        assert_eq!(h.quantile(0.1), Some(-3.0));
+        assert_eq!(h.quantile(1.0), Some(10.0));
+    }
+
+    #[test]
+    fn single_observation_has_exact_quantiles() {
+        let mut h = Histogram::new();
+        h.record(42.0);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), Some(42.0));
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in 1..=100 {
+            let v = f64::from(v) * 3.5;
+            if v < 180.0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            both.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, both);
+        assert_eq!(a.p99(), both.p99());
+    }
+
+    #[test]
     fn merge_combines_all_kinds() {
         let mut a = MetricsRegistry::new();
         a.counter_add("c", 1);
@@ -225,5 +445,8 @@ mod tests {
         );
         let occ = v.get("histograms").and_then(|h| h.get("occ")).expect("occ");
         assert_eq!(occ.get("count").and_then(Value::as_u64), Some(1));
+        for p in ["p50", "p90", "p99", "p999"] {
+            assert!(occ.get(p).and_then(Value::as_f64).is_some(), "missing {p}");
+        }
     }
 }

@@ -1,0 +1,120 @@
+//! Prometheus text-exposition export for a [`MetricsRegistry`].
+//!
+//! Renders the standard text format (version 0.0.4) that Prometheus,
+//! VictoriaMetrics, and `promtool` ingest: counters and gauges as single
+//! samples, histograms as summaries with `quantile` labels plus `_sum`
+//! and `_count` series. Metric names are sanitized (`.` and any other
+//! non-`[a-zA-Z0-9_:]` byte become `_`), and output order follows the
+//! registry's sorted keys, so the exposition is deterministic and
+//! diffable just like the JSON snapshot.
+
+use std::fmt::Write as _;
+
+use crate::metrics::MetricsRegistry;
+
+/// Quantiles exported for every histogram, matching the JSON snapshot.
+const QUANTILES: [(f64, &str); 4] =
+    [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99"), (0.999, "0.999")];
+
+/// Sanitize a registry key into a legal Prometheus metric name.
+/// Dots (our namespace separator) map to underscores; a leading digit
+/// gets an underscore prefix.
+#[must_use]
+pub fn prometheus_name(key: &str) -> String {
+    let mut out = String::with_capacity(key.len() + 1);
+    for (i, c) in key.chars().enumerate() {
+        let legal =
+            c.is_ascii_alphabetic() || c == '_' || c == ':' || (i > 0 && c.is_ascii_digit());
+        if i == 0 && c.is_ascii_digit() {
+            out.push('_');
+            out.push(c);
+        } else if legal {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Format an f64 sample the way Prometheus expects (no exponent needed
+/// for our value ranges; integral values print without a trailing `.0`
+/// only when they came from a counter).
+fn sample(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Render the registry in the Prometheus text exposition format.
+///
+/// Counters become `# TYPE <name> counter`, gauges `gauge`, histograms
+/// `summary` (quantile-labelled samples plus `_sum`/`_count`).
+#[must_use]
+pub fn prometheus_text(metrics: &MetricsRegistry) -> String {
+    let mut out = String::new();
+    for (key, v) in metrics.counters() {
+        let name = prometheus_name(key);
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {v}");
+    }
+    for (key, v) in metrics.gauges() {
+        let name = prometheus_name(key);
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {}", sample(v));
+    }
+    for (key, h) in metrics.histograms() {
+        let name = prometheus_name(key);
+        let _ = writeln!(out, "# TYPE {name} summary");
+        for (q, label) in QUANTILES {
+            let value = h.quantile(q).unwrap_or(0.0);
+            let _ = writeln!(out, "{name}{{quantile=\"{label}\"}} {}", sample(value));
+        }
+        let _ = writeln!(out, "{name}_sum {}", sample(h.sum()));
+        let _ = writeln!(out, "{name}_count {}", h.count());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_sanitized() {
+        assert_eq!(prometheus_name("launch.dma.bytes"), "launch_dma_bytes");
+        assert_eq!(prometheus_name("obs.p99"), "obs_p99");
+        assert_eq!(prometheus_name("9lives"), "_9lives");
+        assert_eq!(prometheus_name("a-b c"), "a_b_c");
+    }
+
+    #[test]
+    fn exposition_covers_all_kinds_in_order() {
+        let mut m = MetricsRegistry::new();
+        m.counter_add("launch.instructions", 1000);
+        m.gauge_set("launch.ipc", 0.75);
+        for c in [100.0, 200.0, 300.0] {
+            m.observe("dpu.cycles", c);
+        }
+        let text = prometheus_text(&m);
+        assert!(text.contains("# TYPE launch_instructions counter\nlaunch_instructions 1000\n"));
+        assert!(text.contains("# TYPE launch_ipc gauge\nlaunch_ipc 0.75\n"));
+        assert!(text.contains("# TYPE dpu_cycles summary\n"));
+        assert!(text.contains("dpu_cycles{quantile=\"0.5\"}"));
+        assert!(text.contains("dpu_cycles{quantile=\"0.999\"}"));
+        assert!(text.contains("dpu_cycles_sum 600\n"));
+        assert!(text.contains("dpu_cycles_count 3\n"));
+        // Counters come first, then gauges, then summaries.
+        let ci = text.find("launch_instructions").unwrap();
+        let gi = text.find("launch_ipc").unwrap();
+        let hi = text.find("dpu_cycles").unwrap();
+        assert!(ci < gi && gi < hi);
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        assert_eq!(prometheus_text(&MetricsRegistry::new()), "");
+    }
+}
