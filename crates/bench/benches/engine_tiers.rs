@@ -1,0 +1,75 @@
+//! The execution-tier ladder, measured side by side: the per-instruction
+//! reference loop, the superblock engine, and the compiled threaded-code
+//! tier all run the same kernels from identical machines, so one criterion
+//! report shows what each tier buys on each shape.
+//!
+//! Three shapes bracket the tier's reach:
+//!
+//! * `alu_loop` — the headline kernel (one self-chaining branch block):
+//!   the compiled tier should win by a wide margin, and with 11 lockstep
+//!   tasklets the chain replicates whole rounds at once;
+//! * `sync_heavy` — mutex/barrier bound: every lock is a deopt boundary,
+//!   so the tiers should be close (the gate in `profiler_overhead.rs`
+//!   bounds the allowed gap);
+//! * `divergent` — a `tasklet_id`-seeded loop where register files differ
+//!   per tasklet: replication is off, but per-tasklet chains still run.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpu_sim::asm::assemble;
+use dpu_sim::{Engine, ExecProgram, Machine, Program};
+use pim_bench::snapshot::alu_program;
+
+fn sync_heavy_program() -> Program {
+    assemble(
+        "movi r2, 500\n\
+         loop:\n\
+         mutex.lock 1\n\
+         lw r3, r0, 0x40\n\
+         addi r3, r3, 1\n\
+         sw r0, 0x40, r3\n\
+         mutex.unlock 1\n\
+         addi r2, r2, -1\n\
+         bne r2, r0, loop\n\
+         barrier\n\
+         halt\n",
+    )
+    .expect("sync program assembles")
+}
+
+fn divergent_program() -> Program {
+    assemble(
+        "movi r1, 2000\n\
+         me r3\n\
+         addi r3, r3, 1\n\
+         loop: add r2, r2, r3\n\
+         addi r1, r1, -1\n\
+         bne r1, r0, loop\n\
+         sw r0, 0, r2\n\
+         halt\n",
+    )
+    .expect("divergent program assembles")
+}
+
+fn bench_tiers(c: &mut Criterion) {
+    let shapes: [(&str, Program, usize); 4] = [
+        ("alu_loop_1t", alu_program(), 1),
+        ("alu_loop_11t", alu_program(), 11),
+        ("sync_heavy_16t", sync_heavy_program(), 16),
+        ("divergent_11t", divergent_program(), 11),
+    ];
+    for (name, program, tasklets) in shapes {
+        let exec = ExecProgram::compile(&program).expect("bench program compiles");
+        let mut g = c.benchmark_group(format!("engine_tiers/{name}"));
+        g.sample_size(10);
+        for engine in [Engine::Reference, Engine::Superblock, Engine::Compiled] {
+            g.bench_function(engine.name(), |b| {
+                let mut m = Machine::default();
+                b.iter(|| black_box(m.run_exec_engine(&exec, tasklets, engine).unwrap().cycles));
+            });
+        }
+        g.finish();
+    }
+}
+
+criterion_group!(benches, bench_tiers);
+criterion_main!(benches);

@@ -75,6 +75,22 @@ fn bench_profiler_overhead(c: &mut Criterion) {
             black_box(m.run_exec_reference_with_budget(&exec, TASKLETS, BUDGET).unwrap().cycles)
         });
     });
+    g.bench_function("alu_loop_11t_superblock", |b| {
+        let exec = exec();
+        let mut m = Machine::default();
+        b.iter(|| {
+            black_box(
+                m.run_exec_engine(&exec, TASKLETS, dpu_sim::Engine::Superblock).unwrap().cycles,
+            )
+        });
+    });
+    g.bench_function("alu_loop_11t_compiled", |b| {
+        let exec = exec();
+        let mut m = Machine::default();
+        b.iter(|| {
+            black_box(m.run_exec_engine(&exec, TASKLETS, dpu_sim::Engine::Compiled).unwrap().cycles)
+        });
+    });
     g.bench_function("alu_loop_11t_profiled", |b| {
         let exec = exec();
         let mut m = Machine::default();
@@ -151,6 +167,80 @@ fn bench_profiler_overhead(c: &mut Criterion) {
         min_profiled <= on_budget,
         "profiled alu_loop_11t exceeded the 1.5x attribution containment budget: \
          reference {min_reference2:?} vs profiled {min_profiled:?}"
+    );
+    // Note on profiled-compiled containment: `run_exec_profiled` forces
+    // the reference loop regardless of the ambient engine (attribution
+    // needs per-slot dispatch), so Gate 2's bound *is* the profiled
+    // containment guarantee under the compiled default — there is no
+    // separate profiled-compiled path to gate.
+
+    // --- Gate 3: compiled-off tax on the superblock floor ---------------
+    // The compiled tier with *nothing* compiled (every block filtered out,
+    // so every dispatch probes the compiled program and deopts) must stay
+    // within 3% of the plain superblock engine: the tier's existence may
+    // not tax runs it cannot accelerate.
+    let exec_sb = exec();
+    let mut exec_deopt = exec();
+    exec_deopt.recompile_filtered(|_| false);
+    let mut sb = Machine::default();
+    let mut deopt = Machine::default();
+    let (min_sb, min_deopt) = paired_min_time(
+        RUNS,
+        || {
+            black_box(
+                sb.run_exec_engine(&exec_sb, TASKLETS, dpu_sim::Engine::Superblock).unwrap().cycles,
+            );
+        },
+        || {
+            black_box(
+                deopt
+                    .run_exec_engine(&exec_deopt, TASKLETS, dpu_sim::Engine::Compiled)
+                    .unwrap()
+                    .cycles,
+            );
+        },
+    );
+    let deopt_tax = min_deopt.as_secs_f64() / min_sb.as_secs_f64() - 1.0;
+    let deopt_budget = min_sb.mul_f64(1.03) + Duration::from_micros(50);
+    println!(
+        "compiled-off tax on alu_loop_11t: {:.1}% (gate <3%): deopt {min_deopt:?}, superblock floor {min_sb:?}",
+        deopt_tax * 100.0
+    );
+    assert!(
+        min_deopt <= deopt_budget,
+        "compiled tier with an empty compilation exceeded the 3% budget over the \
+         superblock floor: deopt {min_deopt:?} vs superblock {min_sb:?} — the deopt \
+         probe leaked cost into uncompilable runs"
+    );
+
+    // --- Gate 4: the compiled tier pays for itself ----------------------
+    // With the loop compiled (the default full compilation), the compiled
+    // tier must never be slower than the superblock floor it replaces.
+    let exec_sb2 = exec();
+    let exec_jit = exec();
+    let mut sb2 = Machine::default();
+    let mut jit = Machine::default();
+    let (min_sb2, min_jit) = paired_min_time(
+        RUNS,
+        || {
+            black_box(
+                sb2.run_exec_engine(&exec_sb2, TASKLETS, dpu_sim::Engine::Superblock)
+                    .unwrap()
+                    .cycles,
+            );
+        },
+        || {
+            black_box(
+                jit.run_exec_engine(&exec_jit, TASKLETS, dpu_sim::Engine::Compiled).unwrap().cycles,
+            );
+        },
+    );
+    let jit_budget = min_sb2.mul_f64(1.03) + Duration::from_micros(50);
+    println!("compiled tier: superblock min {min_sb2:?}, compiled min {min_jit:?}");
+    assert!(
+        min_jit <= jit_budget,
+        "the compiled tier ran slower than the superblock engine on its headline \
+         kernel: compiled {min_jit:?} vs superblock {min_sb2:?}"
     );
 }
 

@@ -450,6 +450,27 @@ mod perf_snapshot {
         median(&mut samples)
     }
 
+    /// Like `bench_interpreter` with a pinned engine tier (and the decode
+    /// hoisted out of the timed region, as every launch path does), so the
+    /// snapshot records the tier ladder, not just the ambient default.
+    fn bench_engine(
+        program: &dpu_sim::Program,
+        tasklets: usize,
+        engine: dpu_sim::Engine,
+        n: usize,
+    ) -> (u128, u64) {
+        let exec = dpu_sim::ExecProgram::compile(program).expect("bench program compiles");
+        let mut samples: Vec<Sample> = (0..n)
+            .map(|_| {
+                let mut m = Machine::default();
+                let start = Instant::now();
+                let res = m.run_exec_engine(&exec, tasklets, engine).expect("bench program runs");
+                Sample { wall_ns: start.elapsed().as_nanos(), instructions: res.instructions }
+            })
+            .collect();
+        median(&mut samples)
+    }
+
     fn bench_skewed_launch(dpus: usize, n: usize) -> (u128, u64) {
         let program = skewed_program();
         let mut samples: Vec<Sample> = (0..n)
@@ -491,10 +512,26 @@ mod perf_snapshot {
 
     #[allow(clippy::cast_precision_loss)]
     pub fn run(path: &str, samples: usize) {
+        use dpu_sim::Engine;
         let alu = alu_loop_program();
         let scenarios: Vec<(&str, (u128, u64))> = vec![
             ("interpreter/alu_loop_1t", bench_interpreter(&alu, 1, samples)),
             ("interpreter/alu_loop_11t", bench_interpreter(&alu, 11, samples)),
+            // The tier ladder on the headline scenario: the same kernel
+            // pinned to each engine, so BENCH_*.json records how much each
+            // tier buys (reference → superblock → compiled).
+            (
+                "interpreter/alu_loop_11t_reference",
+                bench_engine(&alu, 11, Engine::Reference, samples),
+            ),
+            (
+                "interpreter/alu_loop_11t_superblock",
+                bench_engine(&alu, 11, Engine::Superblock, samples),
+            ),
+            (
+                "interpreter/alu_loop_11t_compiled",
+                bench_engine(&alu, 11, Engine::Compiled, samples),
+            ),
             ("interpreter/sync_heavy_16t", bench_interpreter(&sync_heavy_program(), 16, samples)),
             ("multi_dpu/skewed_32", bench_skewed_launch(32, samples)),
         ];

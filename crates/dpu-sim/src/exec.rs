@@ -15,7 +15,10 @@
 //! `DpuSet::launch_loaded`) validates and decodes exactly once instead of
 //! per launch.
 
+use crate::compile::CompiledProgram;
 use crate::isa::{Instr, Program};
+use crate::profiler::CycleAttribution;
+use std::sync::Arc;
 
 /// Number of distinct mnemonic classes (see [`Instr::mnemonic`]).
 pub const OP_COUNT: usize = 26;
@@ -302,6 +305,10 @@ pub struct ExecProgram {
     source: Program,
     code: Vec<ExecInstr>,
     superblocks: Superblocks,
+    /// Threaded-code translation of the superblocks (see
+    /// [`crate::compile`]); behind an [`Arc`] so cloning the program for
+    /// parallel launches shares the compiled closures.
+    compiled: Arc<CompiledProgram>,
 }
 
 impl ExecProgram {
@@ -326,7 +333,36 @@ impl ExecProgram {
         let code: Vec<ExecInstr> =
             program.instrs.iter().map(|&instr| ExecInstr { instr, op: op_id(&instr) }).collect();
         let superblocks = Superblocks::analyze(&code);
-        Self { source: program.clone(), code, superblocks }
+        let compiled = Arc::new(CompiledProgram::compile_all(&code, &superblocks));
+        Self { source: program.clone(), code, superblocks, compiled }
+    }
+
+    /// The threaded-code translation of the superblocks, used by the
+    /// compiled execution tier ([`crate::machine::Engine::Compiled`]).
+    #[must_use]
+    pub fn compiled(&self) -> &CompiledProgram {
+        &self.compiled
+    }
+
+    /// Recompile only the blocks whose profiled entry count meets
+    /// `min_entries`, using the attribution gathered by a prior
+    /// [`crate::machine::Machine::run_exec_profiled`] run. Cold blocks fall
+    /// back to the superblock engine at run time.
+    pub fn recompile_hot(&mut self, attr: &CycleAttribution, min_entries: u64) {
+        self.compiled = Arc::new(CompiledProgram::compile_hot(
+            &self.code,
+            &self.superblocks,
+            attr,
+            min_entries,
+        ));
+    }
+
+    /// Recompile keeping only the blocks for which `keep(start_pc)` returns
+    /// true. Test hook for forcing deopt at arbitrary block boundaries.
+    #[doc(hidden)]
+    pub fn recompile_filtered(&mut self, keep: impl FnMut(u32) -> bool) {
+        self.compiled =
+            Arc::new(CompiledProgram::compile_filtered(&self.code, &self.superblocks, keep));
     }
 
     /// The source program this execution form was decoded from.

@@ -41,6 +41,7 @@
 #![warn(missing_docs)]
 
 pub mod asm;
+pub mod compile;
 pub mod cost;
 pub mod error;
 pub mod exec;
@@ -55,11 +56,12 @@ pub mod profiler;
 pub mod subroutines;
 pub mod system;
 
+pub use compile::{CompiledProgram, DEFAULT_HOT_THRESHOLD};
 pub use error::{Error, Result};
 pub use exec::ExecProgram;
 pub use faults::{AttemptFaults, FaultConfig, FaultKind, FaultPlan, InjectedFault};
 pub use isa::{Instr, Program, Reg};
-pub use machine::{Machine, RunResult};
+pub use machine::{Engine, Machine, RunResult};
 pub use memory::{DmaEngine, Mram, Wram};
 pub use params::DpuParams;
 pub use pipeline::Pipeline;

@@ -18,6 +18,7 @@
 //! single-tasklet issue rate of one instruction per 11 cycles the measured
 //! totals reproduce Table 3.1 within ~1.5 % (see [`crate::subroutines`]).
 
+use crate::compile::{CompiledProgram, Link, Term};
 use crate::error::{Error, Result};
 use crate::exec::{self, ExecInstr, ExecProgram, Superblocks, OP_COUNT};
 use crate::faults::{AttemptFaults, DmaFault, FaultKind};
@@ -32,6 +33,71 @@ use pim_trace::{DmaDirection, NullSink, TraceEvent, TraceSink};
 /// Default cycle budget for [`Machine::run`]; generous enough for every
 /// kernel in the repository while still catching infinite loops.
 pub const DEFAULT_CYCLE_BUDGET: u64 = 50_000_000_000;
+
+/// Interpreter engine tiers, slowest first. Every tier produces
+/// bit-identical observable results — cycles, histograms, traces, memory,
+/// error sites — which the golden and proptest identity suites pin; the
+/// selection only trades simplicity of the executing loop for speed.
+///
+/// Selection is explicit via [`Machine::run_exec_engine`] (and the
+/// engine-aware `pim-host` launch APIs) or ambient via
+/// [`Engine::effective`], which consults the `PIM_SIM_ENGINE` environment
+/// variable and otherwise defaults to the compiled tier. Traced and
+/// profiled runs always take the reference loop regardless of selection,
+/// and armed fault injection deoptimizes the compiled tier onto the
+/// superblock engine (see [`Machine::run_code`] internals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Engine {
+    /// The per-instruction reference loop: one pick, one budget check,
+    /// one fetch-dispatch per issue slot — the semantic source of truth
+    /// every observable figure is defined by.
+    Reference,
+    /// The superblock engine: memoized straight-line blocks and batched
+    /// saturated rotations over the pre-decoded stream.
+    Superblock,
+    /// The compiled tier: hot superblocks as threaded-code closures
+    /// chained by direct block ids (see [`crate::compile`]), deoptimizing
+    /// onto the superblock engine at everything the compiled universe
+    /// does not cover.
+    #[default]
+    Compiled,
+}
+
+impl Engine {
+    /// Environment variable consulted by [`Engine::effective`]; valid
+    /// values are the [`Engine::name`]s.
+    pub const ENV_VAR: &'static str = "PIM_SIM_ENGINE";
+
+    /// Parse an engine name as used by the env/config override.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "reference" => Some(Self::Reference),
+            "superblock" => Some(Self::Superblock),
+            "compiled" => Some(Self::Compiled),
+            _ => None,
+        }
+    }
+
+    /// The canonical name: `reference`, `superblock` or `compiled`.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Reference => "reference",
+            Self::Superblock => "superblock",
+            Self::Compiled => "compiled",
+        }
+    }
+
+    /// The ambient engine: `PIM_SIM_ENGINE` when set to a valid name, the
+    /// default tier otherwise. Read fresh on every call — never cached —
+    /// so the CI engine matrix and test harnesses can force a tier per
+    /// process.
+    #[must_use]
+    pub fn effective() -> Self {
+        std::env::var(Self::ENV_VAR).ok().and_then(|v| Self::from_name(&v)).unwrap_or_default()
+    }
+}
 
 /// Statistics of one program run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -212,7 +278,12 @@ impl Machine {
             .map(|&instr| ExecInstr { instr, op: exec::op_id(&instr) })
             .collect();
         let sb = Superblocks::analyze(&code);
-        self.run_code(&code, &sb, tasklets, budget, sink, false, None)
+        let engine = Engine::effective();
+        // Threaded code is only built when this run can actually enter it
+        // (traced runs take the reference loop regardless).
+        let compiled = (engine == Engine::Compiled && !sink.is_enabled())
+            .then(|| CompiledProgram::compile_all(&code, &sb));
+        self.run_code(&code, &sb, compiled.as_ref(), tasklets, budget, sink, engine, None)
     }
 
     /// Run a pre-decoded program on `tasklets` hardware threads until all
@@ -235,16 +306,52 @@ impl Machine {
         tasklets: usize,
         budget: u64,
     ) -> Result<RunResult> {
-        self.run_code(exec.code(), exec.superblocks(), tasklets, budget, &mut NullSink, false, None)
+        self.run_exec_engine_with_budget(exec, tasklets, budget, Engine::effective())
+    }
+
+    /// Like [`Machine::run_exec`] with an explicit engine tier instead of
+    /// the ambient [`Engine::effective`] selection. All tiers are
+    /// observationally identical; see [`Engine`].
+    ///
+    /// # Errors
+    /// See [`Machine::run`].
+    pub fn run_exec_engine(
+        &mut self,
+        exec: &ExecProgram,
+        tasklets: usize,
+        engine: Engine,
+    ) -> Result<RunResult> {
+        self.run_exec_engine_with_budget(exec, tasklets, DEFAULT_CYCLE_BUDGET, engine)
+    }
+
+    /// Like [`Machine::run_exec_engine`] with an explicit cycle budget.
+    ///
+    /// # Errors
+    /// See [`Machine::run`].
+    pub fn run_exec_engine_with_budget(
+        &mut self,
+        exec: &ExecProgram,
+        tasklets: usize,
+        budget: u64,
+        engine: Engine,
+    ) -> Result<RunResult> {
+        self.run_code(
+            exec.code(),
+            exec.superblocks(),
+            Some(exec.compiled()),
+            tasklets,
+            budget,
+            &mut NullSink,
+            engine,
+            None,
+        )
     }
 
     /// Like [`Machine::run_exec_with_budget`] but forcing the
     /// per-instruction reference loop, with superblock fast-forwarding and
-    /// event-driven skipping disabled.
-    ///
-    /// Exists so equivalence tests and benchmarks can compare the
-    /// optimized engine against the reference semantics on the same
-    /// decoded program; not useful otherwise.
+    /// event-driven skipping disabled. Equivalent to
+    /// [`Machine::run_exec_engine_with_budget`] with [`Engine::Reference`];
+    /// kept for the existing equivalence tests and benchmarks.
     ///
     /// # Errors
     /// See [`Machine::run`].
@@ -255,7 +362,7 @@ impl Machine {
         tasklets: usize,
         budget: u64,
     ) -> Result<RunResult> {
-        self.run_code(exec.code(), exec.superblocks(), tasklets, budget, &mut NullSink, true, None)
+        self.run_exec_engine_with_budget(exec, tasklets, budget, Engine::Reference)
     }
 
     /// Like [`Machine::run_exec`], additionally attributing every elapsed
@@ -297,10 +404,11 @@ impl Machine {
         self.run_code(
             exec.code(),
             exec.superblocks(),
+            None,
             tasklets,
             budget,
             &mut NullSink,
-            true,
+            Engine::Reference,
             Some(attr),
         )
     }
@@ -330,33 +438,67 @@ impl Machine {
         budget: u64,
         sink: &mut dyn TraceSink,
     ) -> Result<RunResult> {
-        self.run_code(exec.code(), exec.superblocks(), tasklets, budget, sink, false, None)
+        self.run_exec_traced_engine_with_budget(exec, tasklets, budget, sink, Engine::effective())
+    }
+
+    /// Like [`Machine::run_exec_traced_with_budget`] with an explicit
+    /// engine tier. An enabled sink forces the reference loop regardless
+    /// of `engine` (trace emission needs per-slot dispatch), so the tier
+    /// only affects untraced launches sharing this entry point.
+    ///
+    /// # Errors
+    /// See [`Machine::run`].
+    pub fn run_exec_traced_engine_with_budget(
+        &mut self,
+        exec: &ExecProgram,
+        tasklets: usize,
+        budget: u64,
+        sink: &mut dyn TraceSink,
+        engine: Engine,
+    ) -> Result<RunResult> {
+        self.run_code(
+            exec.code(),
+            exec.superblocks(),
+            Some(exec.compiled()),
+            tasklets,
+            budget,
+            sink,
+            engine,
+            None,
+        )
     }
 
     /// The interpreter core over a decoded instruction stream.
     ///
-    /// Sets up an [`Interp`] and runs one of two engines over it:
+    /// Sets up an [`Interp`] and runs the selected [`Engine`] over it:
     ///
     /// * the **reference loop** ([`Interp::run_reference`]) — one
     ///   `Pipeline::pick` per issue slot, exactly the semantics every
-    ///   observable figure is defined by. Traced runs always take it
-    ///   (`reference` is also forced by
-    ///   [`Machine::run_exec_reference_with_budget`]), so the existing
+    ///   observable figure is defined by. Traced and profiled runs always
+    ///   take it regardless of `engine`, so the existing
     ///   traced-vs-untraced equality tests double as fast-vs-reference
     ///   identity checks;
-    /// * the **superblock engine** ([`Interp::run_fast`]) — fast-forwards
-    ///   whole straight-line blocks and saturated round-robin rotations in
-    ///   one dispatch, observationally invisible by construction (see the
-    ///   per-method proofs and `docs/PERFORMANCE.md`).
+    /// * the **superblock engine** ([`Interp::run_fast`] with no compiled
+    ///   program) — fast-forwards whole straight-line blocks and
+    ///   saturated round-robin rotations in one dispatch, observationally
+    ///   invisible by construction (see the per-method proofs and
+    ///   `docs/PERFORMANCE.md`);
+    /// * the **compiled tier** (the same loop with `compiled` wired in) —
+    ///   additionally executes threaded-code block chains
+    ///   ([`Interp::run_compiled`]) inside the batched modes, deopting
+    ///   onto the superblock paths everywhere else. Armed fault injection
+    ///   downgrades this tier to the superblock engine so injected-fault
+    ///   runs stay on the thoroughly-pinned paths.
     #[allow(clippy::too_many_arguments)]
     fn run_code(
         &mut self,
         code: &[ExecInstr],
         sb: &Superblocks,
+        compiled: Option<&CompiledProgram>,
         tasklets: usize,
         budget: u64,
         sink: &mut dyn TraceSink,
-        reference: bool,
+        engine: Engine,
         profile: Option<&mut CycleAttribution>,
     ) -> Result<RunResult> {
         if tasklets == 0 || tasklets > self.params.max_tasklets {
@@ -392,6 +534,22 @@ impl Machine {
             }
         }
 
+        // Armed faults deoptimize the compiled tier onto the superblock
+        // engine: injection is rare and every injection site (DMA, hang
+        // clamp) lives on boundary instructions, so keeping armed runs off
+        // the threaded code costs nothing while keeping fault logs and
+        // error sites on the longest-pinned paths. An empty compilation
+        // (nothing hot, or everything filtered) downgrades too — every
+        // dispatch would probe and deopt, so skipping the probes makes the
+        // uncompilable case exactly the superblock engine.
+        let engine = if engine == Engine::Compiled
+            && (self.faults.is_some() || compiled.is_none_or(CompiledProgram::is_empty))
+        {
+            Engine::Superblock
+        } else {
+            engine
+        };
+
         let pipeline = Pipeline::with_stages(tasklets, u64::from(self.params.pipeline_stages));
         let live = if code.is_empty() { 0 } else { tasklets };
         let dma_cycles_before = self.dma.total_cycles;
@@ -417,6 +575,7 @@ impl Machine {
             sched_changed: false,
             code,
             sb,
+            compiled: if engine == Engine::Compiled { compiled } else { None },
             budget,
             machine: self,
             sink,
@@ -429,15 +588,15 @@ impl Machine {
         // per-instruction stepping trivially emits identical events and
         // per-slot attribution, and the traced-vs-untraced identity tests
         // then pin the fast engine against the reference.
-        let engine = if let Some(attr) = profile {
+        let outcome = if let Some(attr) = profile {
             attr.prepare(sb, tasklets);
             interp.run_reference_profiled(attr)
-        } else if reference || interp.sink.is_enabled() {
+        } else if engine == Engine::Reference || interp.sink.is_enabled() {
             interp.run_reference()
         } else {
             interp.run_fast()
         };
-        if let Err(e) = engine {
+        if let Err(e) = outcome {
             if let Error::CycleBudgetExceeded { budget: hit } = e {
                 if let Some(f) = interp.machine.faults.as_mut() {
                     if f.hang_after() == Some(hit) {
@@ -481,6 +640,9 @@ struct Interp<'a> {
     sink: &'a mut dyn TraceSink,
     code: &'a [ExecInstr],
     sb: &'a Superblocks,
+    /// Threaded-code tier for this run; `None` on reference/superblock
+    /// runs and under armed fault injection (see [`Machine::run_code`]).
+    compiled: Option<&'a CompiledProgram>,
     budget: u64,
     pipeline: Pipeline,
     threads: Vec<Tasklet>,
@@ -720,6 +882,12 @@ impl Interp<'_> {
     /// clock already jumps over windows where every runnable tasklet is
     /// DMA-stalled; the fast paths above remove the *per-instruction
     /// re-picking* that remained.
+    ///
+    /// With a compiled program wired in (the [`Engine::Compiled`] tier)
+    /// the sole and rotation batch loops additionally dispatch whole
+    /// threaded-code chains via [`Interp::run_compiled`]; everything the
+    /// chains exit on deoptimizes to the superblock paths below, so this
+    /// loop *is* the deopt fallback.
     fn run_fast(&mut self) -> Result<()> {
         loop {
             if !self.single && self.parked > 0 && self.parked == self.live {
@@ -828,6 +996,17 @@ impl Interp<'_> {
                     break;
                 }
                 let pc = self.threads[t].pc as usize;
+                // Threaded-code chains run first: whole block sequences
+                // per dispatch, deopting back here (ran == 0 falls
+                // through with pc unchanged, so progress is guaranteed by
+                // the per-op paths below).
+                if let Some(bid) = self.compiled.and_then(|cp| cp.block_id_at(pc)) {
+                    let ran = self.run_compiled(t, bid, k_cap - k, 1, false);
+                    if ran > 0 {
+                        k += ran;
+                        continue;
+                    }
+                }
                 let len = u64::from(self.sb.len_at(pc));
                 if len >= 2 && k + len <= k_cap {
                     self.apply_block(t, pc, len as usize);
@@ -903,6 +1082,11 @@ impl Interp<'_> {
         let r = order.len();
         let mut m: u64 = 0;
         let mut pos: usize = 0;
+        // Lockstep chain replication is probed until the first divergent
+        // register file: the compare is per-register and would tax every
+        // round of a divergent SIMT batch, while reconvergent workloads
+        // get re-probed on the next batch entry.
+        let mut try_replicate = true;
         let outcome = loop {
             if m >= m_allowed {
                 break Ok(());
@@ -919,6 +1103,43 @@ impl Interp<'_> {
             if pos == 0 {
                 let pc0 = self.threads[order[0]].pc;
                 if order.iter().all(|&t| self.threads[t].pc == pc0 && self.threads[t].burst == 0) {
+                    // Threaded-code chains with full register lockstep —
+                    // the SIMT common case — execute ONCE on the lead
+                    // tasklet and replicate the end state to the rest.
+                    // Sound because compiled bodies are deterministic
+                    // functions of the private register file alone
+                    // (tasklet-sensitive blocks stop the chain), so
+                    // identical inputs give identical per-tasklet traces,
+                    // and reordering slots within the flushed bulk is
+                    // unobservable for the same reason `apply_block_all`
+                    // may reorder: effects are tasklet-private and the
+                    // histogram commutes. The chain is capped at whole
+                    // rounds, so `pos` stays at the round boundary.
+                    if try_replicate {
+                        if let Some(bid) = self.compiled.and_then(|cp| cp.block_id_at(pc0 as usize))
+                        {
+                            let cap = (m_allowed - m) / r as u64;
+                            if cap > 0 {
+                                if self.regs_identical(&order) {
+                                    let lead = order[0];
+                                    let ran = self.run_compiled(lead, bid, cap, r as u64, true);
+                                    if ran > 0 {
+                                        let pc_after = self.threads[lead].pc;
+                                        let regs_after = self.threads[lead].regs;
+                                        for &t in &order[1..] {
+                                            let th = &mut self.threads[t];
+                                            th.regs = regs_after;
+                                            th.pc = pc_after;
+                                        }
+                                        m += ran * r as u64;
+                                        continue;
+                                    }
+                                } else {
+                                    try_replicate = false;
+                                }
+                            }
+                        }
+                    }
                     let len = u64::from(self.sb.len_at(pc0 as usize));
                     if len >= 2 && m + len * r as u64 <= m_allowed {
                         self.apply_block_all(&order, pc0 as usize, len as usize);
@@ -1193,6 +1414,84 @@ impl Interp<'_> {
             apply_pure(th, t, &slot.instr);
         }
         th.pc = (pc + count) as u32;
+    }
+
+    /// Execute a threaded-code chain for tasklet `t` starting at compiled
+    /// block `bid`, consuming at most `cap` issue slots; returns the
+    /// slots consumed (the caller has reserved them and flushes the
+    /// pipeline update for the whole batch, exactly as for the other
+    /// batched dispatches).
+    ///
+    /// The chain runs block to block through compiled links — no fetch,
+    /// no decode, no per-instruction classify — folding each block's
+    /// memoized issue-slot and histogram counts per entry. It stops, with
+    /// the tasklet's pc parked on the next block's start so any engine
+    /// resumes exactly where the reference would be, when the next block
+    /// would overrun `cap` (budget exactness) or when a link exits
+    /// compiled code (a deopt: cold block, side-exit boundary op,
+    /// mid-block `jr` target, or end of IRAM — the out-of-range pc then
+    /// faults at the next fetch exactly like the reference).
+    ///
+    /// `replicas` scales the histogram folds and `replicate` guards
+    /// tasklet-sensitive blocks for the rotation engine's lockstep
+    /// replication (see `try_rotation`); sole mode passes `1, false`.
+    /// Compiled bodies touch only the private register file and pc, are
+    /// deterministic, cannot fault and cannot observe scheduling, so the
+    /// chain needs no budget or scheduler probes mid-flight.
+    fn run_compiled(
+        &mut self,
+        t: usize,
+        bid: u32,
+        cap: u64,
+        replicas: u64,
+        replicate: bool,
+    ) -> u64 {
+        let Some(cp) = self.compiled else { return 0 };
+        let mut bid = bid;
+        let mut k: u64 = 0;
+        loop {
+            let b = cp.block(bid);
+            let slots = u64::from(b.slots());
+            if k + slots > cap || (replicate && b.tasklet_sensitive()) {
+                self.threads[t].pc = b.start();
+                return k;
+            }
+            b.run(&mut self.threads[t].regs, t as u32);
+            for &(op, c) in b.op_counts() {
+                self.op_counts[op as usize] += u64::from(c) * replicas;
+            }
+            k += slots;
+            let link = match *b.term() {
+                Term::Next(link) | Term::Jump(link) => link,
+                Term::Jal { rd, ret, link } => {
+                    self.threads[t].set(rd, ret);
+                    link
+                }
+                Term::Jr { ra } => cp.link_of(self.threads[t].get(ra)),
+                Term::Branch { cond, ra, rb, taken, fall } => {
+                    let th = &self.threads[t];
+                    if cond.eval(th.get(ra), th.get(rb)) {
+                        taken
+                    } else {
+                        fall
+                    }
+                }
+            };
+            match link {
+                Link::Block(next) => bid = next,
+                Link::Exit(pc) => {
+                    self.threads[t].pc = pc;
+                    return k;
+                }
+            }
+        }
+    }
+
+    /// Do all tasklets in `order` carry the lead tasklet's register file
+    /// bit for bit? (The precondition for lockstep chain replication.)
+    fn regs_identical(&self, order: &[usize]) -> bool {
+        let lead = &self.threads[order[0]].regs;
+        order[1..].iter().all(|&t| self.threads[t].regs == *lead)
     }
 
     /// Fetch and dispatch one instruction for tasklet `t`. The caller has
@@ -2405,6 +2704,27 @@ mod fault_injection_tests {
             r
         };
         assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn compiled_tier_deopts_under_armed_faults_with_identical_results() {
+        // A zero plan armed forces the Compiled→Superblock downgrade in
+        // `run_code` without injecting anything, so the downgraded run
+        // must stay bit-identical to the compiled tier proper.
+        let p = dma_program();
+        let exec = ExecProgram::compile(&p).unwrap();
+        let mut plain = Machine::default();
+        plain.mram.write(0, &21u64.to_le_bytes()).unwrap();
+        let unarmed = plain.run_exec_engine(&exec, 3, Engine::Compiled).unwrap();
+        let mut armed = Machine::default();
+        armed.mram.write(0, &21u64.to_le_bytes()).unwrap();
+        armed.arm_faults(FaultPlan::none().attempt(0, 0));
+        let downgraded = armed.run_exec_engine(&exec, 3, Engine::Compiled).unwrap();
+        assert_eq!(unarmed, downgraded);
+        let wram = plain.params.wram_bytes;
+        let mram = plain.params.mram_bytes;
+        assert_eq!(plain.wram.slice(0, wram).unwrap(), armed.wram.slice(0, wram).unwrap());
+        assert_eq!(plain.mram.slice(0, mram).unwrap(), armed.mram.slice(0, mram).unwrap());
     }
 
     #[test]

@@ -543,6 +543,25 @@ mod tests {
     }
 
     #[test]
+    fn long_whole_round_rotations_match_repeated_picks() {
+        // The compiled tier's lockstep replication flushes thousands of
+        // whole rounds through a single `advance_rotation` call; the state
+        // must stay bit-identical to the equivalent pick-by-pick schedule.
+        let tasklets = 11usize;
+        let runnable = vec![true; tasklets];
+        let mut a = Pipeline::new(tasklets);
+        let mut b = Pipeline::new(tasklets);
+        let order: Vec<usize> = (0..tasklets).collect();
+        let slots = 4096 * tasklets as u64;
+        for _ in 0..slots {
+            a.pick(&runnable).unwrap();
+        }
+        b.advance_rotation(&order, slots);
+        assert_eq!(a, b);
+        assert_eq!(b.issued(), slots);
+    }
+
+    #[test]
     fn next_issue_at_clamps_to_current_cycle() {
         let mut p = Pipeline::new(2);
         assert_eq!(p.next_issue_at(0), 0);

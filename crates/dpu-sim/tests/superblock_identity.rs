@@ -1,6 +1,7 @@
-//! Identity tests for the superblock engine: `Machine::run_exec` (which
-//! fast-forwards superblocks, subroutine bursts and saturated round-robin
-//! rotations) must match the per-instruction reference loop
+//! Identity tests for the fast engines: the superblock engine and the
+//! compiled threaded-code tier (and whatever the ambient `Machine::run_exec`
+//! selection resolves to, including a `PIM_SIM_ENGINE` override) must all
+//! match the per-instruction reference loop
 //! (`Machine::run_exec_reference_with_budget`) bit-for-bit — same
 //! `RunResult`, same error at the same point, same final memory image —
 //! on random programs, on DMA-stall-heavy kernels, and on the
@@ -8,44 +9,61 @@
 
 use dpu_sim::exec::{is_superblock_op, ExecProgram};
 use dpu_sim::isa::{Cond, Instr, Program, Reg, Width};
-use dpu_sim::{Machine, RunResult};
+use dpu_sim::{Engine, Machine, RunResult};
 use proptest::prelude::*;
 
 /// Budget small enough to terminate the infinite loops random control flow
 /// produces, large enough that most random programs complete.
 const TEST_BUDGET: u64 = 300_000;
 
-/// Run `program` on both engines from identical fresh machines and assert
-/// complete observable equality.
+/// A fresh machine with deterministic non-zero MRAM so loads observe real
+/// data.
+fn seeded_machine() -> Machine {
+    let mut m = Machine::default();
+    for (i, b) in (0..4096u32).enumerate() {
+        m.mram.write_u8(i, b.wrapping_mul(37) & 0xff).unwrap();
+    }
+    m
+}
+
+/// Run `program` on every engine tier from identical fresh machines and
+/// assert complete observable equality with the reference loop.
 fn assert_engines_agree(
     program: &Program,
     tasklets: usize,
     budget: u64,
 ) -> Result<RunResult, dpu_sim::Error> {
     let exec = ExecProgram::decode(program);
-    let mut fast_machine = Machine::default();
-    let mut ref_machine = Machine::default();
-    // Deterministic non-zero memory so loads observe real data.
-    for (i, b) in (0..4096u32).enumerate() {
-        fast_machine.mram.write_u8(i, b.wrapping_mul(37) & 0xff).unwrap();
-        ref_machine.mram.write_u8(i, b.wrapping_mul(37) & 0xff).unwrap();
-    }
-    let fast = fast_machine.run_exec_with_budget(&exec, tasklets, budget);
+    let mut ref_machine = seeded_machine();
     let reference = ref_machine.run_exec_reference_with_budget(&exec, tasklets, budget);
-    assert_eq!(fast, reference, "engines diverged on {program:?}");
-    let wram_len = fast_machine.params.wram_bytes;
-    assert_eq!(
-        fast_machine.wram.slice(0, wram_len).unwrap(),
-        ref_machine.wram.slice(0, wram_len).unwrap(),
-        "WRAM images diverged"
-    );
-    let mram_len = fast_machine.params.mram_bytes;
-    assert_eq!(
-        fast_machine.mram.slice(0, mram_len).unwrap(),
-        ref_machine.mram.slice(0, mram_len).unwrap(),
-        "MRAM images diverged"
-    );
-    fast
+    let check =
+        |label: &str, f: &mut dyn FnMut(&mut Machine) -> Result<RunResult, dpu_sim::Error>| {
+            let mut machine = seeded_machine();
+            let outcome = f(&mut machine);
+            assert_eq!(outcome, reference, "{label} diverged on {program:?}");
+            let wram_len = machine.params.wram_bytes;
+            assert_eq!(
+                machine.wram.slice(0, wram_len).unwrap(),
+                ref_machine.wram.slice(0, wram_len).unwrap(),
+                "{label}: WRAM images diverged"
+            );
+            let mram_len = machine.params.mram_bytes;
+            assert_eq!(
+                machine.mram.slice(0, mram_len).unwrap(),
+                ref_machine.mram.slice(0, mram_len).unwrap(),
+                "{label}: MRAM images diverged"
+            );
+        };
+    check("superblock engine", &mut |m| {
+        m.run_exec_engine_with_budget(&exec, tasklets, budget, Engine::Superblock)
+    });
+    check("compiled tier", &mut |m| {
+        m.run_exec_engine_with_budget(&exec, tasklets, budget, Engine::Compiled)
+    });
+    // The ambient selection (`PIM_SIM_ENGINE` or the default): what every
+    // normal launch runs, and what the CI engine matrix forces per tier.
+    check("ambient engine", &mut |m| m.run_exec_with_budget(&exec, tasklets, budget));
+    reference
 }
 
 /// A strategy over instructions, weighted toward superblock ALU runs with

@@ -10,7 +10,7 @@
 
 use crate::error::{HostError, Result};
 use crate::set::DpuSet;
-use dpu_sim::{ExecProgram, PimSystem, Profiler, Program, RunResult};
+use dpu_sim::{Engine, ExecProgram, PimSystem, Profiler, Program, RunResult};
 use pim_trace::{MetricsRegistry, TraceBuffer};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -127,7 +127,9 @@ impl DpuSet {
         trace: bool,
     ) -> Result<(LaunchResult, Vec<TraceBuffer>)> {
         let exec = ExecProgram::compile(program)?;
-        launch_on(self.system_mut(), &exec, tasklets, trace).map(|(res, bufs, _)| (res, bufs))
+        let engine = self.engine();
+        launch_on(self.system_mut(), &exec, tasklets, trace, engine)
+            .map(|(res, bufs, _)| (res, bufs))
     }
 }
 
@@ -142,12 +144,13 @@ impl DpuSet {
     /// [`crate::HostError::Symbol`] when nothing is loaded; otherwise as
     /// [`DpuSet::launch`].
     pub fn launch_loaded(&mut self, tasklets: usize) -> Result<LaunchResult> {
+        let engine = self.engine();
         let (system, loaded) = self.system_and_loaded();
         let exec = loaded.ok_or(HostError::Symbol {
             name: "<program>".to_owned(),
             problem: "no program loaded; call DpuSet::load first",
         })?;
-        launch_on(system, exec, tasklets, false).map(|(res, _, _)| res)
+        launch_on(system, exec, tasklets, false, engine).map(|(res, _, _)| res)
     }
 
     /// [`DpuSet::launch_loaded`] with per-DPU tracing, as
@@ -160,12 +163,13 @@ impl DpuSet {
         &mut self,
         tasklets: usize,
     ) -> Result<(LaunchResult, Vec<TraceBuffer>)> {
+        let engine = self.engine();
         let (system, loaded) = self.system_and_loaded();
         let exec = loaded.ok_or(HostError::Symbol {
             name: "<program>".to_owned(),
             problem: "no program loaded; call DpuSet::load first",
         })?;
-        launch_on(system, exec, tasklets, true).map(|(res, bufs, _)| (res, bufs))
+        launch_on(system, exec, tasklets, true, engine).map(|(res, bufs, _)| (res, bufs))
     }
 }
 
@@ -211,18 +215,24 @@ enum DpuOutcome {
 
 /// Run the decoded program on every DPU of `system` and collect per-DPU
 /// results plus trace buffers, both in DPU order.
+///
+/// `engine` pins the execution tier for every DPU; `None` resolves the
+/// ambient [`Engine::effective`] selection **once** here, so all DPUs of
+/// one launch run the same tier even if the environment changes mid-launch.
 pub(crate) fn launch_on(
     system: &mut PimSystem,
     exec: &ExecProgram,
     tasklets: usize,
     trace: bool,
+    engine: Option<Engine>,
 ) -> Result<(LaunchResult, Vec<TraceBuffer>, Option<StealStats>)> {
+    let engine = engine.unwrap_or_else(Engine::effective);
     let n = system.len();
     let mut buffers: Vec<TraceBuffer> = vec![TraceBuffer::new(); n];
     let (outcomes, steal) = if n < PARALLEL_THRESHOLD {
-        (run_sequential(system, exec, tasklets, trace, &mut buffers), None)
+        (run_sequential(system, exec, tasklets, trace, engine, &mut buffers), None)
     } else {
-        let (outcomes, stats) = run_stealing(system, exec, tasklets, trace, &mut buffers);
+        let (outcomes, stats) = run_stealing(system, exec, tasklets, trace, engine, &mut buffers);
         (outcomes, Some(stats))
     };
     let mut per_dpu = Vec::with_capacity(n);
@@ -240,12 +250,19 @@ fn run_one(
     exec: &ExecProgram,
     tasklets: usize,
     trace: bool,
+    engine: Engine,
     buf: &mut TraceBuffer,
 ) -> dpu_sim::Result<RunResult> {
     if trace {
-        dpu.run_exec_traced(exec, tasklets, buf)
+        dpu.run_exec_traced_engine_with_budget(
+            exec,
+            tasklets,
+            dpu_sim::machine::DEFAULT_CYCLE_BUDGET,
+            buf,
+            engine,
+        )
     } else {
-        dpu.run_exec(exec, tasklets)
+        dpu.run_exec_engine(exec, tasklets, engine)
     }
 }
 
@@ -256,12 +273,13 @@ fn run_sequential(
     exec: &ExecProgram,
     tasklets: usize,
     trace: bool,
+    engine: Engine,
     buffers: &mut [TraceBuffer],
 ) -> Vec<DpuOutcome> {
     system
         .iter_mut()
         .zip(buffers.iter_mut())
-        .map(|((_, dpu), buf)| DpuOutcome::Done(run_one(dpu, exec, tasklets, trace, buf)))
+        .map(|((_, dpu), buf)| DpuOutcome::Done(run_one(dpu, exec, tasklets, trace, engine, buf)))
         .collect()
 }
 
@@ -273,9 +291,12 @@ fn run_stealing(
     exec: &ExecProgram,
     tasklets: usize,
     trace: bool,
+    engine: Engine,
     buffers: &mut [TraceBuffer],
 ) -> (Vec<DpuOutcome>, StealStats) {
-    run_stealing_with(system, buffers, |_, dpu, buf| run_one(dpu, exec, tasklets, trace, buf))
+    run_stealing_with(system, buffers, |_, dpu, buf| {
+        run_one(dpu, exec, tasklets, trace, engine, buf)
+    })
 }
 
 /// The scheduler core, generic over the per-DPU job so tests can inject
@@ -635,12 +656,26 @@ mod scheduler_equivalence_tests {
             let mut seq_set = skewed_set(dpus, &counts);
             let mut seq_bufs = vec![TraceBuffer::new(); dpus];
             let seq =
-                run_sequential(seq_set.system_mut(), &exec, tasklets, true, &mut seq_bufs);
+                run_sequential(
+                    seq_set.system_mut(),
+                    &exec,
+                    tasklets,
+                    true,
+                    Engine::default(),
+                    &mut seq_bufs,
+                );
 
             let mut steal_set = skewed_set(dpus, &counts);
             let mut steal_bufs = vec![TraceBuffer::new(); dpus];
             let (steal, stats) =
-                run_stealing(steal_set.system_mut(), &exec, tasklets, true, &mut steal_bufs);
+                run_stealing(
+                    steal_set.system_mut(),
+                    &exec,
+                    tasklets,
+                    true,
+                    Engine::default(),
+                    &mut steal_bufs,
+                );
 
             prop_assert_eq!(seq_bufs, steal_bufs);
             prop_assert_eq!(unwrap_all(seq), unwrap_all(steal));
@@ -657,7 +692,7 @@ mod scheduler_equivalence_tests {
             if i == 3 {
                 panic!("injected failure on DPU 3");
             }
-            run_one(dpu, &exec, 1, false, buf)
+            run_one(dpu, &exec, 1, false, Engine::default(), buf)
         });
         assert_eq!(outcomes.len(), 6);
         assert_eq!(stats.total_claims(), 6);
@@ -690,7 +725,7 @@ mod scheduler_equivalence_tests {
             ExecProgram::compile(&dpu_sim::asm::assemble("perf.config\nhalt\n").unwrap()).unwrap();
         let mut bufs = vec![TraceBuffer::new(); 6];
         let (outcomes, _) = run_stealing_with(set.system_mut(), &mut bufs, |i, dpu, buf| {
-            let r = run_one(dpu, &arming, 1, false, buf);
+            let r = run_one(dpu, &arming, 1, false, Engine::default(), buf);
             if i == 2 {
                 panic!("injected mid-launch failure");
             }

@@ -168,7 +168,8 @@ impl DpuSet {
         obs: &mut LaunchObservation,
     ) -> Result<LaunchResult> {
         let exec = ExecProgram::compile(program)?;
-        let (result, _, steal) = launch_on(self.system_mut(), &exec, tasklets, false)?;
+        let engine = self.engine();
+        let (result, _, steal) = launch_on(self.system_mut(), &exec, tasklets, false, engine)?;
         obs.record(&result);
         if let Some(stats) = steal {
             obs.record_steal(&stats);

@@ -37,7 +37,7 @@ use crate::error::{HostError, Result};
 use crate::launch::{panic_detail, steal_jobs, LaunchResult, PARALLEL_THRESHOLD};
 use crate::set::DpuSet;
 use dpu_sim::faults::{FaultPlan, InjectedFault};
-use dpu_sim::{DpuId, ExecProgram, Machine, PimSystem, Program, RunResult};
+use dpu_sim::{DpuId, Engine, ExecProgram, Machine, PimSystem, Program, RunResult};
 use pim_trace::{MetricsRegistry, TraceBuffer, TraceEvent, TraceSink};
 
 /// Policy governing a fault-tolerant launch.
@@ -229,6 +229,7 @@ fn run_attempt(
     exec: &ExecProgram,
     tasklets: usize,
     trace: bool,
+    engine: Engine,
     buf: &mut TraceBuffer,
     policy: &ResilientLaunchPolicy,
     plan: Option<&FaultPlan>,
@@ -239,11 +240,20 @@ fn run_attempt(
     if let Some(p) = plan {
         dpu.arm_faults(p.attempt(index, attempt));
     }
+    // Fault-armed attempts deoptimize the compiled tier to the superblock
+    // engine inside `run_code`; the engine choice still matters for the
+    // clean attempts and re-dispatches sharing this path.
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         if trace {
-            dpu.run_exec_traced_with_budget(exec, tasklets, policy.watchdog_budget, buf)
+            dpu.run_exec_traced_engine_with_budget(
+                exec,
+                tasklets,
+                policy.watchdog_budget,
+                buf,
+                engine,
+            )
         } else {
-            dpu.run_exec_with_budget(exec, tasklets, policy.watchdog_budget)
+            dpu.run_exec_engine_with_budget(exec, tasklets, policy.watchdog_budget, engine)
         }
     }));
     if let Some(log) = dpu.disarm_faults() {
@@ -275,6 +285,7 @@ fn serve_one(
     exec: &ExecProgram,
     tasklets: usize,
     trace: bool,
+    engine: Engine,
     policy: &ResilientLaunchPolicy,
     plan: Option<&FaultPlan>,
     snapshot_len: usize,
@@ -295,6 +306,7 @@ fn serve_one(
             exec,
             tasklets,
             trace,
+            engine,
             buf,
             policy,
             plan,
@@ -332,9 +344,11 @@ fn launch_resilient_on(
     exec: &ExecProgram,
     tasklets: usize,
     trace: bool,
+    engine: Option<Engine>,
     policy: &ResilientLaunchPolicy,
     snapshot_len: usize,
 ) -> Result<(LaunchReport, Vec<TraceBuffer>)> {
+    let engine = engine.unwrap_or_else(Engine::effective);
     let n = system.len();
     let mut buffers: Vec<TraceBuffer> = vec![TraceBuffer::new(); n];
     // A zero plan injects nothing: drop it so the wave skips snapshots and
@@ -342,7 +356,7 @@ fn launch_resilient_on(
     let plan = policy.faults.as_ref().filter(|p| !p.is_zero());
 
     let job = |i: usize, dpu: &mut Machine, buf: &mut TraceBuffer| {
-        serve_one(i, dpu, buf, exec, tasklets, trace, policy, plan, snapshot_len)
+        serve_one(i, dpu, buf, exec, tasklets, trace, engine, policy, plan, snapshot_len)
     };
     let mut serves: Vec<Serve> = if policy.force_sequential || n < PARALLEL_THRESHOLD {
         system
@@ -393,6 +407,7 @@ fn launch_resilient_on(
                 exec,
                 tasklets,
                 trace,
+                engine,
                 &mut buffers[qi],
                 policy,
                 None,
@@ -461,7 +476,8 @@ impl DpuSet {
     ) -> Result<LaunchReport> {
         let exec = ExecProgram::compile(program)?;
         let len = self.resilient_snapshot_len();
-        launch_resilient_on(self.system_mut(), &exec, tasklets, false, policy, len)
+        let engine = self.engine();
+        launch_resilient_on(self.system_mut(), &exec, tasklets, false, engine, policy, len)
             .map(|(rep, _)| rep)
     }
 
@@ -479,7 +495,8 @@ impl DpuSet {
     ) -> Result<(LaunchReport, Vec<TraceBuffer>)> {
         let exec = ExecProgram::compile(program)?;
         let len = self.resilient_snapshot_len();
-        launch_resilient_on(self.system_mut(), &exec, tasklets, true, policy, len)
+        let engine = self.engine();
+        launch_resilient_on(self.system_mut(), &exec, tasklets, true, engine, policy, len)
     }
 
     /// Fault-tolerant launch of the program installed with
@@ -495,12 +512,13 @@ impl DpuSet {
         policy: &ResilientLaunchPolicy,
     ) -> Result<LaunchReport> {
         let len = self.resilient_snapshot_len();
+        let engine = self.engine();
         let (system, loaded) = self.system_and_loaded();
         let exec = loaded.ok_or(HostError::Symbol {
             name: "<program>".to_owned(),
             problem: "no program loaded; call DpuSet::load first",
         })?;
-        launch_resilient_on(system, exec, tasklets, false, policy, len).map(|(rep, _)| rep)
+        launch_resilient_on(system, exec, tasklets, false, engine, policy, len).map(|(rep, _)| rep)
     }
 
     /// [`DpuSet::launch_loaded_resilient`] with per-DPU tracing.
@@ -513,12 +531,13 @@ impl DpuSet {
         policy: &ResilientLaunchPolicy,
     ) -> Result<(LaunchReport, Vec<TraceBuffer>)> {
         let len = self.resilient_snapshot_len();
+        let engine = self.engine();
         let (system, loaded) = self.system_and_loaded();
         let exec = loaded.ok_or(HostError::Symbol {
             name: "<program>".to_owned(),
             problem: "no program loaded; call DpuSet::load first",
         })?;
-        launch_resilient_on(system, exec, tasklets, true, policy, len)
+        launch_resilient_on(system, exec, tasklets, true, engine, policy, len)
     }
 }
 

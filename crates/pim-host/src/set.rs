@@ -9,7 +9,7 @@
 
 use crate::error::{HostError, Result};
 use crate::symbol::{Symbol, SymbolTable};
-use dpu_sim::{DpuId, DpuParams, ExecProgram, PimSystem};
+use dpu_sim::{DpuId, DpuParams, Engine, ExecProgram, PimSystem};
 use pim_trace::{HostDirection, TraceBuffer, TraceEvent, TraceSink};
 
 /// A host-allocated set of DPUs with a shared symbol table.
@@ -18,6 +18,7 @@ pub struct DpuSet {
     system: PimSystem,
     symbols: SymbolTable,
     loaded: Option<ExecProgram>,
+    engine: Option<Engine>,
     xfer_stats: std::collections::BTreeMap<String, TransferStats>,
     // `RefCell` because gather paths (`copy_from_dpu`) take `&self`; host
     // transfers are strictly host-thread-sequential, so no contention.
@@ -64,6 +65,7 @@ impl DpuSet {
             system: PimSystem::new(n, params),
             symbols: SymbolTable::new(),
             loaded: None,
+            engine: None,
             xfer_stats: std::collections::BTreeMap::new(),
             host_trace: None,
         })
@@ -185,6 +187,20 @@ impl DpuSet {
     #[must_use]
     pub fn loaded_program(&self) -> Option<&dpu_sim::Program> {
         self.loaded.as_ref().map(ExecProgram::source)
+    }
+
+    /// Pin the execution engine every launch from this set uses
+    /// (`None` restores the ambient default, which honors the
+    /// `PIM_SIM_ENGINE` environment override — see
+    /// [`Engine::effective`]).
+    pub fn set_engine(&mut self, engine: Option<Engine>) {
+        self.engine = engine;
+    }
+
+    /// The engine pinned by [`DpuSet::set_engine`], if any.
+    #[must_use]
+    pub fn engine(&self) -> Option<Engine> {
+        self.engine
     }
 
     fn check_dpu(&self, dpu: DpuId) -> Result<()> {

@@ -245,6 +245,30 @@ pub fn run_tier1_layer_traced(
     tier1_layer_impl(dims, alpha, a, b, tasklets, true)
 }
 
+/// [`run_tier1_layer`] with the execution engine tier pinned instead of
+/// the ambient selection — the hook the cross-tier identity tests use to
+/// prove the tier cannot be observed from the host side.
+///
+/// # Errors
+/// Host-runtime failures.
+///
+/// # Panics
+/// See [`run_tier1_layer`].
+pub fn run_tier1_layer_with_engine(
+    dims: GemmDims,
+    alpha: i32,
+    a: &[i16],
+    b: &[i16],
+    tasklets: usize,
+    engine: dpu_sim::Engine,
+) -> Result<(Vec<i16>, LaunchResult), HostError> {
+    let mut set = tier1_layer_stage(dims, alpha, a, b, tasklets, false)?;
+    set.set_engine(Some(engine));
+    let launch = set.launch_loaded(tasklets)?;
+    let c = gather_c(&set, dims)?;
+    Ok((c, launch))
+}
+
 fn tier1_layer_stage(
     dims: GemmDims,
     alpha: i32,

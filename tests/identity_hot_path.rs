@@ -80,6 +80,29 @@ fn yolo_tier1_layer_is_bit_identical_to_seed() {
     assert_eq!(prints, vec![(1_763, 968, 264_648); 6], "trace buffers drifted");
 }
 
+/// Every engine tier pinned through the host API (`DpuSet::set_engine`)
+/// reproduces the identical launch: the golden YOLO layer figures cannot
+/// depend on whether the reference loop, the superblock engine, or the
+/// compiled threaded-code tier retired the instructions.
+#[test]
+fn pinned_engine_tiers_reproduce_identical_launches() {
+    use dpu_sim::Engine;
+
+    let dims = GemmDims { m: 6, n: 24, k: 18 };
+    let a: Vec<i16> = (0..dims.m * dims.k).map(|i| ((i * 7 % 13) as i16) - 6).collect();
+    let b: Vec<i16> = (0..dims.k * dims.n).map(|i| ((i * 5 % 11) as i16) - 5).collect();
+    let mut runs = Vec::new();
+    for engine in [Engine::Reference, Engine::Superblock, Engine::Compiled] {
+        let (c, launch) =
+            yolo_pim::codegen::run_tier1_layer_with_engine(dims, 1, &a, &b, 3, engine)
+                .expect("tiered run");
+        let cycles: Vec<u64> = launch.per_dpu.iter().map(|r| r.cycles).collect();
+        assert_eq!(cycles, vec![264_648; 6], "{engine:?} drifted from the golden figures");
+        runs.push((c, launch));
+    }
+    assert!(runs.windows(2).all(|w| w[0] == w[1]), "tiers disagree");
+}
+
 /// The fault-tolerant launch path with faults disabled must reproduce the
 /// same golden figures as the plain path: the retry/quarantine machinery
 /// (snapshots, arming, watchdog) must be completely inert on the zero-fault
