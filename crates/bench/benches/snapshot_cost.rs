@@ -1,0 +1,81 @@
+//! Snapshot cost: COW page-table capture/restore vs the deep 64 MiB copy
+//! the resilient retry path used to pay.
+//!
+//! A resilient launch snapshots every DPU's MRAM before the first faulty
+//! attempt. Pre-arena that was a 64 MiB `Vec` clone per DPU per launch;
+//! with the COW arena it is O(resident pages) — cloning a page table of
+//! `Arc`s. This bench records both and asserts the COW path is at least
+//! 100x faster on a typically-sparse image (a few dirty pages out of
+//! 1,024), making the satellite's "drops measurably" claim a gate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use dpu_sim::{CowMemory, MRAM_PAGE_BYTES};
+use std::time::Instant;
+
+const MRAM_BYTES: usize = 64 * 1024 * 1024;
+
+/// An MRAM image with `dirty` touched pages — the shape a real kernel
+/// leaves behind (inputs + outputs, not the whole 64 MiB).
+fn sparse_mram(dirty: usize) -> CowMemory {
+    let mut m = CowMemory::new("MRAM", MRAM_BYTES);
+    let page = vec![0xA5u8; 64];
+    for p in 0..dirty {
+        m.write(p * MRAM_PAGE_BYTES, &page).expect("write");
+    }
+    m
+}
+
+fn min_time(n: usize, mut f: impl FnMut()) -> std::time::Duration {
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..n {
+        let start = Instant::now();
+        f();
+        best = best.min(start.elapsed());
+    }
+    best
+}
+
+fn bench_snapshot_cost(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot_cost");
+    g.sample_size(10);
+
+    let m = sparse_mram(8);
+    g.bench_function("cow_snapshot_8_dirty_pages", |b| {
+        b.iter(|| black_box(m.snapshot()));
+    });
+    g.bench_function("cow_snapshot_restore_round_trip", |b| {
+        let mut live = sparse_mram(8);
+        let snap = live.snapshot();
+        b.iter(|| {
+            live.write(0, &[1u8; 64]).expect("dirty");
+            live.restore(black_box(&snap)).expect("restore");
+        });
+    });
+    g.bench_function("deep_copy_64mib_baseline", |b| {
+        let dense = vec![0xA5u8; MRAM_BYTES];
+        b.iter(|| black_box(dense.clone()));
+    });
+    g.finish();
+
+    // The gate: COW capture must beat the deep copy by >= 100x on a
+    // sparse image. (In practice it is thousands of times faster — a
+    // page-table clone vs a 64 MiB memcpy + allocation.)
+    let cow = min_time(50, || {
+        black_box(m.snapshot());
+    });
+    let dense_src = vec![0xA5u8; MRAM_BYTES];
+    let deep = min_time(10, || {
+        black_box(dense_src.clone());
+    });
+    eprintln!(
+        "snapshot_cost: cow {cow:?} vs deep-copy {deep:?} ({:.0}x)",
+        deep.as_secs_f64() / cow.as_secs_f64().max(1e-9)
+    );
+    assert!(
+        cow.as_secs_f64() * 100.0 <= deep.as_secs_f64(),
+        "COW snapshot ({cow:?}) must be >= 100x faster than a 64 MiB deep copy ({deep:?})"
+    );
+}
+
+criterion_group!(benches, bench_snapshot_cost);
+criterion_main!(benches);

@@ -15,7 +15,8 @@
 //! * float leaves (gauges, histogram sums/quantiles) must stay within
 //!   `--tolerance` relative error (default 2%), absorbing benign
 //!   float-summation reassociation;
-//! * keys under `obs.steal.` are ignored (host-scheduling dependent);
+//! * keys under `obs.steal.` and `obs.pool.` are ignored
+//!   (host-scheduling dependent);
 //! * added or removed keys fail the gate, so intentional metric changes
 //!   are re-blessed explicitly with `--write-baseline`.
 //!
@@ -29,7 +30,7 @@ const DEFAULT_TOLERANCE: f64 = 0.02;
 
 /// Key fragments whose leaves are host-scheduling dependent and never
 /// gated.
-const IGNORED_FRAGMENTS: &[&str] = &["obs.steal."];
+const IGNORED_FRAGMENTS: &[&str] = &["obs.steal.", "obs.pool."];
 
 #[derive(Debug, PartialEq)]
 enum Leaf {

@@ -471,6 +471,29 @@ mod perf_snapshot {
         median(&mut samples)
     }
 
+    /// Uniform per-DPU work at arbitrary scale: every DPU runs the same
+    /// count, so instructions-per-host-second at 32 vs 2,560 DPUs measures
+    /// how close the persistent rank-sharded pool stays to linear scaling
+    /// (the launch overhead and the COW arena are what could break it).
+    fn bench_uniform_launch(dpus: usize, n: usize) -> (u128, u64) {
+        let program = skewed_program();
+        let count: u64 = 4_000;
+        let mut samples: Vec<Sample> = (0..n)
+            .map(|_| {
+                let mut set = DpuSet::allocate(dpus).expect("alloc");
+                set.define_symbol("n", 8).expect("symbol");
+                set.copy_to("n", 0, &count.to_le_bytes()).expect("broadcast");
+                let start = Instant::now();
+                let res = set.launch(&program, 1).expect("launch");
+                Sample {
+                    wall_ns: start.elapsed().as_nanos(),
+                    instructions: res.total_instructions(),
+                }
+            })
+            .collect();
+        median(&mut samples)
+    }
+
     fn bench_skewed_launch(dpus: usize, n: usize) -> (u128, u64) {
         let program = skewed_program();
         let mut samples: Vec<Sample> = (0..n)
@@ -534,6 +557,11 @@ mod perf_snapshot {
             ),
             ("interpreter/sync_heavy_16t", bench_interpreter(&sync_heavy_program(), 16, samples)),
             ("multi_dpu/skewed_32", bench_skewed_launch(32, samples)),
+            ("multi_dpu/uniform_32", bench_uniform_launch(32, samples)),
+            // The paper's full machine: 40 ranks of 64 DPUs through the
+            // persistent pool. Compare instructions_per_sec against
+            // uniform_32 for the scaling ratio (target ≥ 0.8× ideal).
+            ("multi_dpu/rank_2560", bench_uniform_launch(2560, samples)),
         ];
         let mut benches: Vec<(String, serde_json::Value)> = Vec::new();
         for (name, (ns, instructions)) in &scenarios {

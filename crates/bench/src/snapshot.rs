@@ -104,6 +104,16 @@ pub fn observation() -> LaunchObservation {
     let r = skewed.launch(&skewed_program(), 4).expect("skewed launch");
     obs.record(&r);
 
+    // The paper's full machine: a uniform 2,560-DPU / 40-rank launch
+    // through the persistent pool. Light per-DPU work — the gate watches
+    // the simulated figures (instructions, cycles, DMA), which must stay
+    // bit-stable at rank scale; wall-clock scaling lives in BENCH_5.json.
+    let mut rank = DpuSet::allocate(2560).expect("alloc");
+    rank.define_symbol("n", 8).expect("symbol");
+    rank.copy_to("n", 0, &200u64.to_le_bytes()).expect("broadcast");
+    let r = rank.launch(&skewed_program(), 4).expect("rank launch");
+    obs.record(&r);
+
     // A scripted fault campaign: DPU 1 permanently offline, no retries,
     // work re-dispatched to a survivor.
     let mut faulty = skewed_set(4);

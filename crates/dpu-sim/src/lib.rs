@@ -61,10 +61,10 @@ pub use error::{Error, Result};
 pub use exec::ExecProgram;
 pub use faults::{AttemptFaults, FaultConfig, FaultKind, FaultPlan, InjectedFault};
 pub use isa::{Instr, Program, Reg};
-pub use machine::{Engine, Machine, RunResult};
-pub use memory::{DmaEngine, Mram, Wram};
+pub use machine::{Engine, Machine, MachineSnapshot, RunResult};
+pub use memory::{CowMemory, DmaEngine, MemorySnapshot, Mram, Wram, MRAM_PAGE_BYTES};
 pub use params::DpuParams;
 pub use pipeline::Pipeline;
 pub use profiler::{BlockCycles, CycleAttribution, Profiler, SubroutineCycles};
 pub use subroutines::Subroutine;
-pub use system::{DpuId, PimSystem, Rank};
+pub use system::{DpuId, MramResidency, PimSystem, Rank};

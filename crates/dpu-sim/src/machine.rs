@@ -177,6 +177,31 @@ pub struct Machine {
     faults: Option<AttemptFaults>,
 }
 
+/// Full architectural state of one DPU, captured by [`Machine::snapshot`].
+///
+/// MRAM is held as an O(pages) copy-on-write snapshot
+/// ([`crate::MemorySnapshot`]); WRAM, the DMA statistics and the perf
+/// counter are small and copied outright. Restoring one of these onto its
+/// machine and re-running the same program reproduces the original run
+/// bit-for-bit — the unit of deterministic replay.
+#[derive(Debug, Clone)]
+pub struct MachineSnapshot {
+    wram: Wram,
+    mram: crate::MemorySnapshot,
+    dma: DmaEngine,
+    perf: PerfCounter,
+}
+
+impl MachineSnapshot {
+    /// Materialized MRAM pages this snapshot pins (shared pages count
+    /// here once per snapshot; system-wide deduplication is
+    /// [`crate::PimSystem::mram_residency`]'s job).
+    #[must_use]
+    pub fn mram_resident_pages(&self) -> usize {
+        self.mram.resident_pages()
+    }
+}
+
 impl Default for Machine {
     fn default() -> Self {
         Self::new(DpuParams::default())
@@ -212,6 +237,48 @@ impl Machine {
     /// what fired (if anything was armed).
     pub fn disarm_faults(&mut self) -> Option<AttemptFaults> {
         self.faults.take()
+    }
+
+    /// Capture the machine's full architectural state. WRAM is copied
+    /// (64 KiB dense); MRAM costs O(pages) thanks to copy-on-write
+    /// ([`crate::CowMemory::snapshot`]); DMA statistics and the perf
+    /// counter ride along so a restored machine replays bit-identically.
+    ///
+    /// Armed faults are *not* captured: they are per-attempt transients
+    /// armed by the host around each run.
+    #[must_use]
+    pub fn snapshot(&self) -> MachineSnapshot {
+        MachineSnapshot {
+            wram: self.wram.clone(),
+            mram: self.mram.snapshot(),
+            dma: self.dma,
+            perf: self.perf,
+        }
+    }
+
+    /// Restore the state captured by [`Machine::snapshot`]. Re-running the
+    /// same program (and, for resilient launches, the same fault seed)
+    /// from a restored snapshot reproduces results, cycle counts and
+    /// traces exactly. Clears any armed faults.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when the snapshot came from a machine with
+    /// different memory capacities.
+    pub fn restore(&mut self, snap: &MachineSnapshot) -> Result<()> {
+        if snap.wram.len() != self.wram.len() {
+            return Err(Error::OutOfBounds {
+                kind: "WRAM",
+                addr: 0,
+                len: snap.wram.len(),
+                size: self.wram.len(),
+            });
+        }
+        self.mram.restore(&snap.mram)?;
+        self.wram.clone_from(&snap.wram);
+        self.dma = snap.dma;
+        self.perf = snap.perf;
+        self.faults = None;
+        Ok(())
     }
 
     /// Run `program` on `tasklets` hardware threads until all halt.
@@ -2722,9 +2789,8 @@ mod fault_injection_tests {
         let downgraded = armed.run_exec_engine(&exec, 3, Engine::Compiled).unwrap();
         assert_eq!(unarmed, downgraded);
         let wram = plain.params.wram_bytes;
-        let mram = plain.params.mram_bytes;
         assert_eq!(plain.wram.slice(0, wram).unwrap(), armed.wram.slice(0, wram).unwrap());
-        assert_eq!(plain.mram.slice(0, mram).unwrap(), armed.mram.slice(0, mram).unwrap());
+        assert_eq!(plain.mram, armed.mram);
     }
 
     #[test]

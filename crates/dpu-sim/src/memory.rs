@@ -1,19 +1,39 @@
 //! The three DPU memories and the MRAM DMA engine.
 //!
 //! * **WRAM** — 64 KiB working RAM inside the core; loads and stores cost a
-//!   single cycle (one pipeline slot).
+//!   single cycle (one pipeline slot). Dense storage ([`LinearMemory`]).
 //! * **IRAM** — 24 KiB instruction RAM; the simulator stores the decoded
 //!   [`crate::isa::Program`] and only checks the byte footprint.
 //! * **MRAM** — 64 MiB DRAM bank outside the core; reachable exclusively via
 //!   the DMA engine, which costs `25 + bytes/2` cycles per transfer
-//!   (Eq. 3.4 of the paper).
+//!   (Eq. 3.4 of the paper). Backed by [`CowMemory`]: 64 KiB copy-on-write
+//!   pages, so a 2,560-DPU system does not materialize 2,560 × 64 MiB.
+//!
+//! ## The MRAM arena
+//!
+//! A real rank's worth of MRAM (40 ranks × 64 DPUs × 64 MiB = 160 GiB)
+//! cannot live as dense `Vec<u8>`s. [`CowMemory`] stores MRAM as a page
+//! table of `Option<Arc<Vec<u8>>>`:
+//!
+//! * `None` is the **zero page** — untouched regions cost nothing and read
+//!   as zeros, exactly like the dense representation after allocation;
+//! * broadcast transfers install **one shared page** into every DPU of a
+//!   set (weight/LUT images are stored once per system, not per DPU);
+//! * writes go through [`Arc::make_mut`]: a page shared with a broadcast,
+//!   a snapshot, or another DPU is copied the first time one owner writes
+//!   it — O(dirty pages) isolation with no explicit bookkeeping;
+//! * [`CowMemory::snapshot`] / [`CowMemory::restore`] clone the page
+//!   *table* (pointer bumps), making whole-MRAM snapshots O(pages) instead
+//!   of O(capacity) — the resilient retry path leans on this.
 
 use crate::error::{Error, Result};
 use crate::params;
+use std::sync::Arc;
 
 /// Byte-addressed little-endian memory with bounds checking.
 ///
-/// Shared implementation behind [`Wram`] and [`Mram`].
+/// Dense storage used for WRAM (always fully resident, hot in the
+/// interpreter loop).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LinearMemory {
     kind: &'static str,
@@ -135,11 +155,331 @@ impl LinearMemory {
         Ok(&self.data[addr..addr + len])
     }
 
+    /// Mutably borrow a byte range (the DMA engine lands MRAM reads
+    /// directly in WRAM through this, with no intermediate buffer).
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when the range exceeds capacity.
+    pub fn slice_mut(&mut self, addr: usize, len: usize) -> Result<&mut [u8]> {
+        self.check(addr, len)?;
+        Ok(&mut self.data[addr..addr + len])
+    }
+
     /// Zero the whole memory.
     pub fn clear(&mut self) {
         self.data.fill(0);
     }
 }
+
+/// Page size of the copy-on-write MRAM arena.
+///
+/// 64 KiB balances sharing granularity against page-table size: a 64 MiB
+/// MRAM is 1,024 table entries (8 KiB per DPU at `Option<Arc>` niche
+/// size), and one broadcast weight image spans whole pages after the
+/// first, so rank-wide broadcasts share all but the boundary pages.
+pub const MRAM_PAGE_BYTES: usize = 64 * 1024;
+
+/// Byte-addressed little-endian memory backed by chunked copy-on-write
+/// pages.
+///
+/// Reads treat unmaterialized pages as zeros; writes materialize (or
+/// privatize, via [`Arc::make_mut`]) only the touched pages. Cloning —
+/// and [`CowMemory::snapshot`] — copies the page table, not the data, so
+/// both cost O(pages) and subsequent writes on either side un-share
+/// pages lazily.
+#[derive(Debug, Clone)]
+pub struct CowMemory {
+    kind: &'static str,
+    len: usize,
+    pages: Vec<Option<Arc<Vec<u8>>>>,
+}
+
+/// O(pages) image of a [`CowMemory`] taken by [`CowMemory::snapshot`].
+///
+/// Holds the snapshotted pages alive by reference count; the live memory
+/// copies-on-write away from them, so a snapshot stays bit-exact no
+/// matter what happens to the memory afterwards.
+#[derive(Debug, Clone)]
+pub struct MemorySnapshot {
+    len: usize,
+    pages: Vec<Option<Arc<Vec<u8>>>>,
+}
+
+impl MemorySnapshot {
+    /// Capacity of the snapshotted memory in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the snapshotted memory had zero capacity.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Materialized pages the snapshot pins (the rest are zero pages).
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+}
+
+impl CowMemory {
+    /// Create a zeroed memory of `size` bytes labelled `kind` for error
+    /// messages. Nothing is materialized: a fresh 64 MiB MRAM costs one
+    /// page-table allocation.
+    #[must_use]
+    pub fn new(kind: &'static str, size: usize) -> Self {
+        Self { kind, len: size, pages: vec![None; size.div_ceil(MRAM_PAGE_BYTES)] }
+    }
+
+    /// Capacity in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the capacity is zero.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of pages in the page table.
+    #[must_use]
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Byte length of page `page` (the last page of a non-multiple
+    /// capacity is short).
+    fn page_len(&self, page: usize) -> usize {
+        MRAM_PAGE_BYTES.min(self.len - page * MRAM_PAGE_BYTES)
+    }
+
+    /// Bounds-check a byte range without touching it.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when the range exceeds capacity.
+    pub fn check_range(&self, addr: usize, len: usize) -> Result<()> {
+        if addr.checked_add(len).is_none_or(|end| end > self.len) {
+            return Err(Error::OutOfBounds { kind: self.kind, addr, len, size: self.len });
+        }
+        Ok(())
+    }
+
+    /// Materialize (and privatize) page `page` for writing.
+    fn page_mut(&mut self, page: usize) -> &mut Vec<u8> {
+        let len = self.page_len(page);
+        let slot = &mut self.pages[page];
+        Arc::make_mut(slot.get_or_insert_with(|| Arc::new(vec![0u8; len])))
+    }
+
+    /// Read `buf.len()` bytes starting at `addr`. Zero pages read as
+    /// zeros.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when the range exceeds capacity.
+    pub fn read(&self, addr: usize, buf: &mut [u8]) -> Result<()> {
+        self.check_range(addr, buf.len())?;
+        let mut done = 0;
+        while done < buf.len() {
+            let at = addr + done;
+            let (page, off) = (at / MRAM_PAGE_BYTES, at % MRAM_PAGE_BYTES);
+            let take = (self.page_len(page) - off).min(buf.len() - done);
+            match &self.pages[page] {
+                Some(data) => buf[done..done + take].copy_from_slice(&data[off..off + take]),
+                None => buf[done..done + take].fill(0),
+            }
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// Write `buf` starting at `addr`, materializing or privatizing the
+    /// touched pages.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when the range exceeds capacity.
+    pub fn write(&mut self, addr: usize, buf: &[u8]) -> Result<()> {
+        self.check_range(addr, buf.len())?;
+        let mut done = 0;
+        while done < buf.len() {
+            let at = addr + done;
+            let (page, off) = (at / MRAM_PAGE_BYTES, at % MRAM_PAGE_BYTES);
+            let take = (self.page_len(page) - off).min(buf.len() - done);
+            self.page_mut(page)[off..off + take].copy_from_slice(&buf[done..done + take]);
+            done += take;
+        }
+        Ok(())
+    }
+
+    /// Copy a byte range out into a fresh vector (the paged replacement
+    /// for `slice().to_vec()` — pages are not contiguous, so there is no
+    /// borrowed whole-range view).
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when the range exceeds capacity.
+    pub fn to_vec(&self, addr: usize, len: usize) -> Result<Vec<u8>> {
+        let mut buf = vec![0u8; len];
+        self.read(addr, &mut buf)?;
+        Ok(buf)
+    }
+
+    /// Read one byte, zero-extended.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when out of range.
+    pub fn read_u8(&self, addr: usize) -> Result<u32> {
+        self.check_range(addr, 1)?;
+        Ok(match &self.pages[addr / MRAM_PAGE_BYTES] {
+            Some(data) => u32::from(data[addr % MRAM_PAGE_BYTES]),
+            None => 0,
+        })
+    }
+
+    /// Read a little-endian halfword, zero-extended.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when out of range.
+    pub fn read_u16(&self, addr: usize) -> Result<u32> {
+        let mut b = [0u8; 2];
+        self.read(addr, &mut b)?;
+        Ok(u32::from(u16::from_le_bytes(b)))
+    }
+
+    /// Read a little-endian word.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when out of range.
+    pub fn read_u32(&self, addr: usize) -> Result<u32> {
+        let mut b = [0u8; 4];
+        self.read(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Write one byte (low 8 bits of `val`).
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when out of range.
+    pub fn write_u8(&mut self, addr: usize, val: u32) -> Result<()> {
+        self.check_range(addr, 1)?;
+        let off = addr % MRAM_PAGE_BYTES;
+        self.page_mut(addr / MRAM_PAGE_BYTES)[off] = val as u8;
+        Ok(())
+    }
+
+    /// Write a little-endian halfword (low 16 bits of `val`).
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when out of range.
+    pub fn write_u16(&mut self, addr: usize, val: u32) -> Result<()> {
+        self.write(addr, &(val as u16).to_le_bytes())
+    }
+
+    /// Write a little-endian word.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when out of range.
+    pub fn write_u32(&mut self, addr: usize, val: u32) -> Result<()> {
+        self.write(addr, &val.to_le_bytes())
+    }
+
+    /// Zero the whole memory by dropping every page back to the zero
+    /// page — O(pages), and frees (or un-shares) the storage.
+    pub fn clear(&mut self) {
+        self.pages.fill(None);
+    }
+
+    /// Take an O(pages) snapshot: clones the page table, bumping each
+    /// materialized page's reference count. Writes after the snapshot
+    /// copy-on-write away from it.
+    #[must_use]
+    pub fn snapshot(&self) -> MemorySnapshot {
+        MemorySnapshot { len: self.len, pages: self.pages.clone() }
+    }
+
+    /// Restore the exact image captured by [`CowMemory::snapshot`] —
+    /// O(pages) pointer assignments, regardless of how much was written
+    /// since.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when the snapshot came from a memory of a
+    /// different capacity.
+    pub fn restore(&mut self, snap: &MemorySnapshot) -> Result<()> {
+        if snap.len != self.len {
+            return Err(Error::OutOfBounds {
+                kind: self.kind,
+                addr: 0,
+                len: snap.len,
+                size: self.len,
+            });
+        }
+        self.pages.clone_from(&snap.pages);
+        Ok(())
+    }
+
+    /// Install `data` as page `page`, sharing it by reference.
+    ///
+    /// This is the broadcast fast path: the host builds one page and
+    /// installs it into every DPU of a set, so a rank-wide weight image
+    /// is stored once. A later write through any DPU privatizes only that
+    /// DPU's copy.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when `page` is outside the table or `data`
+    /// is not exactly the page's length.
+    pub fn install_page(&mut self, page: usize, data: &Arc<Vec<u8>>) -> Result<()> {
+        if page >= self.pages.len() || data.len() != self.page_len(page) {
+            return Err(Error::OutOfBounds {
+                kind: self.kind,
+                addr: page * MRAM_PAGE_BYTES,
+                len: data.len(),
+                size: self.len,
+            });
+        }
+        self.pages[page] = Some(Arc::clone(data));
+        Ok(())
+    }
+
+    /// Materialized pages (zero pages cost nothing).
+    #[must_use]
+    pub fn resident_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Bytes of materialized page storage reachable from this memory,
+    /// counting shared pages at full size (see
+    /// [`crate::PimSystem::mram_residency`] for the deduplicated
+    /// system-wide figure).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.pages.iter().flatten().map(|p| p.len()).sum()
+    }
+
+    /// Stable identities of the materialized pages (the page storage's
+    /// address), for deduplicated accounting across DPUs that share
+    /// broadcast or snapshot pages.
+    pub fn page_ids(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.pages.iter().flatten().map(|p| (std::sync::Arc::as_ptr(p) as usize, p.len()))
+    }
+}
+
+/// Logical content equality: a zero page equals a materialized page of
+/// zeros, and shared pages short-circuit by pointer.
+impl PartialEq for CowMemory {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len
+            && self.pages.iter().zip(&other.pages).all(|(a, b)| match (a, b) {
+                (None, None) => true,
+                (Some(x), Some(y)) => Arc::ptr_eq(x, y) || x == y,
+                (Some(x), None) | (None, Some(x)) => x.iter().all(|&byte| byte == 0),
+            })
+    }
+}
+
+impl Eq for CowMemory {}
 
 /// 64 KiB working RAM (single-cycle access from the pipeline).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -173,15 +513,16 @@ impl std::ops::DerefMut for Wram {
 }
 
 /// 64 MiB main RAM, reachable only via [`DmaEngine`] from the DPU side and
-/// via host transfers from the CPU side.
+/// via host transfers from the CPU side. Paged copy-on-write storage —
+/// see [`CowMemory`].
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Mram(pub LinearMemory);
+pub struct Mram(pub CowMemory);
 
 impl Mram {
     /// An MRAM of the given capacity.
     #[must_use]
     pub fn new(bytes: usize) -> Self {
-        Self(LinearMemory::new("MRAM", bytes))
+        Self(CowMemory::new("MRAM", bytes))
     }
 }
 
@@ -192,7 +533,7 @@ impl Default for Mram {
 }
 
 impl std::ops::Deref for Mram {
-    type Target = LinearMemory;
+    type Target = CowMemory;
     fn deref(&self) -> &Self::Target {
         &self.0
     }
@@ -243,7 +584,8 @@ impl DmaEngine {
         self.setup_cycles + (bytes as u64).div_ceil(self.bytes_per_cycle)
     }
 
-    /// Move `len` bytes MRAM→WRAM, returning the cycle cost.
+    /// Move `len` bytes MRAM→WRAM, returning the cycle cost. The bytes
+    /// land directly in the WRAM slice — no intermediate buffer.
     ///
     /// # Errors
     /// [`Error::DmaTooLarge`] beyond the transfer limit, or
@@ -257,12 +599,13 @@ impl DmaEngine {
         len: usize,
     ) -> Result<u64> {
         self.check_len(len)?;
-        let src = mram.slice(mram_addr, len)?.to_vec();
-        wram.write(wram_addr, &src)?;
+        mram.check_range(mram_addr, len)?;
+        mram.read(mram_addr, wram.slice_mut(wram_addr, len)?)?;
         Ok(self.account(len))
     }
 
-    /// Move `len` bytes WRAM→MRAM, returning the cycle cost.
+    /// Move `len` bytes WRAM→MRAM, returning the cycle cost. The bytes
+    /// come straight out of the WRAM slice — no intermediate buffer.
     ///
     /// # Errors
     /// [`Error::DmaTooLarge`] beyond the transfer limit, or
@@ -276,8 +619,7 @@ impl DmaEngine {
         len: usize,
     ) -> Result<u64> {
         self.check_len(len)?;
-        let src = wram.slice(wram_addr, len)?.to_vec();
-        mram.write(mram_addr, &src)?;
+        mram.write(mram_addr, wram.slice(wram_addr, len)?)?;
         Ok(self.account(len))
     }
 
@@ -325,6 +667,19 @@ mod tests {
     }
 
     #[test]
+    fn cow_rw_round_trip_all_widths() {
+        let mut m = CowMemory::new("MRAM", MRAM_PAGE_BYTES * 2);
+        m.write_u32(0, 0xdead_beef).unwrap();
+        assert_eq!(m.read_u32(0).unwrap(), 0xdead_beef);
+        assert_eq!(m.read_u16(0).unwrap(), 0xbeef);
+        assert_eq!(m.read_u8(3).unwrap(), 0xde);
+        m.write_u16(8, 0x1234_5678).unwrap();
+        assert_eq!(m.read_u16(8).unwrap(), 0x5678);
+        m.write_u8(10, 0xAB).unwrap();
+        assert_eq!(m.read_u8(10).unwrap(), 0xAB);
+    }
+
+    #[test]
     fn bounds_are_enforced() {
         let m = LinearMemory::new("MRAM", 16);
         assert!(matches!(m.read_u32(13), Err(Error::OutOfBounds { .. })));
@@ -332,6 +687,137 @@ mod tests {
         let mut m2 = LinearMemory::new("MRAM", 16);
         assert!(m2.write(12, &[0; 8]).is_err());
         assert!(m2.write(12, &[0; 4]).is_ok());
+    }
+
+    #[test]
+    fn cow_bounds_are_enforced() {
+        let m = CowMemory::new("MRAM", 16);
+        assert!(matches!(m.read_u32(13), Err(Error::OutOfBounds { .. })));
+        assert!(matches!(m.read_u32(usize::MAX), Err(Error::OutOfBounds { .. })));
+        let mut m2 = CowMemory::new("MRAM", 16);
+        assert!(m2.write(12, &[0; 8]).is_err());
+        assert!(m2.write(12, &[0; 4]).is_ok());
+    }
+
+    #[test]
+    fn cow_zero_pages_read_as_zeros_without_materializing() {
+        let m = CowMemory::new("MRAM", params::MRAM_BYTES);
+        assert_eq!(m.resident_pages(), 0);
+        assert_eq!(m.read_u32(63 * 1024 * 1024).unwrap(), 0);
+        let mut buf = [7u8; 32];
+        m.read(params::MRAM_BYTES - 32, &mut buf).unwrap();
+        assert_eq!(buf, [0u8; 32]);
+        assert_eq!(m.resident_pages(), 0);
+        assert_eq!(m.resident_bytes(), 0);
+    }
+
+    #[test]
+    fn cow_writes_materialize_only_touched_pages() {
+        let mut m = CowMemory::new("MRAM", params::MRAM_BYTES);
+        m.write(3 * MRAM_PAGE_BYTES + 17, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.resident_pages(), 1);
+        assert_eq!(m.resident_bytes(), MRAM_PAGE_BYTES);
+        // Spanning a page boundary touches both pages.
+        m.write(MRAM_PAGE_BYTES - 2, &[9; 8]).unwrap();
+        assert_eq!(m.resident_pages(), 3);
+        assert_eq!(m.read_u8(MRAM_PAGE_BYTES - 1).unwrap(), 9);
+        assert_eq!(m.read_u8(MRAM_PAGE_BYTES + 5).unwrap(), 9);
+        assert_eq!(m.read_u8(MRAM_PAGE_BYTES + 6).unwrap(), 0);
+    }
+
+    #[test]
+    fn cow_cross_page_round_trip() {
+        let mut m = CowMemory::new("MRAM", MRAM_PAGE_BYTES * 3);
+        let data: Vec<u8> = (0..(MRAM_PAGE_BYTES + 100)).map(|i| (i % 251) as u8).collect();
+        m.write(MRAM_PAGE_BYTES - 50, &data).unwrap();
+        assert_eq!(m.to_vec(MRAM_PAGE_BYTES - 50, data.len()).unwrap(), data);
+    }
+
+    #[test]
+    fn cow_short_last_page() {
+        let mut m = CowMemory::new("MRAM", MRAM_PAGE_BYTES + 10);
+        m.write(MRAM_PAGE_BYTES + 2, &[5; 8]).unwrap();
+        assert_eq!(m.read_u8(MRAM_PAGE_BYTES + 9).unwrap(), 5);
+        assert!(m.write(MRAM_PAGE_BYTES + 3, &[5; 8]).is_err());
+        assert_eq!(m.resident_bytes(), 10);
+    }
+
+    #[test]
+    fn cow_snapshot_restores_exact_image_in_o_pages() {
+        let mut m = CowMemory::new("MRAM", MRAM_PAGE_BYTES * 4);
+        m.write(10, b"original").unwrap();
+        m.write(2 * MRAM_PAGE_BYTES, &[3; 64]).unwrap();
+        let before = m.to_vec(0, m.len()).unwrap();
+        let snap = m.snapshot();
+        assert_eq!(snap.resident_pages(), 2);
+        m.write(10, b"clobber!").unwrap();
+        m.write(3 * MRAM_PAGE_BYTES, &[8; 16]).unwrap();
+        m.restore(&snap).unwrap();
+        assert_eq!(m.to_vec(0, m.len()).unwrap(), before);
+        // Restoring did not rematerialize anything beyond the snapshot.
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn cow_snapshot_is_immune_to_later_writes() {
+        let mut m = CowMemory::new("MRAM", MRAM_PAGE_BYTES);
+        m.write(0, &[1; 8]).unwrap();
+        let snap = m.snapshot();
+        m.write(0, &[2; 8]).unwrap(); // must copy-on-write, not mutate the snapshot
+        m.restore(&snap).unwrap();
+        assert_eq!(m.to_vec(0, 8).unwrap(), vec![1; 8]);
+    }
+
+    #[test]
+    fn cow_restore_rejects_capacity_mismatch() {
+        let small = CowMemory::new("MRAM", 16);
+        let mut big = CowMemory::new("MRAM", 32);
+        assert!(big.restore(&small.snapshot()).is_err());
+    }
+
+    #[test]
+    fn cow_install_page_shares_storage_until_written() {
+        let page = Arc::new(vec![0xCD; MRAM_PAGE_BYTES]);
+        let mut a = CowMemory::new("MRAM", MRAM_PAGE_BYTES * 2);
+        let mut b = CowMemory::new("MRAM", MRAM_PAGE_BYTES * 2);
+        a.install_page(0, &page).unwrap();
+        b.install_page(0, &page).unwrap();
+        let a_ids: Vec<_> = a.page_ids().collect();
+        let b_ids: Vec<_> = b.page_ids().collect();
+        assert_eq!(a_ids, b_ids, "one storage backs both DPUs");
+        // Writing through one memory privatizes its copy only.
+        a.write_u8(5, 0x11).unwrap();
+        assert_eq!(a.read_u8(5).unwrap(), 0x11);
+        assert_eq!(b.read_u8(5).unwrap(), 0xCD);
+        assert_ne!(a.page_ids().next(), b.page_ids().next());
+        // Wrong-sized installs are rejected.
+        let short = Arc::new(vec![0u8; 100]);
+        assert!(a.install_page(1, &short).is_err());
+        assert!(a.install_page(7, &page).is_err());
+    }
+
+    #[test]
+    fn cow_logical_equality_ignores_representation() {
+        let mut a = CowMemory::new("MRAM", MRAM_PAGE_BYTES * 2);
+        let b = CowMemory::new("MRAM", MRAM_PAGE_BYTES * 2);
+        assert_eq!(a, b);
+        // A materialized page of zeros still equals the zero page.
+        a.write_u8(0, 7).unwrap();
+        a.write_u8(0, 0).unwrap();
+        assert_eq!(a.resident_pages(), 1);
+        assert_eq!(a, b);
+        a.write_u8(1, 1).unwrap();
+        assert_ne!(a, b);
+        assert_ne!(a, CowMemory::new("MRAM", MRAM_PAGE_BYTES));
+    }
+
+    #[test]
+    fn cow_clear_drops_to_zero_pages() {
+        let mut m = CowMemory::new("MRAM", MRAM_PAGE_BYTES * 2);
+        m.write(100, &[1; 64]).unwrap();
+        m.clear();
+        assert_eq!(m.resident_pages(), 0);
+        assert_eq!(m.read_u32(100).unwrap(), 0);
     }
 
     #[test]
@@ -364,7 +850,23 @@ mod tests {
         assert_eq!(wram.slice(0, 9).unwrap(), b"hello dpu");
         wram.write(16, b"back atcha").unwrap();
         dma.write(&mut mram, &wram, 200, 16, 10).unwrap();
-        assert_eq!(mram.slice(200, 10).unwrap(), b"back atcha");
+        assert_eq!(mram.to_vec(200, 10).unwrap(), b"back atcha");
+    }
+
+    #[test]
+    fn dma_bounds_report_the_failing_memory() {
+        let mut dma = DmaEngine::default();
+        let mut mram = Mram::new(64);
+        let mut wram = Wram::new(64);
+        // MRAM range bad: the error names MRAM even though WRAM is fine.
+        let err = dma.read(&mram, &mut wram, 60, 0, 16).unwrap_err();
+        assert!(matches!(err, Error::OutOfBounds { kind: "MRAM", .. }));
+        // WRAM range bad on a read.
+        let err = dma.read(&mram, &mut wram, 0, 60, 16).unwrap_err();
+        assert!(matches!(err, Error::OutOfBounds { kind: "WRAM", .. }));
+        // WRAM range bad on a write.
+        let err = dma.write(&mut mram, &wram, 0, 60, 16).unwrap_err();
+        assert!(matches!(err, Error::OutOfBounds { kind: "WRAM", .. }));
     }
 
     #[test]

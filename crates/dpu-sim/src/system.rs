@@ -53,16 +53,45 @@ pub struct Rank {
 
 /// A simulated multi-DPU system.
 ///
-/// Instantiating all 2560 DPUs allocates 2560 MRAM images; for experiments
-/// the usual pattern is to allocate only the DPUs a workload needs
-/// ([`PimSystem::new`] with a small count) and scale analytically — the
-/// DPUs are fully independent, which is exactly the property the paper's
+/// Instantiating all 2560 DPUs is cheap: MRAM is copy-on-write paged
+/// ([`crate::CowMemory`]), so an untouched DPU costs a page table, not
+/// 64 MiB, and broadcast images are stored once system-wide
+/// ([`PimSystem::mram_residency`] reports the real footprint). The DPUs
+/// are fully independent, which is exactly the property the paper's
 /// linear multi-DPU scaling rests on.
 #[derive(Debug)]
 pub struct PimSystem {
     /// Device parameters shared by all DPUs.
     pub params: DpuParams,
     dpus: Vec<Machine>,
+}
+
+/// MRAM arena accounting across a whole system — see
+/// [`PimSystem::mram_residency`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MramResidency {
+    /// Addressable MRAM across all DPUs (`n × 64 MiB`): what dense
+    /// storage would cost.
+    pub logical_bytes: usize,
+    /// Materialized pages summed per DPU (shared pages counted once per
+    /// DPU referencing them).
+    pub resident_pages: usize,
+    /// Bytes behind `resident_pages`.
+    pub resident_bytes: usize,
+    /// Distinct page storages (shared pages counted once) — the actual
+    /// heap footprint of the arena.
+    pub distinct_pages: usize,
+    /// Bytes behind `distinct_pages`.
+    pub distinct_bytes: usize,
+}
+
+impl MramResidency {
+    /// Bytes avoided by page sharing alone (broadcast images referenced
+    /// by many DPUs but stored once).
+    #[must_use]
+    pub fn shared_savings_bytes(&self) -> usize {
+        self.resident_bytes - self.distinct_bytes
+    }
 }
 
 impl PimSystem {
@@ -124,6 +153,35 @@ impl PimSystem {
                 dpus: per_rank.min(n - r * per_rank),
             })
             .collect()
+    }
+
+    /// Host-memory footprint of the system's MRAM arena.
+    ///
+    /// Walks every DPU's page table and deduplicates pages by storage
+    /// identity, so a weight image broadcast to 2,560 DPUs counts once —
+    /// the number that must stay bounded at rank scale.
+    #[must_use]
+    pub fn mram_residency(&self) -> MramResidency {
+        let mut distinct = std::collections::HashSet::new();
+        let mut resident_bytes = 0usize;
+        let mut resident_pages = 0usize;
+        let mut distinct_bytes = 0usize;
+        for dpu in &self.dpus {
+            for (id, len) in dpu.mram.page_ids() {
+                resident_pages += 1;
+                resident_bytes += len;
+                if distinct.insert(id) {
+                    distinct_bytes += len;
+                }
+            }
+        }
+        MramResidency {
+            logical_bytes: self.dpus.len() * self.params.mram_bytes,
+            resident_pages,
+            resident_bytes,
+            distinct_pages: distinct.len(),
+            distinct_bytes,
+        }
     }
 
     /// Aggregate power draw in watts (Table 2.1: 120 mW per DPU).

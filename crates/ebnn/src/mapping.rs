@@ -188,6 +188,7 @@ impl EbnnPipeline {
             dpu_seconds: self.params.cycles_to_seconds(makespan_cycles),
             host_seconds,
             profile,
+            mram_residency: set.system().mram_residency(),
         })
     }
 }
@@ -209,6 +210,10 @@ pub struct InferenceReport {
     pub host_seconds: f64,
     /// Merged subroutine profile across all DPUs.
     pub profile: Profiler,
+    /// COW MRAM arena accounting at gather time: what the batch actually
+    /// cost in host memory (broadcast LUT pages stored once) vs the dense
+    /// `dpus × 64 MiB` it addresses.
+    pub mram_residency: dpu_sim::MramResidency,
 }
 
 impl InferenceReport {
@@ -281,6 +286,10 @@ mod tests {
         assert_eq!(rep.per_dpu.len(), 2);
         // Second DPU has fewer images, so it finishes no later.
         assert!(rep.per_dpu[1].cycles <= rep.per_dpu[0].cycles);
+        // The COW arena stores only touched pages, not 2 x 64 MiB.
+        let res = rep.mram_residency;
+        assert_eq!(res.logical_bytes, 2 * 64 * 1024 * 1024);
+        assert!(res.resident_bytes < res.logical_bytes / 100);
     }
 
     #[test]

@@ -59,6 +59,13 @@ pub enum HostError {
         /// The panic payload, when it carried a message.
         detail: String,
     },
+    /// A snapshot was restored onto a set or rank of a different shape.
+    SnapshotMismatch {
+        /// DPUs in the restoring set.
+        expected: usize,
+        /// DPUs the snapshot captured.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for HostError {
@@ -84,6 +91,9 @@ impl fmt::Display for HostError {
             }
             HostError::WorkerPanic { detail } => {
                 write!(f, "simulation worker thread panicked: {detail}")
+            }
+            HostError::SnapshotMismatch { expected, actual } => {
+                write!(f, "snapshot captured {actual} DPUs but the target holds {expected}")
             }
         }
     }
@@ -153,6 +163,7 @@ mod tests {
                 HostError::WorkerPanic { detail: "index out of bounds".to_owned() },
                 &["panicked", "index out of bounds"],
             ),
+            (HostError::SnapshotMismatch { expected: 64, actual: 32 }, &["32", "64", "snapshot"]),
         ];
         for (err, needles) in cases {
             let shown = err.to_string();

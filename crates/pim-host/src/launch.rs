@@ -9,10 +9,10 @@
 //! DPU", §4.1.3) and a merged subroutine profile.
 
 use crate::error::{HostError, Result};
+use crate::pool::WorkerPool;
 use crate::set::DpuSet;
 use dpu_sim::{Engine, ExecProgram, PimSystem, Profiler, Program, RunResult};
 use pim_trace::{MetricsRegistry, TraceBuffer};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Results of one launch across a DPU set.
@@ -128,8 +128,8 @@ impl DpuSet {
     ) -> Result<(LaunchResult, Vec<TraceBuffer>)> {
         let exec = ExecProgram::compile(program)?;
         let engine = self.engine();
-        launch_on(self.system_mut(), &exec, tasklets, trace, engine)
-            .map(|(res, bufs, _)| (res, bufs))
+        let (system, _, sched) = self.launch_parts();
+        launch_on(system, &exec, tasklets, trace, engine, &sched).map(|(res, bufs, _)| (res, bufs))
     }
 }
 
@@ -145,12 +145,12 @@ impl DpuSet {
     /// [`DpuSet::launch`].
     pub fn launch_loaded(&mut self, tasklets: usize) -> Result<LaunchResult> {
         let engine = self.engine();
-        let (system, loaded) = self.system_and_loaded();
+        let (system, loaded, sched) = self.launch_parts();
         let exec = loaded.ok_or(HostError::Symbol {
             name: "<program>".to_owned(),
             problem: "no program loaded; call DpuSet::load first",
         })?;
-        launch_on(system, exec, tasklets, false, engine).map(|(res, _, _)| res)
+        launch_on(system, exec, tasklets, false, engine, &sched).map(|(res, _, _)| res)
     }
 
     /// [`DpuSet::launch_loaded`] with per-DPU tracing, as
@@ -164,18 +164,59 @@ impl DpuSet {
         tasklets: usize,
     ) -> Result<(LaunchResult, Vec<TraceBuffer>)> {
         let engine = self.engine();
-        let (system, loaded) = self.system_and_loaded();
+        let (system, loaded, sched) = self.launch_parts();
         let exec = loaded.ok_or(HostError::Symbol {
             name: "<program>".to_owned(),
             problem: "no program loaded; call DpuSet::load first",
         })?;
-        launch_on(system, exec, tasklets, true, engine).map(|(res, bufs, _)| (res, bufs))
+        launch_on(system, exec, tasklets, true, engine, &sched).map(|(res, bufs, _)| (res, bufs))
     }
 }
 
-/// Below the threshold a launch runs on the calling thread: the scoped
-/// spawn costs more than it saves on tiny sets.
-pub(crate) const PARALLEL_THRESHOLD: usize = 4;
+/// Below the threshold a launch runs on the calling thread: handing the
+/// batch to the pool costs more than it saves on tiny sets. The effective
+/// value is a per-set tunable ([`DpuSet::set_parallel_threshold`]) with a
+/// process-wide environment override ([`DpuSet::PARALLEL_THRESHOLD_ENV`]),
+/// mirroring [`Engine::effective`]; this constant is the fallback, picked
+/// by the sweep recorded in `docs/PERFORMANCE.md`.
+pub(crate) const DEFAULT_PARALLEL_THRESHOLD: usize = 4;
+
+/// DPUs per rank — the natural shard size at rank scale (UPMEM allocates
+/// whole ranks, and one rank is 64 DPUs on the evaluated server).
+pub(crate) const RANK_DPUS: usize =
+    dpu_sim::params::DPUS_PER_DIMM / dpu_sim::params::RANKS_PER_DIMM;
+
+/// Shard size for an `n`-job batch: whole ranks once the set spans at
+/// least two of them (so workers stay rank-affine), else an even split
+/// over the pool's workers.
+fn rank_shard_size(n: usize, workers: usize) -> usize {
+    if n >= 2 * RANK_DPUS {
+        RANK_DPUS
+    } else {
+        n.div_ceil(workers.max(1)).max(1)
+    }
+}
+
+/// Scheduling context for one launch: the owning set's persistent worker
+/// pool (when it has one) and its parallel threshold.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Sched<'a> {
+    /// The set's persistent pool; `None` forces the sequential path.
+    pub pool: Option<&'a WorkerPool>,
+    /// Minimum set size that engages the pool.
+    pub threshold: usize,
+}
+
+impl Sched<'_> {
+    /// The pool `n` jobs should run on, or `None` for the sequential path.
+    pub fn pool_for(&self, n: usize) -> Option<&WorkerPool> {
+        if n >= self.threshold {
+            self.pool
+        } else {
+            None
+        }
+    }
+}
 
 /// How the work-stealing scheduler distributed one launch's DPU jobs
 /// over its worker threads.
@@ -189,10 +230,15 @@ pub(crate) const PARALLEL_THRESHOLD: usize = 4;
 pub struct StealStats {
     /// Jobs claimed by each worker thread (index = worker).
     pub claims: Vec<u64>,
+    /// Shards the batch was split into (one per rank at rank scale).
+    pub shards: usize,
+    /// Jobs handed to the pool (= DPUs simulated) — the launch's queue
+    /// depth at enqueue time.
+    pub queued: u64,
 }
 
 impl StealStats {
-    /// Worker threads the scheduler spawned.
+    /// Worker threads in the pool.
     #[must_use]
     pub fn workers(&self) -> usize {
         self.claims.len()
@@ -225,15 +271,18 @@ pub(crate) fn launch_on(
     tasklets: usize,
     trace: bool,
     engine: Option<Engine>,
+    sched: &Sched<'_>,
 ) -> Result<(LaunchResult, Vec<TraceBuffer>, Option<StealStats>)> {
     let engine = engine.unwrap_or_else(Engine::effective);
     let n = system.len();
     let mut buffers: Vec<TraceBuffer> = vec![TraceBuffer::new(); n];
-    let (outcomes, steal) = if n < PARALLEL_THRESHOLD {
-        (run_sequential(system, exec, tasklets, trace, engine, &mut buffers), None)
-    } else {
-        let (outcomes, stats) = run_stealing(system, exec, tasklets, trace, engine, &mut buffers);
-        (outcomes, Some(stats))
+    let (outcomes, steal) = match sched.pool_for(n) {
+        None => (run_sequential(system, exec, tasklets, trace, engine, &mut buffers), None),
+        Some(pool) => {
+            let (outcomes, stats) =
+                run_stealing(pool, system, exec, tasklets, trace, engine, &mut buffers);
+            (outcomes, Some(stats))
+        }
     };
     let mut per_dpu = Vec::with_capacity(n);
     for outcome in outcomes {
@@ -283,10 +332,12 @@ fn run_sequential(
         .collect()
 }
 
-/// Work-stealing launch: host threads claim DPUs one at a time off a
-/// shared atomic counter, so a few expensive DPUs at the front of the set
-/// cannot idle the other threads the way static chunking did.
+/// Work-stealing launch: pool workers claim DPUs one at a time off their
+/// home shard's cursor (stealing from other shards once it drains), so a
+/// few expensive DPUs cannot idle the rest of the pool the way static
+/// chunking did.
 fn run_stealing(
+    pool: &WorkerPool,
     system: &mut PimSystem,
     exec: &ExecProgram,
     tasklets: usize,
@@ -294,15 +345,16 @@ fn run_stealing(
     engine: Engine,
     buffers: &mut [TraceBuffer],
 ) -> (Vec<DpuOutcome>, StealStats) {
-    run_stealing_with(system, buffers, |_, dpu, buf| {
+    run_stealing_with(pool, system, buffers, |_, dpu, buf| {
         run_one(dpu, exec, tasklets, trace, engine, buf)
     })
 }
 
 /// The scheduler core, generic over the per-DPU job so tests can inject
 /// faulting or panicking work. `job` receives the DPU index; results and
-/// buffers come back in DPU order regardless of which thread ran what.
+/// buffers come back in DPU order regardless of which worker ran what.
 fn run_stealing_with<F>(
+    pool: &WorkerPool,
     system: &mut PimSystem,
     buffers: &mut [TraceBuffer],
     job: F,
@@ -311,9 +363,9 @@ where
     F: Fn(usize, &mut dpu_sim::Machine, &mut TraceBuffer) -> dpu_sim::Result<RunResult> + Sync,
 {
     // Catch panics per DPU (while not holding any shared state) so one
-    // faulty simulation surfaces as a `HostError` instead of tearing down
-    // the whole scope.
-    steal_jobs(system, buffers, |i, dpu, buf| {
+    // faulty simulation surfaces as a `HostError` instead of unwinding
+    // out of the pool batch.
+    steal_jobs(pool, system, buffers, |i, dpu, buf| {
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| job(i, dpu, buf))) {
             Ok(res) => DpuOutcome::Done(res),
             Err(payload) => DpuOutcome::Panicked(panic_detail(payload.as_ref())),
@@ -325,8 +377,9 @@ where
 /// the resilient launch path can reuse it with richer per-DPU reports.
 /// Jobs must not unwind (wrap them in `catch_unwind` when they might).
 /// Alongside the per-DPU outcomes it reports how the jobs distributed
-/// over the worker threads.
+/// over the pool's workers.
 pub(crate) fn steal_jobs<R, F>(
+    pool: &WorkerPool,
     system: &mut PimSystem,
     buffers: &mut [TraceBuffer],
     job: F,
@@ -347,29 +400,15 @@ where
         .zip(buffers.iter_mut())
         .map(|((_, dpu), buf)| Mutex::new(Slot { dpu, buf, outcome: None }))
         .collect();
-    let next = AtomicUsize::new(0);
-    let workers = std::thread::available_parallelism().map_or(4, usize::from).min(n);
-    let claims: Vec<std::sync::atomic::AtomicU64> =
-        (0..workers).map(|_| std::sync::atomic::AtomicU64::new(0)).collect();
-    crossbeam::thread::scope(|s| {
-        let slots = &slots;
-        let next = &next;
-        let job = &job;
-        for claimed in &claims {
-            s.spawn(move |_| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some(slot) = slots.get(i) else { break };
-                claimed.fetch_add(1, Ordering::Relaxed);
-                // Each index is claimed exactly once, so the lock is always
-                // uncontended; it exists to hand the `&mut` state to
-                // whichever thread drew the index.
-                let mut slot = slot.lock().expect("job mutex poisoned");
-                let Slot { dpu, buf, outcome } = &mut *slot;
-                *outcome = Some(job(i, dpu, buf));
-            });
-        }
-    })
-    .expect("scoped thread join failed");
+    let runner = |i: usize, _w: usize| {
+        // Each index is claimed exactly once, so the lock is always
+        // uncontended; it exists to hand the `&mut` state to whichever
+        // worker drew the index.
+        let mut slot = slots[i].lock().expect("job mutex poisoned");
+        let Slot { dpu, buf, outcome } = &mut *slot;
+        *outcome = Some(job(i, dpu, buf));
+    };
+    let stats = pool.run_batch(n, rank_shard_size(n, pool.workers()), &runner);
     let outcomes = slots
         .into_iter()
         .map(|m| {
@@ -377,8 +416,7 @@ where
             slot.outcome.expect("every DPU index was claimed by a worker")
         })
         .collect();
-    let stats = StealStats { claims: claims.into_iter().map(AtomicU64::into_inner).collect() };
-    (outcomes, stats)
+    (outcomes, StealStats { claims: stats.claims, shards: stats.shards, queued: n as u64 })
 }
 
 /// Best-effort extraction of a panic payload's message.
@@ -665,10 +703,12 @@ mod scheduler_equivalence_tests {
                     &mut seq_bufs,
                 );
 
+            let pool = crate::pool::WorkerPool::for_dpus(dpus);
             let mut steal_set = skewed_set(dpus, &counts);
             let mut steal_bufs = vec![TraceBuffer::new(); dpus];
             let (steal, stats) =
                 run_stealing(
+                    &pool,
                     steal_set.system_mut(),
                     &exec,
                     tasklets,
@@ -680,20 +720,24 @@ mod scheduler_equivalence_tests {
             prop_assert_eq!(seq_bufs, steal_bufs);
             prop_assert_eq!(unwrap_all(seq), unwrap_all(steal));
             prop_assert_eq!(stats.total_claims(), dpus as u64);
+            prop_assert_eq!(stats.queued, dpus as u64);
+            prop_assert!(stats.shards >= 1);
         }
     }
 
     #[test]
     fn worker_panic_is_captured_per_dpu_with_its_message() {
         let mut set = DpuSet::allocate(6).unwrap();
+        let pool = crate::pool::WorkerPool::for_dpus(6);
         let mut bufs = vec![TraceBuffer::new(); 6];
         let exec = ExecProgram::compile(&Program::new(vec![I::Halt])).unwrap();
-        let (outcomes, stats) = run_stealing_with(set.system_mut(), &mut bufs, |i, dpu, buf| {
-            if i == 3 {
-                panic!("injected failure on DPU 3");
-            }
-            run_one(dpu, &exec, 1, false, Engine::default(), buf)
-        });
+        let (outcomes, stats) =
+            run_stealing_with(&pool, set.system_mut(), &mut bufs, |i, dpu, buf| {
+                if i == 3 {
+                    panic!("injected failure on DPU 3");
+                }
+                run_one(dpu, &exec, 1, false, Engine::default(), buf)
+            });
         assert_eq!(outcomes.len(), 6);
         assert_eq!(stats.total_claims(), 6);
         assert!(stats.workers() >= 1);
@@ -721,10 +765,11 @@ mod scheduler_equivalence_tests {
     #[test]
     fn relaunch_after_worker_panic_reads_clean_state() {
         let mut set = DpuSet::allocate(6).unwrap();
+        let pool = crate::pool::WorkerPool::for_dpus(6);
         let arming =
             ExecProgram::compile(&dpu_sim::asm::assemble("perf.config\nhalt\n").unwrap()).unwrap();
         let mut bufs = vec![TraceBuffer::new(); 6];
-        let (outcomes, _) = run_stealing_with(set.system_mut(), &mut bufs, |i, dpu, buf| {
+        let (outcomes, _) = run_stealing_with(&pool, set.system_mut(), &mut bufs, |i, dpu, buf| {
             let r = run_one(dpu, &arming, 1, false, Engine::default(), buf);
             if i == 2 {
                 panic!("injected mid-launch failure");

@@ -21,7 +21,10 @@
 //!   [`dpu_sim::cost::OpCounts`] per tasklet and get a pipeline-law cycle
 //!   estimate.
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the persistent worker pool (`pool`) uses
+// one audited unsafe construction (lifetime-erased scoped jobs) behind a
+// module-level allow; everything else stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod align;
@@ -29,8 +32,10 @@ pub mod error;
 pub mod exec;
 pub mod launch;
 pub mod observe;
+mod pool;
 pub mod resilient;
 pub mod set;
+pub mod snapshot;
 pub mod symbol;
 pub mod typed;
 pub mod xfer;
@@ -43,6 +48,7 @@ pub use launch::{LaunchResult, StealStats};
 pub use observe::LaunchObservation;
 pub use resilient::{DpuServeReport, LaunchReport, Redispatch, ResilientLaunchPolicy};
 pub use set::{DpuSet, TransferStats};
+pub use snapshot::{RankSnapshot, SetSnapshot};
 pub use symbol::{Symbol, SymbolTable};
 pub use typed::{from_wire, to_wire, Wire};
 pub use xfer::XferBatch;

@@ -8,10 +8,13 @@
 //! instead of aborting on the first fault:
 //!
 //! 1. **Retry** — each DPU gets up to `1 + max_retries` attempts. Before a
-//!    retry its MRAM inputs are restored from a pre-launch snapshot (taken
-//!    only when the policy can actually inject faults, so the fault-free
-//!    path stays bit-identical to [`DpuSet::launch_loaded`]), and
-//!    `backoff_cycles` is charged per retry to the DPU's accounted latency.
+//!    retry its MRAM is restored from a pre-launch snapshot (taken only
+//!    when the policy can actually inject faults, so the fault-free path
+//!    stays bit-identical to [`DpuSet::launch_loaded`]). Snapshots are
+//!    copy-on-write page-table clones ([`dpu_sim::CowMemory::snapshot`]):
+//!    O(resident pages) to take and O(dirty pages) to restore, instead of
+//!    deep-copying 64 MiB. `backoff_cycles` is charged per retry to the
+//!    DPU's accounted latency.
 //! 2. **Watchdog** — every attempt runs under `watchdog_budget` cycles, so
 //!    a wedged kernel surfaces as `CycleBudgetExceeded` instead of running
 //!    to the simulator's default 50 G-cycle budget.
@@ -34,10 +37,10 @@
 //! host simulates DPUs sequentially or work-steals them across threads.
 
 use crate::error::{HostError, Result};
-use crate::launch::{panic_detail, steal_jobs, LaunchResult, PARALLEL_THRESHOLD};
+use crate::launch::{panic_detail, steal_jobs, LaunchResult, Sched};
 use crate::set::DpuSet;
 use dpu_sim::faults::{FaultPlan, InjectedFault};
-use dpu_sim::{DpuId, Engine, ExecProgram, Machine, PimSystem, Program, RunResult};
+use dpu_sim::{DpuId, Engine, ExecProgram, Machine, MemorySnapshot, PimSystem, Program, RunResult};
 use pim_trace::{MetricsRegistry, TraceBuffer, TraceEvent, TraceSink};
 
 /// Policy governing a fault-tolerant launch.
@@ -217,8 +220,9 @@ struct Serve {
     backoff_cycles: u64,
     last_error: Option<HostError>,
     faults: Vec<InjectedFault>,
-    /// Pre-launch MRAM image (inputs), kept only when faults can fire.
-    snapshot: Option<Vec<u8>>,
+    /// Pre-launch MRAM image (a COW page-table clone, not a deep copy),
+    /// kept only when faults can fire.
+    snapshot: Option<MemorySnapshot>,
 }
 
 /// Run one attempt on `dpu`, arming/disarming faults around it and
@@ -288,16 +292,14 @@ fn serve_one(
     engine: Engine,
     policy: &ResilientLaunchPolicy,
     plan: Option<&FaultPlan>,
-    snapshot_len: usize,
 ) -> Serve {
-    let snapshot =
-        plan.map(|_| dpu.mram.slice(0, snapshot_len).expect("snapshot within MRAM").to_vec());
+    let snapshot = plan.map(|_| dpu.mram.snapshot());
     let mut faults = Vec::new();
     let mut last_error = None;
     for attempt in 0..=policy.max_retries {
         if attempt > 0 {
             if let Some(s) = &snapshot {
-                dpu.mram.write(0, s).expect("snapshot restores");
+                dpu.mram.restore(s).expect("snapshot restores");
             }
         }
         let backoff = u64::from(attempt) * policy.backoff_cycles;
@@ -346,7 +348,7 @@ fn launch_resilient_on(
     trace: bool,
     engine: Option<Engine>,
     policy: &ResilientLaunchPolicy,
-    snapshot_len: usize,
+    sched: &Sched<'_>,
 ) -> Result<(LaunchReport, Vec<TraceBuffer>)> {
     let engine = engine.unwrap_or_else(Engine::effective);
     let n = system.len();
@@ -356,17 +358,17 @@ fn launch_resilient_on(
     let plan = policy.faults.as_ref().filter(|p| !p.is_zero());
 
     let job = |i: usize, dpu: &mut Machine, buf: &mut TraceBuffer| {
-        serve_one(i, dpu, buf, exec, tasklets, trace, engine, policy, plan, snapshot_len)
+        serve_one(i, dpu, buf, exec, tasklets, trace, engine, policy, plan)
     };
-    let mut serves: Vec<Serve> = if policy.force_sequential || n < PARALLEL_THRESHOLD {
-        system
+    let pool = if policy.force_sequential { None } else { sched.pool_for(n) };
+    let mut serves: Vec<Serve> = match pool {
+        None => system
             .iter_mut()
             .zip(buffers.iter_mut())
             .enumerate()
             .map(|(i, ((_, dpu), buf))| job(i, dpu, buf))
-            .collect()
-    } else {
-        steal_jobs(system, &mut buffers, job).0
+            .collect(),
+        Some(pool) => steal_jobs(pool, system, &mut buffers, job).0,
     };
 
     let quarantined: Vec<DpuId> = serves
@@ -391,16 +393,17 @@ fn launch_resilient_on(
             }
             let qi = q.0 as usize;
             let to = survivors[rr % survivors.len()];
-            // The victim's pre-launch inputs: its snapshot when faults
-            // were armed, else its current MRAM (a natural fault left
-            // inputs untouched up to the failure point — best effort).
+            // The victim's pre-launch image: its snapshot when faults were
+            // armed, else its current MRAM (a natural fault left inputs
+            // untouched up to the failure point — best effort). Whole-MRAM
+            // COW snapshots: cloning a page table, not 64 MiB.
             let image = match serves[qi].snapshot.take() {
                 Some(s) => s,
-                None => system.dpu(q).mram.slice(0, snapshot_len).expect("within MRAM").to_vec(),
+                None => system.dpu(q).mram.snapshot(),
             };
             let host = system.dpu_mut(DpuId(to as u32));
-            let saved = host.mram.slice(0, snapshot_len).expect("within MRAM").to_vec();
-            host.mram.write(0, &image).expect("image fits");
+            let saved = host.mram.snapshot();
+            host.mram.restore(&image).expect("image fits");
             let mut faults = Vec::new();
             let outcome = run_attempt(
                 host,
@@ -415,11 +418,11 @@ fn launch_resilient_on(
                 0,
                 &mut faults,
             );
-            let result_image = host.mram.slice(0, snapshot_len).expect("within MRAM").to_vec();
-            host.mram.write(0, &saved).expect("restore fits");
+            let result_image = host.mram.snapshot();
+            host.mram.restore(&saved).expect("restore fits");
             match outcome {
                 Ok(r) => {
-                    system.dpu_mut(q).mram.write(0, &result_image).expect("result image fits");
+                    system.dpu_mut(q).mram.restore(&result_image).expect("result image fits");
                     degraded.push(Redispatch { from: q, to: DpuId(to as u32), cycles: r.cycles });
                     served_by[qi] = Some(DpuId(to as u32));
                     serves[qi].result = Some(r);
@@ -449,18 +452,6 @@ fn launch_resilient_on(
 }
 
 impl DpuSet {
-    /// Snapshot length for retry/re-dispatch MRAM images: the extent of
-    /// the defined symbols (all launch inputs and outputs live there), or
-    /// a full MRAM image when no symbols are defined.
-    fn resilient_snapshot_len(&self) -> usize {
-        let hw = self.symbols().allocated();
-        if hw == 0 {
-            self.params().mram_bytes
-        } else {
-            hw
-        }
-    }
-
     /// Run `program` on every DPU under `policy`, surviving injected and
     /// natural per-DPU faults. See the module docs for retry, quarantine
     /// and re-dispatch semantics.
@@ -475,9 +466,9 @@ impl DpuSet {
         policy: &ResilientLaunchPolicy,
     ) -> Result<LaunchReport> {
         let exec = ExecProgram::compile(program)?;
-        let len = self.resilient_snapshot_len();
         let engine = self.engine();
-        launch_resilient_on(self.system_mut(), &exec, tasklets, false, engine, policy, len)
+        let (system, _, sched) = self.launch_parts();
+        launch_resilient_on(system, &exec, tasklets, false, engine, policy, &sched)
             .map(|(rep, _)| rep)
     }
 
@@ -494,9 +485,9 @@ impl DpuSet {
         policy: &ResilientLaunchPolicy,
     ) -> Result<(LaunchReport, Vec<TraceBuffer>)> {
         let exec = ExecProgram::compile(program)?;
-        let len = self.resilient_snapshot_len();
         let engine = self.engine();
-        launch_resilient_on(self.system_mut(), &exec, tasklets, true, engine, policy, len)
+        let (system, _, sched) = self.launch_parts();
+        launch_resilient_on(system, &exec, tasklets, true, engine, policy, &sched)
     }
 
     /// Fault-tolerant launch of the program installed with
@@ -511,14 +502,14 @@ impl DpuSet {
         tasklets: usize,
         policy: &ResilientLaunchPolicy,
     ) -> Result<LaunchReport> {
-        let len = self.resilient_snapshot_len();
         let engine = self.engine();
-        let (system, loaded) = self.system_and_loaded();
+        let (system, loaded, sched) = self.launch_parts();
         let exec = loaded.ok_or(HostError::Symbol {
             name: "<program>".to_owned(),
             problem: "no program loaded; call DpuSet::load first",
         })?;
-        launch_resilient_on(system, exec, tasklets, false, engine, policy, len).map(|(rep, _)| rep)
+        launch_resilient_on(system, exec, tasklets, false, engine, policy, &sched)
+            .map(|(rep, _)| rep)
     }
 
     /// [`DpuSet::launch_loaded_resilient`] with per-DPU tracing.
@@ -530,14 +521,13 @@ impl DpuSet {
         tasklets: usize,
         policy: &ResilientLaunchPolicy,
     ) -> Result<(LaunchReport, Vec<TraceBuffer>)> {
-        let len = self.resilient_snapshot_len();
         let engine = self.engine();
-        let (system, loaded) = self.system_and_loaded();
+        let (system, loaded, sched) = self.launch_parts();
         let exec = loaded.ok_or(HostError::Symbol {
             name: "<program>".to_owned(),
             problem: "no program loaded; call DpuSet::load first",
         })?;
-        launch_resilient_on(system, exec, tasklets, true, engine, policy, len)
+        launch_resilient_on(system, exec, tasklets, true, engine, policy, &sched)
     }
 }
 

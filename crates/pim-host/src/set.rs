@@ -8,9 +8,12 @@
 //! [`crate::xfer::XferBatch`] scatter distinct buffers.
 
 use crate::error::{HostError, Result};
+use crate::launch::{Sched, DEFAULT_PARALLEL_THRESHOLD};
+use crate::pool::WorkerPool;
 use crate::symbol::{Symbol, SymbolTable};
-use dpu_sim::{DpuId, DpuParams, Engine, ExecProgram, PimSystem};
+use dpu_sim::{DpuId, DpuParams, Engine, ExecProgram, PimSystem, MRAM_PAGE_BYTES};
 use pim_trace::{HostDirection, TraceBuffer, TraceEvent, TraceSink};
+use std::sync::Arc;
 
 /// A host-allocated set of DPUs with a shared symbol table.
 #[derive(Debug)]
@@ -19,6 +22,11 @@ pub struct DpuSet {
     symbols: SymbolTable,
     loaded: Option<ExecProgram>,
     engine: Option<Engine>,
+    // The persistent worker pool launches run on, created lazily by the
+    // first launch that crosses the parallel threshold and reused for the
+    // life of the set.
+    pool: Option<WorkerPool>,
+    parallel_threshold: Option<usize>,
     xfer_stats: std::collections::BTreeMap<String, TransferStats>,
     // `RefCell` because gather paths (`copy_from_dpu`) take `&self`; host
     // transfers are strictly host-thread-sequential, so no contention.
@@ -66,6 +74,8 @@ impl DpuSet {
             symbols: SymbolTable::new(),
             loaded: None,
             engine: None,
+            pool: None,
+            parallel_threshold: None,
             xfer_stats: std::collections::BTreeMap::new(),
             host_trace: None,
         })
@@ -154,10 +164,42 @@ impl DpuSet {
         &mut self.system
     }
 
-    /// Split-borrow the system together with the loaded execution form, so
-    /// the launch path can run the stored program without cloning it.
-    pub(crate) fn system_and_loaded(&mut self) -> (&mut PimSystem, Option<&ExecProgram>) {
-        (&mut self.system, self.loaded.as_ref())
+    /// Environment variable overriding the default parallel-launch
+    /// threshold (the set size below which launches run on the calling
+    /// thread), mirroring [`Engine::ENV_VAR`]. Unparseable values fall
+    /// back to the built-in default.
+    pub const PARALLEL_THRESHOLD_ENV: &'static str = "PIM_HOST_PARALLEL_THRESHOLD";
+
+    /// Pin this set's parallel-launch threshold (`None` restores the
+    /// ambient default, which honors [`DpuSet::PARALLEL_THRESHOLD_ENV`]).
+    /// Sets smaller than the threshold launch sequentially on the calling
+    /// thread; larger sets run on the persistent worker pool.
+    pub fn set_parallel_threshold(&mut self, threshold: Option<usize>) {
+        self.parallel_threshold = threshold;
+    }
+
+    /// The effective parallel-launch threshold: the pinned value, else the
+    /// environment override, else the built-in default.
+    #[must_use]
+    pub fn parallel_threshold(&self) -> usize {
+        self.parallel_threshold.unwrap_or_else(|| {
+            std::env::var(Self::PARALLEL_THRESHOLD_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse().ok())
+                .unwrap_or(DEFAULT_PARALLEL_THRESHOLD)
+        })
+    }
+
+    /// Split-borrow everything one launch needs: the system, the loaded
+    /// program, and the scheduling context. Creates the persistent worker
+    /// pool on the first launch that crosses the parallel threshold.
+    pub(crate) fn launch_parts(&mut self) -> (&mut PimSystem, Option<&ExecProgram>, Sched<'_>) {
+        let threshold = self.parallel_threshold();
+        if self.system.len() >= threshold && self.pool.is_none() {
+            self.pool = Some(WorkerPool::for_dpus(self.system.len()));
+        }
+        let sched = Sched { pool: self.pool.as_ref(), threshold };
+        (&mut self.system, self.loaded.as_ref(), sched)
     }
 
     /// Load a program onto every DPU of the set (`dpu_load`): validates
@@ -215,13 +257,17 @@ impl DpuSet {
     /// (`dpu_copy_to`, Eq. 3.1). `src` must obey the 8-byte rule — use
     /// [`crate::align::PaddedBuf`] for arbitrary payloads.
     ///
+    /// MRAM pages wholly covered by the span are materialized **once** and
+    /// installed into every DPU's page table by reference
+    /// ([`dpu_sim::CowMemory::install_page`]), so a rank-wide weight or
+    /// LUT image costs one copy of itself instead of one per DPU; a DPU
+    /// that later writes such a page gets its own copy transparently.
+    ///
     /// # Errors
     /// Alignment, symbol and bounds violations.
     pub fn copy_to(&mut self, symbol: &str, symbol_offset: usize, src: &[u8]) -> Result<()> {
         let addr = self.symbols.resolve(symbol, symbol_offset, src.len())?;
-        for (_, dpu) in self.system.iter_mut() {
-            dpu.mram.write(addr, src)?;
-        }
+        self.broadcast_write(addr, src)?;
         let stats = self.xfer_stats.entry(symbol.to_owned()).or_default();
         stats.to_dpu_bytes += (src.len() * self.system.len()) as u64;
         stats.operations += self.system.len() as u64;
@@ -232,6 +278,42 @@ impl DpuSet {
             (src.len() * self.system.len()) as u64,
             None,
         );
+        Ok(())
+    }
+
+    /// Write `src` at `addr` on every DPU, storing each fully covered MRAM
+    /// page once for the whole set. Partial head/tail pages fall back to
+    /// per-DPU writes (they may merge with bytes a DPU already holds).
+    fn broadcast_write(&mut self, addr: usize, src: &[u8]) -> Result<()> {
+        let end = addr + src.len();
+        let first_full = addr.div_ceil(MRAM_PAGE_BYTES);
+        let last_full = end / MRAM_PAGE_BYTES; // exclusive
+        if last_full <= first_full {
+            // No fully covered page: plain per-DPU writes.
+            for (_, dpu) in self.system.iter_mut() {
+                dpu.mram.write(addr, src)?;
+            }
+            return Ok(());
+        }
+        let shared: Vec<Arc<Vec<u8>>> = (first_full..last_full)
+            .map(|p| {
+                let off = p * MRAM_PAGE_BYTES - addr;
+                Arc::new(src[off..off + MRAM_PAGE_BYTES].to_vec())
+            })
+            .collect();
+        let head = first_full * MRAM_PAGE_BYTES - addr;
+        let tail = last_full * MRAM_PAGE_BYTES - addr;
+        for (_, dpu) in self.system.iter_mut() {
+            if head > 0 {
+                dpu.mram.write(addr, &src[..head])?;
+            }
+            for (k, page) in shared.iter().enumerate() {
+                dpu.mram.install_page(first_full + k, page)?;
+            }
+            if tail < src.len() {
+                dpu.mram.write(addr + tail, &src[tail..])?;
+            }
+        }
         Ok(())
     }
 
@@ -471,5 +553,71 @@ mod host_trace_tests {
             matches!(e, TraceEvent::HostTransfer { direction: HostDirection::MramToHost, .. })
         });
         assert_eq!((to, from), (2, 2));
+    }
+
+    fn tiny_program() -> dpu_sim::Program {
+        dpu_sim::asm::assemble("movi r1, 7\nhalt\n").unwrap()
+    }
+
+    #[test]
+    fn parallel_threshold_resolves_pin_then_env_then_default() {
+        let mut set = DpuSet::allocate(2).unwrap();
+        assert_eq!(set.parallel_threshold(), crate::launch::DEFAULT_PARALLEL_THRESHOLD);
+        set.set_parallel_threshold(Some(9));
+        assert_eq!(set.parallel_threshold(), 9);
+        set.set_parallel_threshold(None);
+        assert_eq!(set.parallel_threshold(), crate::launch::DEFAULT_PARALLEL_THRESHOLD);
+
+        // Env override sits between the pin and the default. Scheduling
+        // never changes results, so a transient env read elsewhere is
+        // harmless.
+        std::env::set_var(DpuSet::PARALLEL_THRESHOLD_ENV, "13");
+        assert_eq!(set.parallel_threshold(), 13);
+        set.set_parallel_threshold(Some(2));
+        assert_eq!(set.parallel_threshold(), 2, "pin wins over env");
+        std::env::remove_var(DpuSet::PARALLEL_THRESHOLD_ENV);
+        set.set_parallel_threshold(None);
+    }
+
+    #[test]
+    fn threshold_gates_pool_scheduling() {
+        let program = tiny_program();
+
+        // Below threshold: sequential path, no steal launch recorded.
+        let mut seq = DpuSet::allocate(8).unwrap();
+        seq.set_parallel_threshold(Some(usize::MAX));
+        let mut obs = crate::LaunchObservation::new();
+        seq.launch_observed(&program, 2, &mut obs).unwrap();
+        assert!(obs.metrics().counters().all(|(k, _)| k != "obs.steal.launches"));
+
+        // Pinned low: even a 2-DPU set goes through the pool.
+        let mut par = DpuSet::allocate(2).unwrap();
+        par.set_parallel_threshold(Some(1));
+        let mut obs = crate::LaunchObservation::new();
+        par.launch_observed(&program, 2, &mut obs).unwrap();
+        let steals =
+            obs.metrics().counters().find(|(k, _)| *k == "obs.steal.launches").map(|(_, v)| v);
+        assert_eq!(steals, Some(1));
+    }
+
+    #[test]
+    fn broadcast_shares_full_pages_and_splits_unaligned_edges() {
+        // "pad" shifts "w" to a page-unaligned base address.
+        let mut set = DpuSet::allocate(4).unwrap();
+        set.define_symbol("pad", 8).unwrap();
+        set.define_symbol("w", 2 * MRAM_PAGE_BYTES).unwrap();
+        let image: Vec<u8> = (0..2 * MRAM_PAGE_BYTES).map(|i| (i % 251) as u8).collect();
+        set.copy_to("w", 0, &image).unwrap();
+
+        for i in 0..4 {
+            let mut back = vec![0u8; image.len()];
+            set.copy_from_dpu(DpuId(i), "w", 0, &mut back).unwrap();
+            assert_eq!(back, image, "DPU {i}");
+        }
+        // One full page is covered and shared once; the unaligned head and
+        // tail spill into per-DPU pages (at most 2 per DPU).
+        let res = set.system().mram_residency();
+        assert!(res.distinct_pages <= 1 + 2 * 4, "{} distinct pages", res.distinct_pages);
+        assert!(res.resident_pages >= 3 * 4, "{} resident pages", res.resident_pages);
     }
 }

@@ -112,6 +112,7 @@ fn observation_metrics_key_set_is_stable() {
             "obs.faults_injected",
             "obs.instructions",
             "obs.launches",
+            "obs.pool.batches",
             "obs.quarantined",
             "obs.redispatched",
             "obs.retries",
@@ -120,7 +121,10 @@ fn observation_metrics_key_set_is_stable() {
             "obs.unserved",
         ]
     );
-    assert_eq!(gauges, ["obs.dpus", "obs.steal.workers", "obs.tasklets"]);
+    assert_eq!(
+        gauges,
+        ["obs.dpus", "obs.pool.shards", "obs.pool.workers", "obs.steal.workers", "obs.tasklets"]
+    );
     assert_eq!(
         histograms,
         [
@@ -128,6 +132,8 @@ fn observation_metrics_key_set_is_stable() {
             "obs.dpu.instructions",
             "obs.dpu.ipc",
             "obs.launch.makespan_cycles",
+            "obs.pool.occupancy",
+            "obs.pool.queue_depth",
             "obs.steal.claims_per_worker",
             "obs.tasklet.occupancy",
         ]

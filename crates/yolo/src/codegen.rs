@@ -225,6 +225,9 @@ pub struct TracedLayer {
     pub dpu_traces: Vec<TraceBuffer>,
     /// Host↔MRAM transfers: `B` broadcast, `A`-row scatter, `C`-row gather.
     pub host_trace: TraceBuffer,
+    /// COW MRAM arena accounting after the gather: the broadcast `B`
+    /// matrix's whole pages are stored once across the row-per-DPU set.
+    pub mram_residency: dpu_sim::MramResidency,
 }
 
 /// [`run_tier1_layer`] with tracing: per-DPU simulator traces plus the
@@ -335,7 +338,8 @@ fn tier1_layer_impl(
     };
     let c = gather_c(&set, dims)?;
     let host_trace = set.take_host_trace().unwrap_or_default();
-    Ok(TracedLayer { c, launch, dpu_traces, host_trace })
+    let mram_residency = set.system().mram_residency();
+    Ok(TracedLayer { c, launch, dpu_traces, host_trace, mram_residency })
 }
 
 /// Outcome of a fault-tolerant Tier-1 GEMM layer (see
