@@ -137,6 +137,36 @@ pub fn attribution() -> (CycleAttribution, u64) {
     (attr, result.cycles)
 }
 
+/// A fixed serving scenario through `pim-serve`: seeded open-loop eBNN
+/// traffic over 2 DPUs with a scripted always-offline DPU 1, so the
+/// gate watches admission, batching, pipelining, *and* degradation
+/// figures. Every number is simulated (cycles, items, counters) — the
+/// run is a pure function of the constants below, so the document is
+/// bit-stable like the rest of the snapshot.
+#[must_use]
+pub fn serve_observation() -> serde_json::Value {
+    use ebnn::codegen::encode_slot;
+    use ebnn::model::{EbnnModel, ModelConfig};
+    use pim_serve::{serve, EbnnServeEngine, OpenLoop, PipelineMode, Rng64, ServeConfig};
+
+    let model = EbnnModel::generate(ModelConfig { filters: 2, ..ModelConfig::default() });
+    let pool: Vec<Vec<u8>> = (0..8u64)
+        .map(|i| encode_slot(&model, &ebnn::mnist::synth_digit((i % 10) as usize, i)))
+        .collect();
+    let plan = FaultPlan::new(FaultConfig { forced_offline: vec![1], ..Default::default() });
+    let policy = ResilientLaunchPolicy::with_faults(plan);
+    let mut engine =
+        EbnnServeEngine::new(&model, 2, PipelineMode::Double, Some(policy)).expect("serve engine");
+    let gen = move |rng: &mut Rng64, _id: u64| -> Vec<Vec<u8>> {
+        let n = rng.range(1, 3) as usize;
+        (0..n).map(|_| pool[rng.range(0, 7) as usize].clone()).collect()
+    };
+    let mut traffic = OpenLoop::new(0x5EED, 48, 20_000, gen);
+    let cfg = ServeConfig { queue_capacity: 4, ..ServeConfig::default() };
+    let report = serve(&mut engine, &mut traffic, &cfg).expect("serve scenario");
+    report.metrics.to_json()
+}
+
 /// The complete snapshot document.
 #[must_use]
 pub fn snapshot() -> serde_json::Value {
@@ -158,6 +188,7 @@ pub fn snapshot() -> serde_json::Value {
     serde_json::json!({
         "schema": "pim-obs-snapshot-v1",
         "metrics": obs.to_json(),
+        "serve": serve_observation(),
         "attribution": {
             "program": "alu_loop",
             "tasklets": 11u64,
@@ -182,6 +213,31 @@ mod tests {
         let a = serde_json::to_string(&snapshot()).unwrap();
         let b = serde_json::to_string(&snapshot()).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serve_scenario_exercises_batching_and_degradation() {
+        let doc = snapshot();
+        let serve = doc.get("serve").expect("serve section");
+        let counter = |k: &str| {
+            serve.get("counters").and_then(|c| c.get(k)).and_then(|v| v.as_u64()).unwrap_or(0)
+        };
+        assert!(counter("serve.batches") > 0, "batches launched");
+        assert!(counter("serve.rejected") > 0, "tight queue bound must shed");
+        assert!(counter("serve.redispatched_items") > 0, "offline DPU 1 redispatches");
+        let goodput = serve
+            .get("gauges")
+            .and_then(|g| g.get("serve.goodput_ips"))
+            .and_then(serde_json::Value::as_f64)
+            .expect("goodput gauge");
+        assert!(goodput > 0.0);
+        let lat = serve
+            .get("histograms")
+            .and_then(|h| h.get("serve.latency_cycles"))
+            .expect("latency histogram");
+        for q in ["p50", "p99", "p999"] {
+            assert!(lat.get(q).is_some(), "missing {q}");
+        }
     }
 
     #[test]

@@ -12,7 +12,7 @@
 //! ## WRAM layout (generated constants)
 //!
 //! ```text
-//! 0x0000  params        n_images (8 B)
+//! 0x0000  params        n_images, stride, image/feature MRAM bases (16 B)
 //! 0x0040  image slots   16 × 128 B (row r of image i at slot+4+4r;
 //!                       offsets 0..4 and 116..128 are zero guards, giving
 //!                       the conv its −1 padding for free)
@@ -20,6 +20,12 @@
 //! ....    LUT           19 × F bytes
 //! ....    features      16 × F×196 bytes (one byte per feature bit)
 //! ```
+//!
+//! The image and feature **MRAM** base addresses travel in the params
+//! record rather than being baked into the program, so a host can stage
+//! the next batch into an alternate MRAM buffer while the previous one is
+//! still unread — the double-buffered serving mode (`pim-serve`) flips
+//! between two image/feature regions with the same loaded program.
 
 use crate::lut::BnLut;
 use crate::mnist::GrayImage;
@@ -137,7 +143,7 @@ pub fn tier1_program(filters: usize) -> Program {
         bne r1, r0, wait0\n\
         movi r3, {par_w}\n\
         movi r4, {par_m}\n\
-        movi r5, 8\n\
+        movi r5, 16\n\
         mram.read r3, r4, r5\n\
         movi r3, {fil_w}\n\
         movi r4, {fil_m}\n\
@@ -160,7 +166,7 @@ pub fn tier1_program(filters: usize) -> Program {
         lsli r19, r31, 7\n\
         movi r3, {img_w}\n\
         add r3, r3, r19\n\
-        movi r4, {img_m}\n\
+        lw r4, r0, {par_w8}\n\
         add r4, r4, r19\n\
         movi r5, {slot}\n\
         mram.read r3, r4, r5\n\
@@ -184,6 +190,7 @@ pub fn tier1_program(filters: usize) -> Program {
         movi r9, -128\n",
         par_w = l.params,
         par_w4 = l.params + 4,
+        par_w8 = l.params + 8,
         par_m = mram::PARAMS,
         fil_w = l.filters,
         fil_m = mram::FILTERS,
@@ -193,7 +200,6 @@ pub fn tier1_program(filters: usize) -> Program {
         lut_len = (19 * filters).div_ceil(8) * 8,
         nf = filters,
         img_w = l.images,
-        img_m = mram::IMAGES,
         slot = IMAGE_SLOT_BYTES,
         fpi = fpi,
         feat_w = l.features,
@@ -238,14 +244,14 @@ pub fn tier1_program(filters: usize) -> Program {
         "\
         movi r11, {fpi_pad}\n\
         call __mulsi3 r12, r31, r11\n\
-        movi r13, {feat_m}\n\
+        lw r13, r0, {par_w12}\n\
         add r13, r13, r12\n\
         mram.write r4, r13, r11\n\
         add r31, r31, r18\n\
         jmp imgloop\n\
         done: halt\n",
         fpi_pad = fpi_pad,
-        feat_m = mram::FEATURES,
+        par_w12 = l.params + 12,
     ));
 
     let program = assemble(&s).expect("generated eBNN program assembles");
@@ -254,18 +260,46 @@ pub fn tier1_program(filters: usize) -> Program {
 }
 
 /// MRAM symbol offsets used by [`run_tier1_batch`] (allocated with
-/// `define_at` so the generated program can hard-code them).
+/// `define_at` so the generated program can hard-code them). Only the
+/// params, filter and LUT offsets are baked into the program; the image
+/// and feature bases travel *inside* the params record, so alternate
+/// buffers (double buffering) live at host-chosen offsets past
+/// [`FEATURES`].
 pub mod mram {
-    /// `n_images` scalar.
+    /// Params record: `[n_images u32][stride u32][img_base u32][feat_base u32]`.
     pub const PARAMS: u32 = 0;
-    /// Image slots (16 × 128 B).
-    pub const IMAGES: u32 = 8;
+    /// Default image slots (16 × 128 B) — buffer 0.
+    pub const IMAGES: u32 = 16;
     /// Filter records (16 × 16 B capacity).
     pub const FILTERS: u32 = IMAGES + 2048;
     /// LUT (up to 19 × 16 bytes, padded).
     pub const LUT: u32 = FILTERS + 256;
-    /// Feature output (16 × up to 3136 B).
+    /// Default feature output (16 × up to 3136 B) — buffer 0.
     pub const FEATURES: u32 = LUT + 312;
+}
+
+/// Wire encoding of the 16-byte params record the generated program
+/// expects: image count, tasklet stride, and the MRAM base addresses of
+/// the image and feature buffers this launch should use.
+#[must_use]
+pub fn params_wire(n_images: u32, stride: u32, img_base: u32, feat_base: u32) -> [u8; 16] {
+    let mut w = [0u8; 16];
+    w[0..4].copy_from_slice(&n_images.to_le_bytes());
+    w[4..8].copy_from_slice(&stride.to_le_bytes());
+    w[8..12].copy_from_slice(&img_base.to_le_bytes());
+    w[12..16].copy_from_slice(&feat_base.to_le_bytes());
+    w
+}
+
+/// Binarize and pack one grayscale image into its 128-byte MRAM slot:
+/// a 4-byte zero guard, 28 packed rows of 4 bytes, and a zero tail (the
+/// guards give the conv its −1 padding for free).
+#[must_use]
+pub fn encode_slot(model: &EbnnModel, image: &GrayImage) -> Vec<u8> {
+    let img = model.binarize(&image.pixels);
+    let mut slot = vec![0u8; IMAGE_SLOT_BYTES];
+    slot[4..4 + IMAGE_DIM * 4].copy_from_slice(&img.to_bytes());
+    slot
 }
 
 /// Run a batch (≤ 16 images) through the generated Tier-1 program on one
@@ -353,22 +387,16 @@ fn tier1_single_impl(
     }
     // Sequential definitions land at the fixed offsets in [`mram`], which
     // the generated program hard-codes.
-    set.define_symbol("params", 8)?;
+    set.define_symbol("params", 16)?;
     set.define_symbol("images", 2048)?;
     set.define_symbol("filters", 256)?;
     set.define_symbol("lut", 312)?;
     set.define_symbol("features", IMAGES_PER_DPU * fpi_pad)?;
 
-    // params: [n_images: u32][n_tasklets: u32].
-    let mut params = Vec::with_capacity(8);
-    params.extend_from_slice(&(images.len() as u32).to_le_bytes());
-    params.extend_from_slice(&(tasklets as u32).to_le_bytes());
+    let params = params_wire(images.len() as u32, tasklets as u32, mram::IMAGES, mram::FEATURES);
     set.copy_to("params", 0, &params)?;
     for (i, g) in images.iter().enumerate() {
-        let img = model.binarize(&g.pixels);
-        // Slot layout: 4-byte zero guard, 112 bytes of rows, zero tail.
-        let mut slot = vec![0u8; IMAGE_SLOT_BYTES];
-        slot[4..4 + IMAGE_DIM * 4].copy_from_slice(&img.to_bytes());
+        let slot = encode_slot(model, g);
         set.copy_to_dpu(DpuId(0), "images", i * IMAGE_SLOT_BYTES, &slot)?;
     }
     let mut filter_wire = vec![0u8; 16 * filters];
@@ -534,86 +562,354 @@ pub fn run_tier1_batch_multi_dpu_traced(
     tier1_multi_impl(model, images, true)
 }
 
-/// A multi-DPU set fully staged for a Tier-1 batch launch: program loaded,
-/// weights broadcast, images scattered — everything but the launch itself,
-/// shared between the plain and the fault-tolerant paths.
-struct StagedBatch {
-    set: DpuSet,
+/// Images staged onto one buffer of a [`Tier1Engine`].
+#[derive(Debug, Clone)]
+struct StagedMeta {
     /// Images per DPU chunk (all [`IMAGES_PER_DPU`] except possibly the
-    /// last).
+    /// last; DPUs past the chunk list idle with `n_images = 0`).
     chunk_lens: Vec<usize>,
-    tasklets: usize,
+}
+
+/// Per-item gathered features (`None` = unserved item) plus bytes read
+/// on the host link.
+pub type ServedFeatures = (Vec<Option<Vec<u8>>>, u64);
+
+/// A persistent multi-DPU Tier-1 executor: the DPU set is allocated once,
+/// the weights and LUT are broadcast once (as shared COW pages), and the
+/// program is loaded once — each batch afterwards stages only its params
+/// and image slots, launches, and gathers features. This is the
+/// batch-slicing entry point the `pim-serve` runtime builds on; the
+/// one-shot [`run_tier1_batch_multi_dpu`] family is a thin wrapper that
+/// stages a single batch and throws the engine away.
+///
+/// With `buffers == 2` the engine holds two image/feature MRAM regions
+/// and the params record (staged per batch) selects which one a launch
+/// reads and writes — so batch *N+1* can be staged while batch *N*'s
+/// features are still unread (the double-buffered serving pipeline).
+#[derive(Debug)]
+pub struct Tier1Engine {
+    set: DpuSet,
+    dpus: usize,
     fpi: usize,
     fpi_pad: usize,
+    img_base: Vec<u32>,
+    feat_base: Vec<u32>,
+    staged: Vec<Option<StagedMeta>>,
+    /// Buffer the most recent [`Tier1Engine::stage`] wrote — the one the
+    /// next launch runs on.
+    active: usize,
+    tasklets: usize,
+    golden: pim_host::SetSnapshot,
+}
+
+impl Tier1Engine {
+    /// Build a single-buffer engine over `dpus` DPUs.
+    ///
+    /// # Errors
+    /// Host-runtime failures (allocation, staging).
+    ///
+    /// # Panics
+    /// When `dpus` is zero or the model has more than 8 filters.
+    pub fn new(model: &EbnnModel, dpus: usize) -> Result<Self, HostError> {
+        Self::with_buffers(model, dpus, 1, false)
+    }
+
+    /// Build an engine with `buffers` (1 or 2) image/feature buffer pairs,
+    /// optionally recording host transfers.
+    ///
+    /// # Errors
+    /// Host-runtime failures.
+    ///
+    /// # Panics
+    /// When `dpus` is zero, `buffers` is not 1 or 2, or the model has more
+    /// than 8 filters.
+    pub fn with_buffers(
+        model: &EbnnModel,
+        dpus: usize,
+        buffers: usize,
+        trace: bool,
+    ) -> Result<Self, HostError> {
+        assert!(dpus > 0, "engine needs at least one DPU");
+        assert!(buffers == 1 || buffers == 2, "1 or 2 buffers");
+        let filters = model.config.filters;
+        let l = WramLayout::new(filters);
+        let fpi = l.features_per_image() as usize;
+        let fpi_pad = fpi.div_ceil(8) * 8;
+
+        let mut set = DpuSet::allocate(dpus)?;
+        if trace {
+            set.enable_host_tracing();
+        }
+        set.define_symbol("params", 16)?;
+        set.define_symbol("images", 2048)?;
+        set.define_symbol("filters", 256)?;
+        set.define_symbol("lut", 312)?;
+        set.define_symbol("features", IMAGES_PER_DPU * fpi_pad)?;
+        let mut img_base = vec![mram::IMAGES];
+        let mut feat_base = vec![mram::FEATURES];
+        if buffers == 2 {
+            let alt_img = set.define_symbol("images_alt", 2048)?;
+            let alt_feat = set.define_symbol("features_alt", IMAGES_PER_DPU * fpi_pad)?;
+            img_base.push(alt_img.offset as u32);
+            feat_base.push(alt_feat.offset as u32);
+        }
+
+        // Shared weights/LUT broadcast once for the life of the engine.
+        let mut filter_wire = vec![0u8; 16 * filters];
+        for (j, f) in model.filters.iter().enumerate() {
+            for (r, &row) in f.rows.iter().enumerate() {
+                filter_wire[j * 16 + 4 * r..j * 16 + 4 * r + 4]
+                    .copy_from_slice(&u32::from(row).to_le_bytes());
+            }
+        }
+        set.copy_to("filters", 0, &pim_host::pad_to_8(&filter_wire))?;
+        let lut = BnLut::for_conv3x3(&model.bn);
+        set.copy_to("lut", 0, &pim_host::pad_to_8(&lut.to_bytes()))?;
+        set.load(&tier1_program(filters))?;
+
+        // Pristine weights-loaded state. Fault-armed launches can leave
+        // quarantined DPUs' MRAM corrupted (their last failed attempt is
+        // kept for diagnosis); restoring this snapshot before the next
+        // staging guarantees clean weight pages at O(dirty pages) cost.
+        let golden = set.snapshot();
+        Ok(Self {
+            set,
+            dpus,
+            fpi,
+            fpi_pad,
+            img_base,
+            feat_base,
+            staged: vec![None; buffers],
+            active: 0,
+            tasklets: 1,
+            golden,
+        })
+    }
+
+    /// Images one batch can hold (`dpus × 16`).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.dpus * IMAGES_PER_DPU
+    }
+
+    /// DPUs in the underlying set.
+    #[must_use]
+    pub fn dpus(&self) -> usize {
+        self.dpus
+    }
+
+    /// Image/feature buffer pairs (1 = serial, 2 = double-buffered).
+    #[must_use]
+    pub fn buffers(&self) -> usize {
+        self.img_base.len()
+    }
+
+    /// Feature bytes produced per image.
+    #[must_use]
+    pub fn features_per_image(&self) -> usize {
+        self.fpi
+    }
+
+    /// The underlying set (engine pin, parallel threshold, trace access).
+    #[must_use]
+    pub fn set(&self) -> &DpuSet {
+        &self.set
+    }
+
+    /// Mutable access to the underlying set.
+    pub fn set_mut(&mut self) -> &mut DpuSet {
+        &mut self.set
+    }
+
+    /// Restore the pristine weights-loaded state captured at build time.
+    /// Staged batches are forgotten. Call after a fault-armed launch
+    /// before staging the next batch.
+    ///
+    /// # Errors
+    /// Never in practice (the snapshot matches the set by construction).
+    pub fn restore_golden(&mut self) -> Result<(), HostError> {
+        self.set.restore(&self.golden)?;
+        for s in &mut self.staged {
+            *s = None;
+        }
+        Ok(())
+    }
+
+    /// Stage up to [`Tier1Engine::capacity`] pre-encoded 128-byte image
+    /// slots (see [`encode_slot`]) into buffer `buf`, making it the launch
+    /// target. DPUs beyond the staged chunks idle (`n_images = 0`).
+    /// Returns the bytes written over the host link.
+    ///
+    /// # Errors
+    /// Host-runtime failures.
+    ///
+    /// # Panics
+    /// When `slots` is empty or oversized, a slot is not 128 bytes, or
+    /// `buf` is out of range.
+    pub fn stage_encoded(&mut self, slots: &[Vec<u8>], buf: usize) -> Result<u64, HostError> {
+        assert!(!slots.is_empty(), "empty batch");
+        assert!(slots.len() <= self.capacity(), "batch exceeds engine capacity");
+        assert!(buf < self.buffers(), "no such buffer");
+        let (img_sym, feat_sym) =
+            if buf == 0 { ("images", "features") } else { ("images_alt", "features_alt") };
+        let mut bytes = 0u64;
+        let chunk_lens: Vec<usize> = slots.chunks(IMAGES_PER_DPU).map(<[Vec<u8>]>::len).collect();
+        for d in 0..self.dpus {
+            let dpu = DpuId(d as u32);
+            let n = chunk_lens.get(d).copied().unwrap_or(0);
+            let params =
+                params_wire(n as u32, n.max(1) as u32, self.img_base[buf], self.feat_base[buf]);
+            self.set.copy_to_dpu(dpu, "params", 0, &params)?;
+            bytes += 16;
+        }
+        for (d, chunk) in slots.chunks(IMAGES_PER_DPU).enumerate() {
+            let dpu = DpuId(d as u32);
+            for (i, slot) in chunk.iter().enumerate() {
+                assert_eq!(slot.len(), IMAGE_SLOT_BYTES, "slot must be 128 bytes");
+                self.set.copy_to_dpu(dpu, img_sym, i * IMAGE_SLOT_BYTES, slot)?;
+                bytes += IMAGE_SLOT_BYTES as u64;
+            }
+        }
+        let _ = feat_sym;
+        self.tasklets = chunk_lens.iter().copied().max().unwrap_or(1).max(1);
+        self.staged[buf] = Some(StagedMeta { chunk_lens });
+        self.active = buf;
+        Ok(bytes)
+    }
+
+    /// Binarize, pack and stage raw grayscale images (see
+    /// [`Tier1Engine::stage_encoded`]).
+    ///
+    /// # Errors
+    /// Host-runtime failures.
+    ///
+    /// # Panics
+    /// See [`Tier1Engine::stage_encoded`].
+    pub fn stage(
+        &mut self,
+        model: &EbnnModel,
+        images: &[GrayImage],
+        buf: usize,
+    ) -> Result<u64, HostError> {
+        let slots: Vec<Vec<u8>> = images.iter().map(|g| encode_slot(model, g)).collect();
+        self.stage_encoded(&slots, buf)
+    }
+
+    /// Launch the most recently staged buffer's batch.
+    ///
+    /// # Errors
+    /// The first DPU fault encountered.
+    pub fn launch(&mut self) -> Result<LaunchResult, HostError> {
+        self.set.launch_loaded(self.tasklets)
+    }
+
+    /// [`Tier1Engine::launch`] with per-DPU tracing.
+    ///
+    /// # Errors
+    /// The first DPU fault encountered.
+    pub fn launch_traced(&mut self) -> Result<(LaunchResult, Vec<TraceBuffer>), HostError> {
+        self.set.launch_loaded_traced(self.tasklets)
+    }
+
+    /// Launch under a fault-tolerance policy (see
+    /// [`pim_host::ResilientLaunchPolicy`]); quarantined DPUs' chunks are
+    /// re-dispatched to survivors when the policy allows.
+    ///
+    /// # Errors
+    /// Host-runtime staging failures (injected faults are *reported*, not
+    /// returned as errors).
+    pub fn launch_resilient(
+        &mut self,
+        policy: &pim_host::ResilientLaunchPolicy,
+    ) -> Result<pim_host::LaunchReport, HostError> {
+        self.set.launch_loaded_resilient(self.tasklets, policy)
+    }
+
+    /// Profile the loaded program on DPU 0 (which must have staged work),
+    /// recompile its hot superblocks, and pin the compiled engine — the
+    /// serving path's profile-guided warmup. Results of subsequent
+    /// launches are bit-identical (the engine tier is observationally
+    /// invisible); only host wall-clock changes. Returns the number of
+    /// blocks hot enough to compile.
+    ///
+    /// # Errors
+    /// Simulator faults during the profiling replay.
+    pub fn recompile_hot(&mut self, min_entries: u64) -> Result<usize, HostError> {
+        self.set.recompile_hot_loaded(DpuId(0), self.tasklets, min_entries)
+    }
+
+    /// Images per DPU chunk staged on `buf`, or `None` when nothing is.
+    #[must_use]
+    pub fn staged_chunks(&self, buf: usize) -> Option<&[usize]> {
+        self.staged.get(buf).and_then(|m| m.as_ref()).map(|m| m.chunk_lens.as_slice())
+    }
+
+    /// Gather per-image features (in input order) from buffer `buf` after
+    /// a launch, plus the bytes read over the host link. DPUs whose
+    /// result is missing (`unserved` in a degraded resilient launch) still
+    /// gather — callers that care pass the launch report to
+    /// [`Tier1Engine::gather_served`] instead.
+    ///
+    /// # Errors
+    /// Host-runtime failures.
+    ///
+    /// # Panics
+    /// When `buf` has no staged batch.
+    pub fn gather(&self, buf: usize) -> Result<(Vec<Vec<u8>>, u64), HostError> {
+        let meta = self.staged[buf].as_ref().expect("no batch staged on this buffer");
+        let feat_sym = if buf == 0 { "features" } else { "features_alt" };
+        let mut features = Vec::with_capacity(meta.chunk_lens.iter().sum());
+        let mut bytes = 0u64;
+        for (d, &len) in meta.chunk_lens.iter().enumerate() {
+            for i in 0..len {
+                let mut wire = vec![0u8; self.fpi_pad];
+                self.set.copy_from_dpu(DpuId(d as u32), feat_sym, i * self.fpi_pad, &mut wire)?;
+                bytes += self.fpi_pad as u64;
+                features.push(wire[..self.fpi].to_vec());
+            }
+        }
+        Ok((features, bytes))
+    }
+
+    /// [`Tier1Engine::gather`] masked by a resilient launch report:
+    /// images whose chunk was never served (home DPU quarantined and not
+    /// re-dispatched) come back as `None`.
+    ///
+    /// # Errors
+    /// Host-runtime failures.
+    ///
+    /// # Panics
+    /// When `buf` has no staged batch.
+    pub fn gather_served(
+        &self,
+        buf: usize,
+        report: &pim_host::LaunchReport,
+    ) -> Result<ServedFeatures, HostError> {
+        let meta = self.staged[buf].as_ref().expect("no batch staged on this buffer");
+        let (all, bytes) = self.gather(buf)?;
+        let mut out = Vec::with_capacity(all.len());
+        let mut it = all.into_iter();
+        for (d, &len) in meta.chunk_lens.iter().enumerate() {
+            let served = report.per_dpu.get(d).is_some_and(|r| r.result.is_some());
+            for _ in 0..len {
+                let f = it.next().expect("gather length matches chunks");
+                out.push(if served { Some(f) } else { None });
+            }
+        }
+        Ok((out, bytes))
+    }
 }
 
 fn tier1_multi_stage(
     model: &EbnnModel,
     images: &[GrayImage],
     trace: bool,
-) -> Result<StagedBatch, HostError> {
+) -> Result<Tier1Engine, HostError> {
     assert!(!images.is_empty(), "empty batch");
-    let filters = model.config.filters;
-    let l = WramLayout::new(filters);
-    let fpi = l.features_per_image() as usize;
-    let fpi_pad = fpi.div_ceil(8) * 8;
     let dpus = images.len().div_ceil(IMAGES_PER_DPU);
-
-    let mut set = DpuSet::allocate(dpus)?;
-    if trace {
-        set.enable_host_tracing();
-    }
-    set.define_symbol("params", 8)?;
-    set.define_symbol("images", 2048)?;
-    set.define_symbol("filters", 256)?;
-    set.define_symbol("lut", 312)?;
-    set.define_symbol("features", IMAGES_PER_DPU * fpi_pad)?;
-
-    // Shared weights/LUT broadcast once.
-    let mut filter_wire = vec![0u8; 16 * filters];
-    for (j, f) in model.filters.iter().enumerate() {
-        for (r, &row) in f.rows.iter().enumerate() {
-            filter_wire[j * 16 + 4 * r..j * 16 + 4 * r + 4]
-                .copy_from_slice(&u32::from(row).to_le_bytes());
-        }
-    }
-    set.copy_to("filters", 0, &pim_host::pad_to_8(&filter_wire))?;
-    let lut = BnLut::for_conv3x3(&model.bn);
-    set.copy_to("lut", 0, &pim_host::pad_to_8(&lut.to_bytes()))?;
-
-    // Per-DPU image scatter + per-DPU image counts.
-    let chunks: Vec<&[GrayImage]> = images.chunks(IMAGES_PER_DPU).collect();
-    for (d, chunk) in chunks.iter().enumerate() {
-        let dpu = DpuId(d as u32);
-        let mut params = Vec::with_capacity(8);
-        params.extend_from_slice(&(chunk.len() as u32).to_le_bytes());
-        params.extend_from_slice(&(chunk.len() as u32).to_le_bytes()); // stride = count
-        set.copy_to_dpu(dpu, "params", 0, &params)?;
-        for (i, g) in chunk.iter().enumerate() {
-            let img = model.binarize(&g.pixels);
-            let mut slot = vec![0u8; IMAGE_SLOT_BYTES];
-            slot[4..4 + IMAGE_DIM * 4].copy_from_slice(&img.to_bytes());
-            set.copy_to_dpu(dpu, "images", i * IMAGE_SLOT_BYTES, &slot)?;
-        }
-    }
-
-    set.load(&tier1_program(filters))?;
-    let tasklets = chunks.iter().map(|c| c.len()).max().unwrap_or(1);
-    let chunk_lens = chunks.iter().map(|c| c.len()).collect();
-    Ok(StagedBatch { set, chunk_lens, tasklets, fpi, fpi_pad })
-}
-
-/// Gather per-image features (in input order) after a launch.
-fn gather_features(staged: &StagedBatch) -> Result<Vec<Vec<u8>>, HostError> {
-    let mut features = Vec::with_capacity(staged.chunk_lens.iter().sum());
-    for (d, &len) in staged.chunk_lens.iter().enumerate() {
-        for i in 0..len {
-            let mut wire = vec![0u8; staged.fpi_pad];
-            staged.set.copy_from_dpu(DpuId(d as u32), "features", i * staged.fpi_pad, &mut wire)?;
-            features.push(wire[..staged.fpi].to_vec());
-        }
-    }
-    Ok(features)
+    let mut engine = Tier1Engine::with_buffers(model, dpus, 1, trace)?;
+    engine.stage(model, images, 0)?;
+    Ok(engine)
 }
 
 fn tier1_multi_impl(
@@ -621,14 +917,11 @@ fn tier1_multi_impl(
     images: &[GrayImage],
     trace: bool,
 ) -> Result<TracedBatch, HostError> {
-    let mut staged = tier1_multi_stage(model, images, trace)?;
-    let (launch, dpu_traces) = if trace {
-        staged.set.launch_loaded_traced(staged.tasklets)?
-    } else {
-        (staged.set.launch_loaded(staged.tasklets)?, Vec::new())
-    };
-    let features = gather_features(&staged)?;
-    let host_trace = staged.set.take_host_trace().unwrap_or_default();
+    let mut engine = tier1_multi_stage(model, images, trace)?;
+    let (launch, dpu_traces) =
+        if trace { engine.launch_traced()? } else { (engine.launch()?, Vec::new()) };
+    let (features, _) = engine.gather(0)?;
+    let host_trace = engine.set_mut().take_host_trace().unwrap_or_default();
     Ok(TracedBatch { features, launch, dpu_traces, host_trace })
 }
 
@@ -665,8 +958,8 @@ pub fn run_tier1_batch_multi_dpu_resilient(
     images: &[GrayImage],
     policy: &pim_host::ResilientLaunchPolicy,
 ) -> Result<ResilientBatch, HostError> {
-    let mut staged = tier1_multi_stage(model, images, false)?;
-    let report = staged.set.launch_loaded_resilient(staged.tasklets, policy)?;
+    let mut engine = tier1_multi_stage(model, images, false)?;
+    let report = engine.launch_resilient(policy)?;
     if !report.fully_served() {
         return Err(report
             .per_dpu
@@ -676,14 +969,15 @@ pub fn run_tier1_batch_multi_dpu_resilient(
                 detail: "unserved DPU carried no error".to_owned(),
             }));
     }
-    let features = gather_features(&staged)?;
+    let (features, _) = engine.gather(0)?;
+    let chunks = engine.staged_chunks(0).expect("batch staged").to_vec();
     let redispatched_images = report
         .degraded
         .iter()
         .flat_map(|d| {
             let q = d.from.0 as usize;
             let start = q * IMAGES_PER_DPU;
-            start..start + staged.chunk_lens[q]
+            start..start + chunks[q]
         })
         .collect();
     Ok(ResilientBatch { features, report, redispatched_images })

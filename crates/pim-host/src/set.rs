@@ -245,6 +245,43 @@ impl DpuSet {
         self.engine
     }
 
+    /// Profile-guided recompilation of the loaded program: replay it once
+    /// on `dpu` through the profiled reference path (accumulating a
+    /// [`dpu_sim::CycleAttribution`]), recompile only the superblocks
+    /// whose entry count meets `min_entries`
+    /// ([`dpu_sim::DEFAULT_HOT_THRESHOLD`] is the conventional floor),
+    /// and pin [`Engine::Compiled`] on the set. Returns the number of
+    /// blocks hot enough to stay compiled.
+    ///
+    /// The replay runs the program for real on `dpu` — deterministic
+    /// programs leave the same memory state a launch would, so on a
+    /// warmed-up serving set this is idempotent. Results of subsequent
+    /// launches are bit-identical to any other engine tier (the identity
+    /// tests pin this); only host wall-clock changes.
+    ///
+    /// # Errors
+    /// [`HostError::Symbol`] when no program is loaded,
+    /// [`HostError::NoSuchDpu`] when `dpu` is outside the set, or
+    /// [`HostError::Dpu`] when the profiling replay faults.
+    pub fn recompile_hot_loaded(
+        &mut self,
+        dpu: DpuId,
+        tasklets: usize,
+        min_entries: u64,
+    ) -> Result<usize> {
+        self.check_dpu(dpu)?;
+        let exec = self.loaded.as_ref().ok_or_else(|| HostError::Symbol {
+            name: "<program>".to_owned(),
+            problem: "no program loaded; call DpuSet::load first",
+        })?;
+        let mut attr = dpu_sim::CycleAttribution::new();
+        self.system.dpu_mut(dpu).run_exec_profiled(exec, tasklets, &mut attr)?;
+        let hot = attr.hot_starts(min_entries).len();
+        self.loaded.as_mut().expect("checked above").recompile_hot(&attr, min_entries);
+        self.engine = Some(Engine::Compiled);
+        Ok(hot)
+    }
+
     fn check_dpu(&self, dpu: DpuId) -> Result<()> {
         if (dpu.0 as usize) < self.system.len() {
             Ok(())

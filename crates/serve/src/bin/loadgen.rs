@@ -1,0 +1,307 @@
+//! Deterministic serving traffic generator.
+//!
+//! Replays seeded open- or closed-loop traffic against the eBNN serving
+//! engine and reports p50/p99/p999 latency and goodput from the
+//! `serve.*` metrics. `--compare` runs the same traffic through the
+//! serial and double-buffered pipelines, prints the goodput speedup,
+//! optionally gates it (`--min-speedup`) and writes a BENCH-style JSON
+//! record (`--bench-json`).
+//!
+//! Everything is a pure function of `--seed` and the flags: two runs
+//! with the same arguments print byte-identical `--json` output, which
+//! the CI `serve-smoke` job asserts.
+
+use ebnn::codegen::encode_slot;
+use ebnn::model::{EbnnModel, ModelConfig};
+use pim_serve::{
+    serve, ClosedLoop, EbnnServeEngine, LinkModel, OpenLoop, PipelineMode, Rng64, ServeConfig,
+    ServeReport,
+};
+use std::fmt::Write as _;
+
+#[derive(Debug, Clone)]
+struct Args {
+    mode: String,
+    seed: u64,
+    requests: u64,
+    gap: u64,
+    clients: u64,
+    think: u64,
+    items_lo: u64,
+    items_hi: u64,
+    dpus: usize,
+    filters: usize,
+    pipeline: PipelineMode,
+    queue_depth: usize,
+    delay: u64,
+    bw: u64,
+    pgo_warmup: Option<u64>,
+    fault_offline: f64,
+    fault_dma: f64,
+    fault_flip: f64,
+    fault_hang: f64,
+    fault_forced: Vec<u32>,
+    fault_seed: u64,
+    json: bool,
+    compare: bool,
+    min_speedup: f64,
+    bench_json: Option<String>,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            mode: "open".to_owned(),
+            seed: 42,
+            requests: 10_000,
+            gap: 20_000,
+            clients: 32,
+            think: 200_000,
+            items_lo: 1,
+            items_hi: 4,
+            dpus: 8,
+            filters: 1,
+            pipeline: PipelineMode::Double,
+            queue_depth: 64,
+            delay: 500_000,
+            bw: pim_serve::DEFAULT_SERVE_LINK_BYTES_PER_SEC,
+            pgo_warmup: None,
+            fault_offline: 0.0,
+            fault_dma: 0.0,
+            fault_flip: 0.0,
+            fault_hang: 0.0,
+            fault_forced: Vec::new(),
+            fault_seed: 0xF0CA,
+            json: false,
+            compare: false,
+            min_speedup: 0.0,
+            bench_json: None,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--mode open|closed] [--seed N] [--requests N] [--gap CYCLES]\n\
+         \x20              [--clients N] [--think CYCLES] [--items LO..HI] [--dpus N]\n\
+         \x20              [--filters N] [--pipeline serial|double] [--queue-depth N]\n\
+         \x20              [--delay CYCLES] [--bw BYTES_PER_SEC] [--pgo-warmup BATCHES]\n\
+         \x20              [--fault-offline P] [--fault-dma P] [--fault-flip P]\n\
+         \x20              [--fault-hang P] [--fault-forced CSV] [--fault-seed N]\n\
+         \x20              [--json] [--compare [--min-speedup X] [--bench-json PATH]]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut a = Args::default();
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut val = |flag: &str| argv.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match flag.as_str() {
+            "--mode" => a.mode = val("--mode"),
+            "--seed" => a.seed = val("--seed").parse().expect("--seed"),
+            "--requests" => a.requests = val("--requests").parse().expect("--requests"),
+            "--gap" => a.gap = val("--gap").parse().expect("--gap"),
+            "--clients" => a.clients = val("--clients").parse().expect("--clients"),
+            "--think" => a.think = val("--think").parse().expect("--think"),
+            "--items" => {
+                let v = val("--items");
+                let (lo, hi) = v.split_once("..").unwrap_or((v.as_str(), v.as_str()));
+                a.items_lo = lo.parse().expect("--items lo");
+                a.items_hi = hi.parse().expect("--items hi");
+            }
+            "--dpus" => a.dpus = val("--dpus").parse().expect("--dpus"),
+            "--filters" => a.filters = val("--filters").parse().expect("--filters"),
+            "--pipeline" => {
+                a.pipeline = match val("--pipeline").as_str() {
+                    "serial" => PipelineMode::Serial,
+                    "double" => PipelineMode::Double,
+                    _ => usage(),
+                }
+            }
+            "--queue-depth" => {
+                a.queue_depth = val("--queue-depth").parse().expect("--queue-depth");
+            }
+            "--delay" => a.delay = val("--delay").parse().expect("--delay"),
+            "--bw" => a.bw = val("--bw").parse().expect("--bw"),
+            "--pgo-warmup" => {
+                a.pgo_warmup = Some(val("--pgo-warmup").parse().expect("--pgo-warmup"));
+            }
+            "--fault-offline" => a.fault_offline = val("--fault-offline").parse().expect("P"),
+            "--fault-dma" => a.fault_dma = val("--fault-dma").parse().expect("P"),
+            "--fault-flip" => a.fault_flip = val("--fault-flip").parse().expect("P"),
+            "--fault-hang" => a.fault_hang = val("--fault-hang").parse().expect("P"),
+            "--fault-forced" => {
+                a.fault_forced = val("--fault-forced")
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.parse().expect("--fault-forced"))
+                    .collect();
+            }
+            "--fault-seed" => a.fault_seed = val("--fault-seed").parse().expect("--fault-seed"),
+            "--json" => a.json = true,
+            "--compare" => a.compare = true,
+            "--min-speedup" => {
+                a.min_speedup = val("--min-speedup").parse().expect("--min-speedup");
+            }
+            "--bench-json" => a.bench_json = Some(val("--bench-json")),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag: {other}");
+                usage();
+            }
+        }
+    }
+    a
+}
+
+fn policy(a: &Args) -> Option<pim_host::ResilientLaunchPolicy> {
+    let armed = a.fault_offline > 0.0
+        || a.fault_dma > 0.0
+        || a.fault_flip > 0.0
+        || a.fault_hang > 0.0
+        || !a.fault_forced.is_empty();
+    armed.then(|| {
+        pim_host::ResilientLaunchPolicy::with_faults(dpu_sim::FaultPlan::new(
+            dpu_sim::FaultConfig {
+                seed: a.fault_seed,
+                dpu_offline_prob: a.fault_offline,
+                dma_fail_prob: a.fault_dma,
+                bit_flip_prob: a.fault_flip,
+                hang_prob: a.fault_hang,
+                forced_offline: a.fault_forced.clone(),
+            },
+        ))
+    })
+}
+
+/// Pre-encode a deterministic pool of image slots; requests draw from it
+/// so per-request item generation stays cheap and seed-stable.
+fn slot_pool(model: &EbnnModel, seed: u64) -> Vec<Vec<u8>> {
+    (0..64u64)
+        .map(|i| {
+            let img = ebnn::mnist::synth_digit((i % 10) as usize, seed ^ (i / 10));
+            encode_slot(model, &img)
+        })
+        .collect()
+}
+
+fn run_once(a: &Args, pipeline: PipelineMode) -> ServeReport<Vec<u8>> {
+    let model = EbnnModel::generate(ModelConfig { filters: a.filters, ..ModelConfig::default() });
+    let pool = slot_pool(&model, a.seed);
+    let mut engine =
+        EbnnServeEngine::new(&model, a.dpus, pipeline, policy(a)).expect("engine builds");
+    let cfg = ServeConfig {
+        queue_capacity: a.queue_depth,
+        max_batch_delay: a.delay,
+        pipeline,
+        link: LinkModel { bytes_per_sec: a.bw, ..LinkModel::default() },
+        pgo_warmup_batches: a.pgo_warmup,
+        record_outputs: false,
+        ..ServeConfig::default()
+    }
+    .with_env();
+    let (lo, hi) = (a.items_lo.max(1), a.items_hi.max(a.items_lo.max(1)));
+    let gen = move |rng: &mut Rng64, _id: u64| -> Vec<Vec<u8>> {
+        let n = rng.range(lo, hi) as usize;
+        (0..n).map(|_| pool[rng.range(0, 63) as usize].clone()).collect()
+    };
+    let report = if a.mode == "closed" {
+        serve(&mut engine, &mut ClosedLoop::new(a.seed, a.clients, a.requests, a.think, gen), &cfg)
+    } else {
+        serve(&mut engine, &mut OpenLoop::new(a.seed, a.requests, a.gap, gen), &cfg)
+    };
+    report.expect("serving run succeeds")
+}
+
+fn summarize(tag: &str, r: &ServeReport<Vec<u8>>) -> String {
+    use pim_trace::keys as k;
+    let m = &r.metrics;
+    let q = |p: f64| r.latency_quantile(p).unwrap_or(0.0);
+    let mut s = String::new();
+    let _ = writeln!(
+        s,
+        "[{tag}] requests={} accepted={} rejected={} completed={} failed={}",
+        m.counter(k::SERVE_REQUESTS),
+        m.counter(k::SERVE_ACCEPTED),
+        m.counter(k::SERVE_REJECTED),
+        m.counter(k::SERVE_COMPLETED),
+        m.counter(k::SERVE_FAILED),
+    );
+    let _ = writeln!(
+        s,
+        "[{tag}] batches={} cuts(full/deadline/drain)={}/{}/{} splits={} redispatched={} pgo={}",
+        m.counter(k::SERVE_BATCHES),
+        m.counter(k::SERVE_CUTS_FULL),
+        m.counter(k::SERVE_CUTS_DEADLINE),
+        m.counter(k::SERVE_CUTS_DRAIN),
+        m.counter(k::SERVE_SPLITS),
+        m.counter(k::SERVE_REDISPATCHED_ITEMS),
+        m.counter(k::SERVE_PGO_RECOMPILES),
+    );
+    let _ = writeln!(
+        s,
+        "[{tag}] latency_cycles p50={:.0} p99={:.0} p999={:.0}  goodput={:.1} items/s  \
+         vtime={} cycles",
+        q(0.50),
+        q(0.99),
+        q(0.999),
+        r.goodput_ips,
+        r.vtime_cycles,
+    );
+    s
+}
+
+fn main() {
+    let a = parse_args();
+    if a.compare {
+        let serial = run_once(&a, PipelineMode::Serial);
+        let double = run_once(&a, PipelineMode::Double);
+        print!("{}", summarize("serial", &serial));
+        print!("{}", summarize("double", &double));
+        let speedup =
+            if serial.goodput_ips > 0.0 { double.goodput_ips / serial.goodput_ips } else { 0.0 };
+        println!("pipelined-vs-serial goodput speedup: {speedup:.3}x");
+        if let Some(path) = &a.bench_json {
+            let v = serde_json::json!({
+                "schema": "pim-serve-compare-v1",
+                "shape": {
+                    "dpus": a.dpus,
+                    "filters": a.filters,
+                    "requests": a.requests,
+                    "items": format!("{}..{}", a.items_lo, a.items_hi),
+                    "mode": a.mode,
+                    "seed": a.seed,
+                    "link_bytes_per_sec": a.bw,
+                },
+                "serial": {
+                    "goodput_ips": serial.goodput_ips,
+                    "vtime_cycles": serial.vtime_cycles,
+                },
+                "double": {
+                    "goodput_ips": double.goodput_ips,
+                    "vtime_cycles": double.vtime_cycles,
+                },
+                "speedup": speedup,
+            });
+            let body = serde_json::to_string_pretty(&v).expect("serialize bench json");
+            std::fs::write(path, body + "\n").expect("write bench json");
+            println!("wrote {path}");
+        }
+        if speedup < a.min_speedup {
+            eprintln!("FAIL: speedup {speedup:.3} < required {:.3}", a.min_speedup);
+            std::process::exit(1);
+        }
+        return;
+    }
+    let report = run_once(&a, a.pipeline);
+    if a.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report.metrics.to_json()).expect("serialize metrics")
+        );
+    } else {
+        print!("{}", summarize("serve", &report));
+    }
+}

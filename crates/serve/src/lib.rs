@@ -1,0 +1,41 @@
+//! `pim-serve` — a serving runtime over the PIM simulator stack.
+//!
+//! Turns the batch pipelines (`ebnn`, `yolo-pim`) into an inference
+//! service: a bounded admission queue sheds overload with a typed
+//! [`Overloaded`] rejection, dynamic batching accumulates work items
+//! until a rank's worth is filled or `max_batch_delay` expires, and the
+//! execution loop overlaps MRAM staging, DPU compute, and result
+//! readback in a double-buffered 3-stage pipeline (see
+//! [`pipeline`]). Fault-armed runs launch on the
+//! [`pim_host::ResilientLaunchPolicy`] so quarantined DPUs degrade
+//! goodput instead of failing requests, with golden-snapshot recovery
+//! of the weights between batches.
+//!
+//! All time is accounted in **simulated cycles**: compute comes from the
+//! simulator's cycle-exact makespans, transfers from the integer
+//! [`LinkModel`], and traffic from seeded integer generators — a fixed
+//! seed reproduces every metric bit-for-bit, which the CI `serve-smoke`
+//! job asserts. Per-run statistics land in a [`pim_trace::MetricsRegistry`]
+//! under the stable `serve.*` keys ([`pim_trace::keys`]), including
+//! p50/p99/p999 latency and goodput.
+//!
+//! The `loadgen` binary (`src/bin/loadgen.rs`) replays open- or
+//! closed-loop traffic against the eBNN engine and reports (or gates,
+//! `--compare`) the pipelined-vs-serial speedup. See `docs/SERVING.md`.
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod pipeline;
+pub mod queue;
+pub mod request;
+pub mod service;
+pub mod traffic;
+
+pub use engine::{BatchEngine, BatchRun, EbnnServeEngine, Gathered, YoloServeEngine};
+pub use pipeline::{LinkModel, PipelineMode, DEFAULT_SERVE_LINK_BYTES_PER_SEC};
+pub use queue::AdmissionQueue;
+pub use request::{Completion, CutKind, Overloaded, Request};
+pub use service::{serve, ServeConfig, ServeReport, MAX_BATCH_DELAY_ENV, QUEUE_DEPTH_ENV};
+pub use traffic::{splitmix64, ClosedLoop, OpenLoop, Rng64, Traffic, TrafficStep};

@@ -1,0 +1,141 @@
+//! Bounded admission queue with typed load-shedding.
+
+use crate::request::{Overloaded, Request};
+use std::collections::VecDeque;
+
+/// Per-request serving state, kept for the whole run (indexed by
+/// admission order — the service's stable request key).
+#[derive(Debug)]
+pub(crate) struct ReqState<I> {
+    pub id: u64,
+    pub arrival: u64,
+    pub items: Vec<I>,
+    /// Items already packed into batches.
+    pub taken: usize,
+    /// Batch slices launched but not yet read back.
+    pub open_slices: usize,
+    /// Latest read-back cycle across the request's slices.
+    pub finish: u64,
+    /// Whether any item was lost to an unserved DPU chunk.
+    pub lost: bool,
+    /// Whether this request was already counted in `serve.splits`.
+    pub split_counted: bool,
+}
+
+/// FIFO of admitted-but-not-fully-packed requests with a hard depth bound:
+/// a request arriving at a full queue is shed with a typed [`Overloaded`]
+/// instead of queuing unbounded latency.
+#[derive(Debug)]
+pub struct AdmissionQueue<I> {
+    bound: usize,
+    reqs: Vec<ReqState<I>>,
+    fifo: VecDeque<usize>,
+}
+
+impl<I> AdmissionQueue<I> {
+    /// An empty queue shedding above `bound` waiting requests.
+    #[must_use]
+    pub fn new(bound: usize) -> Self {
+        Self { bound: bound.max(1), reqs: Vec::new(), fifo: VecDeque::new() }
+    }
+
+    /// Requests currently waiting (admitted, not fully packed).
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// The configured depth bound.
+    #[must_use]
+    pub fn bound(&self) -> usize {
+        self.bound
+    }
+
+    /// Whether no request is waiting.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// Requests ever admitted.
+    #[must_use]
+    pub fn admitted(&self) -> usize {
+        self.reqs.len()
+    }
+
+    /// Admit `req`, returning its stable index, or shed it when the queue
+    /// is at its bound.
+    ///
+    /// # Errors
+    /// [`Overloaded`] when `depth() == bound()`.
+    pub fn admit(&mut self, req: Request<I>) -> Result<usize, Overloaded> {
+        if self.fifo.len() >= self.bound {
+            return Err(Overloaded { id: req.id, at: req.arrival, queue_depth: self.fifo.len() });
+        }
+        let idx = self.reqs.len();
+        self.reqs.push(ReqState {
+            id: req.id,
+            arrival: req.arrival,
+            items: req.items,
+            taken: 0,
+            open_slices: 0,
+            finish: 0,
+            lost: false,
+            split_counted: false,
+        });
+        self.fifo.push_back(idx);
+        Ok(idx)
+    }
+
+    pub(crate) fn front(&self) -> Option<usize> {
+        self.fifo.front().copied()
+    }
+
+    pub(crate) fn pop_front(&mut self) {
+        self.fifo.pop_front();
+    }
+
+    pub(crate) fn req(&self, idx: usize) -> &ReqState<I> {
+        &self.reqs[idx]
+    }
+
+    pub(crate) fn req_mut(&mut self, idx: usize) -> &mut ReqState<I> {
+        &mut self.reqs[idx]
+    }
+
+    pub(crate) fn all(&self) -> &[ReqState<I>] {
+        &self.reqs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, items: usize) -> Request<u8> {
+        Request { id, arrival: id * 10, items: vec![0u8; items] }
+    }
+
+    #[test]
+    fn sheds_above_bound_with_typed_error() {
+        let mut q = AdmissionQueue::new(2);
+        q.admit(req(0, 1)).unwrap();
+        q.admit(req(1, 1)).unwrap();
+        let e = q.admit(req(2, 1)).unwrap_err();
+        assert_eq!(e, Overloaded { id: 2, at: 20, queue_depth: 2 });
+        assert_eq!(format!("{e}"), "request 2 rejected at cycle 20: queue full (2 waiting)");
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.admitted(), 2);
+    }
+
+    #[test]
+    fn indices_are_stable_across_pops() {
+        let mut q = AdmissionQueue::new(8);
+        let a = q.admit(req(0, 1)).unwrap();
+        let b = q.admit(req(1, 2)).unwrap();
+        q.pop_front();
+        assert_eq!(q.front(), Some(b));
+        assert_eq!(q.req(a).id, 0);
+        assert_eq!(q.req(b).items.len(), 2);
+    }
+}

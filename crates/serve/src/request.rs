@@ -1,0 +1,73 @@
+//! Request, rejection, and completion types.
+
+/// One inference request: a batch of work items (eBNN image slots or GEMM
+/// rows) arriving at a simulated cycle stamp.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request<I> {
+    /// Generator-assigned id, unique per run.
+    pub id: u64,
+    /// Arrival time in simulated cycles.
+    pub arrival: u64,
+    /// The work items; a request larger than one rank batch is split
+    /// across launches and completes when its last slice is read back.
+    pub items: Vec<I>,
+}
+
+/// Typed admission rejection: the queue was at capacity when the request
+/// arrived, so it was shed instead of adding unbounded latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Overloaded {
+    /// The rejected request's id.
+    pub id: u64,
+    /// Rejection time in simulated cycles (= the request's arrival).
+    pub at: u64,
+    /// Queue depth at rejection (= the configured bound).
+    pub queue_depth: usize,
+}
+
+impl std::fmt::Display for Overloaded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "request {} rejected at cycle {}: queue full ({} waiting)",
+            self.id, self.at, self.queue_depth
+        )
+    }
+}
+
+impl std::error::Error for Overloaded {}
+
+/// Why a batch was cut and launched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CutKind {
+    /// The batch filled to the engine's capacity.
+    Full,
+    /// The head-of-line request waited `max_batch_delay` cycles.
+    Deadline,
+    /// Traffic ended; the partial batch was drained.
+    Drain,
+}
+
+/// A finished request: served or degraded, with its latency endpoints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The request's id.
+    pub id: u64,
+    /// Arrival time in simulated cycles.
+    pub arrival: u64,
+    /// Cycle at which the last of its results was read back.
+    pub finish: u64,
+    /// Items the request carried.
+    pub items: usize,
+    /// `false` when at least one item was lost to an unserved DPU chunk
+    /// (quarantined with no redispatch) — degraded service, not an error.
+    pub served: bool,
+}
+
+impl Completion {
+    /// Latency in simulated cycles.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.finish.saturating_sub(self.arrival)
+    }
+}

@@ -30,6 +30,7 @@
 
 pub mod chrome;
 mod event;
+pub mod keys;
 mod metrics;
 pub mod prom;
 mod sink;

@@ -322,6 +322,180 @@ fn gather_c(set: &DpuSet, dims: GemmDims) -> Result<Vec<i16>, HostError> {
     Ok(c)
 }
 
+/// A persistent row-GEMM executor: the DPU set is allocated once, the
+/// shared `B` matrix and params are broadcast once (COW pages shared
+/// across the set), and the program is loaded once — each batch then only
+/// scatters its `A` rows, launches, and gathers `C` rows. This is the
+/// batch-slicing entry point the `pim-serve` runtime builds on; unlike
+/// the eBNN-side `Tier1Engine` it has a single A/C buffer pair (the
+/// GEMM program bakes its MRAM bases), so the serving pipeline schedules
+/// it serially.
+#[derive(Debug)]
+pub struct RowEngine {
+    set: DpuSet,
+    dims: GemmDims,
+    dpus: usize,
+    tasklets: usize,
+    staged_rows: usize,
+    golden: pim_host::SetSnapshot,
+}
+
+impl RowEngine {
+    /// Build an engine over `dpus` DPUs computing rows of `A × B` (shapes
+    /// from `dims`; `dims.m` is ignored — the batch size is `dpus`).
+    ///
+    /// # Errors
+    /// Host-runtime failures.
+    ///
+    /// # Panics
+    /// When `dpus` is zero, `b` doesn't match `dims`, `tasklets` is
+    /// outside `1..=24`, or the WRAM layout overflows.
+    pub fn new(
+        dims: GemmDims,
+        alpha: i32,
+        b: &[i16],
+        dpus: usize,
+        tasklets: usize,
+    ) -> Result<Self, HostError> {
+        assert!(dpus > 0, "engine needs at least one DPU");
+        assert_eq!(b.len(), dims.k * dims.n, "B shape mismatch");
+        assert!((1..=24).contains(&tasklets), "tasklets must be 1..=24");
+        let a_cap = (dims.k * 2).div_ceil(8) * 8;
+        let b_cap = (dims.k * dims.n * 2).div_ceil(8) * 8;
+        let c_cap = (dims.n * 2).div_ceil(8) * 8;
+
+        let mut set = DpuSet::allocate(dpus)?;
+        set.define_symbol("params", 16)?;
+        set.define_symbol("a_row", a_cap)?;
+        set.define_symbol("b", b_cap)?;
+        set.define_symbol("c_row", c_cap)?;
+
+        let mut params = Vec::with_capacity(16);
+        for v in [dims.n as u32, dims.k as u32, alpha as u32, tasklets as u32] {
+            params.extend_from_slice(&v.to_le_bytes());
+        }
+        set.copy_to("params", 0, &params)?;
+        set.copy_values_to("b", b)?;
+        set.load(&gemm_row_program(dims))?;
+        let golden = set.snapshot();
+        Ok(Self { set, dims, dpus, tasklets, staged_rows: 0, golden })
+    }
+
+    /// Rows one batch can hold (= DPUs).
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.dpus
+    }
+
+    /// The GEMM dimensions this engine was generated for.
+    #[must_use]
+    pub fn dims(&self) -> GemmDims {
+        self.dims
+    }
+
+    /// The underlying set (engine pin, parallel threshold).
+    #[must_use]
+    pub fn set(&self) -> &DpuSet {
+        &self.set
+    }
+
+    /// Mutable access to the underlying set.
+    pub fn set_mut(&mut self) -> &mut DpuSet {
+        &mut self.set
+    }
+
+    /// Restore the pristine `B`-loaded state captured at build time (see
+    /// the eBNN engine's golden-snapshot rationale: fault-armed launches
+    /// can leave quarantined DPUs' MRAM corrupted).
+    ///
+    /// # Errors
+    /// Never in practice (the snapshot matches the set by construction).
+    pub fn restore_golden(&mut self) -> Result<(), HostError> {
+        self.set.restore(&self.golden)?;
+        self.staged_rows = 0;
+        Ok(())
+    }
+
+    /// Scatter up to [`RowEngine::capacity`] `A` rows (`rows.len()` must
+    /// be a multiple of `dims.k`). DPUs beyond the staged rows rerun
+    /// whatever row they last held; their `C` rows are not gathered.
+    /// Returns the bytes written over the host link.
+    ///
+    /// # Errors
+    /// Host-runtime failures.
+    ///
+    /// # Panics
+    /// When `rows` is empty, not a whole number of rows, or oversized.
+    pub fn stage(&mut self, rows: &[i16]) -> Result<u64, HostError> {
+        assert!(!rows.is_empty(), "empty batch");
+        assert_eq!(rows.len() % self.dims.k, 0, "A rows must be whole");
+        let n_rows = rows.len() / self.dims.k;
+        assert!(n_rows <= self.dpus, "batch exceeds engine capacity");
+        let a_cap = (self.dims.k * 2).div_ceil(8) * 8;
+        let mut batch = pim_host::XferBatch::new();
+        for i in 0..n_rows {
+            batch.prepare(pim_host::to_wire(&rows[i * self.dims.k..(i + 1) * self.dims.k]).data);
+        }
+        for _ in n_rows..self.dpus {
+            batch.prepare(vec![0u8; a_cap]);
+        }
+        batch.push(&mut self.set, "a_row", 0, a_cap)?;
+        self.staged_rows = n_rows;
+        Ok((a_cap * self.dpus) as u64)
+    }
+
+    /// Launch the staged batch.
+    ///
+    /// # Errors
+    /// The first DPU fault encountered.
+    pub fn launch(&mut self) -> Result<LaunchResult, HostError> {
+        self.set.launch_loaded(self.tasklets)
+    }
+
+    /// Launch under a fault-tolerance policy.
+    ///
+    /// # Errors
+    /// Host-runtime staging failures (injected faults are reported, not
+    /// returned as errors).
+    pub fn launch_resilient(
+        &mut self,
+        policy: &pim_host::ResilientLaunchPolicy,
+    ) -> Result<pim_host::LaunchReport, HostError> {
+        self.set.launch_loaded_resilient(self.tasklets, policy)
+    }
+
+    /// Profile-guided warmup: see the eBNN engine's `recompile_hot`.
+    /// Returns the number of blocks hot enough to compile.
+    ///
+    /// # Errors
+    /// Simulator faults during the profiling replay.
+    pub fn recompile_hot(&mut self, min_entries: u64) -> Result<usize, HostError> {
+        self.set.recompile_hot_loaded(DpuId(0), self.tasklets, min_entries)
+    }
+
+    /// Gather the staged rows' `C` outputs (row `i` from DPU `i`), plus
+    /// the bytes read over the host link.
+    ///
+    /// # Errors
+    /// Host-runtime failures.
+    pub fn gather(&self) -> Result<(Vec<i16>, u64), HostError> {
+        let mut c = vec![0i16; self.staged_rows * self.dims.n];
+        for i in 0..self.staged_rows {
+            let row: Vec<i16> =
+                self.set.copy_values_from_dpu(DpuId(i as u32), "c_row", 0, self.dims.n)?;
+            c[i * self.dims.n..(i + 1) * self.dims.n].copy_from_slice(&row);
+        }
+        let bytes = (self.staged_rows * ((self.dims.n * 2).div_ceil(8) * 8)) as u64;
+        Ok((c, bytes))
+    }
+
+    /// Rows staged for the next launch.
+    #[must_use]
+    pub fn staged_rows(&self) -> usize {
+        self.staged_rows
+    }
+}
+
 fn tier1_layer_impl(
     dims: GemmDims,
     alpha: i32,
