@@ -138,6 +138,48 @@ fn bench_resilient_launch(c: &mut Criterion) {
         "zero-fault resilient launch exceeded the 2% overhead budget: \
          plain {min_plain:?} vs resilient {min_resilient:?}"
     );
+
+    // --- The ECC tax guard --------------------------------------------
+    // Arming the SEC-DED sidecar on a zero-fault run touches only the
+    // DMA edges (encode-on-write, verify-on-read) plus one lazy page
+    // encode per first touch; the interpreter itself is untouched. So
+    // ECC-on must stay within 2% of ECC-off wall-clock — and produce
+    // bit-identical results, checked first so a correctness bug can't
+    // hide behind a perf assertion.
+    let mut off_set = staged_set();
+    let mut on_set = staged_set();
+    on_set.enable_ecc(true);
+    let off_res = off_set.launch_loaded_resilient(TASKLETS, &policy).unwrap();
+    let on_res = on_set.launch_loaded_resilient(TASKLETS, &policy).unwrap();
+    assert_eq!(
+        off_res.makespan_cycles(),
+        on_res.makespan_cycles(),
+        "ECC must be invisible to simulated time on a clean run"
+    );
+    for i in 0..DPUS {
+        let d = DpuId(i as u32);
+        let off_out: u64 = off_set.copy_scalar_from(d, "n").unwrap();
+        let on_out: u64 = on_set.copy_scalar_from(d, "n").unwrap();
+        assert_eq!(off_out, on_out, "DPU {i}: ECC-on output diverged from ECC-off");
+    }
+    let (min_off, min_on) = paired_min_time(
+        RUNS,
+        || {
+            black_box(
+                off_set.launch_loaded_resilient(TASKLETS, &policy).unwrap().makespan_cycles(),
+            );
+        },
+        || {
+            black_box(on_set.launch_loaded_resilient(TASKLETS, &policy).unwrap().makespan_cycles());
+        },
+    );
+    let budget = min_off.mul_f64(1.02) + Duration::from_micros(500);
+    println!("ecc tax: off min {min_off:?}, on min {min_on:?}, budget {budget:?}");
+    assert!(
+        min_on <= budget,
+        "ECC-on zero-fault launch exceeded the 2% overhead budget: \
+         off {min_off:?} vs on {min_on:?}"
+    );
 }
 
 criterion_group!(benches, bench_resilient_launch);

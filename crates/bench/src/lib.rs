@@ -8,6 +8,7 @@ use pim_core::experiments as exp;
 use pim_model::report::BenchRow;
 use pim_model::ModelReport;
 
+pub mod chaos;
 pub mod snapshot;
 
 /// Render Table 3.1 (cycles per operation) with relative errors.

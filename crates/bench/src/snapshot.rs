@@ -123,6 +123,19 @@ pub fn observation() -> LaunchObservation {
     let report = faulty.launch_resilient(&skewed_program(), 4, &policy).expect("resilient launch");
     obs.record_report(&report);
 
+    // A scripted integrity campaign: seeded single-bit DMA flips under an
+    // armed SEC-DED sidecar. Verify-on-read and the post-launch scrub
+    // repair everything without consuming a retry, so the
+    // `obs.integrity.*` counters in the snapshot are live (nonzero) and
+    // any change to the repair pipeline shows up as an exact diff.
+    let mut ecc = skewed_set(4);
+    ecc.enable_ecc(true);
+    let plan =
+        FaultPlan::new(FaultConfig { seed: 7, bit_flip_prob: 0.5, ..FaultConfig::default() });
+    let policy = ResilientLaunchPolicy::with_faults(plan);
+    let report = ecc.launch_resilient(&skewed_program(), 4, &policy).expect("ecc launch");
+    obs.record_report(&report);
+
     obs
 }
 
@@ -238,6 +251,27 @@ mod tests {
         for q in ["p50", "p99", "p999"] {
             assert!(lat.get(q).is_some(), "missing {q}");
         }
+    }
+
+    #[test]
+    fn snapshot_gates_live_integrity_counters() {
+        let doc = snapshot();
+        let counter = |k: &str| {
+            doc.get("metrics")
+                .and_then(|m| m.get("counters"))
+                .and_then(|c| c.get(k))
+                .and_then(serde_json::Value::as_u64)
+                .unwrap_or(0)
+        };
+        assert!(
+            counter("obs.integrity.dma_corrected") + counter("obs.integrity.scrub_corrected") > 0,
+            "the ECC campaign must exercise the repair pipeline"
+        );
+        assert_eq!(
+            counter("obs.integrity.scrub_uncorrectable"),
+            0,
+            "single-bit flips must never surface as uncorrectable"
+        );
     }
 
     #[test]

@@ -1,0 +1,51 @@
+//! A short slice of the chaos-soak campaign on every `cargo test`. The
+//! full ≥10k-launch soak runs in CI via the `chaos_soak` binary
+//! (release build); this keeps a few hundred faulted launches in the
+//! default test sweep so integrity regressions surface immediately.
+
+use pim_bench::chaos::{run_chaos, ChaosConfig};
+
+/// Launch count for the in-tree slice; `CHAOS_SOAK_LAUNCHES` scales it
+/// up (the CI job exercises the full campaign through the binary).
+fn launches() -> u64 {
+    std::env::var("CHAOS_SOAK_LAUNCHES").ok().and_then(|v| v.parse().ok()).unwrap_or(250)
+}
+
+#[test]
+fn chaos_slice_has_zero_silent_corruption() {
+    let cfg = ChaosConfig { launches: launches(), ..ChaosConfig::default() };
+    let rep = run_chaos(&cfg);
+
+    // The campaign must have actually exercised the machinery…
+    assert_eq!(rep.launches, cfg.launches);
+    assert!(rep.faulted_launches > 0, "no faults drawn: {rep:?}");
+    assert!(rep.faults_injected > 0);
+    assert!(
+        rep.scrub_corrected + rep.dma_corrected > 0,
+        "no single-bit error was ever corrected: {rep:?}"
+    );
+    for (name, n) in &rep.per_scenario {
+        assert!(*n > 0, "scenario {name} never drawn in {} launches", rep.launches);
+    }
+
+    // …and met the integrity contract while doing so.
+    assert_eq!(rep.violations_silent_corruption, 0, "SILENT CORRUPTION: {rep:?}");
+    assert_eq!(rep.violations_flip_retry, 0, "flip-only launches consumed retries: {rep:?}");
+    assert_eq!(rep.violations_unexplained_unserved, 0, "unexplained unserved: {rep:?}");
+    assert!(rep.clean());
+}
+
+#[test]
+fn double_flip_storms_surface_uncorrectable_words_not_corruption() {
+    // A concentrated double-flip campaign: SEC-DED must *detect* every
+    // event (failing attempts, consuming retries, quarantining in the
+    // limit) and never pass a corrupted word through as served-healthy.
+    let mut any_uncorrectable = false;
+    for seed in [3u64, 0xD0B1, 0xFEED_F00D] {
+        let cfg = ChaosConfig { launches: 30, seed, ..ChaosConfig::default() };
+        let rep = run_chaos(&cfg);
+        assert!(rep.clean(), "seed {seed}: {rep:?}");
+        any_uncorrectable |= rep.uncorrectable_words > 0;
+    }
+    assert!(any_uncorrectable, "no campaign ever hit an uncorrectable word");
+}

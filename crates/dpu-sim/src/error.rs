@@ -98,6 +98,13 @@ pub enum Error {
         /// Requested transfer size in bytes.
         bytes: usize,
     },
+    /// An MRAM word failed its SEC-DED check with more than one bit in
+    /// error — detected but uncorrectable, so the containing launch must
+    /// be retried from a clean snapshot rather than trusted.
+    EccUncorrectable {
+        /// Byte address of the first word that failed decode.
+        addr: usize,
+    },
 }
 
 impl fmt::Display for Error {
@@ -135,6 +142,9 @@ impl fmt::Display for Error {
             Error::DpuOffline => write!(f, "DPU offline (injected rank fault)"),
             Error::DmaFault { pc, bytes } => {
                 write!(f, "injected DMA fault at pc={pc} ({bytes}-byte transfer)")
+            }
+            Error::EccUncorrectable { addr } => {
+                write!(f, "uncorrectable ECC error in MRAM word at addr={addr:#x}")
             }
         }
     }

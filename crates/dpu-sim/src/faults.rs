@@ -52,6 +52,8 @@ const STREAM_HANG_AT: u64 = 0x4841_4E47_0000_0002;
 const STREAM_DMA_FAIL: u64 = 0x444D_4146_4149_4C31;
 const STREAM_DMA_FLIP: u64 = 0x464C_4950_0000_0001;
 const STREAM_FLIP_SITE: u64 = 0x464C_4950_0000_0002;
+const STREAM_DMA_FLIP2: u64 = 0x464C_4950_0000_0003;
+const STREAM_FLIP2_SITE: u64 = 0x464C_4950_0000_0004;
 
 /// Earliest cycle at which an injected hang may fire.
 const HANG_MIN_CYCLES: u64 = 500;
@@ -71,6 +73,10 @@ pub struct FaultConfig {
     /// Per-transfer probability that one destination bit flips on DMA
     /// completion.
     pub bit_flip_prob: f64,
+    /// Per-transfer probability that **two distinct bits of the same
+    /// destination byte** flip on DMA completion — the SEC-DED
+    /// uncorrectable case (detected, surfaced, never silently fixed).
+    pub double_flip_prob: f64,
     /// Per-attempt probability that the run hangs (cycle budget clamped to
     /// a drawn value in `[500, 50_000]`).
     pub hang_prob: f64,
@@ -86,6 +92,7 @@ impl Default for FaultConfig {
             dpu_offline_prob: 0.0,
             dma_fail_prob: 0.0,
             bit_flip_prob: 0.0,
+            double_flip_prob: 0.0,
             hang_prob: 0.0,
             forced_offline: Vec::new(),
         }
@@ -128,6 +135,7 @@ impl FaultPlan {
         c.dpu_offline_prob == 0.0
             && c.dma_fail_prob == 0.0
             && c.bit_flip_prob == 0.0
+            && c.double_flip_prob == 0.0
             && c.hang_prob == 0.0
             && c.forced_offline.is_empty()
     }
@@ -154,6 +162,7 @@ impl FaultPlan {
             hang_after,
             dma_fail_prob: c.dma_fail_prob,
             bit_flip_prob: c.bit_flip_prob,
+            double_flip_prob: c.double_flip_prob,
             dma_seen: 0,
             injected: Vec::new(),
         }
@@ -171,6 +180,18 @@ pub enum DmaFault {
         byte: usize,
         /// Bit index within the byte (0..8).
         bit: u8,
+    },
+    /// Complete the transfer, then invert two **distinct** bits of one
+    /// destination byte — beyond SEC-DED's correction radius, so the
+    /// error must surface as [`crate::Error::EccUncorrectable`] instead
+    /// of being silently repaired.
+    FlipBits2 {
+        /// Byte offset within the transfer.
+        byte: usize,
+        /// First flipped bit index (0..8).
+        bit_a: u8,
+        /// Second flipped bit index (0..8), different from `bit_a`.
+        bit_b: u8,
     },
 }
 
@@ -253,6 +274,7 @@ pub struct AttemptFaults {
     hang_after: Option<u64>,
     dma_fail_prob: f64,
     bit_flip_prob: f64,
+    double_flip_prob: f64,
     /// DMA transfers seen so far this attempt (the per-transfer decision
     /// index — a per-attempt ordinal, so it is deterministic for any
     /// deterministic program).
@@ -298,6 +320,17 @@ impl AttemptFaults {
             return Some(DmaFault::Fail);
         }
         if len > 0
+            && self.double_flip_prob > 0.0
+            && unit(mix(self.seed, STREAM_DMA_FLIP2, self.dpu, self.attempt, idx))
+                < self.double_flip_prob
+        {
+            let site = mix(self.seed, STREAM_FLIP2_SITE, self.dpu, self.attempt, idx);
+            let bit_a = ((site >> 32) % 8) as u8;
+            // Second bit drawn from the 7 remaining positions.
+            let bit_b = (bit_a + 1 + ((site >> 40) % 7) as u8) % 8;
+            return Some(DmaFault::FlipBits2 { byte: (site as usize) % len, bit_a, bit_b });
+        }
+        if len > 0
             && self.bit_flip_prob > 0.0
             && unit(mix(self.seed, STREAM_DMA_FLIP, self.dpu, self.attempt, idx))
                 < self.bit_flip_prob
@@ -334,7 +367,7 @@ mod tests {
             dma_fail_prob: 0.2,
             bit_flip_prob: 0.2,
             hang_prob: 0.3,
-            forced_offline: vec![],
+            ..Default::default()
         })
     }
 

@@ -43,6 +43,7 @@
 pub mod asm;
 pub mod compile;
 pub mod cost;
+pub mod ecc;
 pub mod error;
 pub mod exec;
 pub mod faults;
@@ -61,8 +62,10 @@ pub use error::{Error, Result};
 pub use exec::ExecProgram;
 pub use faults::{AttemptFaults, FaultConfig, FaultKind, FaultPlan, InjectedFault};
 pub use isa::{Instr, Program, Reg};
-pub use machine::{Engine, Machine, MachineSnapshot, RunResult};
-pub use memory::{CowMemory, DmaEngine, MemorySnapshot, Mram, Wram, MRAM_PAGE_BYTES};
+pub use machine::{Engine, IntegrityCounters, Machine, MachineSnapshot, RunResult};
+pub use memory::{
+    CowMemory, DmaEngine, MemorySnapshot, Mram, ScrubReport, Scrubber, Wram, MRAM_PAGE_BYTES,
+};
 pub use params::DpuParams;
 pub use pipeline::Pipeline;
 pub use profiler::{BlockCycles, CycleAttribution, Profiler, SubroutineCycles};

@@ -175,6 +175,21 @@ pub struct Machine {
     perf: PerfCounter,
     /// Faults armed for the next run attempt, if any (see [`crate::faults`]).
     faults: Option<AttemptFaults>,
+    /// Integrity events observed by the machine (monotone; the host
+    /// reads per-launch deltas).
+    pub integrity: IntegrityCounters,
+}
+
+/// Integrity events the machine itself observed and handled.
+///
+/// Populated only when MRAM ECC is enabled (see
+/// [`crate::CowMemory::set_ecc`]); zero otherwise.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IntegrityCounters {
+    /// Single-bit corrections applied at the DMA read site: MRAM source
+    /// words repaired via SEC-DED, plus landed WRAM destinations
+    /// re-copied after an in-flight corruption.
+    pub dma_corrected: u64,
 }
 
 /// Full architectural state of one DPU, captured by [`Machine::snapshot`].
@@ -223,6 +238,7 @@ impl Machine {
             ),
             perf: PerfCounter::new(),
             faults: None,
+            integrity: IntegrityCounters::default(),
         }
     }
 
@@ -1687,23 +1703,45 @@ impl Interp<'_> {
                 // The issuing tasklet blocks for queueing + setup + its
                 // own streaming time.
                 self.pipeline.stall(t, (start - issue) + setup + stream);
-                if let Some(DmaFault::FlipBit { byte, bit }) = fault {
-                    // The flip lands in the transfer's destination as the
-                    // data arrives: WRAM for reads, MRAM for writes.
-                    let done = start + setup + stream;
-                    let kind = if is_read {
-                        let addr = w + byte;
-                        let v = self.machine.wram.read_u8(addr)?;
-                        self.machine.wram.write_u8(addr, v ^ (1 << bit))?;
-                        FaultKind::WramBitFlip { addr: addr as u32, bit }
-                    } else {
-                        let addr = m + byte;
-                        let v = self.machine.mram.read_u8(addr)?;
-                        self.machine.mram.write_u8(addr, v ^ (1 << bit))?;
-                        FaultKind::MramBitFlip { addr: addr as u32, bit }
+                if let Some(f @ (DmaFault::FlipBit { .. } | DmaFault::FlipBits2 { .. })) = fault {
+                    let (byte, bits, n) = match f {
+                        DmaFault::FlipBit { byte, bit } => (byte, [bit, 0], 1),
+                        DmaFault::FlipBits2 { byte, bit_a, bit_b } => (byte, [bit_a, bit_b], 2),
+                        DmaFault::Fail => unreachable!("Fail returned above"),
                     };
-                    if let Some(f) = self.machine.faults.as_mut() {
-                        f.log(kind, done);
+                    // The flip(s) land in the transfer's destination as
+                    // the data arrives: WRAM for reads, MRAM for writes.
+                    // MRAM flips are *storage* errors: they bypass the
+                    // SEC-DED sidecar (and break COW first), so the
+                    // scrubber sees a code/data mismatch to repair.
+                    let done = start + setup + stream;
+                    for &bit in &bits[..n] {
+                        let kind = if is_read {
+                            let addr = w + byte;
+                            let v = self.machine.wram.read_u8(addr)?;
+                            self.machine.wram.write_u8(addr, v ^ (1 << bit))?;
+                            FaultKind::WramBitFlip { addr: addr as u32, bit }
+                        } else {
+                            let addr = m + byte;
+                            self.machine.mram.flip_bit_raw(addr, bit)?;
+                            FaultKind::MramBitFlip { addr: addr as u32, bit }
+                        };
+                        if let Some(f) = self.machine.faults.as_mut() {
+                            f.log(kind, done);
+                        }
+                    }
+                }
+                if is_read && self.machine.mram.ecc_enabled() {
+                    // Verify-on-read: repair single-bit storage errors in
+                    // the source words (surface multi-bit ones), then
+                    // re-check the landed bytes against the trusted
+                    // source so in-flight corruption is caught too.
+                    let repaired = self.machine.mram.verify_range(m, l)?;
+                    self.machine.integrity.dma_corrected += repaired;
+                    let src = self.machine.mram.to_vec(m, l)?;
+                    if self.machine.wram.slice(w, l)? != src.as_slice() {
+                        self.machine.wram.write(w, &src)?;
+                        self.machine.integrity.dma_corrected += 1;
                     }
                 }
                 if self.sink.is_enabled() {

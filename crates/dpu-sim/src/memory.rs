@@ -26,6 +26,7 @@
 //!   *table* (pointer bumps), making whole-MRAM snapshots O(pages) instead
 //!   of O(capacity) — the resilient retry path leans on this.
 
+use crate::ecc;
 use crate::error::{Error, Result};
 use crate::params;
 use std::sync::Arc;
@@ -192,6 +193,58 @@ pub struct CowMemory {
     kind: &'static str,
     len: usize,
     pages: Vec<Option<Arc<Vec<u8>>>>,
+    /// SEC-DED sidecar: one code byte per aligned 8-byte data word,
+    /// stored page-parallel and COW-shared exactly like the data pages
+    /// (a broadcast page installed into 2,560 DPUs shares one sidecar).
+    /// `None` is the all-zero sidecar, which is correct for the zero
+    /// page ([`ecc::encode_word`] maps 0 to 0). Empty when ECC is off.
+    codes: Vec<Option<Arc<Vec<u8>>>>,
+    /// Whether writes maintain the SEC-DED sidecar. Off by default: the
+    /// sidecar costs one encode per written word, gated ≤2% by bench.
+    ecc: bool,
+}
+
+/// What one integrity sweep over a [`CowMemory`] found and repaired.
+///
+/// Produced by [`CowMemory::scrub`]: every resident page's words are
+/// checked against the SEC-DED sidecar, single-bit errors (in data or
+/// sidecar) are repaired in place, and multi-bit errors are reported by
+/// address — never silently "fixed".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Resident pages swept.
+    pub pages: usize,
+    /// Words checked across those pages.
+    pub words: u64,
+    /// Data bits flipped back (storage errors corrected).
+    pub corrected_data: u64,
+    /// Sidecar bytes rewritten (errors confined to the code).
+    pub corrected_code: u64,
+    /// Byte addresses of words with uncorrectable (multi-bit) errors.
+    pub uncorrectable: Vec<usize>,
+}
+
+impl ScrubReport {
+    /// Total single-bit corrections (data plus sidecar).
+    #[must_use]
+    pub fn corrected(&self) -> u64 {
+        self.corrected_data + self.corrected_code
+    }
+
+    /// True when the sweep found nothing to repair or report.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.corrected() == 0 && self.uncorrectable.is_empty()
+    }
+
+    /// Fold another report into this one (for multi-DPU aggregation).
+    pub fn merge(&mut self, other: &ScrubReport) {
+        self.pages += other.pages;
+        self.words += other.words;
+        self.corrected_data += other.corrected_data;
+        self.corrected_code += other.corrected_code;
+        self.uncorrectable.extend_from_slice(&other.uncorrectable);
+    }
 }
 
 /// O(pages) image of a [`CowMemory`] taken by [`CowMemory::snapshot`].
@@ -203,6 +256,8 @@ pub struct CowMemory {
 pub struct MemorySnapshot {
     len: usize,
     pages: Vec<Option<Arc<Vec<u8>>>>,
+    codes: Vec<Option<Arc<Vec<u8>>>>,
+    ecc: bool,
 }
 
 impl MemorySnapshot {
@@ -231,7 +286,8 @@ impl CowMemory {
     /// page-table allocation.
     #[must_use]
     pub fn new(kind: &'static str, size: usize) -> Self {
-        Self { kind, len: size, pages: vec![None; size.div_ceil(MRAM_PAGE_BYTES)] }
+        let table = size.div_ceil(MRAM_PAGE_BYTES);
+        Self { kind, len: size, pages: vec![None; table], codes: vec![None; table], ecc: false }
     }
 
     /// Capacity in bytes.
@@ -310,9 +366,28 @@ impl CowMemory {
             let (page, off) = (at / MRAM_PAGE_BYTES, at % MRAM_PAGE_BYTES);
             let take = (self.page_len(page) - off).min(buf.len() - done);
             self.page_mut(page)[off..off + take].copy_from_slice(&buf[done..done + take]);
+            if self.ecc {
+                self.refresh_codes(page, off, take);
+            }
             done += take;
         }
         Ok(())
+    }
+
+    /// Re-encode the sidecar for every word overlapping `[off, off+len)`
+    /// of page `page` (which must already be materialized). The write
+    /// path calls this after each legitimate store so the sidecar always
+    /// reflects the intended data.
+    fn refresh_codes(&mut self, page: usize, off: usize, len: usize) {
+        let words = self.page_len(page).div_ceil(ecc::WORD_BYTES);
+        let w0 = off / ecc::WORD_BYTES;
+        let w1 = (off + len).div_ceil(ecc::WORD_BYTES).min(words);
+        let (pages, codes) = (&self.pages, &mut self.codes);
+        let data = pages[page].as_deref().expect("data page materialized before code refresh");
+        let code = Arc::make_mut(codes[page].get_or_insert_with(|| Arc::new(vec![0u8; words])));
+        for (i, c) in code[w0..w1].iter_mut().enumerate() {
+            *c = ecc::encode_word(ecc::word_at(data, (w0 + i) * ecc::WORD_BYTES));
+        }
     }
 
     /// Copy a byte range out into a fresh vector (the paged replacement
@@ -365,8 +440,26 @@ impl CowMemory {
     /// [`Error::OutOfBounds`] when out of range.
     pub fn write_u8(&mut self, addr: usize, val: u32) -> Result<()> {
         self.check_range(addr, 1)?;
+        let (page, off) = (addr / MRAM_PAGE_BYTES, addr % MRAM_PAGE_BYTES);
+        self.page_mut(page)[off] = val as u8;
+        if self.ecc {
+            self.refresh_codes(page, off, 1);
+        }
+        Ok(())
+    }
+
+    /// Invert one **stored** bit without maintaining the SEC-DED
+    /// sidecar — the model of a storage-cell error (and the injector's
+    /// entry point). The touched page is privatized first, so a flip on
+    /// a COW-shared broadcast page corrupts only this memory's mapping,
+    /// never the other DPUs sharing the storage.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when `addr` is out of range.
+    pub fn flip_bit_raw(&mut self, addr: usize, bit: u8) -> Result<()> {
+        self.check_range(addr, 1)?;
         let off = addr % MRAM_PAGE_BYTES;
-        self.page_mut(addr / MRAM_PAGE_BYTES)[off] = val as u8;
+        self.page_mut(addr / MRAM_PAGE_BYTES)[off] ^= 1 << (bit & 7);
         Ok(())
     }
 
@@ -390,14 +483,20 @@ impl CowMemory {
     /// page — O(pages), and frees (or un-shares) the storage.
     pub fn clear(&mut self) {
         self.pages.fill(None);
+        self.codes.fill(None);
     }
 
-    /// Take an O(pages) snapshot: clones the page table, bumping each
-    /// materialized page's reference count. Writes after the snapshot
-    /// copy-on-write away from it.
+    /// Take an O(pages) snapshot: clones the page table (and the ECC
+    /// sidecar table), bumping each materialized page's reference count.
+    /// Writes after the snapshot copy-on-write away from it.
     #[must_use]
     pub fn snapshot(&self) -> MemorySnapshot {
-        MemorySnapshot { len: self.len, pages: self.pages.clone() }
+        MemorySnapshot {
+            len: self.len,
+            pages: self.pages.clone(),
+            codes: self.codes.clone(),
+            ecc: self.ecc,
+        }
     }
 
     /// Restore the exact image captured by [`CowMemory::snapshot`] —
@@ -417,6 +516,8 @@ impl CowMemory {
             });
         }
         self.pages.clone_from(&snap.pages);
+        self.codes.clone_from(&snap.codes);
+        self.ecc = snap.ecc;
         Ok(())
     }
 
@@ -440,7 +541,203 @@ impl CowMemory {
             });
         }
         self.pages[page] = Some(Arc::clone(data));
+        if self.ecc {
+            self.codes[page] = Some(Arc::new(ecc::encode_page(data)));
+        }
         Ok(())
+    }
+
+    /// [`CowMemory::install_page`] with a pre-computed SEC-DED sidecar,
+    /// shared by reference like the data page. The broadcast fast path
+    /// uses this so a rank-wide weight image carries **one** sidecar,
+    /// encoded once on the host, instead of re-encoding per DPU.
+    ///
+    /// # Errors
+    /// [`Error::OutOfBounds`] when `page` is outside the table, `data`
+    /// is not exactly the page's length, or `code` is not one byte per
+    /// 8-byte word of `data`.
+    pub fn install_page_with_code(
+        &mut self,
+        page: usize,
+        data: &Arc<Vec<u8>>,
+        code: &Arc<Vec<u8>>,
+    ) -> Result<()> {
+        if code.len() != data.len().div_ceil(ecc::WORD_BYTES) {
+            return Err(Error::OutOfBounds {
+                kind: self.kind,
+                addr: page * MRAM_PAGE_BYTES,
+                len: code.len(),
+                size: self.len,
+            });
+        }
+        self.install_page(page, data)?;
+        if self.ecc {
+            self.codes[page] = Some(Arc::clone(code));
+        }
+        Ok(())
+    }
+
+    /// Whether the SEC-DED sidecar is being maintained.
+    #[must_use]
+    pub fn ecc_enabled(&self) -> bool {
+        self.ecc
+    }
+
+    /// Turn the SEC-DED sidecar on or off. Enabling encodes every
+    /// resident page (a one-time O(resident bytes) sweep); disabling
+    /// drops the sidecar storage.
+    pub fn set_ecc(&mut self, on: bool) {
+        if on == self.ecc {
+            return;
+        }
+        self.ecc = on;
+        if on {
+            for page in 0..self.pages.len() {
+                if let Some(data) = &self.pages[page] {
+                    self.codes[page] = Some(Arc::new(ecc::encode_page(data)));
+                }
+            }
+        } else {
+            self.codes.fill(None);
+        }
+    }
+
+    /// Bytes of materialized sidecar storage (shared sidecars counted at
+    /// full size, mirroring [`CowMemory::resident_bytes`]).
+    #[must_use]
+    pub fn ecc_resident_bytes(&self) -> usize {
+        self.codes.iter().flatten().map(|p| p.len()).sum()
+    }
+
+    /// The stored sidecar byte for the word containing `addr`, if ECC is
+    /// on (missing sidecar pages read as zero codes).
+    #[must_use]
+    pub fn code_at(&self, addr: usize) -> Option<u8> {
+        if !self.ecc || addr >= self.len {
+            return None;
+        }
+        let (page, off) = (addr / MRAM_PAGE_BYTES, addr % MRAM_PAGE_BYTES);
+        Some(self.codes[page].as_ref().map_or(0, |c| c[off / ecc::WORD_BYTES]))
+    }
+
+    /// Check every word overlapping `[addr, addr+len)` against the
+    /// sidecar, repairing single-bit errors (data or code) in place.
+    /// Returns the number of corrections. No-op when ECC is off.
+    ///
+    /// The DMA engine calls this on the source range of every
+    /// MRAM→WRAM read, so storage errors are caught *before* the kernel
+    /// consumes them.
+    ///
+    /// # Errors
+    /// [`Error::EccUncorrectable`] on the first multi-bit word error;
+    /// [`Error::OutOfBounds`] when the range exceeds capacity.
+    pub fn verify_range(&mut self, addr: usize, len: usize) -> Result<u64> {
+        if !self.ecc || len == 0 {
+            return Ok(0);
+        }
+        self.check_range(addr, len)?;
+        let mut corrected = 0u64;
+        let first_word = addr / ecc::WORD_BYTES;
+        let last_word = (addr + len - 1) / ecc::WORD_BYTES;
+        let mut w = first_word;
+        while w <= last_word {
+            let at = w * ecc::WORD_BYTES;
+            let page = at / MRAM_PAGE_BYTES;
+            if self.pages[page].is_none() {
+                // Zero page: sidecar is the (implicit) zero sidecar.
+                w = ((page + 1) * MRAM_PAGE_BYTES) / ecc::WORD_BYTES;
+                continue;
+            }
+            corrected += self.verify_word(at)?;
+            w += 1;
+        }
+        Ok(corrected)
+    }
+
+    /// Decode one word against its sidecar byte, repairing in place.
+    fn verify_word(&mut self, at: usize) -> Result<u64> {
+        let (page, off) = (at / MRAM_PAGE_BYTES, at % MRAM_PAGE_BYTES);
+        let w = off / ecc::WORD_BYTES;
+        let data = self.pages[page].as_deref().expect("resident page");
+        let word = ecc::word_at(data, off);
+        let code = self.codes[page].as_ref().map_or(0, |c| c[w]);
+        match ecc::decode_word(word, code) {
+            ecc::Decode::Clean => Ok(0),
+            ecc::Decode::CorrectedData(bit) => {
+                let byte = off + (bit / 8) as usize;
+                if byte >= data.len() {
+                    // A ≥3-bit error aliased onto a padded tail position:
+                    // not actually correctable.
+                    return Err(Error::EccUncorrectable { addr: at });
+                }
+                self.page_mut(page)[byte] ^= 1 << (bit % 8);
+                Ok(1)
+            }
+            ecc::Decode::CorrectedCode => {
+                let words = self.page_len(page).div_ceil(ecc::WORD_BYTES);
+                let code =
+                    Arc::make_mut(self.codes[page].get_or_insert_with(|| Arc::new(vec![0; words])));
+                code[w] = ecc::encode_word(word);
+                Ok(1)
+            }
+            ecc::Decode::Uncorrectable => Err(Error::EccUncorrectable { addr: at }),
+        }
+    }
+
+    /// Sweep every resident page, repairing single-bit errors and
+    /// reporting multi-bit ones. The scrubber's core: the host runs this
+    /// between launches (and the resilient path after each fault-armed
+    /// attempt) so storage errors are swept up without consuming a
+    /// retry. No-op when ECC is off.
+    pub fn scrub(&mut self) -> ScrubReport {
+        let mut rep = ScrubReport::default();
+        if !self.ecc {
+            return rep;
+        }
+        for page in 0..self.pages.len() {
+            let Some(data) = self.pages[page].as_deref() else { continue };
+            rep.pages += 1;
+            let words = data.len().div_ceil(ecc::WORD_BYTES);
+            rep.words += words as u64;
+            let code = self.codes[page].as_deref();
+            let mut fixes: Vec<(usize, ecc::Decode)> = Vec::new();
+            for w in 0..words {
+                let word = ecc::word_at(data, w * ecc::WORD_BYTES);
+                let stored = code.map_or(0, |c| c[w]);
+                match ecc::decode_word(word, stored) {
+                    ecc::Decode::Clean => {}
+                    d => fixes.push((w, d)),
+                }
+            }
+            for (w, d) in fixes {
+                let at = page * MRAM_PAGE_BYTES + w * ecc::WORD_BYTES;
+                match d {
+                    ecc::Decode::Clean => {}
+                    ecc::Decode::CorrectedData(bit) => {
+                        let off = w * ecc::WORD_BYTES + (bit / 8) as usize;
+                        if off >= self.page_len(page) {
+                            rep.uncorrectable.push(at);
+                            continue;
+                        }
+                        self.page_mut(page)[off] ^= 1 << (bit % 8);
+                        rep.corrected_data += 1;
+                    }
+                    ecc::Decode::CorrectedCode => {
+                        let word = ecc::word_at(
+                            self.pages[page].as_deref().expect("resident page"),
+                            w * ecc::WORD_BYTES,
+                        );
+                        let code = Arc::make_mut(
+                            self.codes[page].get_or_insert_with(|| Arc::new(vec![0; words])),
+                        );
+                        code[w] = ecc::encode_word(word);
+                        rep.corrected_code += 1;
+                    }
+                    ecc::Decode::Uncorrectable => rep.uncorrectable.push(at),
+                }
+            }
+        }
+        rep
     }
 
     /// Materialized pages (zero pages cost nothing).
@@ -480,6 +777,69 @@ impl PartialEq for CowMemory {
 }
 
 impl Eq for CowMemory {}
+
+/// Cadenced background scrubber: sweeps a [`CowMemory`]'s resident pages
+/// every `interval` launches, correcting single-bit upsets before they
+/// can accumulate into uncorrectable double faults.
+///
+/// The serving layer drives one of these per DPU between batches; lower
+/// intervals trade more sweep work for a smaller window in which a second
+/// upset can land on an already-damaged word.
+#[derive(Debug, Clone)]
+pub struct Scrubber {
+    interval: u64,
+    since: u64,
+    sweeps: u64,
+    total: ScrubReport,
+}
+
+impl Scrubber {
+    /// A scrubber that sweeps every `interval` launches. An interval of 0
+    /// is clamped to 1 (sweep after every launch).
+    #[must_use]
+    pub fn new(interval: u64) -> Self {
+        Self { interval: interval.max(1), since: 0, sweeps: 0, total: ScrubReport::default() }
+    }
+
+    /// Configured sweep cadence in launches.
+    #[must_use]
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// Number of full sweeps performed so far.
+    #[must_use]
+    pub fn sweeps(&self) -> u64 {
+        self.sweeps
+    }
+
+    /// Accumulated totals across every sweep this scrubber has run.
+    #[must_use]
+    pub fn total(&self) -> &ScrubReport {
+        &self.total
+    }
+
+    /// Record one completed launch; when the cadence fires, sweep `mram`
+    /// and return that sweep's report. Off-cadence launches return `None`
+    /// and cost nothing.
+    pub fn on_launch(&mut self, mram: &mut CowMemory) -> Option<ScrubReport> {
+        self.since += 1;
+        if self.since < self.interval {
+            return None;
+        }
+        Some(self.force(mram))
+    }
+
+    /// Sweep immediately regardless of cadence, resetting the since-last
+    /// counter.
+    pub fn force(&mut self, mram: &mut CowMemory) -> ScrubReport {
+        self.since = 0;
+        self.sweeps += 1;
+        let report = mram.scrub();
+        self.total.merge(&report);
+        report
+    }
+}
 
 /// 64 KiB working RAM (single-cycle access from the pipeline).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -875,5 +1235,166 @@ mod tests {
         w.write_u32(4, 77).unwrap();
         w.clear();
         assert_eq!(w.read_u32(4).unwrap(), 0);
+    }
+
+    #[test]
+    fn ecc_scrub_corrects_single_bit_storage_errors() {
+        let mut m = CowMemory::new("MRAM", MRAM_PAGE_BYTES * 2);
+        m.set_ecc(true);
+        let data: Vec<u8> = (0..256u32).map(|i| (i % 251) as u8).collect();
+        m.write(100, &data).unwrap();
+        let before = m.to_vec(0, m.len()).unwrap();
+        // Storage errors: raw flips that bypass the sidecar.
+        m.flip_bit_raw(120, 3).unwrap();
+        m.flip_bit_raw(MRAM_PAGE_BYTES + 8, 6).unwrap();
+        assert_ne!(m.to_vec(0, m.len()).unwrap(), before);
+        let rep = m.scrub();
+        assert_eq!(rep.corrected_data, 2);
+        assert!(rep.uncorrectable.is_empty());
+        assert_eq!(m.to_vec(0, m.len()).unwrap(), before, "scrub restored the exact image");
+        // A second sweep finds nothing.
+        assert!(m.scrub().clean());
+    }
+
+    #[test]
+    fn ecc_scrub_surfaces_double_bit_errors_without_miscorrecting() {
+        let mut m = CowMemory::new("MRAM", MRAM_PAGE_BYTES);
+        m.set_ecc(true);
+        m.write(0, &[0xAB; 64]).unwrap();
+        m.flip_bit_raw(16, 1).unwrap();
+        m.flip_bit_raw(17, 5).unwrap(); // same 8-byte word as addr 16
+        let corrupted = m.to_vec(0, 64).unwrap();
+        let rep = m.scrub();
+        assert_eq!(rep.corrected(), 0);
+        assert_eq!(rep.uncorrectable, vec![16], "word base address of the bad word");
+        assert_eq!(m.to_vec(0, 64).unwrap(), corrupted, "no silent 'fix' was applied");
+    }
+
+    #[test]
+    fn ecc_verify_range_repairs_reads_and_rejects_double_errors() {
+        let mut m = CowMemory::new("MRAM", MRAM_PAGE_BYTES);
+        m.set_ecc(true);
+        m.write(0, &[0x5A; 128]).unwrap();
+        m.flip_bit_raw(40, 2).unwrap();
+        assert_eq!(m.verify_range(32, 64).unwrap(), 1);
+        assert_eq!(m.to_vec(0, 128).unwrap(), vec![0x5A; 128]);
+        m.flip_bit_raw(64, 0).unwrap();
+        m.flip_bit_raw(65, 7).unwrap();
+        let err = m.verify_range(0, 128).unwrap_err();
+        assert!(matches!(err, Error::EccUncorrectable { addr: 64 }), "{err:?}");
+    }
+
+    #[test]
+    fn ecc_sidecar_follows_legitimate_writes() {
+        let mut m = CowMemory::new("MRAM", MRAM_PAGE_BYTES);
+        m.set_ecc(true);
+        m.write(0, &[1; 32]).unwrap();
+        m.write(8, &[2; 8]).unwrap(); // overwrite a word: code must follow
+        m.write_u8(20, 0x7F).unwrap();
+        assert!(m.scrub().clean(), "writes keep data and sidecar consistent");
+        // Enabling on a populated memory back-fills codes.
+        let mut late = CowMemory::new("MRAM", MRAM_PAGE_BYTES);
+        late.write(64, &[9; 40]).unwrap();
+        late.set_ecc(true);
+        assert!(late.scrub().clean());
+    }
+
+    #[test]
+    fn ecc_snapshot_restore_round_trips_sidecar() {
+        let mut m = CowMemory::new("MRAM", MRAM_PAGE_BYTES);
+        m.set_ecc(true);
+        m.write(0, &[3; 64]).unwrap();
+        let snap = m.snapshot();
+        m.flip_bit_raw(10, 4).unwrap();
+        m.write(128, &[4; 16]).unwrap();
+        m.restore(&snap).unwrap();
+        assert!(m.ecc_enabled());
+        assert!(m.scrub().clean(), "restored sidecar matches restored data");
+        assert_eq!(m.to_vec(0, 64).unwrap(), vec![3; 64]);
+    }
+
+    #[test]
+    fn scrubber_sweeps_on_cadence_and_accumulates_totals() {
+        let mut m = CowMemory::new("MRAM", MRAM_PAGE_BYTES);
+        m.set_ecc(true);
+        m.write(0, &[0x11; 64]).unwrap();
+        let golden = m.to_vec(0, 64).unwrap();
+        let mut s = Scrubber::new(3);
+        assert_eq!(s.interval(), 3);
+        // Launches 1 and 2 are off-cadence: no sweep, a latent flip survives.
+        m.flip_bit_raw(8, 5).unwrap();
+        assert!(s.on_launch(&mut m).is_none());
+        assert!(s.on_launch(&mut m).is_none());
+        assert_ne!(m.to_vec(0, 64).unwrap(), golden);
+        // Launch 3 fires the cadence and repairs it.
+        let rep = s.on_launch(&mut m).expect("cadence fires on the third launch");
+        assert_eq!(rep.corrected_data, 1);
+        assert_eq!(m.to_vec(0, 64).unwrap(), golden);
+        assert_eq!(s.sweeps(), 1);
+        // The counter reset: the next two launches are off-cadence again.
+        assert!(s.on_launch(&mut m).is_none());
+        assert!(s.on_launch(&mut m).is_none());
+        let rep = s.on_launch(&mut m).expect("second cadence");
+        assert!(rep.clean());
+        assert_eq!(s.sweeps(), 2);
+        assert_eq!(s.total().corrected_data, 1, "totals accumulate across sweeps");
+    }
+
+    #[test]
+    fn scrubber_force_resets_cadence_and_interval_zero_clamps() {
+        let mut m = CowMemory::new("MRAM", MRAM_PAGE_BYTES);
+        m.set_ecc(true);
+        m.write(0, &[0x42; 32]).unwrap();
+        let mut s = Scrubber::new(2);
+        assert!(s.on_launch(&mut m).is_none());
+        m.flip_bit_raw(4, 1).unwrap();
+        let rep = s.force(&mut m);
+        assert_eq!(rep.corrected_data, 1);
+        // Forcing reset the since-counter, so the next launch is off-cadence.
+        assert!(s.on_launch(&mut m).is_none());
+        assert!(s.on_launch(&mut m).is_some());
+        // Interval 0 clamps to sweep-every-launch.
+        let mut every = Scrubber::new(0);
+        assert_eq!(every.interval(), 1);
+        assert!(every.on_launch(&mut m).is_some());
+        assert!(every.on_launch(&mut m).is_some());
+    }
+
+    #[test]
+    fn raw_flip_on_shared_page_privatizes_before_corrupting() {
+        // Satellite regression: an injected storage flip on a broadcast
+        // page must corrupt only the faulted DPU's mapping.
+        let page = Arc::new(vec![0x33; MRAM_PAGE_BYTES]);
+        let mut a = CowMemory::new("MRAM", MRAM_PAGE_BYTES);
+        let mut b = CowMemory::new("MRAM", MRAM_PAGE_BYTES);
+        a.install_page(0, &page).unwrap();
+        b.install_page(0, &page).unwrap();
+        assert_eq!(a.page_ids().next(), b.page_ids().next(), "shared before the fault");
+        a.flip_bit_raw(7, 0).unwrap();
+        assert_eq!(a.read_u8(7).unwrap(), 0x32);
+        assert_eq!(b.read_u8(7).unwrap(), 0x33, "sibling mapping untouched");
+        assert_eq!(page[7], 0x33, "shared storage untouched");
+        assert_ne!(a.page_ids().next(), b.page_ids().next(), "COW broke on the flip");
+    }
+
+    #[test]
+    fn ecc_shared_sidecar_install_and_accounting() {
+        let data = Arc::new(vec![0xC4; MRAM_PAGE_BYTES]);
+        let code = Arc::new(crate::ecc::encode_page(&data));
+        let mut a = CowMemory::new("MRAM", MRAM_PAGE_BYTES);
+        let mut b = CowMemory::new("MRAM", MRAM_PAGE_BYTES);
+        a.set_ecc(true);
+        b.set_ecc(true);
+        a.install_page_with_code(0, &data, &code).unwrap();
+        b.install_page_with_code(0, &data, &code).unwrap();
+        assert!(a.scrub().clean() && b.scrub().clean());
+        assert_eq!(a.ecc_resident_bytes(), MRAM_PAGE_BYTES / 8);
+        // Wrong-sized sidecars are rejected.
+        let short = Arc::new(vec![0u8; 3]);
+        assert!(a.install_page_with_code(0, &data, &short).is_err());
+        // ECC off: no sidecar storage, scrub is a no-op.
+        a.set_ecc(false);
+        assert_eq!(a.ecc_resident_bytes(), 0);
+        assert!(a.scrub().clean());
     }
 }

@@ -735,6 +735,16 @@ impl Tier1Engine {
         Ok(())
     }
 
+    /// Arm (or disarm) the SEC-DED MRAM sidecar on every DPU, then
+    /// refresh the golden snapshot: snapshots carry the ECC state and
+    /// sidecar pages with them, so without the refresh the next
+    /// [`Tier1Engine::restore_golden`] would silently revert the ECC
+    /// setting to what it was at build time.
+    pub fn enable_ecc(&mut self, on: bool) {
+        self.set.enable_ecc(on);
+        self.golden = self.set.snapshot();
+    }
+
     /// Stage up to [`Tier1Engine::capacity`] pre-encoded 128-byte image
     /// slots (see [`encode_slot`]) into buffer `buf`, making it the launch
     /// target. DPUs beyond the staged chunks idle (`n_images = 0`).
@@ -747,22 +757,48 @@ impl Tier1Engine {
     /// When `slots` is empty or oversized, a slot is not 128 bytes, or
     /// `buf` is out of range.
     pub fn stage_encoded(&mut self, slots: &[Vec<u8>], buf: usize) -> Result<u64, HostError> {
+        let live = vec![true; self.dpus];
+        self.stage_encoded_live(slots, buf, &live)
+    }
+
+    /// [`Tier1Engine::stage_encoded`] restricted to the DPUs marked live:
+    /// 16-image chunks land on live DPUs in index order and every other
+    /// DPU idles (`n_images = 0`). The serving circuit breaker uses this
+    /// to keep traffic off ejected ranks while their pages heal.
+    ///
+    /// # Errors
+    /// Host-runtime failures.
+    ///
+    /// # Panics
+    /// When `slots` is empty or exceeds the live DPUs' capacity, `live`
+    /// does not cover every DPU (or marks none live), a slot is not 128
+    /// bytes, or `buf` is out of range.
+    pub fn stage_encoded_live(
+        &mut self,
+        slots: &[Vec<u8>],
+        buf: usize,
+        live: &[bool],
+    ) -> Result<u64, HostError> {
         assert!(!slots.is_empty(), "empty batch");
-        assert!(slots.len() <= self.capacity(), "batch exceeds engine capacity");
+        assert_eq!(live.len(), self.dpus, "live mask must cover every DPU");
+        let targets: Vec<usize> = (0..self.dpus).filter(|&d| live[d]).collect();
+        assert!(!targets.is_empty(), "at least one DPU must be live");
+        assert!(slots.len() <= targets.len() * IMAGES_PER_DPU, "batch exceeds live capacity");
         assert!(buf < self.buffers(), "no such buffer");
         let (img_sym, feat_sym) =
             if buf == 0 { ("images", "features") } else { ("images_alt", "features_alt") };
+        let mut chunk_lens = vec![0usize; self.dpus];
+        for (chunk, &d) in slots.chunks(IMAGES_PER_DPU).zip(&targets) {
+            chunk_lens[d] = chunk.len();
+        }
         let mut bytes = 0u64;
-        let chunk_lens: Vec<usize> = slots.chunks(IMAGES_PER_DPU).map(<[Vec<u8>]>::len).collect();
-        for d in 0..self.dpus {
-            let dpu = DpuId(d as u32);
-            let n = chunk_lens.get(d).copied().unwrap_or(0);
+        for (d, &n) in chunk_lens.iter().enumerate() {
             let params =
                 params_wire(n as u32, n.max(1) as u32, self.img_base[buf], self.feat_base[buf]);
-            self.set.copy_to_dpu(dpu, "params", 0, &params)?;
+            self.set.copy_to_dpu(DpuId(d as u32), "params", 0, &params)?;
             bytes += 16;
         }
-        for (d, chunk) in slots.chunks(IMAGES_PER_DPU).enumerate() {
+        for (chunk, &d) in slots.chunks(IMAGES_PER_DPU).zip(&targets) {
             let dpu = DpuId(d as u32);
             for (i, slot) in chunk.iter().enumerate() {
                 assert_eq!(slot.len(), IMAGE_SLOT_BYTES, "slot must be 128 bytes");

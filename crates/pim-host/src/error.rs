@@ -66,6 +66,17 @@ pub enum HostError {
         /// DPUs the snapshot captured.
         actual: usize,
     },
+    /// A checked host↔DPU transfer exhausted its retries without landing
+    /// a frame whose CRC-32C verified (persistent link corruption or
+    /// repeated transfer aborts).
+    LinkIntegrity {
+        /// Symbol the transfer addressed.
+        symbol: String,
+        /// DPU whose transfer could not be verified.
+        dpu: u32,
+        /// Attempts made (1 + retries).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for HostError {
@@ -95,6 +106,10 @@ impl fmt::Display for HostError {
             HostError::SnapshotMismatch { expected, actual } => {
                 write!(f, "snapshot captured {actual} DPUs but the target holds {expected}")
             }
+            HostError::LinkIntegrity { symbol, dpu, attempts } => write!(
+                f,
+                "host-link transfer of `{symbol}` to DPU {dpu} failed CRC verification after {attempts} attempts"
+            ),
         }
     }
 }
@@ -164,6 +179,10 @@ mod tests {
                 &["panicked", "index out of bounds"],
             ),
             (HostError::SnapshotMismatch { expected: 64, actual: 32 }, &["32", "64", "snapshot"]),
+            (
+                HostError::LinkIntegrity { symbol: "weights".to_owned(), dpu: 5, attempts: 4 },
+                &["weights", "DPU 5", "4 attempts", "CRC"],
+            ),
         ];
         for (err, needles) in cases {
             let shown = err.to_string();

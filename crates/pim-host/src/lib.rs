@@ -28,9 +28,11 @@
 #![warn(missing_docs)]
 
 pub mod align;
+pub mod crc32c;
 pub mod error;
 pub mod exec;
 pub mod launch;
+pub mod link;
 pub mod observe;
 mod pool;
 pub mod resilient;
@@ -41,12 +43,14 @@ pub mod typed;
 pub mod xfer;
 
 pub use align::{pad_to_8, padded_len, PaddedBuf};
+pub use crc32c::{crc32c, Crc32c};
 pub use dpu_sim::cost::{CycleModel, KernelEstimate, OpCounts, OptLevel};
 pub use error::{HostError, Result};
 pub use exec::KernelRun;
 pub use launch::{LaunchResult, StealStats};
+pub use link::{LinkFaultPlan, LinkPolicy, LinkStats};
 pub use observe::LaunchObservation;
-pub use resilient::{DpuServeReport, LaunchReport, Redispatch, ResilientLaunchPolicy};
+pub use resilient::{DpuServeReport, LaunchReport, Redispatch, ResilientLaunchPolicy, ServeHealth};
 pub use set::{DpuSet, TransferStats};
 pub use snapshot::{RankSnapshot, SetSnapshot};
 pub use symbol::{Symbol, SymbolTable};

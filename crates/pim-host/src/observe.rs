@@ -18,7 +18,9 @@
 //! `obs.launches`, `obs.instructions`, `obs.dma.bytes`,
 //! `obs.dma.transfers`, `obs.dma.cycles`, `obs.retries`,
 //! `obs.quarantined`, `obs.redispatched`, `obs.faults_injected`,
-//! `obs.faults.<kind>`, `obs.unserved`.
+//! `obs.faults.<kind>`, `obs.unserved`, `obs.healthy_after_repair`,
+//! `obs.integrity.dma_corrected`, `obs.integrity.scrub_corrected`,
+//! `obs.integrity.scrub_uncorrectable`.
 //!
 //! Histograms (quantile summaries, deterministic): `obs.launch.makespan_cycles`,
 //! `obs.dpu.cycles`, `obs.dpu.instructions`, `obs.dpu.ipc`,
@@ -80,6 +82,22 @@ impl LaunchObservation {
         }
         let unserved = report.per_dpu.iter().filter(|r| r.result.is_none()).count();
         self.registry.counter_add("obs.unserved", unserved as u64);
+        self.registry.counter_add(
+            "obs.healthy_after_repair",
+            report.count_health(crate::resilient::ServeHealth::HealthyAfterRepair) as u64,
+        );
+        self.registry.counter_add(
+            "obs.integrity.dma_corrected",
+            report.per_dpu.iter().map(|r| r.dma_corrected).sum(),
+        );
+        self.registry.counter_add(
+            "obs.integrity.scrub_corrected",
+            report.per_dpu.iter().map(|r| r.scrub.corrected()).sum(),
+        );
+        self.registry.counter_add(
+            "obs.integrity.scrub_uncorrectable",
+            report.per_dpu.iter().map(|r| r.scrub.uncorrectable.len() as u64).sum(),
+        );
         if let Some(result) = report.to_launch_result() {
             self.record_dpus(&result);
         }

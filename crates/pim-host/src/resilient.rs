@@ -40,7 +40,9 @@ use crate::error::{HostError, Result};
 use crate::launch::{panic_detail, steal_jobs, LaunchResult, Sched};
 use crate::set::DpuSet;
 use dpu_sim::faults::{FaultPlan, InjectedFault};
-use dpu_sim::{DpuId, Engine, ExecProgram, Machine, MemorySnapshot, PimSystem, Program, RunResult};
+use dpu_sim::{
+    DpuId, Engine, ExecProgram, Machine, MemorySnapshot, PimSystem, Program, RunResult, ScrubReport,
+};
 use pim_trace::{MetricsRegistry, TraceBuffer, TraceEvent, TraceSink};
 
 /// Policy governing a fault-tolerant launch.
@@ -63,6 +65,10 @@ pub struct ResilientLaunchPolicy {
     /// Force the sequential scheduling path regardless of set size
     /// (exists so determinism tests can pin 1-thread == N-thread).
     pub force_sequential: bool,
+    /// Back off exponentially instead of linearly: retry `k` (1-based)
+    /// charges `backoff_cycles << (k - 1)` instead of `backoff_cycles`.
+    /// The chaos campaigns use this to model congestion-aware relaunch.
+    pub exponential_backoff: bool,
 }
 
 impl Default for ResilientLaunchPolicy {
@@ -74,6 +80,7 @@ impl Default for ResilientLaunchPolicy {
             redispatch: true,
             faults: None,
             force_sequential: false,
+            exponential_backoff: false,
         }
     }
 }
@@ -84,6 +91,39 @@ impl ResilientLaunchPolicy {
     pub fn with_faults(plan: FaultPlan) -> Self {
         Self { faults: Some(plan), ..Self::default() }
     }
+
+    /// Total backoff cycles charged after `retries` retries: linear
+    /// (`retries * backoff_cycles`) by default, geometric
+    /// (`backoff_cycles * (2^retries - 1)`) under
+    /// [`ResilientLaunchPolicy::exponential_backoff`].
+    #[must_use]
+    pub fn cumulative_backoff(&self, retries: u32) -> u64 {
+        if self.exponential_backoff {
+            let doublings = 1u64.checked_shl(retries).map_or(u64::MAX, |d| d - 1);
+            self.backoff_cycles.saturating_mul(doublings)
+        } else {
+            u64::from(retries).saturating_mul(self.backoff_cycles)
+        }
+    }
+}
+
+/// How healthy one DPU's serve ultimately was — the classification the
+/// serving layer's circuit breaker consumes. The key distinction: a
+/// launch whose only incidents were *corrected* (ECC scrub repairs,
+/// inline DMA repairs, or successful retries on the home DPU) is
+/// **healthy-after-repair**, not degraded — its results are bit-exact
+/// and its home DPU still serves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeHealth {
+    /// Served in place, first attempt, nothing repaired.
+    Healthy,
+    /// Served in place with repairs (retries consumed and/or ECC
+    /// corrections applied); results are verified clean.
+    HealthyAfterRepair,
+    /// Served by a survivor after the home DPU was quarantined.
+    Degraded,
+    /// Not served at all.
+    Unserved,
 }
 
 /// How one DPU's work item was ultimately served.
@@ -104,6 +144,12 @@ pub struct DpuServeReport {
     pub last_error: Option<HostError>,
     /// Every fault injected across this DPU's attempts, in order.
     pub faults: Vec<InjectedFault>,
+    /// Merged ECC scrub results across this DPU's attempts (empty when
+    /// ECC is off or no fault plan was armed).
+    pub scrub: ScrubReport,
+    /// MRAM words repaired inline by DMA verify-on-read during this
+    /// DPU's attempts.
+    pub dma_corrected: u64,
 }
 
 impl DpuServeReport {
@@ -111,6 +157,27 @@ impl DpuServeReport {
     #[must_use]
     pub fn retries(&self) -> u32 {
         self.attempts.saturating_sub(1)
+    }
+
+    /// Total single-bit errors repaired for this DPU (scrub + inline
+    /// DMA corrections).
+    #[must_use]
+    pub fn repairs(&self) -> u64 {
+        self.scrub.corrected() + self.dma_corrected
+    }
+
+    /// Health classification of this serve (see [`ServeHealth`]).
+    #[must_use]
+    pub fn health(&self) -> ServeHealth {
+        if self.result.is_none() {
+            ServeHealth::Unserved
+        } else if self.served_by.is_some() {
+            ServeHealth::Degraded
+        } else if self.retries() > 0 || self.repairs() > 0 {
+            ServeHealth::HealthyAfterRepair
+        } else {
+            ServeHealth::Healthy
+        }
     }
 }
 
@@ -161,6 +228,19 @@ impl LaunchReport {
         self.per_dpu.iter().map(|r| r.faults.len()).sum()
     }
 
+    /// Total single-bit errors repaired across the set (ECC scrub plus
+    /// inline DMA corrections).
+    #[must_use]
+    pub fn repairs(&self) -> u64 {
+        self.per_dpu.iter().map(DpuServeReport::repairs).sum()
+    }
+
+    /// DPUs whose serve classified as a given health state.
+    #[must_use]
+    pub fn count_health(&self, health: ServeHealth) -> usize {
+        self.per_dpu.iter().filter(|r| r.health() == health).count()
+    }
+
     /// Completion time of the launch under this crate's accounting model:
     /// the in-place wave completes at the slowest DPU's `cycles +
     /// backoff`, then re-dispatched favors run on survivors one after
@@ -209,6 +289,23 @@ impl LaunchReport {
             "resilient.unserved",
             self.per_dpu.iter().filter(|r| r.result.is_none()).count() as f64,
         );
+        m.counter_add(
+            "resilient.healthy_after_repair",
+            self.count_health(ServeHealth::HealthyAfterRepair) as u64,
+        );
+        m.counter_add(
+            "integrity.dma_corrected",
+            self.per_dpu.iter().map(|r| r.dma_corrected).sum(),
+        );
+        m.counter_add(
+            "integrity.scrub_corrected",
+            self.per_dpu.iter().map(|r| r.scrub.corrected()).sum(),
+        );
+        m.counter_add(
+            "integrity.scrub_uncorrectable",
+            self.per_dpu.iter().map(|r| r.scrub.uncorrectable.len() as u64).sum(),
+        );
+        m.counter_add("integrity.scrub_words", self.per_dpu.iter().map(|r| r.scrub.words).sum());
         m
     }
 }
@@ -223,6 +320,8 @@ struct Serve {
     /// Pre-launch MRAM image (a COW page-table clone, not a deep copy),
     /// kept only when faults can fire.
     snapshot: Option<MemorySnapshot>,
+    scrub: ScrubReport,
+    dma_corrected: u64,
 }
 
 /// Run one attempt on `dpu`, arming/disarming faults around it and
@@ -294,6 +393,12 @@ fn serve_one(
     plan: Option<&FaultPlan>,
 ) -> Serve {
     let snapshot = plan.map(|_| dpu.mram.snapshot());
+    // Scrub only fault-armed ECC launches: the clean ECC-on path stays
+    // scrub-free so its cost is the write-path encode alone (bench-gated
+    // ≤ 2% over ECC-off).
+    let scrub_armed = plan.is_some() && dpu.mram.ecc_enabled();
+    let dma_base = dpu.integrity.dma_corrected;
+    let mut scrub = ScrubReport::default();
     let mut faults = Vec::new();
     let mut last_error = None;
     for attempt in 0..=policy.max_retries {
@@ -302,7 +407,7 @@ fn serve_one(
                 dpu.mram.restore(s).expect("snapshot restores");
             }
         }
-        let backoff = u64::from(attempt) * policy.backoff_cycles;
+        let backoff = policy.cumulative_backoff(attempt);
         match run_attempt(
             dpu,
             exec,
@@ -317,6 +422,23 @@ fn serve_one(
             &mut faults,
         ) {
             Ok(result) => {
+                if scrub_armed {
+                    // Between-launch scrub: repair single-bit storage
+                    // errors the attempt left behind (MRAM write-side
+                    // flips land *after* the sidecar was refreshed, so
+                    // the scrub sees and fixes them) without consuming a
+                    // retry. A multi-bit word is beyond SEC-DED: the
+                    // attempt's output cannot be trusted, so it fails and
+                    // the next attempt restores from the snapshot.
+                    let rep = dpu.mram.scrub();
+                    let bad = rep.uncorrectable.first().copied();
+                    scrub.merge(&rep);
+                    if let Some(addr) = bad {
+                        last_error =
+                            Some(HostError::Dpu(dpu_sim::Error::EccUncorrectable { addr }));
+                        continue;
+                    }
+                }
                 return Serve {
                     result: Some(result),
                     attempts: attempt + 1,
@@ -324,7 +446,9 @@ fn serve_one(
                     last_error: None,
                     faults,
                     snapshot,
-                }
+                    scrub,
+                    dma_corrected: dpu.integrity.dma_corrected - dma_base,
+                };
             }
             Err(e) => last_error = Some(e),
         }
@@ -332,10 +456,12 @@ fn serve_one(
     Serve {
         result: None,
         attempts: policy.max_retries + 1,
-        backoff_cycles: u64::from(policy.max_retries) * policy.backoff_cycles,
+        backoff_cycles: policy.cumulative_backoff(policy.max_retries),
         last_error,
         faults,
         snapshot,
+        scrub,
+        dma_corrected: dpu.integrity.dma_corrected - dma_base,
     }
 }
 
@@ -446,6 +572,8 @@ fn launch_resilient_on(
             served_by: served_by[i],
             last_error: s.last_error,
             faults: s.faults,
+            scrub: s.scrub,
+            dma_corrected: s.dma_corrected,
         })
         .collect();
     Ok((LaunchReport { per_dpu, tasklets, quarantined, degraded }, buffers))
@@ -745,6 +873,134 @@ mod tests {
         }
         let clean = set.launch_loaded(1).unwrap();
         assert_eq!(clean.per_dpu.len(), 4);
+        for i in 0..4u32 {
+            assert_eq!(set.copy_scalar_from(DpuId(i), "x").unwrap(), u64::from(i + 1) * 2);
+        }
+    }
+
+    #[test]
+    fn cumulative_backoff_is_linear_by_default_and_geometric_when_asked() {
+        let lin = ResilientLaunchPolicy { backoff_cycles: 100, ..Default::default() };
+        assert_eq!(lin.cumulative_backoff(0), 0);
+        assert_eq!(lin.cumulative_backoff(3), 300);
+        let exp = ResilientLaunchPolicy {
+            backoff_cycles: 100,
+            exponential_backoff: true,
+            ..Default::default()
+        };
+        assert_eq!(exp.cumulative_backoff(0), 0);
+        assert_eq!(exp.cumulative_backoff(1), 100);
+        assert_eq!(exp.cumulative_backoff(3), 700);
+        assert_eq!(exp.cumulative_backoff(64), u64::MAX, "saturates instead of overflowing");
+    }
+
+    #[test]
+    fn ecc_on_clean_resilient_run_is_bit_identical_to_ecc_off() {
+        let mut off = seeded_set(4);
+        let expected = off.launch_loaded_resilient(1, &ResilientLaunchPolicy::default()).unwrap();
+        let mut on = seeded_set(4);
+        on.enable_ecc(true);
+        let got = on.launch_loaded_resilient(1, &ResilientLaunchPolicy::default()).unwrap();
+        assert_eq!(got, expected, "ECC sidecar must not perturb a clean run");
+        for i in 0..4u32 {
+            assert_eq!(
+                on.copy_scalar_from(DpuId(i), "x").unwrap(),
+                off.copy_scalar_from(DpuId(i), "x").unwrap()
+            );
+        }
+        // Nothing to repair on a clean memory.
+        let rep = on.scrub_all();
+        assert_eq!((rep.corrected(), rep.uncorrectable.len()), (0, 0), "{rep:?}");
+    }
+
+    #[test]
+    fn single_bit_flips_are_repaired_without_consuming_a_retry() {
+        let mut clean = seeded_set(4);
+        let expected = clean.launch_loaded(1).unwrap();
+
+        let mut set = seeded_set(4);
+        set.enable_ecc(true);
+        let plan =
+            FaultPlan::new(FaultConfig { seed: 5, bit_flip_prob: 0.9, ..Default::default() });
+        let policy =
+            ResilientLaunchPolicy { max_retries: 2, ..ResilientLaunchPolicy::with_faults(plan) };
+        let report = set.launch_loaded_resilient(1, &policy).unwrap();
+        assert!(report.fully_served());
+        assert!(report.faults_injected() > 0, "seed 5 at 0.9 must flip bits");
+        assert_eq!(report.retries(), 0, "single-bit flips are repaired, never retried");
+        assert!(report.repairs() > 0, "repairs must be counted: {report:?}");
+        // The repaired launch is bit-identical to the fault-free one.
+        assert_eq!(report.to_launch_result().unwrap(), expected);
+        for i in 0..4u32 {
+            assert_eq!(set.copy_scalar_from(DpuId(i), "x").unwrap(), u64::from(i + 1) * 2);
+        }
+        for r in &report.per_dpu {
+            if !r.faults.is_empty() {
+                assert_eq!(r.health(), ServeHealth::HealthyAfterRepair, "{r:?}");
+            }
+        }
+        let m = report.metrics();
+        assert_eq!(m.counter("integrity.scrub_uncorrectable"), 0);
+        assert_eq!(
+            m.counter("integrity.dma_corrected") + m.counter("integrity.scrub_corrected"),
+            report.repairs()
+        );
+    }
+
+    #[test]
+    fn double_bit_write_faults_are_uncorrectable_and_fail_the_attempt() {
+        let mut set = seeded_set(3);
+        set.enable_ecc(true);
+        let plan =
+            FaultPlan::new(FaultConfig { seed: 9, double_flip_prob: 1.0, ..Default::default() });
+        let policy = ResilientLaunchPolicy {
+            max_retries: 1,
+            redispatch: false,
+            ..ResilientLaunchPolicy::with_faults(plan)
+        };
+        let report = set.launch_loaded_resilient(1, &policy).unwrap();
+        assert!(!report.fully_served(), "every attempt's write lands a double flip");
+        assert_eq!(report.quarantined.len(), 3);
+        for r in &report.per_dpu {
+            assert_eq!(r.attempts, 2, "both attempts consumed");
+            assert!(
+                matches!(
+                    r.last_error,
+                    Some(HostError::Dpu(dpu_sim::Error::EccUncorrectable { .. }))
+                ),
+                "{:?}",
+                r.last_error
+            );
+            assert!(!r.scrub.uncorrectable.is_empty(), "scrub must report the bad word");
+            assert_eq!(r.health(), ServeHealth::Unserved);
+        }
+        assert!(report.metrics().counter("integrity.scrub_uncorrectable") >= 3);
+    }
+
+    #[test]
+    fn uncorrectable_faults_retry_from_snapshot_and_recover() {
+        let mut set = seeded_set(4);
+        set.enable_ecc(true);
+        let plan =
+            FaultPlan::new(FaultConfig { seed: 21, double_flip_prob: 0.35, ..Default::default() });
+        let policy = ResilientLaunchPolicy {
+            max_retries: 8,
+            backoff_cycles: 100,
+            exponential_backoff: true,
+            ..ResilientLaunchPolicy::with_faults(plan)
+        };
+        let report = set.launch_loaded_resilient(1, &policy).unwrap();
+        assert!(report.fully_served());
+        assert!(report.retries() > 0, "seed 21 at 0.35 must hit at least one uncorrectable");
+        for (i, r) in report.per_dpu.iter().enumerate() {
+            assert_eq!(
+                r.backoff_cycles,
+                policy.cumulative_backoff(r.retries()),
+                "DPU {i}: geometric backoff accounting"
+            );
+        }
+        // Snapshot restore between attempts keeps inputs exact: results
+        // are correct despite the corrupted attempts in between.
         for i in 0..4u32 {
             assert_eq!(set.copy_scalar_from(DpuId(i), "x").unwrap(), u64::from(i + 1) * 2);
         }

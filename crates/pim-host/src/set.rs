@@ -7,11 +7,13 @@
 //! Eq. 3.1) write identical bytes to every DPU, while per-DPU copies and
 //! [`crate::xfer::XferBatch`] scatter distinct buffers.
 
+use crate::crc32c::crc32c;
 use crate::error::{HostError, Result};
 use crate::launch::{Sched, DEFAULT_PARALLEL_THRESHOLD};
+use crate::link::{LinkPolicy, LinkStats};
 use crate::pool::WorkerPool;
 use crate::symbol::{Symbol, SymbolTable};
-use dpu_sim::{DpuId, DpuParams, Engine, ExecProgram, PimSystem, MRAM_PAGE_BYTES};
+use dpu_sim::{DpuId, DpuParams, Engine, ExecProgram, PimSystem, ScrubReport, MRAM_PAGE_BYTES};
 use pim_trace::{HostDirection, TraceBuffer, TraceEvent, TraceSink};
 use std::sync::Arc;
 
@@ -31,6 +33,19 @@ pub struct DpuSet {
     // `RefCell` because gather paths (`copy_from_dpu`) take `&self`; host
     // transfers are strictly host-thread-sequential, so no contention.
     host_trace: Option<std::cell::RefCell<HostTrace>>,
+    // Checked-transfer state (CRC framing + link fault injection), same
+    // `RefCell` rationale as `host_trace`.
+    link: Option<std::cell::RefCell<LinkState>>,
+}
+
+/// Mutable state of the checked-transfer layer.
+#[derive(Debug)]
+struct LinkState {
+    policy: LinkPolicy,
+    /// Monotone transfer sequence number: the determinism axis of link
+    /// fault draws (each logical transfer gets a fresh draw site).
+    seq: u64,
+    stats: LinkStats,
 }
 
 /// Recording state for host↔MRAM transfer events.
@@ -78,7 +93,91 @@ impl DpuSet {
             parallel_threshold: None,
             xfer_stats: std::collections::BTreeMap::new(),
             host_trace: None,
+            link: None,
         })
+    }
+
+    /// Arm checked transfers: every subsequent host↔DPU copy is framed
+    /// with a CRC-32C, verified on the receiving side, and retried with
+    /// exponential backoff under `policy` (which may also carry a seeded
+    /// [`crate::link::LinkFaultPlan`] to inject link faults). `None`
+    /// restores plain unchecked transfers.
+    pub fn set_link_policy(&mut self, policy: Option<LinkPolicy>) {
+        self.link = policy.map(|policy| {
+            std::cell::RefCell::new(LinkState { policy, seq: 0, stats: LinkStats::default() })
+        });
+    }
+
+    /// The checked-transfer policy currently armed, if any.
+    #[must_use]
+    pub fn link_policy(&self) -> Option<LinkPolicy> {
+        self.link.as_ref().map(|cell| cell.borrow().policy)
+    }
+
+    /// Telemetry accumulated by checked transfers so far (zeroed when
+    /// checked transfers were never armed).
+    #[must_use]
+    pub fn link_stats(&self) -> LinkStats {
+        self.link.as_ref().map(|cell| cell.borrow().stats).unwrap_or_default()
+    }
+
+    /// Begin one logical checked transfer: claim a sequence number and
+    /// copy out the policy. `None` when transfers are unchecked.
+    fn link_begin(&self) -> Option<(LinkPolicy, u64)> {
+        self.link.as_ref().map(|cell| {
+            let mut st = cell.borrow_mut();
+            let seq = st.seq;
+            st.seq += 1;
+            (st.policy, seq)
+        })
+    }
+
+    fn link_account(&self, f: impl FnOnce(&mut LinkStats)) {
+        if let Some(cell) = &self.link {
+            f(&mut cell.borrow_mut().stats);
+        }
+    }
+
+    /// Turn the MRAM SEC-DED sidecar on (or off) for every DPU of the
+    /// set. See [`dpu_sim::CowMemory::set_ecc`]: enabling back-fills
+    /// codes for resident pages; broadcast pages share one sidecar.
+    pub fn enable_ecc(&mut self, on: bool) {
+        for (_, dpu) in self.system.iter_mut() {
+            dpu.mram.set_ecc(on);
+        }
+    }
+
+    /// Whether the set's MRAM ECC sidecar is enabled (uniform across the
+    /// set; reports DPU 0's state).
+    #[must_use]
+    pub fn ecc_enabled(&self) -> bool {
+        self.system.dpu(DpuId(0)).mram.ecc_enabled()
+    }
+
+    /// Scrub every DPU's resident MRAM pages against the ECC sidecar,
+    /// repairing single-bit errors in place, and return the merged
+    /// report. A no-op (empty report) when ECC is off.
+    pub fn scrub_all(&mut self) -> ScrubReport {
+        let mut total = ScrubReport::default();
+        for (_, dpu) in self.system.iter_mut() {
+            total.merge(&dpu.mram.scrub());
+        }
+        total
+    }
+
+    /// Per-DPU scrub reports, in DPU order (the serving layer folds
+    /// these into per-rank health scores).
+    pub fn scrub_each(&mut self) -> Vec<ScrubReport> {
+        self.system.iter_mut().map(|(_, dpu)| dpu.mram.scrub()).collect()
+    }
+
+    /// Total MRAM words repaired inline by DMA verify-on-read across the
+    /// set (monotone; see [`dpu_sim::IntegrityCounters`]).
+    #[must_use]
+    pub fn dma_corrected_total(&self) -> u64 {
+        (0..self.system.len())
+            .map(|i| self.system.dpu(DpuId(i as u32)).integrity.dma_corrected)
+            .sum()
     }
 
     /// Start recording every host↔MRAM transfer as a
@@ -305,6 +404,9 @@ impl DpuSet {
     pub fn copy_to(&mut self, symbol: &str, symbol_offset: usize, src: &[u8]) -> Result<()> {
         let addr = self.symbols.resolve(symbol, symbol_offset, src.len())?;
         self.broadcast_write(addr, src)?;
+        if let Some((policy, seq)) = self.link_begin() {
+            self.verify_broadcast(addr, src, symbol, &policy, seq)?;
+        }
         let stats = self.xfer_stats.entry(symbol.to_owned()).or_default();
         stats.to_dpu_bytes += (src.len() * self.system.len()) as u64;
         stats.operations += self.system.len() as u64;
@@ -354,6 +456,175 @@ impl DpuSet {
         Ok(())
     }
 
+    /// One checked write leg: write, apply any injected link fault to the
+    /// landed bytes, read back and verify the CRC-32C frame, retrying
+    /// with exponential backoff. The corrupting write goes through the
+    /// normal write path, so with ECC enabled the sidecar is refreshed
+    /// over the corrupt byte — a link error is *not* a storage error, and
+    /// only the CRC frame (never the ECC) may catch it.
+    fn checked_write(
+        &mut self,
+        dpu: DpuId,
+        addr: usize,
+        src: &[u8],
+        symbol: &str,
+        policy: &LinkPolicy,
+        seq: u64,
+    ) -> Result<()> {
+        let frame = crc32c(src);
+        for attempt in 0..=policy.max_retries {
+            if attempt > 0 {
+                self.link_account(|s| {
+                    s.retries += 1;
+                    s.backoff_cycles += policy.backoff_base_cycles << (attempt - 1);
+                });
+            }
+            if policy.faults.is_some_and(|p| p.fails(seq, dpu.0, attempt)) {
+                self.link_account(|s| s.aborted_attempts += 1);
+                continue;
+            }
+            let mram = &mut self.system.dpu_mut(dpu).mram;
+            mram.write(addr, src)?;
+            if let Some((byte, bit)) =
+                policy.faults.and_then(|p| p.corrupts(seq, dpu.0, attempt, src.len()))
+            {
+                let mut b = [0u8];
+                mram.read(addr + byte, &mut b)?;
+                b[0] ^= 1 << bit;
+                mram.write(addr + byte, &b)?;
+            }
+            let mut back = vec![0u8; src.len()];
+            mram.read(addr, &mut back)?;
+            if crc32c(&back) == frame {
+                self.link_account(|s| {
+                    s.transfers += 1;
+                    s.bytes_verified += src.len() as u64;
+                });
+                return Ok(());
+            }
+            self.link_account(|s| s.crc_mismatches += 1);
+        }
+        self.link_account(|s| s.exhausted += 1);
+        Err(HostError::LinkIntegrity {
+            symbol: symbol.to_owned(),
+            dpu: dpu.0,
+            attempts: policy.max_retries + 1,
+        })
+    }
+
+    /// One checked read leg: the sender frames the true MRAM bytes with
+    /// their CRC, the link may corrupt the received copy in `dst`, and
+    /// the receiver verifies before accepting. On exhaustion `dst` is
+    /// zeroed so a caller that ignores the error cannot consume the
+    /// corrupt payload.
+    fn checked_read(
+        &self,
+        dpu: DpuId,
+        addr: usize,
+        dst: &mut [u8],
+        symbol: &str,
+        policy: &LinkPolicy,
+        seq: u64,
+    ) -> Result<()> {
+        for attempt in 0..=policy.max_retries {
+            if attempt > 0 {
+                self.link_account(|s| {
+                    s.retries += 1;
+                    s.backoff_cycles += policy.backoff_base_cycles << (attempt - 1);
+                });
+            }
+            if policy.faults.is_some_and(|p| p.fails(seq, dpu.0, attempt)) {
+                self.link_account(|s| s.aborted_attempts += 1);
+                continue;
+            }
+            self.system.dpu(dpu).mram.read(addr, dst)?;
+            let frame = crc32c(dst);
+            if let Some((byte, bit)) =
+                policy.faults.and_then(|p| p.corrupts(seq, dpu.0, attempt, dst.len()))
+            {
+                dst[byte] ^= 1 << bit;
+            }
+            if crc32c(dst) == frame {
+                self.link_account(|s| {
+                    s.transfers += 1;
+                    s.bytes_verified += dst.len() as u64;
+                });
+                return Ok(());
+            }
+            self.link_account(|s| s.crc_mismatches += 1);
+        }
+        dst.fill(0);
+        self.link_account(|s| s.exhausted += 1);
+        Err(HostError::LinkIntegrity {
+            symbol: symbol.to_owned(),
+            dpu: dpu.0,
+            attempts: policy.max_retries + 1,
+        })
+    }
+
+    /// Per-DPU verification pass behind a checked broadcast. The shared
+    /// page-install fast path runs first; this leg then injects and
+    /// verifies each DPU's copy independently. A DPU whose copy fails
+    /// verification rewrites only its own range (copy-on-write privatizes
+    /// just that DPU's pages), so the common clean case keeps one shared
+    /// image across the whole set.
+    fn verify_broadcast(
+        &mut self,
+        addr: usize,
+        src: &[u8],
+        symbol: &str,
+        policy: &LinkPolicy,
+        seq: u64,
+    ) -> Result<()> {
+        let frame = crc32c(src);
+        for i in 0..self.system.len() as u32 {
+            let mut verified = false;
+            for attempt in 0..=policy.max_retries {
+                if attempt > 0 {
+                    self.link_account(|s| {
+                        s.retries += 1;
+                        s.backoff_cycles += policy.backoff_base_cycles << (attempt - 1);
+                    });
+                    // Relaunch this DPU's leg from the host image.
+                    self.system.dpu_mut(DpuId(i)).mram.write(addr, src)?;
+                }
+                if policy.faults.is_some_and(|p| p.fails(seq, i, attempt)) {
+                    self.link_account(|s| s.aborted_attempts += 1);
+                    continue;
+                }
+                let mram = &mut self.system.dpu_mut(DpuId(i)).mram;
+                if let Some((byte, bit)) =
+                    policy.faults.and_then(|p| p.corrupts(seq, i, attempt, src.len()))
+                {
+                    let mut b = [0u8];
+                    mram.read(addr + byte, &mut b)?;
+                    b[0] ^= 1 << bit;
+                    mram.write(addr + byte, &b)?;
+                }
+                let mut back = vec![0u8; src.len()];
+                mram.read(addr, &mut back)?;
+                if crc32c(&back) == frame {
+                    verified = true;
+                    break;
+                }
+                self.link_account(|s| s.crc_mismatches += 1);
+            }
+            if !verified {
+                self.link_account(|s| s.exhausted += 1);
+                return Err(HostError::LinkIntegrity {
+                    symbol: symbol.to_owned(),
+                    dpu: i,
+                    attempts: policy.max_retries + 1,
+                });
+            }
+            self.link_account(|s| {
+                s.transfers += 1;
+                s.bytes_verified += src.len() as u64;
+            });
+        }
+        Ok(())
+    }
+
     /// Copy `src` to a single DPU's `symbol` at `symbol_offset`.
     ///
     /// # Errors
@@ -367,7 +638,10 @@ impl DpuSet {
     ) -> Result<()> {
         self.check_dpu(dpu)?;
         let addr = self.symbols.resolve(symbol, symbol_offset, src.len())?;
-        self.system.dpu_mut(dpu).mram.write(addr, src)?;
+        match self.link_begin() {
+            Some((policy, seq)) => self.checked_write(dpu, addr, src, symbol, &policy, seq)?,
+            None => self.system.dpu_mut(dpu).mram.write(addr, src)?,
+        }
         let stats = self.xfer_stats.entry(symbol.to_owned()).or_default();
         stats.to_dpu_bytes += src.len() as u64;
         stats.operations += 1;
@@ -389,7 +663,10 @@ impl DpuSet {
     ) -> Result<()> {
         self.check_dpu(dpu)?;
         let addr = self.symbols.resolve(symbol, symbol_offset, dst.len())?;
-        self.system.dpu(dpu).mram.read(addr, dst)?;
+        match self.link_begin() {
+            Some((policy, seq)) => self.checked_read(dpu, addr, dst, symbol, &policy, seq)?,
+            None => self.system.dpu(dpu).mram.read(addr, dst)?,
+        }
         // `xfer_stats` counts only the host→DPU direction (it dominates
         // every workload here, and this method is `&self`); the trace log,
         // behind a `RefCell`, records gathers too.
@@ -493,6 +770,180 @@ mod tests {
         set.define_symbol("n_images", 8).unwrap();
         set.copy_scalar_to("n_images", 784).unwrap();
         assert_eq!(set.copy_scalar_from(DpuId(1), "n_images").unwrap(), 784);
+    }
+}
+
+#[cfg(test)]
+mod checked_transfer_tests {
+    use super::*;
+    use crate::link::{LinkFaultPlan, LinkPolicy};
+
+    fn filled(len: usize, salt: u8) -> Vec<u8> {
+        (0..len).map(|i| (i as u8).wrapping_mul(31).wrapping_add(salt)).collect()
+    }
+
+    #[test]
+    fn clean_checked_transfers_verify_and_count() {
+        let mut set = DpuSet::allocate(2).unwrap();
+        set.define_symbol("buf", 64).unwrap();
+        set.set_link_policy(Some(LinkPolicy::default()));
+        let payload = filled(32, 3);
+        set.copy_to_dpu(DpuId(0), "buf", 0, &payload).unwrap();
+        let mut back = vec![0u8; 32];
+        set.copy_from_dpu(DpuId(0), "buf", 0, &mut back).unwrap();
+        assert_eq!(back, payload);
+        let s = set.link_stats();
+        assert!(s.clean(), "{s:?}");
+        assert_eq!(s.transfers, 2);
+        assert_eq!(s.bytes_verified, 64);
+        // Disarming restores plain transfers (stats stop accumulating).
+        set.set_link_policy(None);
+        set.copy_to_dpu(DpuId(0), "buf", 0, &payload).unwrap();
+        assert_eq!(set.link_stats(), crate::link::LinkStats::default());
+    }
+
+    #[test]
+    fn corrupted_write_is_caught_by_crc_and_repaired_by_retry() {
+        let mut set = DpuSet::allocate(2).unwrap();
+        set.define_symbol("buf", 1024).unwrap();
+        let plan = LinkFaultPlan { seed: 13, corrupt_prob: 0.5, fail_prob: 0.0 };
+        set.set_link_policy(Some(LinkPolicy { max_retries: 8, ..LinkPolicy::with_faults(plan) }));
+        let payload = filled(512, 7);
+        for i in 0..8 {
+            set.copy_to_dpu(DpuId(i % 2), "buf", 0, &payload).unwrap();
+        }
+        let s = set.link_stats();
+        assert!(s.crc_mismatches > 0, "seed 13 at 0.5 must corrupt some attempt: {s:?}");
+        assert_eq!(s.retries, s.crc_mismatches, "every mismatch costs exactly one retry");
+        assert!(s.backoff_cycles > 0);
+        assert_eq!(s.exhausted, 0);
+        // The landed data is the true payload, not the corrupted frame.
+        let mut back = vec![0u8; 512];
+        set.set_link_policy(None);
+        set.copy_from_dpu(DpuId(0), "buf", 0, &mut back).unwrap();
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn corrupted_read_retries_until_the_frame_verifies() {
+        let mut set = DpuSet::allocate(1).unwrap();
+        set.define_symbol("buf", 256).unwrap();
+        let payload = filled(256, 11);
+        set.copy_to_dpu(DpuId(0), "buf", 0, &payload).unwrap();
+        let plan = LinkFaultPlan { seed: 4, corrupt_prob: 0.6, fail_prob: 0.2 };
+        set.set_link_policy(Some(LinkPolicy { max_retries: 16, ..LinkPolicy::with_faults(plan) }));
+        for _ in 0..8 {
+            let mut back = vec![0u8; 256];
+            set.copy_from_dpu(DpuId(0), "buf", 0, &mut back).unwrap();
+            assert_eq!(back, payload, "verified read must hand back true bytes");
+        }
+        let s = set.link_stats();
+        assert!(s.crc_mismatches > 0 || s.aborted_attempts > 0, "faults must fire: {s:?}");
+        assert_eq!(s.exhausted, 0);
+        assert_eq!(s.transfers, 8);
+    }
+
+    #[test]
+    fn persistent_corruption_exhausts_retries_and_zeroes_the_read() {
+        let mut set = DpuSet::allocate(1).unwrap();
+        set.define_symbol("buf", 64).unwrap();
+        let payload = filled(64, 1);
+        set.copy_to_dpu(DpuId(0), "buf", 0, &payload).unwrap();
+        // Every attempt corrupts: no frame can ever verify.
+        let plan = LinkFaultPlan { seed: 1, corrupt_prob: 1.0, fail_prob: 0.0 };
+        set.set_link_policy(Some(LinkPolicy { max_retries: 3, ..LinkPolicy::with_faults(plan) }));
+        let mut back = vec![0xAAu8; 64];
+        let err = set.copy_from_dpu(DpuId(0), "buf", 0, &mut back).unwrap_err();
+        assert!(matches!(err, HostError::LinkIntegrity { dpu: 0, attempts: 4, .. }), "{err:?}");
+        assert_eq!(back, vec![0u8; 64], "failed read must not leak a corrupt payload");
+        let s = set.link_stats();
+        assert_eq!(s.exhausted, 1);
+        assert_eq!(s.crc_mismatches, 4);
+    }
+
+    #[test]
+    fn checked_broadcast_repairs_corrupt_legs_and_keeps_clean_pages_shared() {
+        let mut set = DpuSet::allocate(4).unwrap();
+        set.define_symbol("w", 2 * MRAM_PAGE_BYTES).unwrap();
+        let image: Vec<u8> = (0..2 * MRAM_PAGE_BYTES).map(|i| (i % 249) as u8).collect();
+        // Seed 6 at 0.3 corrupts DPUs 1 and 3 on the first attempt and
+        // leaves 0 and 2 clean — the shape this test needs.
+        let plan = LinkFaultPlan { seed: 6, corrupt_prob: 0.3, fail_prob: 0.0 };
+        set.set_link_policy(Some(LinkPolicy { max_retries: 8, ..LinkPolicy::with_faults(plan) }));
+        set.copy_to("w", 0, &image).unwrap();
+        let s = set.link_stats();
+        assert_eq!(s.transfers, 4, "one verified leg per DPU");
+        assert!(s.crc_mismatches > 0, "seed 6 at 0.3 must corrupt some leg: {s:?}");
+        set.set_link_policy(None);
+        for i in 0..4 {
+            let mut back = vec![0u8; image.len()];
+            set.copy_from_dpu(DpuId(i), "w", 0, &mut back).unwrap();
+            assert_eq!(back, image, "DPU {i}");
+        }
+        // Only corrupted legs privatized their pages; the rest still
+        // share the broadcast image.
+        let res = set.system().mram_residency();
+        assert!(res.distinct_pages < res.resident_pages, "some sharing must survive: {res:?}");
+    }
+
+    #[test]
+    fn link_corruption_is_caught_by_crc_even_with_ecc_enabled() {
+        // A link error corrupts the frame *after* the sidecar refresh, so
+        // ECC sees a self-consistent (wrong) word and only the CRC frame
+        // can catch it — the two layers guard different fault domains.
+        let mut set = DpuSet::allocate(1).unwrap();
+        set.define_symbol("buf", 64).unwrap();
+        set.enable_ecc(true);
+        let plan = LinkFaultPlan { seed: 3, corrupt_prob: 0.7, fail_prob: 0.0 };
+        set.set_link_policy(Some(LinkPolicy { max_retries: 16, ..LinkPolicy::with_faults(plan) }));
+        let payload = filled(64, 9);
+        for _ in 0..6 {
+            set.copy_to_dpu(DpuId(0), "buf", 0, &payload).unwrap();
+        }
+        assert!(set.link_stats().crc_mismatches > 0, "{:?}", set.link_stats());
+        // After CRC-verified repair the storage is consistent: nothing
+        // for the scrubber to fix or report.
+        let rep = set.scrub_all();
+        assert_eq!((rep.corrected(), rep.uncorrectable.len()), (0, 0), "{rep:?}");
+    }
+
+    /// Satellite regression: a storage-cell error on one DPU of a
+    /// broadcast-shared page must privatize that DPU's copy before
+    /// corrupting it — the other DPUs' (shared) pages stay bit-exact,
+    /// and an ECC scrub of the victim repairs it in place.
+    #[test]
+    fn raw_flip_on_shared_broadcast_page_stays_isolated_to_one_dpu() {
+        let mut set = DpuSet::allocate(4).unwrap();
+        set.define_symbol("w", MRAM_PAGE_BYTES).unwrap();
+        set.enable_ecc(true);
+        let image: Vec<u8> = (0..MRAM_PAGE_BYTES).map(|i| (i % 253) as u8).collect();
+        set.copy_to("w", 0, &image).unwrap();
+
+        let addr = set.symbols().resolve("w", 128, 8).unwrap();
+        set.system_mut().dpu_mut(DpuId(2)).mram.flip_bit_raw(addr, 5).unwrap();
+
+        for i in 0..4u32 {
+            let mut back = vec![0u8; MRAM_PAGE_BYTES];
+            set.copy_from_dpu(DpuId(i), "w", 0, &mut back).unwrap();
+            if i == 2 {
+                assert_ne!(back, image, "victim must observe its own corruption");
+            } else {
+                assert_eq!(back, image, "DPU {i} must not see DPU 2's fault");
+            }
+        }
+        // The scrubber repairs the victim from its (shared-at-install)
+        // sidecar; afterwards all four DPUs agree again.
+        let reports = set.scrub_each();
+        assert_eq!(reports[2].corrected_data, 1, "{:?}", reports[2]);
+        for (i, r) in reports.iter().enumerate() {
+            assert!(r.uncorrectable.is_empty(), "DPU {i}: {r:?}");
+            if i != 2 {
+                assert_eq!(r.corrected(), 0, "DPU {i} had nothing to fix");
+            }
+        }
+        let mut back = vec![0u8; MRAM_PAGE_BYTES];
+        set.copy_from_dpu(DpuId(2), "w", 0, &mut back).unwrap();
+        assert_eq!(back, image, "scrub restored the victim bit-exactly");
     }
 }
 

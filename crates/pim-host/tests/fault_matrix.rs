@@ -49,6 +49,17 @@ fn matrix() -> Vec<(&'static str, FaultConfig)> {
         cells.push((label, FaultConfig { bit_flip_prob: rate, ..FaultConfig::default() }));
         cells.push((label, FaultConfig { hang_prob: rate, ..FaultConfig::default() }));
         cells.push((label, FaultConfig { dpu_offline_prob: rate, ..FaultConfig::default() }));
+        // Combined pairs: both classes armed at once, so a single attempt
+        // can draw a hang on an offline-flaky DPU or a bit flip riding a
+        // failing DMA.
+        cells.push((
+            label,
+            FaultConfig { hang_prob: rate, dpu_offline_prob: rate, ..FaultConfig::default() },
+        ));
+        cells.push((
+            label,
+            FaultConfig { bit_flip_prob: rate, dma_fail_prob: rate, ..FaultConfig::default() },
+        ));
         cells.push((
             label,
             FaultConfig {
@@ -56,6 +67,7 @@ fn matrix() -> Vec<(&'static str, FaultConfig)> {
                 bit_flip_prob: rate / 2.0,
                 hang_prob: rate / 2.0,
                 dpu_offline_prob: rate / 4.0,
+                double_flip_prob: rate / 4.0,
                 ..FaultConfig::default()
             },
         ));
@@ -138,6 +150,29 @@ fn matrix_cells_are_deterministic_across_scheduling() {
         let parallel = run_cell(config.clone(), false);
         let sequential = run_cell(config, true);
         assert_eq!(parallel, sequential);
+    }
+}
+
+#[test]
+fn combined_faults_in_one_attempt_exhaust_and_quarantine_cleanly() {
+    // Certainty-rate pairs force both fault classes into *every* attempt:
+    // a flip landing on the same attempt as a DMA failure, and a hang on
+    // a DPU that is also drawn offline. Bookkeeping must stay consistent
+    // all the way to whole-set quarantine.
+    let pairs = [
+        FaultConfig { bit_flip_prob: 1.0, dma_fail_prob: 1.0, ..FaultConfig::default() },
+        FaultConfig { hang_prob: 1.0, dpu_offline_prob: 1.0, ..FaultConfig::default() },
+    ];
+    for config in pairs {
+        let report = run_cell(FaultConfig { seed: 0xC0, ..config }, false);
+        check_invariants(&report, 3);
+        assert_eq!(
+            report.quarantined.len(),
+            DPUS,
+            "certainty-rate combined faults must quarantine every DPU"
+        );
+        assert!(report.degraded.is_empty(), "no survivors to redispatch onto");
+        assert!(report.per_dpu.iter().all(|r| r.attempts == 4 && r.result.is_none()));
     }
 }
 

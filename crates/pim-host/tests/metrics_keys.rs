@@ -60,11 +60,16 @@ fn resilient_metrics_key_set_is_stable() {
         counters,
         [
             "faults.dpu_offline",
+            "integrity.dma_corrected",
+            "integrity.scrub_corrected",
+            "integrity.scrub_uncorrectable",
+            "integrity.scrub_words",
             "launch.dma.bytes",
             "launch.dma.cycles",
             "launch.dma.transfers",
             "launch.instructions",
             "resilient.faults_injected",
+            "resilient.healthy_after_repair",
             "resilient.quarantined",
             "resilient.redispatched",
             "resilient.retries",
@@ -110,7 +115,11 @@ fn observation_metrics_key_set_is_stable() {
             "obs.dma.transfers",
             "obs.faults.dpu_offline",
             "obs.faults_injected",
+            "obs.healthy_after_repair",
             "obs.instructions",
+            "obs.integrity.dma_corrected",
+            "obs.integrity.scrub_corrected",
+            "obs.integrity.scrub_uncorrectable",
             "obs.launches",
             "obs.pool.batches",
             "obs.quarantined",

@@ -14,8 +14,8 @@
 use ebnn::codegen::encode_slot;
 use ebnn::model::{EbnnModel, ModelConfig};
 use pim_serve::{
-    serve, ClosedLoop, EbnnServeEngine, LinkModel, OpenLoop, PipelineMode, Rng64, ServeConfig,
-    ServeReport,
+    serve, BreakerConfig, ClosedLoop, EbnnServeEngine, LinkModel, OpenLoop, PipelineMode, Rng64,
+    ServeConfig, ServeReport,
 };
 use std::fmt::Write as _;
 
@@ -42,6 +42,7 @@ struct Args {
     fault_hang: f64,
     fault_forced: Vec<u32>,
     fault_seed: u64,
+    chaos: bool,
     json: bool,
     compare: bool,
     min_speedup: f64,
@@ -72,6 +73,7 @@ impl Default for Args {
             fault_hang: 0.0,
             fault_forced: Vec::new(),
             fault_seed: 0xF0CA,
+            chaos: false,
             json: false,
             compare: false,
             min_speedup: 0.0,
@@ -88,7 +90,10 @@ fn usage() -> ! {
          \x20              [--delay CYCLES] [--bw BYTES_PER_SEC] [--pgo-warmup BATCHES]\n\
          \x20              [--fault-offline P] [--fault-dma P] [--fault-flip P]\n\
          \x20              [--fault-hang P] [--fault-forced CSV] [--fault-seed N]\n\
-         \x20              [--json] [--compare [--min-speedup X] [--bench-json PATH]]"
+         \x20              [--chaos] [--json] [--compare [--min-speedup X] [--bench-json PATH]]\n\
+         --chaos arms a seeded multi-fault campaign (flips, double flips, DMA aborts,\n\
+         hangs, offline DPUs) with ECC + the circuit breaker, and prints a JSON\n\
+         health report (corrections, ejected ranks, probe readmits, latency)."
     );
     std::process::exit(2);
 }
@@ -140,6 +145,7 @@ fn parse_args() -> Args {
                     .collect();
             }
             "--fault-seed" => a.fault_seed = val("--fault-seed").parse().expect("--fault-seed"),
+            "--chaos" => a.chaos = true,
             "--json" => a.json = true,
             "--compare" => a.compare = true,
             "--min-speedup" => {
@@ -157,19 +163,31 @@ fn parse_args() -> Args {
 }
 
 fn policy(a: &Args) -> Option<pim_host::ResilientLaunchPolicy> {
-    let armed = a.fault_offline > 0.0
+    let armed = a.chaos
+        || a.fault_offline > 0.0
         || a.fault_dma > 0.0
         || a.fault_flip > 0.0
         || a.fault_hang > 0.0
         || !a.fault_forced.is_empty();
     armed.then(|| {
+        // `--chaos` fills in campaign defaults for any rate left at zero
+        // (explicit --fault-* flags still win), and adds the SEC-DED
+        // uncorrectable class, which has no standalone flag.
+        let or_chaos = |explicit: f64, chaos_default: f64| {
+            if a.chaos && explicit == 0.0 {
+                chaos_default
+            } else {
+                explicit
+            }
+        };
         pim_host::ResilientLaunchPolicy::with_faults(dpu_sim::FaultPlan::new(
             dpu_sim::FaultConfig {
                 seed: a.fault_seed,
-                dpu_offline_prob: a.fault_offline,
-                dma_fail_prob: a.fault_dma,
-                bit_flip_prob: a.fault_flip,
-                hang_prob: a.fault_hang,
+                dpu_offline_prob: or_chaos(a.fault_offline, 0.04),
+                dma_fail_prob: or_chaos(a.fault_dma, 0.08),
+                bit_flip_prob: or_chaos(a.fault_flip, 0.08),
+                double_flip_prob: if a.chaos { 0.04 } else { 0.0 },
+                hang_prob: or_chaos(a.fault_hang, 0.04),
                 forced_offline: a.fault_forced.clone(),
             },
         ))
@@ -187,11 +205,14 @@ fn slot_pool(model: &EbnnModel, seed: u64) -> Vec<Vec<u8>> {
         .collect()
 }
 
-fn run_once(a: &Args, pipeline: PipelineMode) -> ServeReport<Vec<u8>> {
+fn run_once(a: &Args, pipeline: PipelineMode) -> (ServeReport<Vec<u8>>, Option<serde_json::Value>) {
     let model = EbnnModel::generate(ModelConfig { filters: a.filters, ..ModelConfig::default() });
     let pool = slot_pool(&model, a.seed);
     let mut engine =
         EbnnServeEngine::new(&model, a.dpus, pipeline, policy(a)).expect("engine builds");
+    if a.chaos {
+        engine.enable_ecc(true);
+    }
     let cfg = ServeConfig {
         queue_capacity: a.queue_depth,
         max_batch_delay: a.delay,
@@ -199,6 +220,11 @@ fn run_once(a: &Args, pipeline: PipelineMode) -> ServeReport<Vec<u8>> {
         link: LinkModel { bytes_per_sec: a.bw, ..LinkModel::default() },
         pgo_warmup_batches: a.pgo_warmup,
         record_outputs: false,
+        // Small ranks (4 per set by default) so the breaker can actually
+        // eject under the chaos campaign's fault rates.
+        breaker: a
+            .chaos
+            .then(|| BreakerConfig { rank_dpus: (a.dpus / 4).max(1), ..BreakerConfig::default() }),
         ..ServeConfig::default()
     }
     .with_env();
@@ -212,7 +238,50 @@ fn run_once(a: &Args, pipeline: PipelineMode) -> ServeReport<Vec<u8>> {
     } else {
         serve(&mut engine, &mut OpenLoop::new(a.seed, a.requests, a.gap, gen), &cfg)
     };
-    report.expect("serving run succeeds")
+    let report = report.expect("serving run succeeds");
+    let health = a.chaos.then(|| chaos_health(a, &mut engine, &report));
+    (report, health)
+}
+
+/// The `--chaos` JSON health report: self-healing telemetry (corrections,
+/// quarantines, breaker ejections/readmissions), a post-run residual
+/// scrub of the serving set, and the latency/goodput quantiles.
+fn chaos_health(
+    a: &Args,
+    engine: &mut EbnnServeEngine,
+    r: &ServeReport<Vec<u8>>,
+) -> serde_json::Value {
+    use pim_trace::keys as k;
+    let residual = engine.inner_mut().set_mut().scrub_all();
+    let m = &r.metrics;
+    let q = |p: f64| r.latency_quantile(p).unwrap_or(0.0);
+    serde_json::json!({
+        "schema": "pim-serve-chaos-v1",
+        "shape": {
+            "dpus": a.dpus,
+            "requests": a.requests,
+            "mode": a.mode,
+            "seed": a.seed,
+            "fault_seed": a.fault_seed,
+        },
+        "health": {
+            "repaired_dpu_launches": m.counter(k::SERVE_REPAIRED_DPUS),
+            "quarantined_dpu_launches": m.counter(k::SERVE_QUARANTINED_DPUS),
+            "dma_corrected_words": engine.inner().set().dma_corrected_total(),
+            "residual_scrub_corrected": residual.corrected(),
+            "residual_uncorrectable_words": residual.uncorrectable.len(),
+            "ejected_ranks": m.counter(k::SERVE_BREAKER_TRIPS),
+            "probes": m.counter(k::SERVE_BREAKER_PROBES),
+            "probe_readmits": m.counter(k::SERVE_BREAKER_READMITS),
+        },
+        "requests": {
+            "completed": m.counter(k::SERVE_COMPLETED),
+            "failed": m.counter(k::SERVE_FAILED),
+            "rejected": m.counter(k::SERVE_REJECTED),
+        },
+        "latency_cycles": { "p50": q(0.50), "p99": q(0.99), "p999": q(0.999) },
+        "goodput_ips": r.goodput_ips,
+    })
 }
 
 fn summarize(tag: &str, r: &ServeReport<Vec<u8>>) -> String {
@@ -256,8 +325,8 @@ fn summarize(tag: &str, r: &ServeReport<Vec<u8>>) -> String {
 fn main() {
     let a = parse_args();
     if a.compare {
-        let serial = run_once(&a, PipelineMode::Serial);
-        let double = run_once(&a, PipelineMode::Double);
+        let (serial, _) = run_once(&a, PipelineMode::Serial);
+        let (double, _) = run_once(&a, PipelineMode::Double);
         print!("{}", summarize("serial", &serial));
         print!("{}", summarize("double", &double));
         let speedup =
@@ -295,8 +364,10 @@ fn main() {
         }
         return;
     }
-    let report = run_once(&a, a.pipeline);
-    if a.json {
+    let (report, health) = run_once(&a, a.pipeline);
+    if let Some(health) = health {
+        println!("{}", serde_json::to_string_pretty(&health).expect("serialize health"));
+    } else if a.json {
         println!(
             "{}",
             serde_json::to_string_pretty(&report.metrics.to_json()).expect("serialize metrics")

@@ -1,0 +1,424 @@
+//! Per-rank circuit breaker over the serving set.
+//!
+//! DPUs are grouped into ranks of [`BreakerConfig::rank_dpus`]; each rank
+//! accumulates a health score from the fault telemetry the engine reports
+//! per batch (quarantines weigh heavily, ECC/DMA repairs lightly) over a
+//! rolling window of recent batches. A rank whose windowed score reaches
+//! the trip threshold is **ejected** from batch packing (state `Open`):
+//! no items are staged on its DPUs, and admission capacity shrinks so the
+//! queue sheds with a typed [`crate::request::Overloaded`] instead of
+//! letting requests time out against hardware that cannot serve them.
+//! After a cooldown the rank enters `Probation`: it rejoins the live mask
+//! and the next batch that actually lands items on it is the probe — a
+//! clean probe re-admits the rank (window cleared), another quarantine
+//! re-opens it. The last live rank is never ejected; its window is reset
+//! instead, so the service always retains capacity.
+//!
+//! Everything is integer arithmetic driven by the deterministic batch
+//! sequence — a fixed traffic seed reproduces every trip, probe, and
+//! re-admission bit-for-bit.
+
+use crate::engine::BatchRun;
+use std::collections::VecDeque;
+
+/// Circuit-breaker knobs. The defaults suit the small serving sets the
+/// tests and `loadgen` drive; production-scale sets raise `rank_dpus` to
+/// the hardware rank width (64 on UPMEM).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BreakerConfig {
+    /// DPUs per rank group (the ejection granularity).
+    pub rank_dpus: usize,
+    /// Rolling window length, in observed batches.
+    pub window: usize,
+    /// Eject a rank when its windowed score reaches this.
+    pub trip_score: u32,
+    /// Batches a rank stays `Open` before it may probe.
+    pub cooldown_batches: u64,
+    /// Score per quarantined DPU in a batch.
+    pub quarantine_weight: u32,
+    /// Score per DPU served healthy-after-repair in a batch.
+    pub repair_weight: u32,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            rank_dpus: 64,
+            window: 8,
+            trip_score: 100,
+            cooldown_batches: 4,
+            quarantine_weight: 50,
+            repair_weight: 1,
+        }
+    }
+}
+
+/// Where a rank sits in the trip → cooldown → probe cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RankState {
+    /// Serving normally.
+    Closed,
+    /// Ejected from packing until the given batch sequence number.
+    Open {
+        /// First batch (by observation count) at which the rank may move
+        /// to [`RankState::Probation`].
+        until_batch: u64,
+    },
+    /// Back in the live mask awaiting a probe batch that lands items on
+    /// it; the probe's outcome decides re-admission.
+    Probation,
+}
+
+#[derive(Debug, Clone)]
+struct RankHealth {
+    state: RankState,
+    /// Per-batch scores, newest last, bounded by `cfg.window`.
+    window: VecDeque<u32>,
+    score: u32,
+}
+
+impl RankHealth {
+    fn push(&mut self, score: u32, window: usize) {
+        self.window.push_back(score);
+        self.score += score;
+        while self.window.len() > window {
+            self.score -= self.window.pop_front().unwrap_or(0);
+        }
+    }
+
+    fn reset(&mut self) {
+        self.window.clear();
+        self.score = 0;
+    }
+}
+
+/// The breaker: per-rank health windows plus trip/probe/re-admit
+/// counters for the `serve.breaker.*` metrics.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    cfg: BreakerConfig,
+    dpus: usize,
+    ranks: Vec<RankHealth>,
+    batches: u64,
+    trips: u64,
+    probes: u64,
+    readmits: u64,
+}
+
+impl CircuitBreaker {
+    /// A breaker over a serving set of `dpus` DPUs, all ranks closed.
+    ///
+    /// # Panics
+    /// When `dpus` is 0 or `cfg.rank_dpus` is 0.
+    #[must_use]
+    pub fn new(cfg: BreakerConfig, dpus: usize) -> Self {
+        assert!(dpus > 0, "breaker needs a non-empty serving set");
+        assert!(cfg.rank_dpus > 0, "rank_dpus must be positive");
+        let n_ranks = dpus.div_ceil(cfg.rank_dpus);
+        let ranks = vec![
+            RankHealth { state: RankState::Closed, window: VecDeque::new(), score: 0 };
+            n_ranks
+        ];
+        Self { cfg, dpus, ranks, batches: 0, trips: 0, probes: 0, readmits: 0 }
+    }
+
+    /// Rank index of a DPU.
+    #[must_use]
+    pub fn rank_of(&self, dpu: u32) -> usize {
+        dpu as usize / self.cfg.rank_dpus
+    }
+
+    /// Number of rank groups.
+    #[must_use]
+    pub fn ranks(&self) -> usize {
+        self.ranks.len()
+    }
+
+    /// State of one rank.
+    ///
+    /// # Panics
+    /// When `rank` is out of range.
+    #[must_use]
+    pub fn state(&self, rank: usize) -> RankState {
+        self.ranks[rank].state
+    }
+
+    /// Current windowed health score of one rank (higher is sicker).
+    ///
+    /// # Panics
+    /// When `rank` is out of range.
+    #[must_use]
+    pub fn score(&self, rank: usize) -> u32 {
+        self.ranks[rank].score
+    }
+
+    /// Ranks currently ejected (`Open`).
+    #[must_use]
+    pub fn open_ranks(&self) -> usize {
+        self.ranks.iter().filter(|r| matches!(r.state, RankState::Open { .. })).count()
+    }
+
+    /// Ranks currently packable (`Closed` or `Probation`).
+    #[must_use]
+    pub fn live_ranks(&self) -> usize {
+        self.ranks.len() - self.open_ranks()
+    }
+
+    /// Per-DPU liveness: a DPU is live when its rank is not `Open`.
+    #[must_use]
+    pub fn live_mask(&self) -> Vec<bool> {
+        (0..self.dpus)
+            .map(|d| !matches!(self.ranks[self.rank_of(d as u32)].state, RankState::Open { .. }))
+            .collect()
+    }
+
+    /// Live DPUs (the packable capacity numerator).
+    #[must_use]
+    pub fn live_dpus(&self) -> usize {
+        self.live_mask().iter().filter(|l| **l).count()
+    }
+
+    /// Ranks ejected so far (including re-trips out of probation).
+    #[must_use]
+    pub fn trips(&self) -> u64 {
+        self.trips
+    }
+
+    /// Open → Probation transitions so far.
+    #[must_use]
+    pub fn probes(&self) -> u64 {
+        self.probes
+    }
+
+    /// Probation → Closed re-admissions so far.
+    #[must_use]
+    pub fn readmits(&self) -> u64 {
+        self.readmits
+    }
+
+    /// Batches observed so far.
+    #[must_use]
+    pub fn batches(&self) -> u64 {
+        self.batches
+    }
+
+    /// Fold one batch's telemetry into the windows and advance the state
+    /// machine. Call once per launched batch, after gathering its
+    /// [`BatchRun`].
+    pub fn observe(&mut self, run: &BatchRun) {
+        self.batches += 1;
+        let n = self.ranks.len();
+        let mut quarantines = vec![0u32; n];
+        let mut repairs = vec![0u32; n];
+        let mut active = vec![false; n];
+        for &d in &run.quarantined_dpus {
+            quarantines[self.rank_of(d).min(n - 1)] += 1;
+        }
+        for &d in &run.repaired_dpus {
+            repairs[self.rank_of(d).min(n - 1)] += 1;
+        }
+        for &d in &run.active_dpus {
+            active[self.rank_of(d).min(n - 1)] = true;
+        }
+
+        for rank in 0..n {
+            let score = self.cfg.quarantine_weight * quarantines[rank]
+                + self.cfg.repair_weight * repairs[rank];
+            let window = self.cfg.window;
+            self.ranks[rank].push(score, window);
+            match self.ranks[rank].state {
+                RankState::Closed => {
+                    if self.ranks[rank].score >= self.cfg.trip_score {
+                        if self.live_ranks() <= 1 {
+                            // Never eject the last live rank: zero
+                            // capacity would stall the service. Forgive
+                            // and keep watching.
+                            self.ranks[rank].reset();
+                        } else {
+                            self.trips += 1;
+                            self.ranks[rank].state = RankState::Open {
+                                until_batch: self.batches + self.cfg.cooldown_batches,
+                            };
+                        }
+                    }
+                }
+                RankState::Open { until_batch } => {
+                    if self.batches >= until_batch {
+                        self.probes += 1;
+                        self.ranks[rank].state = RankState::Probation;
+                    }
+                }
+                RankState::Probation => {
+                    if quarantines[rank] > 0 {
+                        if self.live_ranks() <= 1 {
+                            // A failed probe on the sole live rank must
+                            // not re-open it: zero capacity would stall
+                            // the service. Forgive and keep watching.
+                            self.ranks[rank].reset();
+                            self.ranks[rank].state = RankState::Closed;
+                        } else {
+                            // The probe failed: straight back to Open.
+                            self.trips += 1;
+                            self.ranks[rank].state = RankState::Open {
+                                until_batch: self.batches + self.cfg.cooldown_batches,
+                            };
+                        }
+                    } else if active[rank] {
+                        // A clean batch actually landed items here: the
+                        // probe passed, re-admit with a fresh window.
+                        self.readmits += 1;
+                        self.ranks[rank].reset();
+                        self.ranks[rank].state = RankState::Closed;
+                    }
+                    // No items staged on this rank: inconclusive, keep
+                    // probing.
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            rank_dpus: 2,
+            window: 4,
+            trip_score: 100,
+            cooldown_batches: 2,
+            quarantine_weight: 50,
+            repair_weight: 1,
+        }
+    }
+
+    fn run(quarantined: &[u32], repaired: &[u32], active: &[u32]) -> BatchRun {
+        BatchRun {
+            compute_cycles: 1,
+            redispatched_items: 0,
+            lost_items: 0,
+            quarantined_dpus: quarantined.to_vec(),
+            repaired_dpus: repaired.to_vec(),
+            active_dpus: active.to_vec(),
+        }
+    }
+
+    #[test]
+    fn quarantines_trip_the_rank_and_cooldown_leads_to_probation() {
+        let mut b = CircuitBreaker::new(cfg(), 6);
+        assert_eq!(b.ranks(), 3);
+        assert_eq!(b.live_dpus(), 6);
+        // Two quarantines on rank 1 (DPUs 2,3) reach the trip score.
+        b.observe(&run(&[2], &[], &[0, 1, 2, 3, 4, 5]));
+        assert_eq!(b.state(1), RankState::Closed, "one quarantine is below the threshold");
+        b.observe(&run(&[3], &[], &[0, 1, 2, 3, 4, 5]));
+        assert!(matches!(b.state(1), RankState::Open { .. }));
+        assert_eq!(b.trips(), 1);
+        assert_eq!(b.live_mask(), [true, true, false, false, true, true]);
+        assert_eq!(b.live_ranks(), 2);
+        // Cooldown: two clean batches later the rank probes.
+        b.observe(&run(&[], &[], &[0, 1, 4, 5]));
+        assert!(matches!(b.state(1), RankState::Open { .. }));
+        b.observe(&run(&[], &[], &[0, 1, 4, 5]));
+        assert_eq!(b.state(1), RankState::Probation);
+        assert_eq!(b.probes(), 1);
+        assert_eq!(b.live_dpus(), 6, "probation ranks rejoin the live mask");
+    }
+
+    #[test]
+    fn clean_probe_readmits_and_failed_probe_reopens() {
+        let mut b = CircuitBreaker::new(cfg(), 4);
+        b.observe(&run(&[0, 1], &[], &[0, 1, 2, 3]));
+        assert!(matches!(b.state(0), RankState::Open { .. }));
+        b.observe(&run(&[], &[], &[2, 3]));
+        b.observe(&run(&[], &[], &[2, 3]));
+        assert_eq!(b.state(0), RankState::Probation);
+        // A batch that skips the rank is inconclusive.
+        b.observe(&run(&[], &[], &[2, 3]));
+        assert_eq!(b.state(0), RankState::Probation);
+        // The probe lands items and stays clean: re-admitted, score wiped.
+        b.observe(&run(&[], &[], &[0, 1, 2, 3]));
+        assert_eq!(b.state(0), RankState::Closed);
+        assert_eq!(b.readmits(), 1);
+        assert_eq!(b.score(0), 0);
+        // Trip again, cool down, and fail the probe this time.
+        b.observe(&run(&[0, 1], &[], &[0, 1, 2, 3]));
+        b.observe(&run(&[], &[], &[2, 3]));
+        b.observe(&run(&[], &[], &[2, 3]));
+        assert_eq!(b.state(0), RankState::Probation);
+        b.observe(&run(&[0], &[], &[0, 1, 2, 3]));
+        assert!(matches!(b.state(0), RankState::Open { .. }), "failed probe re-opens");
+        assert_eq!(b.trips(), 3);
+    }
+
+    #[test]
+    fn repairs_alone_accumulate_slowly_and_age_out_of_the_window() {
+        let mut b = CircuitBreaker::new(cfg(), 4);
+        // 30 repairs/batch on rank 0: hits 100 within the 4-batch window.
+        for _ in 0..3 {
+            b.observe(&run(&[], &[0; 30], &[0, 1, 2, 3]));
+            assert_eq!(b.state(0), RankState::Closed);
+        }
+        b.observe(&run(&[], &[0; 30], &[0, 1, 2, 3]));
+        assert!(matches!(b.state(0), RankState::Open { .. }), "chronic repairs trip too");
+        // A lighter trickle ages out before it can trip.
+        let mut c = CircuitBreaker::new(cfg(), 4);
+        for _ in 0..20 {
+            c.observe(&run(&[], &[0; 10], &[0, 1, 2, 3]));
+        }
+        assert_eq!(c.state(0), RankState::Closed);
+        assert_eq!(c.score(0), 40, "window holds only the last 4 batches");
+    }
+
+    #[test]
+    fn last_live_rank_is_never_ejected() {
+        let mut b = CircuitBreaker::new(cfg(), 2);
+        assert_eq!(b.ranks(), 1);
+        for _ in 0..10 {
+            b.observe(&run(&[0, 1], &[], &[0, 1]));
+            assert_eq!(b.state(0), RankState::Closed, "sole rank must stay live");
+        }
+        assert_eq!(b.trips(), 0);
+        assert_eq!(b.live_dpus(), 2);
+    }
+
+    #[test]
+    fn failed_probe_on_the_sole_live_rank_stays_live() {
+        // Two ranks: trip rank 1, then keep quarantining rank 0 until it
+        // is the probing sole-live rank failing its probe. The mask must
+        // never go all-dead.
+        let mut b = CircuitBreaker::new(cfg(), 4);
+        b.observe(&run(&[2, 3], &[], &[0, 1, 2, 3]));
+        assert!(matches!(b.state(1), RankState::Open { .. }));
+        // Rank 0 would trip too, but it is the last live rank: forgiven.
+        b.observe(&run(&[0, 1], &[], &[0, 1]));
+        assert_eq!(b.state(0), RankState::Closed);
+        // Rank 1 cools down into probation and fails its probe while
+        // rank 0 keeps quarantining — every observation must leave at
+        // least one live DPU.
+        for _ in 0..12 {
+            b.observe(&run(&[0, 1, 2, 3], &[], &b.live_mask_dpus()));
+            assert!(b.live_dpus() > 0, "breaker starved the service");
+        }
+    }
+
+    impl CircuitBreaker {
+        /// Test helper: the live mask as explicit DPU indices.
+        fn live_mask_dpus(&self) -> Vec<u32> {
+            self.live_mask()
+                .iter()
+                .enumerate()
+                .filter_map(|(d, &l)| l.then_some(d as u32))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn uneven_tail_rank_maps_correctly() {
+        let b = CircuitBreaker::new(cfg(), 5);
+        assert_eq!(b.ranks(), 3, "5 DPUs over rank width 2 is 3 ranks");
+        assert_eq!(b.rank_of(4), 2);
+        assert_eq!(b.live_mask().len(), 5);
+    }
+}

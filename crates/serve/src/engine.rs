@@ -5,7 +5,7 @@ use crate::pipeline::PipelineMode;
 use crate::traffic::splitmix64;
 use ebnn::codegen::Tier1Engine;
 use ebnn::model::EbnnModel;
-use pim_host::{HostError, ResilientLaunchPolicy};
+use pim_host::{HostError, ResilientLaunchPolicy, ServeHealth};
 use yolo_pim::codegen::RowEngine;
 use yolo_pim::gemm::GemmDims;
 
@@ -14,7 +14,7 @@ use yolo_pim::gemm::GemmDims;
 pub type Gathered<O> = (Vec<Option<O>>, u64);
 
 /// What one launch did, in the units the scheduler needs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchRun {
     /// DPU compute makespan in simulated cycles.
     pub compute_cycles: u64,
@@ -23,6 +23,29 @@ pub struct BatchRun {
     /// Items lost outright (quarantined, not redispatched) — their
     /// requests complete degraded.
     pub lost_items: usize,
+    /// DPUs quarantined during this launch (circuit-breaker telemetry).
+    pub quarantined_dpus: Vec<u32>,
+    /// DPUs that served healthy-after-repair: retries consumed or
+    /// single-bit errors corrected by ECC scrub / DMA verify-on-read.
+    pub repaired_dpus: Vec<u32>,
+    /// DPUs that had items staged this batch (probation probes are
+    /// confirmed only by batches that actually landed work).
+    pub active_dpus: Vec<u32>,
+}
+
+impl BatchRun {
+    /// A clean, fully-healthy run over the given active DPUs.
+    #[must_use]
+    pub fn clean(compute_cycles: u64, active_dpus: Vec<u32>) -> Self {
+        Self {
+            compute_cycles,
+            redispatched_items: 0,
+            lost_items: 0,
+            quarantined_dpus: Vec::new(),
+            repaired_dpus: Vec::new(),
+            active_dpus,
+        }
+    }
 }
 
 /// A persistent rank-batch executor the serving loop drives: stage items
@@ -48,6 +71,13 @@ pub trait BatchEngine {
     /// # Errors
     /// Host-runtime failures.
     fn stage(&mut self, items: &[Self::Item], buf: usize) -> Result<u64, HostError>;
+
+    /// Restrict staging to the DPUs marked live — the circuit breaker's
+    /// ejection hook. Engines that cannot mask their staging ignore the
+    /// hint (the default does nothing).
+    fn set_live_mask(&mut self, live: &[bool]) {
+        let _ = live;
+    }
 
     /// Launch the last-staged buffer's batch; `seq` is the batch sequence
     /// number (mixed into the fault seed so each batch draws fresh
@@ -106,6 +136,8 @@ pub struct EbnnServeEngine {
     served: Vec<Option<Vec<bool>>>,
     active: usize,
     dirty: bool,
+    /// Circuit-breaker liveness: staging skips DPUs marked dead.
+    live: Vec<bool>,
 }
 
 impl EbnnServeEngine {
@@ -128,13 +160,26 @@ impl EbnnServeEngine {
         };
         let inner = Tier1Engine::with_buffers(model, dpus, buffers, false)?;
         let served = vec![None; buffers];
-        Ok(Self { inner, policy, served, active: 0, dirty: false })
+        Ok(Self { inner, policy, served, active: 0, dirty: false, live: vec![true; dpus] })
     }
 
     /// The wrapped batch-slicing engine.
     #[must_use]
     pub fn inner(&self) -> &Tier1Engine {
         &self.inner
+    }
+
+    /// Mutable access to the wrapped engine (post-run integrity audits:
+    /// a final scrub of the serving set).
+    pub fn inner_mut(&mut self) -> &mut Tier1Engine {
+        &mut self.inner
+    }
+
+    /// Arm (or disarm) the SEC-DED MRAM sidecar on the serving set —
+    /// delegates to [`Tier1Engine::enable_ecc`], which also refreshes
+    /// the golden snapshot so mid-run restores keep the setting.
+    pub fn enable_ecc(&mut self, on: bool) {
+        self.inner.enable_ecc(on);
     }
 }
 
@@ -157,21 +202,26 @@ impl BatchEngine for EbnnServeEngine {
     fn stage(&mut self, items: &[Vec<u8>], buf: usize) -> Result<u64, HostError> {
         self.active = buf;
         self.served[buf] = None;
-        self.inner.stage_encoded(items, buf)
+        self.inner.stage_encoded_live(items, buf, &self.live)
+    }
+
+    fn set_live_mask(&mut self, live: &[bool]) {
+        assert_eq!(live.len(), self.live.len(), "mask must cover every DPU");
+        self.live.copy_from_slice(live);
     }
 
     fn launch(&mut self, seq: u64) -> Result<BatchRun, HostError> {
         let chunks =
             self.inner.staged_chunks(self.active).expect("launch without staging").to_vec();
+        let active_dpus: Vec<u32> = (0..chunks.len())
+            .filter(|&d| chunks[d] > 0)
+            .map(|d| u32::try_from(d).expect("dpu index fits"))
+            .collect();
         match &self.policy {
             None => {
                 let r = self.inner.launch()?;
                 self.served[self.active] = Some(vec![true; chunks.len()]);
-                Ok(BatchRun {
-                    compute_cycles: r.makespan_cycles(),
-                    redispatched_items: 0,
-                    lost_items: 0,
-                })
+                Ok(BatchRun::clean(r.makespan_cycles(), active_dpus))
             }
             Some(base) => {
                 let pol = per_batch_policy(base, seq);
@@ -191,6 +241,12 @@ impl BatchEngine for EbnnServeEngine {
                     compute_cycles: rep.makespan_cycles(),
                     redispatched_items,
                     lost_items,
+                    quarantined_dpus: rep.quarantined.iter().map(|d| d.0).collect(),
+                    repaired_dpus: (0..rep.per_dpu.len())
+                        .filter(|&d| rep.per_dpu[d].health() == ServeHealth::HealthyAfterRepair)
+                        .map(|d| u32::try_from(d).expect("dpu index fits"))
+                        .collect(),
+                    active_dpus,
                 })
             }
         }
@@ -296,15 +352,13 @@ impl BatchEngine for YoloServeEngine {
 
     fn launch(&mut self, seq: u64) -> Result<BatchRun, HostError> {
         let n_rows = self.inner.staged_rows();
+        let active_dpus: Vec<u32> =
+            (0..n_rows).map(|d| u32::try_from(d).expect("row index fits")).collect();
         match &self.policy {
             None => {
                 let r = self.inner.launch()?;
                 self.served = Some(vec![true; n_rows]);
-                Ok(BatchRun {
-                    compute_cycles: r.makespan_cycles(),
-                    redispatched_items: 0,
-                    lost_items: 0,
-                })
+                Ok(BatchRun::clean(r.makespan_cycles(), active_dpus))
             }
             Some(base) => {
                 let pol = per_batch_policy(base, seq);
@@ -320,6 +374,12 @@ impl BatchEngine for YoloServeEngine {
                     compute_cycles: rep.makespan_cycles(),
                     redispatched_items,
                     lost_items,
+                    quarantined_dpus: rep.quarantined.iter().map(|d| d.0).collect(),
+                    repaired_dpus: (0..rep.per_dpu.len())
+                        .filter(|&d| rep.per_dpu[d].health() == ServeHealth::HealthyAfterRepair)
+                        .map(|d| u32::try_from(d).expect("dpu index fits"))
+                        .collect(),
+                    active_dpus,
                 })
             }
         }

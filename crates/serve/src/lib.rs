@@ -26,6 +26,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod engine;
 pub mod pipeline;
 pub mod queue;
@@ -33,6 +34,7 @@ pub mod request;
 pub mod service;
 pub mod traffic;
 
+pub use breaker::{BreakerConfig, CircuitBreaker, RankState};
 pub use engine::{BatchEngine, BatchRun, EbnnServeEngine, Gathered, YoloServeEngine};
 pub use pipeline::{LinkModel, PipelineMode, DEFAULT_SERVE_LINK_BYTES_PER_SEC};
 pub use queue::AdmissionQueue;

@@ -51,6 +51,13 @@ impl<I> AdmissionQueue<I> {
         self.bound
     }
 
+    /// Re-bound the queue (the circuit breaker shrinks admission to the
+    /// live ranks). Requests already waiting stay; only new arrivals are
+    /// shed against the lower bound. Clamped to at least 1.
+    pub fn set_bound(&mut self, bound: usize) {
+        self.bound = bound.max(1);
+    }
+
     /// Whether no request is waiting.
     #[must_use]
     pub fn is_empty(&self) -> bool {

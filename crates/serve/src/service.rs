@@ -6,6 +6,7 @@
 //! function of the traffic seed, the engine's deterministic cycle counts,
 //! and the config — a fixed seed reproduces the run bit-for-bit.
 
+use crate::breaker::{BreakerConfig, CircuitBreaker};
 use crate::engine::BatchEngine;
 use crate::pipeline::{LinkModel, PipelineMode};
 use crate::queue::AdmissionQueue;
@@ -39,6 +40,10 @@ pub struct ServeConfig {
     /// Keep per-request outputs in the report (identity tests; costs
     /// memory on big runs).
     pub record_outputs: bool,
+    /// `Some`: arm the per-rank circuit breaker — sick ranks are ejected
+    /// from packing and admission capacity shrinks to the live ranks
+    /// (see [`crate::breaker`]).
+    pub breaker: Option<BreakerConfig>,
 }
 
 impl Default for ServeConfig {
@@ -51,6 +56,7 @@ impl Default for ServeConfig {
             pgo_warmup_batches: None,
             pgo_min_entries: dpu_sim::DEFAULT_HOT_THRESHOLD,
             record_outputs: false,
+            breaker: None,
         }
     }
 }
@@ -309,6 +315,7 @@ where
     let mut st: RunState<E::Item, E::Output> = RunState::new(cfg);
     st.metrics.gauge_set(keys::SERVE_DPUS, engine.dpus() as f64);
     st.metrics.gauge_set(keys::SERVE_CAPACITY_ITEMS, capacity as f64);
+    let mut breaker = cfg.breaker.map(|b| CircuitBreaker::new(b, engine.dpus()));
 
     'rounds: loop {
         // Profile-guided warmup: after the configured number of batches,
@@ -332,6 +339,20 @@ where
             engine.restore()?;
         }
 
+        // Circuit breaker: refresh the engine's live mask before staging
+        // and shrink packing + admission capacity to the live ranks, so
+        // overload sheds as a typed `Overloaded` instead of queueing
+        // against hardware that cannot serve.
+        let cap = match &breaker {
+            Some(b) => {
+                engine.set_live_mask(&b.live_mask());
+                let bound = (cfg.queue_capacity * b.live_ranks()).div_ceil(b.ranks());
+                st.queue.set_bound(bound.max(1));
+                (capacity * b.live_dpus() / engine.dpus()).max(1)
+            }
+            None => capacity,
+        };
+
         // ---- assemble the next batch ------------------------------------
         let mut items: Vec<E::Item> = Vec::new();
         let mut slices: Vec<Slice> = Vec::new();
@@ -340,13 +361,13 @@ where
         let cut: (u64, CutKind);
         loop {
             // Pack what is already queued.
-            while items.len() < capacity {
+            while items.len() < cap {
                 let Some(ri) = st.queue.front() else { break };
                 let (r_arrival, r_total, r_taken) = {
                     let r = st.queue.req(ri);
                     (r.arrival, r.items.len(), r.taken)
                 };
-                let take = (capacity - items.len()).min(r_total - r_taken);
+                let take = (cap - items.len()).min(r_total - r_taken);
                 items.extend(st.queue.req(ri).items[r_taken..r_taken + take].iter().cloned());
                 slices.push(Slice { req: ri, req_off: r_taken, count: take });
                 {
@@ -368,7 +389,7 @@ where
                     break; // batch is full, request continues next batch
                 }
             }
-            if items.len() == capacity {
+            if items.len() == cap {
                 cut = (fill_time, CutKind::Full);
                 break;
             }
@@ -448,6 +469,11 @@ where
             st.compute_end_last = compute_end;
             st.metrics.observe(keys::SERVE_COMPUTE_CYCLES, run.compute_cycles as f64);
             st.metrics.counter_add(keys::SERVE_REDISPATCHED_ITEMS, run.redispatched_items as u64);
+            st.metrics.counter_add(keys::SERVE_QUARANTINED_DPUS, run.quarantined_dpus.len() as u64);
+            st.metrics.counter_add(keys::SERVE_REPAIRED_DPUS, run.repaired_dpus.len() as u64);
+            if let Some(b) = &mut breaker {
+                b.observe(&run);
+            }
             st.pending = Some(Pending { buf, compute_end, slices });
         } else {
             let run = engine.launch(st.seq)?;
@@ -455,6 +481,11 @@ where
             st.compute_end_last = compute_end;
             st.metrics.observe(keys::SERVE_COMPUTE_CYCLES, run.compute_cycles as f64);
             st.metrics.counter_add(keys::SERVE_REDISPATCHED_ITEMS, run.redispatched_items as u64);
+            st.metrics.counter_add(keys::SERVE_QUARANTINED_DPUS, run.quarantined_dpus.len() as u64);
+            st.metrics.counter_add(keys::SERVE_REPAIRED_DPUS, run.repaired_dpus.len() as u64);
+            if let Some(b) = &mut breaker {
+                b.observe(&run);
+            }
             st.pending = Some(Pending { buf, compute_end, slices });
             st.flush(engine, traffic)?;
         }
@@ -473,6 +504,13 @@ where
     };
     st.metrics.gauge_set(keys::SERVE_GOODPUT_IPS, goodput);
     st.metrics.gauge_set(keys::SERVE_VTIME_CYCLES, st.last_finish as f64);
+    if let Some(b) = &breaker {
+        st.metrics.counter_add(keys::SERVE_BREAKER_TRIPS, b.trips());
+        st.metrics.counter_add(keys::SERVE_BREAKER_PROBES, b.probes());
+        st.metrics.counter_add(keys::SERVE_BREAKER_READMITS, b.readmits());
+        st.metrics.gauge_set(keys::SERVE_BREAKER_RANKS, b.ranks() as f64);
+        st.metrics.gauge_set(keys::SERVE_BREAKER_OPEN_RANKS, b.open_ranks() as f64);
+    }
 
     Ok(ServeReport {
         metrics: st.metrics,

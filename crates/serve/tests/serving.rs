@@ -7,8 +7,8 @@ use ebnn::mnist::synth_digit;
 use ebnn::model::{EbnnModel, ModelConfig};
 use ebnn::IMAGES_PER_DPU;
 use pim_serve::{
-    serve, BatchEngine, Completion, EbnnServeEngine, OpenLoop, Overloaded, PipelineMode, Request,
-    Rng64, ServeConfig, ServeReport, Traffic, TrafficStep,
+    serve, BatchEngine, BatchRun, BreakerConfig, Completion, EbnnServeEngine, Gathered, OpenLoop,
+    Overloaded, PipelineMode, Request, Rng64, ServeConfig, ServeReport, Traffic, TrafficStep,
 };
 use pim_trace::keys;
 
@@ -268,6 +268,192 @@ fn fixed_seed_reproduces_metrics_bit_for_bit() {
     assert_eq!(a.0, b.0, "metrics JSON must be bit-identical");
     assert_eq!(a.1, b.1, "completions must match");
     assert_eq!(a.2, b.2, "rejections must match");
+}
+
+/// A scripted engine for circuit-breaker tests: one item per DPU, a
+/// designated sick DPU that quarantines every batch staging items on it
+/// until launch sequence `heal_after`. Honors the service's live mask, so
+/// ejection is observable as the sick DPU simply receiving no items.
+struct FlakyEngine {
+    dpus: usize,
+    live: Vec<bool>,
+    items: Vec<u8>,
+    assign: Vec<u32>,
+    served: Vec<bool>,
+    sick: u32,
+    heal_after: u64,
+}
+
+impl FlakyEngine {
+    fn new(dpus: usize, sick: u32, heal_after: u64) -> Self {
+        Self {
+            dpus,
+            live: vec![true; dpus],
+            items: Vec::new(),
+            assign: Vec::new(),
+            served: Vec::new(),
+            sick,
+            heal_after,
+        }
+    }
+}
+
+impl BatchEngine for FlakyEngine {
+    type Item = u8;
+    type Output = u8;
+
+    fn capacity(&self) -> usize {
+        self.dpus
+    }
+
+    fn dpus(&self) -> usize {
+        self.dpus
+    }
+
+    fn buffers(&self) -> usize {
+        1
+    }
+
+    fn set_live_mask(&mut self, live: &[bool]) {
+        self.live = live.to_vec();
+    }
+
+    fn stage(&mut self, items: &[u8], buf: usize) -> Result<u64, pim_host::HostError> {
+        assert_eq!(buf, 0);
+        let targets: Vec<u32> = (0..self.dpus as u32).filter(|&d| self.live[d as usize]).collect();
+        assert!(items.len() <= targets.len(), "service must pack within live capacity");
+        self.items = items.to_vec();
+        self.assign = targets[..items.len()].to_vec();
+        self.served = vec![true; items.len()];
+        Ok(items.len() as u64)
+    }
+
+    fn launch(&mut self, seq: u64) -> Result<BatchRun, pim_host::HostError> {
+        let mut quarantined = Vec::new();
+        if seq < self.heal_after && self.assign.contains(&self.sick) {
+            quarantined.push(self.sick);
+            for (i, &d) in self.assign.iter().enumerate() {
+                if d == self.sick {
+                    self.served[i] = false;
+                }
+            }
+        }
+        let lost = self.served.iter().filter(|s| !**s).count();
+        Ok(BatchRun {
+            compute_cycles: 1_000,
+            redispatched_items: 0,
+            lost_items: lost,
+            quarantined_dpus: quarantined,
+            repaired_dpus: Vec::new(),
+            active_dpus: self.assign.clone(),
+        })
+    }
+
+    fn gather(&mut self, buf: usize) -> Result<Gathered<u8>, pim_host::HostError> {
+        assert_eq!(buf, 0);
+        let outs = self.items.iter().zip(&self.served).map(|(&x, &ok)| ok.then_some(x)).collect();
+        Ok((outs, self.items.len() as u64))
+    }
+
+    fn dirty(&self) -> bool {
+        false
+    }
+
+    fn restore(&mut self) -> Result<(), pim_host::HostError> {
+        Ok(())
+    }
+
+    fn recompile_hot(&mut self, _min_entries: u64) -> Result<usize, pim_host::HostError> {
+        Ok(0)
+    }
+}
+
+fn breaker_cfg() -> BreakerConfig {
+    BreakerConfig {
+        rank_dpus: 2,
+        window: 4,
+        trip_score: 100,
+        cooldown_batches: 2,
+        quarantine_weight: 50,
+        repair_weight: 1,
+    }
+}
+
+#[test]
+fn breaker_ejects_sick_rank_and_readmits_after_clean_probe() {
+    // 4 DPUs = 2 ranks of 2; DPU 3 (rank 1) quarantines until launch 6,
+    // then heals. The breaker must trip rank 1, keep traffic off it, and
+    // re-admit it after a clean probation probe.
+    let mut engine = FlakyEngine::new(4, 3, 6);
+    let mut t = Script::new(vec![Request { id: 0, arrival: 0, items: vec![7u8; 40] }]);
+    let c = ServeConfig { breaker: Some(breaker_cfg()), record_outputs: true, ..cfg2() };
+    let report = serve(&mut engine, &mut t, &c).expect("serve");
+
+    assert!(report.metrics.counter(keys::SERVE_BREAKER_TRIPS) >= 2, "trip + failed probe re-trip");
+    assert!(report.metrics.counter(keys::SERVE_BREAKER_PROBES) >= 2);
+    assert_eq!(report.metrics.counter(keys::SERVE_BREAKER_READMITS), 1, "healed rank re-admitted");
+    assert_eq!(report.metrics.gauge(keys::SERVE_BREAKER_RANKS), Some(2.0));
+    assert_eq!(report.metrics.gauge(keys::SERVE_BREAKER_OPEN_RANKS), Some(0.0));
+    let quarantines = report.metrics.counter(keys::SERVE_QUARANTINED_DPUS);
+    assert!(
+        (2..=4).contains(&quarantines),
+        "trip after 2 quarantines, at most a couple of failed probes: {quarantines}"
+    );
+    // Lost items match quarantine events exactly (one item per sick DPU
+    // per faulted batch) — everything else served.
+    let got = flat_outputs2(&report);
+    let lost = got.iter().filter(|o| o.is_none()).count() as u64;
+    assert_eq!(lost, quarantines, "each quarantine loses exactly its one staged item");
+    assert_eq!(got.len(), 40);
+    assert!(!report.completions[0].served, "request lost items, completes degraded");
+    assert_eq!(report.metrics.counter(keys::SERVE_FAILED), 1);
+}
+
+#[test]
+fn breaker_open_rank_shrinks_admission_and_sheds_typed_overloaded() {
+    // DPU 3 never heals: rank 1 ends the warmup run ejected. A burst of
+    // single-item requests then arrives at an idle service; with one of
+    // two ranks live, the queue bound shrinks from 4 to 2, so the burst
+    // sheds with typed `Overloaded` rejections at depth 2.
+    let mut engine = FlakyEngine::new(4, 3, u64::MAX);
+    let mut reqs = vec![Request { id: 0, arrival: 0, items: vec![9u8; 40] }];
+    for i in 1..=6u64 {
+        reqs.push(Request { id: i, arrival: 1_000_000_000, items: vec![i as u8] });
+    }
+    let mut t = Script::new(reqs);
+    let c = ServeConfig {
+        queue_capacity: 4,
+        breaker: Some(breaker_cfg()),
+        record_outputs: true,
+        ..cfg2()
+    };
+    let report = serve(&mut engine, &mut t, &c).expect("serve");
+
+    assert_eq!(report.metrics.counter(keys::SERVE_BREAKER_READMITS), 0, "sick rank never heals");
+    assert!(report.metrics.counter(keys::SERVE_BREAKER_TRIPS) >= 1);
+    assert!(
+        report.rejections.iter().any(|r| r.queue_depth == 2),
+        "burst must shed at the shrunken bound (2 of 4): {:?}",
+        report.rejections
+    );
+    let rejected = report.metrics.counter(keys::SERVE_REJECTED);
+    assert_eq!(rejected as usize, report.rejections.len());
+    assert_eq!(
+        report.metrics.counter(keys::SERVE_COMPLETED)
+            + report.metrics.counter(keys::SERVE_FAILED)
+            + rejected,
+        7,
+        "every request completes, degrades, or sheds — none time out"
+    );
+}
+
+/// `cfg()` pinned to `Vec<u8>` outputs; the breaker tests serve `u8`.
+fn cfg2() -> ServeConfig {
+    ServeConfig { record_outputs: true, ..ServeConfig::default() }
+}
+
+fn flat_outputs2(report: &ServeReport<u8>) -> Vec<Option<u8>> {
+    report.outputs.iter().flat_map(|(_, items)| items.iter().copied()).collect()
 }
 
 #[test]

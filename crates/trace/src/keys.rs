@@ -34,6 +34,17 @@ pub const SERVE_CUTS_DRAIN: &str = "serve.cuts.drain";
 pub const SERVE_REDISPATCHED_ITEMS: &str = "serve.redispatched_items";
 /// Profile-guided `recompile_hot` recompilations performed after warmup.
 pub const SERVE_PGO_RECOMPILES: &str = "serve.pgo_recompiles";
+/// DPU quarantine events across all launched batches.
+pub const SERVE_QUARANTINED_DPUS: &str = "serve.quarantined_dpus";
+/// DPU serves classified healthy-after-repair (retries consumed or
+/// single-bit errors corrected by ECC scrub / DMA verify-on-read).
+pub const SERVE_REPAIRED_DPUS: &str = "serve.repaired_dpus";
+/// Circuit-breaker rank ejections (including re-trips out of probation).
+pub const SERVE_BREAKER_TRIPS: &str = "serve.breaker.trips";
+/// Circuit-breaker cooldown→probation transitions (probe launches).
+pub const SERVE_BREAKER_PROBES: &str = "serve.breaker.probes";
+/// Circuit-breaker probation→closed re-admissions after a clean probe.
+pub const SERVE_BREAKER_READMITS: &str = "serve.breaker.readmits";
 
 /// Histogram: request latency (arrival → last result read back), cycles.
 pub const SERVE_LATENCY_CYCLES: &str = "serve.latency_cycles";
@@ -56,6 +67,11 @@ pub const SERVE_VTIME_CYCLES: &str = "serve.vtime_cycles";
 pub const SERVE_DPUS: &str = "serve.dpus";
 /// Gauge: items one rank batch can hold.
 pub const SERVE_CAPACITY_ITEMS: &str = "serve.capacity_items";
+/// Gauge: circuit-breaker rank groups in the serving set (0 = breaker
+/// disabled).
+pub const SERVE_BREAKER_RANKS: &str = "serve.breaker.ranks";
+/// Gauge: ranks still ejected (`Open`) at end of run.
+pub const SERVE_BREAKER_OPEN_RANKS: &str = "serve.breaker.open_ranks";
 
 /// Every `serve.*` key, for exhaustive stability tests.
 pub const ALL_SERVE_KEYS: &[&str] = &[
@@ -72,6 +88,11 @@ pub const ALL_SERVE_KEYS: &[&str] = &[
     SERVE_CUTS_DRAIN,
     SERVE_REDISPATCHED_ITEMS,
     SERVE_PGO_RECOMPILES,
+    SERVE_QUARANTINED_DPUS,
+    SERVE_REPAIRED_DPUS,
+    SERVE_BREAKER_TRIPS,
+    SERVE_BREAKER_PROBES,
+    SERVE_BREAKER_READMITS,
     SERVE_LATENCY_CYCLES,
     SERVE_BATCH_FILL,
     SERVE_QUEUE_DEPTH,
@@ -82,6 +103,8 @@ pub const ALL_SERVE_KEYS: &[&str] = &[
     SERVE_VTIME_CYCLES,
     SERVE_DPUS,
     SERVE_CAPACITY_ITEMS,
+    SERVE_BREAKER_RANKS,
+    SERVE_BREAKER_OPEN_RANKS,
 ];
 
 #[cfg(test)]
@@ -107,6 +130,11 @@ mod tests {
             "serve.cuts.drain",
             "serve.redispatched_items",
             "serve.pgo_recompiles",
+            "serve.quarantined_dpus",
+            "serve.repaired_dpus",
+            "serve.breaker.trips",
+            "serve.breaker.probes",
+            "serve.breaker.readmits",
             "serve.latency_cycles",
             "serve.batch_fill",
             "serve.queue_depth",
@@ -117,6 +145,8 @@ mod tests {
             "serve.vtime_cycles",
             "serve.dpus",
             "serve.capacity_items",
+            "serve.breaker.ranks",
+            "serve.breaker.open_ranks",
         ];
         assert_eq!(ALL_SERVE_KEYS, &expect);
         for k in ALL_SERVE_KEYS {
